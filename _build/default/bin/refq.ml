@@ -1,0 +1,573 @@
+(* refq — reformulation-based RDF query answering, command line interface.
+
+   Mirrors the demonstration scenario of the paper:
+     refq generate  — build a synthetic dataset (lubm / dblp / geo)
+     refq stats     — step 1: visualize dataset statistics
+     refq answer    — step 2: answer a query through a chosen strategy
+     refq explain   — step 3: inspect reformulations, covers, GCov's space
+     refq saturate  — materialize the saturation (the Sat technique)
+*)
+
+open Cmdliner
+open Refq_rdf
+open Refq_query
+open Refq_storage
+open Refq_core
+
+(* [Refq_rdf.Term] shadows [Cmdliner.Term]; restore the latter for the
+   command definitions below (RDF terms are only used qualified here). *)
+module Term = Cmdliner.Term
+
+(* ------------------------------------------------------------------ *)
+(* Loading and saving                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let workload_env =
+  List.fold_left
+    (fun env (prefix, uri) -> Namespace.add env ~prefix ~uri)
+    Namespace.default
+    [
+      ("ub", Refq_workload.Lubm.ns);
+      ("dblp", Refq_workload.Dblp.ns);
+      ("geo", Refq_workload.Geo.ns);
+      ("ex", "http://example.org/");
+    ]
+
+let die fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt
+
+let load_graph path =
+  if Filename.check_suffix path ".ttl" then
+    Result.map_error
+      (fun e -> Fmt.str "%s: %a" path Turtle.pp_error e)
+      (Turtle.parse_file ~env:workload_env path)
+  else
+    Result.map_error
+      (fun e -> Fmt.str "%s: %a" path Ntriples.pp_error e)
+      (Ntriples.parse_file path)
+
+let load_store path =
+  if Filename.check_suffix path ".store" then Store.load path
+  else Result.map Store.of_graph (load_graph path)
+
+let parse_query text =
+  (* Accept SPARQL SELECT / ASK and the paper's q(x) :- ... notation. *)
+  let trimmed = String.trim text in
+  let upper = String.uppercase_ascii trimmed in
+  let starts_with prefix =
+    String.length upper >= String.length prefix
+    && String.sub upper 0 (String.length prefix) = prefix
+  in
+  if starts_with "ASK" then Sparql.parse_ask ~env:workload_env text
+  else if
+    String.length trimmed > 0
+    && (trimmed.[0] = 'q' || trimmed.[0] = 'Q')
+    && String.contains trimmed '-'
+    && not (starts_with "SELECT")
+  then Sparql.parse_notation ~env:workload_env text
+  else Sparql.parse ~env:workload_env text
+
+let contains_word ~word text =
+  let re = String.uppercase_ascii text in
+  let n = String.length word and m = String.length re in
+  let rec loop i = i + n <= m && (String.sub re i n = word || loop (i + 1)) in
+  loop 0
+
+let read_query ~query ~query_file =
+  match query, query_file with
+  | Some q, None -> Ok q
+  | None, Some path ->
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    Ok text
+  | Some _, Some _ -> Error "use either --query or --query-file, not both"
+  | None, None -> Error "a query is required (--query or --query-file)"
+
+let parse_cover ~n_atoms spec =
+  (* "1,3;3,5;2,4;4,6" with 1-based atom numbers, as printed by the paper *)
+  try
+    let fragments =
+      String.split_on_char ';' spec
+      |> List.map (fun frag ->
+             String.split_on_char ',' frag
+             |> List.map (fun s -> int_of_string (String.trim s) - 1))
+    in
+    Ok (Cover.make ~n_atoms fragments)
+  with
+  | Invalid_argument m -> Error m
+  | Failure _ -> Error (Printf.sprintf "cannot parse cover spec %S" spec)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let run workload scale seed output =
+    let seed = Int64.of_int seed in
+    let store =
+      match workload with
+      | "lubm" -> Ok (Refq_workload.Lubm.generate ~seed ~scale ())
+      | "dblp" -> Ok (Refq_workload.Dblp.generate ~seed ~scale ())
+      | "geo" -> Ok (Refq_workload.Geo.generate ~seed ~scale ())
+      | other -> Error (Printf.sprintf "unknown workload %S" other)
+    in
+    match store with
+    | Error m -> `Error (false, m)
+    | Ok store ->
+      (match output with
+      | Some path when Filename.check_suffix path ".store" ->
+        Store.save store path;
+        Fmt.pr "wrote %d triples to %s (binary)@." (Store.size store) path
+      | Some path ->
+        Ntriples.write_file path (Store.to_graph store);
+        Fmt.pr "wrote %d triples to %s@." (Store.size store) path
+      | None -> Fmt.pr "%a@." Graph.pp (Store.to_graph store));
+      `Ok ()
+  in
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload: lubm, dblp or geo.")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Generator scale factor.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file (.nt for N-Triples, .store for the compact                 binary format).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic dataset (with its schema)")
+    Term.(ret (const run $ workload $ scale $ seed $ output))
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run path =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok store ->
+      let stats = Stats.compute store in
+      Fmt.pr "%a@." (Stats.pp (Store.dictionary store)) stats;
+      `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt or .ttl).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Dataset statistics (value distributions; demo step 1)")
+    Term.(ret (const run $ path))
+
+(* ------------------------------------------------------------------ *)
+(* answer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_conv ~n_atoms name cover =
+  match name, cover with
+  | "jucq", Some spec ->
+    Result.map (fun c -> Strategy.Jucq c) (parse_cover ~n_atoms spec)
+  | "jucq", None -> Error "strategy jucq requires --cover"
+  | name, _ -> Strategy.of_string name
+
+let answer_cmd =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok store -> (
+      match read_query ~query ~query_file with
+      | Error m -> `Error (false, m)
+      | Ok text -> (
+        let union_query =
+          if contains_word ~word:"UNION" text then
+            Result.to_option (Sparql.parse_select ~env:workload_env text)
+          else None
+        in
+        let parsed =
+          match union_query with
+          | Some u -> Ok (List.hd (Refq_query.Ucq.disjuncts u))
+          | None -> parse_query text
+        in
+        match parsed with
+        | Error e -> `Error (false, Fmt.str "query: %a" Sparql.pp_error e)
+        | Ok q -> (
+          let profile =
+            List.find_opt
+              (fun p -> p.Refq_reform.Profiles.name = profile_name)
+              Refq_reform.Profiles.all
+          in
+          match profile with
+          | None -> die "unknown profile %S" profile_name
+          | Some profile ->
+            let backend =
+              match backend_name with
+              | "nested-loop" -> Ok Answer.Nested_loop
+              | "sort-merge" -> Ok Answer.Sort_merge
+              | other -> Error (Printf.sprintf "unknown backend %S" other)
+            in
+            match backend with
+            | Error m -> `Error (false, m)
+            | Ok backend ->
+            let env = Answer.make_env store in
+            let n_atoms = List.length q.Cq.body in
+            let strategies =
+              if all_strategies then Ok Strategy.all_fixed
+              else
+                Result.map
+                  (fun s -> [ s ])
+                  (strategy_conv ~n_atoms strategy_name cover_spec)
+            in
+            (match strategies with
+            | Error m -> `Error (false, m)
+            | Ok strategies ->
+              let dict = Store.dictionary store in
+              let show_rows rel =
+                match format with
+                | "text" ->
+                  List.iter
+                    (fun row ->
+                      Fmt.pr "  %a@."
+                        (Fmt.list ~sep:(Fmt.any " | ")
+                           (Namespace.pp_term workload_env))
+                        row)
+                    (Answer.decode env rel)
+                | "json" -> print_endline (Refq_engine.Results.to_json dict rel)
+                | "csv" -> print_string (Refq_engine.Results.to_csv dict rel)
+                | "tsv" -> print_string (Refq_engine.Results.to_tsv dict rel)
+                | other -> Fmt.epr "unknown format %S, using text@." other
+              in
+              List.iter
+                (fun s ->
+                  match union_query with
+                  | Some u -> (
+                    match
+                      Answer.answer_union ~profile ~minimize ~backend env u s
+                    with
+                    | Ok (rel, reports) ->
+                      Fmt.pr "%s (union of %d BGPs): %d answers@."
+                        (Strategy.name s) (List.length reports)
+                        (Refq_engine.Relation.cardinality rel);
+                      if not all_strategies then show_rows rel
+                    | Error f ->
+                      Fmt.pr "%s: FAILED: %s@."
+                        (Strategy.name f.Answer.f_strategy)
+                        f.Answer.reason)
+                  | None -> (
+                    match Answer.answer ~profile ~minimize ~backend env q s with
+                    | Ok r ->
+                      Fmt.pr "%a@." Answer.pp_report r;
+                      if not all_strategies then show_rows r.Answer.answers
+                    | Error f ->
+                      Fmt.pr "%s: FAILED after %.3fs: %s@."
+                        (Strategy.name f.Answer.f_strategy)
+                        f.Answer.f_reformulation_s f.Answer.reason))
+                strategies;
+              `Ok ()))))
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt or .ttl).")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ]
+          ~doc:"Query (SPARQL SELECT or the paper's q(x) :- ... notation).")
+  in
+  let query_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "query-file" ] ~doc:"File holding the query.")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "gcov"
+      & info [ "s"; "strategy" ]
+          ~doc:"Strategy: sat, ucq, scq, jucq (with --cover), gcov, datalog.")
+  in
+  let cover =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cover" ]
+          ~doc:"Cover for --strategy jucq, e.g. \"1,3;3,5;2,4;4,6\" (1-based).")
+  in
+  let profile =
+    Arg.(
+      value & opt string "complete"
+      & info [ "profile" ]
+          ~doc:
+            "Reformulation profile: complete, hierarchies-only, \
+             subclass-only, none (the partial profiles model \
+             Virtuoso/AllegroGraph-style incomplete reasoning).")
+  in
+  let all_strategies =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Run every fixed strategy and compare (demo step 2).")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Drop containment-redundant disjuncts before evaluation.")
+  in
+  let backend =
+    Arg.(
+      value & opt string "nested-loop"
+      & info [ "backend" ]
+          ~doc:"Physical engine: nested-loop or sort-merge.")
+  in
+  let format =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ]
+          ~doc:"Answer rendering: text, json (SPARQL results JSON), csv or                 tsv.")
+  in
+  Cmd.v
+    (Cmd.info "answer" ~doc:"Answer a query through a chosen strategy")
+    Term.(
+      ret
+        (const run $ path $ query $ query_file $ strategy $ cover $ profile
+       $ all_strategies $ minimize $ backend $ format))
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run path query query_file show_sparql =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok store -> (
+      match read_query ~query ~query_file with
+      | Error m -> `Error (false, m)
+      | Ok text -> (
+        match parse_query text with
+        | Error e -> `Error (false, Fmt.str "query: %a" Sparql.pp_error e)
+        | Ok q ->
+          let env = Answer.make_env store in
+          let cl = Answer.closure env in
+          let n = Refq_reform.Reformulate.count_disjuncts cl q in
+          Fmt.pr "query: %a@." Cq.pp q;
+          Fmt.pr "UCQ reformulation size: %d disjuncts@." n;
+          (if show_sparql && n <= 50 then
+             match Refq_reform.Reformulate.cq_to_ucq cl q with
+             | u -> Fmt.pr "@.%s@." (Sparql.ucq_to_sparql ~env:workload_env u)
+             | exception Refq_reform.Reformulate.Too_large _ -> ());
+          let trace = Gcov.search (Answer.card_env env) cl q in
+          Fmt.pr "@.GCov search (%d covers explored, %d rounds):@."
+            (List.length trace.Gcov.explored)
+            trace.Gcov.iterations;
+          List.iter
+            (fun s ->
+              Fmt.pr "  %s %-50s cost %12.0f  est. card %10.0f@."
+                (if s.Gcov.accepted then "*" else " ")
+                (Fmt.str "%a" Cover.pp s.Gcov.cover)
+                s.Gcov.estimate.Refq_cost.Cost_model.cost
+                s.Gcov.estimate.Refq_cost.Cost_model.card)
+            trace.Gcov.explored;
+          Fmt.pr "@.chosen cover: %a (estimated cost %.0f)@." Cover.pp
+            trace.Gcov.chosen
+            trace.Gcov.chosen_estimate.Refq_cost.Cost_model.cost;
+          (* The physical picture of the chosen strategy. *)
+          (match
+             Refq_reform.Reformulate.cover_to_jucq cl q trace.Gcov.chosen
+           with
+          | jucq ->
+            let plan =
+              Refq_cost.Plan.explain_jucq (Answer.card_env env) jucq
+            in
+            Fmt.pr "@.fragment plan (join order):@.%a@."
+              Refq_cost.Plan.pp_jucq_plan plan
+          | exception Refq_reform.Reformulate.Too_large _ -> ());
+          Fmt.pr "@.single-CQ plan of the original query (as Sat would run it):@.%a@."
+            Refq_cost.Plan.pp_cq_plan
+            (Refq_cost.Plan.explain_cq (Answer.card_env env) q);
+          `Ok ()))
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt or .ttl).")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~doc:"Query text.")
+  in
+  let query_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "query-file" ] ~doc:"File holding the query.")
+  in
+  let show_sparql =
+    Arg.(
+      value & flag
+      & info [ "sparql" ] ~doc:"Print the UCQ reformulation as SPARQL (small unions only).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Inspect reformulation sizes and GCov's explored cover space")
+    Term.(ret (const run $ path $ query $ query_file $ show_sparql))
+
+(* ------------------------------------------------------------------ *)
+(* saturate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let saturate_cmd =
+  let run path output =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok store ->
+      let sat, info = Refq_saturation.Saturate.store_info store in
+      Fmt.pr "saturated %d → %d triples in %d round(s), %.3fs@."
+        info.Refq_saturation.Saturate.input_triples
+        info.Refq_saturation.Saturate.output_triples
+        info.Refq_saturation.Saturate.rounds
+        info.Refq_saturation.Saturate.elapsed_s;
+      (match output with
+      | Some out -> Ntriples.write_file out (Store.to_graph sat)
+      | None -> ());
+      `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt or .ttl).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write G∞ as N-Triples.")
+  in
+  Cmd.v
+    (Cmd.info "saturate" ~doc:"Materialize the saturation (Sat technique)")
+    Term.(ret (const run $ path $ output))
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let demo_cmd =
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:
+         "Interactive walkthrough of the demonstration scenario (load /           stats / query / run / explain / modify)")
+    Term.(const Demo.main $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* federate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let federate_cmd =
+  let run paths query query_file limit =
+    match read_query ~query ~query_file with
+    | Error m -> `Error (false, m)
+    | Ok text -> (
+      match parse_query text with
+      | Error e -> `Error (false, Fmt.str "query: %a" Sparql.pp_error e)
+      | Ok q -> (
+        let graphs =
+          List.map
+            (fun path -> Result.map (fun g -> (path, g)) (load_graph path))
+            paths
+        in
+        match
+          List.find_map (function Error m -> Some m | Ok _ -> None) graphs
+        with
+        | Some m -> `Error (false, m)
+        | None ->
+          let specs =
+            List.map
+              (function
+                | Ok (path, g) -> (Filename.basename path, g, limit)
+                | Error _ -> assert false)
+              graphs
+          in
+          let open Refq_federation in
+          let fed = Federation.of_graphs specs in
+          let show label answers =
+            let rows = Federation.decode fed answers in
+            Fmt.pr "%-18s %6d answer(s)@." label (List.length rows)
+          in
+          show "centralized" (Federation.answer_centralized fed q);
+          show "per-endpoint sat" (Federation.answer_local_sat fed q);
+          show "federated ref" (Federation.answer_ref fed q);
+          List.iter
+            (fun row ->
+              Fmt.pr "  %a@."
+                (Fmt.list ~sep:(Fmt.any " | ") (Namespace.pp_term workload_env))
+                row)
+            (Federation.decode fed (Federation.answer_ref fed q));
+          `Ok ()))
+  in
+  let paths =
+    Arg.(
+      non_empty
+      & pos_all file []
+      & info [] ~docv:"FILE..." ~doc:"One RDF file per endpoint.")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~doc:"Query text.")
+  in
+  let query_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "query-file" ] ~doc:"File holding the query.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ]
+          ~doc:"Per-endpoint answer limit (sources returning only the first                 N answers).")
+  in
+  Cmd.v
+    (Cmd.info "federate"
+       ~doc:
+         "Answer a query over several endpoint files: centralized vs           per-endpoint saturation vs federated reformulation")
+    Term.(ret (const run $ paths $ query $ query_file $ limit))
+
+let () =
+  (* Debug logging for the refq.* sources: REFQ_DEBUG=1 refq ... *)
+  if Sys.getenv_opt "REFQ_DEBUG" <> None then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let doc = "reformulation-based query answering in RDF" in
+  let info = Cmd.info "refq" ~version:Version.version ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; stats_cmd; answer_cmd; explain_cmd; saturate_cmd;
+            federate_cmd; demo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/completeness_geo.ml: Answer Array Fmt List Refq_core Refq_reform Refq_storage Refq_workload Strategy Sys

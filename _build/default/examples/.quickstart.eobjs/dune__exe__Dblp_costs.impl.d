@@ -1,0 +1,1 @@
+examples/dblp_costs.ml: Answer Array Cost_model Fmt Gcov List Printf Refq_core Refq_cost Refq_query Refq_reform Refq_storage Refq_workload Strategy Sys Unix

@@ -1,0 +1,1 @@
+examples/example1_lubm.ml: Answer Array Fmt Gcov List Refq_core Refq_cost Refq_query Refq_reform Refq_saturation Refq_storage Refq_workload Strategy String Sys

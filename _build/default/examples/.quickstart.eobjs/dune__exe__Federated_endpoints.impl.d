@@ -1,0 +1,1 @@
+examples/federated_endpoints.ml: Array Federation Fmt Graph List Printf Refq_federation Refq_query Refq_rdf Refq_storage Refq_workload String Sys Term Triple

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Answer Fmt Graph List Namespace Refq_core Refq_engine Refq_query Refq_rdf Refq_reform Refq_saturation Refq_storage Strategy Term Triple Turtle

@@ -1,0 +1,1 @@
+lib/core/gcov.ml: Array Cost_model Cover Cq Float Fun Hashtbl List Logs Option Reformulate Refq_cost Refq_query Refq_reform

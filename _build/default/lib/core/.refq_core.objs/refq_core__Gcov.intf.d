@@ -1,0 +1,1 @@
+lib/core/gcov.mli: Cardinality Closure Cost_model Cover Cq Refq_cost Refq_query Refq_reform Refq_schema

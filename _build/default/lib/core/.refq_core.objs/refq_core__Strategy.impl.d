@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Cover Fmt Printf Refq_query String

@@ -1,0 +1,312 @@
+open Refq_query
+open Refq_schema
+open Refq_storage
+open Refq_engine
+open Refq_cost
+open Refq_reform
+
+let src = Logs.Src.create "refq.answer" ~doc:"strategy dispatch"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type backend =
+  | Nested_loop
+  | Sort_merge
+
+type env = {
+  store : Store.t;
+  closure : Closure.t;
+  card_env : Cardinality.env;
+  mutable sat : (Store.t * Refq_saturation.Saturate.info * Cardinality.env) option;
+}
+
+let make_env store =
+  Store.freeze store;
+  {
+    store;
+    closure = Closure.of_graph (Store.to_graph store);
+    card_env = Cardinality.make_env store;
+    sat = None;
+  }
+
+let store env = env.store
+
+let closure env = env.closure
+
+let card_env env = env.card_env
+
+let now () = Unix.gettimeofday ()
+
+let saturated_full env =
+  match env.sat with
+  | Some (st, info, cenv) -> (st, info, cenv)
+  | None ->
+    let st, info = Refq_saturation.Saturate.store_info env.store in
+    let cenv = Cardinality.make_env st in
+    env.sat <- Some (st, info, cenv);
+    (st, info, cenv)
+
+let saturated env =
+  let st, info, _ = saturated_full env in
+  (st, info)
+
+let invalidate env = make_env env.store
+
+type detail =
+  | Reformulated of {
+      cover : Cover.t;
+      jucq_size : int;
+      n_fragments : int;
+      fragment_cardinalities : int list;
+      gcov : Gcov.trace option;
+    }
+  | Saturated of Refq_saturation.Saturate.info
+  | Datalog_run of Refq_datalog.Datalog.stats
+
+type report = {
+  strategy : Strategy.t;
+  answers : Relation.t;
+  reformulation_s : float;
+  evaluation_s : float;
+  detail : detail;
+}
+
+let n_answers r = Relation.cardinality r.answers
+
+type failure = {
+  f_strategy : Strategy.t;
+  reason : string;
+  f_reformulation_s : float;
+}
+
+let default_max = 200_000
+
+let positional_cols q =
+  Array.of_list (List.mapi (fun i _ -> Printf.sprintf "c%d" i) q.Cq.head)
+
+(* Evaluate a JUCQ while recording materialized fragment cardinalities
+   (mirrors [Evaluator.jucq], which cannot expose intermediates). *)
+let eval_jucq_with_cards ~backend env (j : Jucq.t) =
+  let ucq_eval, join =
+    match backend with
+    | Nested_loop -> (Evaluator.ucq, Evaluator.join)
+    | Sort_merge -> (Sortmerge.ucq, Sortmerge.merge_join)
+  in
+  let fragments =
+    List.map
+      (fun f -> ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
+      j.Jucq.fragments
+  in
+  let cards = List.map Relation.cardinality fragments in
+  (* Delegate the join/projection to the engine by re-running it would
+     evaluate fragments twice; instead replicate its join order here. *)
+  let head = Array.of_list j.Jucq.head in
+  let out_cols =
+    Array.mapi
+      (fun i pat -> match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+      head
+  in
+  let result = Relation.create ~cols:out_cols in
+  if List.exists (fun r -> Relation.cardinality r = 0) fragments then (result, cards)
+  else begin
+    let joinable = List.filter (fun r -> Relation.arity r > 0) fragments in
+    let joined =
+      match Evaluator.join_order joinable with
+      | [] ->
+        let r = Relation.create ~cols:[||] in
+        Relation.add_row r [||];
+        r
+      | first :: rest -> List.fold_left join first rest
+    in
+    let seen = Hashtbl.create 64 in
+    let out_row = Array.make (Array.length head) 0 in
+    Relation.iter_rows joined (fun row ->
+        Array.iteri
+          (fun i pat ->
+            match pat with
+            | Cq.Var v ->
+              out_row.(i) <- row.(Option.get (Relation.col_index joined v))
+            | Cq.Cst t -> out_row.(i) <- Store.encode_term env.store t)
+          head;
+        if not (Hashtbl.mem seen out_row) then begin
+          let key = Array.copy out_row in
+          Hashtbl.add seen key ();
+          Relation.add_row result key
+        end);
+    (result, cards)
+  end
+
+(* Containment-based minimization is quadratic in the number of
+   disjuncts: worth it for JUCQ fragments (hundreds of CQs at most), not
+   for monster UCQs. *)
+let minimize_gate = 2_000
+
+let minimize_jucq (j : Jucq.t) =
+  {
+    j with
+    Jucq.fragments =
+      List.map
+        (fun f ->
+          if Ucq.size f.Jucq.ucq <= minimize_gate then
+            { f with Jucq.ucq = Containment.minimize_ucq f.Jucq.ucq }
+          else f)
+        j.Jucq.fragments;
+  }
+
+let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
+    ~max_disjuncts env q strategy cover gcov_trace =
+  ignore params;
+  let t0 = now () in
+  match Reformulate.cover_to_jucq ?profile ~max_disjuncts env.closure q cover with
+  | exception Reformulate.Too_large n ->
+    Error
+      {
+        f_strategy = strategy;
+        reason =
+          Printf.sprintf
+            "reformulation exceeds %d disjuncts (stopped at %d): the query \
+             could not even be parsed by the evaluation engine"
+            max_disjuncts n;
+        f_reformulation_s = now () -. t0;
+      }
+  | jucq ->
+    let jucq = if minimize then minimize_jucq jucq else jucq in
+    Log.debug (fun m ->
+        m "%a: cover %a, %d disjuncts in %d fragments" Strategy.pp strategy
+          Cover.pp cover (Jucq.size jucq) (Jucq.n_fragments jucq));
+    let t1 = now () in
+    let answers, cards = eval_jucq_with_cards ~backend env jucq in
+    let t2 = now () in
+    Ok
+      {
+        strategy;
+        answers;
+        reformulation_s = t1 -. t0;
+        evaluation_s = t2 -. t1;
+        detail =
+          Reformulated
+            {
+              cover;
+              jucq_size = Jucq.size jucq;
+              n_fragments = Jucq.n_fragments jucq;
+              fragment_cardinalities = cards;
+              gcov = gcov_trace;
+            };
+      }
+
+let answer ?profile ?params ?minimize ?backend
+    ?(max_disjuncts = default_max) env q strategy =
+  let n_atoms = List.length q.Cq.body in
+  match strategy with
+  | Strategy.Saturation ->
+    let t0 = now () in
+    let _, info, sat_cenv = saturated_full env in
+    let t1 = now () in
+    let eval_cq =
+      match Option.value ~default:Nested_loop backend with
+      | Nested_loop -> fun env ~cols q -> Evaluator.cq env ~cols q
+      | Sort_merge -> fun env ~cols q -> Sortmerge.cq env ~cols q
+    in
+    let answers = eval_cq sat_cenv ~cols:(positional_cols q) q in
+    let t2 = now () in
+    Ok
+      {
+        strategy;
+        answers;
+        reformulation_s = t1 -. t0;
+        evaluation_s = t2 -. t1;
+        detail = Saturated info;
+      }
+  | Strategy.Ucq ->
+    run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q strategy
+      (Cover.one_fragment ~n_atoms) None
+  | Strategy.Scq ->
+    run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q strategy
+      (Cover.singleton ~n_atoms) None
+  | Strategy.Jucq cover ->
+    if Cover.n_atoms cover <> n_atoms then
+      Error
+        {
+          f_strategy = strategy;
+          reason = "cover does not match the query's atom count";
+          f_reformulation_s = 0.0;
+        }
+    else
+      run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q
+        strategy cover None
+  | Strategy.Gcov ->
+    let t0 = now () in
+    let trace = Gcov.search ?profile ?params ~max_disjuncts env.card_env env.closure q in
+    let search_s = now () -. t0 in
+    Result.map
+      (fun r -> { r with reformulation_s = r.reformulation_s +. search_s })
+      (run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q
+         strategy trace.Gcov.chosen (Some trace))
+  | Strategy.Datalog ->
+    let t0 = now () in
+    let answers, stats = Refq_datalog.Rdf_encoding.answer env.store q in
+    let t1 = now () in
+    Ok
+      {
+        strategy;
+        answers;
+        reformulation_s = 0.0;
+        evaluation_s = t1 -. t0;
+        detail = Datalog_run stats;
+      }
+
+let answer_union ?profile ?params ?minimize ?backend ?max_disjuncts env u
+    strategy =
+  (* A union of BGP queries is answered disjunct by disjunct: answering
+     commutes with union (q1 ∪ q2 over G∞ = answers(q1) ∪ answers(q2)). *)
+  let rec loop acc_rel acc_reports = function
+    | [] -> Ok (acc_rel, List.rev acc_reports)
+    | q :: rest -> (
+      match answer ?profile ?params ?minimize ?backend ?max_disjuncts env q strategy with
+      | Error f -> Error f
+      | Ok r ->
+        let acc_rel =
+          match acc_rel with
+          | None -> Some (Relation.dedup r.answers)
+          | Some acc ->
+            let merged = Relation.create ~cols:(Relation.cols acc) in
+            let seen = Hashtbl.create 64 in
+            let push rel =
+              Relation.iter_rows rel (fun row ->
+                  if not (Hashtbl.mem seen row) then begin
+                    let key = Array.copy row in
+                    Hashtbl.add seen key ();
+                    Relation.add_row merged key
+                  end)
+            in
+            push acc;
+            push r.answers;
+            Some merged
+        in
+        loop acc_rel (r :: acc_reports) rest)
+  in
+  match loop None [] (Ucq.disjuncts u) with
+  | Ok (Some rel, reports) -> Ok (rel, reports)
+  | Ok (None, _) -> invalid_arg "Answer.answer_union: empty union"
+  | Error f -> Error f
+
+let decode env rel = Relation.decode_rows (Store.dictionary env.store) rel
+
+let pp_report ppf r =
+  let detail ppf = function
+    | Reformulated d ->
+      Fmt.pf ppf "cover %a, %d disjuncts in %d fragments, fragment sizes [%a]"
+        Cover.pp d.cover d.jucq_size d.n_fragments
+        (Fmt.list ~sep:(Fmt.any "; ") Fmt.int)
+        d.fragment_cardinalities
+    | Saturated info ->
+      Fmt.pf ppf "saturation %d → %d triples" info.Refq_saturation.Saturate.input_triples
+        info.Refq_saturation.Saturate.output_triples
+    | Datalog_run stats ->
+      Fmt.pf ppf "datalog: %d facts derived in %d iterations"
+        stats.Refq_datalog.Datalog.derived stats.Refq_datalog.Datalog.iterations
+  in
+  Fmt.pf ppf "%a: %d answers (reform %.3fs, eval %.3fs; %a)" Strategy.pp
+    r.strategy
+    (Relation.cardinality r.answers)
+    r.reformulation_s r.evaluation_s detail r.detail

@@ -1,0 +1,109 @@
+(** Unified query answering: one entry point running any {!Strategy}.
+
+    This is the demonstration's engine room: given a store (whose RDFS
+    triples are its constraints) and a CQ, [answer] runs the selected
+    technique and reports the answers together with the per-phase timings
+    and reformulation metrics the demo GUI displays (evaluation runtime,
+    reformulation sizes, chosen covers, GCov's explored space, saturation
+    statistics). *)
+
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+open Refq_engine
+open Refq_cost
+
+type env
+(** A prepared database: the store, its schema closure, its statistics,
+    and a lazily computed, cached saturation (shared by repeated
+    [Saturation] runs, as a real Sat deployment would). *)
+
+val make_env : Store.t -> env
+
+val store : env -> Store.t
+
+val closure : env -> Closure.t
+
+val card_env : env -> Cardinality.env
+
+val saturated : env -> Store.t * Refq_saturation.Saturate.info
+(** The saturation of the store (computed on first use, then cached). *)
+
+val invalidate : env -> env
+(** Rebuild closure, statistics and cached saturation after the underlying
+    store changed (demo step 4: modify data or constraints, re-run). *)
+
+type backend =
+  | Nested_loop  (** index nested loops + hash joins ({!Refq_engine.Evaluator}) *)
+  | Sort_merge  (** materialize + sort-merge joins ({!Refq_engine.Sortmerge}) *)
+
+type detail =
+  | Reformulated of {
+      cover : Cover.t;
+      jucq_size : int;  (** total CQ disjuncts across fragments *)
+      n_fragments : int;
+      fragment_cardinalities : int list;
+          (** materialized fragment sizes, in fragment order — Example 1
+              reports these (33,328,108 vs 2,296...) *)
+      gcov : Gcov.trace option;  (** present for the [Gcov] strategy *)
+    }
+  | Saturated of Refq_saturation.Saturate.info
+  | Datalog_run of Refq_datalog.Datalog.stats
+
+type report = {
+  strategy : Strategy.t;
+  answers : Relation.t;
+  reformulation_s : float;
+      (** reformulation / cover search / saturation / program build time *)
+  evaluation_s : float;
+  detail : detail;
+}
+
+val n_answers : report -> int
+
+type failure = {
+  f_strategy : Strategy.t;
+  reason : string;  (** e.g. reformulation exceeded the size limit *)
+  f_reformulation_s : float;
+}
+
+val answer :
+  ?profile:Refq_reform.Profiles.t ->
+  ?params:Cost_model.params ->
+  ?minimize:bool ->
+  ?backend:backend ->
+  ?max_disjuncts:int ->
+  env ->
+  Cq.t ->
+  Strategy.t ->
+  (report, failure) result
+(** Run one strategy. [max_disjuncts] (default 200,000) bounds
+    reformulation sizes; exceeding it yields [Error] — modelling Example
+    1's unparseable 318,096-CQ union rather than aborting the process.
+    [minimize] (default [false]) drops containment-redundant disjuncts
+    from each fragment UCQ before evaluation (fragments above 2,000
+    disjuncts are left as-is: minimization is quadratic). [backend]
+    (default [Nested_loop]) selects the physical engine — the paper runs
+    every strategy on several systems to show the trade-offs are
+    engine-independent. *)
+
+val answer_union :
+  ?profile:Refq_reform.Profiles.t ->
+  ?params:Cost_model.params ->
+  ?minimize:bool ->
+  ?backend:backend ->
+  ?max_disjuncts:int ->
+  env ->
+  Ucq.t ->
+  Strategy.t ->
+  (Relation.t * report list, failure) result
+(** Answer a union of BGP queries (the paper's full dialect): each
+    disjunct is answered independently with the chosen strategy and the
+    answers are unioned — answering commutes with union. Returns the
+    merged, duplicate-free relation and the per-disjunct reports. *)
+
+val decode : env -> Relation.t -> Term.t list list
+(** Decoded, sorted, distinct answer rows. *)
+
+val pp_report : report Fmt.t

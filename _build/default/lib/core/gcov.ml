@@ -1,0 +1,157 @@
+open Refq_query
+open Refq_cost
+open Refq_reform
+
+let src = Logs.Src.create "refq.gcov" ~doc:"greedy cover search"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type step = {
+  cover : Cover.t;
+  estimate : Cost_model.estimate;
+  accepted : bool;
+}
+
+type trace = {
+  chosen : Cover.t;
+  chosen_estimate : Cost_model.estimate;
+  explored : step list;
+  iterations : int;
+}
+
+(* Fragment reformulations and their priced profiles only depend on the
+   fragment's atom set, not on the enclosing cover, so both are cached
+   across the candidate covers of a search. *)
+let make_estimator ?profile ?params ?max_disjuncts env cl q =
+  let cache : (int list, Cost_model.fragment_profile option) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let profile_of frag =
+    match Hashtbl.find_opt cache frag with
+    | Some p -> p
+    | None ->
+      let p =
+        match Reformulate.fragment_ucq ?profile ?max_disjuncts cl q frag with
+        | f -> Some (Cost_model.fragment_profile ?params env f)
+        | exception Reformulate.Too_large _ -> None
+      in
+      Hashtbl.add cache frag p;
+      p
+  in
+  fun cover ->
+    let profiles = List.map profile_of (Cover.fragments cover) in
+    if List.exists Option.is_none profiles then
+      { Cost_model.cost = infinity; card = 0.0 }
+    else Cost_model.combine ?params (List.filter_map Fun.id profiles)
+
+(* Candidate moves from a cover: add one atom to one fragment, where the
+   atom shares a variable with the fragment (disconnected additions only
+   create cartesian products and never help). *)
+let moves q cover =
+  let atoms = Array.of_list q.Cq.body in
+  let frags = Cover.fragments cover in
+  List.concat
+    (List.mapi
+       (fun fi frag ->
+         let frag_vars =
+           List.concat_map (fun i -> Cq.atom_vars atoms.(i)) frag
+         in
+         List.init (Array.length atoms) Fun.id
+         |> List.filter_map (fun ai ->
+                if List.mem ai frag then None
+                else if
+                  List.exists
+                    (fun v -> List.mem v frag_vars)
+                    (Cq.atom_vars atoms.(ai))
+                then Some (Cover.normalize (Cover.add_atom cover ~frag:fi ~atom:ai))
+                else None))
+       frags)
+
+let search ?profile ?params ?max_disjuncts env cl q =
+  let n_atoms = List.length q.Cq.body in
+  let est = make_estimator ?profile ?params ?max_disjuncts env cl q in
+  let seen = Hashtbl.create 32 in
+  let key cover = Cover.fragments cover in
+  let explored = ref [] in
+  let record cover estimate accepted =
+    explored := { cover; estimate; accepted } :: !explored
+  in
+  let start = Cover.singleton ~n_atoms in
+  let start_est = est start in
+  Hashtbl.replace seen (key start) ();
+  record start start_est true;
+  let rec loop current current_est iterations =
+    let candidates =
+      List.filter
+        (fun c ->
+          if Hashtbl.mem seen (key c) then false
+          else begin
+            Hashtbl.replace seen (key c) ();
+            true
+          end)
+        (moves q current)
+    in
+    let best =
+      List.fold_left
+        (fun acc cover ->
+          let e = est cover in
+          let better =
+            match acc with
+            | Some (_, be) -> e.Cost_model.cost < be.Cost_model.cost
+            | None -> true
+          in
+          (* Record now, mark accepted later through the recursion. *)
+          record cover e false;
+          if better then Some (cover, e) else acc)
+        None candidates
+    in
+    (match best with
+    | Some (cover, e) ->
+      Log.debug (fun m ->
+          m "round %d: best move %a (%.0f vs current %.0f)" iterations
+            Cover.pp cover e.Cost_model.cost current_est.Cost_model.cost)
+    | None -> Log.debug (fun m -> m "round %d: no unseen moves" iterations));
+    match best with
+    | Some (cover, e) when e.Cost_model.cost < current_est.Cost_model.cost ->
+      (* Mark the accepted step. *)
+      explored :=
+        List.map
+          (fun s ->
+            if Cover.equal s.cover cover && s.estimate == e then
+              { s with accepted = true }
+            else s)
+          !explored;
+      loop cover e (iterations + 1)
+    | Some _ | None -> (current, current_est, iterations)
+  in
+  let chosen, chosen_estimate, iterations = loop start start_est 1 in
+  { chosen; chosen_estimate; explored = List.rev !explored; iterations }
+
+(* All set partitions: each element joins an existing block or opens a new
+   one. Bell(10) = 115,975 is the guard ceiling. *)
+let partitions n =
+  if n <= 0 || n > 10 then invalid_arg "Gcov.partitions: n must be in [1, 10]";
+  let rec place i blocks =
+    if i = n then [ blocks ]
+    else
+      let with_existing =
+        List.concat_map
+          (fun b ->
+            place (i + 1)
+              (List.map (fun b' -> if b' == b then i :: b' else b') blocks))
+          blocks
+      in
+      let with_new = place (i + 1) ([ i ] :: blocks) in
+      with_existing @ with_new
+  in
+  place 0 []
+
+let exhaustive ?profile ?params ?max_disjuncts env cl q =
+  let n_atoms = List.length q.Cq.body in
+  let est = make_estimator ?profile ?params ?max_disjuncts env cl q in
+  partitions n_atoms
+  |> List.map (fun blocks ->
+         let cover = Cover.make ~n_atoms blocks in
+         (cover, est cover))
+  |> List.sort (fun (_, e1) (_, e2) ->
+         Float.compare e1.Cost_model.cost e2.Cost_model.cost)

@@ -1,0 +1,57 @@
+(** GCov: greedy cost-based cover selection (Section 4 of the paper).
+
+    GCov starts with the cover where each atom is alone in a fragment (the
+    SCQ point of the space) and greedily adds an atom to a fragment when
+    the cost model suggests the new cover leads to a more efficient query
+    answering strategy, until no move improves the estimate. The search
+    trace (every candidate cover with its estimated cost) is kept so the
+    demonstration can display "the space of explored alternatives, and
+    their estimated costs" (Section 5, step 3). *)
+
+open Refq_query
+open Refq_schema
+open Refq_cost
+
+type step = {
+  cover : Cover.t;
+  estimate : Cost_model.estimate;
+  accepted : bool;  (** whether this candidate became the current cover *)
+}
+
+type trace = {
+  chosen : Cover.t;
+  chosen_estimate : Cost_model.estimate;
+  explored : step list;  (** every candidate evaluated, in search order *)
+  iterations : int;  (** greedy rounds performed *)
+}
+
+val search :
+  ?profile:Refq_reform.Profiles.t ->
+  ?params:Cost_model.params ->
+  ?max_disjuncts:int ->
+  Cardinality.env ->
+  Closure.t ->
+  Cq.t ->
+  trace
+(** Run the greedy search for a query. Covers whose reformulation exceeds
+    [max_disjuncts] get infinite cost (they are infeasible, like the
+    unparseable UCQ of Example 1). *)
+
+val partitions : int -> int list list list
+(** All set partitions of [{0, ..., n-1}] (Bell(n) of them) — the
+    non-overlapping covers. Guarded to [n ≤ 10]. Exposed for the
+    exhaustive-search ablation. *)
+
+val exhaustive :
+  ?profile:Refq_reform.Profiles.t ->
+  ?params:Cost_model.params ->
+  ?max_disjuncts:int ->
+  Cardinality.env ->
+  Closure.t ->
+  Cq.t ->
+  (Cover.t * Cost_model.estimate) list
+(** Price {e every} partition cover of the query (cheapest first) — the
+    brute-force baseline GCov's greedy walk is measured against in the
+    ablation experiment. Note that GCov's space also contains overlapping
+    covers (Example 1's best cover overlaps), so the greedy result can be
+    strictly better than the best partition. *)

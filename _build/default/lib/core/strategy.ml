@@ -1,0 +1,32 @@
+open Refq_query
+
+type t =
+  | Saturation
+  | Ucq
+  | Scq
+  | Jucq of Cover.t
+  | Gcov
+  | Datalog
+
+let name = function
+  | Saturation -> "sat"
+  | Ucq -> "ucq"
+  | Scq -> "scq"
+  | Jucq _ -> "jucq"
+  | Gcov -> "gcov"
+  | Datalog -> "datalog"
+
+let pp ppf = function
+  | Jucq cover -> Fmt.pf ppf "jucq%a" Cover.pp cover
+  | s -> Fmt.string ppf (name s)
+
+let all_fixed = [ Saturation; Ucq; Scq; Gcov; Datalog ]
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "sat" | "saturation" -> Ok Saturation
+  | "ucq" -> Ok Ucq
+  | "scq" -> Ok Scq
+  | "gcov" -> Ok Gcov
+  | "dat" | "datalog" -> Ok Datalog
+  | other -> Error (Printf.sprintf "unknown strategy %S" other)

@@ -1,0 +1,29 @@
+(** Query answering strategies — the alternatives the demonstration
+    compares.
+
+    [Saturation] is the Sat technique; the [Ref] strategies differ only in
+    the query cover they reformulate through (Section 5: "our demo
+    represents them by the corresponding covers"); [Gcov] searches the
+    cover space with the cost model; [Datalog] is the Dat technique. *)
+
+open Refq_query
+
+type t =
+  | Saturation  (** evaluate [q] against [G∞] *)
+  | Ucq  (** one-fragment cover: classical CQ-to-UCQ reformulation [9] *)
+  | Scq  (** singleton cover: semi-conjunctive queries [15] *)
+  | Jucq of Cover.t  (** a user-chosen cover *)
+  | Gcov  (** greedy cost-based cover selection [5] *)
+  | Datalog  (** encode to Datalog, evaluate bottom-up (LogicBlox stand-in) *)
+
+val name : t -> string
+
+val pp : t Fmt.t
+
+val all_fixed : t list
+(** The strategies that need no user input: [Saturation; Ucq; Scq; Gcov;
+    Datalog]. *)
+
+val of_string : string -> (t, string) result
+(** Parses ["sat"], ["ucq"], ["scq"], ["gcov"], ["datalog"] (case
+    insensitive). [Jucq] covers cannot be parsed from a name. *)

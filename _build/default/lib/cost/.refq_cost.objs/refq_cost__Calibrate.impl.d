@@ -1,0 +1,1 @@
+lib/cost/calibrate.ml: Cardinality Cost_model Cq Float Hashtbl Option Refq_query Refq_storage Refq_util Store Sys

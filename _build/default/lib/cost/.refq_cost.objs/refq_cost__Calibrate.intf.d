@@ -1,0 +1,1 @@
+lib/cost/calibrate.mli: Cardinality Cost_model

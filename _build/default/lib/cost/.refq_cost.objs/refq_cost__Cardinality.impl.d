@@ -1,0 +1,1 @@
+lib/cost/cardinality.ml: Cq List Map Option Refq_query Refq_storage Stats Store String

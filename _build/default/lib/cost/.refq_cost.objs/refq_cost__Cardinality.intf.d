@@ -1,0 +1,1 @@
+lib/cost/cardinality.mli: Cq Map Refq_query Refq_storage

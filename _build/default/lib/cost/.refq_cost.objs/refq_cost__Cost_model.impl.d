@@ -1,0 +1,1 @@
+lib/cost/cost_model.ml: Cardinality Cq Fmt Hashtbl Jucq List Option Printf Refq_query Ucq

@@ -1,0 +1,1 @@
+lib/cost/plan.ml: Cardinality Cost_model Cq Float Fmt Jucq List Option Refq_query String Ucq

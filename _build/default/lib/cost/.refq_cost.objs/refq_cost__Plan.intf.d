@@ -1,0 +1,1 @@
+lib/cost/plan.mli: Cardinality Cost_model Cq Fmt Jucq Refq_query

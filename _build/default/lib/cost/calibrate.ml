@@ -1,0 +1,90 @@
+open Refq_query
+open Refq_storage
+
+type measurement = {
+  probe_ns : float;
+  tuple_ns : float;
+  hash_ns : float;
+  cq_overhead_ns : float;
+}
+
+let time_ns f =
+  (* Monotonic-ish: Sys.time is CPU time, adequate for tight loops. *)
+  let reps = 3 in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Sys.time () in
+    f ();
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9
+
+let measure env =
+  let store = env.Cardinality.store in
+  if Store.size store = 0 then invalid_arg "Calibrate.measure: empty store";
+  Store.freeze store;
+  (* Pick a property id that exists, for realistic probes. *)
+  let some_p = ref None in
+  Store.iter_all store (fun _ p _ -> if !some_p = None then some_p := Some p);
+  let p = Option.get !some_p in
+  let n_probe = 20_000 in
+  let probe_ns =
+    time_ns (fun () ->
+        for _ = 1 to n_probe do
+          ignore (Store.count_pattern store ~s:None ~p:(Some p) ~o:None)
+        done)
+    /. float_of_int n_probe
+  in
+  let n_tuple = 200_000 in
+  let tuple_ns =
+    let v = Refq_util.Int_vec.create () in
+    time_ns (fun () ->
+        Refq_util.Int_vec.clear v;
+        for i = 1 to n_tuple do
+          Refq_util.Int_vec.push v i
+        done)
+    /. float_of_int n_tuple
+  in
+  let n_hash = 100_000 in
+  let hash_ns =
+    let tbl = Hashtbl.create 1024 in
+    time_ns (fun () ->
+        Hashtbl.reset tbl;
+        for i = 1 to n_hash do
+          Hashtbl.replace tbl (i land 4095) i
+        done)
+    /. float_of_int n_hash
+  in
+  (* End-to-end cost of one (empty-ish) CQ evaluation: plan + setup. *)
+  let tiny =
+    Cq.make
+      ~head:[ Cq.var "x" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x")
+            (Cq.cst (Store.decode_id store p))
+            (Cq.var "y");
+        ]
+  in
+  let n_cq = 200 in
+  let per_cq =
+    time_ns (fun () ->
+        for _ = 1 to n_cq do
+          ignore (Cardinality.order_atoms env tiny.Cq.body)
+        done)
+    /. float_of_int n_cq
+  in
+  { probe_ns; tuple_ns; hash_ns; cq_overhead_ns = per_cq }
+
+let params_of_measurement ?(base = Cost_model.default_params) m =
+  let unit = Float.max 1e-3 m.tuple_ns in
+  {
+    base with
+    Cost_model.c_probe = Float.max 0.1 (m.probe_ns /. unit);
+    c_tuple = 1.0;
+    c_hash = Float.max 0.1 (m.hash_ns /. unit);
+    c_cq_overhead = Float.max 1.0 (m.cq_overhead_ns /. unit);
+  }
+
+let calibrate ?base env = params_of_measurement ?base (measure env)

@@ -1,0 +1,27 @@
+(** Cost-model calibration.
+
+    The companion paper fits the cost function's constants to each RDBMS it
+    drives. This module does the same for the in-process engine: it times
+    the three primitive operations the model charges for — an index probe,
+    producing a tuple, and a hash build/probe — on the actual store, and
+    rescales {!Cost_model.params} so that one cost unit ≈ one produced
+    tuple with the measured relative weights. The per-CQ overhead is
+    measured by evaluating a trivial one-atom query end to end. *)
+
+type measurement = {
+  probe_ns : float;
+  tuple_ns : float;
+  hash_ns : float;
+  cq_overhead_ns : float;
+}
+
+val measure : Cardinality.env -> measurement
+(** Time the primitives on the given store (microsecond-scale loops; takes
+    well under a second). The store must be non-empty. *)
+
+val params_of_measurement : ?base:Cost_model.params -> measurement -> Cost_model.params
+(** Rescale [base] (default {!Cost_model.default_params}) to the measured
+    relative weights, keeping [c_tuple = 1.0] as the unit. *)
+
+val calibrate : ?base:Cost_model.params -> Cardinality.env -> Cost_model.params
+(** [params_of_measurement (measure env)]. *)

@@ -1,0 +1,150 @@
+open Refq_query
+open Refq_storage
+
+type env = {
+  store : Store.t;
+  stats : Stats.t;
+}
+
+let make_env store = { store; stats = Stats.compute store }
+
+module Smap = Map.Make (String)
+
+type state = {
+  card : float;
+  distincts : float Smap.t;
+}
+
+let initial = { card = 1.0; distincts = Smap.empty }
+
+let distinct_of_var st v =
+  Option.value ~default:st.card (Smap.find_opt v st.distincts)
+
+(* Per-position distinct-value estimates for an atom whose property is
+   [p_id] (when known). *)
+let pos_distincts env p_id =
+  let stats = env.stats in
+  match p_id with
+  | Some p -> (
+    match Stats.prop_stat stats p with
+    | Some ps -> (float_of_int ps.Stats.distinct_s, float_of_int ps.Stats.distinct_o)
+    | None -> (1.0, 1.0))
+  | None ->
+    ( float_of_int (max 1 (Stats.n_distinct_subjects stats)),
+      float_of_int (max 1 (Stats.n_distinct_objects stats)) )
+
+let id_of env = function
+  | Cq.Cst t -> Some (Store.find_term env.store t)
+  | Cq.Var _ -> None
+
+(* Exact count of triples matching the constant part of the atom, from the
+   store indexes. An absent constant yields 0. *)
+let base_count env (a : Cq.atom) =
+  let resolve = function
+    | Cq.Cst t -> (
+      match Store.find_term env.store t with
+      | Some id -> `Bound id
+      | None -> `Absent)
+    | Cq.Var _ -> `Free
+  in
+  match resolve a.s, resolve a.p, resolve a.o with
+  | `Absent, _, _ | _, `Absent, _ | _, _, `Absent -> 0.0
+  | rs, rp, ro ->
+    let opt = function `Bound id -> Some id | `Free -> None | `Absent -> None in
+    float_of_int (Store.count_pattern env.store ~s:(opt rs) ~p:(opt rp) ~o:(opt ro))
+
+let atom_extension_state env st (a : Cq.atom) =
+  let base = base_count env a in
+  if base = 0.0 then 0.0
+  else begin
+    let p_id = match id_of env a.p with Some (Some id) -> Some id | _ -> None in
+    let ds, d_o = pos_distincts env p_id in
+    let bound v = Smap.mem v st.distincts in
+    (* Selectivity of a position occupied by an already-bound variable. *)
+    let sel pos_distinct = 1.0 /. max 1.0 pos_distinct in
+    let dp = float_of_int (max 1 (Stats.n_distinct_properties env.stats)) in
+    let factor =
+      (match a.s with Cq.Var v when bound v -> sel ds | _ -> 1.0)
+      *. (match a.p with Cq.Var v when bound v -> sel dp | _ -> 1.0)
+      *. (match a.o with Cq.Var v when bound v -> sel d_o | _ -> 1.0)
+    in
+    (* Repeated variable inside the atom (e.g. [x p x]): extra equality
+       selectivity on the second occurrence. *)
+    let rep =
+      match a.s, a.o with
+      | Cq.Var v1, Cq.Var v2 when String.equal v1 v2 && not (bound v1) -> sel d_o
+      | _ -> 1.0
+    in
+    base *. factor *. rep
+  end
+
+let atom_extension env st a = atom_extension_state env st a
+
+let extend env st (a : Cq.atom) =
+  let ext = atom_extension_state env st a in
+  let card = st.card *. ext in
+  let p_id = match id_of env a.p with Some (Some id) -> Some id | _ -> None in
+  let ds, d_o = pos_distincts env p_id in
+  let dp = float_of_int (max 1 (Stats.n_distinct_properties env.stats)) in
+  let bind pos_distinct v distincts =
+    if Smap.mem v distincts then distincts
+    else Smap.add v (max 1.0 (min card pos_distinct)) distincts
+  in
+  let distincts = st.distincts in
+  let distincts =
+    match a.s with Cq.Var v -> bind ds v distincts | Cq.Cst _ -> distincts
+  in
+  let distincts =
+    match a.p with Cq.Var v -> bind dp v distincts | Cq.Cst _ -> distincts
+  in
+  let distincts =
+    match a.o with Cq.Var v -> bind d_o v distincts | Cq.Cst _ -> distincts
+  in
+  { card; distincts }
+
+let order_atoms env atoms =
+  let rec loop st remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      (* Prefer atoms connected to the bound variables (avoid cartesian
+         products), then the smallest estimated extension. *)
+      let connected a =
+        Smap.is_empty st.distincts
+        || List.exists (fun v -> Smap.mem v st.distincts) (Cq.atom_vars a)
+        || Cq.atom_vars a = []
+      in
+      let candidates =
+        match List.filter connected remaining with
+        | [] -> remaining
+        | cs -> cs
+      in
+      let best =
+        List.fold_left
+          (fun acc a ->
+            let ext = atom_extension_state env st a in
+            match acc with
+            | Some (_, best_ext) when best_ext <= ext -> acc
+            | _ -> Some (a, ext))
+          None candidates
+      in
+      let a, _ = Option.get best in
+      let remaining = List.filter (fun a' -> a' != a) remaining in
+      loop (extend env st a) remaining (a :: acc)
+  in
+  loop initial atoms []
+
+let cq env q =
+  let ordered = order_atoms env q.Cq.body in
+  let st = List.fold_left (extend env) initial ordered in
+  (* Projection with duplicate elimination caps the result by the product
+     of the head variables' distinct-value estimates. *)
+  let cap =
+    List.fold_left
+      (fun acc pat ->
+        match pat with
+        | Cq.Var v -> acc *. distinct_of_var st v
+        | Cq.Cst _ -> acc)
+      1.0 q.Cq.head
+  in
+  min st.card cap

@@ -1,0 +1,46 @@
+(** Cardinality estimation.
+
+    Standard database-textbook estimates over the store's statistics:
+    exact index counts for the constant part of a triple pattern, uniform
+    selectivities ([1 / distinct]) for positions occupied by
+    already-bound variables, and the [min]-of-distincts rule for joins.
+    These estimates feed both the cost model and the evaluation engine's
+    greedy atom ordering. *)
+
+open Refq_query
+
+type env = {
+  store : Refq_storage.Store.t;
+  stats : Refq_storage.Stats.t;
+}
+
+val make_env : Refq_storage.Store.t -> env
+(** Computes statistics for the store. *)
+
+module Smap : Map.S with type key = string
+
+type state = {
+  card : float;  (** estimated intermediate-result cardinality *)
+  distincts : float Smap.t;  (** per bound variable: estimated distinct values *)
+}
+
+val initial : state
+
+val atom_extension : env -> state -> Cq.atom -> float
+(** Estimated number of matching triples for the atom, per intermediate
+    tuple of [state] (bound variables contribute their selectivity). *)
+
+val extend : env -> state -> Cq.atom -> state
+(** State after joining the atom into the intermediate result. *)
+
+val order_atoms : env -> Cq.atom list -> Cq.atom list
+(** Greedy sideways-information-passing order: repeatedly pick the atom
+    with the smallest {!atom_extension} under the variables bound so far.
+    This is the single atom-ordering heuristic, shared by the cost model
+    and the execution engine so that estimated and actual plans match. *)
+
+val cq : env -> Cq.t -> float
+(** Estimated number of (distinct) answers of the CQ. *)
+
+val distinct_of_var : state -> string -> float
+(** Distinct-value estimate of a bound variable (defaults to [card]). *)

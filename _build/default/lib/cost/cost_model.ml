@@ -1,0 +1,191 @@
+open Refq_query
+
+type params = {
+  c_probe : float;
+  c_tuple : float;
+  c_hash : float;
+  c_cq_overhead : float;
+  max_disjuncts : int;
+}
+
+let default_params =
+  {
+    c_probe = 2.0;
+    c_tuple = 1.0;
+    c_hash = 1.5;
+    c_cq_overhead = 25.0;
+    max_disjuncts = 100_000;
+  }
+
+type estimate = {
+  cost : float;
+  card : float;
+}
+
+let pp_estimate ppf e = Fmt.pf ppf "cost=%.1f card=%.1f" e.cost e.card
+
+(* Cost of one CQ along the greedy index-nested-loop plan: at each step,
+   one index probe per intermediate tuple plus one charge per produced
+   tuple. Returns the final cardinality state as well, for fragment
+   profiling. *)
+let cq_plan params env q =
+  let ordered = Cardinality.order_atoms env q.Cq.body in
+  let cost = ref 0.0 in
+  let st =
+    List.fold_left
+      (fun st a ->
+        let st' = Cardinality.extend env st a in
+        cost := !cost +. (st.Cardinality.card *. params.c_probe)
+                +. (st'.Cardinality.card *. params.c_tuple);
+        st')
+      Cardinality.initial ordered
+  in
+  (!cost, st)
+
+let cq ?(params = default_params) env q =
+  let cost, _st = cq_plan params env q in
+  { cost; card = Cardinality.cq env q }
+
+and cq_state params env q = cq_plan params env q
+
+(* Profile of a materialized UCQ: cost, output cardinality, and per output
+   column an estimated number of distinct values. Column names are given
+   positionally by [out]. *)
+let ucq_profile params env ~out u =
+  let disjuncts = Ucq.disjuncts u in
+  if List.length disjuncts > params.max_disjuncts then
+    (infinity, 0.0, fun _ -> 1.0)
+  else begin
+    let cost = ref 0.0 in
+    let card = ref 0.0 in
+    let col_distinct = Hashtbl.create 8 in
+    List.iter
+      (fun q ->
+        let c, st = cq_state params env q in
+        let q_card = Cardinality.cq env q in
+        cost := !cost +. params.c_cq_overhead +. c;
+        card := !card +. q_card;
+        List.iteri
+          (fun i pat ->
+            match List.nth_opt out i with
+            | None -> ()
+            | Some col ->
+              let d =
+                match pat with
+                | Cq.Var v -> min q_card (Cardinality.distinct_of_var st v)
+                | Cq.Cst _ -> 1.0
+              in
+              Hashtbl.replace col_distinct col
+                (d +. Option.value ~default:0.0 (Hashtbl.find_opt col_distinct col)))
+          q.Cq.head)
+      disjuncts;
+    (* Materialization with duplicate elimination. *)
+    cost := !cost +. (!card *. params.c_hash);
+    let distinct col =
+      match Hashtbl.find_opt col_distinct col with
+      | Some d -> max 1.0 (min !card d)
+      | None -> max 1.0 !card
+    in
+    (!cost, !card, distinct)
+  end
+
+let ucq ?(params = default_params) env u =
+  let out = List.init (Ucq.arity u) (fun i -> Printf.sprintf "c%d" i) in
+  let cost, card, _ = ucq_profile params env ~out u in
+  { cost; card }
+
+type fragment_profile = string list * float * float * (string -> float)
+
+let fragment_profile ?(params = default_params) env (f : Jucq.fragment) =
+  let cost, card, distinct = ucq_profile params env ~out:f.Jucq.out f.Jucq.ucq in
+  (f.Jucq.out, cost, card, distinct)
+
+let combine ?(params = default_params) fragments =
+  if List.exists (fun (_, c, _, _) -> c = infinity) fragments then
+    { cost = infinity; card = 0.0 }
+  else begin
+    let total_frag_cost =
+      List.fold_left (fun acc (_, c, _, _) -> acc +. c) 0.0 fragments
+    in
+    (* Left-deep hash join: smallest fragment first, then greedily the
+       smallest fragment sharing a column with the accumulated ones —
+       mirroring the engine's join order so that estimated and actual
+       plans coincide. *)
+    let shares cols (out, _, _, _) = List.exists (fun c -> List.mem c cols) out in
+    let smallest fs =
+      List.fold_left
+        (fun acc ((_, _, c, _) as f) ->
+          match acc with
+          | Some (_, _, bc, _) when bc <= c -> acc
+          | _ -> Some f)
+        None fs
+    in
+    let order =
+      match smallest fragments with
+      | None -> []
+      | Some first ->
+        let rec loop cols remaining acc =
+          match remaining with
+          | [] -> List.rev acc
+          | _ ->
+            let connected = List.filter (shares cols) remaining in
+            let pick =
+              Option.get (smallest (if connected = [] then remaining else connected))
+            in
+            let remaining = List.filter (fun f -> f != pick) remaining in
+            let pick_cols, _, _, _ = pick in
+            loop
+              (pick_cols @ List.filter (fun c -> not (List.mem c pick_cols)) cols)
+              remaining (pick :: acc)
+        in
+        let rest = List.filter (fun f -> f != first) fragments in
+        let first_cols, _, _, _ = first in
+        loop first_cols rest [ first ]
+    in
+    match order with
+    | [] -> { cost = 0.0; card = 0.0 }
+    | (out0, _, card0, distinct0) :: rest ->
+      let join_cost = ref 0.0 in
+      let acc_cols = ref out0 in
+      let acc_card = ref card0 in
+      let acc_distinct = Hashtbl.create 8 in
+      List.iter (fun c -> Hashtbl.replace acc_distinct c (distinct0 c)) out0;
+      List.iter
+        (fun (cols, _, card, distinct) ->
+          let shared = List.filter (fun c -> List.mem c !acc_cols) cols in
+          (* build smaller side + probe larger side *)
+          join_cost :=
+            !join_cost
+            +. ((!acc_card +. card) *. params.c_hash);
+          let out_card =
+            List.fold_left
+              (fun acc c ->
+                let va =
+                  Option.value ~default:!acc_card (Hashtbl.find_opt acc_distinct c)
+                in
+                acc /. max 1.0 (max va (distinct c)))
+              (!acc_card *. card) shared
+          in
+          join_cost := !join_cost +. (out_card *. params.c_tuple);
+          List.iter
+            (fun c ->
+              let d =
+                match Hashtbl.find_opt acc_distinct c with
+                | Some va -> min va (distinct c)
+                | None -> distinct c
+              in
+              Hashtbl.replace acc_distinct c (min d out_card))
+            cols;
+          acc_cols := !acc_cols @ List.filter (fun c -> not (List.mem c !acc_cols)) cols;
+          acc_card := out_card)
+        rest;
+      (* Final projection + duplicate elimination on the head. *)
+      let proj_cost = !acc_card *. params.c_hash in
+      {
+        cost = total_frag_cost +. !join_cost +. proj_cost;
+        card = !acc_card;
+      }
+  end
+
+let jucq ?(params = default_params) env (j : Jucq.t) =
+  combine ~params (List.map (fragment_profile ~params env) j.Jucq.fragments)

@@ -1,0 +1,62 @@
+(** The cost model (function [c] of the paper, Section 4).
+
+    For a JUCQ [q], [c] returns the estimated cost of evaluating it through
+    the RDBMS-style engine storing the database. Following the paper we use
+    database-textbook formulas combining per-tuple scan/probe CPU charges
+    with materialization charges; the crucial structural terms are:
+
+    - a fixed per-CQ overhead — a union of 318,096 CQs is syntactically
+      huge and costs a fortune before reading a single tuple (Example 1's
+      "could not even be parsed");
+    - index-probe and tuple charges along the engine's greedy
+      index-nested-loop plan of each CQ;
+    - hash-join build/probe charges between materialized fragment results,
+      so that fragments with huge results (SCQ's 33M-tuple atom unions)
+      are penalized. *)
+
+open Refq_query
+
+type params = {
+  c_probe : float;  (** one index binary-search probe *)
+  c_tuple : float;  (** producing / scanning one tuple *)
+  c_hash : float;  (** one hash-table build or probe *)
+  c_cq_overhead : float;  (** fixed per-disjunct (parse/plan/setup) charge *)
+  max_disjuncts : int;
+      (** reformulations beyond this size are deemed infeasible
+          (cost [infinity]) — models the paper's parser failure *)
+}
+
+val default_params : params
+
+type estimate = {
+  cost : float;  (** abstract cost units *)
+  card : float;  (** estimated output cardinality *)
+}
+
+val pp_estimate : estimate Fmt.t
+
+val cq : ?params:params -> Cardinality.env -> Cq.t -> estimate
+(** Cost of one CQ along the engine's greedy plan (without the per-CQ
+    overhead, which belongs to the enclosing union). *)
+
+val ucq : ?params:params -> Cardinality.env -> Ucq.t -> estimate
+(** Cost of evaluating and materializing a UCQ (all disjuncts plus
+    duplicate elimination). [cost = infinity] when the union exceeds
+    [max_disjuncts]. *)
+
+val jucq : ?params:params -> Cardinality.env -> Jucq.t -> estimate
+(** Cost of a JUCQ: every fragment's {!ucq} cost plus a left-deep
+    hash-join of the materialized fragments (smallest-connected-first, the
+    engine's order), plus the final projection. *)
+
+type fragment_profile
+(** Priced fragment: output columns, cost, cardinality and per-column
+    distinct estimates. Profiles are independent of the enclosing cover,
+    so GCov caches them across candidate covers. *)
+
+val fragment_profile :
+  ?params:params -> Cardinality.env -> Jucq.fragment -> fragment_profile
+
+val combine : ?params:params -> fragment_profile list -> estimate
+(** The JUCQ estimate for a cover made of the given fragments;
+    [jucq env j] = [combine (List.map (fragment_profile env) j.fragments)]. *)

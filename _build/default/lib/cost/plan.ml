@@ -1,0 +1,106 @@
+open Refq_query
+
+type step = {
+  atom : Cq.atom;
+  extension : float;
+  cardinality : float;
+}
+
+type cq_plan = {
+  steps : step list;
+  answers : float;
+}
+
+let explain_cq env q =
+  let ordered = Cardinality.order_atoms env q.Cq.body in
+  let _, steps =
+    List.fold_left
+      (fun (st, steps) atom ->
+        let extension = Cardinality.atom_extension env st atom in
+        let st' = Cardinality.extend env st atom in
+        (st', { atom; extension; cardinality = st'.Cardinality.card } :: steps))
+      (Cardinality.initial, []) ordered
+  in
+  { steps = List.rev steps; answers = Cardinality.cq env q }
+
+type fragment_plan = {
+  out : string list;
+  disjuncts : int;
+  est_cost : float;
+  est_card : float;
+}
+
+type jucq_plan = {
+  fragments : fragment_plan list;
+  est_total : Cost_model.estimate;
+}
+
+let explain_jucq ?params env (j : Jucq.t) =
+  let plans =
+    List.map
+      (fun f ->
+        let e = Cost_model.ucq ?params env f.Jucq.ucq in
+        {
+          out = f.Jucq.out;
+          disjuncts = Ucq.size f.Jucq.ucq;
+          est_cost = e.Cost_model.cost;
+          est_card = e.Cost_model.card;
+        })
+      j.Jucq.fragments
+  in
+  (* Report fragments in the engine's join order: smallest first, then
+     smallest sharing a column. *)
+  let rec order cols remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let connected =
+        List.filter
+          (fun f -> List.exists (fun c -> List.mem c cols) f.out)
+          remaining
+      in
+      let candidates = if connected = [] then remaining else connected in
+      let pick =
+        List.fold_left
+          (fun acc f ->
+            match acc with
+            | Some best when best.est_card <= f.est_card -> acc
+            | _ -> Some f)
+          None candidates
+        |> Option.get
+      in
+      order
+        (pick.out @ List.filter (fun c -> not (List.mem c pick.out)) cols)
+        (List.filter (fun f -> f != pick) remaining)
+        (pick :: acc)
+  in
+  let ordered =
+    match
+      List.sort (fun f1 f2 -> Float.compare f1.est_card f2.est_card) plans
+    with
+    | [] -> []
+    | first :: _ ->
+      order first.out (List.filter (fun f -> f != first) plans) [ first ]
+  in
+  { fragments = ordered; est_total = Cost_model.jucq ?params env j }
+
+let pp_cq_plan ppf p =
+  Fmt.pf ppf "@[<v>";
+  List.iteri
+    (fun i s ->
+      Fmt.pf ppf "%2d. %-50s ×%-10.1f → %.1f@," (i + 1)
+        (Fmt.str "%a" Cq.pp_atom s.atom)
+        s.extension s.cardinality)
+    p.steps;
+  Fmt.pf ppf "    estimated distinct answers: %.1f@]" p.answers
+
+let pp_jucq_plan ppf p =
+  Fmt.pf ppf "@[<v>";
+  List.iteri
+    (fun i f ->
+      Fmt.pf ppf "%2d. fragment(%s): %d disjuncts, est. cost %.0f, est. card %.0f@,"
+        (i + 1)
+        (String.concat ", " f.out)
+        f.disjuncts f.est_cost f.est_card)
+    p.fragments;
+  Fmt.pf ppf "    total: %a@]" Cost_model.pp_estimate p.est_total

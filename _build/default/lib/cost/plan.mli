@@ -1,0 +1,41 @@
+(** Logical plan inspection (demo step 3: "inspect the chosen query plan;
+    cardinalities and costs of (sub)queries").
+
+    A plan records the greedy atom order the engine will execute for a CQ,
+    with the estimated extension factor and intermediate cardinality at
+    each step, and — for JUCQs — the per-fragment profiles and the
+    fragment join order. *)
+
+open Refq_query
+
+type step = {
+  atom : Cq.atom;
+  extension : float;  (** estimated matches per intermediate tuple *)
+  cardinality : float;  (** estimated intermediate size after this step *)
+}
+
+type cq_plan = {
+  steps : step list;
+  answers : float;  (** estimated distinct answers *)
+}
+
+val explain_cq : Cardinality.env -> Cq.t -> cq_plan
+
+type fragment_plan = {
+  out : string list;
+  disjuncts : int;
+  est_cost : float;
+  est_card : float;
+}
+
+type jucq_plan = {
+  fragments : fragment_plan list;  (** in join order (smallest-connected-first) *)
+  est_total : Cost_model.estimate;
+}
+
+val explain_jucq :
+  ?params:Cost_model.params -> Cardinality.env -> Jucq.t -> jucq_plan
+
+val pp_cq_plan : cq_plan Fmt.t
+
+val pp_jucq_plan : jucq_plan Fmt.t

@@ -1,0 +1,1 @@
+lib/datalog/datalog.ml: Array Fmt Hashtbl List Option Printf

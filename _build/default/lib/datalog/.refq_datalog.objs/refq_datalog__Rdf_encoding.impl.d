@@ -1,0 +1,1 @@
+lib/datalog/rdf_encoding.ml: Array Cq Datalog Hashtbl List Printf Refq_engine Refq_query Refq_rdf Refq_storage Store Vocab

@@ -1,0 +1,1 @@
+lib/datalog/rdf_encoding.mli: Cq Datalog Refq_engine Refq_query Refq_storage Store

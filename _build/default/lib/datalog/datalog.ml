@@ -1,0 +1,259 @@
+type term =
+  | Var of string
+  | Cst of int
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type rule = {
+  head : atom;
+  body : atom list;
+}
+
+let atom pred args = { pred; args }
+
+let rule head body =
+  if body = [] then invalid_arg "Datalog.rule: empty body";
+  let body_vars =
+    List.concat_map
+      (fun a -> List.filter_map (function Var v -> Some v | Cst _ -> None) a.args)
+      body
+  in
+  List.iter
+    (function
+      | Var v when not (List.mem v body_vars) ->
+        invalid_arg (Printf.sprintf "Datalog.rule: unsafe head variable %S" v)
+      | Var _ | Cst _ -> ())
+    head.args;
+  { head; body }
+
+let pp_term ppf = function
+  | Var v -> Fmt.pf ppf "?%s" v
+  | Cst c -> Fmt.int ppf c
+
+let pp_atom ppf a =
+  Fmt.pf ppf "%s(%a)" a.pred (Fmt.list ~sep:Fmt.comma pp_term) a.args
+
+let pp_rule ppf r =
+  Fmt.pf ppf "%a :- %a" pp_atom r.head (Fmt.list ~sep:Fmt.comma pp_atom) r.body
+
+(* ------------------------------------------------------------------ *)
+(* Database                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Db = struct
+  type pred_data = {
+    mutable all : int array list;
+    seen : (int array, unit) Hashtbl.t;
+    by_pos : (int * int, int array list ref) Hashtbl.t;
+        (** (argument position, value) → matching tuples *)
+  }
+
+  type t = (string, pred_data) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let pred_data db pred =
+    match Hashtbl.find_opt db pred with
+    | Some pd -> pd
+    | None ->
+      let pd = { all = []; seen = Hashtbl.create 64; by_pos = Hashtbl.create 64 } in
+      Hashtbl.add db pred pd;
+      pd
+
+  let mem db pred tuple =
+    match Hashtbl.find_opt db pred with
+    | None -> false
+    | Some pd -> Hashtbl.mem pd.seen tuple
+
+  let add_fact db pred tuple =
+    let pd = pred_data db pred in
+    if not (Hashtbl.mem pd.seen tuple) then begin
+      Hashtbl.add pd.seen tuple ();
+      pd.all <- tuple :: pd.all;
+      Array.iteri
+        (fun pos v ->
+          match Hashtbl.find_opt pd.by_pos (pos, v) with
+          | Some l -> l := tuple :: !l
+          | None -> Hashtbl.add pd.by_pos (pos, v) (ref [ tuple ]))
+        tuple
+    end
+
+  let tuples db pred =
+    match Hashtbl.find_opt db pred with None -> [] | Some pd -> pd.all
+
+  let cardinality db pred =
+    match Hashtbl.find_opt db pred with
+    | None -> 0
+    | Some pd -> Hashtbl.length pd.seen
+
+  (* Tuples matching a set of (position, value) constraints: scan the
+     smallest single-position bucket and filter by the rest. *)
+  let select db pred constraints =
+    match Hashtbl.find_opt db pred with
+    | None -> []
+    | Some pd -> (
+      match constraints with
+      | [] -> pd.all
+      | _ ->
+        let bucket_of (pos, v) =
+          match Hashtbl.find_opt pd.by_pos (pos, v) with
+          | Some l -> !l
+          | None -> []
+        in
+        let best =
+          List.fold_left
+            (fun acc c ->
+              let b = bucket_of c in
+              match acc with
+              | Some (_, len) when len <= List.length b -> acc
+              | _ -> Some (b, List.length b))
+            None constraints
+        in
+        let bucket = match best with Some (b, _) -> b | None -> [] in
+        List.filter
+          (fun t -> List.for_all (fun (pos, v) -> t.(pos) = v) constraints)
+          bucket)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Semi-naive evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  iterations : int;
+  derived : int;
+}
+
+(* Compiled rule: variables mapped to slots of an environment array. *)
+type carg =
+  | Cslot of int
+  | Cconst of int
+
+type catom = {
+  cpred : string;
+  cargs : carg array;
+}
+
+let compile_rule r =
+  let slots = Hashtbl.create 8 in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length slots in
+      Hashtbl.add slots v i;
+      i
+  in
+  let compile_atom a =
+    {
+      cpred = a.pred;
+      cargs =
+        Array.of_list
+          (List.map
+             (function Var v -> Cslot (slot_of v) | Cst c -> Cconst c)
+             a.args);
+    }
+  in
+  let body = List.map compile_atom r.body in
+  let head = compile_atom r.head in
+  (head, Array.of_list body, Hashtbl.length slots)
+
+let eval rules db =
+  let compiled = List.map compile_rule rules in
+  (* Initial delta: everything currently in the database. *)
+  let delta : (string, int array list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun pred (pd : Db.pred_data) -> Hashtbl.replace delta pred pd.Db.all)
+    db;
+  let derived = ref 0 in
+  let iterations = ref 0 in
+  let next_delta : (string, int array list) Hashtbl.t = Hashtbl.create 16 in
+  let emit pred tuple =
+    if not (Db.mem db pred tuple) then begin
+      Db.add_fact db pred tuple;
+      incr derived;
+      let prev = Option.value ~default:[] (Hashtbl.find_opt next_delta pred) in
+      Hashtbl.replace next_delta pred (tuple :: prev)
+    end
+  in
+  let delta_tuples pred =
+    Option.value ~default:[] (Hashtbl.find_opt delta pred)
+  in
+  (* Evaluate one rule with body atom [pin] ranging over the delta. *)
+  let eval_rule (head, body, nslots) pin =
+    let env = Array.make (max nslots 1) 0 in
+    let bound = Array.make (max nslots 1) false in
+    let rec solve j =
+      if j = Array.length body then begin
+        let tuple =
+          Array.map
+            (function Cslot i -> env.(i) | Cconst c -> c)
+            head.cargs
+        in
+        emit head.cpred tuple
+      end
+      else begin
+        let a = body.(j) in
+        let constraints = ref [] in
+        Array.iteri
+          (fun pos arg ->
+            match arg with
+            | Cconst c -> constraints := (pos, c) :: !constraints
+            | Cslot i -> if bound.(i) then constraints := (pos, env.(i)) :: !constraints)
+          a.cargs;
+        let candidates =
+          if j = pin then
+            (* The delta side is filtered, not indexed. *)
+            List.filter
+              (fun t -> List.for_all (fun (pos, v) -> t.(pos) = v) !constraints)
+              (delta_tuples a.cpred)
+          else Db.select db a.cpred !constraints
+        in
+        List.iter
+          (fun t ->
+            if Array.length t = Array.length a.cargs then begin
+              let newly = ref [] in
+              let ok = ref true in
+              Array.iteri
+                (fun pos arg ->
+                  if !ok then
+                    match arg with
+                    | Cconst c -> if t.(pos) <> c then ok := false
+                    | Cslot i ->
+                      if bound.(i) then begin
+                        if env.(i) <> t.(pos) then ok := false
+                      end
+                      else begin
+                        env.(i) <- t.(pos);
+                        bound.(i) <- true;
+                        newly := i :: !newly
+                      end)
+                a.cargs;
+              if !ok then solve (j + 1);
+              List.iter (fun i -> bound.(i) <- false) !newly
+            end)
+          candidates
+      end
+    in
+    solve 0
+  in
+  let rec loop () =
+    incr iterations;
+    Hashtbl.reset next_delta;
+    List.iter
+      (fun ((_, body, _) as cr) ->
+        for pin = 0 to Array.length body - 1 do
+          eval_rule cr pin
+        done)
+      compiled;
+    if Hashtbl.length next_delta > 0 then begin
+      Hashtbl.reset delta;
+      Hashtbl.iter (fun k v -> Hashtbl.replace delta k v) next_delta;
+      loop ()
+    end
+  in
+  loop ();
+  { iterations = !iterations; derived = !derived }

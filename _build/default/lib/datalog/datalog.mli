@@ -1,0 +1,55 @@
+(** A positive Datalog engine with semi-naive bottom-up evaluation.
+
+    This is the stand-in for the LogicBlox engine used by the paper's [Dat]
+    query answering technique: RDF data, constraints and the query are
+    encoded into a Datalog program ({!Rdf_encoding}) and evaluated
+    bottom-up. Constants are plain integers (the caller typically passes
+    dictionary ids). *)
+
+type term =
+  | Var of string
+  | Cst of int
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type rule = {
+  head : atom;
+  body : atom list;  (** non-empty; pure positive conjunction *)
+}
+
+val atom : string -> term list -> atom
+
+val rule : atom -> atom list -> rule
+(** @raise Invalid_argument if the rule is unsafe (a head variable missing
+    from the body) or the body is empty. *)
+
+val pp_atom : atom Fmt.t
+
+val pp_rule : rule Fmt.t
+
+(** Extensional + intensional database under evaluation. *)
+module Db : sig
+  type t
+
+  val create : unit -> t
+
+  val add_fact : t -> string -> int array -> unit
+  (** Insert a tuple into a predicate (deduplicated). *)
+
+  val tuples : t -> string -> int array list
+  (** Current tuples of a predicate (empty list when absent). *)
+
+  val cardinality : t -> string -> int
+end
+
+type stats = {
+  iterations : int;  (** semi-naive rounds until fixpoint *)
+  derived : int;  (** facts derived (beyond the EDB) *)
+}
+
+val eval : rule list -> Db.t -> stats
+(** Run semi-naive evaluation of the rules over the database, in place,
+    until fixpoint. *)

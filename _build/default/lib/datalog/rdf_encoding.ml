@@ -1,0 +1,101 @@
+open Refq_rdf
+open Refq_query
+open Refq_storage
+
+let v name = Datalog.Var name
+
+let rdfs_rules store =
+  let c term = Datalog.Cst (Store.encode_term store term) in
+  let ty = c Vocab.rdf_type in
+  let sc = c Vocab.rdfs_subclassof in
+  let sp = c Vocab.rdfs_subpropertyof in
+  let dom = c Vocab.rdfs_domain in
+  let rng = c Vocab.rdfs_range in
+  let sat args = Datalog.atom "sat" args in
+  [
+    (* Every explicit triple is entailed. *)
+    Datalog.rule (sat [ v "s"; v "p"; v "o" ])
+      [ Datalog.atom "triple" [ v "s"; v "p"; v "o" ] ];
+    (* rdfs9: subclass propagation on class assertions *)
+    Datalog.rule (sat [ v "s"; ty; v "c2" ])
+      [ sat [ v "s"; ty; v "c1" ]; sat [ v "c1"; sc; v "c2" ] ];
+    (* rdfs7: subproperty propagation on assertions *)
+    Datalog.rule (sat [ v "s"; v "p2"; v "o" ])
+      [ sat [ v "s"; v "p1"; v "o" ]; sat [ v "p1"; sp; v "p2" ] ];
+    (* rdfs2 / rdfs3: domain and range typing *)
+    Datalog.rule (sat [ v "s"; ty; v "c" ])
+      [ sat [ v "s"; v "p"; v "o" ]; sat [ v "p"; dom; v "c" ] ];
+    Datalog.rule (sat [ v "o"; ty; v "c" ])
+      [ sat [ v "s"; v "p"; v "o" ]; sat [ v "p"; rng; v "c" ] ];
+    (* rdfs11 / rdfs5: transitivity of the hierarchies *)
+    Datalog.rule (sat [ v "c1"; sc; v "c3" ])
+      [ sat [ v "c1"; sc; v "c2" ]; sat [ v "c2"; sc; v "c3" ] ];
+    Datalog.rule (sat [ v "p1"; sp; v "p3" ])
+      [ sat [ v "p1"; sp; v "p2" ]; sat [ v "p2"; sp; v "p3" ] ];
+    (* ext: domain/range inheritance along subproperties *)
+    Datalog.rule (sat [ v "p1"; dom; v "c" ])
+      [ sat [ v "p1"; sp; v "p2" ]; sat [ v "p2"; dom; v "c" ] ];
+    Datalog.rule (sat [ v "p1"; rng; v "c" ])
+      [ sat [ v "p1"; sp; v "p2" ]; sat [ v "p2"; rng; v "c" ] ];
+    (* ext: domain/range propagation along subclasses *)
+    Datalog.rule (sat [ v "p"; dom; v "c2" ])
+      [ sat [ v "p"; dom; v "c1" ]; sat [ v "c1"; sc; v "c2" ] ];
+    Datalog.rule (sat [ v "p"; rng; v "c2" ])
+      [ sat [ v "p"; rng; v "c1" ]; sat [ v "c1"; sc; v "c2" ] ];
+  ]
+
+exception Absent
+
+let query_rule store q =
+  let pat_term = function
+    | Cq.Var x -> Datalog.Var x
+    | Cq.Cst t -> (
+      match Store.find_term store t with
+      | Some id -> Datalog.Cst id
+      | None -> raise Absent)
+  in
+  match
+    let body =
+      List.map
+        (fun a ->
+          Datalog.atom "sat" [ pat_term a.Cq.s; pat_term a.Cq.p; pat_term a.Cq.o ])
+        q.Cq.body
+    in
+    let head =
+      Datalog.atom "ans"
+        (List.map
+           (function
+             | Cq.Var x -> Datalog.Var x
+             | Cq.Cst t -> Datalog.Cst (Store.encode_term store t))
+           q.Cq.head)
+    in
+    (* An empty body (possible on reformulation tautologies, not on user
+       queries) cannot be expressed as a Datalog rule; reject it here. *)
+    if body = [] then invalid_arg "Rdf_encoding.query_rule: empty body";
+    Datalog.rule head body
+  with
+  | r -> Some r
+  | exception Absent -> None
+
+let answer store q =
+  let db = Datalog.Db.create () in
+  Store.iter_all store (fun s p o -> Datalog.Db.add_fact db "triple" [| s; p; o |]);
+  let rules = rdfs_rules store in
+  let cols =
+    Array.of_list (List.mapi (fun i _ -> Printf.sprintf "c%d" i) q.Cq.head)
+  in
+  match query_rule store q with
+  | None ->
+    (Refq_engine.Relation.create ~cols, { Datalog.iterations = 0; derived = 0 })
+  | Some qr ->
+    let stats = Datalog.eval (rules @ [ qr ]) db in
+    let rel = Refq_engine.Relation.create ~cols in
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun tuple ->
+        if not (Hashtbl.mem seen tuple) then begin
+          Hashtbl.add seen tuple ();
+          Refq_engine.Relation.add_row rel tuple
+        end)
+      (Datalog.Db.tuples db "ans");
+    (rel, stats)

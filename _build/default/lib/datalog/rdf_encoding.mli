@@ -1,0 +1,25 @@
+(** The [Dat] query answering technique: encoding RDF data, constraints and
+    queries into Datalog programs (the demonstration's LogicBlox stand-in).
+
+    The encoding uses a single ternary EDB predicate [triple(s,p,o)], an
+    IDB predicate [sat(s,p,o)] axiomatized with the RDFS entailment rules
+    of the DB fragment, and one rule per query mapping the query's triple
+    patterns onto [sat]. Bottom-up evaluation then computes exactly
+    [q(G∞)]. *)
+
+open Refq_query
+open Refq_storage
+
+val rdfs_rules : Store.t -> Datalog.rule list
+(** The RDFS program over [triple]/[sat] (rdfs2/3/5/7/9/11 plus domain and
+    range inheritance/propagation), with RDFS vocabulary constants encoded
+    through the store's dictionary. *)
+
+val query_rule : Store.t -> Cq.t -> Datalog.rule option
+(** The [ans(x̄) :- sat(...), ...] rule for a CQ. [None] when a query
+    constant is absent from the store's dictionary (the answer is then
+    necessarily empty). Head constants are encoded (allocating ids). *)
+
+val answer : Store.t -> Cq.t -> Refq_engine.Relation.t * Datalog.stats
+(** Answer a CQ by the full Dat pipeline: load [triple], run the program,
+    read [ans]. The relation's columns are positional ([c0], [c1], ...). *)

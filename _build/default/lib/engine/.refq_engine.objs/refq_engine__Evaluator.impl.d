@@ -1,0 +1,1 @@
+lib/engine/evaluator.ml: Array Cardinality Cq Hashtbl Jucq List Option Printf Refq_cost Refq_query Refq_storage Refq_util Relation Seq Store String Ucq

@@ -1,0 +1,1 @@
+lib/engine/naive.ml: Cq Graph Jucq List Map Option Refq_query Refq_rdf String Term Triple Ucq

@@ -1,0 +1,1 @@
+lib/engine/naive.mli: Cq Graph Jucq Refq_query Refq_rdf Term Ucq

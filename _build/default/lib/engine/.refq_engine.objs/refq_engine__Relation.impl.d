@@ -1,0 +1,1 @@
+lib/engine/relation.ml: Array Dictionary Fmt Hashtbl List Refq_rdf Refq_storage Refq_util String Term

@@ -1,0 +1,1 @@
+lib/engine/relation.mli: Dictionary Fmt Refq_rdf Refq_storage Term

@@ -1,0 +1,1 @@
+lib/engine/results.ml: Array Buffer Char Dictionary List Printf Refq_rdf Refq_storage Relation String Term

@@ -1,0 +1,1 @@
+lib/engine/results.mli: Dictionary Refq_storage Relation

@@ -1,0 +1,1 @@
+lib/engine/sortmerge.ml: Array Cardinality Cq Evaluator Hashtbl Int Jucq List Option Printf Refq_cost Refq_query Refq_storage Relation Seq Store String Ucq

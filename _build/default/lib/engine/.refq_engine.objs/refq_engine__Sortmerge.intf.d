@@ -1,0 +1,1 @@
+lib/engine/sortmerge.mli: Cardinality Cq Jucq Refq_cost Refq_query Relation Ucq

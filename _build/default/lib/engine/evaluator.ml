@@ -1,0 +1,321 @@
+open Refq_query
+open Refq_storage
+open Refq_cost
+module Int_vec = Refq_util.Int_vec
+
+(* ------------------------------------------------------------------ *)
+(* CQ evaluation: index nested loops over partial binding tuples       *)
+(* ------------------------------------------------------------------ *)
+
+type slot =
+  | Const of int  (** encoded constant *)
+  | Bound of int  (** variable slot bound by an earlier atom *)
+  | Free of int  (** variable slot first bound by this position *)
+  | Check of int
+      (** repeated occurrence, within one atom, of a variable first bound
+          by an earlier position of the same atom: cannot constrain the
+          index lookup, verified after the match instead *)
+
+exception Absent_constant
+
+let default_cols q =
+  Array.of_list
+    (List.mapi
+       (fun i pat ->
+         match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+       q.Cq.head)
+
+let cq env ?cols q =
+  let store = env.Cardinality.store in
+  let cols = match cols with Some c -> c | None -> default_cols q in
+  if Array.length cols <> List.length q.Cq.head then
+    invalid_arg "Evaluator.cq: column/head arity mismatch";
+  let result = Relation.create ~cols in
+  match
+    let ordered = Cardinality.order_atoms env q.Cq.body in
+    (* Slot assignment: one slot per body variable, in binding order. *)
+    let slots = Hashtbl.create 8 in
+    let slot_of v =
+      match Hashtbl.find_opt slots v with
+      | Some i -> i
+      | None ->
+        let i = Hashtbl.length slots in
+        Hashtbl.add slots v i;
+        i
+    in
+    let bound = Hashtbl.create 8 in
+    let encode_pat freed pat =
+      match pat with
+      | Cq.Cst t -> (
+        match Store.find_term store t with
+        | Some id -> Const id
+        | None -> raise Absent_constant)
+      | Cq.Var v ->
+        if Hashtbl.mem freed v then Check (slot_of v)
+        else if Hashtbl.mem bound v then Bound (slot_of v)
+        else begin
+          Hashtbl.add bound v ();
+          Hashtbl.add freed v ();
+          Free (slot_of v)
+        end
+    in
+    let steps =
+      List.map
+        (fun a ->
+          (* Positional order s, p, o; a variable repeated within the atom
+             becomes [Check] on its later positions. *)
+          let freed = Hashtbl.create 4 in
+          let s = encode_pat freed a.Cq.s in
+          let p = encode_pat freed a.Cq.p in
+          let o = encode_pat freed a.Cq.o in
+          (s, p, o))
+        ordered
+    in
+    (steps, slot_of)
+  with
+  | exception Absent_constant -> result (* a constant outside the store *)
+  | steps, slot_of ->
+    let nslots =
+      List.fold_left
+        (fun acc (s, p, o) ->
+          let m acc = function
+            | Free i | Bound i | Check i -> max acc (i + 1)
+            | Const _ -> acc
+          in
+          m (m (m acc s) p) o)
+        0 steps
+    in
+    let width = max nslots 1 in
+    (* Partial binding tuples, flattened. *)
+    let current = ref (Int_vec.create ()) in
+    Int_vec.append_array !current (Array.make width 0);
+    let ncur = ref 1 in
+    let row = Array.make width 0 in
+    List.iter
+      (fun (s, p, o) ->
+        let next = Int_vec.create () in
+        let nnext = ref 0 in
+        let sel tuple = function
+          | Const id -> Some id
+          | Bound i -> Some tuple.(i)
+          | Free _ | Check _ -> None
+        in
+        for t = 0 to !ncur - 1 do
+          Int_vec.blit_to !current (t * width) row 0 width;
+          Store.iter_pattern store ~s:(sel row s) ~p:(sel row p) ~o:(sel row o)
+            (fun ts tp to_ ->
+              (* Write the freshly bound slots, then verify within-atom
+                 repeated-variable constraints. *)
+              (match s with
+              | Free i -> row.(i) <- ts
+              | Const _ | Bound _ | Check _ -> ());
+              (match p with
+              | Free i -> row.(i) <- tp
+              | Const _ | Bound _ | Check _ -> ());
+              (match o with
+              | Free i -> row.(i) <- to_
+              | Const _ | Bound _ | Check _ -> ());
+              let checks_ok =
+                (match s with Check i -> row.(i) = ts | _ -> true)
+                && (match p with Check i -> row.(i) = tp | _ -> true)
+                && (match o with Check i -> row.(i) = to_ | _ -> true)
+              in
+              if checks_ok then begin
+                Int_vec.append_array next row;
+                incr nnext
+              end)
+        done;
+        current := next;
+        ncur := !nnext)
+      steps;
+    (* Project the head. *)
+    let head = Array.of_list q.Cq.head in
+    let out_row = Array.make (Array.length head) 0 in
+    let seen = Hashtbl.create 64 in
+    for t = 0 to !ncur - 1 do
+      Int_vec.blit_to !current (t * width) row 0 width;
+      Array.iteri
+        (fun i pat ->
+          match pat with
+          | Cq.Var v -> out_row.(i) <- row.(slot_of v)
+          | Cq.Cst term -> out_row.(i) <- Store.encode_term store term)
+        head;
+      if not (Hashtbl.mem seen out_row) then begin
+        let key = Array.copy out_row in
+        Hashtbl.add seen key ();
+        Relation.add_row result key
+      end
+    done;
+    result
+
+(* ------------------------------------------------------------------ *)
+(* UCQ evaluation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ucq env ~cols u =
+  let result = Relation.create ~cols in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun q ->
+      let r = cq env ~cols q in
+      Relation.iter_rows r (fun row ->
+          if not (Hashtbl.mem seen row) then begin
+            let key = Array.copy row in
+            Hashtbl.add seen key ();
+            Relation.add_row result key
+          end))
+    (Ucq.disjuncts u);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Joins and JUCQ evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let join r1 r2 =
+  (* Build on the smaller side. *)
+  let build, probe = if Relation.cardinality r1 <= Relation.cardinality r2 then (r1, r2) else (r2, r1) in
+  let bcols = Relation.cols build and pcols = Relation.cols probe in
+  let shared =
+    Array.to_list bcols
+    |> List.filter (fun c -> Array.exists (String.equal c) pcols)
+  in
+  let out_cols =
+    Array.append bcols
+      (Array.of_seq
+         (Seq.filter
+            (fun c -> not (Array.exists (String.equal c) bcols))
+            (Array.to_seq pcols)))
+  in
+  let result = Relation.create ~cols:out_cols in
+  let b_shared_idx =
+    List.map (fun c -> Option.get (Relation.col_index build c)) shared
+  in
+  let p_shared_idx =
+    List.map (fun c -> Option.get (Relation.col_index probe c)) shared
+  in
+  let p_extra_idx =
+    Array.to_list pcols
+    |> List.filteri (fun _ _ -> true)
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> not (Array.exists (String.equal c) bcols))
+    |> List.map fst
+  in
+  let key_of row idxs = List.map (fun i -> row.(i)) idxs in
+  let table = Hashtbl.create (max 16 (Relation.cardinality build)) in
+  Relation.iter_rows build (fun row ->
+      let key = key_of row b_shared_idx in
+      let rows = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (Array.copy row :: rows));
+  let out_row = Array.make (Array.length out_cols) 0 in
+  Relation.iter_rows probe (fun prow ->
+      match Hashtbl.find_opt table (key_of prow p_shared_idx) with
+      | None -> ()
+      | Some brows ->
+        List.iter
+          (fun brow ->
+            Array.blit brow 0 out_row 0 (Array.length brow);
+            List.iteri
+              (fun k i -> out_row.(Array.length brow + k) <- prow.(i))
+              p_extra_idx;
+            Relation.add_row result (Array.copy out_row))
+          brows);
+  result
+
+(* Left-deep join order: start from the smallest relation, then greedily
+   take the smallest relation sharing a column with the accumulated ones
+   (falling back to the smallest overall only when the join graph is
+   disconnected) — cartesian products are taken last, when they are
+   unavoidable. *)
+let join_order relations =
+  let shares cols r =
+    Array.exists (fun c -> List.mem c cols) (Relation.cols r)
+  in
+  let smallest rs =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some best
+          when Relation.cardinality best <= Relation.cardinality r -> acc
+        | _ -> Some r)
+      None rs
+  in
+  let rec loop cols remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let connected = List.filter (shares cols) remaining in
+      let pick =
+        match smallest (if connected = [] then remaining else connected) with
+        | Some r -> r
+        | None -> assert false
+      in
+      let remaining = List.filter (fun r -> r != pick) remaining in
+      let cols =
+        Array.to_list (Relation.cols pick)
+        @ List.filter (fun c -> not (Array.exists (String.equal c) (Relation.cols pick))) cols
+      in
+      loop cols remaining (pick :: acc)
+  in
+  match smallest relations with
+  | None -> []
+  | Some first ->
+    loop
+      (Array.to_list (Relation.cols first))
+      (List.filter (fun r -> r != first) relations)
+      [ first ]
+
+let jucq env (j : Jucq.t) =
+  let store = env.Cardinality.store in
+  let fragments =
+    List.map
+      (fun f -> ucq env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
+      j.Jucq.fragments
+  in
+  let head = Array.of_list j.Jucq.head in
+  let out_cols =
+    Array.mapi
+      (fun i pat ->
+        match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+      head
+  in
+  let empty_result () = Relation.create ~cols:out_cols in
+  (* A fragment with an empty result empties the join; an empty-schema
+     (boolean) fragment with rows is a no-op filter. *)
+  if List.exists (fun r -> Relation.cardinality r = 0) fragments then
+    empty_result ()
+  else begin
+    let joinable =
+      List.filter (fun r -> Relation.arity r > 0) fragments
+    in
+    let joined =
+      match join_order joinable with
+      | [] ->
+        (* Purely boolean JUCQ: all fragments non-empty. *)
+        let r = Relation.create ~cols:[||] in
+        Relation.add_row r [||];
+        r
+      | first :: rest -> List.fold_left join first rest
+    in
+    let result = empty_result () in
+    let seen = Hashtbl.create 64 in
+    let out_row = Array.make (Array.length head) 0 in
+    Relation.iter_rows joined (fun row ->
+        Array.iteri
+          (fun i pat ->
+            match pat with
+            | Cq.Var v -> (
+              match Relation.col_index joined v with
+              | Some c -> out_row.(i) <- row.(c)
+              | None ->
+                (* Head variable produced by no fragment: impossible by
+                   [Jucq.make] validation. *)
+                assert false)
+            | Cq.Cst t -> out_row.(i) <- Store.encode_term store t)
+          head;
+        if not (Hashtbl.mem seen out_row) then begin
+          let key = Array.copy out_row in
+          Hashtbl.add seen key ();
+          Relation.add_row result key
+        end);
+    result
+  end

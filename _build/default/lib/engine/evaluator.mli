@@ -1,0 +1,34 @@
+(** Physical evaluation of CQ, UCQ and JUCQ queries against the store.
+
+    CQs run as index nested-loop plans in the greedy order chosen by
+    {!Refq_cost.Cardinality.order_atoms} (the same order the cost model
+    prices). UCQs union their disjuncts with shared duplicate elimination.
+    JUCQs materialize each fragment UCQ and hash-join the fragments in
+    ascending cardinality order — the execution strategy whose cost the
+    paper's function [c] estimates. *)
+
+open Refq_query
+open Refq_cost
+
+val cq : Cardinality.env -> ?cols:string array -> Cq.t -> Relation.t
+(** Evaluate a CQ; the result has one column per head position, named by
+    [cols] when given (default: head variable names, [_k<i>] for constant
+    positions). Results are duplicate-free. *)
+
+val ucq : Cardinality.env -> cols:string array -> Ucq.t -> Relation.t
+(** Evaluate a UCQ; disjunct heads map positionally onto [cols]. *)
+
+val jucq : Cardinality.env -> Jucq.t -> Relation.t
+(** Evaluate a JUCQ: fragments are materialized ({!ucq} with the
+    fragment's output columns), hash-joined on shared column names, and
+    projected on the JUCQ head. *)
+
+val join : Relation.t -> Relation.t -> Relation.t
+(** Natural hash join on shared column names (cartesian product when
+    disjoint). Exposed for tests. *)
+
+val join_order : Relation.t list -> Relation.t list
+(** Left-deep join order: smallest relation first, then greedily the
+    smallest relation sharing a column with the accumulated ones (so
+    cartesian products are deferred until unavoidable). Exposed for reuse
+    by the reporting evaluation path and for tests. *)

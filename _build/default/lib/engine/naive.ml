@@ -1,0 +1,105 @@
+open Refq_rdf
+open Refq_query
+
+module Smap = Map.Make (String)
+
+let match_pat binding pat term =
+  match pat with
+  | Cq.Cst t -> if Term.equal t term then Some binding else None
+  | Cq.Var v -> (
+    match Smap.find_opt v binding with
+    | Some t -> if Term.equal t term then Some binding else None
+    | None -> Some (Smap.add v term binding))
+
+let bindings g body =
+  let rec solve binding = function
+    | [] -> [ binding ]
+    | atom :: rest ->
+      Graph.fold
+        (fun { Triple.s; p; o } acc ->
+          match match_pat binding atom.Cq.s s with
+          | None -> acc
+          | Some b -> (
+            match match_pat b atom.Cq.p p with
+            | None -> acc
+            | Some b -> (
+              match match_pat b atom.Cq.o o with
+              | None -> acc
+              | Some b -> solve b rest @ acc)))
+        g []
+  in
+  solve Smap.empty body
+
+let project head binding =
+  List.map
+    (fun pat ->
+      match pat with
+      | Cq.Cst t -> t
+      | Cq.Var v -> (
+        match Smap.find_opt v binding with
+        | Some t -> t
+        | None -> invalid_arg "Naive: unsafe query"))
+    head
+
+let cq g q =
+  bindings g q.Cq.body
+  |> List.map (project q.Cq.head)
+  |> List.sort_uniq (List.compare Term.compare)
+
+let ucq g u =
+  Ucq.disjuncts u
+  |> List.concat_map (cq g)
+  |> List.sort_uniq (List.compare Term.compare)
+
+(* Fragment answers as partial assignments of their output columns. *)
+let fragment_assignments g (f : Jucq.fragment) =
+  Ucq.disjuncts f.Jucq.ucq
+  |> List.concat_map (fun q ->
+         bindings g q.Cq.body
+         |> List.map (fun b ->
+                List.map2
+                  (fun col pat ->
+                    match pat with
+                    | Cq.Cst t -> (col, t)
+                    | Cq.Var v -> (col, Option.get (Smap.find_opt v b)))
+                  f.Jucq.out q.Cq.head))
+  |> List.sort_uniq (List.compare (fun (c1, t1) (c2, t2) ->
+         let c = String.compare c1 c2 in
+         if c <> 0 then c else Term.compare t1 t2))
+
+let compatible row1 row2 =
+  List.for_all
+    (fun (c, t) ->
+      match List.assoc_opt c row2 with
+      | Some t' -> Term.equal t t'
+      | None -> true)
+    row1
+
+let merge row1 row2 =
+  row1 @ List.filter (fun (c, _) -> not (List.mem_assoc c row1)) row2
+
+let jucq g (j : Jucq.t) =
+  let fragment_rows = List.map (fragment_assignments g) j.Jucq.fragments in
+  let joined =
+    List.fold_left
+      (fun acc rows ->
+        List.concat_map
+          (fun r1 ->
+            List.filter_map
+              (fun r2 -> if compatible r1 r2 then Some (merge r1 r2) else None)
+              rows)
+          acc)
+      [ [] ] fragment_rows
+  in
+  joined
+  |> List.map (fun row ->
+         List.map
+           (fun pat ->
+             match pat with
+             | Cq.Cst t -> t
+             | Cq.Var v -> (
+               match List.assoc_opt v row with
+               | Some t -> t
+               | None -> invalid_arg "Naive.jucq: unproduced head variable"))
+           j.Jucq.head)
+  |> List.sort_uniq (List.compare Term.compare)

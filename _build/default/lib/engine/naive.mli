@@ -1,0 +1,19 @@
+(** Naive reference evaluator.
+
+    Textbook backtracking evaluation of a CQ directly against a
+    term-level graph, with no indexes, no ordering heuristics and no
+    dictionary. Quadratic and slow on purpose: it is the executable
+    specification the optimized engine is property-tested against. *)
+
+open Refq_rdf
+open Refq_query
+
+val cq : Graph.t -> Cq.t -> Term.t list list
+(** Distinct answers in sorted order (same canonical representation as
+    [Relation.decode_rows]). *)
+
+val ucq : Graph.t -> Ucq.t -> Term.t list list
+
+val jucq : Graph.t -> Jucq.t -> Term.t list list
+(** Evaluates each fragment naively and joins the fragment answer sets by
+    brute-force matching on shared variable names. *)

@@ -1,0 +1,75 @@
+open Refq_rdf
+open Refq_storage
+module Int_vec = Refq_util.Int_vec
+
+type t = {
+  cols : string array;
+  data : Int_vec.t;
+  mutable nrows : int;
+}
+
+let create ~cols = { cols; data = Int_vec.create (); nrows = 0 }
+
+let cols r = r.cols
+
+let arity r = Array.length r.cols
+
+let cardinality r = r.nrows
+
+let add_row r row =
+  if Array.length row <> arity r then invalid_arg "Relation.add_row: bad width";
+  Int_vec.append_array r.data row;
+  r.nrows <- r.nrows + 1
+
+let get r ~row ~col = Int_vec.get r.data ((row * arity r) + col)
+
+let iter_rows r f =
+  let w = arity r in
+  let buf = Array.make w 0 in
+  for i = 0 to r.nrows - 1 do
+    if w > 0 then Int_vec.blit_to r.data (i * w) buf 0 w;
+    f buf
+  done
+
+let col_index r name =
+  let rec loop i =
+    if i >= Array.length r.cols then None
+    else if String.equal r.cols.(i) name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let dedup r =
+  let out = create ~cols:r.cols in
+  let seen = Hashtbl.create (max 16 r.nrows) in
+  iter_rows r (fun row ->
+      if not (Hashtbl.mem seen row) then begin
+        let key = Array.copy row in
+        Hashtbl.add seen key ();
+        add_row out key
+      end);
+  out
+
+let truncate r n =
+  let out = create ~cols:r.cols in
+  let kept = ref 0 in
+  iter_rows r (fun row ->
+      if !kept < n then begin
+        incr kept;
+        add_row out (Array.copy row)
+      end);
+  out
+
+let decode_rows dict r =
+  let rows = ref [] in
+  iter_rows r (fun row ->
+      rows := Array.to_list (Array.map (Dictionary.decode dict) row) :: !rows);
+  List.sort_uniq (List.compare Term.compare) !rows
+
+let pp dict ppf r =
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    (Fmt.array ~sep:(Fmt.any " | ") Fmt.string)
+    r.cols
+    (Fmt.list ~sep:Fmt.cut (fun ppf row ->
+         Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any " | ") Term.pp) row))
+    (decode_rows dict r)

@@ -1,0 +1,44 @@
+(** In-memory relations over dictionary-encoded values.
+
+    Tuples are rows of term ids, flattened into one integer stream; columns
+    are named (by query variables for JUCQ fragments, positionally for
+    final answers). Zero-arity (boolean) relations carry only a row
+    count. *)
+
+open Refq_rdf
+open Refq_storage
+
+type t
+
+val create : cols:string array -> t
+
+val cols : t -> string array
+
+val arity : t -> int
+
+val cardinality : t -> int
+
+val add_row : t -> int array -> unit
+(** @raise Invalid_argument when the row width differs from the arity. *)
+
+val get : t -> row:int -> col:int -> int
+
+val iter_rows : t -> (int array -> unit) -> unit
+(** The callback receives a buffer that is {e reused} across rows; copy it
+    if it escapes the callback. *)
+
+val dedup : t -> t
+(** A new relation without duplicate rows (original order of first
+    occurrences). *)
+
+val truncate : t -> int -> t
+(** The first [n] rows (in insertion order) — models endpoints that
+    return only restricted answers, e.g. the first 50. *)
+
+val col_index : t -> string -> int option
+
+val decode_rows : Dictionary.t -> t -> Term.t list list
+(** Decoded rows, in distinct sorted order — the canonical answer-set
+    representation used to compare strategies. *)
+
+val pp : Dictionary.t -> t Fmt.t

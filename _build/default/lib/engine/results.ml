@@ -1,0 +1,109 @@
+open Refq_rdf
+open Refq_storage
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let term_to_json term =
+  match term with
+  | Term.Uri u -> Printf.sprintf {|{"type": "uri", "value": "%s"}|} (json_escape u)
+  | Term.Literal { value; kind = Term.Plain } ->
+    Printf.sprintf {|{"type": "literal", "value": "%s"}|} (json_escape value)
+  | Term.Literal { value; kind = Term.Lang tag } ->
+    Printf.sprintf {|{"type": "literal", "value": "%s", "xml:lang": "%s"}|}
+      (json_escape value) (json_escape tag)
+  | Term.Literal { value; kind = Term.Typed dt } ->
+    Printf.sprintf {|{"type": "literal", "value": "%s", "datatype": "%s"}|}
+      (json_escape value) (json_escape dt)
+  | Term.Bnode label ->
+    Printf.sprintf {|{"type": "bnode", "value": "%s"}|} (json_escape label)
+
+let to_json dict rel =
+  let cols = Relation.cols rel in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf {|{"head": {"vars": [|};
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape c)))
+    cols;
+  Buffer.add_string buf {|]}, "results": {"bindings": [|};
+  let first_row = ref true in
+  Relation.iter_rows rel (fun row ->
+      if not !first_row then Buffer.add_string buf ", ";
+      first_row := false;
+      Buffer.add_char buf '{';
+      Array.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\": %s" (json_escape c)
+               (term_to_json (Dictionary.decode dict row.(i)))))
+        cols;
+      Buffer.add_char buf '}');
+  Buffer.add_string buf "]}}";
+  Buffer.contents buf
+
+(* RFC 4180: quote fields containing commas, quotes or newlines; double
+   embedded quotes. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let lexical = function
+  | Term.Uri u -> u
+  | Term.Literal { value; _ } -> value
+  | Term.Bnode label -> "_:" ^ label
+
+let to_csv dict rel =
+  let cols = Relation.cols rel in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (Array.to_list cols));
+  Buffer.add_string buf "\r\n";
+  Relation.iter_rows rel (fun row ->
+      let fields =
+        Array.to_list
+          (Array.map (fun id -> csv_field (lexical (Dictionary.decode dict id))) row)
+      in
+      Buffer.add_string buf (String.concat "," fields);
+      Buffer.add_string buf "\r\n");
+  Buffer.contents buf
+
+let to_tsv dict rel =
+  let cols = Relation.cols rel in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat "\t" (List.map (fun c -> "?" ^ c) (Array.to_list cols)));
+  Buffer.add_char buf '\n';
+  Relation.iter_rows rel (fun row ->
+      let fields =
+        Array.to_list
+          (Array.map
+             (fun id -> Term.to_string (Dictionary.decode dict id))
+             row)
+      in
+      Buffer.add_string buf (String.concat "\t" fields);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Serialization of query answers.
+
+    W3C SPARQL 1.1 Query Results JSON and CSV/TSV formats, so that refq's
+    answers can be consumed by standard tooling (the demo GUI's tables are
+    exactly such renderings). *)
+
+open Refq_storage
+
+val to_json : Dictionary.t -> Relation.t -> string
+(** SPARQL 1.1 Query Results JSON:
+    [{"head": {"vars": [...]}, "results": {"bindings": [...]}}].
+    Term typing follows the spec: [uri], [literal] (with optional
+    [xml:lang] or [datatype]) and [bnode]. *)
+
+val to_csv : Dictionary.t -> Relation.t -> string
+(** SPARQL 1.1 CSV results: a header of variable names, then one line per
+    row with RFC-4180 quoting; URIs and literals are written as their
+    lexical values, as the spec prescribes. *)
+
+val to_tsv : Dictionary.t -> Relation.t -> string
+(** SPARQL 1.1 TSV results: terms in N-Triples syntax, tab-separated. *)

@@ -1,0 +1,270 @@
+open Refq_query
+open Refq_storage
+open Refq_cost
+
+(* ------------------------------------------------------------------ *)
+(* Sorting helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rows_of rel =
+  let out = Array.make (Relation.cardinality rel) [||] in
+  let i = ref 0 in
+  Relation.iter_rows rel (fun row ->
+      out.(!i) <- Array.copy row;
+      incr i);
+  out
+
+let compare_on idxs r1 r2 =
+  let rec loop = function
+    | [] -> 0
+    | i :: rest ->
+      let c = Int.compare r1.(i) r2.(i) in
+      if c <> 0 then c else loop rest
+  in
+  loop idxs
+
+let compare_rows r1 r2 =
+  let rec loop i =
+    if i >= Array.length r1 then 0
+    else
+      let c = Int.compare r1.(i) r2.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+(* Sorted duplicate elimination into a fresh relation. *)
+let sort_unique ~cols rows =
+  Array.sort compare_rows rows;
+  let rel = Relation.create ~cols in
+  Array.iteri
+    (fun i row ->
+      if i = 0 || compare_rows row rows.(i - 1) <> 0 then
+        Relation.add_row rel row)
+    rows;
+  rel
+
+(* ------------------------------------------------------------------ *)
+(* Sort-merge join                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let merge_join r1 r2 =
+  let cols1 = Relation.cols r1 and cols2 = Relation.cols r2 in
+  let shared =
+    Array.to_list cols1 |> List.filter (fun c -> Array.exists (String.equal c) cols2)
+  in
+  let out_cols =
+    Array.append cols1
+      (Array.of_seq
+         (Seq.filter
+            (fun c -> not (Array.exists (String.equal c) cols1))
+            (Array.to_seq cols2)))
+  in
+  let result = Relation.create ~cols:out_cols in
+  let k1 = List.map (fun c -> Option.get (Relation.col_index r1 c)) shared in
+  let k2 = List.map (fun c -> Option.get (Relation.col_index r2 c)) shared in
+  let extra2 =
+    Array.to_list cols2
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> not (Array.exists (String.equal c) cols1))
+    |> List.map fst
+  in
+  let emit row1 row2 =
+    let out = Array.make (Array.length out_cols) 0 in
+    Array.blit row1 0 out 0 (Array.length row1);
+    List.iteri (fun k i -> out.(Array.length row1 + k) <- row2.(i)) extra2;
+    Relation.add_row result out
+  in
+  let a = rows_of r1 and b = rows_of r2 in
+  if shared = [] then
+    (* Cartesian product (arity-0 sides degenerate to filters). *)
+    Array.iter (fun row1 -> Array.iter (fun row2 -> emit row1 row2) b) a
+  else begin
+    Array.sort (compare_on k1) a;
+    Array.sort (compare_on k2) b;
+    let cmp_keys row1 row2 =
+      let rec loop ks1 ks2 =
+        match ks1, ks2 with
+        | [], [] -> 0
+        | i :: r1', j :: r2' ->
+          let c = Int.compare row1.(i) row2.(j) in
+          if c <> 0 then c else loop r1' r2'
+        | _ -> assert false
+      in
+      loop k1 k2
+    in
+    let na = Array.length a and nb = Array.length b in
+    let i = ref 0 and j = ref 0 in
+    while !i < na && !j < nb do
+      let c = cmp_keys a.(!i) b.(!j) in
+      if c < 0 then incr i
+      else if c > 0 then incr j
+      else begin
+        (* A key group: find its extent on both sides, emit the product. *)
+        let i0 = !i and j0 = !j in
+        while !i < na && cmp_keys a.(!i) b.(j0) = 0 do
+          incr i
+        done;
+        while !j < nb && cmp_keys a.(i0) b.(!j) = 0 do
+          incr j
+        done;
+        for x = i0 to !i - 1 do
+          for y = j0 to !j - 1 do
+            emit a.(x) b.(y)
+          done
+        done
+      end
+    done
+  end;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Atom materialization                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Absent_constant
+
+(* A relation holding the matches of one triple pattern, with one column
+   per distinct variable of the atom. *)
+let materialize_atom env (a : Cq.atom) =
+  let store = env.Cardinality.store in
+  let id_of = function
+    | Cq.Cst t -> (
+      match Store.find_term store t with
+      | Some id -> `Const id
+      | None -> raise Absent_constant)
+    | Cq.Var v -> `Var v
+  in
+  let s = id_of a.Cq.s and p = id_of a.Cq.p and o = id_of a.Cq.o in
+  let vars = Cq.atom_vars a in
+  let rel = Relation.create ~cols:(Array.of_list vars) in
+  let bound = function `Const id -> Some id | `Var _ -> None in
+  let row = Array.make (List.length vars) 0 in
+  let slot v =
+    let rec idx i = function
+      | [] -> assert false
+      | v' :: rest -> if String.equal v v' then i else idx (i + 1) rest
+    in
+    idx 0 vars
+  in
+  Store.iter_pattern store ~s:(bound s) ~p:(bound p) ~o:(bound o)
+    (fun ts tp to_ ->
+      (* Write the variable positions in s, p, o order; a repeated
+         variable's later occurrence must agree with the value already
+         written for this triple. *)
+      let ok = ref true in
+      let seen_slots = Hashtbl.create 4 in
+      List.iter
+        (fun (pat, value) ->
+          match pat with
+          | `Const _ -> ()
+          | `Var v ->
+            let i = slot v in
+            if Hashtbl.mem seen_slots i then begin
+              if row.(i) <> value then ok := false
+            end
+            else begin
+              Hashtbl.add seen_slots i ();
+              row.(i) <- value
+            end)
+        [ (s, ts); (p, tp); (o, to_) ];
+      if !ok then Relation.add_row rel (Array.copy row));
+  rel
+
+let unit_relation () =
+  let r = Relation.create ~cols:[||] in
+  Relation.add_row r [||];
+  r
+
+(* ------------------------------------------------------------------ *)
+(* CQ / UCQ / JUCQ                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let project_rows env head joined =
+  let store = env.Cardinality.store in
+  let head = Array.of_list head in
+  let cols_of_head =
+    Array.mapi
+      (fun i pat ->
+        match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+      head
+  in
+  let rows = rows_of joined in
+  let out =
+    Array.map
+      (fun row ->
+        Array.map
+          (fun pat ->
+            match pat with
+            | Cq.Var v -> row.(Option.get (Relation.col_index joined v))
+            | Cq.Cst t -> Store.encode_term store t)
+          head)
+      rows
+  in
+  sort_unique ~cols:cols_of_head out
+
+let cq env ?cols q =
+  let default_cols =
+    Array.of_list
+      (List.mapi
+         (fun i pat ->
+           match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+         q.Cq.head)
+  in
+  let cols = match cols with Some c -> c | None -> default_cols in
+  match
+    let atoms = List.map (materialize_atom env) q.Cq.body in
+    let joined =
+      match Evaluator.join_order (List.filter (fun r -> Relation.arity r > 0) atoms) with
+      | [] ->
+        if List.exists (fun r -> Relation.cardinality r = 0) atoms then
+          Relation.create ~cols:[||]
+        else unit_relation ()
+      | first :: rest ->
+        if List.exists (fun r -> Relation.cardinality r = 0) atoms then
+          Relation.create ~cols:(Relation.cols first)
+        else List.fold_left merge_join first rest
+    in
+    let projected = project_rows env q.Cq.head joined in
+    (* Rename to the requested column names (arities match). *)
+    let renamed = Relation.create ~cols in
+    Relation.iter_rows projected (fun row -> Relation.add_row renamed (Array.copy row));
+    renamed
+  with
+  | rel -> rel
+  | exception Absent_constant -> Relation.create ~cols
+
+let ucq env ~cols u =
+  let rows =
+    List.concat_map
+      (fun q ->
+        let r = cq env ~cols q in
+        Array.to_list (rows_of r))
+      (Ucq.disjuncts u)
+  in
+  sort_unique ~cols (Array.of_list rows)
+
+let jucq env (j : Jucq.t) =
+  let fragments =
+    List.map
+      (fun f -> ucq env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
+      j.Jucq.fragments
+  in
+  let head = j.Jucq.head in
+  let cols_of_head =
+    Array.of_list
+      (List.mapi
+         (fun i pat ->
+           match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+         head)
+  in
+  if List.exists (fun r -> Relation.cardinality r = 0) fragments then
+    Relation.create ~cols:cols_of_head
+  else begin
+    let joinable = List.filter (fun r -> Relation.arity r > 0) fragments in
+    let joined =
+      match Evaluator.join_order joinable with
+      | [] -> unit_relation ()
+      | first :: rest -> List.fold_left merge_join first rest
+    in
+    project_rows env head joined
+  end

@@ -1,0 +1,25 @@
+(** An alternative physical backend: sort/merge evaluation.
+
+    The demonstration runs every strategy on three different RDBMSs to show
+    that the reformulation trade-offs are engine-independent. This module
+    is the second engine of this reproduction: instead of index
+    nested-loops and hash joins ({!Evaluator}), it materializes each triple
+    pattern, combines relations with sort-merge joins and eliminates
+    duplicates by sorting — a pipeline typical of disk-oriented executors.
+    Same inputs, same answers, different physics. *)
+
+open Refq_query
+open Refq_cost
+
+val cq : Cardinality.env -> ?cols:string array -> Cq.t -> Relation.t
+(** Materialize every atom, sort-merge-join them smallest-connected-first,
+    project and sort-deduplicate. Result is identical (as a set) to
+    {!Evaluator.cq}. *)
+
+val ucq : Cardinality.env -> cols:string array -> Ucq.t -> Relation.t
+
+val jucq : Cardinality.env -> Jucq.t -> Relation.t
+
+val merge_join : Relation.t -> Relation.t -> Relation.t
+(** Sort-merge natural join on shared column names (cartesian product when
+    disjoint). Exposed for tests. *)

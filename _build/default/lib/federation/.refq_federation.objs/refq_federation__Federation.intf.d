@@ -1,0 +1,1 @@
+lib/federation/federation.mli: Closure Cover Cq Dictionary Graph Refq_engine Refq_query Refq_rdf Refq_reform Refq_schema Refq_storage Relation Store Term

@@ -1,0 +1,211 @@
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+open Refq_engine
+open Refq_cost
+open Refq_reform
+
+module Endpoint = struct
+  type t = {
+    name : string;
+    store : Store.t;
+    card_env : Cardinality.env;
+    limit : int option;
+  }
+
+  let name e = e.name
+  let store e = e.store
+  let limit e = e.limit
+end
+
+type t = {
+  dict : Dictionary.t;
+  endpoints : Endpoint.t list;
+  closure : Closure.t;
+  (* Statistics of the (hypothetical) union, used by GCov's cost model —
+     in a real deployment these would come from endpoint service
+     descriptions. *)
+  union_env : Cardinality.env;
+  mutable union_sat_env : Cardinality.env option;
+}
+
+let of_graphs specs =
+  if specs = [] then invalid_arg "Federation.of_graphs: no endpoints";
+  let dict = Dictionary.create () in
+  let union_store = Store.create ~dictionary:dict () in
+  let endpoints =
+    List.map
+      (fun (name, graph, limit) ->
+        let store = Store.create ~dictionary:dict () in
+        Store.add_graph store graph;
+        Store.add_graph union_store graph;
+        {
+          Endpoint.name;
+          store;
+          card_env = Cardinality.make_env store;
+          limit;
+        })
+      specs
+  in
+  let schema =
+    List.fold_left
+      (fun acc e ->
+        Graph.fold
+          (fun t acc ->
+            match Schema.constr_of_triple t with
+            | Some c -> Schema.add c acc
+            | None -> acc)
+          (Store.to_graph e.Endpoint.store)
+          acc)
+      Schema.empty endpoints
+  in
+  {
+    dict;
+    endpoints;
+    closure = Closure.of_schema schema;
+    union_env = Cardinality.make_env union_store;
+    union_sat_env = None;
+  }
+
+let endpoints fed = fed.endpoints
+
+let closure fed = fed.closure
+
+let dictionary fed = fed.dict
+
+type strategy =
+  | Ucq
+  | Scq
+  | Cover of Cover.t
+  | Gcov
+
+(* Send one fragment UCQ to every endpoint; each endpoint evaluates it
+   against its own (non-saturated) triples and applies its answer limit;
+   the federation unions the results. *)
+let eval_fragment fed (f : Jucq.fragment) =
+  let cols = Array.of_list f.Jucq.out in
+  let result = Relation.create ~cols in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let r = Evaluator.ucq e.Endpoint.card_env ~cols f.Jucq.ucq in
+      let r =
+        match e.Endpoint.limit with
+        | Some n -> Relation.truncate r n
+        | None -> r
+      in
+      Relation.iter_rows r (fun row ->
+          if not (Hashtbl.mem seen row) then begin
+            let key = Array.copy row in
+            Hashtbl.add seen key ();
+            Relation.add_row result key
+          end))
+    fed.endpoints;
+  result
+
+let project_head fed head joined =
+  let head = Array.of_list head in
+  let out_cols =
+    Array.mapi
+      (fun i pat ->
+        match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+      head
+  in
+  let result = Relation.create ~cols:out_cols in
+  let seen = Hashtbl.create 64 in
+  let out_row = Array.make (Array.length head) 0 in
+  Relation.iter_rows joined (fun row ->
+      Array.iteri
+        (fun i pat ->
+          match pat with
+          | Cq.Var v ->
+            out_row.(i) <- row.(Option.get (Relation.col_index joined v))
+          | Cq.Cst t -> out_row.(i) <- Dictionary.encode fed.dict t)
+        head;
+      if not (Hashtbl.mem seen out_row) then begin
+        let key = Array.copy out_row in
+        Hashtbl.add seen key ();
+        Relation.add_row result key
+      end);
+  result
+
+let answer_ref ?profile ?(strategy = Scq) ?max_disjuncts fed q =
+  let n_atoms = List.length q.Cq.body in
+  let cover =
+    match strategy with
+    | Ucq -> Refq_query.Cover.one_fragment ~n_atoms
+    | Scq -> Refq_query.Cover.singleton ~n_atoms
+    | Cover c -> c
+    | Gcov ->
+      (* The greedy search prices covers with the union statistics (in a
+         real deployment, endpoint service descriptions). *)
+      let trace =
+        Refq_core.Gcov.search ?profile ?max_disjuncts fed.union_env
+          fed.closure q
+      in
+      trace.Refq_core.Gcov.chosen
+  in
+  let jucq = Reformulate.cover_to_jucq ?profile ?max_disjuncts fed.closure q cover in
+  let fragments = List.map (eval_fragment fed) jucq.Jucq.fragments in
+  if List.exists (fun r -> Relation.cardinality r = 0) fragments then
+    project_head fed jucq.Jucq.head
+      (Relation.create ~cols:[||])
+  else begin
+    let joinable = List.filter (fun r -> Relation.arity r > 0) fragments in
+    let joined =
+      match Evaluator.join_order joinable with
+      | [] ->
+        let r = Relation.create ~cols:[||] in
+        Relation.add_row r [||];
+        r
+      | first :: rest -> List.fold_left Evaluator.join first rest
+    in
+    project_head fed jucq.Jucq.head joined
+  end
+
+let answer_local_sat fed q =
+  let cols =
+    Array.of_list (List.mapi (fun i _ -> Printf.sprintf "c%d" i) q.Cq.head)
+  in
+  let result = Relation.create ~cols in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      (* Each endpoint saturates only its own triples with its own
+         constraints — entailments spanning endpoints are lost. *)
+      let sat = Refq_saturation.Saturate.store e.Endpoint.store in
+      let env = Cardinality.make_env sat in
+      let r = Evaluator.cq env ~cols q in
+      let r =
+        match e.Endpoint.limit with
+        | Some n -> Relation.truncate r n
+        | None -> r
+      in
+      Relation.iter_rows r (fun row ->
+          if not (Hashtbl.mem seen row) then begin
+            let key = Array.copy row in
+            Hashtbl.add seen key ();
+            Relation.add_row result key
+          end))
+    fed.endpoints;
+  result
+
+let answer_centralized fed q =
+  let env =
+    match fed.union_sat_env with
+    | Some env -> env
+    | None ->
+      let sat =
+        Refq_saturation.Saturate.store fed.union_env.Cardinality.store
+      in
+      let env = Cardinality.make_env sat in
+      fed.union_sat_env <- Some env;
+      env
+  in
+  let cols =
+    Array.of_list (List.mapi (fun i _ -> Printf.sprintf "c%d" i) q.Cq.head)
+  in
+  Evaluator.cq env ~cols q
+
+let decode fed r = Relation.decode_rows fed.dict r

@@ -1,0 +1,94 @@
+(** Federations of independent RDF endpoints.
+
+    Section 1 of the paper motivates reformulation with distributed data:
+    "Semantic Web data is often split across independent sources, typically
+    called RDF endpoints. Data in each such independent source may or may
+    not be saturated; further, implicit facts may be due to the presence of
+    one fact in one endpoint, and a constraint in another. Computing the
+    complete (distributed) set of consequences in this setting is
+    unfeasible, especially considering that such sources often return only
+    restricted answers (e.g., the first 50)."
+
+    This module simulates that setting: a federation is a set of endpoints
+    (each a store, with an optional per-query answer limit). Three
+    answering techniques are provided:
+
+    - {!answer_ref}: the reformulation approach — rewrite w.r.t. the
+      {e federation-wide} schema, send each cover-fragment UCQ to every
+      endpoint (each applies its own answer limit), union, and join
+      locally. No endpoint needs to be saturated.
+    - {!answer_local_sat}: the best a saturation-based deployment can do
+      without centralizing data — saturate each endpoint {e independently}
+      and union the per-endpoint answers of the original query. It misses
+      answers whose derivation spans endpoints (a fact here, a constraint
+      there) and answers whose joins span endpoints.
+    - {!answer_centralized}: the hypothetical ground truth — union all
+      data, saturate, evaluate. Used as the reference in tests and
+      benchmarks.
+
+    Endpoints share one dictionary so that relations can be combined. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+open Refq_engine
+
+module Endpoint : sig
+  type t
+
+  val name : t -> string
+
+  val store : t -> Store.t
+
+  val limit : t -> int option
+  (** Maximum number of (distinct) answers this endpoint returns per
+      query sent to it; [None] = unrestricted. *)
+end
+
+type t
+
+val of_graphs : (string * Graph.t * int option) list -> t
+(** [of_graphs [(name, graph, limit); ...]] builds a federation. *)
+
+val endpoints : t -> Endpoint.t list
+
+val closure : t -> Closure.t
+(** The federation-wide schema closure (union of the endpoints' RDFS
+    triples) — the constraints available to the reformulation side. *)
+
+val dictionary : t -> Dictionary.t
+
+type strategy =
+  | Ucq
+  | Scq
+  | Cover of Cover.t
+  | Gcov
+
+val answer_ref :
+  ?profile:Refq_reform.Profiles.t ->
+  ?strategy:strategy ->
+  ?max_disjuncts:int ->
+  t ->
+  Cq.t ->
+  Relation.t
+(** Reformulation-based federated answering. Fragments are evaluated
+    endpoint-locally and unioned, so a fragment only matches triples
+    co-located on one endpoint. With the default [Scq] strategy every
+    fragment is a single triple pattern, hence evaluation is {e exact}
+    w.r.t. the union graph (each explicit triple lives on some endpoint);
+    this is the classical per-triple-pattern federated decomposition.
+    Larger covers ([Gcov], [Cover]) trade that guarantee for smaller
+    intermediate transfers and remain exact when fragment-mates are
+    co-located (e.g. subject-partitioned data).
+    @raise Refq_reform.Reformulate.Too_large like the local pipeline. *)
+
+val answer_local_sat : t -> Cq.t -> Relation.t
+(** Per-endpoint saturation + per-endpoint evaluation of the original
+    query, unioned (with each endpoint's limit applied). Incomplete by
+    construction — the point of the experiment. *)
+
+val answer_centralized : t -> Cq.t -> Relation.t
+(** Ground truth: evaluate over the saturation of the unioned data. *)
+
+val decode : t -> Relation.t -> Term.t list list

@@ -1,0 +1,1 @@
+lib/query/containment.ml: Array Cq Fun Graph List Map Option Refq_rdf Seq String Term Triple Ucq

@@ -1,0 +1,1 @@
+lib/query/containment.mli: Cq Graph Refq_rdf Term Ucq

@@ -1,0 +1,1 @@
+lib/query/cover.ml: Array Cq Fmt Fun Int List Printf

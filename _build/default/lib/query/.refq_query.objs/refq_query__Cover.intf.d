@@ -1,0 +1,1 @@
+lib/query/cover.mli: Cq Fmt

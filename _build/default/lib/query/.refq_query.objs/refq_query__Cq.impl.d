@@ -1,0 +1,1 @@
+lib/query/cq.ml: Fmt List Map Printf Refq_rdf String Term

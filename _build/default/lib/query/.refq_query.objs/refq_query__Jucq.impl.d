@@ -1,0 +1,1 @@
+lib/query/jucq.ml: Cq Fmt List Printf Ucq

@@ -1,0 +1,1 @@
+lib/query/jucq.mli: Cq Fmt Ucq

@@ -1,0 +1,1 @@
+lib/query/sparql.ml: Buffer Cq Fmt Hashtbl List Namespace Printf Refq_rdf String Term Ucq Vocab

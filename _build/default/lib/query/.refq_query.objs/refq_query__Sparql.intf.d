@@ -1,0 +1,1 @@
+lib/query/sparql.mli: Cq Fmt Refq_rdf Ucq

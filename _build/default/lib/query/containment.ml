@@ -1,0 +1,118 @@
+open Refq_rdf
+
+module Smap = Map.Make (String)
+
+(* Try to extend a variable mapping so that pattern [p_from] matches
+   pattern [p_into]. Constants only match equal constants; a variable of
+   [from] may map to any pattern of [into], consistently. *)
+let match_pat mapping p_from p_into =
+  match p_from with
+  | Cq.Cst t -> (
+    match p_into with
+    | Cq.Cst t' when Term.equal t t' -> Some mapping
+    | Cq.Cst _ | Cq.Var _ -> None)
+  | Cq.Var v -> (
+    match Smap.find_opt v mapping with
+    | Some p when Cq.pat_equal p p_into -> Some mapping
+    | Some _ -> None
+    | None -> Some (Smap.add v p_into mapping))
+
+let match_atom mapping (a : Cq.atom) (b : Cq.atom) =
+  Option.bind (match_pat mapping a.Cq.s b.Cq.s) (fun m ->
+      Option.bind (match_pat m a.Cq.p b.Cq.p) (fun m ->
+          match_pat m a.Cq.o b.Cq.o))
+
+let homomorphism ~from ~into =
+  if Cq.arity from <> Cq.arity into then None
+  else begin
+    (* Head positions must correspond exactly. *)
+    let initial =
+      List.fold_left2
+        (fun acc hf hi ->
+          Option.bind acc (fun m -> match_pat m hf hi))
+        (Some Smap.empty) from.Cq.head into.Cq.head
+    in
+    match initial with
+    | None -> None
+    | Some mapping ->
+      let atoms_into = into.Cq.body in
+      let rec solve mapping = function
+        | [] -> Some mapping
+        | a :: rest ->
+          List.fold_left
+            (fun found b ->
+              match found with
+              | Some _ -> found
+              | None -> (
+                match match_atom mapping a b with
+                | Some m -> solve m rest
+                | None -> None))
+            None atoms_into
+      in
+      (* An empty-body [from] needs nothing beyond the head mapping. *)
+      Option.map (fun m v -> Smap.find_opt v m) (solve mapping from.Cq.body)
+  end
+
+let contained q1 q2 = Option.is_some (homomorphism ~from:q2 ~into:q1)
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+let minimize_cq q =
+  (* Greedily drop atoms whose removal keeps the query equivalent. The
+     head stays fixed, so only containment of the original in the reduced
+     query needs checking (the reduced query is trivially contained in the
+     original: it has fewer atoms). *)
+  let rec shrink body =
+    let try_drop i =
+      let body' = List.filteri (fun j _ -> j <> i) body in
+      if body' = [] then None
+      else
+        let q' = { q with Cq.body = body' } in
+        (* q' ⊒ q always; equivalence needs q' ⊑ q, i.e. hom q → q'. *)
+        if Option.is_some (homomorphism ~from:q ~into:q') then Some body'
+        else None
+    in
+    let rec first_drop i =
+      if i >= List.length body then None
+      else match try_drop i with Some b -> Some b | None -> first_drop (i + 1)
+    in
+    match first_drop 0 with Some body' -> shrink body' | None -> body
+  in
+  if q.Cq.body = [] then q else { q with Cq.body = shrink q.Cq.body }
+
+let minimize_ucq u =
+  let disjuncts = Array.of_list (Ucq.disjuncts u) in
+  let n = Array.length disjuncts in
+  let dropped = Array.make n false in
+  for i = 0 to n - 1 do
+    if not dropped.(i) then
+      for j = 0 to n - 1 do
+        if j <> i && not dropped.(j) && not dropped.(i) then
+          if contained disjuncts.(i) disjuncts.(j) then
+            (* qi ⊑ qj: qi is redundant — unless they are equivalent and
+               qj was examined later (keep the first of a cycle). *)
+            if not (contained disjuncts.(j) disjuncts.(i)) || j < i then
+              dropped.(i) <- true
+      done
+  done;
+  let kept =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun i -> if dropped.(i) then None else Some disjuncts.(i))
+            (Seq.init n Fun.id)))
+  in
+  Ucq.of_disjuncts kept
+
+let freeze q =
+  let frozen v = Term.uri ("urn:frozen:" ^ v) in
+  let pat_term = function Cq.Var v -> frozen v | Cq.Cst t -> t in
+  let g =
+    List.fold_left
+      (fun g a ->
+        Graph.add
+          (Triple.make (pat_term a.Cq.s) (pat_term a.Cq.p) (pat_term a.Cq.o))
+          g)
+      Graph.empty q.Cq.body
+  in
+  (g, List.map pat_term q.Cq.head)

@@ -1,0 +1,39 @@
+(** Conjunctive query containment and minimization.
+
+    Classical homomorphism-based containment (Chandra & Merkurio):
+    [q1 ⊑ q2] — every answer of [q1] is an answer of [q2] on every graph —
+    iff there is a homomorphism from [q2] into [q1] mapping head to head.
+    Reformulation produces many redundant disjuncts (a rewriting through a
+    subclass is subsumed by the identity disjunct whenever both match), so
+    minimizing the UCQ before evaluation trades reformulation-time work
+    for fewer per-CQ evaluation charges. *)
+
+open Refq_rdf
+
+val homomorphism :
+  from:Cq.t -> into:Cq.t -> (string -> Cq.pat option) option
+(** [homomorphism ~from ~into] is a variable mapping [h] such that
+    [h(from.body) ⊆ into.body] and [h(from.head) = into.head]
+    position-wise, if one exists. Constants must map to themselves.
+    Exponential in the worst case; query bodies are small. *)
+
+val contained : Cq.t -> Cq.t -> bool
+(** [contained q1 q2] iff [q1 ⊑ q2]: a homomorphism from [q2] into [q1]
+    exists. Both queries must have the same arity (else [false]). *)
+
+val equivalent : Cq.t -> Cq.t -> bool
+
+val minimize_cq : Cq.t -> Cq.t
+(** The core of a CQ: repeatedly drop a body atom while the smaller query
+    remains equivalent to the original. The result is unique up to
+    isomorphism. *)
+
+val minimize_ucq : Ucq.t -> Ucq.t
+(** Drop every disjunct contained in another disjunct (keeping one
+    representative of each equivalence class). The result answers exactly
+    like the input on every graph. *)
+
+val freeze : Cq.t -> Graph.t * Term.t list
+(** The canonical database of a CQ: body atoms with variables frozen as
+    fresh URIs, and the frozen head. Exposed for tests (containment can be
+    cross-checked by evaluating [q2] on [freeze q1]). *)

@@ -1,0 +1,102 @@
+type t = {
+  n_atoms : int;
+  fragments : int list list;  (** sorted fragments of sorted indices *)
+}
+
+let sort_fragments frags =
+  let frags = List.map (List.sort_uniq Int.compare) frags in
+  List.sort_uniq (List.compare Int.compare) frags
+
+let make ~n_atoms frags =
+  if n_atoms <= 0 then invalid_arg "Cover.make: no atoms";
+  let frags = sort_fragments frags in
+  if List.exists (fun f -> f = []) frags then
+    invalid_arg "Cover.make: empty fragment";
+  List.iter
+    (List.iter (fun i ->
+         if i < 0 || i >= n_atoms then
+           invalid_arg (Printf.sprintf "Cover.make: atom index %d out of range" i)))
+    frags;
+  let covered = Array.make n_atoms false in
+  List.iter (List.iter (fun i -> covered.(i) <- true)) frags;
+  if not (Array.for_all Fun.id covered) then
+    invalid_arg "Cover.make: not all atoms covered";
+  { n_atoms; fragments = frags }
+
+let fragments c = c.fragments
+
+let n_atoms c = c.n_atoms
+
+let n_fragments c = List.length c.fragments
+
+let singleton ~n_atoms = make ~n_atoms (List.init n_atoms (fun i -> [ i ]))
+
+let one_fragment ~n_atoms = make ~n_atoms [ List.init n_atoms Fun.id ]
+
+let add_atom c ~frag ~atom =
+  if atom < 0 || atom >= c.n_atoms then invalid_arg "Cover.add_atom: bad atom";
+  match List.nth_opt c.fragments frag with
+  | None -> invalid_arg "Cover.add_atom: bad fragment index"
+  | Some _ ->
+    let fragments =
+      List.mapi (fun i g -> if i = frag then atom :: g else g) c.fragments
+    in
+    make ~n_atoms:c.n_atoms fragments
+
+let subset f g = List.for_all (fun i -> List.mem i g) f
+
+let normalize c =
+  let fragments =
+    List.filter
+      (fun f ->
+        not
+          (List.exists
+             (fun g -> g != f && subset f g && not (subset g f))
+             c.fragments))
+      c.fragments
+  in
+  make ~n_atoms:c.n_atoms fragments
+
+let compare c1 c2 =
+  let c = Int.compare c1.n_atoms c2.n_atoms in
+  if c <> 0 then c
+  else List.compare (List.compare Int.compare) c1.fragments c2.fragments
+
+let equal c1 c2 = compare c1 c2 = 0
+
+let is_singleton c = equal c (singleton ~n_atoms:c.n_atoms)
+
+let is_one_fragment c = n_fragments c = 1
+
+let fragment_cq q frag =
+  let body = List.filteri (fun i _ -> List.mem i frag) q.Cq.body in
+  let outside =
+    List.filteri (fun i _ -> not (List.mem i frag)) q.Cq.body
+  in
+  let outside_vars =
+    List.concat_map Cq.atom_vars outside
+  in
+  let head_vars = Cq.head_vars q in
+  let frag_vars = Cq.body_vars { q with Cq.body } in
+  let out =
+    List.filter
+      (fun v -> List.mem v head_vars || List.mem v outside_vars)
+      frag_vars
+  in
+  Cq.make ~head:(List.map Cq.var out) ~body
+
+let fragment_cqs q c = List.map (fragment_cq q) c.fragments
+
+let pp ppf c =
+  (* No break hints: covers are short and must stay on one line in the
+     tabular outputs. *)
+  List.iter
+    (fun f ->
+      Fmt.string ppf "{";
+      List.iteri
+        (fun k i ->
+          if k > 0 then Fmt.string ppf ",";
+          Fmt.pf ppf "t%d" (i + 1))
+        f;
+      Fmt.string ppf "}")
+    c.fragments

@@ -1,0 +1,64 @@
+(** Query covers (Section 4 of the paper).
+
+    A cover of a CQ [q] with atoms [t1, ..., tn] is a set of (possibly
+    overlapping) non-empty fragments — subsets of atom indices — whose union
+    is [{1..n}]. Every cover induces a query answering strategy: reformulate
+    each fragment with a CQ-to-UCQ algorithm and join the fragments'
+    results (a JUCQ). Two covers are distinguished points in that space:
+
+    - the {e one-fragment} cover yields the classical UCQ reformulation;
+    - the {e singleton} cover (one atom per fragment) yields the SCQ
+      reformulation of Thomazo [15].
+
+    Example 1's best cover for
+    [q :- t1, t2, t3, t4, t5, t6] is [{t1,t3}, {t3,t5}, {t2,t4}, {t4,t6}]. *)
+
+type t
+
+val make : n_atoms:int -> int list list -> t
+(** [make ~n_atoms fragments] validates that indices are in
+    [\[0, n_atoms)], fragments are non-empty, and every atom is covered.
+    Fragments are stored sorted and deduplicated.
+    @raise Invalid_argument otherwise. *)
+
+val fragments : t -> int list list
+(** Sorted fragments, each a sorted list of atom indices. *)
+
+val n_atoms : t -> int
+
+val n_fragments : t -> int
+
+val singleton : n_atoms:int -> t
+(** One atom per fragment — the SCQ strategy. *)
+
+val one_fragment : n_atoms:int -> t
+(** All atoms in a single fragment — the UCQ strategy. *)
+
+val add_atom : t -> frag:int -> atom:int -> t
+(** The GCov move: add atom [atom] to the [frag]-th fragment (0-based,
+    w.r.t. {!fragments} order). Other fragments are unchanged.
+    @raise Invalid_argument on bad indices. *)
+
+val normalize : t -> t
+(** Drop fragments strictly included in another fragment (they are
+    redundant for the induced JUCQ). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val is_singleton : t -> bool
+
+val is_one_fragment : t -> bool
+
+val fragment_cq : Cq.t -> int list -> Cq.t
+(** [fragment_cq q frag] is the sub-CQ of [q] on the atoms of [frag]. Its
+    head consists of the fragment's variables that are visible outside it:
+    distinguished variables of [q] and variables shared with atoms not in
+    [frag] (first-occurrence order). *)
+
+val fragment_cqs : Cq.t -> t -> Cq.t list
+
+val pp : t Fmt.t
+(** e.g. [{t1,t3}{t3,t5}{t2,t4}{t4,t6}] with 1-based atom numbering, as in
+    the paper. *)

@@ -1,0 +1,175 @@
+open Refq_rdf
+
+type pat =
+  | Var of string
+  | Cst of Term.t
+
+type atom = {
+  s : pat;
+  p : pat;
+  o : pat;
+}
+
+type t = {
+  head : pat list;
+  body : atom list;
+}
+
+let var v = Var v
+let cst t = Cst t
+let atom s p o = { s; p; o }
+
+let pat_equal p1 p2 =
+  match p1, p2 with
+  | Var v1, Var v2 -> String.equal v1 v2
+  | Cst t1, Cst t2 -> Term.equal t1 t2
+  | Var _, Cst _ | Cst _, Var _ -> false
+
+let atom_equal a1 a2 =
+  pat_equal a1.s a2.s && pat_equal a1.p a2.p && pat_equal a1.o a2.o
+
+let compare_pat p1 p2 =
+  match p1, p2 with
+  | Var v1, Var v2 -> String.compare v1 v2
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+  | Cst t1, Cst t2 -> Term.compare t1 t2
+
+let compare_atom a1 a2 =
+  let c = compare_pat a1.s a2.s in
+  if c <> 0 then c
+  else
+    let c = compare_pat a1.p a2.p in
+    if c <> 0 then c else compare_pat a1.o a2.o
+
+let compare q1 q2 =
+  let c = List.compare compare_pat q1.head q2.head in
+  if c <> 0 then c else List.compare compare_atom q1.body q2.body
+
+let equal q1 q2 = compare q1 q2 = 0
+
+let add_var acc = function Var v -> if List.mem v acc then acc else v :: acc | Cst _ -> acc
+
+let atom_vars a = List.rev (add_var (add_var (add_var [] a.s) a.p) a.o)
+
+let body_vars q =
+  List.rev
+    (List.fold_left
+       (fun acc a -> add_var (add_var (add_var acc a.s) a.p) a.o)
+       [] q.body)
+
+let head_vars q =
+  List.filter_map (function Var v -> Some v | Cst _ -> None) q.head
+
+let arity q = List.length q.head
+
+let is_boolean q = q.head = []
+
+let make ~head ~body =
+  let bvars = body_vars { head; body } in
+  List.iter
+    (function
+      | Var v when not (List.mem v bvars) ->
+        invalid_arg (Printf.sprintf "Cq.make: unsafe head variable %S" v)
+      | Var _ | Cst _ -> ())
+    head;
+  { head; body }
+
+let fresh_var_prefix = "_f"
+
+let is_fresh_var v =
+  String.length v >= 2 && String.sub v 0 2 = fresh_var_prefix
+
+module Smap = Map.Make (String)
+
+module Subst = struct
+  type nonrec cq = t
+
+  type t = Term.t Smap.t
+
+  let empty = Smap.empty
+
+  let is_empty = Smap.is_empty
+
+  let singleton v t = Smap.singleton v t
+
+  let bind v t s =
+    match Smap.find_opt v s with
+    | None -> Some (Smap.add v t s)
+    | Some t' -> if Term.equal t t' then Some s else None
+
+  let find v s = Smap.find_opt v s
+
+  let merge s1 s2 =
+    let ok = ref true in
+    let merged =
+      Smap.union
+        (fun _ t1 t2 ->
+          if Term.equal t1 t2 then Some t1
+          else begin
+            ok := false;
+            Some t1
+          end)
+        s1 s2
+    in
+    if !ok then Some merged else None
+
+  let apply_pat s = function
+    | Var v as pat -> (
+      match Smap.find_opt v s with Some t -> Cst t | None -> pat)
+    | Cst _ as pat -> pat
+
+  let apply_atom s a =
+    { s = apply_pat s a.s; p = apply_pat s a.p; o = apply_pat s a.o }
+
+  let apply s (q : cq) =
+    {
+      head = List.map (apply_pat s) q.head;
+      body = List.map (apply_atom s) q.body;
+    }
+
+  let bindings s = Smap.bindings s
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (v, t) ->
+           Fmt.pf ppf "%s→%a" v Term.pp t))
+      (bindings s)
+end
+
+let canonicalize q =
+  let counter = ref 0 in
+  let renaming = ref Smap.empty in
+  let rename v =
+    match Smap.find_opt v !renaming with
+    | Some v' -> v'
+    | None ->
+      let v' = Printf.sprintf "_v%d" !counter in
+      incr counter;
+      renaming := Smap.add v v' !renaming;
+      v'
+  in
+  let rename_pat = function Var v -> Var (rename v) | Cst _ as pat -> pat in
+  let head = List.map rename_pat q.head in
+  let body =
+    List.map
+      (fun a -> { s = rename_pat a.s; p = rename_pat a.p; o = rename_pat a.o })
+      q.body
+  in
+  (* Sort the body so that atom order does not distinguish identical CQs.
+     Sorting after renaming keeps the result deterministic because renaming
+     follows head-then-body first-occurrence order. *)
+  { head; body = List.sort_uniq compare_atom body }
+
+let pp_pat ppf = function
+  | Var v -> Fmt.pf ppf "?%s" v
+  | Cst t -> Term.pp ppf t
+
+let pp_atom ppf a = Fmt.pf ppf "%a %a %a" pp_pat a.s pp_pat a.p pp_pat a.o
+
+let pp ppf q =
+  Fmt.pf ppf "q(%a) :- %a"
+    (Fmt.list ~sep:Fmt.comma pp_pat)
+    q.head
+    (Fmt.list ~sep:Fmt.comma pp_atom)
+    q.body

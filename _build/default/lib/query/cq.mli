@@ -1,0 +1,114 @@
+(** Conjunctive queries (basic graph pattern queries).
+
+    A CQ [q(x̄) :- t1, ..., tα] is a basic graph pattern [{t1, ..., tα}]
+    (each [ti] a triple pattern whose subject, property and object may be
+    variables) together with distinguished (head) variables [x̄ ⊆ vars(body)].
+
+    After reformulation, head positions may also hold constants (a rewriting
+    can bind a distinguished variable to a schema constant), so heads are
+    lists of {e patterns} rather than variables. *)
+
+open Refq_rdf
+
+type pat =
+  | Var of string
+  | Cst of Term.t
+
+type atom = {
+  s : pat;
+  p : pat;
+  o : pat;
+}
+
+type t = {
+  head : pat list;
+  body : atom list;
+}
+
+val var : string -> pat
+
+val cst : Term.t -> pat
+
+val atom : pat -> pat -> pat -> atom
+
+val make : head:pat list -> body:atom list -> t
+(** @raise Invalid_argument if the query is not safe (a head variable does
+    not occur in the body). An empty body is allowed only with an
+    all-constant head: reformulation produces such tautological disjuncts
+    when a query atom over a schema property is entailed by the schema
+    itself (see [Refq_reform.Atom_reform]). *)
+
+val pat_equal : pat -> pat -> bool
+
+val atom_equal : atom -> atom -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val atom_vars : atom -> string list
+(** Variables of an atom, in subject-property-object order, without
+    duplicates. *)
+
+val body_vars : t -> string list
+(** Variables of the body, first-occurrence order, without duplicates. *)
+
+val head_vars : t -> string list
+
+val arity : t -> int
+
+val is_boolean : t -> bool
+
+val fresh_var_prefix : string
+(** Prefix reserved for existential variables introduced by reformulation
+    (rules R2/R3/R6/R7); never accepted from parsers. *)
+
+val is_fresh_var : string -> bool
+
+(** {1 Substitutions}
+
+    Reformulation-produced substitutions bind variables to {e constants}
+    (schema classes and properties); they never bind variables to
+    variables. *)
+
+module Subst : sig
+  type cq := t
+
+  type t
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val singleton : string -> Term.t -> t
+
+  val bind : string -> Term.t -> t -> t option
+  (** [None] when the variable is already bound to a different constant. *)
+
+  val find : string -> t -> Term.t option
+
+  val merge : t -> t -> t option
+  (** Union of the bindings; [None] on conflict. *)
+
+  val apply_pat : t -> pat -> pat
+
+  val apply_atom : t -> atom -> atom
+
+  val apply : t -> cq -> cq
+
+  val bindings : t -> (string * Term.t) list
+
+  val pp : t Fmt.t
+end
+
+val canonicalize : t -> t
+(** Rename body variables to a canonical sequence (head first, then
+    first-occurrence order) so that structurally identical CQs become
+    syntactically equal; used to deduplicate UCQ disjuncts. *)
+
+val pp : t Fmt.t
+(** Paper notation: [q(x, y) :- s p o, ...]. *)
+
+val pp_atom : atom Fmt.t
+
+val pp_pat : pat Fmt.t

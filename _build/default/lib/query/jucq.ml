@@ -1,0 +1,45 @@
+type fragment = {
+  out : string list;
+  ucq : Ucq.t;
+}
+
+type t = {
+  head : Cq.pat list;
+  fragments : fragment list;
+}
+
+let make ~head ~fragments =
+  if fragments = [] then invalid_arg "Jucq.make: no fragments";
+  List.iter
+    (fun f ->
+      if Ucq.arity f.ucq <> List.length f.out then
+        invalid_arg "Jucq.make: fragment arity mismatch")
+    fragments;
+  List.iter
+    (function
+      | Cq.Var v ->
+        if not (List.exists (fun f -> List.mem v f.out) fragments) then
+          invalid_arg
+            (Printf.sprintf "Jucq.make: head variable %S not produced" v)
+      | Cq.Cst _ -> ())
+    head;
+  { head; fragments }
+
+let size j =
+  List.fold_left (fun acc f -> acc + Ucq.size f.ucq) 0 j.fragments
+
+let n_fragments j = List.length j.fragments
+
+let max_fragment_size j =
+  List.fold_left (fun acc f -> max acc (Ucq.size f.ucq)) 0 j.fragments
+
+let pp ppf j =
+  Fmt.pf ppf "@[<v>JUCQ(%a):@,%a@]"
+    (Fmt.list ~sep:Fmt.comma Cq.pp_pat)
+    j.head
+    (Fmt.list ~sep:(Fmt.any "@,⋈ ")
+       (fun ppf f ->
+         Fmt.pf ppf "@[<v2>fragment(%a) [%d CQs]@]"
+           (Fmt.list ~sep:Fmt.comma Fmt.string)
+           f.out (Ucq.size f.ucq)))
+    j.fragments

@@ -1,0 +1,33 @@
+(** Joins of unions of conjunctive queries (JUCQ) — the enlarged
+    reformulation language of the paper.
+
+    A JUCQ is the natural join of fragment UCQs, projected on the original
+    query head. Fragment columns are named by the original query's variables;
+    fragments join on shared column names. A reformulation substitution can
+    bind an output variable to a constant, in which case the corresponding
+    disjunct head position holds that constant. *)
+
+type fragment = {
+  out : string list;  (** output column names (query variables) *)
+  ucq : Ucq.t;  (** every disjunct head has length [List.length out] *)
+}
+
+type t = {
+  head : Cq.pat list;  (** the original query head *)
+  fragments : fragment list;
+}
+
+val make : head:Cq.pat list -> fragments:fragment list -> t
+(** Validates column arities and that every head variable is an output
+    column of at least one fragment.
+    @raise Invalid_argument otherwise. *)
+
+val size : t -> int
+(** Total number of CQ disjuncts across fragments — the syntactic size
+    measure compared across strategies. *)
+
+val n_fragments : t -> int
+
+val max_fragment_size : t -> int
+
+val pp : t Fmt.t

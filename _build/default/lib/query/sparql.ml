@@ -1,0 +1,632 @@
+open Refq_rdf
+
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of int * string
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Kw of string
+      (** uppercase keyword: SELECT, WHERE, PREFIX, DISTINCT, UNION *)
+  | Variable of string
+  | Iriref of string
+  | Pname of string
+  | Bnode_label of string
+  | A_keyword
+  | String_lit of Term.t
+  | Number_lit of Term.t
+  | Star
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Dot
+  | Comma
+  | Turnstile  (** [:-] of the paper notation *)
+  | Word of string  (** bare name (paper-notation variable) *)
+  | Eof
+
+let pp_token ppf = function
+  | Kw k -> Fmt.string ppf k
+  | Variable v -> Fmt.pf ppf "?%s" v
+  | Iriref u -> Fmt.pf ppf "<%s>" u
+  | Pname n | Word n -> Fmt.string ppf n
+  | Bnode_label l -> Fmt.pf ppf "_:%s" l
+  | A_keyword -> Fmt.string ppf "a"
+  | String_lit t | Number_lit t -> Term.pp ppf t
+  | Star -> Fmt.string ppf "*"
+  | Lbrace -> Fmt.string ppf "{"
+  | Rbrace -> Fmt.string ppf "}"
+  | Lparen -> Fmt.string ppf "("
+  | Rparen -> Fmt.string ppf ")"
+  | Dot -> Fmt.string ppf "."
+  | Comma -> Fmt.string ppf ","
+  | Turnstile -> Fmt.string ppf ":-"
+  | Eof -> Fmt.string ppf "<eof>"
+
+type lexer = {
+  text : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let fail lx fmt = Fmt.kstr (fun m -> raise (Parse_error (lx.line, m))) fmt
+
+let peek lx = if lx.pos < String.length lx.text then Some lx.text.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.text then Some lx.text.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with Some '\n' -> lx.line <- lx.line + 1 | Some _ | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '#' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws lx
+  | Some _ | None -> ()
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || is_digit c || c = '_' || c = '-'
+
+let lex_while lx pred =
+  let start = lx.pos in
+  let rec loop () =
+    match peek lx with
+    | Some c when pred c ->
+      advance lx;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  String.sub lx.text start (lx.pos - start)
+
+let lex_string lx =
+  advance lx;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance lx; loop ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance lx; loop ()
+      | Some '"' -> Buffer.add_char buf '"'; advance lx; loop ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance lx; loop ()
+      | Some c -> fail lx "unknown escape \\%C" c
+      | None -> fail lx "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      loop ()
+    | None -> fail lx "unterminated string literal"
+  in
+  loop ();
+  let value = Buffer.contents buf in
+  match peek lx with
+  | Some '@' ->
+    advance lx;
+    let tag = lex_while lx is_word_char in
+    String_lit (Term.lang_literal value tag)
+  | Some '^' when peek2 lx = Some '^' ->
+    advance lx;
+    advance lx;
+    (match peek lx with
+    | Some '<' ->
+      advance lx;
+      let dt = lex_while lx (fun c -> c <> '>') in
+      (match peek lx with
+      | Some '>' -> advance lx
+      | Some _ | None -> fail lx "unterminated datatype IRI");
+      String_lit (Term.typed_literal value dt)
+    | Some _ | None -> fail lx "expected datatype IRI after ^^")
+  | Some _ | None -> String_lit (Term.literal value)
+
+let lex_token lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> Eof
+  | Some '_' when peek2 lx = Some ':' ->
+    advance lx;
+    advance lx;
+    let label = lex_while lx is_word_char in
+    if label = "" then fail lx "empty blank node label";
+    Bnode_label label
+  | Some '?' | Some '$' ->
+    advance lx;
+    let name = lex_while lx is_word_char in
+    if name = "" then fail lx "empty variable name";
+    Variable name
+  | Some '<' ->
+    advance lx;
+    let u = lex_while lx (fun c -> c <> '>' && c <> '\n') in
+    (match peek lx with
+    | Some '>' -> advance lx
+    | Some _ | None -> fail lx "unterminated IRI");
+    Iriref u
+  | Some '"' -> lex_string lx
+  | Some '{' -> advance lx; Lbrace
+  | Some '}' -> advance lx; Rbrace
+  | Some '(' -> advance lx; Lparen
+  | Some ')' -> advance lx; Rparen
+  | Some '.' -> advance lx; Dot
+  | Some ',' -> advance lx; Comma
+  | Some '*' -> advance lx; Star
+  | Some ':' when peek2 lx = Some '-' ->
+    advance lx;
+    advance lx;
+    Turnstile
+  | Some c when is_digit c || c = '+' || c = '-' ->
+    let body = lex_while lx (fun c -> is_digit c || c = '.' || c = '+' || c = '-') in
+    if String.contains body '.' then
+      Number_lit (Term.typed_literal body Vocab.xsd_decimal)
+    else Number_lit (Term.typed_literal body Vocab.xsd_integer)
+  | Some c when is_word_char c || c = ':' -> (
+    let word = lex_while lx (fun ch -> is_word_char ch || ch = ':' || ch = '.') in
+    (* A trailing '.' belongs to the pattern separator, not the name. *)
+    let word =
+      if String.length word > 0 && word.[String.length word - 1] = '.' then begin
+        lx.pos <- lx.pos - 1;
+        String.sub word 0 (String.length word - 1)
+      end
+      else word
+    in
+    match String.uppercase_ascii word with
+    | "SELECT" | "WHERE" | "PREFIX" | "DISTINCT" | "UNION" | "ASK" ->
+      Kw (String.uppercase_ascii word)
+    | _ ->
+      if word = "a" then A_keyword
+      else if String.contains word ':' then Pname word
+      else Word word)
+  | Some c -> fail lx "unexpected character %C" c
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  lx : lexer;
+  mutable tok : token;
+  mutable env : Namespace.t;
+}
+
+let next st = st.tok <- lex_token st.lx
+
+let sfail st fmt = Fmt.kstr (fun m -> raise (Parse_error (st.lx.line, m))) fmt
+
+let resolve st name =
+  match Namespace.expand st.env name with
+  | Ok u -> u
+  | Error msg -> sfail st "%s" msg
+
+let check_var st v =
+  if Cq.is_fresh_var v then
+    sfail st "variable name %S uses the reserved fresh-variable prefix" v;
+  v
+
+let parse_prologue st =
+  let rec loop () =
+    match st.tok with
+    | Kw "PREFIX" -> (
+      next st;
+      match st.tok with
+      | Pname n when String.length n > 0 && n.[String.length n - 1] = ':' ->
+        let prefix = String.sub n 0 (String.length n - 1) in
+        next st;
+        (match st.tok with
+        | Iriref uri ->
+          next st;
+          st.env <- Namespace.add st.env ~prefix ~uri;
+          loop ()
+        | tok -> sfail st "expected namespace IRI, found %a" pp_token tok)
+      | tok -> sfail st "expected prefix declaration, found %a" pp_token tok)
+    | _ -> ()
+  in
+  loop ()
+
+let parse_pattern_term st =
+  match st.tok with
+  | Variable v ->
+    next st;
+    Cq.var (check_var st v)
+  | Bnode_label l ->
+    (* A blank node in a pattern is an existential: a variable that can
+       never be selected (the [_b:] prefix is not a valid SPARQL name). *)
+    next st;
+    Cq.var ("_b:" ^ l)
+  | Iriref u ->
+    next st;
+    Cq.cst (Term.uri u)
+  | Pname n ->
+    next st;
+    Cq.cst (Term.uri (resolve st n))
+  | A_keyword ->
+    next st;
+    Cq.cst Vocab.rdf_type
+  | String_lit t | Number_lit t ->
+    next st;
+    Cq.cst t
+  | tok -> sfail st "expected term, found %a" pp_token tok
+
+let parse_bgp st =
+  let atoms = ref [] in
+  let rec loop () =
+    match st.tok with
+    | Rbrace -> ()
+    | _ ->
+      let s = parse_pattern_term st in
+      let p = parse_pattern_term st in
+      let o = parse_pattern_term st in
+      atoms := Cq.atom s p o :: !atoms;
+      (match st.tok with
+      | Dot ->
+        next st;
+        loop ()
+      | Rbrace -> ()
+      | tok -> sfail st "expected '.' or '}', found %a" pp_token tok)
+  in
+  loop ();
+  List.rev !atoms
+
+let parse ?(env = Namespace.default) text =
+  let lx = { text; pos = 0; line = 1 } in
+  match
+    let st = { lx; tok = Eof; env } in
+    st.tok <- lex_token lx;
+    parse_prologue st;
+    (match st.tok with
+    | Kw "SELECT" -> next st
+    | tok -> sfail st "expected SELECT, found %a" pp_token tok);
+    (match st.tok with Kw "DISTINCT" -> next st | _ -> ());
+    let star, vars =
+      match st.tok with
+      | Star ->
+        next st;
+        (true, [])
+      | Variable _ ->
+        let rec loop acc =
+          match st.tok with
+          | Variable v ->
+            next st;
+            loop (check_var st v :: acc)
+          | _ -> List.rev acc
+        in
+        (false, loop [])
+      | tok -> sfail st "expected projection, found %a" pp_token tok
+    in
+    (match st.tok with
+    | Kw "WHERE" -> next st
+    | _ -> () (* WHERE is optional in SPARQL *));
+    (match st.tok with
+    | Lbrace -> next st
+    | tok -> sfail st "expected '{', found %a" pp_token tok);
+    let body = parse_bgp st in
+    (match st.tok with
+    | Rbrace -> next st
+    | tok -> sfail st "expected '}', found %a" pp_token tok);
+    (match st.tok with
+    | Eof -> ()
+    | tok -> sfail st "trailing content: %a" pp_token tok);
+    if body = [] then sfail st "empty basic graph pattern";
+    let head_vars =
+      if star then Cq.body_vars { Cq.head = []; body }
+      else vars
+    in
+    Cq.make ~head:(List.map Cq.var head_vars) ~body
+  with
+  | q -> Ok q
+  | exception Parse_error (line, message) -> Error { line; message }
+  | exception Invalid_argument message -> Error { line = 1; message }
+
+(* SELECT over a union of BGP blocks:
+   WHERE { { bgp } UNION { bgp } UNION ... } or WHERE { bgp }. *)
+let parse_select ?(env = Namespace.default) text =
+  let lx = { text; pos = 0; line = 1 } in
+  match
+    let st = { lx; tok = Eof; env } in
+    st.tok <- lex_token lx;
+    parse_prologue st;
+    (match st.tok with
+    | Kw "SELECT" -> next st
+    | tok -> sfail st "expected SELECT, found %a" pp_token tok);
+    (match st.tok with Kw "DISTINCT" -> next st | _ -> ());
+    let star, vars =
+      match st.tok with
+      | Star ->
+        next st;
+        (true, [])
+      | Variable _ ->
+        let rec loop acc =
+          match st.tok with
+          | Variable v ->
+            next st;
+            loop (check_var st v :: acc)
+          | _ -> List.rev acc
+        in
+        (false, loop [])
+      | tok -> sfail st "expected projection, found %a" pp_token tok
+    in
+    (match st.tok with Kw "WHERE" -> next st | _ -> ());
+    (match st.tok with
+    | Lbrace -> next st
+    | tok -> sfail st "expected '{', found %a" pp_token tok);
+    let branches =
+      match st.tok with
+      | Lbrace ->
+        (* Braced blocks joined by UNION. *)
+        let block () =
+          (match st.tok with
+          | Lbrace -> next st
+          | tok -> sfail st "expected '{', found %a" pp_token tok);
+          let body = parse_bgp st in
+          (match st.tok with
+          | Rbrace -> next st
+          | tok -> sfail st "expected '}', found %a" pp_token tok);
+          body
+        in
+        let rec loop acc =
+          let acc = block () :: acc in
+          match st.tok with
+          | Kw "UNION" ->
+            next st;
+            loop acc
+          | _ -> List.rev acc
+        in
+        loop []
+      | _ -> [ parse_bgp st ]
+    in
+    (match st.tok with
+    | Rbrace -> next st
+    | tok -> sfail st "expected '}', found %a" pp_token tok);
+    (match st.tok with
+    | Eof -> ()
+    | tok -> sfail st "trailing content: %a" pp_token tok);
+    if List.exists (fun b -> b = []) branches then
+      sfail st "empty basic graph pattern";
+    if star && List.length branches > 1 then
+      sfail st "SELECT * is ambiguous over UNION; name the variables";
+    let disjuncts =
+      List.map
+        (fun body ->
+          let head_vars =
+            if star then
+              List.filter
+                (fun v -> not (String.length v > 2 && String.sub v 0 3 = "_b:"))
+                (Cq.body_vars { Cq.head = []; body })
+            else vars
+          in
+          Cq.make ~head:(List.map Cq.var head_vars) ~body)
+        branches
+    in
+    Ucq.of_disjuncts disjuncts
+  with
+  | u -> Ok u
+  | exception Parse_error (line, message) -> Error { line; message }
+  | exception Invalid_argument message -> Error { line = 1; message }
+
+(* ASK { bgp }: a boolean query (empty head). *)
+let parse_ask ?(env = Namespace.default) text =
+  let lx = { text; pos = 0; line = 1 } in
+  match
+    let st = { lx; tok = Eof; env } in
+    st.tok <- lex_token lx;
+    parse_prologue st;
+    (match st.tok with
+    | Kw "ASK" -> next st
+    | tok -> sfail st "expected ASK, found %a" pp_token tok);
+    (match st.tok with Kw "WHERE" -> next st | _ -> ());
+    (match st.tok with
+    | Lbrace -> next st
+    | tok -> sfail st "expected '{', found %a" pp_token tok);
+    let body = parse_bgp st in
+    (match st.tok with
+    | Rbrace -> next st
+    | tok -> sfail st "expected '}', found %a" pp_token tok);
+    (match st.tok with
+    | Eof -> ()
+    | tok -> sfail st "trailing content: %a" pp_token tok);
+    if body = [] then sfail st "empty basic graph pattern";
+    Cq.make ~head:[] ~body
+  with
+  | q -> Ok q
+  | exception Parse_error (line, message) -> Error { line; message }
+  | exception Invalid_argument message -> Error { line = 1; message }
+
+let parse_notation ?(env = Namespace.default) text =
+  let lx = { text; pos = 0; line = 1 } in
+  match
+    let st = { lx; tok = Eof; env } in
+    st.tok <- lex_token lx;
+    (* Head: name(v1, ..., vn) *)
+    (match st.tok with
+    | Word _ -> next st
+    | tok -> sfail st "expected query name, found %a" pp_token tok);
+    (match st.tok with
+    | Lparen -> next st
+    | tok -> sfail st "expected '(', found %a" pp_token tok);
+    let rec head_loop acc =
+      match st.tok with
+      | Rparen ->
+        next st;
+        List.rev acc
+      | Word v ->
+        next st;
+        (match st.tok with Comma -> next st | _ -> ());
+        head_loop (check_var st v :: acc)
+      | Variable v ->
+        next st;
+        (match st.tok with Comma -> next st | _ -> ());
+        head_loop (check_var st v :: acc)
+      | tok -> sfail st "expected head variable, found %a" pp_token tok
+    in
+    let head = head_loop [] in
+    (match st.tok with
+    | Turnstile -> next st
+    | tok -> sfail st "expected ':-', found %a" pp_token tok);
+    let term () =
+      match st.tok with
+      | Word v ->
+        next st;
+        Cq.var (check_var st v)
+      | Variable v ->
+        next st;
+        Cq.var (check_var st v)
+      | Iriref u ->
+        next st;
+        Cq.cst (Term.uri u)
+      | Pname n ->
+        next st;
+        Cq.cst (Term.uri (resolve st n))
+      | A_keyword ->
+        next st;
+        Cq.cst Vocab.rdf_type
+      | String_lit t | Number_lit t ->
+        next st;
+        Cq.cst t
+      | tok -> sfail st "expected term, found %a" pp_token tok
+    in
+    let rec body_loop acc =
+      let s = term () in
+      let p = term () in
+      let o = term () in
+      let acc = Cq.atom s p o :: acc in
+      match st.tok with
+      | Comma ->
+        next st;
+        body_loop acc
+      | Eof -> List.rev acc
+      | tok -> sfail st "expected ',' or end, found %a" pp_token tok
+    in
+    let body = body_loop [] in
+    Cq.make ~head:(List.map Cq.var head) ~body
+  with
+  | q -> Ok q
+  | exception Parse_error (line, message) -> Error { line; message }
+  | exception Invalid_argument message -> Error { line = 1; message }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_sparql_term env ppf = function
+  | Cq.Var v -> Fmt.pf ppf "?%s" v
+  | Cq.Cst t ->
+    if Term.equal t Vocab.rdf_type then Fmt.string ppf "a"
+    else Namespace.pp_term env ppf t
+
+let pp_bgp env ppf body =
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "  %a %a %a .@," (pp_sparql_term env) a.Cq.s
+        (pp_sparql_term env) a.Cq.p (pp_sparql_term env) a.Cq.o)
+    body
+
+let prologue env used =
+  (* Emit only the prefixes actually usable for the query's URIs. *)
+  let needed = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Cq.Cst (Term.Uri u) -> (
+        match Namespace.abbreviate env u with
+        | Some short -> (
+          match String.index_opt short ':' with
+          | Some i -> Hashtbl.replace needed (String.sub short 0 i) ()
+          | None -> ())
+        | None -> ())
+      | Cq.Cst _ | Cq.Var _ -> ())
+    used;
+  Namespace.fold
+    (fun prefix ns acc ->
+      if Hashtbl.mem needed prefix then
+        Printf.sprintf "PREFIX %s: <%s>\n" prefix ns :: acc
+      else acc)
+    env []
+  |> String.concat ""
+
+let cq_terms q =
+  List.concat_map (fun a -> [ a.Cq.s; a.Cq.p; a.Cq.o ]) q.Cq.body @ q.Cq.head
+
+let to_sparql ?(env = Namespace.default) q =
+  let head =
+    match q.Cq.head with
+    | [] -> "*"
+    | head ->
+      String.concat " "
+        (List.map
+           (function
+             | Cq.Var v -> "?" ^ v
+             | Cq.Cst t -> Fmt.str "%a" Term.pp t)
+           head)
+  in
+  prologue env (cq_terms q)
+  ^ Fmt.str "SELECT %s WHERE {@[<v>@,%a@]}" head (pp_bgp env) q.Cq.body
+
+let ucq_to_sparql ?(env = Namespace.default) u =
+  let disjuncts = Ucq.disjuncts u in
+  let all_terms = List.concat_map cq_terms disjuncts in
+  (* Head variables: positional names ?c0, ?c1, ... so that disjuncts with
+     different variable names align. *)
+  let arity = Ucq.arity u in
+  let head_names = List.init arity (fun i -> Printf.sprintf "c%d" i) in
+  let block q =
+    (* Rename each head variable of the disjunct to its positional name;
+       constants get a VALUES clause. *)
+    let renaming, values =
+      List.fold_left2
+        (fun (ren, vals) pat name ->
+          match pat with
+          | Cq.Var v -> ((v, name) :: ren, vals)
+          | Cq.Cst t -> (ren, (name, t) :: vals))
+        ([], []) q.Cq.head head_names
+    in
+    let rename_pat = function
+      | Cq.Var v as pat -> (
+        match List.assoc_opt v renaming with
+        | Some n -> Cq.Var n
+        | None -> pat)
+      | Cq.Cst _ as pat -> pat
+    in
+    let body =
+      List.map
+        (fun a ->
+          Cq.atom (rename_pat a.Cq.s) (rename_pat a.Cq.p) (rename_pat a.Cq.o))
+        q.Cq.body
+    in
+    let values_clauses =
+      String.concat ""
+        (List.map
+           (fun (name, t) ->
+             Fmt.str "  VALUES ?%s { %a }\n" name (Namespace.pp_term env) t)
+           values)
+    in
+    Fmt.str "{@[<v>@,%a@]%s}" (pp_bgp env) body values_clauses
+  in
+  prologue env all_terms
+  ^ Printf.sprintf "SELECT %s WHERE {\n%s\n}"
+      (String.concat " " (List.map (fun n -> "?" ^ n) head_names))
+      (String.concat "\nUNION\n" (List.map block disjuncts))

@@ -1,0 +1,50 @@
+(** SPARQL (conjunctive subset) parser and printers.
+
+    The paper considers the widely used SPARQL dialect of (unions of) basic
+    graph pattern queries. This module parses the conjunctive subset:
+
+    {v
+    PREFIX ub: <http://example.org/univ#>
+    SELECT ?x ?y WHERE { ?x rdf:type ub:Student . ?x ub:memberOf ?y }
+    v}
+
+    and additionally the paper's own CQ notation:
+
+    {v q(x3) :- x1 hasAuthor x2, x2 hasName x3, x1 x4 "1949" v}
+
+    (bare lowercase tokens are variables; prefixed names, [<uris>] and
+    quoted strings are constants). Printers emit SPARQL for CQs and UCQs
+    ([UNION] blocks). *)
+
+type error = {
+  line : int;
+  message : string;
+}
+
+val pp_error : error Fmt.t
+
+val parse : ?env:Refq_rdf.Namespace.t -> string -> (Cq.t, error) result
+(** Parse a [SELECT] query. [SELECT *] selects all body variables except
+    fresh ones, in first-occurrence order. *)
+
+val parse_select :
+  ?env:Refq_rdf.Namespace.t -> string -> (Ucq.t, error) result
+(** Parse a [SELECT] over a union of BGPs —
+    [WHERE { { bgp } UNION { bgp } ... }] — the paper's "(unions of) basic
+    graph pattern queries". A plain BGP yields a one-disjunct UCQ. Blank
+    nodes in patterns act as non-distinguished variables. *)
+
+val parse_ask : ?env:Refq_rdf.Namespace.t -> string -> (Cq.t, error) result
+(** Parse an [ASK WHERE { ... }] query into a boolean (empty-head) CQ;
+    an answer relation with one (empty) row means [true]. *)
+
+val parse_notation :
+  ?env:Refq_rdf.Namespace.t -> string -> (Cq.t, error) result
+(** Parse the paper's [q(x̄) :- t1, ..., tn] notation. *)
+
+val to_sparql : ?env:Refq_rdf.Namespace.t -> Cq.t -> string
+
+val ucq_to_sparql : ?env:Refq_rdf.Namespace.t -> Ucq.t -> string
+(** One [SELECT] with a [UNION] block per disjunct. A disjunct whose head
+    binds a variable to a constant (a reformulation substitution) emits a
+    SPARQL 1.1 [VALUES ?v { const }] clause inside its block. *)

@@ -1,0 +1,41 @@
+type t = {
+  arity : int;
+  disjuncts : Cq.t list;
+}
+
+module Cqset = Set.Make (Cq)
+
+let dedup cqs =
+  let canon = List.map Cq.canonicalize cqs in
+  Cqset.elements (Cqset.of_list canon)
+
+let of_disjuncts = function
+  | [] -> invalid_arg "Ucq.of_disjuncts: empty union"
+  | first :: _ as cqs ->
+    let arity = Cq.arity first in
+    List.iter
+      (fun q ->
+        if Cq.arity q <> arity then
+          invalid_arg "Ucq.of_disjuncts: mixed arities")
+      cqs;
+    { arity; disjuncts = dedup cqs }
+
+let disjuncts u = u.disjuncts
+
+let size u = List.length u.disjuncts
+
+let arity u = u.arity
+
+let union u1 u2 =
+  if u1.arity <> u2.arity then invalid_arg "Ucq.union: mixed arities";
+  { arity = u1.arity; disjuncts = dedup (u1.disjuncts @ u2.disjuncts) }
+
+let map f u = of_disjuncts (List.map f u.disjuncts)
+
+let total_atoms u =
+  List.fold_left (fun acc q -> acc + List.length q.Cq.body) 0 u.disjuncts
+
+let pp ppf u =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:(Fmt.any "@,∪ ") Cq.pp)
+    u.disjuncts

@@ -1,0 +1,29 @@
+(** Unions of conjunctive queries.
+
+    A UCQ is a finite set of CQs sharing the same head arity; it is the
+    target language of the classical CQ-to-UCQ reformulation algorithms
+    ([7, 8, 9, 12, 16] in the paper). *)
+
+type t
+
+val of_disjuncts : Cq.t list -> t
+(** Deduplicates disjuncts up to canonical variable renaming.
+    @raise Invalid_argument when disjunct arities differ or the list is
+    empty. *)
+
+val disjuncts : t -> Cq.t list
+
+val size : t -> int
+(** Number of disjuncts — the paper's measure of reformulation size
+    (e.g. 318,096 CQs in Example 1). *)
+
+val arity : t -> int
+
+val union : t -> t -> t
+
+val map : (Cq.t -> Cq.t) -> t -> t
+
+val total_atoms : t -> int
+(** Sum of disjunct body sizes — a proxy for syntactic query size. *)
+
+val pp : t Fmt.t

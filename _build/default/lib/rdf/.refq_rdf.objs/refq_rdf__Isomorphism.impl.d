@@ -1,0 +1,1 @@
+lib/rdf/isomorphism.ml: Graph List Map Option String Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/namespace.ml: Fmt Map Printf String Term Vocab

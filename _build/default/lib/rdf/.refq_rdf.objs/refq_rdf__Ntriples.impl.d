@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Fmt Graph List Result String Term Triple

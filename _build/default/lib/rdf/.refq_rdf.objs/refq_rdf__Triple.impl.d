@@ -1,0 +1,1 @@
+lib/rdf/triple.ml: Fmt Hashtbl Set Term Vocab

@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer Fmt Graph Hashtbl List Namespace Printf Refq_util Result String Term Triple Vocab

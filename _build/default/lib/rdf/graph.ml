@@ -1,0 +1,49 @@
+type t = Triple.Set.t
+
+let empty = Triple.Set.empty
+let add = Triple.Set.add
+let remove = Triple.Set.remove
+let mem = Triple.Set.mem
+let cardinal = Triple.Set.cardinal
+let union = Triple.Set.union
+let diff = Triple.Set.diff
+let subset = Triple.Set.subset
+let equal = Triple.Set.equal
+let of_list = Triple.Set.of_list
+let to_list = Triple.Set.elements
+let of_seq = Triple.Set.of_seq
+let to_seq = Triple.Set.to_seq
+let iter = Triple.Set.iter
+let fold = Triple.Set.fold
+let filter = Triple.Set.filter
+
+let add_triple g s p o = add (Triple.make s p o) g
+
+let values g =
+  fold
+    (fun { Triple.s; p; o } acc ->
+      Term.Set.add s (Term.Set.add p (Term.Set.add o acc)))
+    g Term.Set.empty
+
+let project f g = fold (fun t acc -> Term.Set.add (f t) acc) g Term.Set.empty
+
+let subjects g = project (fun t -> t.Triple.s) g
+let properties g = project (fun t -> t.Triple.p) g
+let objects g = project (fun t -> t.Triple.o) g
+
+let classes g =
+  fold
+    (fun { Triple.s; p; o } acc ->
+      if Term.equal p Vocab.rdf_type then Term.Set.add o acc
+      else if Term.equal p Vocab.rdfs_subclassof then
+        Term.Set.add s (Term.Set.add o acc)
+      else if Term.equal p Vocab.rdfs_domain || Term.equal p Vocab.rdfs_range
+      then Term.Set.add o acc
+      else acc)
+    g Term.Set.empty
+
+let schema_triples g = filter Triple.is_schema_triple g
+
+let data_triples g = filter (fun t -> not (Triple.is_schema_triple t)) g
+
+let pp ppf g = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut Triple.pp) (to_list g)

@@ -1,0 +1,66 @@
+(** RDF graphs: finite sets of triples.
+
+    This is the *logical*, persistent representation used by parsers, the
+    schema extractor and the test suites. Large-scale evaluation goes through
+    the dictionary-encoded {e store} of [Refq_storage], which this module
+    feeds. *)
+
+type t
+
+val empty : t
+
+val add : Triple.t -> t -> t
+
+val remove : Triple.t -> t -> t
+
+val mem : Triple.t -> t -> bool
+
+val cardinal : t -> int
+
+val union : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val of_list : Triple.t list -> t
+
+val to_list : t -> Triple.t list
+(** Triples in canonical (sorted) order. *)
+
+val of_seq : Triple.t Seq.t -> t
+
+val to_seq : t -> Triple.t Seq.t
+
+val iter : (Triple.t -> unit) -> t -> unit
+
+val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val filter : (Triple.t -> bool) -> t -> t
+
+val add_triple : t -> Term.t -> Term.t -> Term.t -> t
+(** [add_triple g s p o] is [add (Triple.make s p o) g]. *)
+
+val values : t -> Term.Set.t
+(** [Val(G)]: the set of URIs, blank nodes and literals occurring in [g]. *)
+
+val subjects : t -> Term.Set.t
+
+val properties : t -> Term.Set.t
+
+val objects : t -> Term.Set.t
+
+val classes : t -> Term.Set.t
+(** Terms used in class positions: objects of [rdf:type], both sides of
+    [rdfs:subClassOf], objects of [rdfs:domain]/[rdfs:range]. *)
+
+val schema_triples : t -> t
+(** The RDFS constraint triples of [g] (Figure 1, bottom). *)
+
+val data_triples : t -> t
+(** [g] minus its schema triples. *)
+
+val pp : t Fmt.t
+(** N-Triples rendering, one triple per line, canonical order. *)

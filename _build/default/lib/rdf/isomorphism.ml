@@ -1,0 +1,68 @@
+module Smap = Map.Make (String)
+
+let bnodes g =
+  Term.Set.elements
+    (Term.Set.filter Term.is_bnode (Graph.values g))
+  |> List.filter_map (function Term.Bnode l -> Some l | _ -> None)
+
+(* A structural signature for a blank node: how it appears in ground
+   context (positions and the ground terms alongside). Candidate pairs
+   must have equal signatures, which prunes the search sharply. *)
+let signature g label =
+  let b = Term.bnode label in
+  let entries = ref [] in
+  Graph.iter
+    (fun { Triple.s; p; o } ->
+      let ground t = if Term.is_bnode t then Term.uri "urn:bnode" else t in
+      if Term.equal s b then
+        entries := ("s", Term.to_string (ground p), Term.to_string (ground o)) :: !entries;
+      if Term.equal p b then
+        entries := ("p", Term.to_string (ground s), Term.to_string (ground o)) :: !entries;
+      if Term.equal o b then
+        entries := ("o", Term.to_string (ground s), Term.to_string (ground p)) :: !entries)
+    g;
+  List.sort compare !entries
+
+let rename mapping g =
+  Graph.fold
+    (fun { Triple.s; p; o } acc ->
+      let sub = function
+        | Term.Bnode l as t -> (
+          match Smap.find_opt l mapping with
+          | Some l' -> Term.bnode l'
+          | None -> t)
+        | t -> t
+      in
+      Graph.add (Triple.make (sub s) (sub p) (sub o)) acc)
+    g Graph.empty
+
+let find_mapping g1 g2 =
+  if Graph.cardinal g1 <> Graph.cardinal g2 then None
+  else begin
+    let b1 = bnodes g1 and b2 = bnodes g2 in
+    if List.length b1 <> List.length b2 then None
+    else if b1 = [] then if Graph.equal g1 g2 then Some [] else None
+    else begin
+      let sig2 = List.map (fun l -> (l, signature g2 l)) b2 in
+      (* Assign each bnode of g1 a distinct, signature-compatible bnode of
+         g2; verify the full renaming at the leaves. *)
+      let rec solve mapping used = function
+        | [] ->
+          if Graph.equal (rename mapping g1) g2 then Some mapping else None
+        | l :: rest ->
+          let s1 = signature g1 l in
+          List.fold_left
+            (fun found (l2, s2) ->
+              match found with
+              | Some _ -> found
+              | None ->
+                if s1 = s2 && not (List.mem l2 used) then
+                  solve (Smap.add l l2 mapping) (l2 :: used) rest
+                else None)
+            None sig2
+      in
+      Option.map Smap.bindings (solve Smap.empty [] b1)
+    end
+  end
+
+let equal g1 g2 = Option.is_some (find_mapping g1 g2)

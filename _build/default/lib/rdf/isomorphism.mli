@@ -1,0 +1,16 @@
+(** RDF graph isomorphism.
+
+    Two RDF graphs are isomorphic when one can be obtained from the other
+    by renaming blank nodes (RDF 1.1 Concepts §3.6) — the right notion of
+    equality for comparing parser outputs and serialization round-trips,
+    since blank node labels carry no meaning. Ground graphs (no blank
+    nodes) are isomorphic iff equal. *)
+
+val equal : Graph.t -> Graph.t -> bool
+(** [equal g1 g2] iff a bijection between the blank nodes of [g1] and
+    [g2] turns [g1] into [g2]. Backtracking search seeded by structural
+    signatures; exponential only on pathological all-symmetric graphs. *)
+
+val find_mapping : Graph.t -> Graph.t -> (string * string) list option
+(** The bnode bijection (labels of [g1] → labels of [g2]) witnessing
+    isomorphism, if any. *)

@@ -1,0 +1,66 @@
+module Smap = Map.Make (String)
+
+type t = string Smap.t
+
+let empty = Smap.empty
+
+let add env ~prefix ~uri = Smap.add prefix uri env
+
+let default =
+  empty
+  |> fun env ->
+  add env ~prefix:"rdf" ~uri:Vocab.rdf_ns |> fun env ->
+  add env ~prefix:"rdfs" ~uri:Vocab.rdfs_ns |> fun env ->
+  add env ~prefix:"xsd" ~uri:Vocab.xsd_ns
+
+let lookup env prefix = Smap.find_opt prefix env
+
+let expand env name =
+  match String.index_opt name ':' with
+  | None -> Error (Printf.sprintf "not a prefixed name: %S" name)
+  | Some i -> (
+    let prefix = String.sub name 0 i in
+    let local = String.sub name (i + 1) (String.length name - i - 1) in
+    match lookup env prefix with
+    | None -> Error (Printf.sprintf "unbound prefix: %S" prefix)
+    | Some ns -> Ok (ns ^ local))
+
+let abbreviate env uri =
+  let best =
+    Smap.fold
+      (fun prefix ns acc ->
+        let nslen = String.length ns in
+        if
+          String.length uri > nslen
+          && String.sub uri 0 nslen = ns
+          && match acc with Some (_, len) -> nslen > len | None -> true
+        then Some (prefix, nslen)
+        else acc)
+      env None
+  in
+  match best with
+  | None -> None
+  | Some (prefix, nslen) ->
+    let local = String.sub uri nslen (String.length uri - nslen) in
+    (* Only abbreviate when the local part is a safe name token. *)
+    let safe =
+      local <> ""
+      && String.for_all
+           (fun c ->
+             (c >= 'a' && c <= 'z')
+             || (c >= 'A' && c <= 'Z')
+             || (c >= '0' && c <= '9')
+             || c = '_' || c = '-' || c = '.')
+           local
+    in
+    if safe then Some (prefix ^ ":" ^ local) else None
+
+let fold f env acc = Smap.fold f env acc
+
+let pp_term env ppf t =
+  match t with
+  | Term.Uri u -> (
+    match abbreviate env u with
+    | Some short -> Fmt.string ppf short
+    | None -> Term.pp ppf t)
+  | Term.Literal _ | Term.Bnode _ -> Term.pp ppf t

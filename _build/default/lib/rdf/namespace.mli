@@ -1,0 +1,32 @@
+(** Prefix environments for compact URI notation.
+
+    Maps prefixes such as [ub:] to namespace URIs, used by the Turtle and
+    SPARQL parsers and by all pretty-printers that abbreviate URIs. *)
+
+type t
+
+val empty : t
+
+val default : t
+(** Environment binding [rdf:], [rdfs:] and [xsd:] to their W3C namespaces. *)
+
+val add : t -> prefix:string -> uri:string -> t
+(** [add env ~prefix ~uri] binds [prefix] (without the colon) to [uri],
+    shadowing any previous binding. *)
+
+val lookup : t -> string -> string option
+(** Namespace URI bound to a prefix, if any. *)
+
+val expand : t -> string -> (string, string) result
+(** [expand env "p:local"] resolves a prefixed name to a full URI.
+    [Error msg] when the prefix is unbound or the name has no colon. *)
+
+val abbreviate : t -> string -> string option
+(** [abbreviate env uri] is [Some "p:local"] for the longest matching
+    namespace, or [None] when no binding applies. *)
+
+val fold : (string -> string -> 'a -> 'a) -> t -> 'a -> 'a
+(** Iterate over (prefix, namespace) bindings. *)
+
+val pp_term : t -> Term.t Fmt.t
+(** Term printer that abbreviates URIs through the environment. *)

@@ -1,0 +1,185 @@
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of string
+
+type cursor = {
+  text : string;
+  mutable pos : int;
+}
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some (' ' | '\t') -> advance c
+    | Some _ | None -> continue := false
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "expected %C, found %C" ch x
+  | None -> fail "expected %C, found end of line" ch
+
+let parse_uri c =
+  expect c '<';
+  let start = c.pos in
+  let rec loop () =
+    match peek c with
+    | Some '>' ->
+      let u = String.sub c.text start (c.pos - start) in
+      advance c;
+      u
+    | Some _ ->
+      advance c;
+      loop ()
+    | None -> fail "unterminated URI"
+  in
+  loop ()
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = '.'
+
+let parse_bnode c =
+  expect c '_';
+  expect c ':';
+  let start = c.pos in
+  let rec loop () =
+    match peek c with
+    | Some ch when is_name_char ch ->
+      advance c;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if c.pos = start then fail "empty blank node label";
+  String.sub c.text start (c.pos - start)
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c; loop ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance c; loop ()
+      | Some 'r' -> Buffer.add_char buf '\r'; advance c; loop ()
+      | Some '"' -> Buffer.add_char buf '"'; advance c; loop ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance c; loop ()
+      | Some ch -> fail "unknown escape \\%C" ch
+      | None -> fail "unterminated escape")
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      loop ()
+    | None -> fail "unterminated string literal"
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_literal c =
+  let value = parse_string_body c in
+  match peek c with
+  | Some '@' ->
+    advance c;
+    let start = c.pos in
+    let rec loop () =
+      match peek c with
+      | Some ch when is_name_char ch ->
+        advance c;
+        loop ()
+      | Some _ | None -> ()
+    in
+    loop ();
+    if c.pos = start then fail "empty language tag";
+    Term.lang_literal value (String.sub c.text start (c.pos - start))
+  | Some '^' ->
+    advance c;
+    expect c '^';
+    Term.typed_literal value (parse_uri c)
+  | Some _ | None -> Term.literal value
+
+let parse_subject c =
+  match peek c with
+  | Some '<' -> Term.uri (parse_uri c)
+  | Some '_' -> Term.bnode (parse_bnode c)
+  | Some ch -> fail "invalid subject start %C" ch
+  | None -> fail "missing subject"
+
+let parse_predicate c =
+  match peek c with
+  | Some '<' -> Term.uri (parse_uri c)
+  | Some ch -> fail "invalid predicate start %C" ch
+  | None -> fail "missing predicate"
+
+let parse_object c =
+  match peek c with
+  | Some '<' -> Term.uri (parse_uri c)
+  | Some '_' -> Term.bnode (parse_bnode c)
+  | Some '"' -> parse_literal c
+  | Some ch -> fail "invalid object start %C" ch
+  | None -> fail "missing object"
+
+let parse_line line =
+  let c = { text = line; pos = 0 } in
+  skip_ws c;
+  match peek c with
+  | None | Some '#' -> None
+  | Some _ ->
+    let s = parse_subject c in
+    skip_ws c;
+    let p = parse_predicate c in
+    skip_ws c;
+    let o = parse_object c in
+    skip_ws c;
+    expect c '.';
+    skip_ws c;
+    (match peek c with
+    | None | Some '#' -> ()
+    | Some ch -> fail "trailing content after '.': %C" ch);
+    Some (Triple.make s p o)
+
+let parse_triples text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line line with
+      | Some t -> loop (t :: acc) (lineno + 1) rest
+      | None -> loop acc (lineno + 1) rest
+      | exception Parse_error message -> Error { line = lineno; message })
+  in
+  loop [] 1 lines
+
+let parse text = Result.map Graph.of_list (parse_triples text)
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text
+
+let to_string g = Fmt.str "%a@." Graph.pp g
+
+let write_file path g =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc

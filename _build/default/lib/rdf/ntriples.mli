@@ -1,0 +1,24 @@
+(** N-Triples parser and serializer.
+
+    Line-based W3C N-Triples: one [s p o .] statement per line, [#] comments,
+    URIs in angle brackets, [_:label] blank nodes, and string literals with
+    optional language tag or datatype. *)
+
+type error = {
+  line : int;  (** 1-based line of the offending statement *)
+  message : string;
+}
+
+val pp_error : error Fmt.t
+
+val parse : string -> (Graph.t, error) result
+(** Parse a whole document. *)
+
+val parse_triples : string -> (Triple.t list, error) result
+(** Like {!parse} but preserves document order (and duplicates). *)
+
+val parse_file : string -> (Graph.t, error) result
+
+val to_string : Graph.t -> string
+
+val write_file : string -> Graph.t -> unit

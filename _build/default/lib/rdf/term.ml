@@ -1,0 +1,85 @@
+type literal_kind =
+  | Plain
+  | Lang of string
+  | Typed of string
+
+type t =
+  | Uri of string
+  | Literal of { value : string; kind : literal_kind }
+  | Bnode of string
+
+let uri u = Uri u
+
+let literal value = Literal { value; kind = Plain }
+
+let lang_literal value tag = Literal { value; kind = Lang tag }
+
+let typed_literal value dt = Literal { value; kind = Typed dt }
+
+let bnode label = Bnode label
+
+let is_uri = function Uri _ -> true | Literal _ | Bnode _ -> false
+
+let is_literal = function Literal _ -> true | Uri _ | Bnode _ -> false
+
+let is_bnode = function Bnode _ -> true | Uri _ | Literal _ -> false
+
+let compare_kind k1 k2 =
+  match k1, k2 with
+  | Plain, Plain -> 0
+  | Plain, (Lang _ | Typed _) -> -1
+  | Lang _, Plain -> 1
+  | Lang t1, Lang t2 -> String.compare t1 t2
+  | Lang _, Typed _ -> -1
+  | Typed _, (Plain | Lang _) -> 1
+  | Typed d1, Typed d2 -> String.compare d1 d2
+
+let compare t1 t2 =
+  match t1, t2 with
+  | Uri u1, Uri u2 -> String.compare u1 u2
+  | Uri _, (Literal _ | Bnode _) -> -1
+  | Literal _, Uri _ -> 1
+  | Literal l1, Literal l2 ->
+    let c = String.compare l1.value l2.value in
+    if c <> 0 then c else compare_kind l1.kind l2.kind
+  | Literal _, Bnode _ -> -1
+  | Bnode _, (Uri _ | Literal _) -> 1
+  | Bnode b1, Bnode b2 -> String.compare b1 b2
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash = Hashtbl.hash
+
+let escape_literal value =
+  let buf = Buffer.create (String.length value + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    value;
+  Buffer.contents buf
+
+let pp ppf = function
+  | Uri u -> Fmt.pf ppf "<%s>" u
+  | Literal { value; kind = Plain } -> Fmt.pf ppf "\"%s\"" (escape_literal value)
+  | Literal { value; kind = Lang tag } ->
+    Fmt.pf ppf "\"%s\"@%s" (escape_literal value) tag
+  | Literal { value; kind = Typed dt } ->
+    Fmt.pf ppf "\"%s\"^^<%s>" (escape_literal value) dt
+  | Bnode label -> Fmt.pf ppf "_:%s" label
+
+let to_string t = Fmt.str "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

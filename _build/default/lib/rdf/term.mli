@@ -1,0 +1,52 @@
+(** RDF terms: URIs, literals and blank nodes.
+
+    Terms are the values [Val(G)] of an RDF graph, following the W3C RDF
+    specification restricted to well-formed triples (the paper's setting):
+    URIs ([U]), typed or un-typed literals ([L]) and blank nodes ([B]). *)
+
+type literal_kind =
+  | Plain  (** un-typed, no language tag *)
+  | Lang of string  (** language-tagged, e.g. ["en"] *)
+  | Typed of string  (** datatype URI, e.g. xsd:integer *)
+
+type t =
+  | Uri of string
+  | Literal of { value : string; kind : literal_kind }
+  | Bnode of string
+      (** Blank node with a local label; a form of incomplete information
+          (unknown URI or literal). *)
+
+val uri : string -> t
+
+val literal : string -> t
+(** [literal v] is the plain literal ["v"]. *)
+
+val lang_literal : string -> string -> t
+(** [lang_literal v tag] is ["v"@tag]. *)
+
+val typed_literal : string -> string -> t
+(** [typed_literal v dt] is ["v"^^<dt>]. *)
+
+val bnode : string -> t
+
+val is_uri : t -> bool
+
+val is_literal : t -> bool
+
+val is_bnode : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : t Fmt.t
+(** N-Triples-style rendering: [<uri>], ["lit"], ["lit"@en], ["lit"^^<dt>],
+    [_:b]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

@@ -1,0 +1,30 @@
+type t = {
+  s : Term.t;
+  p : Term.t;
+  o : Term.t;
+}
+
+let make s p o = { s; p; o }
+
+let compare t1 t2 =
+  let c = Term.compare t1.s t2.s in
+  if c <> 0 then c
+  else
+    let c = Term.compare t1.p t2.p in
+    if c <> 0 then c else Term.compare t1.o t2.o
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash = Hashtbl.hash
+
+let pp ppf t = Fmt.pf ppf "%a %a %a ." Term.pp t.s Term.pp t.p Term.pp t.o
+
+let is_class_assertion t = Term.equal t.p Vocab.rdf_type
+
+let is_schema_triple t = Vocab.is_schema_property t.p
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

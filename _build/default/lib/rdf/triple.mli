@@ -1,0 +1,26 @@
+(** RDF triples [s p o]: subject [s] has property [p] with value [o]. *)
+
+type t = {
+  s : Term.t;
+  p : Term.t;
+  o : Term.t;
+}
+
+val make : Term.t -> Term.t -> Term.t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : t Fmt.t
+(** N-Triples rendering: [s p o .] *)
+
+val is_class_assertion : t -> bool
+(** [s rdf:type o]. *)
+
+val is_schema_triple : t -> bool
+(** Property is one of the four RDFS constraint properties. *)
+
+module Set : Set.S with type elt = t

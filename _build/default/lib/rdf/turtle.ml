@@ -1,0 +1,370 @@
+type error = {
+  line : int;
+  message : string;
+}
+
+let pp_error ppf e = Fmt.pf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of int * string
+
+type token =
+  | At_prefix
+  | Iriref of string
+  | Pname of string  (** prefixed name, e.g. ["ub:Student"] or ["ub:"] *)
+  | A_keyword
+  | Bnode_label of string
+  | String_lit of string
+  | Langtag of string
+  | Double_caret
+  | Integer_lit of string
+  | Decimal_lit of string
+  | Boolean_lit of bool
+  | Dot
+  | Semi
+  | Comma
+  | Eof
+
+let pp_token ppf = function
+  | At_prefix -> Fmt.string ppf "@prefix"
+  | Iriref u -> Fmt.pf ppf "<%s>" u
+  | Pname n -> Fmt.string ppf n
+  | A_keyword -> Fmt.string ppf "a"
+  | Bnode_label l -> Fmt.pf ppf "_:%s" l
+  | String_lit s -> Fmt.pf ppf "%S" s
+  | Langtag t -> Fmt.pf ppf "@%s" t
+  | Double_caret -> Fmt.string ppf "^^"
+  | Integer_lit s | Decimal_lit s -> Fmt.string ppf s
+  | Boolean_lit b -> Fmt.bool ppf b
+  | Dot -> Fmt.string ppf "."
+  | Semi -> Fmt.string ppf ";"
+  | Comma -> Fmt.string ppf ","
+  | Eof -> Fmt.string ppf "<eof>"
+
+type lexer = {
+  text : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let fail lx fmt = Fmt.kstr (fun m -> raise (Parse_error (lx.line, m))) fmt
+
+let peek lx = if lx.pos < String.length lx.text then Some lx.text.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.text then Some lx.text.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with Some '\n' -> lx.line <- lx.line + 1 | Some _ | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_ws lx
+  | Some '#' ->
+    let rec to_eol () =
+      match peek lx with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance lx;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws lx
+  | Some _ | None -> ()
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_pname_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || is_digit c || c = '_' || c = '-' || c = '.'
+
+let lex_while lx pred =
+  let start = lx.pos in
+  let rec loop () =
+    match peek lx with
+    | Some c when pred c ->
+      advance lx;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  String.sub lx.text start (lx.pos - start)
+
+let lex_iriref lx =
+  advance lx (* '<' *);
+  let u = lex_while lx (fun c -> c <> '>' && c <> '\n') in
+  (match peek lx with
+  | Some '>' -> advance lx
+  | Some _ | None -> fail lx "unterminated IRI");
+  Iriref u
+
+let lex_string lx =
+  advance lx (* '"' *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek lx with
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance lx; loop ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance lx; loop ()
+      | Some 'r' -> Buffer.add_char buf '\r'; advance lx; loop ()
+      | Some '"' -> Buffer.add_char buf '"'; advance lx; loop ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance lx; loop ()
+      | Some c -> fail lx "unknown escape \\%C" c
+      | None -> fail lx "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      loop ()
+    | None -> fail lx "unterminated string literal"
+  in
+  loop ();
+  String_lit (Buffer.contents buf)
+
+let lex_number lx =
+  let body = lex_while lx (fun c -> is_digit c || c = '.' || c = '+' || c = '-') in
+  (* A trailing '.' is the statement terminator, not part of the number. *)
+  let body, putback =
+    if String.length body > 0 && body.[String.length body - 1] = '.' then
+      (String.sub body 0 (String.length body - 1), true)
+    else (body, false)
+  in
+  if putback then lx.pos <- lx.pos - 1;
+  if body = "" then fail lx "invalid number";
+  if String.contains body '.' then Decimal_lit body else Integer_lit body
+
+let lex_token lx =
+  skip_ws lx;
+  match peek lx with
+  | None -> Eof
+  | Some '<' -> lex_iriref lx
+  | Some '"' -> lex_string lx
+  | Some '.' -> advance lx; Dot
+  | Some ';' -> advance lx; Semi
+  | Some ',' -> advance lx; Comma
+  | Some '^' -> (
+    advance lx;
+    match peek lx with
+    | Some '^' -> advance lx; Double_caret
+    | Some _ | None -> fail lx "expected ^^")
+  | Some '@' ->
+    advance lx;
+    let word = lex_while lx (fun c -> is_pname_char c && c <> '.') in
+    if word = "prefix" then At_prefix else Langtag word
+  | Some '_' when peek2 lx = Some ':' ->
+    advance lx;
+    advance lx;
+    let label = lex_while lx is_pname_char in
+    if label = "" then fail lx "empty blank node label";
+    Bnode_label label
+  | Some c when is_digit c || c = '+' || c = '-' -> lex_number lx
+  | Some c when is_pname_char c || c = ':' ->
+    let word =
+      lex_while lx (fun ch -> is_pname_char ch || ch = ':')
+    in
+    (* Strip a trailing '.' used as statement terminator, e.g. "ub:x." *)
+    let word =
+      if String.length word > 1 && word.[String.length word - 1] = '.' then begin
+        lx.pos <- lx.pos - 1;
+        String.sub word 0 (String.length word - 1)
+      end
+      else word
+    in
+    if word = "a" then A_keyword
+    else if word = "true" then Boolean_lit true
+    else if word = "false" then Boolean_lit false
+    else if String.contains word ':' then Pname word
+    else fail lx "unexpected token %S" word
+  | Some c -> fail lx "unexpected character %C" c
+
+type parser_state = {
+  lx : lexer;
+  mutable tok : token;
+  mutable env : Namespace.t;
+  mutable triples : Triple.t list;
+}
+
+let next st = st.tok <- lex_token st.lx
+
+let expect st tok =
+  if st.tok = tok then next st
+  else
+    fail st.lx "expected %a, found %a" pp_token tok pp_token st.tok
+
+let resolve st name =
+  match Namespace.expand st.env name with
+  | Ok u -> u
+  | Error msg -> fail st.lx "%s" msg
+
+let parse_iri st =
+  match st.tok with
+  | Iriref u ->
+    next st;
+    Term.uri u
+  | Pname n ->
+    next st;
+    Term.uri (resolve st n)
+  | tok -> fail st.lx "expected IRI, found %a" pp_token tok
+
+let parse_literal st value =
+  next st;
+  match st.tok with
+  | Langtag tag ->
+    next st;
+    Term.lang_literal value tag
+  | Double_caret ->
+    next st;
+    let dt = parse_iri st in
+    (match dt with
+    | Term.Uri u -> Term.typed_literal value u
+    | Term.Literal _ | Term.Bnode _ -> fail st.lx "datatype must be an IRI")
+  | _ -> Term.literal value
+
+let parse_object st =
+  match st.tok with
+  | Iriref _ | Pname _ -> parse_iri st
+  | Bnode_label l ->
+    next st;
+    Term.bnode l
+  | String_lit v -> parse_literal st v
+  | Integer_lit v ->
+    next st;
+    Term.typed_literal v Vocab.xsd_integer
+  | Decimal_lit v ->
+    next st;
+    Term.typed_literal v Vocab.xsd_decimal
+  | Boolean_lit b ->
+    next st;
+    Term.typed_literal (string_of_bool b) Vocab.xsd_boolean
+  | tok -> fail st.lx "expected object, found %a" pp_token tok
+
+let parse_subject st =
+  match st.tok with
+  | Iriref _ | Pname _ -> parse_iri st
+  | Bnode_label l ->
+    next st;
+    Term.bnode l
+  | tok -> fail st.lx "expected subject, found %a" pp_token tok
+
+let parse_verb st =
+  match st.tok with
+  | A_keyword ->
+    next st;
+    Vocab.rdf_type
+  | Iriref _ | Pname _ -> parse_iri st
+  | tok -> fail st.lx "expected predicate, found %a" pp_token tok
+
+let rec parse_object_list st subj pred =
+  let obj = parse_object st in
+  st.triples <- Triple.make subj pred obj :: st.triples;
+  match st.tok with
+  | Comma ->
+    next st;
+    parse_object_list st subj pred
+  | _ -> ()
+
+let rec parse_predicate_object_list st subj =
+  let pred = parse_verb st in
+  parse_object_list st subj pred;
+  match st.tok with
+  | Semi -> (
+    next st;
+    (* Allow a trailing ';' before '.' *)
+    match st.tok with
+    | Dot -> ()
+    | _ -> parse_predicate_object_list st subj)
+  | _ -> ()
+
+let parse_prefix_directive st =
+  next st (* @prefix *);
+  let prefix =
+    match st.tok with
+    | Pname n when String.length n > 0 && n.[String.length n - 1] = ':' ->
+      next st;
+      String.sub n 0 (String.length n - 1)
+    | tok -> fail st.lx "expected prefix declaration, found %a" pp_token tok
+  in
+  let uri =
+    match st.tok with
+    | Iriref u ->
+      next st;
+      u
+    | tok -> fail st.lx "expected namespace IRI, found %a" pp_token tok
+  in
+  expect st Dot;
+  st.env <- Namespace.add st.env ~prefix ~uri
+
+let rec parse_statements st =
+  match st.tok with
+  | Eof -> ()
+  | At_prefix ->
+    parse_prefix_directive st;
+    parse_statements st
+  | _ ->
+    let subj = parse_subject st in
+    parse_predicate_object_list st subj;
+    expect st Dot;
+    parse_statements st
+
+let parse ?(env = Namespace.default) text =
+  let lx = { text; pos = 0; line = 1 } in
+  match
+    let st = { lx; tok = Eof; env; triples = [] } in
+    st.tok <- lex_token lx;
+    parse_statements st;
+    (Graph.of_list st.triples, st.env)
+  with
+  | result -> Ok result
+  | exception Parse_error (line, message) -> Error { line; message }
+
+let parse_graph ?env text = Result.map fst (parse ?env text)
+
+let parse_file ?env path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_graph ?env text
+
+let to_string ?(env = Namespace.default) g =
+  let buf = Buffer.create 1024 in
+  Namespace.fold
+    (fun prefix ns () ->
+      Buffer.add_string buf (Printf.sprintf "@prefix %s: <%s> .\n" prefix ns))
+    env ();
+  Buffer.add_char buf '\n';
+  let pp_t = Namespace.pp_term env in
+  let pp_verb ppf p =
+    if Term.equal p Vocab.rdf_type then Fmt.string ppf "a" else pp_t ppf p
+  in
+  (* Group triples by subject for ';' abbreviation. *)
+  let by_subject = Hashtbl.create 64 in
+  let order = Refq_util.Vec.create () in
+  Graph.iter
+    (fun t ->
+      match Hashtbl.find_opt by_subject t.Triple.s with
+      | Some v -> Refq_util.Vec.push v t
+      | None ->
+        let v = Refq_util.Vec.create () in
+        Refq_util.Vec.push v t;
+        Hashtbl.add by_subject t.Triple.s v;
+        Refq_util.Vec.push order t.Triple.s)
+    g;
+  Refq_util.Vec.iter
+    (fun subj ->
+      let ts = Refq_util.Vec.to_list (Hashtbl.find by_subject subj) in
+      let body =
+        String.concat " ;\n    "
+          (List.map
+             (fun t ->
+               Fmt.str "%a %a" pp_verb t.Triple.p pp_t t.Triple.o)
+             ts)
+      in
+      Buffer.add_string buf (Fmt.str "%a %s .\n" pp_t subj body))
+    order;
+  Buffer.contents buf

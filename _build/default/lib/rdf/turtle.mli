@@ -1,0 +1,28 @@
+(** Turtle (subset) parser and serializer.
+
+    Supported: [@prefix] directives, IRIs in angle brackets, prefixed names,
+    the [a] keyword, [;]/[,] predicate and object lists, blank node labels,
+    string literals with escapes, language tags and datatypes, and bare
+    integer / decimal / boolean literals (mapped to the corresponding XSD
+    datatypes). Collections and anonymous blank-node property lists are out
+    of scope for the fragments the paper manipulates. *)
+
+type error = {
+  line : int;
+  message : string;
+}
+
+val pp_error : error Fmt.t
+
+val parse : ?env:Namespace.t -> string -> (Graph.t * Namespace.t, error) result
+(** Parse a document. [env] supplies initial prefix bindings (defaults to
+    {!Namespace.default}); the returned environment includes the document's
+    own [@prefix] directives. *)
+
+val parse_graph : ?env:Namespace.t -> string -> (Graph.t, error) result
+
+val parse_file : ?env:Namespace.t -> string -> (Graph.t, error) result
+
+val to_string : ?env:Namespace.t -> Graph.t -> string
+(** Serialize with subject grouping, the [a] keyword, and prefix
+    abbreviations from [env]. *)

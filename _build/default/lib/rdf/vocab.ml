@@ -1,0 +1,30 @@
+let rdf_ns = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+let rdfs_ns = "http://www.w3.org/2000/01/rdf-schema#"
+let xsd_ns = "http://www.w3.org/2001/XMLSchema#"
+
+let rdf_type = Term.uri (rdf_ns ^ "type")
+let rdfs_subclassof = Term.uri (rdfs_ns ^ "subClassOf")
+let rdfs_subpropertyof = Term.uri (rdfs_ns ^ "subPropertyOf")
+let rdfs_domain = Term.uri (rdfs_ns ^ "domain")
+let rdfs_range = Term.uri (rdfs_ns ^ "range")
+let rdfs_class = Term.uri (rdfs_ns ^ "Class")
+let rdf_property = Term.uri (rdf_ns ^ "Property")
+
+let xsd_integer = xsd_ns ^ "integer"
+let xsd_string = xsd_ns ^ "string"
+let xsd_decimal = xsd_ns ^ "decimal"
+let xsd_boolean = xsd_ns ^ "boolean"
+
+let is_schema_property t =
+  Term.equal t rdfs_subclassof
+  || Term.equal t rdfs_subpropertyof
+  || Term.equal t rdfs_domain
+  || Term.equal t rdfs_range
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_rdf_builtin = function
+  | Term.Uri u -> has_prefix ~prefix:rdf_ns u || has_prefix ~prefix:rdfs_ns u
+  | Term.Literal _ | Term.Bnode _ -> false

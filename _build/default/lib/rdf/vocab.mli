@@ -1,0 +1,48 @@
+(** Built-in RDF and RDFS vocabulary (Figure 1 of the paper).
+
+    The [rdf:] and [rdfs:] namespaces are used exactly for the built-in
+    classes and properties; [rdf:type] expresses class assertions and the
+    four RDFS properties express the semantic constraints of the DB
+    fragment. *)
+
+val rdf_ns : string
+(** ["http://www.w3.org/1999/02/22-rdf-syntax-ns#"] *)
+
+val rdfs_ns : string
+(** ["http://www.w3.org/2000/01/rdf-schema#"] *)
+
+val xsd_ns : string
+(** ["http://www.w3.org/2001/XMLSchema#"] *)
+
+val rdf_type : Term.t
+(** Class assertion property: [s rdf:type o] means [o(s)]. *)
+
+val rdfs_subclassof : Term.t
+(** Subclass constraint: [s rdfs:subClassOf o] means [s ⊆ o]. *)
+
+val rdfs_subpropertyof : Term.t
+(** Subproperty constraint: [s rdfs:subPropertyOf o] means [s ⊆ o]. *)
+
+val rdfs_domain : Term.t
+(** Domain typing: [s rdfs:domain o] means [Π_domain(s) ⊆ o]. *)
+
+val rdfs_range : Term.t
+(** Range typing: [s rdfs:range o] means [Π_range(s) ⊆ o]. *)
+
+val rdfs_class : Term.t
+
+val rdf_property : Term.t
+
+val xsd_integer : string
+
+val xsd_string : string
+
+val xsd_decimal : string
+
+val xsd_boolean : string
+
+val is_schema_property : Term.t -> bool
+(** True on the four RDFS constraint properties (Figure 1, bottom). *)
+
+val is_rdf_builtin : Term.t -> bool
+(** True on any term in the [rdf:] or [rdfs:] namespaces. *)

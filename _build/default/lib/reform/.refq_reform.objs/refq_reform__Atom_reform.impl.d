@@ -1,0 +1,1 @@
+lib/reform/atom_reform.ml: Closure Cq Fmt List Printf Profiles Refq_query Refq_rdf Refq_schema Term Vocab

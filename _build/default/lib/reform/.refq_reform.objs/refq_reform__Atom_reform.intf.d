@@ -1,0 +1,1 @@
+lib/reform/atom_reform.mli: Closure Cq Fmt Profiles Refq_query Refq_rdf Refq_schema Term

@@ -1,0 +1,1 @@
+lib/reform/profiles.ml: Fmt

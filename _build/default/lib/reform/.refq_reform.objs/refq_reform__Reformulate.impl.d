@@ -1,0 +1,1 @@
+lib/reform/reformulate.ml: Atom_reform Cover Cq Hashtbl Jucq List Printf Refq_query Ucq

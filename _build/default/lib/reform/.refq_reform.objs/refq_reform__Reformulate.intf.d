@@ -1,0 +1,1 @@
+lib/reform/reformulate.mli: Closure Cover Cq Jucq Profiles Refq_query Refq_schema Ucq

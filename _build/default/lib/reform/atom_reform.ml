@@ -1,0 +1,187 @@
+open Refq_rdf
+open Refq_schema
+open Refq_query
+
+type rewriting = {
+  atom : Cq.atom option;
+  subst : Cq.Subst.t;
+}
+
+let pp_rewriting ppf r =
+  Fmt.pf ppf "%a %a"
+    (Fmt.option ~none:(Fmt.any "⊤") Cq.pp_atom)
+    r.atom Cq.Subst.pp r.subst
+
+let unify_pat pat t subst =
+  match pat with
+  | Cq.Cst t' -> if Term.equal t t' then Some subst else None
+  | Cq.Var v -> Cq.Subst.bind v t subst
+
+let identity atom = { atom = Some atom; subst = Cq.Subst.empty }
+
+(* Rewritings of [s rdf:type c] for a class constant [c]:
+   R1 (subclasses), R2 (properties whose closed domain contains c),
+   R3 (properties whose closed range contains c). The extra [subst]
+   argument carries bindings already made by the caller (rule R9 binds the
+   property variable to rdf:type before delegating here). *)
+let type_of_class profile cl ~fresh ~subst s c =
+  let acc = ref [] in
+  if profile.Profiles.use_subclass then
+    Term.Set.iter
+      (fun c' ->
+        acc :=
+          { atom = Some (Cq.atom s (Cq.cst Vocab.rdf_type) (Cq.cst c')); subst }
+          :: !acc)
+      (Closure.subclasses cl c);
+  if profile.Profiles.use_domain_range then begin
+    Term.Set.iter
+      (fun p' ->
+        acc :=
+          { atom = Some (Cq.atom s (Cq.cst p') (Cq.var (fresh ()))); subst }
+          :: !acc)
+      (Closure.props_with_domain cl c);
+    Term.Set.iter
+      (fun p' ->
+        acc :=
+          { atom = Some (Cq.atom (Cq.var (fresh ())) (Cq.cst p') s); subst }
+          :: !acc)
+      (Closure.props_with_range cl c)
+  end;
+  !acc
+
+(* Rewritings of [s rdf:type z] for a variable (or constant) object:
+   R5/R6/R7 instantiate the class position with every class that can hold
+   entailed instances, unifying [o] with it. *)
+let type_of_any profile cl ~fresh ~subst s o =
+  let acc = ref [] in
+  if profile.Profiles.use_subclass then
+    List.iter
+      (fun (c1, c2) ->
+        match unify_pat o c2 subst with
+        | None -> ()
+        | Some subst ->
+          acc :=
+            { atom = Some (Cq.atom s (Cq.cst Vocab.rdf_type) (Cq.cst c1)); subst }
+            :: !acc)
+      (Closure.subclass_pairs cl);
+  if profile.Profiles.use_domain_range then begin
+    List.iter
+      (fun (p', c) ->
+        match unify_pat o c subst with
+        | None -> ()
+        | Some subst ->
+          acc :=
+            { atom = Some (Cq.atom s (Cq.cst p') (Cq.var (fresh ()))); subst }
+            :: !acc)
+      (Closure.domain_pairs cl);
+    List.iter
+      (fun (p', c) ->
+        match unify_pat o c subst with
+        | None -> ()
+        | Some subst ->
+          acc :=
+            { atom = Some (Cq.atom (Cq.var (fresh ())) (Cq.cst p') s); subst }
+            :: !acc)
+      (Closure.range_pairs cl)
+  end;
+  !acc
+
+(* Rewritings of an atom over one of the four RDFS schema properties
+   (R10–R12): every schema-closure pair entailing a matching triple yields
+   a fully-instantiated rewriting whose atom is dropped (the closure
+   guarantees it holds). Explicit schema triples are still matched by the
+   caller's identity rewriting. *)
+let schema_atom profile ~subst s o pairs =
+  if not profile.Profiles.use_schema_atoms then []
+  else
+    List.filter_map
+      (fun (a, b) ->
+        match unify_pat s a subst with
+        | None -> None
+        | Some subst -> (
+          match unify_pat o b subst with
+          | None -> None
+          | Some subst -> Some { atom = None; subst }))
+      pairs
+
+let rewrite ?(profile = Profiles.complete) cl ~fresh (a : Cq.atom) =
+  let base = [ identity a ] in
+  let extra =
+    match a.Cq.p with
+    | Cq.Cst p when Term.equal p Vocab.rdf_type -> (
+      match a.Cq.o with
+      | Cq.Cst (Term.Uri _ as c) ->
+        type_of_class profile cl ~fresh ~subst:Cq.Subst.empty a.Cq.s c
+      | Cq.Cst (Term.Literal _ | Term.Bnode _) -> []
+      | Cq.Var _ -> type_of_any profile cl ~fresh ~subst:Cq.Subst.empty a.Cq.s a.Cq.o)
+    | Cq.Cst p when Term.equal p Vocab.rdfs_subclassof ->
+      schema_atom profile ~subst:Cq.Subst.empty a.Cq.s a.Cq.o
+        (Closure.subclass_pairs cl)
+    | Cq.Cst p when Term.equal p Vocab.rdfs_subpropertyof ->
+      schema_atom profile ~subst:Cq.Subst.empty a.Cq.s a.Cq.o
+        (Closure.subproperty_pairs cl)
+    | Cq.Cst p when Term.equal p Vocab.rdfs_domain ->
+      schema_atom profile ~subst:Cq.Subst.empty a.Cq.s a.Cq.o
+        (Closure.domain_pairs cl)
+    | Cq.Cst p when Term.equal p Vocab.rdfs_range ->
+      schema_atom profile ~subst:Cq.Subst.empty a.Cq.s a.Cq.o
+        (Closure.range_pairs cl)
+    | Cq.Cst _ ->
+      (* R4: a plain property constant unfolds to its strict subproperties. *)
+      if profile.Profiles.use_subproperty then
+        match a.Cq.p with
+        | Cq.Cst p ->
+          Term.Set.fold
+            (fun p' acc ->
+              { atom = Some (Cq.atom a.Cq.s (Cq.cst p') a.Cq.o);
+                subst = Cq.Subst.empty }
+              :: acc)
+            (Closure.subproperties cl p) []
+        | Cq.Var _ -> assert false
+      else []
+    | Cq.Var v ->
+      (* Property-position variable: R8 (subproperty pairs), R9 (the atom
+         may match entailed rdf:type triples) and R13 (it may match
+         entailed schema triples). *)
+      let r8 =
+        if profile.Profiles.use_subproperty then
+          List.filter_map
+            (fun (p1, p2) ->
+              match Cq.Subst.bind v p2 Cq.Subst.empty with
+              | None -> None
+              | Some subst ->
+                Some { atom = Some (Cq.atom a.Cq.s (Cq.cst p1) a.Cq.o); subst })
+            (Closure.subproperty_pairs cl)
+        else []
+      in
+      let r9 =
+        match Cq.Subst.bind v Vocab.rdf_type Cq.Subst.empty with
+        | None -> []
+        | Some subst -> type_of_any profile cl ~fresh ~subst a.Cq.s a.Cq.o
+      in
+      let r13 =
+        if not profile.Profiles.use_schema_atoms then []
+        else
+          List.concat_map
+            (fun (prop, pairs) ->
+              match Cq.Subst.bind v prop Cq.Subst.empty with
+              | None -> []
+              | Some subst -> schema_atom profile ~subst a.Cq.s a.Cq.o pairs)
+            [
+              (Vocab.rdfs_subclassof, Closure.subclass_pairs cl);
+              (Vocab.rdfs_subpropertyof, Closure.subproperty_pairs cl);
+              (Vocab.rdfs_domain, Closure.domain_pairs cl);
+              (Vocab.rdfs_range, Closure.range_pairs cl);
+            ]
+      in
+      r8 @ r9 @ r13
+  in
+  base @ extra
+
+let count ?profile cl a =
+  let n = ref 0 in
+  let fresh () =
+    incr n;
+    Printf.sprintf "%s%d" Cq.fresh_var_prefix !n
+  in
+  List.length (rewrite ?profile cl ~fresh a)

@@ -1,0 +1,47 @@
+(** Per-atom backward chaining — our rendering of the 13 reformulation
+    rules of [9] (see DESIGN.md §2 for the rule table).
+
+    Every instance-level entailment rule of the DB fragment has exactly one
+    instance premise (its other premises are schema constraints), so a
+    query atom reformulates {e independently} of the other atoms into a
+    finite set of rewritings. A rewriting is:
+
+    - a replacement atom ([Some atom]) to be evaluated against the explicit
+      triples, possibly introducing a fresh non-distinguished variable
+      (domain/range rules), or [None] when the atom is a query over a
+      schema triple that the schema closure entails by itself (the atom is
+      then dropped as true);
+    - a substitution binding the atom's variables to schema constants
+      (class/property-position variable instantiation).
+
+    The identity rewriting (the atom itself, empty substitution) is always
+    included: explicit triples answer the atom too. *)
+
+open Refq_rdf
+open Refq_schema
+open Refq_query
+
+type rewriting = {
+  atom : Cq.atom option;
+  subst : Cq.Subst.t;
+}
+
+val rewrite :
+  ?profile:Profiles.t ->
+  Closure.t ->
+  fresh:(unit -> string) ->
+  Cq.atom ->
+  rewriting list
+(** All rewritings of the atom under the (closed) schema. [fresh] supplies
+    globally fresh variable names (prefix {!Cq.fresh_var_prefix}). The
+    default profile is {!Profiles.complete}. *)
+
+val count : ?profile:Profiles.t -> Closure.t -> Cq.atom -> int
+(** Number of rewritings, without materializing fresh variables. *)
+
+val pp_rewriting : rewriting Fmt.t
+
+val unify_pat : Cq.pat -> Term.t -> Cq.Subst.t -> Cq.Subst.t option
+(** [unify_pat pat t subst] binds a variable pattern to [t] or checks a
+    constant pattern against it. Exposed for the reformulation engine and
+    tests. *)

@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  use_subclass : bool;
+  use_subproperty : bool;
+  use_domain_range : bool;
+  use_schema_atoms : bool;
+}
+
+let complete =
+  {
+    name = "complete";
+    use_subclass = true;
+    use_subproperty = true;
+    use_domain_range = true;
+    use_schema_atoms = true;
+  }
+
+let hierarchies_only =
+  {
+    name = "hierarchies-only";
+    use_subclass = true;
+    use_subproperty = true;
+    use_domain_range = false;
+    use_schema_atoms = false;
+  }
+
+let subclass_only =
+  {
+    name = "subclass-only";
+    use_subclass = true;
+    use_subproperty = false;
+    use_domain_range = false;
+    use_schema_atoms = false;
+  }
+
+let none =
+  {
+    name = "none";
+    use_subclass = false;
+    use_subproperty = false;
+    use_domain_range = false;
+    use_schema_atoms = false;
+  }
+
+let all = [ complete; hierarchies_only; subclass_only; none ]
+
+let pp ppf p = Fmt.string ppf p.name

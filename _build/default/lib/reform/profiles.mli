@@ -1,0 +1,34 @@
+(** Reformulation profiles: which RDFS constraints the rewriter uses.
+
+    The complete profile implements the full rule set of [9]. The partial
+    profiles model the {e incomplete} fixed reformulation strategies of
+    off-the-shelf RDF platforms integrated in the demonstration (Virtuoso,
+    AllegroGraph), which ignore some RDFS constraints [6] and therefore
+    miss answers — exactly what experiment E6 measures. *)
+
+type t = {
+  name : string;
+  use_subclass : bool;  (** rules R1 / R5 *)
+  use_subproperty : bool;  (** rules R4 / R8 *)
+  use_domain_range : bool;  (** rules R2 / R3 / R6 / R7 *)
+  use_schema_atoms : bool;
+      (** rules R10–R13: instantiation of query atoms over the RDFS
+          vocabulary against the schema closure *)
+}
+
+val complete : t
+(** All thirteen rules — the reference strategy of [9]. *)
+
+val hierarchies_only : t
+(** Subclass and subproperty reasoning only (domain/range ignored): a
+    Virtuoso-style fixed strategy. *)
+
+val subclass_only : t
+(** Subclass reasoning only: an AllegroGraph-RDFS++-style strategy. *)
+
+val none : t
+(** No reasoning: plain query evaluation. *)
+
+val all : t list
+
+val pp : t Fmt.t

@@ -1,0 +1,107 @@
+open Refq_query
+
+exception Too_large of int
+
+let default_max = 1_000_000
+
+let make_fresh () =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "%s%d" Cq.fresh_var_prefix !counter
+
+(* Cartesian product of per-atom rewritings with substitution merging.
+   Every rewriting keeps or binds each variable of its source atom, so the
+   final queries are safe by construction. *)
+let combos ?profile ~max_disjuncts cl body =
+  let fresh = make_fresh () in
+  let per_atom = List.map (Atom_reform.rewrite ?profile cl ~fresh) body in
+  List.fold_left
+    (fun acc rewritings ->
+      let next =
+        List.concat_map
+          (fun (atoms_rev, subst) ->
+            List.filter_map
+              (fun rw ->
+                match Cq.Subst.merge subst rw.Atom_reform.subst with
+                | None -> None
+                | Some subst ->
+                  let atoms_rev =
+                    match rw.Atom_reform.atom with
+                    | Some a -> a :: atoms_rev
+                    | None -> atoms_rev
+                  in
+                  Some (atoms_rev, subst))
+              rewritings)
+          acc
+      in
+      if List.length next > max_disjuncts then raise (Too_large (List.length next));
+      next)
+    [ ([], Cq.Subst.empty) ]
+    per_atom
+
+let cq_to_ucq ?profile ?(max_disjuncts = default_max) cl q =
+  let cs = combos ?profile ~max_disjuncts cl q.Cq.body in
+  let disjuncts =
+    List.map
+      (fun (atoms_rev, subst) ->
+        let body = List.rev_map (Cq.Subst.apply_atom subst) atoms_rev in
+        let head = List.map (Cq.Subst.apply_pat subst) q.Cq.head in
+        Cq.make ~head ~body)
+      cs
+  in
+  Ucq.of_disjuncts disjuncts
+
+let count_disjuncts ?profile cl q =
+  let fresh = make_fresh () in
+  let per_atom =
+    List.map (Atom_reform.rewrite ?profile cl ~fresh) q.Cq.body
+  in
+  (* Group partial combinations by their substitution: the atoms kept so
+     far do not influence the future choices, so only the substitution and
+     a multiplicity are needed. *)
+  (* Substitutions compare structurally through their bindings. *)
+  let key s = Cq.Subst.bindings s in
+  let groups = Hashtbl.create 64 in
+  Hashtbl.replace groups (key Cq.Subst.empty) (Cq.Subst.empty, 1);
+  let step groups rewritings =
+    let next = Hashtbl.create (Hashtbl.length groups) in
+    Hashtbl.iter
+      (fun _ (subst, count) ->
+        List.iter
+          (fun rw ->
+            match Cq.Subst.merge subst rw.Atom_reform.subst with
+            | None -> ()
+            | Some subst' ->
+              let k = key subst' in
+              let prev =
+                match Hashtbl.find_opt next k with
+                | Some (_, c) -> c
+                | None -> 0
+              in
+              Hashtbl.replace next k (subst', prev + count))
+          rewritings)
+      groups;
+    next
+  in
+  let final = List.fold_left step groups per_atom in
+  Hashtbl.fold (fun _ (_, c) acc -> acc + c) final 0
+
+let fragment_ucq ?profile ?max_disjuncts cl q frag =
+  let fcq = Cover.fragment_cq q frag in
+  let out = Cq.head_vars fcq in
+  { Jucq.out; ucq = cq_to_ucq ?profile ?max_disjuncts cl fcq }
+
+let cover_to_jucq ?profile ?max_disjuncts cl q cover =
+  let fragments =
+    List.map (fragment_ucq ?profile ?max_disjuncts cl q) (Cover.fragments cover)
+  in
+  Jucq.make ~head:q.Cq.head ~fragments
+
+let scq ?profile ?max_disjuncts cl q =
+  cover_to_jucq ?profile ?max_disjuncts cl q
+    (Cover.singleton ~n_atoms:(List.length q.Cq.body))
+
+let ucq_as_jucq ?profile ?max_disjuncts cl q =
+  cover_to_jucq ?profile ?max_disjuncts cl q
+    (Cover.one_fragment ~n_atoms:(List.length q.Cq.body))

@@ -1,0 +1,53 @@
+(** Reformulation-based query answering: CQ → UCQ / SCQ / JUCQ.
+
+    The query reformulation algorithm of [9] exhaustively applies the
+    thirteen rules ({!Atom_reform}) in a backward-chaining fashion,
+    producing a UCQ [qref] such that evaluating [qref] against the explicit
+    triples retrieves the complete answer: [q(db∞) = qref(db)].
+
+    Query covering ([5], Section 4 of the paper) generalizes this: each
+    cover fragment is reformulated with the same CQ-to-UCQ algorithm and
+    the fragments' results are joined, yielding a JUCQ. The one-fragment
+    cover gives the classical UCQ; the singleton cover gives the SCQ of
+    [15]; everything in between is the search space of GCov. *)
+
+open Refq_schema
+open Refq_query
+
+exception Too_large of int
+(** Raised by {!cq_to_ucq} when the reformulation exceeds [max_disjuncts]
+    (the paper's 318,096-CQ union "could not even be parsed"; the argument
+    is the number of disjuncts at which generation stopped). *)
+
+val cq_to_ucq :
+  ?profile:Profiles.t -> ?max_disjuncts:int -> Closure.t -> Cq.t -> Ucq.t
+(** The CQ-to-UCQ reformulation: cartesian product of the per-atom
+    rewritings with substitution merging; the merged substitution is
+    applied to the head and every kept atom. [max_disjuncts] defaults to
+    1,000,000. *)
+
+val count_disjuncts : ?profile:Profiles.t -> Closure.t -> Cq.t -> int
+(** Exact number of disjuncts [cq_to_ucq] would produce, without
+    materializing their bodies (and before duplicate elimination); used by
+    the size sweeps of experiment E2. *)
+
+val fragment_ucq :
+  ?profile:Profiles.t -> ?max_disjuncts:int -> Closure.t -> Cq.t ->
+  int list -> Jucq.fragment
+(** Reformulate one cover fragment (atom indices) of the query into a
+    fragment UCQ whose output columns are the fragment's visible
+    variables. *)
+
+val cover_to_jucq :
+  ?profile:Profiles.t -> ?max_disjuncts:int -> Closure.t -> Cq.t ->
+  Cover.t -> Jucq.t
+(** The JUCQ induced by a cover. *)
+
+val scq :
+  ?profile:Profiles.t -> ?max_disjuncts:int -> Closure.t -> Cq.t -> Jucq.t
+(** The SCQ reformulation [15]: {!cover_to_jucq} on the singleton cover. *)
+
+val ucq_as_jucq :
+  ?profile:Profiles.t -> ?max_disjuncts:int -> Closure.t -> Cq.t -> Jucq.t
+(** The UCQ reformulation wrapped as a one-fragment JUCQ, so that all
+    strategies flow through the same evaluation path. *)

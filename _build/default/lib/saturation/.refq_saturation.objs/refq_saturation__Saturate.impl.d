@@ -1,0 +1,1 @@
+lib/saturation/saturate.ml: Closure Dictionary Graph Hashtbl List Option Refq_rdf Refq_schema Refq_storage Schema Store Sys Term Triple Vocab

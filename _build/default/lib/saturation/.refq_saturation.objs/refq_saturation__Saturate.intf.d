@@ -1,0 +1,1 @@
+lib/saturation/saturate.mli: Graph Refq_rdf Refq_storage Store Triple

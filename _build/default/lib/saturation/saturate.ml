@@ -1,0 +1,294 @@
+open Refq_rdf
+open Refq_schema
+open Refq_storage
+
+type info = {
+  input_triples : int;
+  output_triples : int;
+  rounds : int;
+  elapsed_s : float;
+}
+
+(* Id-level view of a closed schema: every rule premise becomes an integer
+   table lookup. Built once per outer round. *)
+type id_schema = {
+  rdf_type : int;
+  superclasses : (int, int list) Hashtbl.t;
+  superproperties : (int, int list) Hashtbl.t;
+  domains : (int, int list) Hashtbl.t;
+  ranges : (int, int list) Hashtbl.t;
+}
+
+let id_schema_of_closure dict closure =
+  let encode = Dictionary.encode dict in
+  let table pairs_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (a, b) ->
+        let ka = encode a in
+        Hashtbl.replace tbl ka (encode b :: Option.value ~default:[] (Hashtbl.find_opt tbl ka)))
+      pairs_of;
+    tbl
+  in
+  {
+    rdf_type = encode Vocab.rdf_type;
+    superclasses = table (Closure.subclass_pairs closure);
+    superproperties = table (Closure.subproperty_pairs closure);
+    domains = table (Closure.domain_pairs closure);
+    ranges = table (Closure.range_pairs closure);
+  }
+
+let find_all tbl k = Option.value ~default:[] (Hashtbl.find_opt tbl k)
+
+(* Consequences of one triple under a *closed* schema: because every
+   instance rule has a single instance premise and the schema relations
+   are transitively closed (with domains/ranges propagated both along
+   subproperties and up subclasses), one application per triple derives
+   everything that triple entails — no fixpoint needed at the instance
+   level. *)
+let derive_one sch ~emit s p o =
+  if p = sch.rdf_type then
+    (* rdfs9 through the closed subclass relation *)
+    List.iter (fun c -> emit s sch.rdf_type c) (find_all sch.superclasses o)
+  else begin
+    (* rdfs7 through the closed subproperty relation *)
+    List.iter (fun p' -> emit s p' o) (find_all sch.superproperties p);
+    (* rdfs2 / rdfs3 through the closed domains and ranges *)
+    List.iter (fun c -> emit s sch.rdf_type c) (find_all sch.domains p);
+    List.iter (fun c -> emit o sch.rdf_type c) (find_all sch.ranges p)
+  end
+
+(* One saturation round: apply every instance rule to every triple of
+   [src], writing into [dst] (which already contains [src]'s triples and
+   the entailed schema triples). *)
+let round sch src dst =
+  Store.iter_all src (fun s p o -> derive_one sch ~emit:(Store.add_ids dst) s p o)
+
+let schema_of_store st =
+  let g = ref Schema.empty in
+  Store.iter_all st (fun s p o ->
+      let t =
+        Triple.make (Store.decode_id st s) (Store.decode_id st p)
+          (Store.decode_id st o)
+      in
+      match Schema.constr_of_triple t with
+      | Some c -> g := Schema.add c !g
+      | None -> ());
+  !g
+
+let store_info db =
+  let t0 = Sys.time () in
+  let dict = Store.dictionary db in
+  let rec fixpoint src rounds =
+    let schema = schema_of_store src in
+    let closure = Closure.of_schema schema in
+    let dst = Store.create ~dictionary:dict () in
+    Store.iter_all src (fun s p o -> Store.add_ids dst s p o);
+    (* Entailed schema triples (rdfs5, rdfs11 and the ext rules). *)
+    Graph.iter
+      (fun t -> Store.add_triple dst t)
+      (Closure.entailed_schema_graph closure);
+    let sch = id_schema_of_closure dict closure in
+    round sch src dst;
+    (* Derived triples may themselves be schema triples (non-standard
+       graphs): in that case the schema grew and we must iterate. *)
+    let new_schema = schema_of_store dst in
+    if Store.size dst = Store.size src && rounds > 0 then (dst, rounds)
+    else if Schema.cardinal new_schema > Schema.cardinal schema then
+      fixpoint dst (rounds + 1)
+    else begin
+      (* The schema is stable; one more closed-schema round is complete
+         iff it adds nothing, which holds because every rule consequence
+         of a derived triple is already covered by the closed schema.
+         We assert this in tests rather than re-scanning here. *)
+      (dst, rounds + 1)
+    end
+  in
+  let result, rounds = fixpoint db 0 in
+  ( result,
+    {
+      input_triples = Store.size db;
+      output_triples = Store.size result;
+      rounds;
+      elapsed_s = Sys.time () -. t0;
+    } )
+
+let store db = fst (store_info db)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+(* ------------------------------------------------------------------ *)
+
+let add_incremental sat additions =
+  if List.exists Triple.is_schema_triple additions then begin
+    (* A constraint changed: the closure itself changes, so re-saturate.
+       Saturation is monotone and idempotent, so saturating the (already
+       saturated) store extended with the additions equals saturating the
+       original graph extended with them. *)
+    List.iter (Store.add_triple sat) additions;
+    `Resaturated (store sat)
+  end
+  else begin
+    let closure = Closure.of_schema (schema_of_store sat) in
+    let sch = id_schema_of_closure (Store.dictionary sat) closure in
+    let before = Store.size sat in
+    List.iter
+      (fun { Triple.s; p; o } ->
+        let s = Store.encode_term sat s in
+        let p = Store.encode_term sat p in
+        let o = Store.encode_term sat o in
+        Store.add_ids sat s p o;
+        derive_one sch ~emit:(Store.add_ids sat) s p o)
+      additions;
+    `Incremental (Store.size sat - before)
+  end
+
+(* DRed-style deletion maintenance, specialized to single-instance-premise
+   rules: the over-deletion of a triple is exactly [derive_one] of it, and
+   a one-pass scan of the remaining explicit triples re-derives every
+   candidate that is still entailed. *)
+let remove_incremental ~base sat deletions =
+  if List.exists Triple.is_schema_triple deletions then begin
+    (* The closure shrinks: derivations cannot be repaired locally. *)
+    List.iter (Store.remove_triple base) deletions;
+    List.iter (Store.remove_triple sat) deletions;
+    `Resaturated (store base)
+  end
+  else begin
+    let closure = Closure.of_schema (schema_of_store sat) in
+    let sch = id_schema_of_closure (Store.dictionary sat) closure in
+    let before = Store.size sat in
+    (* Over-deletion candidates: the deleted triples and everything they
+       (alone) entail. *)
+    let candidates : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let mark s p o = Hashtbl.replace candidates (s, p, o) () in
+    List.iter
+      (fun t ->
+        match
+          ( Store.find_term sat t.Triple.s,
+            Store.find_term sat t.Triple.p,
+            Store.find_term sat t.Triple.o )
+        with
+        | Some s, Some p, Some o ->
+          mark s p o;
+          derive_one sch ~emit:mark s p o
+        | _ -> ())
+      deletions;
+    (* Remove the explicit deletions from the base of record first. *)
+    List.iter (Store.remove_triple base) deletions;
+    (* Re-derivation: a candidate survives iff it is still explicit or is
+       entailed by a remaining explicit triple. *)
+    let survivors : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let save s p o =
+      if Hashtbl.mem candidates (s, p, o) then
+        Hashtbl.replace survivors (s, p, o) ()
+    in
+    Store.iter_all base (fun s p o ->
+        save s p o;
+        derive_one sch ~emit:save s p o);
+    Hashtbl.iter
+      (fun (s, p, o) () ->
+        if not (Hashtbl.mem survivors (s, p, o)) then Store.remove_ids sat s p o)
+      candidates;
+    `Incremental (before - Store.size sat)
+  end
+
+let graph g =
+  let st = Store.of_graph g in
+  Store.to_graph (store st)
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation (term-level, brute force)                  *)
+(* ------------------------------------------------------------------ *)
+
+let graph_reference g =
+  let derive g =
+    Graph.fold
+      (fun { Triple.s; p; o } acc ->
+        let acc =
+          if Term.equal p Vocab.rdf_type then
+            (* rdfs9 *)
+            Graph.fold
+              (fun t acc ->
+                if
+                  Term.equal t.Triple.p Vocab.rdfs_subclassof
+                  && Term.equal t.Triple.s o
+                then Graph.add_triple acc s Vocab.rdf_type t.Triple.o
+                else acc)
+              g acc
+          else acc
+        in
+        let acc =
+          (* rdfs5 / rdfs11: transitivity of the two hierarchies *)
+          if
+            Term.equal p Vocab.rdfs_subclassof
+            || Term.equal p Vocab.rdfs_subpropertyof
+          then
+            Graph.fold
+              (fun t acc ->
+                if Term.equal t.Triple.p p && Term.equal t.Triple.s o then
+                  Graph.add_triple acc s p t.Triple.o
+                else acc)
+              g acc
+          else acc
+        in
+        let acc =
+          (* ext: domain/range inheritance along subproperties *)
+          if Term.equal p Vocab.rdfs_subpropertyof then
+            Graph.fold
+              (fun t acc ->
+                if
+                  (Term.equal t.Triple.p Vocab.rdfs_domain
+                  || Term.equal t.Triple.p Vocab.rdfs_range)
+                  && Term.equal t.Triple.s o
+                then Graph.add_triple acc s t.Triple.p t.Triple.o
+                else acc)
+              g acc
+          else acc
+        in
+        let acc =
+          (* ext: domain/range propagation along subclasses *)
+          if Term.equal p Vocab.rdfs_domain || Term.equal p Vocab.rdfs_range
+          then
+            Graph.fold
+              (fun t acc ->
+                if
+                  Term.equal t.Triple.p Vocab.rdfs_subclassof
+                  && Term.equal t.Triple.s o
+                then Graph.add_triple acc s p t.Triple.o
+                else acc)
+              g acc
+          else acc
+        in
+        let acc =
+          (* rdfs7: subproperty propagation on assertions *)
+          Graph.fold
+            (fun t acc ->
+              if
+                Term.equal t.Triple.p Vocab.rdfs_subpropertyof
+                && Term.equal t.Triple.s p
+              then Graph.add_triple acc s t.Triple.o o
+              else acc)
+            g acc
+        in
+        let acc =
+          (* rdfs2 / rdfs3 *)
+          Graph.fold
+            (fun t acc ->
+              if Term.equal t.Triple.s p then
+                if Term.equal t.Triple.p Vocab.rdfs_domain then
+                  Graph.add_triple acc s Vocab.rdf_type t.Triple.o
+                else if Term.equal t.Triple.p Vocab.rdfs_range then
+                  Graph.add_triple acc o Vocab.rdf_type t.Triple.o
+                else acc
+              else acc)
+            g acc
+        in
+        acc)
+      g g
+  in
+  let rec fixpoint g =
+    let g' = derive g in
+    if Graph.cardinal g' = Graph.cardinal g then g else fixpoint g'
+  in
+  fixpoint g

@@ -1,0 +1,72 @@
+(** Saturation (closure) of RDF graphs — the [Sat] query answering
+    technique.
+
+    The saturation [G∞] of a graph [G] is the fixpoint of the immediate
+    entailment rules of the DB fragment (RDFS entailment, Figure 1):
+
+    - rdfs2: [(p domain c), (s p o) ⊢ (s rdf:type c)]
+    - rdfs3: [(p range c), (s p o) ⊢ (o rdf:type c)]
+    - rdfs5: [(p1 ⊑p p2), (p2 ⊑p p3) ⊢ (p1 ⊑p p3)]
+    - rdfs7: [(p1 ⊑p p2), (s p1 o) ⊢ (s p2 o)]
+    - rdfs9: [(c1 ⊑c c2), (s rdf:type c1) ⊢ (s rdf:type c2)]
+    - rdfs11: [(c1 ⊑c c2), (c2 ⊑c c3) ⊢ (c1 ⊑c c3)]
+    - ext: domain/range inheritance along [⊑p] and propagation along [⊑c]
+      (deriving schema triples, cf. {!Refq_schema.Closure}).
+
+    [G∞] is unique and finite; [G ⊢RDF s p o] iff [s p o ∈ G∞]. The
+    semantics of a graph is its saturation, so the (complete) answer of a
+    query [q] against [G] is [q(G∞)]. *)
+
+open Refq_rdf
+open Refq_storage
+
+type info = {
+  input_triples : int;
+  output_triples : int;
+  rounds : int;  (** outer fixpoint rounds (1 for standard graphs) *)
+  elapsed_s : float;
+}
+
+val store : Store.t -> Store.t
+(** [store db] is a new store (sharing [db]'s dictionary) holding [db∞].
+    The schema is extracted from [db]'s RDFS triples, closed, and the
+    instance rules are applied in one scan per outer round; a second round
+    only occurs for non-standard graphs whose derived triples extend the
+    schema itself. *)
+
+val store_info : Store.t -> Store.t * info
+
+val graph : Graph.t -> Graph.t
+(** Term-level convenience wrapper around {!store}. *)
+
+val add_incremental :
+  Store.t -> Triple.t list -> [ `Incremental of int | `Resaturated of Store.t ]
+(** Maintenance after insertions — the cost [Sat] pays that [Ref] avoids
+    (Section 1). The first argument must be a {e saturated} store.
+
+    - Data-triple additions are absorbed in place: each new triple's
+      consequences are derived in a single pass (the closed schema makes
+      instance-level entailment one-shot). Returns the number of triples
+      actually added (additions plus consequences).
+    - If any addition is an RDFS constraint the schema closure itself
+      changes and the store is re-saturated from scratch
+      ([`Resaturated]). *)
+
+val remove_incremental :
+  base:Store.t ->
+  Store.t ->
+  Triple.t list ->
+  [ `Incremental of int | `Resaturated of Store.t ]
+(** DRed-style maintenance after deletions ([9] handles {e dynamic} RDF
+    databases). [base] is the store of explicit triples (the deletions are
+    removed from it as part of the call); the second argument is its
+    saturation, updated in place. Over-deletion candidates are the deleted
+    triples plus their direct consequences; one scan of the remaining base
+    re-derives the survivors (sound and complete because every rule has a
+    single instance premise under the closed schema). Returns the number
+    of triples removed from the saturation, or a full re-saturation when a
+    deletion is an RDFS constraint (the closure itself shrinks). *)
+
+val graph_reference : Graph.t -> Graph.t
+(** Brute-force fixpoint applying each rule triple-by-triple until no
+    change; the executable specification {!store} is tested against. *)

@@ -1,0 +1,1 @@
+lib/schema/closure.ml: List Option Refq_rdf Schema Term

@@ -1,0 +1,1 @@
+lib/schema/closure.mli: Graph Refq_rdf Schema Term

@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Fmt Graph Refq_rdf Set Stdlib Term Triple Vocab

@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Fmt Graph Refq_rdf Term Triple

@@ -1,0 +1,182 @@
+open Refq_rdf
+
+type t = {
+  schema : Schema.t;
+  supc : Term.Set.t Term.Map.t;  (** class ↦ strict superclasses *)
+  subc : Term.Set.t Term.Map.t;
+  supp : Term.Set.t Term.Map.t;  (** property ↦ strict superproperties *)
+  subp : Term.Set.t Term.Map.t;
+  dom : Term.Set.t Term.Map.t;  (** property ↦ closed domains *)
+  rng : Term.Set.t Term.Map.t;
+  dom_inv : Term.Set.t Term.Map.t;  (** class ↦ properties with that domain *)
+  rng_inv : Term.Set.t Term.Map.t;
+}
+
+let set_find k m = Option.value ~default:Term.Set.empty (Term.Map.find_opt k m)
+
+let map_add_edge k v m = Term.Map.update k
+    (function None -> Some (Term.Set.singleton v) | Some s -> Some (Term.Set.add v s))
+    m
+
+(* Transitive closure of a small relation given as a list of edges, by DFS
+   from each source node. Schemas have at most a few hundred classes, so the
+   quadratic worst case is irrelevant. *)
+let transitive_closure edges =
+  let succ =
+    List.fold_left (fun m (a, b) -> map_add_edge a b m) Term.Map.empty edges
+  in
+  let close start =
+    let visited = ref Term.Set.empty in
+    let rec dfs n =
+      Term.Set.iter
+        (fun m ->
+          if not (Term.Set.mem m !visited) then begin
+            visited := Term.Set.add m !visited;
+            dfs m
+          end)
+        (set_find n succ)
+    in
+    dfs start;
+    !visited
+  in
+  Term.Map.fold (fun n _ acc -> Term.Map.add n (close n) acc) succ Term.Map.empty
+
+let invert m =
+  Term.Map.fold
+    (fun k vs acc -> Term.Set.fold (fun v acc -> map_add_edge v k acc) vs acc)
+    m Term.Map.empty
+
+let of_schema schema =
+  let sc_edges, sp_edges, doms, rngs =
+    Schema.fold
+      (fun c (sc, sp, d, r) ->
+        match c with
+        | Schema.Subclass (c1, c2) -> ((c1, c2) :: sc, sp, d, r)
+        | Schema.Subproperty (p1, p2) -> (sc, (p1, p2) :: sp, d, r)
+        | Schema.Domain (p, c) -> (sc, sp, (p, c) :: d, r)
+        | Schema.Range (p, c) -> (sc, sp, d, (p, c) :: r))
+      schema ([], [], [], [])
+  in
+  let supc = transitive_closure sc_edges in
+  let supp = transitive_closure sp_edges in
+  (* Closed domains: declared domains of p and of its superproperties,
+     propagated up the class hierarchy. *)
+  let close_assignments declared supp supc =
+    let base =
+      List.fold_left (fun m (p, c) -> map_add_edge p c m) Term.Map.empty declared
+    in
+    let props =
+      List.fold_left (fun s (p, _) -> Term.Set.add p s) Term.Set.empty declared
+      |> fun s ->
+      Term.Map.fold (fun p sups acc ->
+          Term.Set.union acc (Term.Set.add p sups)) supp s
+    in
+    Term.Set.fold
+      (fun p acc ->
+        let own = set_find p base in
+        let inherited =
+          Term.Set.fold
+            (fun p' acc -> Term.Set.union acc (set_find p' base))
+            (set_find p supp) own
+        in
+        let propagated =
+          Term.Set.fold
+            (fun c acc -> Term.Set.union acc (set_find c supc))
+            inherited inherited
+        in
+        if Term.Set.is_empty propagated then acc
+        else Term.Map.add p propagated acc)
+      props Term.Map.empty
+  in
+  let dom = close_assignments doms supp supc in
+  let rng = close_assignments rngs supp supc in
+  {
+    schema;
+    supc;
+    subc = invert supc;
+    supp;
+    subp = invert supp;
+    dom;
+    rng;
+    dom_inv = invert dom;
+    rng_inv = invert rng;
+  }
+
+let of_graph g = of_schema (Schema.of_graph g)
+
+let schema cl = cl.schema
+
+let superclasses cl c = Term.Set.remove c (set_find c cl.supc)
+let subclasses cl c = Term.Set.remove c (set_find c cl.subc)
+let superproperties cl p = Term.Set.remove p (set_find p cl.supp)
+let subproperties cl p = Term.Set.remove p (set_find p cl.subp)
+let domains cl p = set_find p cl.dom
+let ranges cl p = set_find p cl.rng
+let props_with_domain cl c = set_find c cl.dom_inv
+let props_with_range cl c = set_find c cl.rng_inv
+
+(* Self-pairs are kept: they arise from declared reflexive constraints or
+   from cycles, both of which rdfs5/rdfs11 entail (the DFS only reaches the
+   start node again in those cases). *)
+let pairs m =
+  Term.Map.fold
+    (fun a bs acc -> Term.Set.fold (fun b acc -> (a, b) :: acc) bs acc)
+    m []
+
+let subclass_pairs cl = pairs cl.supc
+let subproperty_pairs cl = pairs cl.supp
+
+let assignment_pairs m =
+  Term.Map.fold
+    (fun p cs acc -> Term.Set.fold (fun c acc -> (p, c) :: acc) cs acc)
+    m []
+
+let domain_pairs cl = assignment_pairs cl.dom
+let range_pairs cl = assignment_pairs cl.rng
+
+let classes cl =
+  let from_map m acc =
+    Term.Map.fold
+      (fun k vs acc -> Term.Set.add k (Term.Set.union vs acc))
+      m acc
+  in
+  let acc = from_map cl.supc Term.Set.empty in
+  let acc = Term.Map.fold (fun _ cs acc -> Term.Set.union cs acc) cl.dom acc in
+  Term.Map.fold (fun _ cs acc -> Term.Set.union cs acc) cl.rng acc
+
+let properties cl =
+  let acc =
+    Term.Map.fold
+      (fun k vs acc -> Term.Set.add k (Term.Set.union vs acc))
+      cl.supp Term.Set.empty
+  in
+  let acc = Term.Map.fold (fun p _ acc -> Term.Set.add p acc) cl.dom acc in
+  Term.Map.fold (fun p _ acc -> Term.Set.add p acc) cl.rng acc
+
+let is_subclass cl c1 c2 = Term.Set.mem c2 (superclasses cl c1)
+let is_subproperty cl p1 p2 = Term.Set.mem p2 (superproperties cl p1)
+
+let closed_schema cl =
+  let s = Schema.empty in
+  let s =
+    List.fold_left
+      (fun s (c1, c2) -> Schema.add (Schema.Subclass (c1, c2)) s)
+      s (subclass_pairs cl)
+  in
+  let s =
+    List.fold_left
+      (fun s (p1, p2) -> Schema.add (Schema.Subproperty (p1, p2)) s)
+      s (subproperty_pairs cl)
+  in
+  let s =
+    List.fold_left
+      (fun s (p, c) -> Schema.add (Schema.Domain (p, c)) s)
+      s (domain_pairs cl)
+  in
+  List.fold_left
+    (fun s (p, c) -> Schema.add (Schema.Range (p, c)) s)
+    s (range_pairs cl)
+
+let entailed_schema_graph cl = Schema.to_graph (closed_schema cl)
+
+let size cl = Schema.cardinal (closed_schema cl)

@@ -1,0 +1,78 @@
+(** Saturated (closed) schemas.
+
+    The schema of a graph is small; closing it once makes every
+    reformulation rule a constant-time lookup. Closure applies the
+    schema-level RDFS entailment rules:
+
+    - transitivity of [rdfs:subClassOf] (rdfs11) and [rdfs:subPropertyOf]
+      (rdfs5);
+    - domain/range inheritance along subproperties:
+      {m p \sqsubseteq p', domain(p') = c \vdash domain(p) = c} (same for range);
+    - domain/range propagation along subclasses:
+      {m domain(p) = c, c \sqsubseteq c' \vdash domain(p) = c'} (same for range).
+
+    All query functions below answer w.r.t. the closed schema; "strict"
+    means the reflexive pair [(x, x)] is excluded unless the schema itself
+    contains a cycle through [x]. *)
+
+open Refq_rdf
+
+type t
+
+val of_schema : Schema.t -> t
+
+val of_graph : Graph.t -> t
+(** [of_schema (Schema.of_graph g)]. *)
+
+val schema : t -> Schema.t
+(** The original (un-closed) schema. *)
+
+val closed_schema : t -> Schema.t
+(** Every constraint entailed by the schema (the schema's saturation). *)
+
+val superclasses : t -> Term.t -> Term.Set.t
+(** Strict superclasses of a class in the closure. *)
+
+val subclasses : t -> Term.t -> Term.Set.t
+
+val superproperties : t -> Term.t -> Term.Set.t
+
+val subproperties : t -> Term.t -> Term.Set.t
+
+val domains : t -> Term.t -> Term.Set.t
+(** Closed domains of a property. *)
+
+val ranges : t -> Term.t -> Term.Set.t
+
+val props_with_domain : t -> Term.t -> Term.Set.t
+(** Properties [p] such that [c ∈ domains p] — the triggers of rules
+    R2/R6 of the reformulation algorithm. *)
+
+val props_with_range : t -> Term.t -> Term.Set.t
+
+val subclass_pairs : t -> (Term.t * Term.t) list
+(** All pairs [(c1, c2)] with [c1 ⊑ c2] in the closure. A reflexive pair
+    [(c, c)] appears only when it is entailed — i.e. declared explicitly or
+    produced by a subclass cycle through [c]. *)
+
+val subproperty_pairs : t -> (Term.t * Term.t) list
+
+val domain_pairs : t -> (Term.t * Term.t) list
+
+val range_pairs : t -> (Term.t * Term.t) list
+
+val classes : t -> Term.Set.t
+
+val properties : t -> Term.Set.t
+
+val is_subclass : t -> Term.t -> Term.t -> bool
+(** [is_subclass cl c1 c2] iff [c1 ⊑ c2] strictly in the closure. *)
+
+val is_subproperty : t -> Term.t -> Term.t -> bool
+
+val entailed_schema_graph : t -> Graph.t
+(** All schema triples entailed by the schema, as a graph (used by
+    saturation and to answer queries over schema triples). *)
+
+val size : t -> int
+(** Number of entailed constraints. *)

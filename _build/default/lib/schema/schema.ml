@@ -1,0 +1,79 @@
+open Refq_rdf
+
+type constr =
+  | Subclass of Term.t * Term.t
+  | Subproperty of Term.t * Term.t
+  | Domain of Term.t * Term.t
+  | Range of Term.t * Term.t
+
+let compare_constr = Stdlib.compare
+
+module Cset = Set.Make (struct
+  type t = constr
+
+  let compare = compare_constr
+end)
+
+type t = Cset.t
+
+let empty = Cset.empty
+let add = Cset.add
+let mem = Cset.mem
+let remove = Cset.remove
+let cardinal = Cset.cardinal
+let of_list = Cset.of_list
+let to_list = Cset.elements
+let fold = Cset.fold
+
+let subclass c1 c2 = Subclass (c1, c2)
+let subproperty p1 p2 = Subproperty (p1, p2)
+let domain p c = Domain (p, c)
+let range p c = Range (p, c)
+
+let constr_to_triple = function
+  | Subclass (c1, c2) -> Triple.make c1 Vocab.rdfs_subclassof c2
+  | Subproperty (p1, p2) -> Triple.make p1 Vocab.rdfs_subpropertyof p2
+  | Domain (p, c) -> Triple.make p Vocab.rdfs_domain c
+  | Range (p, c) -> Triple.make p Vocab.rdfs_range c
+
+let constr_of_triple { Triple.s; p; o } =
+  if not (Term.is_uri s && Term.is_uri o) then None
+  else if Term.equal p Vocab.rdfs_subclassof then Some (Subclass (s, o))
+  else if Term.equal p Vocab.rdfs_subpropertyof then Some (Subproperty (s, o))
+  else if Term.equal p Vocab.rdfs_domain then Some (Domain (s, o))
+  else if Term.equal p Vocab.rdfs_range then Some (Range (s, o))
+  else None
+
+let of_graph g =
+  Graph.fold
+    (fun t acc ->
+      match constr_of_triple t with Some c -> add c acc | None -> acc)
+    g empty
+
+let to_graph s = fold (fun c acc -> Graph.add (constr_to_triple c) acc) s Graph.empty
+
+let classes s =
+  fold
+    (fun c acc ->
+      match c with
+      | Subclass (c1, c2) -> Term.Set.add c1 (Term.Set.add c2 acc)
+      | Domain (_, c) | Range (_, c) -> Term.Set.add c acc
+      | Subproperty _ -> acc)
+    s Term.Set.empty
+
+let properties s =
+  fold
+    (fun c acc ->
+      match c with
+      | Subproperty (p1, p2) -> Term.Set.add p1 (Term.Set.add p2 acc)
+      | Domain (p, _) | Range (p, _) -> Term.Set.add p acc
+      | Subclass _ -> acc)
+    s Term.Set.empty
+
+let pp_constr ppf = function
+  | Subclass (c1, c2) -> Fmt.pf ppf "%a ⊑c %a" Term.pp c1 Term.pp c2
+  | Subproperty (p1, p2) -> Fmt.pf ppf "%a ⊑p %a" Term.pp p1 Term.pp p2
+  | Domain (p, c) -> Fmt.pf ppf "%a ↪d %a" Term.pp p Term.pp c
+  | Range (p, c) -> Fmt.pf ppf "%a ↪r %a" Term.pp p Term.pp c
+
+let pp ppf s = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp_constr) (to_list s)

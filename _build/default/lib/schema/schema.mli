@@ -1,0 +1,65 @@
+(** RDFS schemas: the semantic constraints of the DB fragment (Figure 1).
+
+    A schema is a finite set of constraints among classes and properties,
+    interpreted under the open-world assumption:
+    - [Subclass (c1, c2)]: {m c_1 \subseteq c_2},
+    - [Subproperty (p1, p2)]: {m p_1 \subseteq p_2},
+    - [Domain (p, c)]: {m \Pi_{domain}(p) \subseteq c},
+    - [Range (p, c)]: {m \Pi_{range}(p) \subseteq c}. *)
+
+open Refq_rdf
+
+type constr =
+  | Subclass of Term.t * Term.t
+  | Subproperty of Term.t * Term.t
+  | Domain of Term.t * Term.t
+  | Range of Term.t * Term.t
+
+type t
+
+val empty : t
+
+val add : constr -> t -> t
+
+val mem : constr -> t -> bool
+
+val remove : constr -> t -> t
+
+val cardinal : t -> int
+
+val of_list : constr list -> t
+
+val to_list : t -> constr list
+
+val fold : (constr -> 'a -> 'a) -> t -> 'a -> 'a
+
+val subclass : Term.t -> Term.t -> constr
+(** Convenience constructors taking URIs as terms. *)
+
+val subproperty : Term.t -> Term.t -> constr
+
+val domain : Term.t -> Term.t -> constr
+
+val range : Term.t -> Term.t -> constr
+
+val of_graph : Graph.t -> t
+(** Extract the schema from the RDFS triples of a graph. Non-URI endpoints
+    are ignored (not well-formed constraints). *)
+
+val to_graph : t -> Graph.t
+(** The schema as RDFS triples. *)
+
+val classes : t -> Term.Set.t
+(** Classes mentioned by any constraint (subclass endpoints, domains,
+    ranges). *)
+
+val properties : t -> Term.Set.t
+(** Properties mentioned by any constraint. *)
+
+val constr_to_triple : constr -> Triple.t
+
+val constr_of_triple : Triple.t -> constr option
+
+val pp_constr : constr Fmt.t
+
+val pp : t Fmt.t

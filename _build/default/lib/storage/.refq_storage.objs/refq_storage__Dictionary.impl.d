@@ -1,0 +1,1 @@
+lib/storage/dictionary.ml: Hashtbl Printf Refq_rdf Refq_util Term

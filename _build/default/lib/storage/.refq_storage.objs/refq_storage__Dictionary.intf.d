@@ -1,0 +1,1 @@
+lib/storage/dictionary.mli: Refq_rdf Term

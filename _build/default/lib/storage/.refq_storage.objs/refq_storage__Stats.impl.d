@@ -1,0 +1,1 @@
+lib/storage/stats.ml: Dictionary Fmt Hashtbl Int List Option Refq_rdf Store Term Vocab

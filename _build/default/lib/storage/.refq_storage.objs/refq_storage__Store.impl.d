@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Dictionary Fun Graph Hashtbl Int Printf Refq_rdf Refq_util String Term Triple

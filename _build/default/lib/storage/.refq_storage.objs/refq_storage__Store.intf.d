@@ -1,0 +1,1 @@
+lib/storage/store.mli: Dictionary Graph Refq_rdf Term Triple

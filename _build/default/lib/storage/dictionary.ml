@@ -1,0 +1,32 @@
+open Refq_rdf
+
+type t = {
+  by_term : (Term.t, int) Hashtbl.t;
+  by_id : Term.t Refq_util.Vec.t;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    by_term = Hashtbl.create capacity;
+    by_id = Refq_util.Vec.create ~capacity ();
+  }
+
+let encode d t =
+  match Hashtbl.find_opt d.by_term t with
+  | Some id -> id
+  | None ->
+    let id = Refq_util.Vec.length d.by_id in
+    Hashtbl.add d.by_term t id;
+    Refq_util.Vec.push d.by_id t;
+    id
+
+let find d t = Hashtbl.find_opt d.by_term t
+
+let decode d id =
+  if id < 0 || id >= Refq_util.Vec.length d.by_id then
+    invalid_arg (Printf.sprintf "Dictionary.decode: unallocated id %d" id);
+  Refq_util.Vec.get d.by_id id
+
+let size d = Refq_util.Vec.length d.by_id
+
+let iter f d = Refq_util.Vec.iteri f d.by_id

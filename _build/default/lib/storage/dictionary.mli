@@ -1,0 +1,26 @@
+(** Term dictionary: bijective encoding of RDF terms into dense integers.
+
+    The store keeps triples as integer tuples (the standard RDBMS-style
+    encoding for RDF, cf. [4, 14] in the paper); the dictionary is the
+    single source of truth for the term ↔ id mapping. Ids are dense,
+    starting at 0, and never reused. *)
+
+open Refq_rdf
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val encode : t -> Term.t -> int
+(** [encode d t] is the id of [t], allocating a fresh id on first sight. *)
+
+val find : t -> Term.t -> int option
+(** Like {!encode} but never allocates. *)
+
+val decode : t -> int -> Term.t
+(** @raise Invalid_argument on an unallocated id. *)
+
+val size : t -> int
+(** Number of allocated ids. *)
+
+val iter : (int -> Term.t -> unit) -> t -> unit

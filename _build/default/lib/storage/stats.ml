@@ -1,0 +1,108 @@
+open Refq_rdf
+
+type prop_stat = {
+  count : int;
+  distinct_s : int;
+  distinct_o : int;
+}
+
+type t = {
+  n_triples : int;
+  n_distinct_subjects : int;
+  n_distinct_properties : int;
+  n_distinct_objects : int;
+  props : (int, prop_stat) Hashtbl.t;
+  classes : (int, int) Hashtbl.t;
+  subj_counts : (int, int) Hashtbl.t;
+  obj_counts : (int, int) Hashtbl.t;
+  po_counts : (int * int, int) Hashtbl.t;
+}
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let compute store =
+  Store.freeze store;
+  let rdf_type = Store.find_term store Vocab.rdf_type in
+  let props_acc : (int, int * (int, unit) Hashtbl.t * (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let classes = Hashtbl.create 64 in
+  let subj_counts = Hashtbl.create 1024 in
+  let obj_counts = Hashtbl.create 1024 in
+  let po_counts = Hashtbl.create 1024 in
+  Store.iter_all store (fun s p o ->
+      bump subj_counts s;
+      bump obj_counts o;
+      bump po_counts (p, o);
+      (match Hashtbl.find_opt props_acc p with
+      | Some (n, ss, os) ->
+        Hashtbl.replace ss s ();
+        Hashtbl.replace os o ();
+        Hashtbl.replace props_acc p (n + 1, ss, os)
+      | None ->
+        let ss = Hashtbl.create 64 and os = Hashtbl.create 64 in
+        Hashtbl.replace ss s ();
+        Hashtbl.replace os o ();
+        Hashtbl.replace props_acc p (1, ss, os));
+      match rdf_type with
+      | Some ty when p = ty -> bump classes o
+      | Some _ | None -> ());
+  let props = Hashtbl.create (Hashtbl.length props_acc) in
+  Hashtbl.iter
+    (fun p (n, ss, os) ->
+      Hashtbl.replace props p
+        { count = n; distinct_s = Hashtbl.length ss; distinct_o = Hashtbl.length os })
+    props_acc;
+  {
+    n_triples = Store.size store;
+    n_distinct_subjects = Hashtbl.length subj_counts;
+    n_distinct_properties = Hashtbl.length props;
+    n_distinct_objects = Hashtbl.length obj_counts;
+    props;
+    classes;
+    subj_counts;
+    obj_counts;
+    po_counts;
+  }
+
+let n_triples st = st.n_triples
+let n_distinct_subjects st = st.n_distinct_subjects
+let n_distinct_properties st = st.n_distinct_properties
+let n_distinct_objects st = st.n_distinct_objects
+
+let prop_stat st p = Hashtbl.find_opt st.props p
+
+let class_count st c = Option.value ~default:0 (Hashtbl.find_opt st.classes c)
+
+let top tbl ~k =
+  let all = Hashtbl.fold (fun key n acc -> (key, n) :: acc) tbl [] in
+  let sorted =
+    List.sort (fun (_, n1) (_, n2) -> Int.compare n2 n1) all
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let top_properties st ~k =
+  let counts = Hashtbl.create 16 in
+  Hashtbl.iter (fun p ps -> Hashtbl.replace counts p ps.count) st.props;
+  top counts ~k
+
+let top_classes st ~k = top st.classes ~k
+let top_subjects st ~k = top st.subj_counts ~k
+let top_objects st ~k = top st.obj_counts ~k
+let top_po_pairs st ~k = top st.po_counts ~k
+
+let pp dict ppf st =
+  let term id = Dictionary.decode dict id in
+  Fmt.pf ppf "@[<v>triples: %d@,distinct subjects: %d@,distinct properties: %d@,distinct objects: %d@,"
+    st.n_triples st.n_distinct_subjects st.n_distinct_properties
+    st.n_distinct_objects;
+  Fmt.pf ppf "@,top properties:@,";
+  List.iter
+    (fun (p, n) -> Fmt.pf ppf "  %8d  %a@," n Term.pp (term p))
+    (top_properties st ~k:10);
+  Fmt.pf ppf "@,top classes:@,";
+  List.iter
+    (fun (c, n) -> Fmt.pf ppf "  %8d  %a@," n Term.pp (term c))
+    (top_classes st ~k:10);
+  Fmt.pf ppf "@]"

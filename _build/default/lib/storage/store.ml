@@ -1,0 +1,318 @@
+open Refq_rdf
+module Int_vec = Refq_util.Int_vec
+
+type t = {
+  dict : Dictionary.t;
+  triples : Int_vec.t;  (** stride 3: s, p, o *)
+  seen : (int * int * int, unit) Hashtbl.t;
+  mutable spo : int array;  (** permutations over triple indices *)
+  mutable pos : int array;
+  mutable osp : int array;
+  mutable dirty : bool;
+}
+
+let create ?dictionary () =
+  let dict = match dictionary with Some d -> d | None -> Dictionary.create () in
+  {
+    dict;
+    triples = Int_vec.create ~capacity:4096 ();
+    seen = Hashtbl.create 4096;
+    spo = [||];
+    pos = [||];
+    osp = [||];
+    dirty = true;
+  }
+
+let dictionary st = st.dict
+
+(* Removals only mark the [seen] set; the triple vector keeps stale
+   entries until the next [freeze] compacts it, so [size] must come from
+   [seen]. *)
+let size st = Hashtbl.length st.seen
+
+let s_of st i = Int_vec.get st.triples (3 * i)
+let p_of st i = Int_vec.get st.triples ((3 * i) + 1)
+let o_of st i = Int_vec.get st.triples ((3 * i) + 2)
+
+let add_ids st s p o =
+  let key = (s, p, o) in
+  if not (Hashtbl.mem st.seen key) then begin
+    Hashtbl.add st.seen key ();
+    Int_vec.push st.triples s;
+    Int_vec.push st.triples p;
+    Int_vec.push st.triples o;
+    st.dirty <- true
+  end
+
+let encode_term st t = Dictionary.encode st.dict t
+let find_term st t = Dictionary.find st.dict t
+let decode_id st id = Dictionary.decode st.dict id
+
+let add st s p o =
+  add_ids st (encode_term st s) (encode_term st p) (encode_term st o)
+
+let add_triple st { Triple.s; p; o } = add st s p o
+
+let add_graph st g = Graph.iter (add_triple st) g
+
+let of_graph g =
+  let st = create () in
+  add_graph st g;
+  st
+
+let to_graph st =
+  (* Iterate the membership set, not the triple vector: the vector may
+     hold stale entries between a removal and the next compaction. *)
+  Hashtbl.fold
+    (fun (s, p, o) () g ->
+      Graph.add
+        (Triple.make (decode_id st s) (decode_id st p) (decode_id st o))
+        g)
+    st.seen Graph.empty
+
+let mem_ids st s p o = Hashtbl.mem st.seen (s, p, o)
+
+let remove_ids st s p o =
+  let key = (s, p, o) in
+  if Hashtbl.mem st.seen key then begin
+    Hashtbl.remove st.seen key;
+    st.dirty <- true
+  end
+
+let remove_triple st { Triple.s; p; o } =
+  match
+    (Dictionary.find st.dict s, Dictionary.find st.dict p, Dictionary.find st.dict o)
+  with
+  | Some s, Some p, Some o -> remove_ids st s p o
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Index construction and range search                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Key extractors per index order: for each permutation entry (a triple
+   index), [key1;key2;key3] are the triple fields in index order. *)
+let field st i j = Int_vec.get st.triples ((3 * i) + j)
+let key_spo st i k = field st i (match k with 0 -> 0 | 1 -> 1 | _ -> 2)
+let key_pos st i k = field st i (match k with 0 -> 1 | 1 -> 2 | _ -> 0)
+let key_osp st i k = field st i (match k with 0 -> 2 | 1 -> 0 | _ -> 1)
+
+let build_perm st key =
+  let n = size st in
+  let perm = Array.init n Fun.id in
+  let cmp i j =
+    let c = Int.compare (key st i 0) (key st j 0) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (key st i 1) (key st j 1) in
+      if c <> 0 then c else Int.compare (key st i 2) (key st j 2)
+  in
+  Array.sort cmp perm;
+  perm
+
+(* Drop vector entries whose triple is no longer (or no longer uniquely)
+   in [seen] — removals leave stale entries and a remove/re-add cycle can
+   leave duplicates. *)
+let compact st =
+  if Int_vec.length st.triples / 3 <> Hashtbl.length st.seen then begin
+    let kept = Hashtbl.create (Hashtbl.length st.seen) in
+    let out = Int_vec.create ~capacity:(max 1 (3 * Hashtbl.length st.seen)) () in
+    let n = Int_vec.length st.triples / 3 in
+    for i = 0 to n - 1 do
+      let s = Int_vec.get st.triples (3 * i) in
+      let p = Int_vec.get st.triples ((3 * i) + 1) in
+      let o = Int_vec.get st.triples ((3 * i) + 2) in
+      let key = (s, p, o) in
+      if Hashtbl.mem st.seen key && not (Hashtbl.mem kept key) then begin
+        Hashtbl.add kept key ();
+        Int_vec.push out s;
+        Int_vec.push out p;
+        Int_vec.push out o
+      end
+    done;
+    Int_vec.clear st.triples;
+    Int_vec.append_array st.triples (Int_vec.to_array out)
+  end
+
+let freeze st =
+  if st.dirty then begin
+    compact st;
+    st.spo <- build_perm st key_spo;
+    st.pos <- build_perm st key_pos;
+    st.osp <- build_perm st key_osp;
+    st.dirty <- false
+  end
+
+(* Binary search on a permutation w.r.t. a (k1, k2, k3) virtual key;
+   [min_int]/[max_int] stand for unbound key components. [strict] selects
+   the first entry strictly greater than the key (upper bound) instead of
+   the first entry greater or equal (lower bound). *)
+let search_bound st key perm ~strict (k1, k2, k3) =
+  let above i =
+    let c = Int.compare (key st i 0) k1 in
+    if c <> 0 then c > 0
+    else
+      let c = Int.compare (key st i 1) k2 in
+      if c <> 0 then c > 0
+      else
+        let c = Int.compare (key st i 2) k3 in
+        if strict then c > 0 else c >= 0
+  in
+  let lo = ref 0 and hi = ref (Array.length perm) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if above perm.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let range st key perm ~b1 ~b2 ~b3 =
+  let def v d = match v with Some x -> x | None -> d in
+  let lo =
+    search_bound st key perm ~strict:false
+      (def b1 min_int, def b2 min_int, def b3 min_int)
+  in
+  let hi =
+    search_bound st key perm ~strict:true
+      (def b1 max_int, def b2 max_int, def b3 max_int)
+  in
+  (lo, hi)
+
+type chosen =
+  | Scan
+  | Idx of (t -> int -> int -> int) * int array * int option * int option * int option
+
+let choose st ~s ~p ~o =
+  match s, p, o with
+  | Some _, Some _, Some _ | Some _, Some _, None | Some _, None, None ->
+    Idx (key_spo, st.spo, s, p, o)
+  | Some _, None, Some _ -> Idx (key_osp, st.osp, o, s, None)
+  | None, Some _, _ -> Idx (key_pos, st.pos, p, o, None)
+  | None, None, Some _ -> Idx (key_osp, st.osp, o, None, None)
+  | None, None, None -> Scan
+
+let iter_pattern st ~s ~p ~o f =
+  freeze st;
+  match choose st ~s ~p ~o with
+  | Scan ->
+    for i = 0 to size st - 1 do
+      f (s_of st i) (p_of st i) (o_of st i)
+    done
+  | Idx (key, perm, b1, b2, b3) ->
+    let lo, hi = range st key perm ~b1 ~b2 ~b3 in
+    for k = lo to hi - 1 do
+      let i = perm.(k) in
+      f (s_of st i) (p_of st i) (o_of st i)
+    done
+
+let count_pattern st ~s ~p ~o =
+  freeze st;
+  match choose st ~s ~p ~o with
+  | Scan -> size st
+  | Idx (key, perm, b1, b2, b3) ->
+    let lo, hi = range st key perm ~b1 ~b2 ~b3 in
+    hi - lo
+
+let iter_all st f = iter_pattern st ~s:None ~p:None ~o:None f
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "REFQSTORE1"
+
+let save st path =
+  freeze st;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let write_string s =
+        output_binary_int oc (String.length s);
+        output_string oc s
+      in
+      (* Full dictionary, in id order, so that ids survive the roundtrip
+         (the dictionary may hold terms that no triple uses, e.g. query
+         constants encoded during evaluation). *)
+      output_binary_int oc (Dictionary.size st.dict);
+      for id = 0 to Dictionary.size st.dict - 1 do
+        match Dictionary.decode st.dict id with
+        | Term.Uri u ->
+          output_byte oc 0;
+          write_string u
+        | Term.Literal { value; kind = Term.Plain } ->
+          output_byte oc 1;
+          write_string value
+        | Term.Literal { value; kind = Term.Lang tag } ->
+          output_byte oc 2;
+          write_string value;
+          write_string tag
+        | Term.Literal { value; kind = Term.Typed dt } ->
+          output_byte oc 3;
+          write_string value;
+          write_string dt
+        | Term.Bnode label ->
+          output_byte oc 4;
+          write_string label
+      done;
+      output_binary_int oc (size st);
+      iter_all st (fun s p o ->
+          output_binary_int oc s;
+          output_binary_int oc p;
+          output_binary_int oc o))
+
+exception Corrupt of string
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic -> (
+    match
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let header = really_input_string ic (String.length magic) in
+          if header <> magic then raise (Corrupt "bad magic");
+          let read_string () =
+            let n = input_binary_int ic in
+            if n < 0 then raise (Corrupt "negative length");
+            really_input_string ic n
+          in
+          let st = create () in
+          let n_terms = input_binary_int ic in
+          for id = 0 to n_terms - 1 do
+            let term =
+              match input_byte ic with
+              | 0 -> Term.uri (read_string ())
+              | 1 -> Term.literal (read_string ())
+              | 2 ->
+                let value = read_string () in
+                Term.lang_literal value (read_string ())
+              | 3 ->
+                let value = read_string () in
+                Term.typed_literal value (read_string ())
+              | 4 -> Term.bnode (read_string ())
+              | tag -> raise (Corrupt (Printf.sprintf "bad term tag %d" tag))
+            in
+            if Dictionary.encode st.dict term <> id then
+              raise (Corrupt "duplicate dictionary entry")
+          done;
+          let n_triples = input_binary_int ic in
+          for _ = 1 to n_triples do
+            let s = input_binary_int ic in
+            let p = input_binary_int ic in
+            let o = input_binary_int ic in
+            if s < 0 || s >= n_terms || p < 0 || p >= n_terms || o < 0 || o >= n_terms
+            then raise (Corrupt "triple id out of range");
+            add_ids st s p o
+          done;
+          st)
+    with
+    | st -> Ok st
+    | exception Corrupt m -> Error (Printf.sprintf "%s: corrupt store (%s)" path m)
+    | exception End_of_file -> Error (Printf.sprintf "%s: truncated store" path))
+
+let fold f st acc =
+  let acc = ref acc in
+  iter_all st (fun s p o -> acc := f s p o !acc);
+  !acc

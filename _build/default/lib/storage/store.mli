@@ -1,0 +1,70 @@
+(** Dictionary-encoded triple store with SPO / POS / OSP indexes.
+
+    This plays the role of the RDBMS storing the database in the paper's
+    architecture: triples are integer tuples, and three sorted permutation
+    indexes provide exact-range lookups for every triple-pattern binding
+    shape. The store is append-only; indexes are (re)built lazily on first
+    lookup after a batch of insertions. *)
+
+open Refq_rdf
+
+type t
+
+val create : ?dictionary:Dictionary.t -> unit -> t
+
+val dictionary : t -> Dictionary.t
+
+val add_ids : t -> int -> int -> int -> unit
+(** Insert an encoded triple (deduplicated). *)
+
+val add : t -> Term.t -> Term.t -> Term.t -> unit
+
+val add_triple : t -> Triple.t -> unit
+
+val add_graph : t -> Graph.t -> unit
+
+val of_graph : Graph.t -> t
+
+val to_graph : t -> Graph.t
+
+val size : t -> int
+(** Number of distinct triples. *)
+
+val mem_ids : t -> int -> int -> int -> bool
+
+val remove_ids : t -> int -> int -> int -> unit
+(** Remove an encoded triple (no-op when absent). The triple vector is
+    compacted lazily at the next index (re)build. *)
+
+val remove_triple : t -> Triple.t -> unit
+
+val freeze : t -> unit
+(** Force index construction now (otherwise done on first lookup). *)
+
+val iter_pattern :
+  t -> s:int option -> p:int option -> o:int option ->
+  (int -> int -> int -> unit) -> unit
+(** Iterate all triples matching the pattern; bound positions select the
+    best index and are answered by binary-searched ranges. *)
+
+val count_pattern : t -> s:int option -> p:int option -> o:int option -> int
+(** Exact number of matching triples, from index ranges (no iteration for
+    any single-prefix shape). *)
+
+val iter_all : t -> (int -> int -> int -> unit) -> unit
+
+val fold : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val save : t -> string -> unit
+(** Persist the store (dictionary + triples) in a compact binary format.
+    Useful for caching generated workloads across runs. *)
+
+val load : string -> (t, string) result
+(** Load a store written by {!save}. Dictionary ids are preserved. *)
+
+val encode_term : t -> Term.t -> int
+(** Encode through the store's dictionary (allocates). *)
+
+val find_term : t -> Term.t -> int option
+
+val decode_id : t -> int -> Term.t

@@ -1,0 +1,1 @@
+lib/util/splitmix64.mli:

@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* Steele, Lea & Flood, "Fast splittable pseudorandom number generators". *)
+let next g =
+  let open Int64 in
+  g.state <- add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Splitmix64.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny w.r.t. 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next g) 2) in
+  v mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Splitmix64.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next g) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Splitmix64.pick: empty array";
+  a.(int g (Array.length a))
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split g = create (next g)

@@ -1,0 +1,95 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () = { data = [||]; len = -capacity }
+(* Empty vectors carry their requested capacity as a negative length until the
+   first push provides an element usable as array filler. *)
+
+let capacity_of v = if v.len < 0 then -v.len else Array.length v.data
+
+let length v = max v.len 0
+
+let is_empty v = length v = 0
+
+let check v i =
+  if i < 0 || i >= length v then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow v x =
+  let cap = capacity_of v in
+  let new_cap = max 8 (if length v >= cap then 2 * cap else cap) in
+  if Array.length v.data = 0 then begin
+    v.data <- Array.make new_cap x;
+    v.len <- max v.len 0
+  end
+  else begin
+    let data = Array.make new_cap x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  if length v >= Array.length v.data then grow v x;
+  v.data.(length v) <- x;
+  v.len <- length v + 1
+
+let pop v =
+  if is_empty v then None
+  else begin
+    v.len <- v.len - 1;
+    Some v.data.(v.len)
+  end
+
+let clear v = v.len <- min v.len 0
+
+let iter f v =
+  for i = 0 to length v - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to length v - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) v;
+  !acc
+
+let to_array v = Array.sub v.data 0 (length v)
+
+let to_list v = Array.to_list (to_array v)
+
+let map f v =
+  let out = create ~capacity:(length v) () in
+  iter (fun x -> push out (f x)) v;
+  out
+
+let exists p v =
+  let rec loop i = i < length v && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v
+
+let of_array a =
+  let v = create ~capacity:(Array.length a) () in
+  Array.iter (push v) a;
+  v
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 (Array.length a)

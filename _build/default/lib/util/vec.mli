@@ -1,0 +1,51 @@
+(** Growable arrays.
+
+    A minimal dynamic-array implementation (OCaml 5.1 predates the stdlib
+    [Dynarray]); used pervasively by the storage layer and the evaluation
+    engine to accumulate tuples without knowing sizes in advance. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty vector. [capacity] pre-sizes the backing array. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. @raise Invalid_argument when out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces the [i]-th element. @raise Invalid_argument when out
+    of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x], growing the backing array if needed. *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, if any. *)
+
+val clear : 'a t -> unit
+(** [clear v] removes all elements (keeps the backing array). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val of_array : 'a array -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** [sort cmp v] sorts in place. *)

@@ -1,0 +1,1 @@
+lib/workload/geo.ml: Cq Namespace Printf Refq_query Refq_rdf Refq_schema Refq_storage Refq_util Schema Store Term Vocab

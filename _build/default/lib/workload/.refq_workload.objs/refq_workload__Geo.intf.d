@@ -1,0 +1,1 @@
+lib/workload/geo.mli: Cq Graph Namespace Refq_query Refq_rdf Refq_schema Refq_storage Schema Store

@@ -1,0 +1,1 @@
+lib/workload/lubm.ml: Array Cover Cq Namespace Printf Refq_query Refq_rdf Refq_schema Refq_storage Refq_util Schema Store Term Vocab

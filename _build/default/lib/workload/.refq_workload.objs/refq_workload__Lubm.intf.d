@@ -1,0 +1,1 @@
+lib/workload/lubm.mli: Cover Cq Graph Namespace Refq_query Refq_rdf Refq_schema Refq_storage Schema Store Term

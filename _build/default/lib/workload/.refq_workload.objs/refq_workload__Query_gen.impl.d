@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Cq Hashtbl List Option Printf Refq_query Refq_rdf Refq_storage Refq_util Seq Store Term Vocab

@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Cq Refq_query Refq_storage Store

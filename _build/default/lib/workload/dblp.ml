@@ -1,0 +1,184 @@
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+module Rng = Refq_util.Splitmix64
+
+let ns = "http://refq.org/dblp#"
+
+let env = Namespace.add Namespace.default ~prefix:"dblp" ~uri:ns
+
+let c name = Term.uri (ns ^ name)
+
+(* Classes *)
+let publication = c "Publication"
+let article = c "Article"
+let inproceedings = c "Inproceedings"
+let book = c "Book"
+let thesis = c "Thesis"
+let phd_thesis = c "PhdThesis"
+let masters_thesis = c "MastersThesis"
+let person = c "Person"
+let author_cls = c "Author"
+let editor_cls = c "Editor"
+let venue = c "Venue"
+let journal = c "Journal"
+let conference = c "Conference"
+
+(* Properties *)
+let creator = c "creator"
+let authored_by = c "authoredBy"
+let edited_by = c "editedBy"
+let published_in = c "publishedIn"
+let in_journal = c "inJournal"
+let in_proceedings_of = c "inProceedingsOf"
+let year = c "year"
+let title = c "title"
+let cites = c "cites"
+
+let schema =
+  Schema.of_list
+    [
+      Schema.subclass article publication;
+      Schema.subclass inproceedings publication;
+      Schema.subclass book publication;
+      Schema.subclass thesis publication;
+      Schema.subclass phd_thesis thesis;
+      Schema.subclass masters_thesis thesis;
+      Schema.subclass author_cls person;
+      Schema.subclass editor_cls person;
+      Schema.subclass journal venue;
+      Schema.subclass conference venue;
+      Schema.subproperty authored_by creator;
+      Schema.subproperty edited_by creator;
+      Schema.subproperty in_journal published_in;
+      Schema.subproperty in_proceedings_of published_in;
+      Schema.domain creator publication;
+      Schema.range creator person;
+      Schema.range authored_by author_cls;
+      Schema.range edited_by editor_cls;
+      Schema.domain published_in publication;
+      Schema.range published_in venue;
+      Schema.range in_journal journal;
+      Schema.range in_proceedings_of conference;
+      Schema.domain year publication;
+      Schema.domain title publication;
+      Schema.domain cites publication;
+      Schema.range cites publication;
+    ]
+
+let schema_graph = Schema.to_graph schema
+
+let author i = Term.uri (Printf.sprintf "%sauthor/A%d" ns i)
+let journal_uri i = Term.uri (Printf.sprintf "%sjournal/J%d" ns i)
+let conf_uri i = Term.uri (Printf.sprintf "%sconf/C%d" ns i)
+let pub_uri i = Term.uri (Printf.sprintf "%spub/P%d" ns i)
+
+(* Zipf-ish author pick: author ids are drawn with density ∝ 1/(rank+1),
+   approximated by squaring a uniform draw. *)
+let skewed_pick rng n =
+  let x = Rng.float rng 1.0 in
+  int_of_float (x *. x *. float_of_int n)
+
+let generate ?(seed = 7L) ~scale () =
+  if scale <= 0 then invalid_arg "Dblp.generate: scale must be positive";
+  let store = Store.create () in
+  Store.add_graph store schema_graph;
+  let rng = Rng.create seed in
+  let n_pubs = scale * 100 in
+  let n_authors = max 10 (n_pubs / 3) in
+  let n_journals = max 3 (n_pubs / 120) in
+  let n_confs = max 5 (n_pubs / 60) in
+  let add s p o = Store.add store s p o in
+  for j = 0 to n_journals - 1 do
+    add (journal_uri j) Vocab.rdf_type journal;
+    add (journal_uri j) title (Term.literal (Printf.sprintf "Journal %d" j))
+  done;
+  for k = 0 to n_confs - 1 do
+    add (conf_uri k) Vocab.rdf_type conference;
+    add (conf_uri k) title (Term.literal (Printf.sprintf "Conference %d" k))
+  done;
+  (* A third of the authors are also editors somewhere. *)
+  for a = 0 to n_authors - 1 do
+    if Rng.int rng 3 = 0 then add (author a) Vocab.rdf_type editor_cls
+  done;
+  for i = 0 to n_pubs - 1 do
+    let p = pub_uri i in
+    let kind = Rng.int rng 10 in
+    let cls, venue_edge =
+      if kind < 4 then (article, Some (in_journal, journal_uri (Rng.int rng n_journals)))
+      else if kind < 8 then
+        (inproceedings, Some (in_proceedings_of, conf_uri (Rng.int rng n_confs)))
+      else if kind = 8 then (book, None)
+      else if Rng.bool rng then (phd_thesis, None)
+      else (masters_thesis, None)
+    in
+    add p Vocab.rdf_type cls;
+    add p title (Term.literal (Printf.sprintf "Title %d" i));
+    add p year
+      (Term.typed_literal
+         (string_of_int (1980 + Rng.int rng 45))
+         Vocab.xsd_integer);
+    (match venue_edge with
+    | Some (prop, v) -> add p prop v
+    | None -> ());
+    for _ = 1 to Rng.int_in rng 1 4 do
+      add p authored_by (author (skewed_pick rng n_authors))
+    done;
+    (* Citations to earlier publications only (acyclic). *)
+    if i > 0 then
+      for _ = 1 to Rng.int rng 4 do
+        add p cites (pub_uri (Rng.int rng i))
+      done
+  done;
+  store
+
+let a0 = author 0
+
+let queries =
+  let v = Cq.var and k = Cq.cst in
+  [
+    (* publications (of any kind) created by the most prolific author *)
+    ( "D1",
+      Cq.make ~head:[ v "x" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k publication);
+            Cq.atom (v "x") (k creator) (k a0);
+          ] );
+    (* venue and year of theses *)
+    ( "D2",
+      Cq.make ~head:[ v "x"; v "y" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k thesis);
+            Cq.atom (v "x") (k year) (v "y");
+          ] );
+    (* co-authorship pairs through a shared publication *)
+    ( "D3",
+      Cq.make ~head:[ v "a"; v "b" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k creator) (v "a");
+            Cq.atom (v "x") (k creator) (v "b");
+            Cq.atom (v "x") (k Vocab.rdf_type) (k publication);
+          ] );
+    (* citations from venue-published work to a known author's work *)
+    ( "D4",
+      Cq.make ~head:[ v "x"; v "y" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k published_in) (v "w");
+            Cq.atom (v "x") (k cites) (v "y");
+            Cq.atom (v "y") (k creator) (k a0);
+          ] );
+    (* people and the venues they published in *)
+    ( "D5",
+      Cq.make ~head:[ v "a"; v "w" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k creator) (v "a");
+            Cq.atom (v "x") (k published_in) (v "w");
+            Cq.atom (v "w") (k Vocab.rdf_type) (k venue);
+          ] );
+  ]

@@ -1,0 +1,26 @@
+(** DBLP-style synthetic bibliographic workload.
+
+    The demonstration includes DBLP as a real-data scenario; offline we
+    generate a bibliographic graph with the same shape: a publication-type
+    hierarchy, a venue hierarchy, author sets with skewed productivity and
+    a citation graph. Deterministic for a given [(seed, scale)]. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+
+val ns : string
+
+val env : Namespace.t
+(** Binds [dblp:]. *)
+
+val schema : Schema.t
+
+val schema_graph : Graph.t
+
+val generate : ?seed:int64 -> scale:int -> unit -> Store.t
+(** [scale] is the number of publications divided by 100 (so [scale:10]
+    yields about 1,000 publications plus authors, venues and citations). *)
+
+val queries : (string * Cq.t) list

@@ -1,0 +1,145 @@
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+module Rng = Refq_util.Splitmix64
+
+let ns = "http://refq.org/geo#"
+
+let env = Namespace.add Namespace.default ~prefix:"geo" ~uri:ns
+
+let c name = Term.uri (ns ^ name)
+
+(* Classes *)
+let territorial_unit = c "TerritorialUnit"
+let region = c "Region"
+let departement = c "Departement"
+let commune = c "Commune"
+let populated_place = c "PopulatedPlace"
+let city = c "City"
+let town = c "Town"
+let village = c "Village"
+
+(* Properties *)
+let subdivision_of = c "subdivisionOf"
+let in_departement = c "inDepartement"
+let in_region = c "inRegion"
+let seat_of = c "seatOf"
+let located_in = c "locatedIn"
+let population = c "population"
+let name_prop = c "name"
+
+let schema =
+  Schema.of_list
+    [
+      Schema.subclass region territorial_unit;
+      Schema.subclass departement territorial_unit;
+      Schema.subclass commune territorial_unit;
+      Schema.subclass city populated_place;
+      Schema.subclass town populated_place;
+      Schema.subclass village populated_place;
+      Schema.subproperty in_departement subdivision_of;
+      Schema.subproperty in_region subdivision_of;
+      Schema.domain subdivision_of territorial_unit;
+      Schema.range subdivision_of territorial_unit;
+      Schema.range in_departement departement;
+      Schema.range in_region region;
+      Schema.domain located_in populated_place;
+      Schema.range located_in commune;
+      Schema.domain seat_of populated_place;
+      Schema.range seat_of territorial_unit;
+      Schema.domain population territorial_unit;
+    ]
+
+let schema_graph = Schema.to_graph schema
+
+let region_uri i = Term.uri (Printf.sprintf "%sregion/R%d" ns i)
+let dept_uri r d = Term.uri (Printf.sprintf "%sdept/R%d-D%d" ns r d)
+let commune_uri r d k = Term.uri (Printf.sprintf "%scommune/R%d-D%d-C%d" ns r d k)
+let place_uri r d k = Term.uri (Printf.sprintf "%splace/R%d-D%d-P%d" ns r d k)
+
+let generate ?(seed = 11L) ~scale () =
+  if scale <= 0 then invalid_arg "Geo.generate: scale must be positive";
+  let store = Store.create () in
+  Store.add_graph store schema_graph;
+  let rng = Rng.create seed in
+  let add s p o = Store.add store s p o in
+  let pop_lit n = Term.typed_literal (string_of_int n) Vocab.xsd_integer in
+  for r = 0 to scale - 1 do
+    let reg = region_uri r in
+    add reg Vocab.rdf_type region;
+    add reg name_prop (Term.literal (Printf.sprintf "Region %d" r));
+    let n_depts = Rng.int_in rng 2 5 in
+    let region_pop = ref 0 in
+    for d = 0 to n_depts - 1 do
+      let dpt = dept_uri r d in
+      add dpt Vocab.rdf_type departement;
+      add dpt in_region reg;
+      add dpt name_prop (Term.literal (Printf.sprintf "Departement %d-%d" r d));
+      let n_communes = Rng.int_in rng 10 30 in
+      let dept_pop = ref 0 in
+      for k = 0 to n_communes - 1 do
+        let com = commune_uri r d k in
+        add com Vocab.rdf_type commune;
+        add com in_departement dpt;
+        add com name_prop (Term.literal (Printf.sprintf "Commune %d-%d-%d" r d k));
+        let pop = 50 + Rng.int rng 50_000 in
+        dept_pop := !dept_pop + pop;
+        add com population (pop_lit pop);
+        (* Each commune hosts a populated place; the most specific class
+           depends on its population. *)
+        let place = place_uri r d k in
+        let cls = if pop > 20_000 then city else if pop > 2_000 then town else village in
+        add place Vocab.rdf_type cls;
+        add place located_in com;
+        add place name_prop (Term.literal (Printf.sprintf "Place %d-%d-%d" r d k));
+        (* The first place of a département is its seat. *)
+        if k = 0 then add place seat_of dpt
+      done;
+      add dpt population (pop_lit !dept_pop);
+      region_pop := !region_pop + !dept_pop
+    done;
+    add reg population (pop_lit !region_pop)
+  done;
+  store
+
+let r0 = region_uri 0
+
+let queries =
+  let v = Cq.var and k = Cq.cst in
+  [
+    (* all territorial units subdivided (directly) from region 0 *)
+    ( "G1",
+      Cq.make ~head:[ v "x" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k territorial_unit);
+            Cq.atom (v "x") (k subdivision_of) (k r0);
+          ] );
+    (* populated places with the commune and département they belong to *)
+    ( "G2",
+      Cq.make ~head:[ v "p"; v "c"; v "d" ]
+        ~body:
+          [
+            Cq.atom (v "p") (k Vocab.rdf_type) (k populated_place);
+            Cq.atom (v "p") (k located_in) (v "c");
+            Cq.atom (v "c") (k in_departement) (v "d");
+          ] );
+    (* seats of départements of a known region, with population *)
+    ( "G3",
+      Cq.make ~head:[ v "p"; v "d" ]
+        ~body:
+          [
+            Cq.atom (v "p") (k seat_of) (v "d");
+            Cq.atom (v "d") (k in_region) (k r0);
+            Cq.atom (v "d") (k Vocab.rdf_type) (k departement);
+          ] );
+    (* any unit with its population (tests domain typing) *)
+    ( "G4",
+      Cq.make ~head:[ v "x"; v "n" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k territorial_unit);
+            Cq.atom (v "x") (k population) (v "n");
+          ] );
+  ]

@@ -1,0 +1,27 @@
+(** French-administrative-style geographic workload (INSEE / IGN stand-in).
+
+    The demonstration uses French statistical (INSEE) and geographical
+    (IGN) datasets; offline we generate the same shape: the
+    region / département / commune subdivision hierarchy with populated
+    places, population figures and administrative seats. Deterministic for
+    a given [(seed, scale)]. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+
+val ns : string
+
+val env : Namespace.t
+(** Binds [geo:]. *)
+
+val schema : Schema.t
+
+val schema_graph : Graph.t
+
+val generate : ?seed:int64 -> scale:int -> unit -> Store.t
+(** [scale] is the number of regions; each region carries 2–5
+    départements of 10–30 communes each. *)
+
+val queries : (string * Cq.t) list

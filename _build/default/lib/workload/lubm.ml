@@ -1,0 +1,426 @@
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+module Rng = Refq_util.Splitmix64
+
+let ns = "http://refq.org/univ-bench#"
+
+let env = Namespace.add Namespace.default ~prefix:"ub" ~uri:ns
+
+let c name = Term.uri (ns ^ name)
+
+(* Classes *)
+let organization = c "Organization"
+let university_cls = c "University"
+let department = c "Department"
+let research_group = c "ResearchGroup"
+let person = c "Person"
+let employee = c "Employee"
+let faculty = c "Faculty"
+let professor = c "Professor"
+let full_professor = c "FullProfessor"
+let associate_professor = c "AssociateProfessor"
+let assistant_professor = c "AssistantProfessor"
+let visiting_professor = c "VisitingProfessor"
+let lecturer = c "Lecturer"
+let chair = c "Chair"
+let dean = c "Dean"
+let student = c "Student"
+let undergraduate_student = c "UndergraduateStudent"
+let graduate_student = c "GraduateStudent"
+let research_assistant = c "ResearchAssistant"
+let teaching_assistant = c "TeachingAssistant"
+let work = c "Work"
+let course = c "Course"
+let graduate_course = c "GraduateCourse"
+let research = c "Research"
+let publication = c "Publication"
+let article = c "Article"
+let book = c "Book"
+let technical_report = c "TechnicalReport"
+
+(* Properties *)
+let member_of = c "memberOf"
+let works_for = c "worksFor"
+let head_of = c "headOf"
+let degree_from = c "degreeFrom"
+let masters_degree_from = c "mastersDegreeFrom"
+let doctoral_degree_from = c "doctoralDegreeFrom"
+let undergraduate_degree_from = c "undergraduateDegreeFrom"
+let teacher_of = c "teacherOf"
+let takes_course = c "takesCourse"
+let teaching_assistant_of = c "teachingAssistantOf"
+let advisor = c "advisor"
+let publication_author = c "publicationAuthor"
+let sub_organization_of = c "subOrganizationOf"
+let research_interest = c "researchInterest"
+let email_address = c "emailAddress"
+let name_prop = c "name"
+
+let schema =
+  Schema.of_list
+    [
+      (* Organizations *)
+      Schema.subclass university_cls organization;
+      Schema.subclass department organization;
+      Schema.subclass research_group organization;
+      (* People *)
+      Schema.subclass employee person;
+      Schema.subclass faculty employee;
+      Schema.subclass professor faculty;
+      Schema.subclass full_professor professor;
+      Schema.subclass associate_professor professor;
+      Schema.subclass assistant_professor professor;
+      Schema.subclass visiting_professor professor;
+      Schema.subclass lecturer faculty;
+      Schema.subclass chair professor;
+      Schema.subclass dean professor;
+      Schema.subclass student person;
+      Schema.subclass undergraduate_student student;
+      Schema.subclass graduate_student student;
+      Schema.subclass research_assistant student;
+      Schema.subclass teaching_assistant student;
+      (* Works *)
+      Schema.subclass course work;
+      Schema.subclass research work;
+      Schema.subclass graduate_course course;
+      Schema.subclass article publication;
+      Schema.subclass book publication;
+      Schema.subclass technical_report publication;
+      (* Property hierarchy *)
+      Schema.subproperty works_for member_of;
+      Schema.subproperty head_of works_for;
+      Schema.subproperty masters_degree_from degree_from;
+      Schema.subproperty doctoral_degree_from degree_from;
+      Schema.subproperty undergraduate_degree_from degree_from;
+      Schema.subproperty teaching_assistant_of takes_course;
+      (* Domains / ranges *)
+      Schema.domain member_of person;
+      Schema.range member_of organization;
+      Schema.domain works_for employee;
+      Schema.domain head_of chair;
+      Schema.range head_of department;
+      Schema.domain degree_from person;
+      Schema.range degree_from university_cls;
+      Schema.domain teacher_of faculty;
+      Schema.range teacher_of course;
+      Schema.domain takes_course student;
+      Schema.range takes_course course;
+      Schema.domain advisor student;
+      Schema.range advisor professor;
+      Schema.domain publication_author publication;
+      Schema.range publication_author person;
+      Schema.domain sub_organization_of organization;
+      Schema.range sub_organization_of organization;
+      Schema.domain research_interest faculty;
+      Schema.domain email_address person;
+    ]
+
+let schema_graph = Schema.to_graph schema
+
+let university i = Term.uri (Printf.sprintf "http://www.Univ%d.edu" i)
+
+let dept u d = Term.uri (Printf.sprintf "http://www.Dept%d.Univ%d.edu" d u)
+
+let dept_entity u d kind k =
+  Term.uri (Printf.sprintf "http://www.Dept%d.Univ%d.edu/%s%d" d u kind k)
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  store : Store.t;
+  rng : Rng.t;
+  n_univ : int;
+}
+
+let add ctx s p o = Store.add ctx.store s p o
+
+let typed ctx s cls = add ctx s Vocab.rdf_type cls
+
+let any_university ctx = university (Rng.int ctx.rng ctx.n_univ)
+
+let person_extras ctx who label =
+  add ctx who name_prop (Term.literal label);
+  add ctx who email_address
+    (Term.literal (Printf.sprintf "%s@univ.edu" label))
+
+let gen_department ctx u d =
+  let dpt = dept u d in
+  typed ctx dpt department;
+  add ctx dpt sub_organization_of (university u);
+  add ctx dpt name_prop (Term.literal (Printf.sprintf "Department%d" d));
+  (* Research groups *)
+  let n_groups = Rng.int_in ctx.rng 1 3 in
+  for g = 0 to n_groups - 1 do
+    let grp = dept_entity u d "ResearchGroup" g in
+    typed ctx grp research_group;
+    add ctx grp sub_organization_of dpt
+  done;
+  (* Faculty: one chair + professors of the three ranks + lecturers. Only
+     the most specific class is asserted; worksFor (not memberOf) is the
+     explicit membership edge, leaving rdfs7 work for reformulation. *)
+  let faculty_members = ref [] in
+  let mk_faculty kind cls count =
+    let made = ref [] in
+    for k = 0 to count - 1 do
+      let f = dept_entity u d kind k in
+      typed ctx f cls;
+      add ctx f works_for dpt;
+      person_extras ctx f (Printf.sprintf "%s%d.D%d.U%d" kind k d u);
+      add ctx f undergraduate_degree_from (any_university ctx);
+      add ctx f masters_degree_from (any_university ctx);
+      add ctx f doctoral_degree_from (any_university ctx);
+      add ctx f research_interest
+        (Term.literal (Printf.sprintf "Research%d" (Rng.int ctx.rng 30)));
+      faculty_members := f :: !faculty_members;
+      made := f :: !made
+    done;
+    !made
+  in
+  let fulls = mk_faculty "FullProfessor" full_professor (Rng.int_in ctx.rng 2 3) in
+  let associates =
+    mk_faculty "AssociateProfessor" associate_professor (Rng.int_in ctx.rng 3 4)
+  in
+  let assistants =
+    mk_faculty "AssistantProfessor" assistant_professor (Rng.int_in ctx.rng 3 4)
+  in
+  let _lecturers = mk_faculty "Lecturer" lecturer (Rng.int_in ctx.rng 2 3) in
+  (match fulls with
+  | head :: _ -> add ctx head head_of dpt
+  | [] -> ());
+  let faculty_arr = Array.of_list !faculty_members in
+  (* Courses: each faculty member teaches 1-2; 1/4 graduate level. *)
+  let courses = ref [] in
+  let grad_courses = ref [] in
+  let n_courses = ref 0 in
+  Array.iter
+    (fun f ->
+      for _ = 1 to Rng.int_in ctx.rng 1 2 do
+        let k = !n_courses in
+        incr n_courses;
+        let crs = dept_entity u d "Course" k in
+        if Rng.int ctx.rng 4 = 0 then begin
+          typed ctx crs graduate_course;
+          grad_courses := crs :: !grad_courses
+        end
+        else begin
+          typed ctx crs course;
+          courses := crs :: !courses
+        end;
+        add ctx f teacher_of crs
+      done)
+    faculty_arr;
+  let courses = Array.of_list !courses in
+  let grad_courses = Array.of_list !grad_courses in
+  let professors = Array.of_list (fulls @ associates @ assistants) in
+  (* Undergraduate students *)
+  let n_ugrad = Rng.int_in ctx.rng 20 35 in
+  for k = 0 to n_ugrad - 1 do
+    let s = dept_entity u d "UndergraduateStudent" k in
+    typed ctx s undergraduate_student;
+    add ctx s member_of dpt;
+    person_extras ctx s (Printf.sprintf "UG%d.D%d.U%d" k d u);
+    if Array.length courses > 0 then
+      for _ = 1 to Rng.int_in ctx.rng 2 4 do
+        add ctx s takes_course (Rng.pick ctx.rng courses)
+      done;
+    if Array.length professors > 0 && Rng.int ctx.rng 5 = 0 then
+      add ctx s advisor (Rng.pick ctx.rng professors)
+  done;
+  (* Graduate students *)
+  let n_grad = Rng.int_in ctx.rng 8 14 in
+  let grads = ref [] in
+  for k = 0 to n_grad - 1 do
+    let s = dept_entity u d "GraduateStudent" k in
+    typed ctx s graduate_student;
+    add ctx s member_of dpt;
+    person_extras ctx s (Printf.sprintf "GR%d.D%d.U%d" k d u);
+    add ctx s undergraduate_degree_from (any_university ctx);
+    if Rng.int ctx.rng 3 = 0 then
+      add ctx s masters_degree_from (any_university ctx);
+    if Array.length grad_courses > 0 then
+      for _ = 1 to Rng.int_in ctx.rng 1 3 do
+        add ctx s takes_course (Rng.pick ctx.rng grad_courses)
+      done;
+    if Array.length professors > 0 then
+      add ctx s advisor (Rng.pick ctx.rng professors);
+    (* Some graduate students TA a course (teachingAssistantOf ⊑
+       takesCourse) or RA; asserted with the most specific class only. *)
+    if Array.length courses > 0 && Rng.int ctx.rng 4 = 0 then begin
+      let s_ta = dept_entity u d "TeachingAssistant" k in
+      typed ctx s_ta teaching_assistant;
+      add ctx s_ta member_of dpt;
+      add ctx s_ta teaching_assistant_of (Rng.pick ctx.rng courses)
+    end;
+    grads := s :: !grads
+  done;
+  let grads = Array.of_list !grads in
+  (* Publications: each faculty member authors 2-4; half co-authored by a
+     graduate student. Most specific publication class asserted. *)
+  let n_pubs = ref 0 in
+  Array.iter
+    (fun f ->
+      for _ = 1 to Rng.int_in ctx.rng 2 4 do
+        let k = !n_pubs in
+        incr n_pubs;
+        let pub = dept_entity u d "Publication" k in
+        let cls =
+          match Rng.int ctx.rng 4 with
+          | 0 -> book
+          | 1 -> technical_report
+          | _ -> article
+        in
+        typed ctx pub cls;
+        add ctx pub publication_author f;
+        add ctx pub name_prop (Term.literal (Printf.sprintf "Pub%d.D%d.U%d" k d u));
+        if Array.length grads > 0 && Rng.bool ctx.rng then
+          add ctx pub publication_author (Rng.pick ctx.rng grads)
+      done)
+    faculty_arr
+
+let generate ?(seed = 42L) ~scale () =
+  if scale <= 0 then invalid_arg "Lubm.generate: scale must be positive";
+  let store = Store.create () in
+  Store.add_graph store schema_graph;
+  let ctx = { store; rng = Rng.create seed; n_univ = scale } in
+  for u = 0 to scale - 1 do
+    let univ = university u in
+    typed ctx univ university_cls;
+    add ctx univ name_prop (Term.literal (Printf.sprintf "University%d" u));
+    let n_depts = Rng.int_in ctx.rng 3 5 in
+    for d = 0 to n_depts - 1 do
+      gen_department ctx u d
+    done
+  done;
+  store
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let u0 = university 0
+
+let example1_query =
+  Cq.make
+    ~head:[ Cq.var "x"; Cq.var "u"; Cq.var "y"; Cq.var "v"; Cq.var "z" ]
+    ~body:
+      [
+        Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.var "u");
+        Cq.atom (Cq.var "y") (Cq.cst Vocab.rdf_type) (Cq.var "v");
+        Cq.atom (Cq.var "x") (Cq.cst masters_degree_from) (Cq.cst u0);
+        Cq.atom (Cq.var "y") (Cq.cst doctoral_degree_from) (Cq.cst u0);
+        Cq.atom (Cq.var "x") (Cq.cst member_of) (Cq.var "z");
+        Cq.atom (Cq.var "y") (Cq.cst member_of) (Cq.var "z");
+      ]
+
+(* {t1,t3}, {t3,t5}, {t2,t4}, {t4,t6} with 0-based indices. *)
+let example1_cover =
+  Cover.make ~n_atoms:6 [ [ 0; 2 ]; [ 2; 4 ]; [ 1; 3 ]; [ 3; 5 ] ]
+
+let d00 = dept 0 0
+
+let prof00 = dept_entity 0 0 "FullProfessor" 0
+
+let course00 = dept_entity 0 0 "Course" 0
+
+let queries =
+  let v = Cq.var and k = Cq.cst in
+  [
+    (* Q1: students of a known course (takers are only entailed to be
+       Students through the takesCourse domain / class hierarchy) *)
+    ( "Q1",
+      Cq.make ~head:[ v "x" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k student);
+            Cq.atom (v "x") (k takes_course) (k course00);
+          ] );
+    (* Q2: students member of a department of a known university *)
+    ( "Q2",
+      Cq.make ~head:[ v "x"; v "d" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k student);
+            Cq.atom (v "x") (k member_of) (v "d");
+            Cq.atom (v "d") (k sub_organization_of) (k u0);
+          ] );
+    (* Q3: publications of a known professor *)
+    ( "Q3",
+      Cq.make ~head:[ v "x" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k publication);
+            Cq.atom (v "x") (k publication_author) (k prof00);
+          ] );
+    (* Q4: professors working for a known department, with their names *)
+    ( "Q4",
+      Cq.make ~head:[ v "x"; v "n" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k professor);
+            Cq.atom (v "x") (k works_for) (k d00);
+            Cq.atom (v "x") (k name_prop) (v "n");
+          ] );
+    (* Q5: persons member of a known department *)
+    ( "Q5",
+      Cq.make ~head:[ v "x" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k person);
+            Cq.atom (v "x") (k member_of) (k d00);
+          ] );
+    (* Q6: all students *)
+    ( "Q6",
+      Cq.make ~head:[ v "x" ]
+        ~body:[ Cq.atom (v "x") (k Vocab.rdf_type) (k student) ] );
+    (* Q7: students taking a course taught by a known professor *)
+    ( "Q7",
+      Cq.make ~head:[ v "x"; v "y" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k student);
+            Cq.atom (v "y") (k Vocab.rdf_type) (k course);
+            Cq.atom (v "x") (k takes_course) (v "y");
+            Cq.atom (k prof00) (k teacher_of) (v "y");
+          ] );
+    (* Q8: students of a university's departments, with email *)
+    ( "Q8",
+      Cq.make ~head:[ v "x"; v "e" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k student);
+            Cq.atom (v "x") (k member_of) (v "d");
+            Cq.atom (v "d") (k sub_organization_of) (k u0);
+            Cq.atom (v "x") (k email_address) (v "e");
+          ] );
+    (* Q9: advisor triangle *)
+    ( "Q9",
+      Cq.make ~head:[ v "x"; v "y"; v "z" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k Vocab.rdf_type) (k student);
+            Cq.atom (v "y") (k Vocab.rdf_type) (k faculty);
+            Cq.atom (v "z") (k Vocab.rdf_type) (k course);
+            Cq.atom (v "x") (k advisor) (v "y");
+            Cq.atom (v "y") (k teacher_of) (v "z");
+            Cq.atom (v "x") (k takes_course) (v "z");
+          ] );
+    (* Q10: everyone with a degree from a known university *)
+    ( "Q10",
+      Cq.make ~head:[ v "x" ]
+        ~body:[ Cq.atom (v "x") (k degree_from) (k u0) ] );
+    (* Q11: how anything relates to a known professor — a variable in
+       property position (rules R8/R9/R13) *)
+    ( "Q11",
+      Cq.make
+        ~head:[ v "x"; v "p" ]
+        ~body:[ Cq.atom (v "x") (v "p") (k prof00) ] );
+    (* Q12: the subclasses of Person — a query over schema triples
+       (rule R10 answers the entailed ones by instantiation) *)
+    ( "Q12",
+      Cq.make ~head:[ v "c" ]
+        ~body:[ Cq.atom (v "c") (k Vocab.rdfs_subclassof) (k person) ] );
+  ]

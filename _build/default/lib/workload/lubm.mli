@@ -1,0 +1,57 @@
+(** LUBM-style synthetic workload.
+
+    The paper's Example 1 runs on the LUBM benchmark [11]; the original
+    100M-triple dataset is not available offline, so this generator
+    reproduces the LUBM {e schema shape} (the class and property
+    hierarchies, domains and ranges of univ-bench) and its data
+    distributions (types vastly outnumber degree edges; members cluster by
+    department) at a configurable scale. Reformulation sizes depend only on
+    the schema, and the relative performance of UCQ / SCQ / JUCQ depends on
+    these distributions, so the substitution preserves the behaviours the
+    paper demonstrates (see DESIGN.md §4).
+
+    Generation is fully deterministic for a given [(seed, scale)]. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+
+val ns : string
+(** Vocabulary namespace of the generated data. *)
+
+val env : Namespace.t
+(** Prefix environment binding [ub:] to {!ns} (plus the defaults). *)
+
+val schema : Schema.t
+(** The univ-bench-style RDFS constraints (43 classes / 25 properties
+    shaped like LUBM's). *)
+
+val schema_graph : Graph.t
+
+val university : int -> Term.t
+(** [university i] is the URI of the [i]-th university,
+    [http://www.Univ<i>.edu] — Example 1 queries [Univ532]-style URIs. *)
+
+val generate : ?seed:int64 -> scale:int -> unit -> Store.t
+(** [generate ~scale ()] builds a store holding [scale] universities
+    (roughly 4,000–6,000 triples each) {e plus} the schema triples. Only
+    most-specific classes and properties are asserted — the implicit
+    triples are left to be derived, as in the paper's setting. *)
+
+val example1_query : Cq.t
+(** The six-atom query of Example 1 (over university 0):
+    {v
+    q(x, u, y, v, z) :- x rdf:type u, y rdf:type v,
+                        x ub:mastersDegreeFrom U0,
+                        y ub:doctoralDegreeFrom U0,
+                        x ub:memberOf z, y ub:memberOf z
+    v} *)
+
+val example1_cover : Cover.t
+(** The paper's hand-picked best cover
+    [{t1,t3} {t3,t5} {t2,t4} {t4,t6}] (0-based internally). *)
+
+val queries : (string * Cq.t) list
+(** A named query workload (Q1–Q10, LUBM-inspired, adapted to the RDFS
+    setting), used by experiments E3–E6. *)

@@ -1,0 +1,118 @@
+open Refq_rdf
+open Refq_query
+open Refq_storage
+module Rng = Refq_util.Splitmix64
+
+type shape =
+  | Star
+  | Chain
+  | Mixed
+
+(* The store's vocabulary: classes that have instances, properties that
+   have triples (excluding the RDFS constraint properties), and a sample
+   of subject/object constants per property. *)
+type vocabulary = {
+  classes : Term.t array;
+  properties : Term.t array;
+  objects_of : (Term.t, Term.t array) Hashtbl.t;
+}
+
+let vocabulary store =
+  let rdf_type = Store.find_term store Vocab.rdf_type in
+  let classes = Hashtbl.create 32 in
+  let properties = Hashtbl.create 32 in
+  let objects_of = Hashtbl.create 32 in
+  Store.iter_all store (fun s p o ->
+      ignore s;
+      let p_term = Store.decode_id store p in
+      if Some p = rdf_type then
+        Hashtbl.replace classes (Store.decode_id store o) ()
+      else if not (Vocab.is_schema_property p_term) then begin
+        Hashtbl.replace properties p_term ();
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt objects_of p_term)
+        in
+        (* Keep a bounded reservoir of candidate constants. *)
+        if List.length prev < 50 then
+          Hashtbl.replace objects_of p_term (Store.decode_id store o :: prev)
+      end);
+  let keys tbl = Array.of_seq (Seq.map fst (Hashtbl.to_seq tbl)) in
+  let classes = keys classes and properties = keys properties in
+  Array.sort Term.compare classes;
+  Array.sort Term.compare properties;
+  let objects = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun p terms ->
+      let a = Array.of_list terms in
+      Array.sort Term.compare a;
+      Hashtbl.replace objects p a)
+    objects_of;
+  { classes; properties; objects_of = objects }
+
+let generate ?(seed = 2026L) ?(max_atoms = 5) ?(constant_probability = 0.35)
+    store ~count =
+  if count <= 0 then invalid_arg "Query_gen.generate: count must be positive";
+  let voc = vocabulary store in
+  if Array.length voc.classes = 0 || Array.length voc.properties = 0 then
+    invalid_arg "Query_gen.generate: store has no usable vocabulary";
+  let rng = Rng.create seed in
+  let fresh_counter = ref 0 in
+  let fresh_var prefix =
+    incr fresh_counter;
+    Printf.sprintf "%s%d" prefix !fresh_counter
+  in
+  let gen_query idx =
+    let n_atoms = Rng.int_in rng 1 (max max_atoms 1) in
+    let shape =
+      match Rng.int rng 3 with 0 -> Star | 1 -> Chain | _ -> Mixed
+    in
+    let used_vars = ref [] in
+    let new_var () =
+      let v = fresh_var "v" in
+      used_vars := v :: !used_vars;
+      v
+    in
+    let attach_var () =
+      match !used_vars with
+      | [] -> new_var ()
+      | vars -> List.nth vars (Rng.int rng (List.length vars))
+    in
+    let center = new_var () in
+    let atoms = ref [] in
+    let last_object = ref center in
+    for i = 0 to n_atoms - 1 do
+      let subject =
+        match shape with
+        | Star -> center
+        | Chain -> if i = 0 then center else !last_object
+        | Mixed -> if i = 0 then center else attach_var ()
+      in
+      (* Half the atoms are class assertions, half property edges. *)
+      if Rng.bool rng then
+        atoms :=
+          Cq.atom (Cq.var subject) (Cq.cst Vocab.rdf_type)
+            (Cq.cst (Rng.pick rng voc.classes))
+          :: !atoms
+      else begin
+        let p = Rng.pick rng voc.properties in
+        let obj =
+          if Rng.float rng 1.0 < constant_probability then
+            match Hashtbl.find_opt voc.objects_of p with
+            | Some candidates when Array.length candidates > 0 ->
+              Cq.cst (Rng.pick rng candidates)
+            | _ -> Cq.var (new_var ())
+          else Cq.var (new_var ())
+        in
+        (match obj with
+        | Cq.Var v -> last_object := v
+        | Cq.Cst _ -> ());
+        atoms := Cq.atom (Cq.var subject) (Cq.cst p) obj :: !atoms
+      end
+    done;
+    let body = List.rev !atoms in
+    let head =
+      List.map Cq.var (Cq.body_vars { Cq.head = []; body })
+    in
+    (Printf.sprintf "R%d" (idx + 1), Cq.make ~head ~body)
+  in
+  List.init count gen_query

@@ -1,0 +1,30 @@
+(** Random conjunctive queries over a workload schema.
+
+    The demo lets the audience propose their own queries; this generator
+    stands in for them at benchmark scale: deterministic, connected CQs of
+    configurable size over a store's actual vocabulary (classes with
+    instances, properties with triples, constants sampled from the data),
+    in the three standard shapes — stars, chains and mixtures. Used by the
+    robustness experiment (E16) and as a stress source for GCov. *)
+
+open Refq_query
+open Refq_storage
+
+type shape =
+  | Star  (** all atoms share the central subject variable *)
+  | Chain  (** atom i's object is atom i+1's subject *)
+  | Mixed  (** random attachment to any previously used variable *)
+
+val generate :
+  ?seed:int64 ->
+  ?max_atoms:int ->
+  ?constant_probability:float ->
+  Store.t ->
+  count:int ->
+  (string * Cq.t) list
+(** [generate store ~count] builds [count] named queries ("R1", "R2", ...)
+    against [store]'s vocabulary. Each query is connected, safe, has
+    1–[max_atoms] atoms (default 5) and projects every non-fresh variable.
+    [constant_probability] (default 0.35) controls how often an object
+    position holds a data constant instead of a variable. Deterministic
+    for a given [(seed, store)]. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Cq Fmt Gen Graph List Printf QCheck2 Refq_query Refq_rdf String Term Triple Vocab

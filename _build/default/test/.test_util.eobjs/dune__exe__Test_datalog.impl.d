@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Datalog Fixtures QCheck2 QCheck_alcotest Rdf_encoding Refq_datalog Refq_engine Refq_query Refq_rdf Refq_saturation Refq_storage Store Term

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Containment Cover Cq Fixtures Graph Jucq List Namespace Option Printf QCheck2 QCheck_alcotest Refq_engine Refq_query Refq_rdf Sparql Term Ucq Vocab

@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Fixtures Graph Isomorphism List Namespace Ntriples Printf QCheck2 QCheck_alcotest Refq_rdf Term Triple Turtle Vocab

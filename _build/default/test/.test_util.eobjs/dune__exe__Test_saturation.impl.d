@@ -1,0 +1,1 @@
+test/test_saturation.ml: Alcotest Fixtures Fmt Graph List Printf QCheck2 QCheck_alcotest Refq_rdf Refq_saturation Refq_storage Saturate Term Triple Vocab

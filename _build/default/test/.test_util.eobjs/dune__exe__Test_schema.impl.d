@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Closure Fixtures Fmt Graph List QCheck2 QCheck_alcotest Refq_rdf Refq_schema Schema Term Triple Vocab

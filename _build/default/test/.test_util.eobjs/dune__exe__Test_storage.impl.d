@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Dictionary Filename Fixtures Fmt Fun Graph List Option QCheck2 QCheck_alcotest Refq_rdf Refq_storage Stats Store String Sys Term Triple Vocab

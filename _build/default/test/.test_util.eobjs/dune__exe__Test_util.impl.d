@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Int Int64 List QCheck2 QCheck_alcotest Refq_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Closure Dblp Geo Graph List Lubm Printf Query_gen Refq_core Refq_query Refq_rdf Refq_reform Refq_schema Refq_storage Refq_workload Store Term Vocab

@@ -1,0 +1,241 @@
+(* Tests for cardinality estimation and the cost model. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_schema
+open Refq_storage
+open Refq_cost
+open Refq_reform
+
+let lubm_store = lazy (Refq_workload.Lubm.generate ~scale:1 ())
+
+let lubm_env = lazy (Cardinality.make_env (Lazy.force lubm_store))
+
+let lubm_closure =
+  lazy (Closure.of_graph (Store.to_graph (Lazy.force lubm_store)))
+
+let ub name = Term.uri (Refq_workload.Lubm.ns ^ name)
+
+let test_atom_base_counts () =
+  let env = Lazy.force lubm_env in
+  let st = Cardinality.initial in
+  (* Exact counts: a property atom's estimate with no bound variable is the
+     property's triple count. *)
+  let atom_takes =
+    Cq.atom (Cq.var "x") (Cq.cst (ub "takesCourse")) (Cq.var "y")
+  in
+  let est = Cardinality.atom_extension env st atom_takes in
+  let exact =
+    Store.count_pattern (Lazy.force lubm_store)
+      ~s:None
+      ~p:(Store.find_term (Lazy.force lubm_store) (ub "takesCourse"))
+      ~o:None
+  in
+  Alcotest.(check (float 0.01)) "exact base count" (float_of_int exact) est
+
+let test_absent_constant_zero () =
+  let env = Lazy.force lubm_env in
+  let atom = Cq.atom (Cq.var "x") (Cq.cst (ub "noSuchProperty")) (Cq.var "y") in
+  Alcotest.(check (float 0.0)) "absent is 0" 0.0
+    (Cardinality.atom_extension env Cardinality.initial atom)
+
+let test_bound_var_selectivity () =
+  let env = Lazy.force lubm_env in
+  let atom = Cq.atom (Cq.var "x") (Cq.cst (ub "takesCourse")) (Cq.var "y") in
+  let st0 = Cardinality.initial in
+  let unbound = Cardinality.atom_extension env st0 atom in
+  (* After binding x elsewhere, the same atom must look much smaller. *)
+  let st1 =
+    Cardinality.extend env st0
+      (Cq.atom (Cq.var "x") (Cq.cst (ub "memberOf")) (Cq.var "d"))
+  in
+  let bound = Cardinality.atom_extension env st1 atom in
+  Alcotest.(check bool)
+    (Printf.sprintf "bound (%f) < unbound (%f)" bound unbound)
+    true (bound < unbound)
+
+let test_cq_estimate_reasonable () =
+  let env = Lazy.force lubm_env in
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst (ub "GraduateStudent"));
+        ]
+  in
+  let est = Cardinality.cq env q in
+  let actual =
+    float_of_int
+      (Refq_engine.Relation.cardinality (Refq_engine.Evaluator.cq env q))
+  in
+  (* A single-atom class lookup must be estimated exactly. *)
+  Alcotest.(check (float 0.01)) "exact single-atom estimate" actual est
+
+let test_cost_monotone_in_disjuncts () =
+  (* More disjuncts must never be estimated cheaper (per-CQ overhead). *)
+  let env = Lazy.force lubm_env in
+  let cl = Lazy.force lubm_closure in
+  let q1 =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst (ub "Course")) ]
+  in
+  let q2 =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst (ub "Work")) ]
+  in
+  let u1 = Reformulate.cq_to_ucq cl q1 in
+  let u2 = Reformulate.cq_to_ucq cl q2 in
+  Alcotest.(check bool) "Work has more disjuncts" true (Ucq.size u2 > Ucq.size u1);
+  let c1 = (Cost_model.ucq env u1).Cost_model.cost in
+  let c2 = (Cost_model.ucq env u2).Cost_model.cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost(%f) grows with size (%f)" c1 c2)
+    true (c2 > c1)
+
+let test_infeasible_is_infinite () =
+  let env = Lazy.force lubm_env in
+  let cl = Lazy.force lubm_closure in
+  let params = { Cost_model.default_params with Cost_model.max_disjuncts = 2 } in
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst (ub "Person")) ]
+  in
+  let u = Reformulate.cq_to_ucq cl q in
+  Alcotest.(check bool) "large union" true (Ucq.size u > 2);
+  let e = Cost_model.ucq ~params env u in
+  Alcotest.(check bool) "infinite cost" true (e.Cost_model.cost = infinity)
+
+let test_jucq_cost_prefers_good_cover () =
+  (* On Example 1 at a data size where evaluation dominates the per-CQ
+     overhead, the cost model must rank the paper's cover below the SCQ
+     (singleton) cover: that ordering is what GCov exploits. (On tiny
+     data SCQ is genuinely competitive and the ranking flips.) *)
+  let store = Refq_workload.Lubm.generate ~scale:3 () in
+  let env = Cardinality.make_env store in
+  let cl = Closure.of_graph (Store.to_graph store) in
+  let q = Refq_workload.Lubm.example1_query in
+  let jucq_of cover = Reformulate.cover_to_jucq cl q cover in
+  let scq_cost =
+    (Cost_model.jucq env
+       (jucq_of (Cover.singleton ~n_atoms:6)))
+      .Cost_model.cost
+  in
+  let paper_cost =
+    (Cost_model.jucq env (jucq_of Refq_workload.Lubm.example1_cover))
+      .Cost_model.cost
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "paper cover (%.0f) < SCQ (%.0f)" paper_cost scq_cost)
+    true
+    (paper_cost < scq_cost)
+
+let test_plan_explain_cq () =
+  let env = Lazy.force lubm_env in
+  let q = Refq_workload.Lubm.example1_query in
+  let plan = Plan.explain_cq env q in
+  Alcotest.(check int) "one step per atom" (List.length q.Cq.body)
+    (List.length plan.Plan.steps);
+  (* Cardinalities are the running product of the extensions. *)
+  let running = ref 1.0 in
+  List.iter
+    (fun s ->
+      running := !running *. s.Plan.extension;
+      Alcotest.(check (float 0.01)) "running product" !running s.Plan.cardinality)
+    plan.Plan.steps
+
+let test_plan_explain_jucq () =
+  let env = Lazy.force lubm_env in
+  let cl = Lazy.force lubm_closure in
+  let q = Refq_workload.Lubm.example1_query in
+  let jucq =
+    Reformulate.cover_to_jucq cl q Refq_workload.Lubm.example1_cover
+  in
+  let plan = Plan.explain_jucq env jucq in
+  Alcotest.(check int) "four fragments" 4 (List.length plan.Plan.fragments);
+  Alcotest.(check bool) "finite total" true
+    (plan.Plan.est_total.Cost_model.cost < infinity);
+  (* First fragment in join order is the smallest one. *)
+  match plan.Plan.fragments with
+  | first :: rest ->
+    List.iter
+      (fun f ->
+        Alcotest.(check bool) "join order starts smallest" true
+          (first.Plan.est_card <= f.Plan.est_card))
+      rest
+  | [] -> Alcotest.fail "empty plan"
+
+let test_combine_equals_jucq () =
+  let env = Lazy.force lubm_env in
+  let cl = Lazy.force lubm_closure in
+  let q = Refq_workload.Lubm.example1_query in
+  let j = Reformulate.cover_to_jucq cl q Refq_workload.Lubm.example1_cover in
+  let via_jucq = Cost_model.jucq env j in
+  let via_combine =
+    Cost_model.combine (List.map (Cost_model.fragment_profile env) j.Jucq.fragments)
+  in
+  Alcotest.(check (float 0.001)) "cost" via_jucq.Cost_model.cost
+    via_combine.Cost_model.cost;
+  Alcotest.(check (float 0.001)) "card" via_jucq.Cost_model.card
+    via_combine.Cost_model.card
+
+let test_calibration () =
+  let env = Lazy.force lubm_env in
+  let m = Calibrate.measure env in
+  Alcotest.(check bool) "probe measured" true (m.Calibrate.probe_ns > 0.0);
+  Alcotest.(check bool) "tuple measured" true (m.Calibrate.tuple_ns > 0.0);
+  let params = Calibrate.params_of_measurement m in
+  Alcotest.(check (float 0.001)) "tuple is the unit" 1.0 params.Cost_model.c_tuple;
+  Alcotest.(check bool) "overhead dominates a tuple" true
+    (params.Cost_model.c_cq_overhead > 1.0);
+  (* Calibrated params must preserve the model's structural properties:
+     bigger unions cost more (the crossover *scale* between covers is
+     machine-dependent, so we do not pin it). *)
+  let cl = Lazy.force lubm_closure in
+  let ub name = Term.uri (Refq_workload.Lubm.ns ^ name) in
+  let ucq_of cls =
+    Reformulate.cq_to_ucq cl
+      (Cq.make ~head:[ Cq.var "x" ]
+         ~body:[ Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst (ub cls)) ])
+  in
+  let c1 = (Cost_model.ucq ~params env (ucq_of "Course")).Cost_model.cost in
+  let c2 = (Cost_model.ucq ~params env (ucq_of "Work")).Cost_model.cost in
+  Alcotest.(check bool) "calibrated cost still monotone" true (c2 > c1)
+
+let test_order_atoms_stable () =
+  let env = Lazy.force lubm_env in
+  let body = Refq_workload.Lubm.example1_query.Cq.body in
+  let o1 = Cardinality.order_atoms env body in
+  let o2 = Cardinality.order_atoms env body in
+  Alcotest.(check bool) "deterministic" true (o1 = o2);
+  Alcotest.(check int) "keeps all atoms" (List.length body) (List.length o1)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "cardinality",
+        [
+          Alcotest.test_case "exact base counts" `Quick test_atom_base_counts;
+          Alcotest.test_case "absent constant" `Quick test_absent_constant_zero;
+          Alcotest.test_case "bound-variable selectivity" `Quick
+            test_bound_var_selectivity;
+          Alcotest.test_case "single-atom estimate" `Quick
+            test_cq_estimate_reasonable;
+          Alcotest.test_case "atom order stable" `Quick test_order_atoms_stable;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "monotone in disjuncts" `Quick
+            test_cost_monotone_in_disjuncts;
+          Alcotest.test_case "infeasible = infinity" `Quick
+            test_infeasible_is_infinite;
+          Alcotest.test_case "example 1 cover ranking" `Quick
+            test_jucq_cost_prefers_good_cover;
+          Alcotest.test_case "combine = jucq" `Quick test_combine_equals_jucq;
+          Alcotest.test_case "calibration" `Quick test_calibration;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "explain CQ" `Quick test_plan_explain_cq;
+          Alcotest.test_case "explain JUCQ" `Quick test_plan_explain_jucq;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* Tests for the Datalog engine and the Dat (LogicBlox stand-in)
+   encoding. *)
+
+open Refq_rdf
+open Refq_storage
+open Refq_datalog
+
+let v x = Datalog.Var x
+let k i = Datalog.Cst i
+
+let test_rule_safety () =
+  (match Datalog.rule (Datalog.atom "p" [ v "x" ]) [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty body accepted");
+  match Datalog.rule (Datalog.atom "p" [ v "x" ]) [ Datalog.atom "q" [ v "y" ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unsafe head accepted"
+
+let test_db_dedup () =
+  let db = Datalog.Db.create () in
+  Datalog.Db.add_fact db "e" [| 1; 2 |];
+  Datalog.Db.add_fact db "e" [| 1; 2 |];
+  Alcotest.(check int) "dedup" 1 (Datalog.Db.cardinality db "e")
+
+let test_transitive_closure () =
+  (* tc(x,y) :- e(x,y).  tc(x,z) :- e(x,y), tc(y,z). over a chain. *)
+  let db = Datalog.Db.create () in
+  for i = 0 to 9 do
+    Datalog.Db.add_fact db "e" [| i; i + 1 |]
+  done;
+  let rules =
+    [
+      Datalog.rule (Datalog.atom "tc" [ v "x"; v "y" ])
+        [ Datalog.atom "e" [ v "x"; v "y" ] ];
+      Datalog.rule (Datalog.atom "tc" [ v "x"; v "z" ])
+        [ Datalog.atom "e" [ v "x"; v "y" ]; Datalog.atom "tc" [ v "y"; v "z" ] ];
+    ]
+  in
+  let stats = Datalog.eval rules db in
+  (* chain of 11 nodes: 10*11/2 = 55 pairs *)
+  Alcotest.(check int) "tc pairs" 55 (Datalog.Db.cardinality db "tc");
+  Alcotest.(check int) "all derived" 55 stats.Datalog.derived;
+  (* facts emitted in a round are visible within it, so convergence takes
+     one productive round plus the empty fixpoint check *)
+  Alcotest.(check bool) "at least two rounds" true (stats.Datalog.iterations >= 2)
+
+let test_constants_in_rules () =
+  let db = Datalog.Db.create () in
+  Datalog.Db.add_fact db "e" [| 1; 7 |];
+  Datalog.Db.add_fact db "e" [| 2; 8 |];
+  let rules =
+    [
+      Datalog.rule (Datalog.atom "sel" [ v "x" ]) [ Datalog.atom "e" [ v "x"; k 7 ] ];
+    ]
+  in
+  ignore (Datalog.eval rules db);
+  Alcotest.(check int) "selection" 1 (Datalog.Db.cardinality db "sel")
+
+let test_repeated_vars () =
+  let db = Datalog.Db.create () in
+  Datalog.Db.add_fact db "e" [| 1; 1 |];
+  Datalog.Db.add_fact db "e" [| 1; 2 |];
+  let rules =
+    [
+      Datalog.rule (Datalog.atom "loop" [ v "x" ]) [ Datalog.atom "e" [ v "x"; v "x" ] ];
+    ]
+  in
+  ignore (Datalog.eval rules db);
+  Alcotest.(check int) "self loops" 1 (Datalog.Db.cardinality db "loop")
+
+let test_dat_borges () =
+  let store = Store.of_graph Fixtures.borges_graph in
+  let rel, stats = Rdf_encoding.answer store Fixtures.borges_query in
+  let rows = Refq_engine.Relation.decode_rows (Store.dictionary store) rel in
+  Alcotest.(check bool) "derived facts" true (stats.Datalog.derived > 0);
+  Alcotest.(check bool) "borges answer" true
+    (rows = [ [ Term.literal "J. L. Borges" ] ])
+
+let test_dat_absent_constant () =
+  let store = Store.of_graph Fixtures.borges_graph in
+  let q =
+    Refq_query.Cq.make
+      ~head:[ Refq_query.Cq.var "x" ]
+      ~body:
+        [
+          Refq_query.Cq.atom (Refq_query.Cq.var "x")
+            (Refq_query.Cq.cst (Fixtures.uri "nosuch"))
+            (Refq_query.Cq.var "y");
+        ]
+  in
+  let rel, _ = Rdf_encoding.answer store q in
+  Alcotest.(check int) "no answers" 0 (Refq_engine.Relation.cardinality rel)
+
+(* Property: Dat agrees with saturation-based answering. *)
+let prop_dat_equals_sat =
+  QCheck2.Test.make ~name:"Dat = q(G∞)" ~count:100
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let store = Store.of_graph g in
+      let rel, _ = Rdf_encoding.answer store q in
+      let rows = Refq_engine.Relation.decode_rows (Store.dictionary store) rel in
+      rows = Refq_engine.Naive.cq (Refq_saturation.Saturate.graph g) q)
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "rule safety" `Quick test_rule_safety;
+          Alcotest.test_case "fact dedup" `Quick test_db_dedup;
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "constants" `Quick test_constants_in_rules;
+          Alcotest.test_case "repeated variables" `Quick test_repeated_vars;
+        ] );
+      ( "rdf encoding",
+        [
+          Alcotest.test_case "borges" `Quick test_dat_borges;
+          Alcotest.test_case "absent constant" `Quick test_dat_absent_constant;
+          QCheck_alcotest.to_alcotest prop_dat_equals_sat;
+        ] );
+    ]

@@ -1,0 +1,341 @@
+(* Tests for relations and the CQ/UCQ/JUCQ evaluation engine, validated
+   against the naive reference evaluator. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_storage
+open Refq_engine
+open Refq_cost
+
+(* Plain substring check used by the serializer tests. *)
+let string_has hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec loop i = i + n <= m && (String.sub hay i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+let rows = Alcotest.testable
+    (fun ppf r -> Fmt.string ppf (Fixtures.rows_to_string r))
+    (List.equal (List.equal Term.equal))
+
+let env_of_graph g = Cardinality.make_env (Store.of_graph g)
+
+let eval_cq g q =
+  let env = env_of_graph g in
+  Relation.decode_rows (Store.dictionary env.Cardinality.store)
+    (Evaluator.cq env q)
+
+let test_relation_basic () =
+  let r = Relation.create ~cols:[| "x"; "y" |] in
+  Relation.add_row r [| 1; 2 |];
+  Relation.add_row r [| 3; 4 |];
+  Relation.add_row r [| 1; 2 |];
+  Alcotest.(check int) "cardinality" 3 (Relation.cardinality r);
+  Alcotest.(check int) "dedup" 2 (Relation.cardinality (Relation.dedup r));
+  Alcotest.(check int) "get" 4 (Relation.get r ~row:1 ~col:1);
+  Alcotest.(check (option int)) "col_index" (Some 1) (Relation.col_index r "y");
+  match Relation.add_row r [| 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad width accepted"
+
+let test_relation_boolean () =
+  let r = Relation.create ~cols:[||] in
+  Relation.add_row r [||];
+  Relation.add_row r [||];
+  Alcotest.(check int) "two unit rows" 2 (Relation.cardinality r);
+  Alcotest.(check int) "dedup to one" 1 (Relation.cardinality (Relation.dedup r))
+
+let test_cq_borges () =
+  (* Against the saturated graph, the paper's query must return Borges. *)
+  let sat = Refq_saturation.Saturate.graph Fixtures.borges_graph in
+  Alcotest.check rows "borges answer"
+    [ [ Term.literal "J. L. Borges" ] ]
+    (eval_cq sat Fixtures.borges_query);
+  (* Against the explicit graph only, the answer is empty (incomplete). *)
+  Alcotest.check rows "explicit-only empty" []
+    (eval_cq Fixtures.borges_graph Fixtures.borges_query)
+
+let test_cq_constants_only () =
+  let q =
+    Cq.make
+      ~head:[ Cq.cst Fixtures.book ]
+      ~body:[ Cq.atom (Cq.cst Fixtures.doi1) (Cq.cst Vocab.rdf_type) (Cq.cst Fixtures.book) ]
+  in
+  Alcotest.check rows "membership true" [ [ Fixtures.book ] ]
+    (eval_cq Fixtures.borges_graph q);
+  let q_missing =
+    Cq.make
+      ~head:[ Cq.cst Fixtures.book ]
+      ~body:[ Cq.atom (Cq.cst Fixtures.doi1) (Cq.cst Vocab.rdf_type) (Cq.cst Fixtures.person) ]
+  in
+  Alcotest.check rows "membership false" [] (eval_cq Fixtures.borges_graph q_missing)
+
+let test_cq_absent_constant () =
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.cst (Fixtures.uri "nosuch")) (Cq.var "y") ]
+  in
+  Alcotest.check rows "absent property" [] (eval_cq Fixtures.borges_graph q)
+
+let test_cq_repeated_var () =
+  let u = Fixtures.uri in
+  let g =
+    Graph.of_list
+      [
+        Triple.make (u "a") (u "p") (u "a");
+        Triple.make (u "a") (u "p") (u "b");
+        Triple.make (u "b") (u "q") (u "b");
+      ]
+  in
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.var "p") (Cq.var "x") ]
+  in
+  Alcotest.check rows "self loops" [ [ u "a" ]; [ u "b" ] ] (eval_cq g q)
+
+let test_join () =
+  let r1 = Relation.create ~cols:[| "x"; "y" |] in
+  Relation.add_row r1 [| 1; 10 |];
+  Relation.add_row r1 [| 2; 20 |];
+  let r2 = Relation.create ~cols:[| "y"; "z" |] in
+  Relation.add_row r2 [| 10; 100 |];
+  Relation.add_row r2 [| 10; 101 |];
+  Relation.add_row r2 [| 30; 300 |];
+  let j = Evaluator.join r1 r2 in
+  Alcotest.(check int) "join rows" 2 (Relation.cardinality j);
+  Alcotest.(check int) "join arity" 3 (Relation.arity j)
+
+let test_join_cartesian () =
+  let r1 = Relation.create ~cols:[| "x" |] in
+  Relation.add_row r1 [| 1 |];
+  Relation.add_row r1 [| 2 |];
+  let r2 = Relation.create ~cols:[| "y" |] in
+  Relation.add_row r2 [| 7 |];
+  let j = Evaluator.join r1 r2 in
+  Alcotest.(check int) "cartesian" 2 (Relation.cardinality j)
+
+let test_order_atoms_connected () =
+  let env = env_of_graph Fixtures.borges_graph in
+  let ordered = Cardinality.order_atoms env Fixtures.borges_query.Cq.body in
+  Alcotest.(check int) "all atoms kept" 3 (List.length ordered);
+  (* After the first atom, each following atom shares a variable with the
+     already-bound set (no cartesian product on this connected query). *)
+  let rec check bound = function
+    | [] -> ()
+    | a :: rest ->
+      let vars = Cq.atom_vars a in
+      if bound <> [] then
+        Alcotest.(check bool)
+          (Fmt.str "connected: %a" Cq.pp_atom a)
+          true
+          (List.exists (fun v -> List.mem v bound) vars);
+      check (bound @ vars) rest
+  in
+  check [] ordered
+
+let test_empty_store () =
+  let env = env_of_graph Graph.empty in
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.var "p") (Cq.var "y") ]
+  in
+  Alcotest.check rows "empty store, empty answer" [] 
+    (Relation.decode_rows (Store.dictionary env.Cardinality.store)
+       (Evaluator.cq env q))
+
+let test_empty_body_cq () =
+  let env = env_of_graph Fixtures.borges_graph in
+  let q = Cq.make ~head:[ Cq.cst Fixtures.book ] ~body:[] in
+  Alcotest.check rows "tautology returns its constants" [ [ Fixtures.book ] ]
+    (Relation.decode_rows (Store.dictionary env.Cardinality.store)
+       (Evaluator.cq env q))
+
+let test_join_order_connected_first () =
+  let mk cols n =
+    let r = Relation.create ~cols in
+    for i = 1 to n do
+      Relation.add_row r (Array.make (Array.length cols) i)
+    done;
+    r
+  in
+  let a = mk [| "x" |] 5 in
+  let b = mk [| "y" |] 1 in
+  let c = mk [| "x"; "y" |] 10 in
+  (* b is smallest; the next pick must be the connected c, not the smaller
+     disconnected a. *)
+  match Evaluator.join_order [ a; b; c ] with
+  | [ r1; r2; r3 ] ->
+    Alcotest.(check string) "first is smallest" "y" (Relation.cols r1).(0);
+    Alcotest.(check int) "second is connected" 2 (Relation.arity r2);
+    Alcotest.(check int) "last is the disconnected one" 1 (Relation.arity r3)
+  | _ -> Alcotest.fail "wrong order length"
+
+let test_jucq_boolean_fragment () =
+  (* A JUCQ with a zero-arity fragment acts as an existential filter. *)
+  let env = env_of_graph Fixtures.borges_graph in
+  let frag_bool check_cls =
+    {
+      Jucq.out = [];
+      ucq =
+        Ucq.of_disjuncts
+          [
+            Cq.make ~head:[]
+              ~body:[ Cq.atom (Cq.var "z") (Cq.cst Vocab.rdf_type) (Cq.cst check_cls) ];
+          ];
+    }
+  in
+  let frag_data =
+    {
+      Jucq.out = [ "x" ];
+      ucq =
+        Ucq.of_disjuncts
+          [
+            Cq.make ~head:[ Cq.var "x" ]
+              ~body:[ Cq.atom (Cq.var "x") (Cq.cst Fixtures.has_title) (Cq.var "t") ];
+          ];
+    }
+  in
+  let answers check_cls =
+    let j =
+      Jucq.make ~head:[ Cq.var "x" ] ~fragments:[ frag_data; frag_bool check_cls ]
+    in
+    Relation.cardinality (Evaluator.jucq env j)
+  in
+  Alcotest.(check int) "filter passes" 1 (answers Fixtures.book);
+  Alcotest.(check int) "filter blocks" 0 (answers Fixtures.person)
+
+let test_merge_join_basic () =
+  let r1 = Relation.create ~cols:[| "x"; "y" |] in
+  Relation.add_row r1 [| 1; 10 |];
+  Relation.add_row r1 [| 2; 10 |];
+  Relation.add_row r1 [| 3; 30 |];
+  let r2 = Relation.create ~cols:[| "y"; "z" |] in
+  Relation.add_row r2 [| 10; 100 |];
+  Relation.add_row r2 [| 10; 101 |];
+  let j = Sortmerge.merge_join r1 r2 in
+  (* Group {y=10}: 2 × 2 combinations. *)
+  Alcotest.(check int) "group product" 4 (Relation.cardinality j);
+  Alcotest.(check int) "arity" 3 (Relation.arity j)
+
+let test_results_json () =
+  let sat = Refq_saturation.Saturate.graph Fixtures.borges_graph in
+  let env = env_of_graph sat in
+  let r = Evaluator.cq env Fixtures.borges_query in
+  let json = Results.to_json (Store.dictionary env.Cardinality.store) r in
+  Alcotest.(check bool) "has vars" true
+    (string_has json {|"vars": ["x3"]|});
+  Alcotest.(check bool) "has borges" true (string_has json "J. L. Borges");
+  Alcotest.(check bool) "typed as literal" true
+    (string_has json {|"type": "literal"|})
+
+let test_results_csv_tsv () =
+  let env = env_of_graph Fixtures.borges_graph in
+  let q =
+    Cq.make
+      ~head:[ Cq.var "x"; Cq.var "t" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.cst Fixtures.has_title) (Cq.var "t") ]
+  in
+  let r = Evaluator.cq env q in
+  let dict = Store.dictionary env.Cardinality.store in
+  let csv = Results.to_csv dict r in
+  Alcotest.(check bool) "csv header" true (string_has csv "x,t");
+  Alcotest.(check bool) "csv lexical value" true (string_has csv "El Aleph");
+  let tsv = Results.to_tsv dict r in
+  Alcotest.(check bool) "tsv header" true (string_has tsv "?x\t?t");
+  Alcotest.(check bool) "tsv n-triples term" true
+    (string_has tsv "\"El Aleph\"")
+
+let test_results_csv_quoting () =
+  let u = Fixtures.uri in
+  let g = Graph.of_list [ Triple.make (u "a") (u "p") (Term.literal "x,\"y\"") ] in
+  let env = env_of_graph g in
+  let q =
+    Cq.make ~head:[ Cq.var "v" ]
+      ~body:[ Cq.atom (Cq.cst (u "a")) (Cq.cst (u "p")) (Cq.var "v") ]
+  in
+  let csv = Results.to_csv (Store.dictionary env.Cardinality.store)
+      (Evaluator.cq env q) in
+  Alcotest.(check bool) "quoted and doubled" true
+    (string_has csv "\"x,\"\"y\"\"\"")
+
+(* Property: the sort-merge backend agrees with the naive evaluator too. *)
+let prop_sortmerge_matches_naive =
+  QCheck2.Test.make ~name:"sort-merge CQ = naive CQ" ~count:200
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let env = env_of_graph g in
+      Relation.decode_rows (Store.dictionary env.Cardinality.store)
+        (Sortmerge.cq env q)
+      = Naive.cq g q)
+
+let prop_backends_agree_on_jucq =
+  QCheck2.Test.make ~name:"sort-merge JUCQ = nested-loop JUCQ" ~count:100
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let env = env_of_graph g in
+      let cl = Refq_schema.Closure.of_graph g in
+      let j = Refq_reform.Reformulate.scq cl q in
+      let dict = Store.dictionary env.Cardinality.store in
+      Relation.decode_rows dict (Sortmerge.jucq env j)
+      = Relation.decode_rows dict (Evaluator.jucq env j))
+
+(* Property: the engine agrees with the naive evaluator on random CQs. *)
+let prop_engine_matches_naive =
+  QCheck2.Test.make ~name:"engine CQ = naive CQ" ~count:200
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) -> eval_cq g q = Naive.cq g q)
+
+let prop_ucq_matches_naive =
+  QCheck2.Test.make ~name:"engine UCQ = naive UCQ" ~count:100
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      (* Build a small UCQ by unioning the query with a renamed copy. *)
+      let q2 = Cq.canonicalize q in
+      let u = Ucq.of_disjuncts [ q; q2 ] in
+      let env = env_of_graph g in
+      let cols = Array.init (Cq.arity q) (fun i -> Printf.sprintf "c%d" i) in
+      let r = Evaluator.ucq env ~cols u in
+      Relation.decode_rows (Store.dictionary env.Cardinality.store) r
+      = Naive.ucq g u)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "basics" `Quick test_relation_basic;
+          Alcotest.test_case "boolean" `Quick test_relation_boolean;
+        ] );
+      ( "cq",
+        [
+          Alcotest.test_case "borges (Figure 2)" `Quick test_cq_borges;
+          Alcotest.test_case "constants only" `Quick test_cq_constants_only;
+          Alcotest.test_case "absent constant" `Quick test_cq_absent_constant;
+          Alcotest.test_case "repeated variable" `Quick test_cq_repeated_var;
+          QCheck_alcotest.to_alcotest prop_engine_matches_naive;
+          Alcotest.test_case "empty store" `Quick test_empty_store;
+          Alcotest.test_case "empty body" `Quick test_empty_body_cq;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "hash join" `Quick test_join;
+          Alcotest.test_case "cartesian" `Quick test_join_cartesian;
+          Alcotest.test_case "connected-first order" `Quick
+            test_join_order_connected_first;
+          Alcotest.test_case "boolean fragment" `Quick test_jucq_boolean_fragment;
+        ] );
+      ( "planner",
+        [ Alcotest.test_case "connected order" `Quick test_order_atoms_connected ] );
+      ("ucq", [ QCheck_alcotest.to_alcotest prop_ucq_matches_naive ]);
+      ( "results",
+        [
+          Alcotest.test_case "json" `Quick test_results_json;
+          Alcotest.test_case "csv/tsv" `Quick test_results_csv_tsv;
+          Alcotest.test_case "csv quoting" `Quick test_results_csv_quoting;
+        ] );
+      ( "sortmerge",
+        [
+          Alcotest.test_case "merge join groups" `Quick test_merge_join_basic;
+          QCheck_alcotest.to_alcotest prop_sortmerge_matches_naive;
+          QCheck_alcotest.to_alcotest prop_backends_agree_on_jucq;
+        ] );
+    ]

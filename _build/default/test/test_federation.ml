@@ -1,0 +1,201 @@
+(* Tests for federated query answering over independent endpoints. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_federation
+
+let u = Fixtures.uri
+
+let rows = Alcotest.testable
+    (fun ppf r -> Fmt.string ppf (Fixtures.rows_to_string r))
+    (List.equal (List.equal Term.equal))
+
+let manager = u "Manager"
+let employee = u "Employee"
+
+let q_employees =
+  Cq.make ~head:[ Cq.var "x" ]
+    ~body:[ Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst employee) ]
+
+(* The paper's motivating split: the fact lives on one endpoint, the
+   constraint on another. *)
+let cross_endpoint_fed ?limit () =
+  Federation.of_graphs
+    [
+      ( "data",
+        Graph.of_list [ Triple.make (u "alice") Vocab.rdf_type manager ],
+        limit );
+      ( "ontology",
+        Graph.of_list [ Triple.make manager Vocab.rdfs_subclassof employee ],
+        None );
+    ]
+
+let test_cross_endpoint_entailment () =
+  let fed = cross_endpoint_fed () in
+  Alcotest.check rows "Ref finds the implicit Employee"
+    [ [ u "alice" ] ]
+    (Federation.decode fed (Federation.answer_ref fed q_employees));
+  Alcotest.check rows "per-endpoint Sat misses it" []
+    (Federation.decode fed (Federation.answer_local_sat fed q_employees));
+  Alcotest.check rows "centralized ground truth"
+    [ [ u "alice" ] ]
+    (Federation.decode fed (Federation.answer_centralized fed q_employees))
+
+let test_cross_endpoint_join () =
+  (* A join whose atoms match triples on different endpoints. *)
+  let fed =
+    Federation.of_graphs
+      [
+        ("e1", Graph.of_list [ Triple.make (u "a") (u "p") (u "b") ], None);
+        ("e2", Graph.of_list [ Triple.make (u "b") (u "q") (u "c") ], None);
+      ]
+  in
+  let q =
+    Cq.make
+      ~head:[ Cq.var "x"; Cq.var "z" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") (Cq.cst (u "p")) (Cq.var "y");
+          Cq.atom (Cq.var "y") (Cq.cst (u "q")) (Cq.var "z");
+        ]
+  in
+  Alcotest.check rows "join spans endpoints"
+    [ [ u "a"; u "c" ] ]
+    (Federation.decode fed (Federation.answer_ref fed q));
+  Alcotest.check rows "per-endpoint evaluation cannot join" []
+    (Federation.decode fed (Federation.answer_local_sat fed q))
+
+let test_answer_limits () =
+  (* An endpoint that only returns its first 2 answers per query. *)
+  let data =
+    Graph.of_list
+      (List.init 5 (fun i ->
+           Triple.make (u (Printf.sprintf "m%d" i)) Vocab.rdf_type manager))
+  in
+  let schema =
+    Graph.of_list [ Triple.make manager Vocab.rdfs_subclassof employee ]
+  in
+  let fed_limited =
+    Federation.of_graphs [ ("data", data, Some 2); ("ontology", schema, None) ]
+  in
+  let fed_free =
+    Federation.of_graphs [ ("data", data, None); ("ontology", schema, None) ]
+  in
+  let count fed answer = List.length (Federation.decode fed (answer fed q_employees)) in
+  Alcotest.(check int) "unrestricted: all 5" 5
+    (count fed_free Federation.answer_ref);
+  Alcotest.(check int) "restricted: first 2 only" 2
+    (count fed_limited Federation.answer_ref);
+  Alcotest.(check int) "centralized ignores limits" 5
+    (count fed_limited (fun fed q -> Federation.answer_centralized fed q))
+
+let test_federation_closure () =
+  let fed = cross_endpoint_fed () in
+  Alcotest.(check bool) "federation-wide subclass" true
+    (Refq_schema.Closure.is_subclass (Federation.closure fed) manager employee)
+
+(* Partition a random graph triple-by-triple over k endpoints. *)
+let gen_partitioned =
+  let open QCheck2.Gen in
+  let* g = Fixtures.gen_graph in
+  let* k = int_range 1 3 in
+  let* assignment = list_repeat (Graph.cardinal g) (int_range 0 (k - 1)) in
+  let parts = Array.make k Graph.empty in
+  List.iteri
+    (fun i t ->
+      let j = List.nth assignment i in
+      parts.(j) <- Graph.add t parts.(j))
+    (Graph.to_list g);
+  pure
+    ( g,
+      Array.to_list (Array.mapi (fun i p -> (Printf.sprintf "e%d" i, p, None)) parts)
+    )
+
+let prop_federated_scq_complete =
+  QCheck2.Test.make
+    ~name:"federated Ref (SCQ) = centralized, any partition, no limits"
+    ~count:100
+    ~print:(fun ((g, _), q) ->
+      Fixtures.print_graph_and_cq (g, q))
+    (QCheck2.Gen.pair gen_partitioned Fixtures.gen_cq)
+    (fun ((_, parts), q) ->
+      let fed = Federation.of_graphs parts in
+      Federation.decode fed (Federation.answer_ref fed q)
+      = Federation.decode fed (Federation.answer_centralized fed q))
+
+let test_gcov_strategy_on_federation () =
+  (* GCov over the federation (priced with union statistics) must return
+     the centralized answers when data is subject-partitioned. *)
+  let full = Refq_storage.Store.to_graph (Refq_workload.Lubm.generate ~scale:1 ()) in
+  let data = Graph.data_triples full in
+  let schema = Graph.schema_triples full in
+  (* Subject partitioning: all triples of one subject go to one endpoint,
+     so multi-atom fragments with a shared subject stay co-located. *)
+  let parts = Array.make 2 Graph.empty in
+  Graph.iter
+    (fun t ->
+      let bucket = Hashtbl.hash t.Triple.s mod 2 in
+      parts.(bucket) <- Graph.add t parts.(bucket))
+    data;
+  let fed =
+    Federation.of_graphs
+      [
+        ("e0", Graph.union parts.(0) schema, None);
+        ("e1", Graph.union parts.(1) schema, None);
+      ]
+  in
+  (* Only star-joins (all atoms sharing the subject variable) are
+     guaranteed complete under subject partitioning; Q6 qualifies. *)
+  let q6 = List.assoc "Q6" Refq_workload.Lubm.queries in
+  Alcotest.(check bool)
+    "gcov strategy complete on subject-partitioned star query" true
+    (Federation.decode fed
+       (Federation.answer_ref ~strategy:Federation.Gcov fed q6)
+    = Federation.decode fed (Federation.answer_centralized fed q6))
+
+let test_endpoint_accessors () =
+  let fed = cross_endpoint_fed ~limit:7 () in
+  match Federation.endpoints fed with
+  | [ e1; e2 ] ->
+    Alcotest.(check string) "name" "data" (Federation.Endpoint.name e1);
+    Alcotest.(check (option int)) "limit" (Some 7) (Federation.Endpoint.limit e1);
+    Alcotest.(check (option int)) "no limit" None (Federation.Endpoint.limit e2);
+    Alcotest.(check int) "store size" 1
+      (Refq_storage.Store.size (Federation.Endpoint.store e1))
+  | _ -> Alcotest.fail "two endpoints expected"
+
+let test_empty_federation_rejected () =
+  match Federation.of_graphs [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty federation accepted"
+
+let prop_local_sat_sound =
+  QCheck2.Test.make ~name:"per-endpoint Sat ⊆ centralized" ~count:100
+    ~print:(fun ((g, _), q) -> Fixtures.print_graph_and_cq (g, q))
+    (QCheck2.Gen.pair gen_partitioned Fixtures.gen_cq)
+    (fun ((_, parts), q) ->
+      let fed = Federation.of_graphs parts in
+      let local = Federation.decode fed (Federation.answer_local_sat fed q) in
+      let central =
+        Federation.decode fed (Federation.answer_centralized fed q)
+      in
+      List.for_all (fun row -> List.mem row central) local)
+
+let () =
+  Alcotest.run "federation"
+    [
+      ( "federation",
+        [
+          Alcotest.test_case "cross-endpoint entailment" `Quick
+            test_cross_endpoint_entailment;
+          Alcotest.test_case "cross-endpoint join" `Quick test_cross_endpoint_join;
+          Alcotest.test_case "answer limits" `Quick test_answer_limits;
+          Alcotest.test_case "federation-wide closure" `Quick
+            test_federation_closure;
+          Alcotest.test_case "gcov strategy" `Quick test_gcov_strategy_on_federation;
+          Alcotest.test_case "endpoint accessors" `Quick test_endpoint_accessors;
+          Alcotest.test_case "empty federation" `Quick test_empty_federation_rejected;
+          QCheck_alcotest.to_alcotest prop_federated_scq_complete;
+          QCheck_alcotest.to_alcotest prop_local_sat_sound;
+        ] );
+    ]

@@ -1,0 +1,377 @@
+(* Tests for the RDF core: terms, triples, graphs, namespaces, parsers. *)
+
+open Refq_rdf
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let check_parse_nt name text expected () =
+  match Ntriples.parse text with
+  | Ok g ->
+    Alcotest.(check int) name (Graph.cardinal expected) (Graph.cardinal g);
+    Alcotest.(check bool) (name ^ " equal") true (Graph.equal g expected)
+  | Error e -> Alcotest.failf "%s: parse error: %a" name Ntriples.pp_error e
+
+let test_term_constructors () =
+  Alcotest.(check bool) "uri is uri" true (Term.is_uri (Term.uri "http://a"));
+  Alcotest.(check bool) "literal" true (Term.is_literal (Term.literal "x"));
+  Alcotest.(check bool) "bnode" true (Term.is_bnode (Term.bnode "b"));
+  Alcotest.check term "typed literal eq"
+    (Term.typed_literal "1" Vocab.xsd_integer)
+    (Term.typed_literal "1" Vocab.xsd_integer);
+  Alcotest.(check bool) "plain <> typed" false
+    (Term.equal (Term.literal "1") (Term.typed_literal "1" Vocab.xsd_integer))
+
+let test_term_ordering () =
+  let ts =
+    [
+      Term.literal "b";
+      Term.uri "http://b";
+      Term.bnode "x";
+      Term.uri "http://a";
+      Term.literal "a";
+      Term.lang_literal "a" "en";
+    ]
+  in
+  let sorted = List.sort Term.compare ts in
+  (* URIs < literals < bnodes, each alphabetical. *)
+  let expected =
+    [
+      Term.uri "http://a";
+      Term.uri "http://b";
+      Term.literal "a";
+      Term.lang_literal "a" "en";
+      Term.literal "b";
+      Term.bnode "x";
+    ]
+  in
+  List.iter2 (Alcotest.check term "order") expected sorted
+
+let test_term_printing () =
+  Alcotest.(check string) "uri" "<http://a>" (Term.to_string (Term.uri "http://a"));
+  Alcotest.(check string) "plain" "\"x\"" (Term.to_string (Term.literal "x"));
+  Alcotest.(check string) "lang" "\"x\"@en"
+    (Term.to_string (Term.lang_literal "x" "en"));
+  Alcotest.(check string) "escape" "\"a\\\"b\\nc\""
+    (Term.to_string (Term.literal "a\"b\nc"))
+
+let test_vocab () =
+  Alcotest.(check bool) "rdf:type builtin" true (Vocab.is_rdf_builtin Vocab.rdf_type);
+  Alcotest.(check bool) "schema prop" true
+    (Vocab.is_schema_property Vocab.rdfs_domain);
+  Alcotest.(check bool) "type not schema constraint" false
+    (Vocab.is_schema_property Vocab.rdf_type);
+  Alcotest.(check bool) "user uri not builtin" false
+    (Vocab.is_rdf_builtin (Term.uri "http://example.org/x"))
+
+let test_graph_ops () =
+  let g = Fixtures.borges_graph in
+  Alcotest.(check int) "cardinal" 9 (Graph.cardinal g);
+  Alcotest.(check int) "schema triples" 4
+    (Graph.cardinal (Graph.schema_triples g));
+  Alcotest.(check int) "data triples" 5 (Graph.cardinal (Graph.data_triples g));
+  Alcotest.(check bool) "mem" true
+    (Graph.mem (Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.book) g);
+  Alcotest.(check bool) "classes include Person" true
+    (Term.Set.mem Fixtures.person (Graph.classes g));
+  Alcotest.(check bool) "values include literal" true
+    (Term.Set.mem (Term.literal "1949") (Graph.values g))
+
+let test_namespace () =
+  let env = Namespace.add Namespace.default ~prefix:"ex" ~uri:Fixtures.ex in
+  (match Namespace.expand env "ex:Book" with
+  | Ok u -> Alcotest.(check string) "expand" (Fixtures.ex ^ "Book") u
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (option string))
+    "abbreviate" (Some "ex:Book")
+    (Namespace.abbreviate env (Fixtures.ex ^ "Book"));
+  Alcotest.(check (option string))
+    "abbreviate rdf" (Some "rdf:type")
+    (Namespace.abbreviate env (Vocab.rdf_ns ^ "type"));
+  (match Namespace.expand env "nope:x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound prefix should fail");
+  Alcotest.(check (option string))
+    "no abbreviation" None
+    (Namespace.abbreviate env "http://other.org/x")
+
+let test_ntriples_basic =
+  check_parse_nt "basic"
+    "<http://a> <http://p> <http://b> .\n# comment\n\n<http://a> <http://p> \"lit\" ."
+    (Graph.of_list
+       [
+         Triple.make (Term.uri "http://a") (Term.uri "http://p") (Term.uri "http://b");
+         Triple.make (Term.uri "http://a") (Term.uri "http://p") (Term.literal "lit");
+       ])
+
+let test_ntriples_literals =
+  check_parse_nt "literals"
+    "<http://a> <http://p> \"x\"@en .\n<http://a> <http://p> \"1\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n_:b <http://p> \"a\\\"b\" ."
+    (Graph.of_list
+       [
+         Triple.make (Term.uri "http://a") (Term.uri "http://p")
+           (Term.lang_literal "x" "en");
+         Triple.make (Term.uri "http://a") (Term.uri "http://p")
+           (Term.typed_literal "1" Vocab.xsd_integer);
+         Triple.make (Term.bnode "b") (Term.uri "http://p") (Term.literal "a\"b");
+       ])
+
+let test_ntriples_errors () =
+  (match Ntriples.parse "<http://a> <http://p> ." with
+  | Error e -> Alcotest.(check int) "error line" 1 e.Ntriples.line
+  | Ok _ -> Alcotest.fail "missing object should fail");
+  match Ntriples.parse "<http://a> <http://p> <http://b> .\n\"lit\" <http://p> <http://b> ." with
+  | Error e -> Alcotest.(check int) "literal subject line" 2 e.Ntriples.line
+  | Ok _ -> Alcotest.fail "literal subject should fail"
+
+let test_ntriples_roundtrip () =
+  let g = Fixtures.borges_graph in
+  match Ntriples.parse (Ntriples.to_string g) with
+  | Ok g' -> Alcotest.(check bool) "roundtrip" true (Graph.equal g g')
+  | Error e -> Alcotest.failf "roundtrip: %a" Ntriples.pp_error e
+
+let turtle_doc =
+  {|@prefix ex: <http://example.org/> .
+# the Borges book
+ex:doi1 a ex:Book ;
+    ex:writtenBy _:b1 ;
+    ex:hasTitle "El Aleph" ;
+    ex:publishedIn "1949" .
+_:b1 ex:hasName "J. L. Borges" .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:writtenBy rdfs:subPropertyOf ex:hasAuthor ;
+    rdfs:domain ex:Book ;
+    rdfs:range ex:Person .
+|}
+
+let test_turtle_parse () =
+  match Turtle.parse_graph turtle_doc with
+  | Ok g ->
+    Alcotest.(check bool) "turtle = borges graph" true
+      (Graph.equal g Fixtures.borges_graph)
+  | Error e -> Alcotest.failf "turtle: %a" Turtle.pp_error e
+
+let test_turtle_numbers () =
+  match Turtle.parse_graph "@prefix ex: <http://e/> .\nex:a ex:p 42 , 3.14 , true ." with
+  | Ok g ->
+    Alcotest.(check int) "three triples" 3 (Graph.cardinal g);
+    Alcotest.(check bool) "int typed" true
+      (Graph.mem
+         (Triple.make (Term.uri "http://e/a") (Term.uri "http://e/p")
+            (Term.typed_literal "42" Vocab.xsd_integer))
+         g)
+  | Error e -> Alcotest.failf "turtle numbers: %a" Turtle.pp_error e
+
+let test_turtle_roundtrip () =
+  let env = Namespace.add Namespace.default ~prefix:"ex" ~uri:Fixtures.ex in
+  let text = Turtle.to_string ~env Fixtures.borges_graph in
+  match Turtle.parse_graph ~env text with
+  | Ok g -> Alcotest.(check bool) "roundtrip" true (Graph.equal g Fixtures.borges_graph)
+  | Error e -> Alcotest.failf "turtle roundtrip: %a\n%s" Turtle.pp_error e text
+
+let test_turtle_trailing_semicolon () =
+  match
+    Turtle.parse_graph
+      "@prefix ex: <http://e/> .\nex:a ex:p ex:b ;\n  ex:q ex:c ;\n."
+  with
+  | Ok g -> Alcotest.(check int) "two triples" 2 (Graph.cardinal g)
+  | Error e -> Alcotest.failf "trailing semicolon: %a" Turtle.pp_error e
+
+let test_namespace_longest_match () =
+  (* Nested namespaces: the longest matching one wins. *)
+  let env =
+    Namespace.add
+      (Namespace.add Namespace.default ~prefix:"a" ~uri:"http://e/")
+      ~prefix:"b" ~uri:"http://e/sub/"
+  in
+  Alcotest.(check (option string))
+    "longest wins" (Some "b:x")
+    (Namespace.abbreviate env "http://e/sub/x");
+  Alcotest.(check (option string))
+    "outer still used" (Some "a:y")
+    (Namespace.abbreviate env "http://e/y");
+  (* Unsafe local parts are not abbreviated. *)
+  Alcotest.(check (option string))
+    "unsafe local" None
+    (Namespace.abbreviate env "http://e/a b")
+
+let test_graph_seq () =
+  let g = Fixtures.borges_graph in
+  Alcotest.(check bool) "of_seq ∘ to_seq = id" true
+    (Graph.equal g (Graph.of_seq (Graph.to_seq g)));
+  let removed =
+    Graph.remove (Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.book) g
+  in
+  Alcotest.(check int) "remove" 8 (Graph.cardinal removed);
+  Alcotest.(check int) "diff" 1 (Graph.cardinal (Graph.diff g removed))
+
+let test_turtle_errors () =
+  (match Turtle.parse_graph "ex:a ex:p ex:b ." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound prefix should fail");
+  match Turtle.parse_graph "@prefix ex: <http://e/> .\nex:a ex:p ." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated triple should fail"
+
+(* ------------------------------------------------------------------ *)
+(* Graph isomorphism                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_isomorphism_basic () =
+  let u = Fixtures.uri in
+  let g1 =
+    Graph.of_list
+      [
+        Triple.make (u "doi") (u "writtenBy") (Term.bnode "a");
+        Triple.make (Term.bnode "a") (u "hasName") (Term.literal "X");
+      ]
+  in
+  let g2 =
+    Graph.of_list
+      [
+        Triple.make (u "doi") (u "writtenBy") (Term.bnode "z");
+        Triple.make (Term.bnode "z") (u "hasName") (Term.literal "X");
+      ]
+  in
+  Alcotest.(check bool) "renamed bnode" true (Isomorphism.equal g1 g2);
+  Alcotest.(check bool) "not structurally equal" false (Graph.equal g1 g2);
+  (match Isomorphism.find_mapping g1 g2 with
+  | Some [ ("a", "z") ] -> ()
+  | _ -> Alcotest.fail "expected the a→z mapping");
+  let g3 =
+    Graph.of_list
+      [
+        Triple.make (u "doi") (u "writtenBy") (Term.bnode "z");
+        Triple.make (Term.bnode "z") (u "hasName") (Term.literal "Y");
+      ]
+  in
+  Alcotest.(check bool) "different literal" false (Isomorphism.equal g1 g3)
+
+let test_isomorphism_two_bnodes () =
+  let u = Fixtures.uri in
+  (* Two bnodes with swapped roles must map crosswise, not positionally. *)
+  let g1 =
+    Graph.of_list
+      [
+        Triple.make (Term.bnode "a") (u "p") (u "one");
+        Triple.make (Term.bnode "b") (u "p") (u "two");
+      ]
+  in
+  let g2 =
+    Graph.of_list
+      [
+        Triple.make (Term.bnode "a") (u "p") (u "two");
+        Triple.make (Term.bnode "b") (u "p") (u "one");
+      ]
+  in
+  Alcotest.(check bool) "crosswise mapping found" true (Isomorphism.equal g1 g2);
+  (* And a bnode-count mismatch fails fast. *)
+  let g3 = Graph.of_list [ Triple.make (Term.bnode "a") (u "p") (u "one") ] in
+  Alcotest.(check bool) "count mismatch" false (Isomorphism.equal g1 g3)
+
+let test_isomorphism_ground () =
+  Alcotest.(check bool) "ground graphs compare plainly" true
+    (Isomorphism.equal Fixtures.borges_schema_graph Fixtures.borges_schema_graph)
+
+(* Parsers must never raise on arbitrary input — they return Error. *)
+let gen_garbage =
+  QCheck2.Gen.(string_size ~gen:printable (int_range 0 200))
+
+let prop_ntriples_total =
+  QCheck2.Test.make ~name:"N-Triples parser is total" ~count:500
+    ~print:(Printf.sprintf "%S") gen_garbage (fun text ->
+      match Ntriples.parse text with Ok _ | Error _ -> true)
+
+let prop_turtle_total =
+  QCheck2.Test.make ~name:"Turtle parser is total" ~count:500
+    ~print:(Printf.sprintf "%S") gen_garbage (fun text ->
+      match Turtle.parse_graph text with Ok _ | Error _ -> true)
+
+let prop_bnode_rename_isomorphic =
+  QCheck2.Test.make ~name:"bnode renaming preserves isomorphism" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      (* Rename every bnode label (fixtures only generate _:b-free graphs,
+         so add one bnode edge first to make it interesting). *)
+      let u = Fixtures.uri in
+      let g = Graph.add (Triple.make (u "a0") (u "p0") (Term.bnode "n")) g in
+      let renamed =
+        Graph.fold
+          (fun { Triple.s; p; o } acc ->
+            let sub = function
+              | Term.Bnode l -> Term.bnode ("renamed_" ^ l)
+              | t -> t
+            in
+            Graph.add (Triple.make (sub s) (sub p) (sub o)) acc)
+          g Graph.empty
+      in
+      Isomorphism.equal g renamed)
+
+(* Property: printing then parsing any graph over the fixture vocabulary is
+   the identity. *)
+let prop_ntriples_roundtrip =
+  QCheck2.Test.make ~name:"ntriples print/parse roundtrip" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      match Ntriples.parse (Ntriples.to_string g) with
+      | Ok g' -> Graph.equal g g'
+      | Error _ -> false)
+
+let prop_turtle_roundtrip =
+  QCheck2.Test.make ~name:"turtle print/parse roundtrip" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      let env =
+        Namespace.add Namespace.default ~prefix:"ex" ~uri:Fixtures.ex
+      in
+      match Turtle.parse_graph ~env (Turtle.to_string ~env g) with
+      | Ok g' -> Graph.equal g g'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rdf"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "constructors" `Quick test_term_constructors;
+          Alcotest.test_case "ordering" `Quick test_term_ordering;
+          Alcotest.test_case "printing" `Quick test_term_printing;
+        ] );
+      ("vocab", [ Alcotest.test_case "builtins" `Quick test_vocab ]);
+      ( "graph",
+        [
+          Alcotest.test_case "operations" `Quick test_graph_ops;
+          Alcotest.test_case "sequences and diff" `Quick test_graph_seq;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "expand/abbreviate" `Quick test_namespace;
+          Alcotest.test_case "longest match" `Quick test_namespace_longest_match;
+        ] );
+      ( "ntriples",
+        [
+          Alcotest.test_case "basic" `Quick test_ntriples_basic;
+          Alcotest.test_case "literals" `Quick test_ntriples_literals;
+          Alcotest.test_case "errors" `Quick test_ntriples_errors;
+          Alcotest.test_case "roundtrip" `Quick test_ntriples_roundtrip;
+          QCheck_alcotest.to_alcotest prop_ntriples_roundtrip;
+        ] );
+      ( "isomorphism",
+        [
+          Alcotest.test_case "renamed bnode" `Quick test_isomorphism_basic;
+          Alcotest.test_case "crosswise bnodes" `Quick test_isomorphism_two_bnodes;
+          Alcotest.test_case "ground graphs" `Quick test_isomorphism_ground;
+          QCheck_alcotest.to_alcotest prop_bnode_rename_isomorphic;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_ntriples_total;
+          QCheck_alcotest.to_alcotest prop_turtle_total;
+        ] );
+      ( "turtle",
+        [
+          Alcotest.test_case "parse" `Quick test_turtle_parse;
+          Alcotest.test_case "numbers" `Quick test_turtle_numbers;
+          Alcotest.test_case "roundtrip" `Quick test_turtle_roundtrip;
+          Alcotest.test_case "errors" `Quick test_turtle_errors;
+          Alcotest.test_case "trailing semicolon" `Quick
+            test_turtle_trailing_semicolon;
+          QCheck_alcotest.to_alcotest prop_turtle_roundtrip;
+        ] );
+    ]

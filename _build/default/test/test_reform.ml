@@ -1,0 +1,302 @@
+(* Tests for the reformulation algorithms: per-atom rules, CQ→UCQ, covers
+   and the cross-strategy equivalence q(G∞) = qref(G) — the paper's core
+   correctness claim. *)
+
+open Refq_rdf
+open Refq_schema
+open Refq_query
+open Refq_storage
+open Refq_engine
+open Refq_cost
+open Refq_reform
+
+let rows = Alcotest.testable
+    (fun ppf r -> Fmt.string ppf (Fixtures.rows_to_string r))
+    (List.equal (List.equal Term.equal))
+
+let borges_closure = Closure.of_graph Fixtures.borges_graph
+
+let fresh_gen () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%s%d" Cq.fresh_var_prefix !n
+
+(* ------------------------------------------------------------------ *)
+(* Per-atom rules                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_rewrite_type_atom () =
+  (* (x rdf:type Publication): identity + R1 subclass Book + R2 domain
+     writtenBy (domains are closed upward). *)
+  let a =
+    Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst Fixtures.publication)
+  in
+  let rs = Atom_reform.rewrite borges_closure ~fresh:(fresh_gen ()) a in
+  Alcotest.(check int) "3 rewritings" 3 (List.length rs);
+  let has_atom pred =
+    List.exists
+      (fun r -> match r.Atom_reform.atom with Some a -> pred a | None -> false)
+      rs
+  in
+  Alcotest.(check bool) "R1 book" true
+    (has_atom (fun a -> Cq.pat_equal a.Cq.o (Cq.cst Fixtures.book)));
+  Alcotest.(check bool) "R2 writtenBy" true
+    (has_atom (fun a -> Cq.pat_equal a.Cq.p (Cq.cst Fixtures.written_by)))
+
+let test_rewrite_property_atom () =
+  (* (x hasAuthor y): identity + R4 writtenBy. *)
+  let a = Cq.atom (Cq.var "x") (Cq.cst Fixtures.has_author) (Cq.var "y") in
+  let rs = Atom_reform.rewrite borges_closure ~fresh:(fresh_gen ()) a in
+  Alcotest.(check int) "2 rewritings" 2 (List.length rs)
+
+let test_rewrite_type_var () =
+  (* (doi1 rdf:type z): identity + R5 {z→Publication} + R2-style via domain
+     pairs {z→Book, z→Publication} + range pairs {z→Person}. *)
+  let a = Cq.atom (Cq.cst Fixtures.doi1) (Cq.cst Vocab.rdf_type) (Cq.var "z") in
+  let rs = Atom_reform.rewrite borges_closure ~fresh:(fresh_gen ()) a in
+  (* subclass pairs: (Book,Publication) → 1; domain pairs: writtenBy↪Book,
+     writtenBy↪Publication → 2; range pairs: writtenBy↪Person → 1. *)
+  Alcotest.(check int) "5 rewritings" 5 (List.length rs);
+  let bindings =
+    List.filter_map
+      (fun r -> Cq.Subst.find "z" r.Atom_reform.subst)
+      rs
+  in
+  Alcotest.(check bool) "z→Person possible" true
+    (List.exists (Term.equal Fixtures.person) bindings)
+
+let test_rewrite_schema_atom () =
+  (* (Book subClassOf y): identity + R10 instantiation {y→Publication}
+     with the atom dropped. *)
+  let a =
+    Cq.atom (Cq.cst Fixtures.book) (Cq.cst Vocab.rdfs_subclassof) (Cq.var "y")
+  in
+  let rs = Atom_reform.rewrite borges_closure ~fresh:(fresh_gen ()) a in
+  Alcotest.(check int) "2 rewritings" 2 (List.length rs);
+  Alcotest.(check bool) "dropped atom" true
+    (List.exists
+       (fun r ->
+         r.Atom_reform.atom = None
+         && Cq.Subst.find "y" r.Atom_reform.subst
+            = Some Fixtures.publication)
+       rs)
+
+let test_profiles_restrict () =
+  let a =
+    Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst Fixtures.publication)
+  in
+  let count p = List.length (Atom_reform.rewrite ~profile:p borges_closure ~fresh:(fresh_gen ()) a) in
+  Alcotest.(check int) "complete" 3 (count Profiles.complete);
+  Alcotest.(check int) "hierarchies-only" 2 (count Profiles.hierarchies_only);
+  Alcotest.(check int) "subclass-only" 2 (count Profiles.subclass_only);
+  Alcotest.(check int) "none" 1 (count Profiles.none)
+
+(* ------------------------------------------------------------------ *)
+(* CQ → UCQ on the paper's example                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_borges_ucq () =
+  let u = Reformulate.cq_to_ucq borges_closure Fixtures.borges_query in
+  (* atom1: {hasAuthor, writtenBy}; atom2: {hasName};
+     atom3: {identity, writtenBy with x4→hasAuthor}. *)
+  Alcotest.(check int) "4 disjuncts" 4 (Ucq.size u);
+  Alcotest.(check int) "count agrees" 4
+    (Reformulate.count_disjuncts borges_closure Fixtures.borges_query)
+
+let eval_rows env r = Relation.decode_rows (Store.dictionary env.Cardinality.store) r
+
+let borges_expected = [ [ Term.literal "J. L. Borges" ] ]
+
+let test_borges_strategies () =
+  let store = Store.of_graph Fixtures.borges_graph in
+  let env = Cardinality.make_env store in
+  let q = Fixtures.borges_query in
+  (* UCQ *)
+  let ucq = Reformulate.cq_to_ucq borges_closure q in
+  let cols = Array.init (Cq.arity q) (fun i -> Printf.sprintf "c%d" i) in
+  Alcotest.check rows "UCQ answer" borges_expected
+    (eval_rows env (Evaluator.ucq env ~cols ucq));
+  (* SCQ *)
+  Alcotest.check rows "SCQ answer" borges_expected
+    (eval_rows env (Evaluator.jucq env (Reformulate.scq borges_closure q)));
+  (* UCQ-as-JUCQ *)
+  Alcotest.check rows "one-fragment JUCQ answer" borges_expected
+    (eval_rows env (Evaluator.jucq env (Reformulate.ucq_as_jucq borges_closure q)));
+  (* A hand-picked overlapping cover. *)
+  let cover = Cover.make ~n_atoms:3 [ [ 0; 1 ]; [ 1; 2 ] ] in
+  Alcotest.check rows "overlapping cover answer" borges_expected
+    (eval_rows env
+       (Evaluator.jucq env (Reformulate.cover_to_jucq borges_closure q cover)))
+
+let test_too_large () =
+  match
+    Reformulate.cq_to_ucq ~max_disjuncts:1 borges_closure Fixtures.borges_query
+  with
+  | exception Reformulate.Too_large n ->
+    Alcotest.(check bool) "reported size" true (n > 1)
+  | _ -> Alcotest.fail "Too_large not raised"
+
+let test_incomplete_profile_misses_answers () =
+  (* Without domain/range rules the Borges query still works (it only
+     needs subproperty reasoning), but a domain-dependent query fails. *)
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type) (Cq.cst Fixtures.person) ]
+  in
+  let store = Store.of_graph Fixtures.borges_graph in
+  let env = Cardinality.make_env store in
+  let answers profile =
+    let u = Reformulate.cq_to_ucq ~profile borges_closure q in
+    eval_rows env (Evaluator.ucq env ~cols:[| "x" |] u)
+  in
+  Alcotest.check rows "complete finds Person" [ [ Fixtures.b1 ] ]
+    (answers Profiles.complete);
+  Alcotest.check rows "hierarchies-only misses Person" []
+    (answers Profiles.hierarchies_only)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-strategy equivalence on random inputs                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cover_for n =
+  let open QCheck2.Gen in
+  let* k = int_range 1 (max 1 n) in
+  let* assignment = list_repeat n (int_range 0 (k - 1)) in
+  let frags = Array.make k [] in
+  List.iteri (fun atom f -> frags.(f) <- atom :: frags.(f)) assignment;
+  (* Drop empty fragments; guarantee coverage by construction. *)
+  let frags = Array.to_list frags |> List.filter (fun f -> f <> []) in
+  pure (Cover.make ~n_atoms:n frags)
+
+let gen_instance =
+  let open QCheck2.Gen in
+  let* g, q = Fixtures.gen_graph_and_cq in
+  let* cover = gen_cover_for (List.length q.Cq.body) in
+  pure (g, q, cover)
+
+let print_instance (g, q, cover) =
+  Printf.sprintf "%s\ncover: %s"
+    (Fixtures.print_graph_and_cq (g, q))
+    (Fmt.str "%a" Cover.pp cover)
+
+let expected_answers g q =
+  Naive.cq (Refq_saturation.Saturate.graph g) q
+
+let prop_ucq_complete =
+  QCheck2.Test.make ~name:"q(G∞) = UCQ-reformulation(G)" ~count:250
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let cl = Closure.of_graph g in
+      let u = Reformulate.cq_to_ucq cl q in
+      Naive.ucq g u = expected_answers g q)
+
+let prop_ucq_complete_engine =
+  QCheck2.Test.make ~name:"engine UCQ reformulation = q(G∞)" ~count:250
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let cl = Closure.of_graph g in
+      let u = Reformulate.cq_to_ucq cl q in
+      let env = Cardinality.make_env (Store.of_graph g) in
+      let cols = Array.init (Cq.arity q) (fun i -> Printf.sprintf "c%d" i) in
+      eval_rows env (Evaluator.ucq env ~cols u) = expected_answers g q)
+
+let prop_scq_complete =
+  QCheck2.Test.make ~name:"engine SCQ reformulation = q(G∞)" ~count:250
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let cl = Closure.of_graph g in
+      let env = Cardinality.make_env (Store.of_graph g) in
+      eval_rows env (Evaluator.jucq env (Reformulate.scq cl q))
+      = expected_answers g q)
+
+let prop_any_cover_complete =
+  QCheck2.Test.make ~name:"engine JUCQ(any cover) = q(G∞)" ~count:250
+    ~print:print_instance gen_instance (fun (g, q, cover) ->
+      let cl = Closure.of_graph g in
+      let env = Cardinality.make_env (Store.of_graph g) in
+      eval_rows env (Evaluator.jucq env (Reformulate.cover_to_jucq cl q cover))
+      = expected_answers g q)
+
+let prop_naive_jucq_complete =
+  QCheck2.Test.make ~name:"naive JUCQ(any cover) = q(G∞)" ~count:150
+    ~print:print_instance gen_instance (fun (g, q, cover) ->
+      let cl = Closure.of_graph g in
+      Naive.jucq g (Reformulate.cover_to_jucq cl q cover)
+      = expected_answers g q)
+
+let prop_profiles_sound =
+  QCheck2.Test.make
+    ~name:"incomplete profiles: sound (⊆ complete) and ⊇ plain evaluation"
+    ~count:150 ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let cl = Closure.of_graph g in
+      let answers profile = Naive.ucq g (Reformulate.cq_to_ucq ~profile cl q) in
+      let complete = answers Profiles.complete in
+      let plain = Naive.cq g q in
+      List.for_all
+        (fun profile ->
+          let a = answers profile in
+          List.for_all (fun row -> List.mem row complete) a
+          && List.for_all (fun row -> List.mem row a) plain)
+        [ Profiles.hierarchies_only; Profiles.subclass_only; Profiles.none ])
+
+let prop_empty_body_disjuncts_evaluate =
+  QCheck2.Test.make
+    ~name:"schema-atom reformulation (dropped atoms) evaluates correctly"
+    ~count:100 ~print:Fixtures.print_graph Fixtures.gen_graph
+    (fun g ->
+      (* q(c1, c2) :- c1 subClassOf c2 must return the closure's pairs plus
+         explicit triples, through every evaluation path. *)
+      let q =
+        Cq.make
+          ~head:[ Cq.var "c1"; Cq.var "c2" ]
+          ~body:
+            [ Cq.atom (Cq.var "c1") (Cq.cst Refq_rdf.Vocab.rdfs_subclassof)
+                (Cq.var "c2") ]
+      in
+      let cl = Closure.of_graph g in
+      let u = Reformulate.cq_to_ucq cl q in
+      let env = Cardinality.make_env (Store.of_graph g) in
+      let got = eval_rows env (Evaluator.ucq env ~cols:[| "c1"; "c2" |] u) in
+      got = expected_answers g q)
+
+let prop_count_matches =
+  QCheck2.Test.make ~name:"count_disjuncts ≥ |UCQ| (dedup only shrinks)"
+    ~count:150 ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let cl = Closure.of_graph g in
+      let u = Reformulate.cq_to_ucq cl q in
+      Reformulate.count_disjuncts cl q >= Ucq.size u)
+
+let () =
+  Alcotest.run "reform"
+    [
+      ( "atom rules",
+        [
+          Alcotest.test_case "type atom (R1-R3)" `Quick test_rewrite_type_atom;
+          Alcotest.test_case "property atom (R4)" `Quick test_rewrite_property_atom;
+          Alcotest.test_case "type variable (R5-R7)" `Quick test_rewrite_type_var;
+          Alcotest.test_case "schema atom (R10)" `Quick test_rewrite_schema_atom;
+          Alcotest.test_case "profiles" `Quick test_profiles_restrict;
+        ] );
+      ( "cq→ucq",
+        [
+          Alcotest.test_case "borges UCQ" `Quick test_borges_ucq;
+          Alcotest.test_case "borges all strategies" `Quick test_borges_strategies;
+          Alcotest.test_case "too large" `Quick test_too_large;
+          Alcotest.test_case "incomplete profiles" `Quick
+            test_incomplete_profile_misses_answers;
+        ] );
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_ucq_complete;
+          QCheck_alcotest.to_alcotest prop_ucq_complete_engine;
+          QCheck_alcotest.to_alcotest prop_scq_complete;
+          QCheck_alcotest.to_alcotest prop_any_cover_complete;
+          QCheck_alcotest.to_alcotest prop_naive_jucq_complete;
+          QCheck_alcotest.to_alcotest prop_count_matches;
+          QCheck_alcotest.to_alcotest prop_profiles_sound;
+          QCheck_alcotest.to_alcotest prop_empty_body_disjuncts_evaluate;
+        ] );
+    ]

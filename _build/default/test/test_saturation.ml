@@ -1,0 +1,277 @@
+(* Tests for instance-level saturation (the Sat technique). *)
+
+open Refq_rdf
+open Refq_saturation
+
+let test_borges_saturation () =
+  (* Figure 2: the dashed (implicit) triples. *)
+  let sat = Saturate.graph Fixtures.borges_graph in
+  let expect_implicit =
+    [
+      Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.publication;
+      Triple.make Fixtures.doi1 Fixtures.has_author Fixtures.b1;
+      Triple.make Fixtures.b1 Vocab.rdf_type Fixtures.person;
+    ]
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Fmt.str "implicit %a" Triple.pp t)
+        true (Graph.mem t sat))
+    expect_implicit;
+  Alcotest.(check bool) "contains original" true
+    (Graph.subset Fixtures.borges_graph sat);
+  (* Explicit 9 + 3 implicit instance triples + 1 entailed schema triple:
+     Book ⊑ Publication propagates writtenBy's domain to Publication. *)
+  Alcotest.(check bool) "entailed domain" true
+    (Graph.mem
+       (Triple.make Fixtures.written_by Vocab.rdfs_domain Fixtures.publication)
+       sat);
+  Alcotest.(check int) "cardinality" 13 (Graph.cardinal sat)
+
+let test_idempotent () =
+  let sat = Saturate.graph Fixtures.borges_graph in
+  let sat2 = Saturate.graph sat in
+  Alcotest.(check bool) "saturation idempotent" true (Graph.equal sat sat2)
+
+let test_subproperty_chain () =
+  let u = Fixtures.uri in
+  let g =
+    Graph.of_list
+      [
+        Triple.make (u "p1") Vocab.rdfs_subpropertyof (u "p2");
+        Triple.make (u "p2") Vocab.rdfs_subpropertyof (u "p3");
+        Triple.make (u "p3") Vocab.rdfs_domain (u "C");
+        Triple.make (u "C") Vocab.rdfs_subclassof (u "D");
+        Triple.make (u "a") (u "p1") (u "b");
+      ]
+  in
+  let sat = Saturate.graph g in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Fmt.str "%a" Triple.pp t) true (Graph.mem t sat))
+    [
+      Triple.make (u "a") (u "p2") (u "b");
+      Triple.make (u "a") (u "p3") (u "b");
+      Triple.make (u "a") Vocab.rdf_type (u "C");
+      Triple.make (u "a") Vocab.rdf_type (u "D");
+      (* entailed schema triples *)
+      Triple.make (u "p1") Vocab.rdfs_subpropertyof (u "p3");
+      Triple.make (u "p1") Vocab.rdfs_domain (u "C");
+      Triple.make (u "p3") Vocab.rdfs_domain (u "D");
+    ]
+
+let test_range_to_literal () =
+  (* The DB fragment does not restrict triples: range typing applies to
+     literal values as well. *)
+  let u = Fixtures.uri in
+  let g =
+    Graph.of_list
+      [
+        Triple.make (u "p") Vocab.rdfs_range (u "C");
+        Triple.make (u "a") (u "p") (Term.literal "v");
+      ]
+  in
+  let sat = Saturate.graph g in
+  Alcotest.(check bool) "literal typed" true
+    (Graph.mem (Triple.make (Term.literal "v") Vocab.rdf_type (u "C")) sat)
+
+let test_info () =
+  let st = Refq_storage.Store.of_graph Fixtures.borges_graph in
+  let _, info = Saturate.store_info st in
+  Alcotest.(check int) "input" 9 info.Saturate.input_triples;
+  Alcotest.(check int) "output" 13 info.Saturate.output_triples;
+  Alcotest.(check int) "rounds" 1 info.Saturate.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_incremental_data () =
+  let sat = Refq_storage.Store.of_graph Fixtures.borges_graph in
+  let sat = Saturate.store sat in
+  let doi2 = Fixtures.uri "doi2" in
+  let additions = [ Triple.make doi2 Fixtures.written_by (Term.bnode "b2") ] in
+  (match Saturate.add_incremental sat additions with
+  | `Incremental n ->
+    (* doi2 writtenBy b2 entails: hasAuthor, doi2 type Book/Publication,
+       b2 type Person. *)
+    Alcotest.(check int) "added + consequences" 5 n
+  | `Resaturated _ -> Alcotest.fail "data addition should be incremental");
+  let g = Refq_storage.Store.to_graph sat in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Fmt.str "%a" Triple.pp t) true (Graph.mem t g))
+    [
+      Triple.make doi2 Fixtures.has_author (Term.bnode "b2");
+      Triple.make doi2 Vocab.rdf_type Fixtures.book;
+      Triple.make doi2 Vocab.rdf_type Fixtures.publication;
+      Triple.make (Term.bnode "b2") Vocab.rdf_type Fixtures.person;
+    ]
+
+let test_incremental_schema_triggers_resaturation () =
+  let sat = Saturate.store (Refq_storage.Store.of_graph Fixtures.borges_graph) in
+  let additions =
+    [ Triple.make Fixtures.publication Vocab.rdfs_subclassof (Fixtures.uri "Work") ]
+  in
+  match Saturate.add_incremental sat additions with
+  | `Resaturated sat' ->
+    Alcotest.(check bool) "new entailment" true
+      (Graph.mem
+         (Triple.make Fixtures.doi1 Vocab.rdf_type (Fixtures.uri "Work"))
+         (Refq_storage.Store.to_graph sat'))
+  | `Incremental _ -> Alcotest.fail "schema addition must re-saturate"
+
+let gen_additions =
+  QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 8) Fixtures.gen_data_triple
+
+let test_removal_incremental () =
+  let base = Refq_storage.Store.of_graph Fixtures.borges_graph in
+  let sat = Saturate.store base in
+  (* Deleting the writtenBy edge retracts hasAuthor and b1's Person type,
+     but doi1 stays a Book (still explicit) and a Publication. *)
+  let deletions = [ Triple.make Fixtures.doi1 Fixtures.written_by Fixtures.b1 ] in
+  (match Saturate.remove_incremental ~base sat deletions with
+  | `Incremental n -> Alcotest.(check int) "retracted" 3 n
+  | `Resaturated _ -> Alcotest.fail "data deletion should be incremental");
+  let g = Refq_storage.Store.to_graph sat in
+  Alcotest.(check bool) "hasAuthor retracted" false
+    (Graph.mem (Triple.make Fixtures.doi1 Fixtures.has_author Fixtures.b1) g);
+  Alcotest.(check bool) "person type retracted" false
+    (Graph.mem (Triple.make Fixtures.b1 Vocab.rdf_type Fixtures.person) g);
+  Alcotest.(check bool) "book type survives (explicit)" true
+    (Graph.mem (Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.book) g);
+  Alcotest.(check bool) "publication type survives" true
+    (Graph.mem (Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.publication) g)
+
+let test_removal_rederivation () =
+  (* Two independent derivations of the same fact: deleting one support
+     must keep the fact. *)
+  let u = Fixtures.uri in
+  let g =
+    Graph.of_list
+      [
+        Triple.make (u "p") Vocab.rdfs_domain (u "C");
+        Triple.make (u "q") Vocab.rdfs_domain (u "C");
+        Triple.make (u "a") (u "p") (u "b");
+        Triple.make (u "a") (u "q") (u "b");
+      ]
+  in
+  let base = Refq_storage.Store.of_graph g in
+  let sat = Saturate.store base in
+  (match
+     Saturate.remove_incremental ~base sat [ Triple.make (u "a") (u "p") (u "b") ]
+   with
+  | `Incremental n -> Alcotest.(check int) "only the edge goes" 1 n
+  | `Resaturated _ -> Alcotest.fail "should be incremental");
+  Alcotest.(check bool) "type survives via q" true
+    (Graph.mem
+       (Triple.make (u "a") Vocab.rdf_type (u "C"))
+       (Refq_storage.Store.to_graph sat))
+
+let test_removal_schema_resaturates () =
+  let base = Refq_storage.Store.of_graph Fixtures.borges_graph in
+  let sat = Saturate.store base in
+  match
+    Saturate.remove_incremental ~base sat
+      [ Triple.make Fixtures.book Vocab.rdfs_subclassof Fixtures.publication ]
+  with
+  | `Resaturated sat' ->
+    Alcotest.(check bool) "publication type gone" false
+      (Graph.mem
+         (Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.publication)
+         (Refq_storage.Store.to_graph sat'))
+  | `Incremental _ -> Alcotest.fail "schema deletion must re-saturate"
+
+let gen_deletion_instance =
+  let open QCheck2.Gen in
+  let* g = Fixtures.gen_graph in
+  let data = Graph.to_list (Graph.data_triples g) in
+  let* mask = list_repeat (List.length data) bool in
+  let deletions = List.filteri (fun i _ -> List.nth mask i) data in
+  pure (g, deletions)
+
+let prop_removal_equals_full =
+  QCheck2.Test.make ~name:"remove_incremental = saturate(G \\ D)" ~count:100
+    ~print:(fun (g, dels) ->
+      Printf.sprintf "%s\ndeletions:\n%s" (Fixtures.print_graph g)
+        (Fixtures.print_graph (Graph.of_list dels)))
+    gen_deletion_instance
+    (fun (g, deletions) ->
+      let base = Refq_storage.Store.of_graph g in
+      let sat = Saturate.store base in
+      let result =
+        match Saturate.remove_incremental ~base sat deletions with
+        | `Incremental _ -> Refq_storage.Store.to_graph sat
+        | `Resaturated s -> Refq_storage.Store.to_graph s
+      in
+      let expected =
+        Saturate.graph
+          (List.fold_left (fun g t -> Graph.remove t g) g deletions)
+      in
+      Graph.equal result expected)
+
+let prop_incremental_equals_full =
+  QCheck2.Test.make ~name:"incremental = saturate(G ∪ Δ)" ~count:100
+    ~print:(fun (g, adds) ->
+      Printf.sprintf "%s
+additions:
+%s" (Fixtures.print_graph g)
+        (Fixtures.print_graph (Graph.of_list adds)))
+    (QCheck2.Gen.pair Fixtures.gen_graph gen_additions)
+    (fun (g, adds) ->
+      let sat = Saturate.store (Refq_storage.Store.of_graph g) in
+      let incr_result =
+        match Saturate.add_incremental sat adds with
+        | `Incremental _ -> Refq_storage.Store.to_graph sat
+        | `Resaturated s -> Refq_storage.Store.to_graph s
+      in
+      let full =
+        Saturate.graph (List.fold_left (fun g t -> Graph.add t g) g adds)
+      in
+      Graph.equal incr_result full)
+
+let prop_matches_reference =
+  QCheck2.Test.make ~name:"store saturation = brute-force fixpoint" ~count:60
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      Graph.equal (Saturate.graph g) (Saturate.graph_reference g))
+
+let prop_idempotent =
+  QCheck2.Test.make ~name:"saturation idempotent" ~count:60
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      let s = Saturate.graph g in
+      Graph.equal s (Saturate.graph s))
+
+let prop_monotone =
+  QCheck2.Test.make ~name:"saturation contains the graph" ~count:60
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      Graph.subset g (Saturate.graph g))
+
+let () =
+  Alcotest.run "saturation"
+    [
+      ( "saturate",
+        [
+          Alcotest.test_case "borges (Figure 2)" `Quick test_borges_saturation;
+          Alcotest.test_case "idempotent" `Quick test_idempotent;
+          Alcotest.test_case "subproperty chain" `Quick test_subproperty_chain;
+          Alcotest.test_case "range on literal" `Quick test_range_to_literal;
+          Alcotest.test_case "info" `Quick test_info;
+          QCheck_alcotest.to_alcotest prop_matches_reference;
+          QCheck_alcotest.to_alcotest prop_idempotent;
+          QCheck_alcotest.to_alcotest prop_monotone;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "data additions" `Quick test_incremental_data;
+          Alcotest.test_case "schema additions re-saturate" `Quick
+            test_incremental_schema_triggers_resaturation;
+          Alcotest.test_case "data deletions" `Quick test_removal_incremental;
+          Alcotest.test_case "re-derivation on deletion" `Quick
+            test_removal_rederivation;
+          Alcotest.test_case "schema deletions re-saturate" `Quick
+            test_removal_schema_resaturates;
+          QCheck_alcotest.to_alcotest prop_incremental_equals_full;
+          QCheck_alcotest.to_alcotest prop_removal_equals_full;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+(* Tests for RDFS schemas and their closure. *)
+
+open Refq_rdf
+open Refq_schema
+
+let u = Fixtures.uri
+
+let tset = Alcotest.testable (Fmt.Dump.iter Term.Set.iter (Fmt.any "set") Term.pp) Term.Set.equal
+
+let set_of l = Term.Set.of_list l
+
+let test_of_graph () =
+  let s = Schema.of_graph Fixtures.borges_graph in
+  Alcotest.(check int) "4 constraints" 4 (Schema.cardinal s);
+  Alcotest.(check bool) "subclass present" true
+    (Schema.mem (Schema.subclass Fixtures.book Fixtures.publication) s);
+  Alcotest.(check bool) "range present" true
+    (Schema.mem (Schema.range Fixtures.written_by Fixtures.person) s)
+
+let test_of_graph_ignores_malformed () =
+  let g =
+    Graph.of_list
+      [
+        Triple.make (Term.literal "x") Vocab.rdfs_subclassof (u "C");
+        Triple.make (u "C") Vocab.rdfs_domain (Term.literal "y");
+      ]
+  in
+  Alcotest.(check int) "malformed ignored" 0 (Schema.cardinal (Schema.of_graph g))
+
+let test_roundtrip () =
+  let s = Schema.of_graph Fixtures.borges_graph in
+  let s' = Schema.of_graph (Schema.to_graph s) in
+  Alcotest.(check int) "roundtrip" (Schema.cardinal s) (Schema.cardinal s')
+
+(* A deeper hierarchy:
+   C1 ⊑ C2 ⊑ C3,  p1 ⊑ p2,  domain(p2) = C1,  range(p2) = C2 *)
+let chain_schema =
+  Schema.of_list
+    [
+      Schema.subclass (u "C1") (u "C2");
+      Schema.subclass (u "C2") (u "C3");
+      Schema.subproperty (u "p1") (u "p2");
+      Schema.domain (u "p2") (u "C1");
+      Schema.range (u "p2") (u "C2");
+    ]
+
+let test_closure_transitivity () =
+  let cl = Closure.of_schema chain_schema in
+  Alcotest.check tset "superclasses C1"
+    (set_of [ u "C2"; u "C3" ])
+    (Closure.superclasses cl (u "C1"));
+  Alcotest.check tset "subclasses C3"
+    (set_of [ u "C1"; u "C2" ])
+    (Closure.subclasses cl (u "C3"));
+  Alcotest.(check bool) "is_subclass" true (Closure.is_subclass cl (u "C1") (u "C3"));
+  Alcotest.(check bool) "not reflexive" false (Closure.is_subclass cl (u "C1") (u "C1"))
+
+let test_closure_domain_range () =
+  let cl = Closure.of_schema chain_schema in
+  (* p1 inherits p2's domain/range; both propagate up the class chain. *)
+  Alcotest.check tset "domains p1"
+    (set_of [ u "C1"; u "C2"; u "C3" ])
+    (Closure.domains cl (u "p1"));
+  Alcotest.check tset "ranges p1"
+    (set_of [ u "C2"; u "C3" ])
+    (Closure.ranges cl (u "p1"));
+  Alcotest.check tset "props with domain C3"
+    (set_of [ u "p1"; u "p2" ])
+    (Closure.props_with_domain cl (u "C3"));
+  Alcotest.check tset "props with range C2"
+    (set_of [ u "p1"; u "p2" ])
+    (Closure.props_with_range cl (u "C2"))
+
+let test_closure_cycle () =
+  let s =
+    Schema.of_list
+      [ Schema.subclass (u "A") (u "B"); Schema.subclass (u "B") (u "A") ]
+  in
+  let cl = Closure.of_schema s in
+  (* A cycle makes each class a superclass of the other; rdfs11 then also
+     entails the reflexive pairs, which the pair list surfaces. *)
+  Alcotest.(check bool) "A ⊑ B" true (Closure.is_subclass cl (u "A") (u "B"));
+  Alcotest.(check bool) "B ⊑ A" true (Closure.is_subclass cl (u "B") (u "A"));
+  let pairs = Closure.subclass_pairs cl in
+  Alcotest.(check bool) "entailed A⊑A present" true
+    (List.exists (fun (a, b) -> Term.equal a (u "A") && Term.equal b (u "A")) pairs)
+
+let test_closure_idempotent () =
+  let cl = Closure.of_schema chain_schema in
+  let closed = Closure.closed_schema cl in
+  let cl2 = Closure.of_schema closed in
+  Alcotest.(check int) "closure idempotent" (Closure.size cl) (Closure.size cl2)
+
+let test_entailed_graph () =
+  let cl = Closure.of_schema chain_schema in
+  let g = Closure.entailed_schema_graph cl in
+  Alcotest.(check bool) "entailed C1 ⊑ C3" true
+    (Graph.mem (Triple.make (u "C1") Vocab.rdfs_subclassof (u "C3")) g);
+  Alcotest.(check bool) "entailed domain(p1)=C3" true
+    (Graph.mem (Triple.make (u "p1") Vocab.rdfs_domain (u "C3")) g)
+
+let prop_closure_monotone =
+  QCheck2.Test.make ~name:"closure contains declared constraints" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      let s = Schema.of_graph g in
+      let cl = Closure.of_schema s in
+      let closed = Closure.closed_schema cl in
+      Schema.fold (fun c acc -> acc && Schema.mem c closed) s true)
+
+let prop_closure_idempotent =
+  QCheck2.Test.make ~name:"closure idempotent" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      let cl = Closure.of_graph g in
+      let cl2 = Closure.of_schema (Closure.closed_schema cl) in
+      Schema.to_list (Closure.closed_schema cl)
+      = Schema.to_list (Closure.closed_schema cl2))
+
+let prop_closure_transitive =
+  QCheck2.Test.make ~name:"subclass pairs transitively closed" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      let cl = Closure.of_graph g in
+      let pairs = Closure.subclass_pairs cl in
+      List.for_all
+        (fun (a, b) ->
+          List.for_all
+            (fun (b', c) ->
+              (not (Term.equal b b')) || Term.equal a c
+              || List.exists
+                   (fun (x, y) -> Term.equal x a && Term.equal y c)
+                   pairs)
+            pairs)
+        pairs)
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "of_graph" `Quick test_of_graph;
+          Alcotest.test_case "malformed" `Quick test_of_graph_ignores_malformed;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "transitivity" `Quick test_closure_transitivity;
+          Alcotest.test_case "domain/range" `Quick test_closure_domain_range;
+          Alcotest.test_case "cycles" `Quick test_closure_cycle;
+          Alcotest.test_case "idempotent" `Quick test_closure_idempotent;
+          Alcotest.test_case "entailed graph" `Quick test_entailed_graph;
+          QCheck_alcotest.to_alcotest prop_closure_monotone;
+          QCheck_alcotest.to_alcotest prop_closure_idempotent;
+          QCheck_alcotest.to_alcotest prop_closure_transitive;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+(* Tests for the dictionary, store indexes and statistics. *)
+
+open Refq_rdf
+open Refq_storage
+
+let term = Alcotest.testable Term.pp Term.equal
+
+let test_dictionary () =
+  let d = Dictionary.create () in
+  let a = Dictionary.encode d (Term.uri "http://a") in
+  let b = Dictionary.encode d (Term.literal "x") in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "stable" a (Dictionary.encode d (Term.uri "http://a"));
+  Alcotest.check term "decode" (Term.uri "http://a") (Dictionary.decode d a);
+  Alcotest.(check (option int)) "find" (Some b) (Dictionary.find d (Term.literal "x"));
+  Alcotest.(check (option int)) "find absent" None (Dictionary.find d (Term.bnode "q"));
+  Alcotest.(check int) "size" 2 (Dictionary.size d);
+  match Dictionary.decode d 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "decode of unallocated id"
+
+let test_store_dedup () =
+  let st = Store.create () in
+  Store.add st (Term.uri "http://a") (Term.uri "http://p") (Term.uri "http://b");
+  Store.add st (Term.uri "http://a") (Term.uri "http://p") (Term.uri "http://b");
+  Alcotest.(check int) "deduplicated" 1 (Store.size st)
+
+let test_store_roundtrip () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  Alcotest.(check int) "size" 9 (Store.size st);
+  Alcotest.(check bool) "roundtrip" true
+    (Graph.equal Fixtures.borges_graph (Store.to_graph st))
+
+let test_patterns () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  let id t = Option.get (Store.find_term st t) in
+  let count ?s ?p ?o () = Store.count_pattern st ~s ~p ~o in
+  Alcotest.(check int) "all" 9 (count ());
+  Alcotest.(check int) "by subject" 4 (count ~s:(id Fixtures.doi1) ());
+  Alcotest.(check int) "by property" 1 (count ~p:(id Fixtures.written_by) ());
+  Alcotest.(check int) "s+p" 1
+    (count ~s:(id Fixtures.doi1) ~p:(id Fixtures.written_by) ());
+  Alcotest.(check int) "by object" 1 (count ~o:(id (Term.literal "1949")) ());
+  Alcotest.(check int) "s+o" 1
+    (count ~s:(id Fixtures.doi1) ~o:(id Fixtures.b1) ());
+  Alcotest.(check int) "full triple" 1
+    (count ~s:(id Fixtures.doi1) ~p:(id Fixtures.written_by) ~o:(id Fixtures.b1) ());
+  Alcotest.(check int) "no match" 0
+    (count ~s:(id Fixtures.b1) ~p:(id Fixtures.written_by) ())
+
+let test_pattern_iteration () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  let id t = Option.get (Store.find_term st t) in
+  let seen = ref [] in
+  Store.iter_pattern st ~s:(Some (id Fixtures.doi1)) ~p:None ~o:None
+    (fun _ p _ -> seen := p :: !seen);
+  Alcotest.(check int) "doi1 triples" 4 (List.length !seen)
+
+let test_incremental_reindex () =
+  let st = Store.create () in
+  let u s = Term.uri (Fixtures.ex ^ s) in
+  Store.add st (u "a") (u "p") (u "b");
+  Alcotest.(check int) "first" 1
+    (Store.count_pattern st ~s:None ~p:(Store.find_term st (u "p")) ~o:None);
+  (* Adding after a freeze must trigger reindexing. *)
+  Store.add st (u "c") (u "p") (u "d");
+  Alcotest.(check int) "after add" 2
+    (Store.count_pattern st ~s:None ~p:(Store.find_term st (u "p")) ~o:None)
+
+let test_remove () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  let t = Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.book in
+  Store.remove_triple st t;
+  Alcotest.(check int) "size after remove" 8 (Store.size st);
+  Alcotest.(check bool) "gone from graph" false (Graph.mem t (Store.to_graph st));
+  let id x = Option.get (Store.find_term st x) in
+  Alcotest.(check int) "gone from index" 0
+    (Store.count_pattern st ~s:(Some (id Fixtures.doi1))
+       ~p:(Some (id Vocab.rdf_type)) ~o:None);
+  (* Remove then re-add: no duplicates survive compaction. *)
+  Store.add_triple st t;
+  Alcotest.(check int) "re-added" 9 (Store.size st);
+  Alcotest.(check int) "indexed once" 1
+    (Store.count_pattern st ~s:(Some (id Fixtures.doi1))
+       ~p:(Some (id Vocab.rdf_type)) ~o:None);
+  (* Removing an absent triple is a no-op. *)
+  Store.remove_triple st (Triple.make Fixtures.b1 Vocab.rdf_type Fixtures.book);
+  Alcotest.(check int) "no-op remove" 9 (Store.size st)
+
+let test_stats () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  let stats = Stats.compute st in
+  Alcotest.(check int) "triples" 9 (Stats.n_triples stats);
+  let id t = Option.get (Store.find_term st t) in
+  (match Stats.prop_stat stats (id Fixtures.written_by) with
+  | Some ps ->
+    Alcotest.(check int) "writtenBy count" 1 ps.Stats.count;
+    Alcotest.(check int) "distinct s" 1 ps.Stats.distinct_s
+  | None -> Alcotest.fail "writtenBy stats missing");
+  Alcotest.(check int) "Book instances" 1 (Stats.class_count stats (id Fixtures.book));
+  Alcotest.(check int) "absent class" 0
+    (Stats.class_count stats (id Fixtures.person));
+  let top = Stats.top_properties stats ~k:3 in
+  Alcotest.(check int) "top-k size" 3 (List.length top);
+  (* rdf:type is among the most frequent (count 1 like the others here),
+     just check ordering is by count descending. *)
+  let counts = List.map snd top in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) counts) counts
+
+let test_stats_tops () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  let stats = Stats.compute st in
+  let id t = Option.get (Store.find_term st t) in
+  (* doi1 is the most frequent subject (4 triples). *)
+  (match Stats.top_subjects stats ~k:1 with
+  | [ (s, n) ] ->
+    Alcotest.(check int) "top subject id" (id Fixtures.doi1) s;
+    Alcotest.(check int) "top subject count" 4 n
+  | _ -> Alcotest.fail "expected one top subject");
+  Alcotest.(check int) "top objects k" 3 (List.length (Stats.top_objects stats ~k:3));
+  (* Each (p, o) pair occurs once in this graph. *)
+  (match Stats.top_po_pairs stats ~k:2 with
+  | [ (_, n1); (_, n2) ] ->
+    Alcotest.(check int) "pair count" 1 n1;
+    Alcotest.(check int) "pair count" 1 n2
+  | _ -> Alcotest.fail "expected two pairs");
+  (* Smoke-test the printer. *)
+  let text = Fmt.str "%a" (Stats.pp (Store.dictionary st)) stats in
+  Alcotest.(check bool) "pp mentions triples" true
+    (String.length text > 0)
+
+let test_save_load () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  let path = Filename.temp_file "refq" ".store" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Store.save st path;
+      match Store.load path with
+      | Ok st' ->
+        Alcotest.(check bool) "same graph" true
+          (Graph.equal (Store.to_graph st) (Store.to_graph st'));
+        (* Ids are preserved. *)
+        Alcotest.(check (option int)) "same id for doi1"
+          (Store.find_term st Fixtures.doi1)
+          (Store.find_term st' Fixtures.doi1)
+      | Error m -> Alcotest.fail m)
+
+let test_load_errors () =
+  (match Store.load "/nonexistent/refq.store" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file loaded");
+  let path = Filename.temp_file "refq" ".store" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "NOTASTORE!";
+      close_out oc;
+      match Store.load path with
+      | Error m -> Alcotest.(check bool) "mentions corrupt" true (String.length m > 0)
+      | Ok _ -> Alcotest.fail "garbage loaded")
+
+let prop_save_load_roundtrip =
+  QCheck2.Test.make ~name:"save/load roundtrip" ~count:50
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      let st = Store.of_graph g in
+      let path = Filename.temp_file "refq" ".store" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Store.save st path;
+          match Store.load path with
+          | Ok st' -> Graph.equal g (Store.to_graph st')
+          | Error _ -> false))
+
+let prop_store_roundtrip =
+  QCheck2.Test.make ~name:"store/graph roundtrip" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      Graph.equal g (Store.to_graph (Store.of_graph g)))
+
+let prop_count_matches_iter =
+  QCheck2.Test.make ~name:"count_pattern = iterated count" ~count:100
+    ~print:Fixtures.print_graph Fixtures.gen_graph (fun g ->
+      let st = Store.of_graph g in
+      let ids =
+        List.filter_map (Store.find_term st)
+          (Fixtures.uri "C1" :: Fixtures.uri "a0" :: Fixtures.uri "p0"
+           :: [ Vocab.rdf_type ])
+      in
+      List.for_all
+        (fun id ->
+          let patterns =
+            [
+              (Some id, None, None);
+              (None, Some id, None);
+              (None, None, Some id);
+            ]
+          in
+          List.for_all
+            (fun (s, p, o) ->
+              let n = ref 0 in
+              Store.iter_pattern st ~s ~p ~o (fun _ _ _ -> incr n);
+              !n = Store.count_pattern st ~s ~p ~o)
+            patterns)
+        ids)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ("dictionary", [ Alcotest.test_case "encode/decode" `Quick test_dictionary ]);
+      ( "store",
+        [
+          Alcotest.test_case "dedup" `Quick test_store_dedup;
+          Alcotest.test_case "graph roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "pattern counts" `Quick test_patterns;
+          Alcotest.test_case "pattern iteration" `Quick test_pattern_iteration;
+          Alcotest.test_case "incremental reindex" `Quick test_incremental_reindex;
+          Alcotest.test_case "removal" `Quick test_remove;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "load errors" `Quick test_load_errors;
+          QCheck_alcotest.to_alcotest prop_save_load_roundtrip;
+          QCheck_alcotest.to_alcotest prop_store_roundtrip;
+          QCheck_alcotest.to_alcotest prop_count_matches_iter;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "compute" `Quick test_stats;
+          Alcotest.test_case "top-k distributions" `Quick test_stats_tops;
+        ] );
+    ]

@@ -1,0 +1,169 @@
+(* Tests for the utility layer: vectors and the deterministic PRNG. *)
+
+module Vec = Refq_util.Vec
+module Int_vec = Refq_util.Int_vec
+module Rng = Refq_util.Splitmix64
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check (option int)) "pop" (Some 99) (Vec.pop v);
+  Alcotest.(check int) "after pop" 99 (Vec.length v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  (match Vec.get v 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds get");
+  match Vec.set v (-1) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds set"
+
+let test_vec_conversions () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "to_list" [ 3; 1; 2 ] (Vec.to_list v);
+  Vec.sort Int.compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v);
+  let doubled = Vec.map (fun x -> 2 * x) v in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ] (Vec.to_list doubled);
+  Alcotest.(check int) "fold" 6 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let test_vec_growth () =
+  (* Push enough to force several reallocation rounds. *)
+  let v = Vec.create ~capacity:1 () in
+  for i = 0 to 10_000 do
+    Vec.push v (string_of_int i)
+  done;
+  Alcotest.(check string) "first survives growth" "0" (Vec.get v 0);
+  Alcotest.(check string) "last" "10000" (Vec.get v 10_000)
+
+let test_int_vec () =
+  let v = Int_vec.create ~capacity:2 () in
+  for i = 0 to 999 do
+    Int_vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 1000 (Int_vec.length v);
+  Alcotest.(check int) "get" (25 * 25) (Int_vec.get v 25);
+  Int_vec.set v 0 7;
+  Alcotest.(check int) "set" 7 (Int_vec.get v 0);
+  let sum = ref 0 in
+  Int_vec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check bool) "iter covers all" true (!sum > 0);
+  Int_vec.append_array v [| 1; 2; 3 |];
+  Alcotest.(check int) "append_array" 1003 (Int_vec.length v);
+  let buf = Array.make 3 0 in
+  Int_vec.blit_to v 1000 buf 0 3;
+  Alcotest.(check (array int)) "blit" [| 1; 2; 3 |] buf;
+  (match Int_vec.blit_to v 1002 buf 0 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "blit past end");
+  Int_vec.clear v;
+  Alcotest.(check int) "clear" 0 (Int_vec.length v)
+
+let test_int_vec_roundtrip () =
+  let a = Array.init 257 (fun i -> i - 128) in
+  Alcotest.(check (array int)) "of/to array" a (Int_vec.to_array (Int_vec.of_array a))
+
+let test_rng_determinism () =
+  let g1 = Rng.create 123L and g2 = Rng.create 123L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next g1) (Rng.next g2)
+  done;
+  let g3 = Rng.create 124L in
+  Alcotest.(check bool) "different seed differs" true (Rng.next g1 <> Rng.next g3)
+
+let test_rng_known_values () =
+  (* Reference values from the SplitMix64 reference implementation with
+     seed 0: first outputs of the Steele-Lea-Flood generator. *)
+  let g = Rng.create 0L in
+  Alcotest.(check int64) "first" 0xE220A8397B1DCDAFL (Rng.next g);
+  Alcotest.(check int64) "second" 0x6E789E6AA1B965F4L (Rng.next g)
+
+let test_rng_bounds () =
+  let g = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 10 in
+    Alcotest.(check bool) "int in range" true (x >= 0 && x < 10);
+    let y = Rng.int_in g 5 8 in
+    Alcotest.(check bool) "int_in range" true (y >= 5 && y <= 8);
+    let f = Rng.float g 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done;
+  (match Rng.int g 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bound 0");
+  match Rng.int_in g 3 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty range"
+
+let test_rng_pick_shuffle () =
+  let g = Rng.create 9L in
+  let a = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick member" true (Array.mem (Rng.pick g a) a)
+  done;
+  let b = Array.copy a in
+  Rng.shuffle g b;
+  Alcotest.(check (list int)) "shuffle is a permutation" (Array.to_list a)
+    (List.sort Int.compare (Array.to_list b));
+  match Rng.pick g [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pick from empty"
+
+let test_rng_split_independent () =
+  let g = Rng.create 1L in
+  let child = Rng.split g in
+  (* The child stream must not equal the parent's continuation. *)
+  let c = List.init 10 (fun _ -> Rng.next child) in
+  let p = List.init 10 (fun _ -> Rng.next g) in
+  Alcotest.(check bool) "independent streams" true (c <> p)
+
+let prop_rng_uniformish =
+  QCheck2.Test.make ~name:"Rng.int roughly uniform" ~count:20
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let g = Rng.create (Int64.of_int seed) in
+      let counts = Array.make 4 0 in
+      for _ = 1 to 4000 do
+        let i = Rng.int g 4 in
+        counts.(i) <- counts.(i) + 1
+      done;
+      Array.for_all (fun c -> c > 700 && c < 1300) counts)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "conversions" `Quick test_vec_conversions;
+          Alcotest.test_case "growth" `Quick test_vec_growth;
+        ] );
+      ( "int_vec",
+        [
+          Alcotest.test_case "basics" `Quick test_int_vec;
+          Alcotest.test_case "roundtrip" `Quick test_int_vec_roundtrip;
+        ] );
+      ( "splitmix64",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "known values" `Quick test_rng_known_values;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "pick/shuffle" `Quick test_rng_pick_shuffle;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          QCheck_alcotest.to_alcotest prop_rng_uniformish;
+        ] );
+    ]

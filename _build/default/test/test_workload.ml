@@ -1,0 +1,191 @@
+(* Tests for the synthetic workload generators (LUBM / DBLP / GEO). *)
+
+open Refq_rdf
+open Refq_schema
+open Refq_storage
+open Refq_workload
+
+let test_lubm_deterministic () =
+  let g1 = Store.to_graph (Lubm.generate ~seed:1L ~scale:1 ()) in
+  let g2 = Store.to_graph (Lubm.generate ~seed:1L ~scale:1 ()) in
+  Alcotest.(check bool) "same seed, same data" true (Graph.equal g1 g2);
+  let g3 = Store.to_graph (Lubm.generate ~seed:2L ~scale:1 ()) in
+  Alcotest.(check bool) "different seed, different data" false (Graph.equal g1 g3)
+
+let test_lubm_contains_schema () =
+  let st = Lubm.generate ~scale:1 () in
+  let g = Store.to_graph st in
+  Alcotest.(check bool) "schema embedded" true
+    (Graph.subset Lubm.schema_graph g)
+
+let test_lubm_size_scales () =
+  let s1 = Store.size (Lubm.generate ~scale:1 ()) in
+  let s3 = Store.size (Lubm.generate ~scale:3 ()) in
+  Alcotest.(check bool) "scale grows size" true (s3 > 2 * s1);
+  Alcotest.(check bool) "reasonable size" true (s1 > 1_000 && s1 < 50_000)
+
+let test_lubm_most_specific_only () =
+  (* The generator must not assert superclasses: no explicit Person or
+     Student types, and no explicit memberOf edges for faculty. *)
+  let st = Lubm.generate ~scale:1 () in
+  let person = Store.find_term st (Term.uri (Lubm.ns ^ "Person")) in
+  let ty = Store.find_term st Vocab.rdf_type in
+  (match person, ty with
+  | Some p, Some t ->
+    Alcotest.(check int) "no explicit Person" 0
+      (Store.count_pattern st ~s:None ~p:(Some t) ~o:(Some p))
+  | _ -> ());
+  let student = Store.find_term st (Term.uri (Lubm.ns ^ "Student")) in
+  match student, ty with
+  | Some s, Some t ->
+    Alcotest.(check int) "no explicit Student" 0
+      (Store.count_pattern st ~s:None ~p:(Some t) ~o:(Some s))
+  | _ -> ()
+
+let test_lubm_example1_shape () =
+  let q = Lubm.example1_query in
+  Alcotest.(check int) "6 atoms" 6 (List.length q.Refq_query.Cq.body);
+  Alcotest.(check int) "5 head vars" 5 (Refq_query.Cq.arity q);
+  Alcotest.(check int) "cover fragments" 4
+    (Refq_query.Cover.n_fragments Lubm.example1_cover)
+
+let test_lubm_queries_well_formed () =
+  let st = Lubm.generate ~scale:1 () in
+  let cl = Closure.of_graph (Store.to_graph st) in
+  List.iter
+    (fun (name, q) ->
+      let n = Refq_reform.Reformulate.count_disjuncts cl q in
+      Alcotest.(check bool) (name ^ " reformulates") true (n >= 1))
+    Lubm.queries
+
+let test_lubm_example1_reformulation_explodes () =
+  (* The one-fragment (UCQ) reformulation of Example 1 must be large (the
+     paper reports 318,096 CQs on the real LUBM schema; ours has the same
+     shape so the count is in the tens of thousands at least). *)
+  let st = Lubm.generate ~scale:1 () in
+  let cl = Closure.of_graph (Store.to_graph st) in
+  let n = Refq_reform.Reformulate.count_disjuncts cl Lubm.example1_query in
+  Alcotest.(check bool)
+    (Printf.sprintf "UCQ explosion (%d disjuncts)" n)
+    true (n > 50_000)
+
+let test_dblp () =
+  let st = Dblp.generate ~scale:2 () in
+  Alcotest.(check bool) "has triples" true (Store.size st > 1_000);
+  Alcotest.(check bool) "schema embedded" true
+    (Graph.subset Dblp.schema_graph (Store.to_graph st));
+  let g1 = Store.to_graph (Dblp.generate ~seed:3L ~scale:1 ()) in
+  let g2 = Store.to_graph (Dblp.generate ~seed:3L ~scale:1 ()) in
+  Alcotest.(check bool) "deterministic" true (Graph.equal g1 g2)
+
+let test_geo () =
+  let st = Geo.generate ~scale:3 () in
+  Alcotest.(check bool) "has triples" true (Store.size st > 200);
+  Alcotest.(check bool) "schema embedded" true
+    (Graph.subset Geo.schema_graph (Store.to_graph st))
+
+let test_query_gen_deterministic () =
+  let st = Lubm.generate ~scale:1 () in
+  let qs1 = Query_gen.generate ~seed:5L st ~count:10 in
+  let qs2 = Query_gen.generate ~seed:5L st ~count:10 in
+  Alcotest.(check int) "ten queries" 10 (List.length qs1);
+  List.iter2
+    (fun (n1, q1) (n2, q2) ->
+      Alcotest.(check string) "names" n1 n2;
+      Alcotest.(check bool) "same query" true (Refq_query.Cq.equal q1 q2))
+    qs1 qs2
+
+let test_query_gen_well_formed () =
+  let st = Lubm.generate ~scale:1 () in
+  let cl = Closure.of_graph (Store.to_graph st) in
+  List.iter
+    (fun (name, q) ->
+      Alcotest.(check bool) (name ^ " has atoms") true
+        (List.length q.Refq_query.Cq.body >= 1);
+      Alcotest.(check bool)
+        (name ^ " projects something")
+        true
+        (Refq_query.Cq.arity q >= 1);
+      (* Every generated query must reformulate without error. *)
+      Alcotest.(check bool) (name ^ " reformulates") true
+        (Refq_reform.Reformulate.count_disjuncts cl q >= 1))
+    (Query_gen.generate ~seed:9L st ~count:25)
+
+(* The generated queries keep the cross-strategy equivalence. *)
+let test_query_gen_strategies_agree () =
+  let st = Lubm.generate ~scale:1 () in
+  let env = Refq_core.Answer.make_env st in
+  List.iter
+    (fun (name, q) ->
+      let decode s =
+        match Refq_core.Answer.answer ~max_disjuncts:50_000 env q s with
+        | Ok r -> Some (Refq_core.Answer.decode env r.Refq_core.Answer.answers)
+        | Error _ -> None
+      in
+      match decode Refq_core.Strategy.Saturation, decode Refq_core.Strategy.Gcov with
+      | Some a, Some b ->
+        Alcotest.(check bool) (name ^ " sat = gcov") true (a = b)
+      | _ -> ()
+      (* over-budget reformulations are allowed to fail on random queries *))
+    (Query_gen.generate ~seed:11L st ~count:15)
+
+let answers_nonempty name st q =
+  (* Sanity: the workload queries must have answers under reasoning. *)
+  let env = Refq_core.Answer.make_env st in
+  match Refq_core.Answer.answer env q Refq_core.Strategy.Gcov with
+  | Ok r ->
+    Alcotest.(check bool)
+      (name ^ " has answers")
+      true
+      (Refq_core.Answer.n_answers r > 0)
+  | Error f -> Alcotest.failf "%s failed: %s" name f.Refq_core.Answer.reason
+
+let test_lubm_queries_nonempty () =
+  let st = Lubm.generate ~scale:1 () in
+  List.iter (fun (name, q) -> answers_nonempty name st q) Lubm.queries
+
+let test_dblp_queries_nonempty () =
+  let st = Dblp.generate ~scale:2 () in
+  List.iter (fun (name, q) -> answers_nonempty name st q) Dblp.queries
+
+let test_geo_queries_nonempty () =
+  let st = Geo.generate ~scale:2 () in
+  List.iter (fun (name, q) -> answers_nonempty name st q) Geo.queries
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "lubm",
+        [
+          Alcotest.test_case "deterministic" `Quick test_lubm_deterministic;
+          Alcotest.test_case "schema embedded" `Quick test_lubm_contains_schema;
+          Alcotest.test_case "size scales" `Quick test_lubm_size_scales;
+          Alcotest.test_case "most-specific assertions" `Quick
+            test_lubm_most_specific_only;
+          Alcotest.test_case "example 1 shape" `Quick test_lubm_example1_shape;
+          Alcotest.test_case "queries reformulate" `Quick
+            test_lubm_queries_well_formed;
+          Alcotest.test_case "example 1 UCQ explodes" `Quick
+            test_lubm_example1_reformulation_explodes;
+          Alcotest.test_case "queries have answers" `Slow
+            test_lubm_queries_nonempty;
+        ] );
+      ( "query_gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_query_gen_deterministic;
+          Alcotest.test_case "well-formed" `Quick test_query_gen_well_formed;
+          Alcotest.test_case "strategies agree" `Slow
+            test_query_gen_strategies_agree;
+        ] );
+      ( "dblp",
+        [
+          Alcotest.test_case "generate" `Quick test_dblp;
+          Alcotest.test_case "queries have answers" `Slow
+            test_dblp_queries_nonempty;
+        ] );
+      ( "geo",
+        [
+          Alcotest.test_case "generate" `Quick test_geo;
+          Alcotest.test_case "queries have answers" `Slow test_geo_queries_nonempty;
+        ] );
+    ]
