@@ -742,8 +742,8 @@ let e12 () =
       Fmt.pr "%-5s %12d %14d %14d %16d@." name
         (n fed_free Federation.answer_centralized)
         (n fed_free Federation.answer_local_sat)
-        (n fed_free (fun fed q -> Federation.answer_ref fed q))
-        (n fed_limited (fun fed q -> Federation.answer_ref fed q)))
+        (n fed_free (fun fed q -> fst (Federation.answer_ref fed q)))
+        (n fed_limited (fun fed q -> fst (Federation.answer_ref fed q))))
     Lubm.queries;
   Fmt.pr
     "@.With the ontology on its own endpoint, per-endpoint saturation derives nothing@.(fact here, constraint there); reformulation answers completely without@.saturating anything, degrading gracefully under per-endpoint answer limits.@."

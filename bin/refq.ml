@@ -35,6 +35,11 @@ let workload_env =
 
 let die fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt
 
+let known_prefixes () =
+  String.concat ", "
+    (List.sort compare
+       (Namespace.fold (fun prefix _ acc -> prefix :: acc) workload_env []))
+
 let load_graph path =
   if Filename.check_suffix path ".ttl" then
     Result.map_error
@@ -71,6 +76,14 @@ let contains_word ~word text =
   let n = String.length word and m = String.length re in
   let rec loop i = i + n <= m && (String.sub re i n = word || loop (i + 1)) in
   loop 0
+
+(* A one-line parse diagnostic; unbound-prefix errors additionally list
+   the prefixes the CLI environment actually knows. *)
+let query_error e =
+  let msg = Fmt.str "query: %a" Sparql.pp_error e in
+  if contains_word ~word:"UNBOUND PREFIX" msg then
+    `Error (false, Fmt.str "%s (known prefixes: %s)" msg (known_prefixes ()))
+  else `Error (false, msg)
 
 let read_query ~query ~query_file =
   match query, query_file with
@@ -173,6 +186,76 @@ let stats_cmd =
     Term.(ret (const run $ path))
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection and budget flags (answer, federate)                 *)
+(* ------------------------------------------------------------------ *)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Inject deterministic endpoint faults: ;-separated name=mode \
+           entries, with mode one of healthy, dead, flaky:P, slow:P, \
+           trunc:N, flap:UP:DOWN, failfirst:N — e.g. \
+           \"a.nt=dead;b.nt=flap:2:1\".")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ]
+        ~doc:"Seed of the fault plan (same seed, same faults).")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ]
+        ~doc:
+          "Total attempts per endpoint call, retried with deterministic \
+           exponential backoff (default 3).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline" ] ~docv:"TICKS"
+        ~doc:
+          "Per-query deadline in simulated ticks; on expiry the answer \
+           degrades to sound-but-possibly-incomplete.")
+
+let max_rows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rows" ]
+        ~doc:"Per-query cap on intermediate-relation rows.")
+
+let make_budget ~deadline ~max_rows =
+  match deadline, max_rows with
+  | None, None -> None
+  | _ -> Some (Refq_fault.Budget.create ?deadline ?max_rows ())
+
+let make_resilience ~faults ~fault_seed ~retries =
+  let seed = Option.map Int64.of_int fault_seed in
+  let plan =
+    match faults with
+    | None -> Ok Refq_fault.Fault.none
+    | Some spec -> Refq_fault.Fault.parse ?seed spec
+  in
+  Result.map
+    (fun plan ->
+      let retry =
+        match retries with
+        | None -> Refq_fault.Retry.default
+        | Some n -> Refq_fault.Retry.make n
+      in
+      let open Refq_federation in
+      { Federation.default_resilience with plan; retry })
+    plan
+
+(* ------------------------------------------------------------------ *)
 (* answer                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -184,7 +267,7 @@ let strategy_conv ~n_atoms name cover =
   | name, _ -> Strategy.of_string name
 
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format faults fault_seed retries deadline max_rows =
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok store -> (
@@ -202,7 +285,7 @@ let answer_cmd =
           | None -> parse_query text
         in
         match parsed with
-        | Error e -> `Error (false, Fmt.str "query: %a" Sparql.pp_error e)
+        | Error e -> query_error e
         | Ok q -> (
           let profile =
             List.find_opt
@@ -223,59 +306,130 @@ let answer_cmd =
             | Ok backend ->
             let env = Answer.make_env store in
             let n_atoms = List.length q.Cq.body in
-            let strategies =
-              if all_strategies then Ok Strategy.all_fixed
-              else
-                Result.map
-                  (fun s -> [ s ])
-                  (strategy_conv ~n_atoms strategy_name cover_spec)
-            in
-            (match strategies with
+            let budget = make_budget ~deadline ~max_rows in
+            match make_resilience ~faults ~fault_seed ~retries with
             | Error m -> `Error (false, m)
-            | Ok strategies ->
-              let dict = Store.dictionary store in
-              let show_rows rel =
-                match format with
-                | "text" ->
-                  List.iter
-                    (fun row ->
-                      Fmt.pr "  %a@."
-                        (Fmt.list ~sep:(Fmt.any " | ")
-                           (Namespace.pp_term workload_env))
-                        row)
-                    (Answer.decode env rel)
-                | "json" -> print_endline (Refq_engine.Results.to_json dict rel)
-                | "csv" -> print_string (Refq_engine.Results.to_csv dict rel)
-                | "tsv" -> print_string (Refq_engine.Results.to_tsv dict rel)
-                | other -> Fmt.epr "unknown format %S, using text@." other
-              in
-              List.iter
-                (fun s ->
-                  match union_query with
-                  | Some u -> (
-                    match
-                      Answer.answer_union ~profile ~minimize ~backend env u s
-                    with
-                    | Ok (rel, reports) ->
-                      Fmt.pr "%s (union of %d BGPs): %d answers@."
-                        (Strategy.name s) (List.length reports)
+            | Ok resilience -> (
+              match faults with
+              | Some _ -> (
+                (* Fault injection simulates endpoint calls: route the
+                   query through a single-endpoint federation named after
+                   the input file, and print the degradation report. *)
+                if all_strategies then
+                  die "--faults runs one reformulation strategy; drop --all"
+                else if union_query <> None then
+                  die "--faults does not support UNION queries"
+                else
+                  match strategy_conv ~n_atoms strategy_name cover_spec with
+                  | Error m -> `Error (false, m)
+                  | Ok s -> (
+                    let open Refq_federation in
+                    let fed_strategy =
+                      match s with
+                      | Strategy.Ucq -> Ok Federation.Ucq
+                      | Strategy.Scq -> Ok Federation.Scq
+                      | Strategy.Jucq c -> Ok (Federation.Cover c)
+                      | Strategy.Gcov -> Ok Federation.Gcov
+                      | (Strategy.Saturation | Strategy.Datalog) as local ->
+                        Error
+                          (Printf.sprintf
+                             "strategy %s answers locally, not through \
+                              endpoint calls; --faults needs ucq, scq, jucq \
+                              or gcov"
+                             (Strategy.name local))
+                    in
+                    match fed_strategy with
+                    | Error m -> `Error (false, m)
+                    | Ok strategy ->
+                      let name = Filename.basename path in
+                      let fed =
+                        Federation.of_graphs
+                          [ (name, Store.to_graph store, None) ]
+                      in
+                      let rel, report =
+                        Federation.answer_ref ~profile ~strategy ~resilience
+                          ?budget fed q
+                      in
+                      Fmt.pr "%s (endpoint %S): %d answer(s)@."
+                        (Strategy.name s) name
                         (Refq_engine.Relation.cardinality rel);
-                      if not all_strategies then show_rows rel
-                    | Error f ->
-                      Fmt.pr "%s: FAILED: %s@."
-                        (Strategy.name f.Answer.f_strategy)
-                        f.Answer.reason)
-                  | None -> (
-                    match Answer.answer ~profile ~minimize ~backend env q s with
-                    | Ok r ->
-                      Fmt.pr "%a@." Answer.pp_report r;
-                      if not all_strategies then show_rows r.Answer.answers
-                    | Error f ->
-                      Fmt.pr "%s: FAILED after %.3fs: %s@."
-                        (Strategy.name f.Answer.f_strategy)
-                        f.Answer.f_reformulation_s f.Answer.reason))
-                strategies;
-              `Ok ()))))
+                      Fmt.pr "%a@." Answer.pp_federation_report report;
+                      let dict = Federation.dictionary fed in
+                      (match format with
+                      | "json" ->
+                        print_endline (Refq_engine.Results.to_json dict rel)
+                      | "csv" ->
+                        print_string (Refq_engine.Results.to_csv dict rel)
+                      | "tsv" ->
+                        print_string (Refq_engine.Results.to_tsv dict rel)
+                      | _ ->
+                        List.iter
+                          (fun row ->
+                            Fmt.pr "  %a@."
+                              (Fmt.list ~sep:(Fmt.any " | ")
+                                 (Namespace.pp_term workload_env))
+                              row)
+                          (Federation.decode fed rel));
+                      `Ok ()))
+              | None -> (
+                let strategies =
+                  if all_strategies then Ok Strategy.all_fixed
+                  else
+                    Result.map
+                      (fun s -> [ s ])
+                      (strategy_conv ~n_atoms strategy_name cover_spec)
+                in
+                match strategies with
+                | Error m -> `Error (false, m)
+                | Ok strategies ->
+                  let dict = Store.dictionary store in
+                  let show_rows rel =
+                    match format with
+                    | "text" ->
+                      List.iter
+                        (fun row ->
+                          Fmt.pr "  %a@."
+                            (Fmt.list ~sep:(Fmt.any " | ")
+                               (Namespace.pp_term workload_env))
+                            row)
+                        (Answer.decode env rel)
+                    | "json" ->
+                      print_endline (Refq_engine.Results.to_json dict rel)
+                    | "csv" -> print_string (Refq_engine.Results.to_csv dict rel)
+                    | "tsv" -> print_string (Refq_engine.Results.to_tsv dict rel)
+                    | other -> Fmt.epr "unknown format %S, using text@." other
+                  in
+                  List.iter
+                    (fun s ->
+                      match union_query with
+                      | Some u -> (
+                        match
+                          Answer.answer_union ?budget ~profile ~minimize
+                            ~backend env u s
+                        with
+                        | Ok (rel, reports) ->
+                          Fmt.pr "%s (union of %d BGPs): %d answers@."
+                            (Strategy.name s) (List.length reports)
+                            (Refq_engine.Relation.cardinality rel);
+                          if not all_strategies then show_rows rel
+                        | Error f ->
+                          Fmt.pr "%s: FAILED: %s@."
+                            (Strategy.name f.Answer.f_strategy)
+                            f.Answer.reason)
+                      | None -> (
+                        match
+                          Answer.answer ?budget ~profile ~minimize ~backend env
+                            q s
+                        with
+                        | Ok r ->
+                          Fmt.pr "%a@." Answer.pp_report r;
+                          if not all_strategies then show_rows r.Answer.answers
+                        | Error f ->
+                          Fmt.pr "%s: FAILED after %.3fs: %s@."
+                            (Strategy.name f.Answer.f_strategy)
+                            f.Answer.f_reformulation_s f.Answer.reason))
+                    strategies;
+                  `Ok ())))))
   in
   let path =
     Arg.(
@@ -347,7 +501,8 @@ let answer_cmd =
     Term.(
       ret
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
-       $ all_strategies $ minimize $ backend $ format))
+       $ all_strategies $ minimize $ backend $ format $ faults_arg
+       $ fault_seed_arg $ retries_arg $ deadline_arg $ max_rows_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -362,7 +517,7 @@ let explain_cmd =
       | Error m -> `Error (false, m)
       | Ok text -> (
         match parse_query text with
-        | Error e -> `Error (false, Fmt.str "query: %a" Sparql.pp_error e)
+        | Error e -> query_error e
         | Ok q ->
           let env = Answer.make_env store in
           let cl = Answer.closure env in
@@ -484,12 +639,13 @@ let demo_cmd =
 (* ------------------------------------------------------------------ *)
 
 let federate_cmd =
-  let run paths query query_file limit =
+  let run paths query query_file limit faults fault_seed retries deadline
+      max_rows =
     match read_query ~query ~query_file with
     | Error m -> `Error (false, m)
     | Ok text -> (
       match parse_query text with
-      | Error e -> `Error (false, Fmt.str "query: %a" Sparql.pp_error e)
+      | Error e -> query_error e
       | Ok q -> (
         let graphs =
           List.map
@@ -500,30 +656,42 @@ let federate_cmd =
           List.find_map (function Error m -> Some m | Ok _ -> None) graphs
         with
         | Some m -> `Error (false, m)
-        | None ->
-          let specs =
-            List.map
-              (function
-                | Ok (path, g) -> (Filename.basename path, g, limit)
-                | Error _ -> assert false)
-              graphs
-          in
-          let open Refq_federation in
-          let fed = Federation.of_graphs specs in
-          let show label answers =
-            let rows = Federation.decode fed answers in
-            Fmt.pr "%-18s %6d answer(s)@." label (List.length rows)
-          in
-          show "centralized" (Federation.answer_centralized fed q);
-          show "per-endpoint sat" (Federation.answer_local_sat fed q);
-          show "federated ref" (Federation.answer_ref fed q);
-          List.iter
-            (fun row ->
-              Fmt.pr "  %a@."
-                (Fmt.list ~sep:(Fmt.any " | ") (Namespace.pp_term workload_env))
-                row)
-            (Federation.decode fed (Federation.answer_ref fed q));
-          `Ok ()))
+        | None -> (
+          match make_resilience ~faults ~fault_seed ~retries with
+          | Error m -> `Error (false, m)
+          | Ok resilience ->
+            let budget = make_budget ~deadline ~max_rows in
+            let specs =
+              List.map
+                (function
+                  | Ok (path, g) -> (Filename.basename path, g, limit)
+                  | Error _ -> assert false)
+                graphs
+            in
+            let open Refq_federation in
+            let fed = Federation.of_graphs specs in
+            let show label answers =
+              let rows = Federation.decode fed answers in
+              Fmt.pr "%-18s %6d answer(s)@." label (List.length rows)
+            in
+            let refd, report =
+              Federation.answer_ref ~resilience ?budget fed q
+            in
+            show "centralized" (Federation.answer_centralized fed q);
+            show "per-endpoint sat" (Federation.answer_local_sat fed q);
+            show "federated ref" refd;
+            if
+              faults <> None || budget <> None
+              || report.Answer.verdict <> Answer.Sound_and_complete
+            then Fmt.pr "%a@." Answer.pp_federation_report report;
+            List.iter
+              (fun row ->
+                Fmt.pr "  %a@."
+                  (Fmt.list ~sep:(Fmt.any " | ")
+                     (Namespace.pp_term workload_env))
+                  row)
+              (Federation.decode fed refd);
+            `Ok ())))
   in
   let paths =
     Arg.(
@@ -554,7 +722,10 @@ let federate_cmd =
     (Cmd.info "federate"
        ~doc:
          "Answer a query over several endpoint files: centralized vs           per-endpoint saturation vs federated reformulation")
-    Term.(ret (const run $ paths $ query $ query_file $ limit))
+    Term.(
+      ret
+        (const run $ paths $ query $ query_file $ limit $ faults_arg
+       $ fault_seed_arg $ retries_arg $ deadline_arg $ max_rows_arg))
 
 let () =
   (* Debug logging for the refq.* sources: REFQ_DEBUG=1 refq ... *)
@@ -564,10 +735,27 @@ let () =
   end;
   let doc = "reformulation-based query answering in RDF" in
   let info = Cmd.info "refq" ~version:Version.version ~doc in
+  let group =
+    Cmd.group info
+      [
+        generate_cmd; stats_cmd; answer_cmd; explain_cmd; saturate_cmd;
+        federate_cmd; demo_cmd;
+      ]
+  in
+  (* One-line diagnostics instead of raw backtraces for the failures a
+     user can trigger from the command line. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd; stats_cmd; answer_cmd; explain_cmd; saturate_cmd;
-            federate_cmd; demo_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group with
+    | Refq_reform.Reformulate.Too_large n ->
+      Fmt.epr
+        "refq: reformulation too large (over %d disjuncts); try --strategy \
+         scq or gcov, or set --max-rows/--deadline to accept a degraded \
+         answer@."
+        n;
+      Cmd.Exit.some_error
+    | Refq_fault.Budget.Exhausted reason ->
+      Fmt.epr "refq: budget exhausted: %s@." reason;
+      Cmd.Exit.some_error
+    | Invalid_argument m | Failure m | Sys_error m ->
+      Fmt.epr "refq: %s@." m;
+      Cmd.Exit.some_error)

@@ -74,7 +74,7 @@ let () =
       let count answer = List.length (Federation.decode fed (answer ())) in
       let central = count (fun () -> Federation.answer_centralized fed q) in
       let local = count (fun () -> Federation.answer_local_sat fed q) in
-      let refd = count (fun () -> Federation.answer_ref fed q) in
+      let refd = count (fun () -> fst (Federation.answer_ref fed q)) in
       Fmt.pr "%-5s %12d %11d %-4s %9d %-4s@." name central local
         (if local < central then
            Printf.sprintf "(-%d%%)" ((central - local) * 100 / max 1 central)
@@ -130,11 +130,34 @@ let () =
       let count answer = List.length (Federation.decode fed2 (answer ())) in
       let central = count (fun () -> Federation.answer_centralized fed2 q) in
       let local = count (fun () -> Federation.answer_local_sat fed2 q) in
-      let refd = count (fun () -> Federation.answer_ref fed2 q) in
+      let refd = count (fun () -> fst (Federation.answer_ref fed2 q)) in
       Fmt.pr "%-22s %12d %11d %-4s %9d@." name central local
         (if local < central then
            Printf.sprintf "(-%d%%)" ((central - local) * 100 / max 1 central)
          else "")
         refd)
     [ ("Q6 (local)", List.assoc "Q6" Lubm.queries);
-      ("degree × univ name", cross_query) ]
+      ("degree × univ name", cross_query) ];
+
+  (* Third scenario: endpoints that fail. One university endpoint is dead,
+     another flaps; retries and the circuit breaker keep the rest of the
+     federation answering, and the degradation report says exactly what
+     was lost. *)
+  let module Fault = Refq_fault.Fault in
+  let resilience =
+    {
+      Federation.default_resilience with
+      plan =
+        Fault.make
+          [ ("univ0", Fault.Dead); ("univ1", Fault.Flapping { up = 1; down = 1 }) ];
+      breaker_cooldown = 1_000;
+    }
+  in
+  let q6 = List.assoc "Q6" Lubm.queries in
+  let answers, report = Federation.answer_ref ~resilience fed q6 in
+  Fmt.pr
+    "@.With univ0 dead and univ1 flapping, federated Ref still answers from \
+     the live@.endpoints (Q6: %d of %d answers) and reports the degradation:@.@.%a@."
+    (List.length (Federation.decode fed answers))
+    (List.length (Federation.decode fed (Federation.answer_centralized fed q6)))
+    Refq_core.Answer.pp_federation_report report

@@ -9,6 +9,77 @@ let src = Logs.Src.create "refq.answer" ~doc:"strategy dispatch"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module Budget = Refq_fault.Budget
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-answer reporting (shared with the federation layer)        *)
+(* ------------------------------------------------------------------ *)
+
+type endpoint_contribution =
+  | Complete
+  | Truncated of { returned : int }
+  | Failed of {
+      attempts : int;
+      error : string;
+    }
+  | Skipped_open_circuit
+
+type fragment_report = {
+  fragment : int;
+  contributions : (string * endpoint_contribution) list;
+}
+
+type completeness =
+  | Sound_and_complete
+  | Sound_but_possibly_incomplete
+
+type federation_report = {
+  fragment_reports : fragment_report list;
+  verdict : completeness;
+  budget_stop : string option;
+}
+
+let contribution_complete = function
+  | Complete -> true
+  | Truncated _ | Failed _ | Skipped_open_circuit -> false
+
+let completeness_verdict ?budget_stop fragment_reports =
+  if
+    budget_stop = None
+    && List.for_all
+         (fun fr ->
+           List.for_all (fun (_, c) -> contribution_complete c) fr.contributions)
+         fragment_reports
+  then Sound_and_complete
+  else Sound_but_possibly_incomplete
+
+let pp_completeness ppf = function
+  | Sound_and_complete -> Fmt.string ppf "sound and complete"
+  | Sound_but_possibly_incomplete ->
+    Fmt.string ppf "sound but possibly incomplete"
+
+let pp_contribution ppf = function
+  | Complete -> Fmt.string ppf "complete"
+  | Truncated { returned } -> Fmt.pf ppf "truncated to %d row(s)" returned
+  | Failed { attempts; error } ->
+    Fmt.pf ppf "failed after %d attempt(s): %s" attempts error
+  | Skipped_open_circuit -> Fmt.string ppf "skipped (circuit open)"
+
+let pp_federation_report ppf r =
+  Fmt.pf ppf "@[<v>verdict: %a" pp_completeness r.verdict;
+  (match r.budget_stop with
+  | Some reason -> Fmt.pf ppf "@,budget stop: %s" reason
+  | None -> ());
+  List.iter
+    (fun fr ->
+      Fmt.pf ppf "@,fragment %d:" (fr.fragment + 1);
+      List.iter
+        (fun (endpoint, c) ->
+          Fmt.pf ppf "@,  %-16s %a" endpoint pp_contribution c)
+        fr.contributions)
+    r.fragment_reports;
+  Fmt.pf ppf "@]"
+
 type backend =
   | Nested_loop
   | Sort_merge
@@ -86,11 +157,11 @@ let positional_cols q =
 
 (* Evaluate a JUCQ while recording materialized fragment cardinalities
    (mirrors [Evaluator.jucq], which cannot expose intermediates). *)
-let eval_jucq_with_cards ~backend env (j : Jucq.t) =
+let eval_jucq_with_cards ?budget ~backend env (j : Jucq.t) =
   let ucq_eval, join =
     match backend with
-    | Nested_loop -> (Evaluator.ucq, Evaluator.join)
-    | Sort_merge -> (Sortmerge.ucq, Sortmerge.merge_join)
+    | Nested_loop -> (Evaluator.ucq ?budget, Evaluator.join ?budget)
+    | Sort_merge -> (Sortmerge.ucq ?budget, Sortmerge.merge_join ?budget)
   in
   let fragments =
     List.map
@@ -118,7 +189,7 @@ let eval_jucq_with_cards ~backend env (j : Jucq.t) =
         r
       | first :: rest -> List.fold_left join first rest
     in
-    let seen = Hashtbl.create 64 in
+    let add = Relation.distinct_adder result in
     let out_row = Array.make (Array.length head) 0 in
     Relation.iter_rows joined (fun row ->
         Array.iteri
@@ -128,11 +199,7 @@ let eval_jucq_with_cards ~backend env (j : Jucq.t) =
               out_row.(i) <- row.(Option.get (Relation.col_index joined v))
             | Cq.Cst t -> out_row.(i) <- Store.encode_term env.store t)
           head;
-        if not (Hashtbl.mem seen out_row) then begin
-          let key = Array.copy out_row in
-          Hashtbl.add seen key ();
-          Relation.add_row result key
-        end);
+        add out_row);
     (result, cards)
   end
 
@@ -154,8 +221,14 @@ let minimize_jucq (j : Jucq.t) =
   }
 
 let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
-    ~max_disjuncts env q strategy cover gcov_trace =
+    ?budget ~max_disjuncts env q strategy cover gcov_trace =
   ignore params;
+  let max_disjuncts =
+    (* The budget's reformulation cap tightens the caller's limit. *)
+    match Option.bind budget Budget.max_disjuncts with
+    | Some m -> min m max_disjuncts
+    | None -> max_disjuncts
+  in
   let t0 = now () in
   match Reformulate.cover_to_jucq ?profile ~max_disjuncts env.closure q cover with
   | exception Reformulate.Too_large n ->
@@ -169,60 +242,76 @@ let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
             max_disjuncts n;
         f_reformulation_s = now () -. t0;
       }
-  | jucq ->
+  | jucq -> (
     let jucq = if minimize then minimize_jucq jucq else jucq in
     Log.debug (fun m ->
         m "%a: cover %a, %d disjuncts in %d fragments" Strategy.pp strategy
           Cover.pp cover (Jucq.size jucq) (Jucq.n_fragments jucq));
     let t1 = now () in
-    let answers, cards = eval_jucq_with_cards ~backend env jucq in
-    let t2 = now () in
-    Ok
-      {
-        strategy;
-        answers;
-        reformulation_s = t1 -. t0;
-        evaluation_s = t2 -. t1;
-        detail =
-          Reformulated
-            {
-              cover;
-              jucq_size = Jucq.size jucq;
-              n_fragments = Jucq.n_fragments jucq;
-              fragment_cardinalities = cards;
-              gcov = gcov_trace;
-            };
-      }
+    match eval_jucq_with_cards ?budget ~backend env jucq with
+    | exception Budget.Exhausted reason ->
+      Error
+        {
+          f_strategy = strategy;
+          reason = "budget exhausted: " ^ reason;
+          f_reformulation_s = t1 -. t0;
+        }
+    | answers, cards ->
+      let t2 = now () in
+      Ok
+        {
+          strategy;
+          answers;
+          reformulation_s = t1 -. t0;
+          evaluation_s = t2 -. t1;
+          detail =
+            Reformulated
+              {
+                cover;
+                jucq_size = Jucq.size jucq;
+                n_fragments = Jucq.n_fragments jucq;
+                fragment_cardinalities = cards;
+                gcov = gcov_trace;
+              };
+        })
 
-let answer ?profile ?params ?minimize ?backend
+let answer ?profile ?params ?minimize ?backend ?budget
     ?(max_disjuncts = default_max) env q strategy =
   let n_atoms = List.length q.Cq.body in
   match strategy with
-  | Strategy.Saturation ->
+  | Strategy.Saturation -> (
     let t0 = now () in
     let _, info, sat_cenv = saturated_full env in
     let t1 = now () in
     let eval_cq =
       match Option.value ~default:Nested_loop backend with
-      | Nested_loop -> fun env ~cols q -> Evaluator.cq env ~cols q
-      | Sort_merge -> fun env ~cols q -> Sortmerge.cq env ~cols q
+      | Nested_loop -> fun env ~cols q -> Evaluator.cq ?budget env ~cols q
+      | Sort_merge -> fun env ~cols q -> Sortmerge.cq ?budget env ~cols q
     in
-    let answers = eval_cq sat_cenv ~cols:(positional_cols q) q in
-    let t2 = now () in
-    Ok
-      {
-        strategy;
-        answers;
-        reformulation_s = t1 -. t0;
-        evaluation_s = t2 -. t1;
-        detail = Saturated info;
-      }
+    match eval_cq sat_cenv ~cols:(positional_cols q) q with
+    | exception Budget.Exhausted reason ->
+      Error
+        {
+          f_strategy = strategy;
+          reason = "budget exhausted: " ^ reason;
+          f_reformulation_s = t1 -. t0;
+        }
+    | answers ->
+      let t2 = now () in
+      Ok
+        {
+          strategy;
+          answers;
+          reformulation_s = t1 -. t0;
+          evaluation_s = t2 -. t1;
+          detail = Saturated info;
+        })
   | Strategy.Ucq ->
-    run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q strategy
-      (Cover.one_fragment ~n_atoms) None
+    run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env q
+      strategy (Cover.one_fragment ~n_atoms) None
   | Strategy.Scq ->
-    run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q strategy
-      (Cover.singleton ~n_atoms) None
+    run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env q
+      strategy (Cover.singleton ~n_atoms) None
   | Strategy.Jucq cover ->
     if Cover.n_atoms cover <> n_atoms then
       Error
@@ -232,7 +321,7 @@ let answer ?profile ?params ?minimize ?backend
           f_reformulation_s = 0.0;
         }
     else
-      run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q
+      run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env q
         strategy cover None
   | Strategy.Gcov ->
     let t0 = now () in
@@ -240,8 +329,8 @@ let answer ?profile ?params ?minimize ?backend
     let search_s = now () -. t0 in
     Result.map
       (fun r -> { r with reformulation_s = r.reformulation_s +. search_s })
-      (run_cover ?profile ?params ?minimize ?backend ~max_disjuncts env q
-         strategy trace.Gcov.chosen (Some trace))
+      (run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env
+         q strategy trace.Gcov.chosen (Some trace))
   | Strategy.Datalog ->
     let t0 = now () in
     let answers, stats = Refq_datalog.Rdf_encoding.answer env.store q in
@@ -255,14 +344,17 @@ let answer ?profile ?params ?minimize ?backend
         detail = Datalog_run stats;
       }
 
-let answer_union ?profile ?params ?minimize ?backend ?max_disjuncts env u
-    strategy =
+let answer_union ?profile ?params ?minimize ?backend ?budget ?max_disjuncts
+    env u strategy =
   (* A union of BGP queries is answered disjunct by disjunct: answering
      commutes with union (q1 ∪ q2 over G∞ = answers(q1) ∪ answers(q2)). *)
   let rec loop acc_rel acc_reports = function
     | [] -> Ok (acc_rel, List.rev acc_reports)
     | q :: rest -> (
-      match answer ?profile ?params ?minimize ?backend ?max_disjuncts env q strategy with
+      match
+        answer ?profile ?params ?minimize ?backend ?budget ?max_disjuncts env
+          q strategy
+      with
       | Error f -> Error f
       | Ok r ->
         let acc_rel =
@@ -270,17 +362,9 @@ let answer_union ?profile ?params ?minimize ?backend ?max_disjuncts env u
           | None -> Some (Relation.dedup r.answers)
           | Some acc ->
             let merged = Relation.create ~cols:(Relation.cols acc) in
-            let seen = Hashtbl.create 64 in
-            let push rel =
-              Relation.iter_rows rel (fun row ->
-                  if not (Hashtbl.mem seen row) then begin
-                    let key = Array.copy row in
-                    Hashtbl.add seen key ();
-                    Relation.add_row merged key
-                  end)
-            in
-            push acc;
-            push r.answers;
+            let push = Relation.distinct_adder merged in
+            Relation.iter_rows acc push;
+            Relation.iter_rows r.answers push;
             Some merged
         in
         loop acc_rel (r :: acc_reports) rest)

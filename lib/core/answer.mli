@@ -38,6 +38,58 @@ type backend =
   | Nested_loop  (** index nested loops + hash joins ({!Refq_engine.Evaluator}) *)
   | Sort_merge  (** materialize + sort-merge joins ({!Refq_engine.Sortmerge}) *)
 
+(** {1 Degraded-answer reporting}
+
+    Shared vocabulary for answering under endpoint failure and execution
+    budgets (produced by {!Refq_federation.Federation.answer_ref}, and by
+    {!answer} when a {!Refq_fault.Budget.t} trips). Missing contributions
+    only ever {e lose} answers — reformulation-based answering never
+    invents rows — so a degraded answer is sound, and the verdict records
+    whether it is also provably complete. *)
+
+type endpoint_contribution =
+  | Complete  (** the endpoint returned everything it had for this fragment *)
+  | Truncated of { returned : int }
+      (** an answer limit or injected truncation cut the result *)
+  | Failed of {
+      attempts : int;  (** call attempts made, including retries *)
+      error : string;  (** the last error observed *)
+    }
+  | Skipped_open_circuit
+      (** the endpoint's circuit breaker was open; no call was attempted *)
+
+type fragment_report = {
+  fragment : int;  (** 0-based fragment index in the JUCQ *)
+  contributions : (string * endpoint_contribution) list;
+      (** per endpoint name, in federation endpoint order *)
+}
+
+type completeness =
+  | Sound_and_complete
+      (** every fragment got every endpoint's full contribution and no
+          budget tripped: the answer equals the fault-free one *)
+  | Sound_but_possibly_incomplete
+      (** some contribution was lost or cut; the returned rows are still
+          correct answers *)
+
+type federation_report = {
+  fragment_reports : fragment_report list;
+  verdict : completeness;
+  budget_stop : string option;
+      (** why evaluation stopped early, when the budget tripped *)
+}
+
+val completeness_verdict :
+  ?budget_stop:string -> fragment_report list -> completeness
+(** Derive the overall verdict: complete iff no budget stop and every
+    contribution of every fragment is [Complete]. *)
+
+val pp_completeness : completeness Fmt.t
+
+val pp_contribution : endpoint_contribution Fmt.t
+
+val pp_federation_report : federation_report Fmt.t
+
 type detail =
   | Reformulated of {
       cover : Cover.t;
@@ -73,6 +125,7 @@ val answer :
   ?params:Cost_model.params ->
   ?minimize:bool ->
   ?backend:backend ->
+  ?budget:Refq_fault.Budget.t ->
   ?max_disjuncts:int ->
   env ->
   Cq.t ->
@@ -86,13 +139,17 @@ val answer :
     disjuncts are left as-is: minimization is quadratic). [backend]
     (default [Nested_loop]) selects the physical engine — the paper runs
     every strategy on several systems to show the trade-offs are
-    engine-independent. *)
+    engine-independent. [budget] caps evaluation work: its reformulation
+    cap tightens [max_disjuncts], and a tripped deadline or row cap yields
+    [Error] with a ["budget exhausted"] reason (all strategies except
+    [Datalog], whose engine is the external-system stand-in). *)
 
 val answer_union :
   ?profile:Refq_reform.Profiles.t ->
   ?params:Cost_model.params ->
   ?minimize:bool ->
   ?backend:backend ->
+  ?budget:Refq_fault.Budget.t ->
   ?max_disjuncts:int ->
   env ->
   Ucq.t ->

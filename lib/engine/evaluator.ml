@@ -2,6 +2,13 @@ open Refq_query
 open Refq_storage
 open Refq_cost
 module Int_vec = Refq_util.Int_vec
+module Budget = Refq_fault.Budget
+
+(* Budget polling: one charge per intermediate row produced. With no
+   budget the closure is a no-op, keeping the hot path unchanged. *)
+let spender = function
+  | None -> fun _ -> ()
+  | Some b -> fun n -> Budget.charge_rows b n
 
 (* ------------------------------------------------------------------ *)
 (* CQ evaluation: index nested loops over partial binding tuples       *)
@@ -25,7 +32,8 @@ let default_cols q =
          match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
        q.Cq.head)
 
-let cq env ?cols q =
+let cq ?budget env ?cols q =
+  let spend = spender budget in
   let store = env.Cardinality.store in
   let cols = match cols with Some c -> c | None -> default_cols q in
   if Array.length cols <> List.length q.Cq.head then
@@ -121,6 +129,7 @@ let cq env ?cols q =
                 && (match o with Check i -> row.(i) = to_ | _ -> true)
               in
               if checks_ok then begin
+                spend 1;
                 Int_vec.append_array next row;
                 incr nnext
               end)
@@ -131,7 +140,7 @@ let cq env ?cols q =
     (* Project the head. *)
     let head = Array.of_list q.Cq.head in
     let out_row = Array.make (Array.length head) 0 in
-    let seen = Hashtbl.create 64 in
+    let add = Relation.distinct_adder result in
     for t = 0 to !ncur - 1 do
       Int_vec.blit_to !current (t * width) row 0 width;
       Array.iteri
@@ -140,11 +149,7 @@ let cq env ?cols q =
           | Cq.Var v -> out_row.(i) <- row.(slot_of v)
           | Cq.Cst term -> out_row.(i) <- Store.encode_term store term)
         head;
-      if not (Hashtbl.mem seen out_row) then begin
-        let key = Array.copy out_row in
-        Hashtbl.add seen key ();
-        Relation.add_row result key
-      end
+      add out_row
     done;
     result
 
@@ -152,18 +157,13 @@ let cq env ?cols q =
 (* UCQ evaluation                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let ucq env ~cols u =
+let ucq ?budget env ~cols u =
   let result = Relation.create ~cols in
-  let seen = Hashtbl.create 256 in
+  let add = Relation.distinct_adder ~size_hint:256 result in
   List.iter
     (fun q ->
-      let r = cq env ~cols q in
-      Relation.iter_rows r (fun row ->
-          if not (Hashtbl.mem seen row) then begin
-            let key = Array.copy row in
-            Hashtbl.add seen key ();
-            Relation.add_row result key
-          end))
+      let r = cq ?budget env ~cols q in
+      Relation.iter_rows r add)
     (Ucq.disjuncts u);
   result
 
@@ -171,7 +171,8 @@ let ucq env ~cols u =
 (* Joins and JUCQ evaluation                                           *)
 (* ------------------------------------------------------------------ *)
 
-let join r1 r2 =
+let join ?budget r1 r2 =
+  let spend = spender budget in
   (* Build on the smaller side. *)
   let build, probe = if Relation.cardinality r1 <= Relation.cardinality r2 then (r1, r2) else (r2, r1) in
   let bcols = Relation.cols build and pcols = Relation.cols probe in
@@ -213,6 +214,7 @@ let join r1 r2 =
       | Some brows ->
         List.iter
           (fun brow ->
+            spend 1;
             Array.blit brow 0 out_row 0 (Array.length brow);
             List.iteri
               (fun k i -> out_row.(Array.length brow + k) <- prow.(i))
@@ -264,11 +266,11 @@ let join_order relations =
       (List.filter (fun r -> r != first) relations)
       [ first ]
 
-let jucq env (j : Jucq.t) =
+let jucq ?budget env (j : Jucq.t) =
   let store = env.Cardinality.store in
   let fragments =
     List.map
-      (fun f -> ucq env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
+      (fun f -> ucq ?budget env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
       j.Jucq.fragments
   in
   let head = Array.of_list j.Jucq.head in
@@ -294,10 +296,10 @@ let jucq env (j : Jucq.t) =
         let r = Relation.create ~cols:[||] in
         Relation.add_row r [||];
         r
-      | first :: rest -> List.fold_left join first rest
+      | first :: rest -> List.fold_left (join ?budget) first rest
     in
     let result = empty_result () in
-    let seen = Hashtbl.create 64 in
+    let add = Relation.distinct_adder result in
     let out_row = Array.make (Array.length head) 0 in
     Relation.iter_rows joined (fun row ->
         Array.iteri
@@ -312,10 +314,6 @@ let jucq env (j : Jucq.t) =
                 assert false)
             | Cq.Cst t -> out_row.(i) <- Store.encode_term store t)
           head;
-        if not (Hashtbl.mem seen out_row) then begin
-          let key = Array.copy out_row in
-          Hashtbl.add seen key ();
-          Relation.add_row result key
-        end);
+        add out_row);
     result
   end

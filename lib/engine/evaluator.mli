@@ -10,20 +10,37 @@
 open Refq_query
 open Refq_cost
 
-val cq : Cardinality.env -> ?cols:string array -> Cq.t -> Relation.t
+(** All entry points accept an optional {!Refq_fault.Budget.t}: the
+    evaluator polls it, charging one budget row per intermediate tuple it
+    produces, so a deadline or row cap aborts evaluation early (with
+    {!Refq_fault.Budget.Exhausted}) instead of running to completion.
+    Without a budget the behaviour and cost are unchanged. *)
+
+val cq :
+  ?budget:Refq_fault.Budget.t ->
+  Cardinality.env ->
+  ?cols:string array ->
+  Cq.t ->
+  Relation.t
 (** Evaluate a CQ; the result has one column per head position, named by
     [cols] when given (default: head variable names, [_k<i>] for constant
     positions). Results are duplicate-free. *)
 
-val ucq : Cardinality.env -> cols:string array -> Ucq.t -> Relation.t
+val ucq :
+  ?budget:Refq_fault.Budget.t ->
+  Cardinality.env ->
+  cols:string array ->
+  Ucq.t ->
+  Relation.t
 (** Evaluate a UCQ; disjunct heads map positionally onto [cols]. *)
 
-val jucq : Cardinality.env -> Jucq.t -> Relation.t
+val jucq : ?budget:Refq_fault.Budget.t -> Cardinality.env -> Jucq.t -> Relation.t
 (** Evaluate a JUCQ: fragments are materialized ({!ucq} with the
     fragment's output columns), hash-joined on shared column names, and
     projected on the JUCQ head. *)
 
-val join : Relation.t -> Relation.t -> Relation.t
+val join :
+  ?budget:Refq_fault.Budget.t -> Relation.t -> Relation.t -> Relation.t
 (** Natural hash join on shared column names (cartesian product when
     disjoint). Exposed for tests. *)
 

@@ -39,15 +39,19 @@ let col_index r name =
   in
   loop 0
 
+let distinct_adder ?(size_hint = 64) r =
+  let seen = Hashtbl.create (max 16 size_hint) in
+  fun row ->
+    if not (Hashtbl.mem seen row) then begin
+      let key = Array.copy row in
+      Hashtbl.add seen key ();
+      add_row r key
+    end
+
 let dedup r =
   let out = create ~cols:r.cols in
-  let seen = Hashtbl.create (max 16 r.nrows) in
-  iter_rows r (fun row ->
-      if not (Hashtbl.mem seen row) then begin
-        let key = Array.copy row in
-        Hashtbl.add seen key ();
-        add_row out key
-      end);
+  let add = distinct_adder ~size_hint:r.nrows out in
+  iter_rows r add;
   out
 
 let truncate r n =

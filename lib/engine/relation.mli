@@ -27,6 +27,12 @@ val iter_rows : t -> (int array -> unit) -> unit
 (** The callback receives a buffer that is {e reused} across rows; copy it
     if it escapes the callback. *)
 
+val distinct_adder : ?size_hint:int -> t -> int array -> unit
+(** [distinct_adder r] is a stateful adder: [adder row] appends a copy of
+    [row] to [r] unless an equal row was already appended through this
+    adder. The shared duplicate-elimination pattern of every union /
+    projection site (safe to feed the reused {!iter_rows} buffer). *)
+
 val dedup : t -> t
 (** A new relation without duplicate rows (original order of first
     occurrences). *)

@@ -1,6 +1,11 @@
 open Refq_query
 open Refq_storage
 open Refq_cost
+module Budget = Refq_fault.Budget
+
+let spender = function
+  | None -> fun _ -> ()
+  | Some b -> fun n -> Budget.charge_rows b n
 
 (* ------------------------------------------------------------------ *)
 (* Sorting helpers                                                     *)
@@ -47,7 +52,8 @@ let sort_unique ~cols rows =
 (* Sort-merge join                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let merge_join r1 r2 =
+let merge_join ?budget r1 r2 =
+  let spend = spender budget in
   let cols1 = Relation.cols r1 and cols2 = Relation.cols r2 in
   let shared =
     Array.to_list cols1 |> List.filter (fun c -> Array.exists (String.equal c) cols2)
@@ -69,6 +75,7 @@ let merge_join r1 r2 =
     |> List.map fst
   in
   let emit row1 row2 =
+    spend 1;
     let out = Array.make (Array.length out_cols) 0 in
     Array.blit row1 0 out 0 (Array.length row1);
     List.iteri (fun k i -> out.(Array.length row1 + k) <- row2.(i)) extra2;
@@ -125,7 +132,8 @@ exception Absent_constant
 
 (* A relation holding the matches of one triple pattern, with one column
    per distinct variable of the atom. *)
-let materialize_atom env (a : Cq.atom) =
+let materialize_atom ?budget env (a : Cq.atom) =
+  let spend = spender budget in
   let store = env.Cardinality.store in
   let id_of = function
     | Cq.Cst t -> (
@@ -167,7 +175,10 @@ let materialize_atom env (a : Cq.atom) =
               row.(i) <- value
             end)
         [ (s, ts); (p, tp); (o, to_) ];
-      if !ok then Relation.add_row rel (Array.copy row));
+      if !ok then begin
+        spend 1;
+        Relation.add_row rel (Array.copy row)
+      end);
   rel
 
 let unit_relation () =
@@ -202,7 +213,7 @@ let project_rows env head joined =
   in
   sort_unique ~cols:cols_of_head out
 
-let cq env ?cols q =
+let cq ?budget env ?cols q =
   let default_cols =
     Array.of_list
       (List.mapi
@@ -212,7 +223,7 @@ let cq env ?cols q =
   in
   let cols = match cols with Some c -> c | None -> default_cols in
   match
-    let atoms = List.map (materialize_atom env) q.Cq.body in
+    let atoms = List.map (materialize_atom ?budget env) q.Cq.body in
     let joined =
       match Evaluator.join_order (List.filter (fun r -> Relation.arity r > 0) atoms) with
       | [] ->
@@ -222,7 +233,7 @@ let cq env ?cols q =
       | first :: rest ->
         if List.exists (fun r -> Relation.cardinality r = 0) atoms then
           Relation.create ~cols:(Relation.cols first)
-        else List.fold_left merge_join first rest
+        else List.fold_left (merge_join ?budget) first rest
     in
     let projected = project_rows env q.Cq.head joined in
     (* Rename to the requested column names (arities match). *)
@@ -233,20 +244,20 @@ let cq env ?cols q =
   | rel -> rel
   | exception Absent_constant -> Relation.create ~cols
 
-let ucq env ~cols u =
+let ucq ?budget env ~cols u =
   let rows =
     List.concat_map
       (fun q ->
-        let r = cq env ~cols q in
+        let r = cq ?budget env ~cols q in
         Array.to_list (rows_of r))
       (Ucq.disjuncts u)
   in
   sort_unique ~cols (Array.of_list rows)
 
-let jucq env (j : Jucq.t) =
+let jucq ?budget env (j : Jucq.t) =
   let fragments =
     List.map
-      (fun f -> ucq env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
+      (fun f -> ucq ?budget env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
       j.Jucq.fragments
   in
   let head = j.Jucq.head in
@@ -264,7 +275,7 @@ let jucq env (j : Jucq.t) =
     let joined =
       match Evaluator.join_order joinable with
       | [] -> unit_relation ()
-      | first :: rest -> List.fold_left merge_join first rest
+      | first :: rest -> List.fold_left (merge_join ?budget) first rest
     in
     project_rows env head joined
   end

@@ -11,15 +11,30 @@
 open Refq_query
 open Refq_cost
 
-val cq : Cardinality.env -> ?cols:string array -> Cq.t -> Relation.t
+(** Like {!Evaluator}, every entry point polls an optional
+    {!Refq_fault.Budget.t} (one row charged per materialized or joined
+    tuple), so budgets behave the same on both physical backends. *)
+
+val cq :
+  ?budget:Refq_fault.Budget.t ->
+  Cardinality.env ->
+  ?cols:string array ->
+  Cq.t ->
+  Relation.t
 (** Materialize every atom, sort-merge-join them smallest-connected-first,
     project and sort-deduplicate. Result is identical (as a set) to
     {!Evaluator.cq}. *)
 
-val ucq : Cardinality.env -> cols:string array -> Ucq.t -> Relation.t
+val ucq :
+  ?budget:Refq_fault.Budget.t ->
+  Cardinality.env ->
+  cols:string array ->
+  Ucq.t ->
+  Relation.t
 
-val jucq : Cardinality.env -> Jucq.t -> Relation.t
+val jucq : ?budget:Refq_fault.Budget.t -> Cardinality.env -> Jucq.t -> Relation.t
 
-val merge_join : Relation.t -> Relation.t -> Relation.t
+val merge_join :
+  ?budget:Refq_fault.Budget.t -> Relation.t -> Relation.t -> Relation.t
 (** Sort-merge natural join on shared column names (cartesian product when
     disjoint). Exposed for tests. *)

@@ -1,0 +1,44 @@
+type state =
+  | Closed
+  | Open
+  | Half_open
+
+type t = {
+  threshold : int;
+  cooldown : int;
+  mutable failures : int;  (** consecutive failures *)
+  mutable opened_at : int option;  (** tick when the breaker opened *)
+}
+
+let create ?(threshold = 3) ?(cooldown = 50) () =
+  if threshold <= 0 then invalid_arg "Breaker.create: threshold must be positive";
+  if cooldown <= 0 then invalid_arg "Breaker.create: cooldown must be positive";
+  { threshold; cooldown; failures = 0; opened_at = None }
+
+let state t ~now =
+  match t.opened_at with
+  | None -> Closed
+  | Some at -> if now - at >= t.cooldown then Half_open else Open
+
+let allow t ~now = state t ~now <> Open
+
+let record_success t =
+  t.failures <- 0;
+  t.opened_at <- None
+
+let record_failure t ~now =
+  t.failures <- t.failures + 1;
+  match t.opened_at with
+  | Some at ->
+    (* A failed half-open probe re-opens for a fresh cooldown; failures
+       recorded while already open (e.g. in-flight retries) keep the
+       original opening time. *)
+    if now - at >= t.cooldown then t.opened_at <- Some now
+  | None -> if t.failures >= t.threshold then t.opened_at <- Some now
+
+let consecutive_failures t = t.failures
+
+let pp_state ppf = function
+  | Closed -> Fmt.string ppf "closed"
+  | Open -> Fmt.string ppf "open"
+  | Half_open -> Fmt.string ppf "half-open"

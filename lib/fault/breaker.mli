@@ -1,0 +1,42 @@
+(** Per-endpoint circuit breakers.
+
+    A breaker protects the federation from hammering a dead endpoint:
+
+    - {e Closed}: calls flow normally; consecutive failures are counted.
+    - {e Open}: entered after [threshold] consecutive failures; calls are
+      refused without being attempted.
+    - {e Half-open}: once [cooldown] {!Sim_clock} ticks have elapsed since
+      the breaker opened, one probe call is allowed through — success
+      closes the breaker, failure re-opens it for another cooldown.
+
+    Time is the caller's simulated clock, passed explicitly as [now], so
+    breaker behaviour is deterministic and testable. *)
+
+type t
+
+type state =
+  | Closed
+  | Open
+  | Half_open
+
+val create : ?threshold:int -> ?cooldown:int -> unit -> t
+(** [threshold] (default 3) consecutive failures open the breaker;
+    [cooldown] (default 50 ticks) is the open period before a half-open
+    probe. @raise Invalid_argument when either is not positive. *)
+
+val state : t -> now:int -> state
+
+val allow : t -> now:int -> bool
+(** Whether a call may be attempted now: [true] in [Closed] and
+    [Half_open] (the probe), [false] in [Open]. *)
+
+val record_success : t -> unit
+(** Reset the failure count and close the breaker. *)
+
+val record_failure : t -> now:int -> unit
+(** Count a failed attempt: may open a closed breaker, and re-opens (with
+    a fresh cooldown) after a failed half-open probe. *)
+
+val consecutive_failures : t -> int
+
+val pp_state : state Fmt.t

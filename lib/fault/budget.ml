@@ -1,0 +1,62 @@
+type t = {
+  clock : Sim_clock.t;
+  deadline : int option;  (** absolute tick *)
+  max_rows : int option;
+  max_disjuncts : int option;
+  mutable rows : int;
+  mutable stopped : string option;
+}
+
+exception Exhausted of string
+
+let create ?deadline ?max_rows ?max_disjuncts ?clock () =
+  let clock = match clock with Some c -> c | None -> Sim_clock.create () in
+  {
+    clock;
+    deadline = Option.map (fun d -> Sim_clock.now clock + d) deadline;
+    max_rows;
+    max_disjuncts;
+    rows = 0;
+    stopped = None;
+  }
+
+let unlimited () = create ()
+
+let clock t = t.clock
+
+let max_disjuncts t = t.max_disjuncts
+
+let rows_charged t = t.rows
+
+let stop_reason t = t.stopped
+
+let exhaust t reason =
+  (* Keep the first reason: later checks replay it. *)
+  if t.stopped = None then t.stopped <- Some reason;
+  raise (Exhausted (Option.get t.stopped))
+
+let check t =
+  match t.stopped with
+  | Some reason -> raise (Exhausted reason)
+  | None ->
+    (match t.deadline with
+    | Some d when Sim_clock.now t.clock > d ->
+      exhaust t
+        (Printf.sprintf "deadline exceeded (tick %d past deadline %d)"
+           (Sim_clock.now t.clock) d)
+    | _ -> ());
+    (match t.max_rows with
+    | Some m when t.rows > m ->
+      exhaust t
+        (Printf.sprintf "row budget exceeded (%d rows produced, cap %d)"
+           t.rows m)
+    | _ -> ())
+
+let charge_rows t n =
+  t.rows <- t.rows + n;
+  Sim_clock.advance t.clock n;
+  check t
+
+let charge_ticks t n =
+  Sim_clock.advance t.clock n;
+  check t

@@ -1,0 +1,69 @@
+(** Per-query execution budgets.
+
+    A budget caps how much work one query is allowed to do before the
+    engine must stop and report a degraded (sound but possibly incomplete)
+    answer instead of running to completion:
+
+    - a {e deadline}: a latest {!Sim_clock} tick by which evaluation must
+      finish — endpoint calls, injected timeouts, retry backoff and row
+      production all consume ticks;
+    - a {e row cap}: a maximum total number of intermediate-relation rows
+      the evaluation pipeline may produce;
+    - a {e reformulation cap}: a maximum number of UCQ disjuncts a
+      reformulation may have (enforced by the reformulation step through
+      {!max_disjuncts}).
+
+    The handle is {e polled}: the evaluator and the federation layer call
+    {!charge_rows} / {!charge_ticks} as they work, and the first charge
+    that exceeds a cap raises {!Exhausted}. Once exhausted, a budget stays
+    exhausted — later checks re-raise with the original reason. *)
+
+type t
+
+exception Exhausted of string
+(** Raised by the charging functions when a cap is exceeded. The payload
+    is a one-line human-readable reason ("deadline exceeded ...",
+    "row budget exceeded ..."). *)
+
+val create :
+  ?deadline:int ->
+  ?max_rows:int ->
+  ?max_disjuncts:int ->
+  ?clock:Sim_clock.t ->
+  unit ->
+  t
+(** [create ~deadline ~max_rows ~max_disjuncts ~clock ()] is a budget over
+    [clock] (a fresh clock when omitted). [deadline] is {e relative} to the
+    clock's current time; omitted caps are unlimited. *)
+
+val unlimited : unit -> t
+(** A budget with no caps (and its own fresh clock): charging only
+    advances the clock. Useful as a default so that one code path serves
+    both budgeted and unbudgeted execution. *)
+
+val clock : t -> Sim_clock.t
+
+val max_disjuncts : t -> int option
+
+val rows_charged : t -> int
+
+val charge_rows : t -> int -> unit
+(** Account for [n] intermediate rows of work. Each row also advances the
+    clock by one tick, so a deadline bounds pure evaluation work too.
+    @raise Exhausted when a cap is exceeded. *)
+
+val charge_ticks : t -> int -> unit
+(** Advance the clock by [n] ticks (call latency, backoff, timeout) and
+    check the deadline. @raise Exhausted when the deadline is exceeded. *)
+
+val check : t -> unit
+(** Re-check the caps without charging anything.
+    @raise Exhausted when already over. *)
+
+val exhaust : t -> string -> 'a
+(** Mark the budget exhausted for [reason] and raise {!Exhausted}. Used
+    when a cap is detected outside the charging functions (e.g. the
+    reformulation size check). *)
+
+val stop_reason : t -> string option
+(** The reason of the first exhaustion, if any. *)

@@ -1,0 +1,162 @@
+module Splitmix64 = Refq_util.Splitmix64
+
+type mode =
+  | Healthy
+  | Dead
+  | Flaky of float
+  | Slow of float
+  | Truncating of int
+  | Flapping of { up : int; down : int }
+  | Fail_first of int
+
+type outcome =
+  | Success
+  | Fail of string
+  | Timeout
+  | Truncate of int
+
+type endpoint_state = {
+  mode : mode;
+  rng : Splitmix64.t;
+  mutable calls : int;
+}
+
+type t = { states : (string, endpoint_state) Hashtbl.t }
+
+let none = { states = Hashtbl.create 0 }
+
+(* A stable 64-bit mix of the endpoint name, so each endpoint gets an
+   independent stream: interleaving calls across endpoints cannot shift
+   any endpoint's fault sequence. *)
+let name_key name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001B3L)
+    name;
+  !h
+
+let make ?(seed = 0x5EEDL) modes =
+  let states = Hashtbl.create (max 8 (List.length modes)) in
+  List.iter
+    (fun (name, mode) ->
+      if Hashtbl.mem states name then
+        invalid_arg
+          (Printf.sprintf "Fault.make: duplicate endpoint name %S" name);
+      let rng = Splitmix64.create (Int64.logxor seed (name_key name)) in
+      Hashtbl.add states name { mode; rng; calls = 0 })
+    modes;
+  { states }
+
+let validate_mode name = function
+  | Flaky p | Slow p ->
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg
+        (Printf.sprintf "Fault.make: %s: probability %g outside [0,1]" name p)
+  | Truncating n | Fail_first n ->
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Fault.make: %s: negative count %d" name n)
+  | Flapping { up; down } ->
+    if up <= 0 || down <= 0 then
+      invalid_arg
+        (Printf.sprintf "Fault.make: %s: flap phases must be positive" name)
+  | Healthy | Dead -> ()
+
+let make ?seed modes =
+  List.iter (fun (name, mode) -> validate_mode name mode) modes;
+  make ?seed modes
+
+let outcome t name =
+  match Hashtbl.find_opt t.states name with
+  | None -> Success
+  | Some st ->
+    let k = st.calls in
+    st.calls <- st.calls + 1;
+    (match st.mode with
+    | Healthy -> Success
+    | Dead -> Fail "injected: endpoint down"
+    | Flaky p ->
+      if Splitmix64.float st.rng 1.0 < p then Fail "injected: transient fault"
+      else Success
+    | Slow p -> if Splitmix64.float st.rng 1.0 < p then Timeout else Success
+    | Truncating n -> Truncate n
+    | Flapping { up; down } ->
+      if k mod (up + down) < up then Success
+      else Fail "injected: endpoint flapping"
+    | Fail_first n -> if k < n then Fail "injected: not yet available" else Success)
+
+let calls t name =
+  match Hashtbl.find_opt t.states name with None -> 0 | Some st -> st.calls
+
+let parse ?seed spec =
+  let parse_mode s =
+    match String.split_on_char ':' (String.trim s) with
+    | [ "healthy" ] -> Ok Healthy
+    | [ "dead" ] -> Ok Dead
+    | [ "flaky"; p ] -> (
+      match float_of_string_opt p with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Flaky p)
+      | _ -> Error (Printf.sprintf "flaky: bad probability %S" p))
+    | [ "slow"; p ] -> (
+      match float_of_string_opt p with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Slow p)
+      | _ -> Error (Printf.sprintf "slow: bad probability %S" p))
+    | [ "trunc"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Ok (Truncating n)
+      | _ -> Error (Printf.sprintf "trunc: bad row count %S" n))
+    | [ "flap"; up; down ] -> (
+      match int_of_string_opt up, int_of_string_opt down with
+      | Some up, Some down when up > 0 && down > 0 -> Ok (Flapping { up; down })
+      | _ -> Error (Printf.sprintf "flap: bad phases %S:%S" up down))
+    | [ "failfirst"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Ok (Fail_first n)
+      | _ -> Error (Printf.sprintf "failfirst: bad count %S" n))
+    | _ -> Error (Printf.sprintf "unknown fault mode %S" s)
+  in
+  let entries =
+    String.split_on_char ';' spec
+    |> List.filter (fun s -> String.trim s <> "")
+  in
+  if entries = [] then Error "empty fault specification"
+  else
+    let rec loop acc = function
+      | [] -> (
+        match make ?seed (List.rev acc) with
+        | plan -> Ok plan
+        | exception Invalid_argument m -> Error m)
+      | entry :: rest -> (
+        match String.index_opt entry '=' with
+        | None ->
+          Error
+            (Printf.sprintf "fault entry %S is not of the form name=mode"
+               entry)
+        | Some i ->
+          let name = String.trim (String.sub entry 0 i) in
+          let mode_s =
+            String.sub entry (i + 1) (String.length entry - i - 1)
+          in
+          if name = "" then Error (Printf.sprintf "empty endpoint name in %S" entry)
+          else (
+            match parse_mode mode_s with
+            | Ok mode -> loop ((name, mode) :: acc) rest
+            | Error m -> Error m))
+    in
+    loop [] entries
+
+let pp_mode ppf = function
+  | Healthy -> Fmt.string ppf "healthy"
+  | Dead -> Fmt.string ppf "dead"
+  | Flaky p -> Fmt.pf ppf "flaky:%g" p
+  | Slow p -> Fmt.pf ppf "slow:%g" p
+  | Truncating n -> Fmt.pf ppf "trunc:%d" n
+  | Flapping { up; down } -> Fmt.pf ppf "flap:%d:%d" up down
+  | Fail_first n -> Fmt.pf ppf "failfirst:%d" n
+
+let pp_outcome ppf = function
+  | Success -> Fmt.string ppf "success"
+  | Fail m -> Fmt.pf ppf "fail(%s)" m
+  | Timeout -> Fmt.string ppf "timeout"
+  | Truncate n -> Fmt.pf ppf "truncate(%d)" n

@@ -1,0 +1,60 @@
+(** Deterministic endpoint fault injection.
+
+    A fault {e plan} decides, for every call made to a named endpoint,
+    whether the call succeeds, fails, times out, or returns only a
+    truncated prefix of its answers. Decisions are driven by a
+    {!Refq_util.Splitmix64} stream derived from a seed and the endpoint
+    name, plus a per-endpoint call counter — so a given (seed, mode,
+    call sequence) always replays the exact same faults, regardless of
+    what the other endpoints do. Endpoints not named in the plan are
+    healthy.
+
+    This is the simulation counterpart of the paper's Section 1 remark
+    that distributed RDF sources "often return only restricted answers":
+    here they can also be down, slow, or intermittently unreachable. *)
+
+type mode =
+  | Healthy  (** every call succeeds *)
+  | Dead  (** every call fails *)
+  | Flaky of float  (** each call independently fails with this probability *)
+  | Slow of float  (** each call independently times out with this probability *)
+  | Truncating of int  (** calls succeed but return at most [n] rows *)
+  | Flapping of { up : int; down : int }
+      (** deterministic availability cycle: [up] successful calls, then
+          [down] failing calls, repeating *)
+  | Fail_first of int  (** the first [n] calls fail, later ones succeed *)
+
+type outcome =
+  | Success
+  | Fail of string  (** the injected error message *)
+  | Timeout
+  | Truncate of int  (** success, but only the first [n] rows are returned *)
+
+type t
+(** A fault plan: per-endpoint modes plus the mutable per-endpoint
+    injection state (RNG stream and call counter). *)
+
+val none : t
+(** The empty plan: every endpoint is healthy. *)
+
+val make : ?seed:int64 -> (string * mode) list -> t
+(** [make ~seed modes] builds a plan. Equal seeds and modes give
+    byte-identical fault sequences.
+    @raise Invalid_argument on duplicate endpoint names. *)
+
+val outcome : t -> string -> outcome
+(** [outcome plan endpoint] draws the outcome of the next call to
+    [endpoint], advancing that endpoint's injection state. *)
+
+val calls : t -> string -> int
+(** Number of outcomes drawn so far for this endpoint. *)
+
+val parse : ?seed:int64 -> string -> (t, string) result
+(** Parse a command-line fault specification: a [;]-separated list of
+    [name=mode] entries where mode is one of [healthy], [dead],
+    [flaky:P], [slow:P], [trunc:N], [flap:UP:DOWN], [failfirst:N] — e.g.
+    ["ep1=dead;ep2=flaky:0.3;ep3=flap:2:1"]. *)
+
+val pp_mode : mode Fmt.t
+
+val pp_outcome : outcome Fmt.t

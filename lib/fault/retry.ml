@@ -1,0 +1,18 @@
+type policy = {
+  max_attempts : int;
+  backoff_base : int;
+  backoff_factor : int;
+}
+
+let default = { max_attempts = 3; backoff_base = 2; backoff_factor = 2 }
+
+let no_retry = { max_attempts = 1; backoff_base = 0; backoff_factor = 1 }
+
+let make ?(backoff_base = default.backoff_base)
+    ?(backoff_factor = default.backoff_factor) n =
+  { max_attempts = max 1 n; backoff_base; backoff_factor }
+
+let backoff p ~attempt =
+  if attempt < 1 then invalid_arg "Retry.backoff: attempt is 1-based";
+  let rec pow acc k = if k <= 0 then acc else pow (acc * p.backoff_factor) (k - 1) in
+  p.backoff_base * pow 1 (attempt - 1)

@@ -1,0 +1,25 @@
+(** Retry policies with deterministic exponential backoff.
+
+    Backoff is measured in {!Sim_clock} ticks and is fully deterministic
+    (no jitter): attempt [k] failing is followed by a wait of
+    [base * factor^(k-1)] ticks before attempt [k+1]. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts per logical call, including the first *)
+  backoff_base : int;  (** ticks waited after the first failed attempt *)
+  backoff_factor : int;  (** multiplier applied per further failure *)
+}
+
+val default : policy
+(** 3 attempts, backoff 2, 4 ticks. *)
+
+val no_retry : policy
+(** A single attempt, no backoff. *)
+
+val make : ?backoff_base:int -> ?backoff_factor:int -> int -> policy
+(** [make n] is a policy with [n] total attempts (clamped to at least 1)
+    and the {!default} backoff shape. *)
+
+val backoff : policy -> attempt:int -> int
+(** [backoff p ~attempt] is the wait in ticks after the [attempt]-th
+    (1-based) failed attempt. *)

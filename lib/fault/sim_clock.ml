@@ -1,0 +1,9 @@
+type t = { mutable now : int }
+
+let create ?(now = 0) () = { now }
+
+let now t = t.now
+
+let advance t n =
+  if n < 0 then invalid_arg "Sim_clock.advance: negative amount";
+  t.now <- t.now + n

@@ -1,0 +1,19 @@
+(** A simulated clock, counted in abstract ticks.
+
+    All timing in the fault-tolerance layer (call latencies, injected
+    timeouts, retry backoff, circuit-breaker cooldowns, query deadlines) is
+    expressed in ticks of one of these clocks, never in wall-clock time, so
+    that every fault scenario is deterministic and replayable: the same
+    seed and the same call sequence produce the same timeline. *)
+
+type t
+
+val create : ?now:int -> unit -> t
+(** A fresh clock, starting at [now] (default 0). *)
+
+val now : t -> int
+
+val advance : t -> int -> unit
+(** Move the clock forward.
+    @raise Invalid_argument on a negative amount: simulated time never
+    runs backwards. *)

@@ -5,6 +5,12 @@ open Refq_storage
 open Refq_engine
 open Refq_cost
 open Refq_reform
+module Fault = Refq_fault.Fault
+module Budget = Refq_fault.Budget
+module Breaker = Refq_fault.Breaker
+module Retry = Refq_fault.Retry
+module Sim_clock = Refq_fault.Sim_clock
+module Answer = Refq_core.Answer
 
 module Endpoint = struct
   type t = {
@@ -32,6 +38,19 @@ type t = {
 
 let of_graphs specs =
   if specs = [] then invalid_arg "Federation.of_graphs: no endpoints";
+  (* Per-endpoint reports are keyed by name: duplicates would make them
+     ambiguous (and silently merge two sources' fault states). *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg
+          (Printf.sprintf
+             "Federation.of_graphs: duplicate endpoint name %S (endpoint \
+              names must be unique)"
+             name);
+      Hashtbl.add seen name ())
+    specs;
   let dict = Dictionary.create () in
   let union_store = Store.create ~dictionary:dict () in
   let endpoints =
@@ -80,29 +99,106 @@ type strategy =
   | Cover of Cover.t
   | Gcov
 
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant endpoint calls                                       *)
+(* ------------------------------------------------------------------ *)
+
+type resilience = {
+  plan : Fault.t;
+  retry : Retry.policy;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  call_ticks : int;
+  timeout_ticks : int;
+}
+
+let default_resilience =
+  {
+    plan = Fault.none;
+    retry = Retry.default;
+    breaker_threshold = 3;
+    breaker_cooldown = 50;
+    call_ticks = 1;
+    timeout_ticks = 10;
+  }
+
+let breaker_for res breakers name =
+  match Hashtbl.find_opt breakers name with
+  | Some b -> b
+  | None ->
+    let b =
+      Breaker.create ~threshold:res.breaker_threshold
+        ~cooldown:res.breaker_cooldown ()
+    in
+    Hashtbl.add breakers name b;
+    b
+
+(* One logical call of a fragment UCQ against one endpoint: consult the
+   circuit breaker, draw the injected outcome, retry failures and
+   timeouts with deterministic exponential backoff, evaluate on success,
+   and apply the tighter of the endpoint's answer limit and any injected
+   truncation. Returns the endpoint's contribution verdict; answer rows
+   are pushed through [add]. *)
+let call_endpoint res budget breakers (f : Jucq.fragment) ~cols add e =
+  let name = e.Endpoint.name in
+  let breaker = breaker_for res breakers name in
+  let now () = Sim_clock.now (Budget.clock budget) in
+  if not (Breaker.allow breaker ~now:(now ())) then
+    (name, Answer.Skipped_open_circuit)
+  else
+    let rec attempt made =
+      Budget.charge_ticks budget res.call_ticks;
+      match Fault.outcome res.plan name with
+      | (Fault.Fail _ | Fault.Timeout) as o ->
+        let error =
+          match o with
+          | Fault.Timeout ->
+            Budget.charge_ticks budget res.timeout_ticks;
+            "injected: timeout"
+          | Fault.Fail msg -> msg
+          | Fault.Success | Fault.Truncate _ -> assert false
+        in
+        Breaker.record_failure breaker ~now:(now ());
+        let made = made + 1 in
+        if
+          made >= res.retry.Retry.max_attempts
+          || not (Breaker.allow breaker ~now:(now ()))
+        then (name, Answer.Failed { attempts = made; error })
+        else begin
+          Budget.charge_ticks budget (Retry.backoff res.retry ~attempt:made);
+          attempt made
+        end
+      | (Fault.Success | Fault.Truncate _) as o ->
+        Breaker.record_success breaker;
+        let r = Evaluator.ucq ~budget e.Endpoint.card_env ~cols f.Jucq.ucq in
+        let cap =
+          match e.Endpoint.limit, o with
+          | Some n, Fault.Truncate m -> Some (min n m)
+          | Some n, _ -> Some n
+          | None, Fault.Truncate m -> Some m
+          | None, _ -> None
+        in
+        (match cap with
+        | Some n when Relation.cardinality r > n ->
+          Relation.iter_rows (Relation.truncate r n) add;
+          (name, Answer.Truncated { returned = n })
+        | _ ->
+          Relation.iter_rows r add;
+          (name, Answer.Complete))
+    in
+    attempt 0
+
 (* Send one fragment UCQ to every endpoint; each endpoint evaluates it
    against its own (non-saturated) triples and applies its answer limit;
    the federation unions the results. *)
-let eval_fragment fed (f : Jucq.fragment) =
+let eval_fragment res budget breakers fed idx (f : Jucq.fragment) =
   let cols = Array.of_list f.Jucq.out in
   let result = Relation.create ~cols in
-  let seen = Hashtbl.create 64 in
-  List.iter
-    (fun e ->
-      let r = Evaluator.ucq e.Endpoint.card_env ~cols f.Jucq.ucq in
-      let r =
-        match e.Endpoint.limit with
-        | Some n -> Relation.truncate r n
-        | None -> r
-      in
-      Relation.iter_rows r (fun row ->
-          if not (Hashtbl.mem seen row) then begin
-            let key = Array.copy row in
-            Hashtbl.add seen key ();
-            Relation.add_row result key
-          end))
-    fed.endpoints;
-  result
+  let add = Relation.distinct_adder result in
+  let contributions =
+    List.map (call_endpoint res budget breakers f ~cols add) fed.endpoints
+  in
+  (result, { Answer.fragment = idx; contributions })
 
 let project_head fed head joined =
   let head = Array.of_list head in
@@ -113,7 +209,7 @@ let project_head fed head joined =
       head
   in
   let result = Relation.create ~cols:out_cols in
-  let seen = Hashtbl.create 64 in
+  let add = Relation.distinct_adder result in
   let out_row = Array.make (Array.length head) 0 in
   Relation.iter_rows joined (fun row ->
       Array.iteri
@@ -123,14 +219,18 @@ let project_head fed head joined =
             out_row.(i) <- row.(Option.get (Relation.col_index joined v))
           | Cq.Cst t -> out_row.(i) <- Dictionary.encode fed.dict t)
         head;
-      if not (Hashtbl.mem seen out_row) then begin
-        let key = Array.copy out_row in
-        Hashtbl.add seen key ();
-        Relation.add_row result key
-      end);
+      add out_row);
   result
 
-let answer_ref ?profile ?(strategy = Scq) ?max_disjuncts fed q =
+let empty_answer fed head =
+  project_head fed head (Relation.create ~cols:[||])
+
+let answer_ref ?profile ?(strategy = Scq) ?max_disjuncts
+    ?(resilience = default_resilience) ?budget fed q =
+  let budget_cap = Option.bind budget Budget.max_disjuncts in
+  let budget =
+    match budget with Some b -> b | None -> Budget.unlimited ()
+  in
   let n_atoms = List.length q.Cq.body in
   let cover =
     match strategy with
@@ -146,30 +246,72 @@ let answer_ref ?profile ?(strategy = Scq) ?max_disjuncts fed q =
       in
       trace.Refq_core.Gcov.chosen
   in
-  let jucq = Reformulate.cover_to_jucq ?profile ?max_disjuncts fed.closure q cover in
-  let fragments = List.map (eval_fragment fed) jucq.Jucq.fragments in
-  if List.exists (fun r -> Relation.cardinality r = 0) fragments then
-    project_head fed jucq.Jucq.head
-      (Relation.create ~cols:[||])
-  else begin
-    let joinable = List.filter (fun r -> Relation.arity r > 0) fragments in
-    let joined =
-      match Evaluator.join_order joinable with
-      | [] ->
-        let r = Relation.create ~cols:[||] in
-        Relation.add_row r [||];
-        r
-      | first :: rest -> List.fold_left Evaluator.join first rest
-    in
-    project_head fed jucq.Jucq.head joined
-  end
+  let max_disjuncts =
+    match max_disjuncts, budget_cap with
+    | Some a, Some b -> Some (min a b)
+    | Some a, None -> Some a
+    | None, cap -> cap
+  in
+  let degraded ~reports ~budget_stop =
+    ( empty_answer fed q.Cq.head,
+      {
+        Answer.fragment_reports = List.rev reports;
+        verdict = Answer.Sound_but_possibly_incomplete;
+        budget_stop = Some budget_stop;
+      } )
+  in
+  match
+    Reformulate.cover_to_jucq ?profile ?max_disjuncts fed.closure q cover
+  with
+  | exception Reformulate.Too_large n when budget_cap <> None ->
+    degraded ~reports:[]
+      ~budget_stop:
+        (Printf.sprintf
+           "reformulation budget exceeded (stopped at %d disjuncts)" n)
+  | jucq -> (
+    let breakers = Hashtbl.create 8 in
+    let reports = ref [] in
+    match
+      let fragments =
+        List.mapi
+          (fun i f ->
+            let r, rep = eval_fragment resilience budget breakers fed i f in
+            reports := rep :: !reports;
+            r)
+          jucq.Jucq.fragments
+      in
+      if List.exists (fun r -> Relation.cardinality r = 0) fragments then
+        empty_answer fed jucq.Jucq.head
+      else begin
+        let joinable = List.filter (fun r -> Relation.arity r > 0) fragments in
+        let joined =
+          match Evaluator.join_order joinable with
+          | [] ->
+            let r = Relation.create ~cols:[||] in
+            Relation.add_row r [||];
+            r
+          | first :: rest -> List.fold_left (Evaluator.join ~budget) first rest
+        in
+        project_head fed jucq.Jucq.head joined
+      end
+    with
+    | exception Budget.Exhausted reason ->
+      degraded ~reports:!reports ~budget_stop:reason
+    | rel ->
+      let fragment_reports = List.rev !reports in
+      ( rel,
+        {
+          Answer.fragment_reports;
+          verdict = Answer.completeness_verdict fragment_reports;
+          budget_stop = None;
+        } ))
 
 let answer_local_sat fed q =
   let cols =
     Array.of_list (List.mapi (fun i _ -> Printf.sprintf "c%d" i) q.Cq.head)
   in
   let result = Relation.create ~cols in
-  let seen = Hashtbl.create 64 in
+  let add = Relation.distinct_adder result in
   List.iter
     (fun e ->
       (* Each endpoint saturates only its own triples with its own
@@ -182,12 +324,7 @@ let answer_local_sat fed q =
         | Some n -> Relation.truncate r n
         | None -> r
       in
-      Relation.iter_rows r (fun row ->
-          if not (Hashtbl.mem seen row) then begin
-            let key = Array.copy row in
-            Hashtbl.add seen key ();
-            Relation.add_row result key
-          end))
+      Relation.iter_rows r add)
     fed.endpoints;
   result
 

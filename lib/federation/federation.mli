@@ -16,7 +16,13 @@
     - {!answer_ref}: the reformulation approach — rewrite w.r.t. the
       {e federation-wide} schema, send each cover-fragment UCQ to every
       endpoint (each applies its own answer limit), union, and join
-      locally. No endpoint needs to be saturated.
+      locally. No endpoint needs to be saturated. Endpoint calls run
+      under a fault-tolerance layer (deterministic fault injection,
+      retry with exponential backoff, per-endpoint circuit breakers,
+      per-query budgets) and every answer comes with a
+      {!Refq_core.Answer.federation_report} stating exactly which
+      contributions were lost and whether the answer is still provably
+      complete.
     - {!answer_local_sat}: the best a saturation-based deployment can do
       without centralizing data — saturate each endpoint {e independently}
       and union the per-endpoint answers of the original query. It misses
@@ -49,7 +55,9 @@ end
 type t
 
 val of_graphs : (string * Graph.t * int option) list -> t
-(** [of_graphs [(name, graph, limit); ...]] builds a federation. *)
+(** [of_graphs [(name, graph, limit); ...]] builds a federation.
+    @raise Invalid_argument when [specs] is empty or two endpoints share
+    a name (per-endpoint fault states and reports are keyed by name). *)
 
 val endpoints : t -> Endpoint.t list
 
@@ -65,13 +73,30 @@ type strategy =
   | Cover of Cover.t
   | Gcov
 
+type resilience = {
+  plan : Refq_fault.Fault.t;  (** injected endpoint faults *)
+  retry : Refq_fault.Retry.policy;
+  breaker_threshold : int;
+      (** consecutive failures before an endpoint's circuit opens *)
+  breaker_cooldown : int;
+      (** simulated ticks an open circuit waits before a half-open probe *)
+  call_ticks : int;  (** simulated cost of each call attempt *)
+  timeout_ticks : int;  (** additional simulated cost of a timed-out call *)
+}
+
+val default_resilience : resilience
+(** No injected faults, 3 attempts with exponential backoff, breaker
+    threshold 3, cooldown 50 ticks, calls cost 1 tick, timeouts 10. *)
+
 val answer_ref :
   ?profile:Refq_reform.Profiles.t ->
   ?strategy:strategy ->
   ?max_disjuncts:int ->
+  ?resilience:resilience ->
+  ?budget:Refq_fault.Budget.t ->
   t ->
   Cq.t ->
-  Relation.t
+  Relation.t * Refq_core.Answer.federation_report
 (** Reformulation-based federated answering. Fragments are evaluated
     endpoint-locally and unioned, so a fragment only matches triples
     co-located on one endpoint. With the default [Scq] strategy every
@@ -81,7 +106,25 @@ val answer_ref :
     Larger covers ([Gcov], [Cover]) trade that guarantee for smaller
     intermediate transfers and remain exact when fragment-mates are
     co-located (e.g. subject-partitioned data).
-    @raise Refq_reform.Reformulate.Too_large like the local pipeline. *)
+
+    Each endpoint call runs under [resilience]: the fault plan draws the
+    call's outcome; failures and timeouts are retried with deterministic
+    exponential backoff; repeated failures open the endpoint's circuit
+    breaker, which skips further calls until a cooldown elapses on the
+    simulated clock, then lets one probe through. Whatever is lost is
+    recorded in the returned report, whose verdict is
+    [Sound_and_complete] only when every endpoint contributed fully.
+
+    A [budget] bounds the whole query: endpoint calls, backoff and
+    injected timeouts consume its simulated clock, the evaluator charges
+    it per intermediate row, and its reformulation cap tightens
+    [max_disjuncts]. When the budget trips, the partial work is abandoned,
+    an empty (sound) relation is returned, and the report carries the
+    stop reason with a [Sound_but_possibly_incomplete] verdict.
+
+    @raise Refq_reform.Reformulate.Too_large like the local pipeline when
+    no budget reformulation cap is set (with one, the overflow is
+    reported as a budget stop instead). *)
 
 val answer_local_sat : t -> Cq.t -> Relation.t
 (** Per-endpoint saturation + per-endpoint evaluation of the original

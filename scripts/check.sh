@@ -1,0 +1,26 @@
+#!/bin/sh
+# Repo health check: build, run the test suites, and (when ocamlformat is
+# available) verify formatting. bench/ is excluded from the default build
+# aliases and left out here too — it is exercised explicitly via
+# `dune exec bench/main.exe`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune fmt (check only)"
+  dune build @fmt 2>/dev/null || {
+    echo "formatting differs; run 'dune fmt' to fix" >&2
+    exit 1
+  }
+else
+  echo "== ocamlformat not installed; skipping format check"
+fi
+
+echo "OK"

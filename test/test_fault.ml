@@ -1,0 +1,212 @@
+(* Tests for the fault-injection layer: simulated clock, budgets,
+   deterministic fault plans, retry backoff and circuit breakers. *)
+
+open Refq_fault
+
+let exhausted f =
+  match f () with exception Budget.Exhausted _ -> true | _ -> false
+
+(* -------------------------------------------------------------------- *)
+(* Sim_clock                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let test_clock () =
+  let c = Sim_clock.create () in
+  Alcotest.(check int) "starts at 0" 0 (Sim_clock.now c);
+  Sim_clock.advance c 7;
+  Sim_clock.advance c 0;
+  Alcotest.(check int) "advances" 7 (Sim_clock.now c);
+  Alcotest.(check int) "custom origin" 3 (Sim_clock.now (Sim_clock.create ~now:3 ()));
+  Alcotest.(check bool) "time never runs backwards" true
+    (match Sim_clock.advance c (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+(* -------------------------------------------------------------------- *)
+(* Budget                                                                *)
+(* -------------------------------------------------------------------- *)
+
+let test_budget_rows () =
+  let b = Budget.create ~max_rows:5 () in
+  Budget.charge_rows b 3;
+  Budget.charge_rows b 2;
+  Alcotest.(check int) "rows accumulate" 5 (Budget.rows_charged b);
+  Alcotest.(check bool) "cap is inclusive" true (exhausted (fun () -> Budget.charge_rows b 1));
+  Alcotest.(check bool) "stays exhausted" true (exhausted (fun () -> Budget.check b));
+  Alcotest.(check bool) "reason recorded" true (Budget.stop_reason b <> None)
+
+let test_budget_deadline () =
+  let b = Budget.create ~deadline:10 () in
+  Budget.charge_ticks b 10;
+  Alcotest.(check bool) "at the deadline is fine" true
+    (Budget.stop_reason b = None);
+  Alcotest.(check bool) "past the deadline trips" true
+    (exhausted (fun () -> Budget.charge_ticks b 1));
+  (* Rows consume ticks too, so a deadline bounds pure evaluation. *)
+  let b2 = Budget.create ~deadline:3 () in
+  Alcotest.(check bool) "row production consumes the deadline" true
+    (exhausted (fun () -> Budget.charge_rows b2 4))
+
+let test_budget_unlimited () =
+  let b = Budget.unlimited () in
+  Budget.charge_rows b 1_000_000;
+  Budget.charge_ticks b 1_000_000;
+  Budget.check b;
+  Alcotest.(check (option int)) "no reformulation cap" None
+    (Budget.max_disjuncts b);
+  Alcotest.(check (option int)) "with one" (Some 32)
+    (Budget.max_disjuncts (Budget.create ~max_disjuncts:32 ()))
+
+(* -------------------------------------------------------------------- *)
+(* Fault plans                                                           *)
+(* -------------------------------------------------------------------- *)
+
+let drain plan name n = List.init n (fun _ -> Fault.outcome plan name)
+
+let show_outcomes os =
+  Fmt.str "%a" Fmt.(list ~sep:(Fmt.any ";") Fault.pp_outcome) os
+
+let test_plan_determinism () =
+  let make () =
+    Fault.make ~seed:99L
+      [ ("a", Fault.Flaky 0.5); ("b", Fault.Slow 0.5); ("c", Fault.Dead) ]
+  in
+  let p1 = make () and p2 = make () in
+  (* Interleave differently: per-endpoint streams must not shift. *)
+  let a1 = drain p1 "a" 20 in
+  let b1 = drain p1 "b" 20 in
+  let b2 = drain p2 "b" 20 in
+  let a2 = drain p2 "a" 20 in
+  Alcotest.(check string) "endpoint a replays byte-identically"
+    (show_outcomes a1) (show_outcomes a2);
+  Alcotest.(check string) "endpoint b replays byte-identically"
+    (show_outcomes b1) (show_outcomes b2);
+  Alcotest.(check bool) "a different seed differs somewhere" true
+    (let q = Fault.make ~seed:100L [ ("a", Fault.Flaky 0.5) ] in
+     show_outcomes (drain q "a" 20) <> show_outcomes a1);
+  Alcotest.(check int) "call counter" 20 (Fault.calls p1 "a")
+
+let test_plan_modes () =
+  let plan =
+    Fault.make
+      [
+        ("down", Fault.Dead);
+        ("cut", Fault.Truncating 3);
+        ("cycle", Fault.Flapping { up = 2; down = 1 });
+        ("warmup", Fault.Fail_first 2);
+      ]
+  in
+  Alcotest.(check bool) "dead always fails" true
+    (List.for_all (function Fault.Fail _ -> true | _ -> false)
+       (drain plan "down" 5));
+  Alcotest.(check bool) "unlisted endpoints are healthy" true
+    (drain plan "other" 3 = [ Fault.Success; Fault.Success; Fault.Success ]);
+  Alcotest.(check bool) "truncating caps rows" true
+    (drain plan "cut" 2 = [ Fault.Truncate 3; Fault.Truncate 3 ]);
+  Alcotest.(check bool) "flapping cycles 2 up, 1 down" true
+    (List.map (function Fault.Success -> 'u' | _ -> 'd') (drain plan "cycle" 6)
+    = [ 'u'; 'u'; 'd'; 'u'; 'u'; 'd' ]);
+  Alcotest.(check bool) "fail-first recovers" true
+    (List.map (function Fault.Success -> 'u' | _ -> 'd') (drain plan "warmup" 4)
+    = [ 'd'; 'd'; 'u'; 'u' ])
+
+let test_plan_validation () =
+  Alcotest.(check bool) "duplicate endpoint names rejected" true
+    (match Fault.make [ ("e", Fault.Dead); ("e", Fault.Healthy) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "probability out of range rejected" true
+    (match Fault.make [ ("e", Fault.Flaky 1.5) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_plan_parse () =
+  (match Fault.parse "a=dead;b=flaky:0.25;c=flap:2:1;d=trunc:7" with
+  | Error m -> Alcotest.failf "parse failed: %s" m
+  | Ok plan ->
+    Alcotest.(check bool) "parsed dead endpoint fails" true
+      (match Fault.outcome plan "a" with Fault.Fail _ -> true | _ -> false);
+    Alcotest.(check bool) "parsed truncating endpoint cuts" true
+      (Fault.outcome plan "d" = Fault.Truncate 7));
+  Alcotest.(check bool) "bad spec is a one-line error" true
+    (match Fault.parse "a=explode" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "missing separator is an error" true
+    (match Fault.parse "nonsense" with Error _ -> true | Ok _ -> false)
+
+(* -------------------------------------------------------------------- *)
+(* Retry                                                                 *)
+(* -------------------------------------------------------------------- *)
+
+let test_retry_backoff () =
+  let p = Retry.make ~backoff_base:2 ~backoff_factor:3 4 in
+  Alcotest.(check (list int)) "deterministic exponential waits"
+    [ 2; 6; 18 ]
+    (List.map (fun attempt -> Retry.backoff p ~attempt) [ 1; 2; 3 ]);
+  Alcotest.(check int) "attempts clamped to at least 1" 1
+    (Retry.make 0).Retry.max_attempts;
+  Alcotest.(check int) "no_retry is one attempt" 1 Retry.no_retry.Retry.max_attempts
+
+(* -------------------------------------------------------------------- *)
+(* Breaker                                                               *)
+(* -------------------------------------------------------------------- *)
+
+let test_breaker_lifecycle () =
+  let b = Breaker.create ~threshold:2 ~cooldown:10 () in
+  Alcotest.(check bool) "starts closed" true (Breaker.state b ~now:0 = Breaker.Closed);
+  Breaker.record_failure b ~now:0;
+  Alcotest.(check bool) "below threshold: still closed" true
+    (Breaker.allow b ~now:0);
+  Breaker.record_failure b ~now:1;
+  Alcotest.(check bool) "threshold reached: open" true
+    (Breaker.state b ~now:1 = Breaker.Open);
+  Alcotest.(check bool) "open refuses calls" false (Breaker.allow b ~now:5);
+  Alcotest.(check bool) "cooldown elapses: half-open probe" true
+    (Breaker.state b ~now:11 = Breaker.Half_open && Breaker.allow b ~now:11);
+  (* A failed probe re-opens with a fresh cooldown. *)
+  Breaker.record_failure b ~now:11;
+  Alcotest.(check bool) "failed probe re-opens" true
+    (Breaker.state b ~now:12 = Breaker.Open);
+  Alcotest.(check bool) "fresh cooldown counts from the probe" true
+    (Breaker.state b ~now:20 = Breaker.Open
+    && Breaker.state b ~now:21 = Breaker.Half_open);
+  (* A successful probe closes and resets the failure count. *)
+  Breaker.record_success b;
+  Alcotest.(check bool) "success closes" true
+    (Breaker.state b ~now:21 = Breaker.Closed);
+  Alcotest.(check int) "failures reset" 0 (Breaker.consecutive_failures b)
+
+let test_breaker_success_resets_count () =
+  let b = Breaker.create ~threshold:3 ~cooldown:5 () in
+  Breaker.record_failure b ~now:0;
+  Breaker.record_failure b ~now:0;
+  Breaker.record_success b;
+  Breaker.record_failure b ~now:1;
+  Breaker.record_failure b ~now:1;
+  Alcotest.(check bool) "non-consecutive failures do not open" true
+    (Breaker.state b ~now:1 = Breaker.Closed)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ("clock", [ Alcotest.test_case "ticks" `Quick test_clock ]);
+      ( "budget",
+        [
+          Alcotest.test_case "row cap" `Quick test_budget_rows;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "modes" `Quick test_plan_modes;
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "spec parsing" `Quick test_plan_parse;
+        ] );
+      ("retry", [ Alcotest.test_case "backoff" `Quick test_retry_backoff ]);
+      ( "breaker",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
+          Alcotest.test_case "success resets" `Quick
+            test_breaker_success_resets_count;
+        ] );
+    ]

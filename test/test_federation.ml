@@ -3,8 +3,15 @@
 open Refq_rdf
 open Refq_query
 open Refq_federation
+module Fault = Refq_fault.Fault
+module Budget = Refq_fault.Budget
+module Answer = Refq_core.Answer
 
 let u = Fixtures.uri
+
+(* Most tests only care about the relation; [ref1] drops the report. *)
+let ref1 ?strategy ?resilience ?budget fed q =
+  fst (Federation.answer_ref ?strategy ?resilience ?budget fed q)
 
 let rows = Alcotest.testable
     (fun ppf r -> Fmt.string ppf (Fixtures.rows_to_string r))
@@ -34,7 +41,7 @@ let test_cross_endpoint_entailment () =
   let fed = cross_endpoint_fed () in
   Alcotest.check rows "Ref finds the implicit Employee"
     [ [ u "alice" ] ]
-    (Federation.decode fed (Federation.answer_ref fed q_employees));
+    (Federation.decode fed (ref1 fed q_employees));
   Alcotest.check rows "per-endpoint Sat misses it" []
     (Federation.decode fed (Federation.answer_local_sat fed q_employees));
   Alcotest.check rows "centralized ground truth"
@@ -61,7 +68,7 @@ let test_cross_endpoint_join () =
   in
   Alcotest.check rows "join spans endpoints"
     [ [ u "a"; u "c" ] ]
-    (Federation.decode fed (Federation.answer_ref fed q));
+    (Federation.decode fed (ref1 fed q));
   Alcotest.check rows "per-endpoint evaluation cannot join" []
     (Federation.decode fed (Federation.answer_local_sat fed q))
 
@@ -83,9 +90,9 @@ let test_answer_limits () =
   in
   let count fed answer = List.length (Federation.decode fed (answer fed q_employees)) in
   Alcotest.(check int) "unrestricted: all 5" 5
-    (count fed_free Federation.answer_ref);
+    (count fed_free (fun fed q -> ref1 fed q));
   Alcotest.(check int) "restricted: first 2 only" 2
-    (count fed_limited Federation.answer_ref);
+    (count fed_limited (fun fed q -> ref1 fed q));
   Alcotest.(check int) "centralized ignores limits" 5
     (count fed_limited (fun fed q -> Federation.answer_centralized fed q))
 
@@ -120,7 +127,7 @@ let prop_federated_scq_complete =
     (QCheck2.Gen.pair gen_partitioned Fixtures.gen_cq)
     (fun ((_, parts), q) ->
       let fed = Federation.of_graphs parts in
-      Federation.decode fed (Federation.answer_ref fed q)
+      Federation.decode fed (ref1 fed q)
       = Federation.decode fed (Federation.answer_centralized fed q))
 
 let test_gcov_strategy_on_federation () =
@@ -149,8 +156,7 @@ let test_gcov_strategy_on_federation () =
   let q6 = List.assoc "Q6" Refq_workload.Lubm.queries in
   Alcotest.(check bool)
     "gcov strategy complete on subject-partitioned star query" true
-    (Federation.decode fed
-       (Federation.answer_ref ~strategy:Federation.Gcov fed q6)
+    (Federation.decode fed (ref1 ~strategy:Federation.Gcov fed q6)
     = Federation.decode fed (Federation.answer_centralized fed q6))
 
 let test_endpoint_accessors () =
@@ -168,6 +174,143 @@ let test_empty_federation_rejected () =
   match Federation.of_graphs [] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty federation accepted"
+
+let test_duplicate_endpoint_names () =
+  let g = Graph.of_list [ Triple.make (u "a") (u "p") (u "b") ] in
+  match Federation.of_graphs [ ("mirror", g, None); ("mirror", g, Some 5) ] with
+  | exception Invalid_argument m ->
+    let contains_name =
+      let sub = "\"mirror\"" in
+      let n = String.length sub and len = String.length m in
+      let rec loop i =
+        i + n <= len && (String.sub m i n = sub || loop (i + 1))
+      in
+      loop 0
+    in
+    Alcotest.(check bool) "message names the duplicate" true contains_name
+  | _ -> Alcotest.fail "duplicate endpoint names accepted"
+
+let test_limits_vs_local_sat () =
+  (* The satellite scenario: the data endpoint only serves 2 answers and
+     the constraint lives elsewhere. Per-endpoint Sat finds nothing at
+     all; Ref still gets the two answers the endpoint will serve — and
+     the report says the answer may be incomplete. *)
+  let data =
+    Graph.of_list
+      (List.init 5 (fun i ->
+           Triple.make (u (Printf.sprintf "m%d" i)) Vocab.rdf_type manager))
+  in
+  let schema =
+    Graph.of_list [ Triple.make manager Vocab.rdfs_subclassof employee ]
+  in
+  let fed =
+    Federation.of_graphs [ ("data", data, Some 2); ("ontology", schema, None) ]
+  in
+  Alcotest.(check int) "local Sat finds nothing (constraint is remote)" 0
+    (List.length
+       (Federation.decode fed (Federation.answer_local_sat fed q_employees)));
+  let rel, report = Federation.answer_ref fed q_employees in
+  Alcotest.(check int) "Ref gets the endpoint's first 2" 2
+    (List.length (Federation.decode fed rel));
+  Alcotest.(check bool) "limit truncation degrades the verdict" true
+    (report.Answer.verdict = Answer.Sound_but_possibly_incomplete)
+
+(* -------------------------------------------------------------------- *)
+(* Fault tolerance                                                       *)
+(* -------------------------------------------------------------------- *)
+
+let chain_query =
+  Cq.make
+    ~head:[ Cq.var "x"; Cq.var "w" ]
+    ~body:
+      [
+        Cq.atom (Cq.var "x") (Cq.cst (u "p")) (Cq.var "y");
+        Cq.atom (Cq.var "y") (Cq.cst (u "q")) (Cq.var "z");
+        Cq.atom (Cq.var "z") (Cq.cst (u "r")) (Cq.var "w");
+      ]
+
+let faulty_endpoints =
+  [
+    ("live1", Graph.of_list [ Triple.make (u "a") (u "p") (u "b") ], None);
+    ("flap", Graph.of_list [ Triple.make (u "b") (u "q") (u "c") ], None);
+    ("dead", Graph.of_list [ Triple.make (u "c") (u "r") (u "d") ], None);
+    ("live2", Graph.of_list [ Triple.make (u "c") (u "r") (u "e") ], None);
+  ]
+
+let faulty_run () =
+  let fed = Federation.of_graphs faulty_endpoints in
+  let resilience =
+    {
+      Federation.default_resilience with
+      plan =
+        Fault.make
+          [ ("dead", Fault.Dead); ("flap", Fault.Flapping { up = 1; down = 1 }) ];
+      (* keep the dead endpoint's circuit open for the whole query *)
+      breaker_cooldown = 10_000;
+    }
+  in
+  let rel, report = Federation.answer_ref ~resilience fed chain_query in
+  (fed, Federation.decode fed rel, report)
+
+let contribution report frag name =
+  List.assoc name
+    (List.nth report.Answer.fragment_reports frag).Answer.contributions
+
+let test_faults_degrade_gracefully () =
+  let _, answers, report = faulty_run () in
+  (* All answers derivable from the live endpoints survive: the flapping
+     endpoint's q-edge is recovered by retries, only the dead endpoint's
+     r-edge is lost. *)
+  let live_fed =
+    Federation.of_graphs
+      (List.filter (fun (n, _, _) -> n <> "dead") faulty_endpoints)
+  in
+  let expected =
+    Federation.decode live_fed
+      (Federation.answer_centralized live_fed chain_query)
+  in
+  Alcotest.(check bool) "answers = centralized over live endpoints" true
+    (List.sort compare answers = List.sort compare expected);
+  (* The dead endpoint exhausts its retries once, opening its breaker;
+     later fragments skip it without calling. *)
+  (match contribution report 0 "dead" with
+  | Answer.Failed { attempts = 3; _ } -> ()
+  | c -> Alcotest.failf "fragment 0: %a" Answer.pp_contribution c);
+  (match contribution report 1 "dead", contribution report 2 "dead" with
+  | Answer.Skipped_open_circuit, Answer.Skipped_open_circuit -> ()
+  | c, _ -> Alcotest.failf "fragments 1-2: %a" Answer.pp_contribution c);
+  (* The flapping endpoint recovered everywhere. *)
+  List.iter
+    (fun frag ->
+      match contribution report frag "flap" with
+      | Answer.Complete -> ()
+      | c -> Alcotest.failf "flap fragment %d: %a" frag Answer.pp_contribution c)
+    [ 0; 1; 2 ];
+  Alcotest.(check bool) "verdict degraded" true
+    (report.Answer.verdict = Answer.Sound_but_possibly_incomplete)
+
+let test_faults_deterministic () =
+  (* Same seed, same plan, same query — byte-identical reports. *)
+  let show (_, answers, report) =
+    Fmt.str "%a@.%a" Answer.pp_federation_report report
+      Fmt.(list (list (of_to_string Term.to_string)))
+      answers
+  in
+  Alcotest.(check string) "two runs render identically" (show (faulty_run ()))
+    (show (faulty_run ()))
+
+let test_budget_degrades () =
+  let fed = cross_endpoint_fed () in
+  (* Plenty of ticks but almost no row budget: evaluation must stop early
+     and degrade instead of raising. *)
+  let budget = Budget.create ~max_rows:0 () in
+  let rel, report = Federation.answer_ref ~budget fed q_employees in
+  Alcotest.(check int) "degraded answer is empty (sound)" 0
+    (Refq_engine.Relation.cardinality rel);
+  Alcotest.(check bool) "stop reason recorded" true
+    (report.Answer.budget_stop <> None);
+  Alcotest.(check bool) "verdict degraded" true
+    (report.Answer.verdict = Answer.Sound_but_possibly_incomplete)
 
 let prop_local_sat_sound =
   QCheck2.Test.make ~name:"per-endpoint Sat ⊆ centralized" ~count:100
@@ -195,7 +338,19 @@ let () =
           Alcotest.test_case "gcov strategy" `Quick test_gcov_strategy_on_federation;
           Alcotest.test_case "endpoint accessors" `Quick test_endpoint_accessors;
           Alcotest.test_case "empty federation" `Quick test_empty_federation_rejected;
+          Alcotest.test_case "duplicate endpoint names" `Quick
+            test_duplicate_endpoint_names;
+          Alcotest.test_case "limits vs per-endpoint sat" `Quick
+            test_limits_vs_local_sat;
           QCheck_alcotest.to_alcotest prop_federated_scq_complete;
           QCheck_alcotest.to_alcotest prop_local_sat_sound;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "graceful degradation" `Quick
+            test_faults_degrade_gracefully;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "budget degrades" `Quick test_budget_degrades;
         ] );
     ]
