@@ -11,9 +11,12 @@
      E7  GCov introspection   explored space, estimated vs actual cost
      E8  demo step 4          impact of constraint changes on Ref
      E9  Figure 3 / step 1    dataset statistics (value distributions)
+     obs                      observability-sink overhead check
      micro                    Bechamel micro-benchmarks, one per experiment
 
    Usage: dune exec bench/main.exe [-- --scale N] [--only e1,e3,...] [--fast]
+          dune exec bench/main.exe -- --json FILE      (BENCH trajectory)
+          dune exec bench/main.exe -- --validate FILE  (check a trajectory)
 *)
 
 open Refq_rdf
@@ -26,6 +29,9 @@ module Dblp = Refq_workload.Dblp
 module Geo = Refq_workload.Geo
 module Profiles = Refq_reform.Profiles
 module Reformulate = Refq_reform.Reformulate
+module Obs = Refq_obs.Obs
+module Json = Refq_obs.Json
+module Trajectory = Refq_obs.Trajectory
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
@@ -53,10 +59,13 @@ type config = {
   scale : int;  (** LUBM scale for the headline experiments *)
   fast : bool;
   only : string list;  (** empty = all *)
+  json : string option;  (** emit a BENCH trajectory file instead *)
+  validate : string option;  (** validate a trajectory file instead *)
 }
 
 let parse_args () =
   let scale = ref 10 and fast = ref false and only = ref [] in
+  let json = ref None and validate = ref None in
   let rec loop = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -68,12 +77,24 @@ let parse_args () =
     | "--only" :: v :: rest ->
       only := String.split_on_char ',' (String.lowercase_ascii v);
       loop rest
+    | "--json" :: v :: rest ->
+      json := Some v;
+      loop rest
+    | "--validate" :: v :: rest ->
+      validate := Some v;
+      loop rest
     | arg :: rest ->
       Fmt.epr "warning: ignoring argument %S@." arg;
       loop rest
   in
   loop (List.tl (Array.to_list Sys.argv));
-  { scale = (if !fast then min !scale 3 else !scale); fast = !fast; only = !only }
+  {
+    scale = (if !fast then min !scale 3 else !scale);
+    fast = !fast;
+    only = !only;
+    json = !json;
+    validate = !validate;
+  }
 
 let cfg = parse_args ()
 
@@ -174,7 +195,7 @@ let e2 () =
       else
         match run_strategy env qk Strategy.Ucq with
         | Ok r ->
-          Fmt.str "%a" pp_time (r.Answer.reformulation_s +. r.Answer.evaluation_s)
+          Fmt.str "%a" pp_time (Answer.total_s r)
         | Error _ -> "infeasible"
     in
     let scq_size =
@@ -214,7 +235,7 @@ let e3_on label env queries =
             | Ok r ->
               ( Strategy.name s,
                 Some (Answer.n_answers r, Answer.decode env r.Answer.answers),
-                r.Answer.reformulation_s +. r.Answer.evaluation_s )
+                Answer.total_s r )
             | Error _ -> (Strategy.name s, None, nan))
           [ Strategy.Ucq; Strategy.Scq; Strategy.Gcov; Strategy.Saturation ]
       in
@@ -294,7 +315,7 @@ let e4 () =
         in
         let rt =
           match run_strategy fresh_env q Strategy.Gcov with
-          | Ok r -> rt +. r.Answer.reformulation_s +. r.Answer.evaluation_s
+          | Ok r -> rt +. Answer.total_s r
           | Error _ -> rt
         in
         (se, rt))
@@ -332,7 +353,7 @@ let e5 () =
         match run_strategy env q s with
         | Ok r ->
           ( Answer.n_answers r,
-            Fmt.str "%a" pp_time (r.Answer.reformulation_s +. r.Answer.evaluation_s) )
+            Fmt.str "%a" pp_time (Answer.total_s r) )
         | Error _ -> (-1, "fail")
       in
       let n, dat = cell Strategy.Datalog in
@@ -427,7 +448,7 @@ let e7 () =
       in
       let actual s =
         match run_strategy env q s with
-        | Ok r -> r.Answer.reformulation_s +. r.Answer.evaluation_s
+        | Ok r -> Answer.total_s r
         | Error _ -> nan
       in
       let scq_t = actual Strategy.Scq in
@@ -479,7 +500,7 @@ let e8 () =
     match run_strategy env q Strategy.Gcov with
     | Ok r ->
       Fmt.pr "%-44s %10d %10s %8d@." label n
-        (Fmt.str "%a" pp_time (r.Answer.reformulation_s +. r.Answer.evaluation_s))
+        (Fmt.str "%a" pp_time (Answer.total_s r))
         (Answer.n_answers r)
     | Error _ -> Fmt.pr "%-44s %10d %10s %8s@." label n "fail" "—"
   in
@@ -771,7 +792,7 @@ let e13 () =
           in
           Some
             ( size,
-              r.Answer.reformulation_s +. r.Answer.evaluation_s,
+              Answer.total_s r,
               Answer.decode env r.Answer.answers )
         | Error _ -> None
       in
@@ -810,7 +831,7 @@ let e14 () =
       let run backend =
         match Answer.answer ~backend ~max_disjuncts:budget env q s with
         | Ok r ->
-          Fmt.str "%a" pp_time (r.Answer.reformulation_s +. r.Answer.evaluation_s)
+          Fmt.str "%a" pp_time (Answer.total_s r)
         | Error _ -> "fail"
       in
       Fmt.pr "%-14s | %12s %12s@." label
@@ -853,7 +874,7 @@ let e15 () =
       let run s =
         match run_strategy env q s with
         | Ok r ->
-          Fmt.str "%a" pp_time (r.Answer.reformulation_s +. r.Answer.evaluation_s)
+          Fmt.str "%a" pp_time (Answer.total_s r)
         | Error _ -> "fail"
       in
       let scq = run Strategy.Scq in
@@ -887,7 +908,7 @@ let e16 () =
         match run_strategy env q s with
         | Ok r ->
           Some
-            ( r.Answer.reformulation_s +. r.Answer.evaluation_s,
+            ( Answer.total_s r,
               Answer.decode env r.Answer.answers )
         | Error _ -> None
       in
@@ -1027,18 +1048,153 @@ let micro () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* OBS — observability overhead: the disabled sink must cost nothing   *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead () =
+  hr "OBS  Instrumentation overhead: sink off vs sink on";
+  let env = Lazy.force lubm_env in
+  let q = Lubm.example1_query in
+  ignore (Answer.saturated env);
+  let reps = if cfg.fast then 10 else 30 in
+  let run enabled =
+    Obs.set_enabled enabled;
+    let _, dt = time (fun () -> run_strategy env q Strategy.Gcov) in
+    Obs.set_enabled false;
+    dt
+  in
+  ignore (run false);
+  ignore (run true) (* warm up caches *);
+  (* Best-of-N absorbs GC and scheduler noise better than the mean, and
+     alternating the two configurations spreads clock/heap drift evenly
+     instead of crediting it all to whichever batch ran last. *)
+  let off = ref infinity and on = ref infinity in
+  for i = 1 to reps do
+    if i land 1 = 0 then begin
+      off := Float.min !off (run false);
+      on := Float.min !on (run true)
+    end
+    else begin
+      on := Float.min !on (run true);
+      off := Float.min !off (run false)
+    end
+  done;
+  let off = !off and on = !on in
+  Fmt.pr "Example 1 via GCov, best of %d runs:@." reps;
+  Fmt.pr "  sink off %a@.  sink on  %a  (%+.1f%%)@." pp_time off pp_time on
+    ((on -. off) *. 100.0 /. off);
+  Fmt.pr
+    "@.With the sink off every probe is a single bool check — the whole \
+     instrumented@.binary must stay within noise of the uninstrumented \
+     one (acceptance: <2%%).@."
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark trajectory (--json FILE / --validate FILE)                *)
+(* ------------------------------------------------------------------ *)
+
+let trajectory_strategies =
+  [
+    Strategy.Saturation;
+    Strategy.Ucq;
+    Strategy.Scq;
+    Strategy.Gcov;
+    Strategy.Datalog;
+  ]
+
+let trajectory_run env ~workload ~qname q s =
+  let result, rep =
+    Obs.profile ~name:(workload ^ "/" ^ qname) (fun () -> run_strategy env q s)
+  in
+  let stages =
+    List.map
+      (fun st -> (st, Obs.stage_total rep st))
+      Trajectory.canonical_stages
+  in
+  let status, answers, total_s =
+    match result with
+    | Ok r -> ("ok", Answer.n_answers r, Answer.total_s r)
+    | Error f -> (f.Answer.reason, -1, f.Answer.f_reformulation_s)
+  in
+  Trajectory.run ~workload ~scale:cfg.scale ~query:qname
+    ~strategy:(Strategy.name s) ~status ~answers ~total_s ~stages
+    ~counters:rep.Obs.totals
+
+let trajectory file =
+  let workloads =
+    [
+      ("lubm", lazy (Lazy.force lubm_store), Lubm.queries);
+      ("dblp", lazy (Dblp.generate ~scale:cfg.scale ()), Dblp.queries);
+      ("geo", lazy (Geo.generate ~scale:cfg.scale ()), Geo.queries);
+    ]
+  in
+  let runs =
+    List.concat_map
+      (fun (workload, store, queries) ->
+        let env = Answer.make_env (Lazy.force store) in
+        Fmt.pr "trajectory: %s(%d), %d queries × %d strategies@." workload
+          cfg.scale (List.length queries)
+          (List.length trajectory_strategies);
+        List.concat_map
+          (fun (qname, q) ->
+            List.map
+              (fun s -> trajectory_run env ~workload ~qname q s)
+              trajectory_strategies)
+          queries)
+      workloads
+  in
+  let environment =
+    [
+      ("ocaml_version", Json.String Sys.ocaml_version);
+      ("os_type", Json.String Sys.os_type);
+      ("word_size", Json.Int Sys.word_size);
+      ("hostname", Json.String (Unix.gethostname ()));
+      ("scale", Json.Int cfg.scale);
+      ("fast", Json.Bool cfg.fast);
+    ]
+  in
+  let doc = Trajectory.make ~created_unix:(Unix.time ()) ~environment runs in
+  let oc = open_out file in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote %d runs (%s) to %s@." (List.length runs)
+    Trajectory.schema_version file
+
+let validate_file file =
+  let ic = open_in_bin file in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.parse contents with
+  | Error msg ->
+    Fmt.epr "%s: JSON parse error: %s@." file msg;
+    exit 1
+  | Ok doc -> (
+    match Trajectory.validate doc with
+    | Error msg ->
+      Fmt.epr "%s: invalid trajectory: %s@." file msg;
+      exit 1
+    | Ok () -> Fmt.pr "%s: valid %s trajectory@." file Trajectory.schema_version)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  Fmt.pr "refq bench — scale %d%s@." cfg.scale
-    (if cfg.fast then " (fast mode)" else "");
-  let experiments =
-    [
-      ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
-      ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
-      ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-      ("e15", e15); ("e16", e16); ("micro", micro);
-    ]
-  in
-  List.iter (fun (name, f) -> if enabled name then f ()) experiments
+  match cfg.validate, cfg.json with
+  | Some file, _ -> validate_file file
+  | None, Some file ->
+    Fmt.pr "refq bench — trajectory mode, scale %d%s@." cfg.scale
+      (if cfg.fast then " (fast mode)" else "");
+    trajectory file
+  | None, None ->
+    Fmt.pr "refq bench — scale %d%s@." cfg.scale
+      (if cfg.fast then " (fast mode)" else "");
+    let experiments =
+      [
+        ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+        ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+        ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
+        ("e15", e15); ("e16", e16); ("obs", obs_overhead); ("micro", micro);
+      ]
+    in
+    List.iter (fun (name, f) -> if enabled name then f ()) experiments

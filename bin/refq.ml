@@ -17,6 +17,7 @@ open Refq_core
 (* [Refq_rdf.Term] shadows [Cmdliner.Term]; restore the latter for the
    command definitions below (RDF terms are only used qualified here). *)
 module Term = Cmdliner.Term
+module Obs = Refq_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Loading and saving                                                  *)
@@ -266,8 +267,45 @@ let strategy_conv ~n_atoms name cover =
   | "jucq", None -> Error "strategy jucq requires --cover"
   | name, _ -> Strategy.of_string name
 
+(* --explain: the chosen cover with, per fragment, the cost model's
+   estimated cardinality next to the cardinality actually materialized —
+   the "estimated vs actual" view of the chosen plan. *)
+let explain_answer env q (r : Answer.report) =
+  match r.Answer.detail with
+  | Answer.Saturated _ | Answer.Datalog_run _ -> ()
+  | Answer.Reformulated { cover; fragment_cardinalities; gcov; _ } ->
+    Fmt.pr "@.chosen cover: %a@." Cover.pp cover;
+    (match gcov with
+    | Some trace ->
+      Fmt.pr "cover search: %d covers explored in %d round(s), %a estimated cost@."
+        (List.length trace.Gcov.explored)
+        trace.Gcov.iterations
+        Refq_cost.Cost_model.pp_estimate trace.Gcov.chosen_estimate
+    | None -> ());
+    let cl = Answer.closure env and cenv = Answer.card_env env in
+    Fmt.pr "%-4s %-16s %12s %12s %10s@." "frag" "atoms" "est. card"
+      "actual card" "est. cost";
+    List.iteri
+      (fun i (frag, actual) ->
+        let atoms =
+          String.concat "," (List.map (fun a -> string_of_int (a + 1)) frag)
+        in
+        match Refq_reform.Reformulate.fragment_ucq cl q frag with
+        | f ->
+          let e =
+            Refq_cost.Cost_model.(
+              fragment_estimate (fragment_profile cenv f))
+          in
+          Fmt.pr "%-4d %-16s %12.0f %12d %10.0f@." (i + 1) atoms
+            e.Refq_cost.Cost_model.card actual e.Refq_cost.Cost_model.cost
+        | exception Refq_reform.Reformulate.Too_large n ->
+          Fmt.pr "%-4d %-16s %12s %12d %10s@." (i + 1) atoms
+            (Printf.sprintf "(>%d CQs)" n)
+            actual "—")
+      (List.combine (Cover.fragments cover) fragment_cardinalities)
+
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format faults fault_seed retries deadline max_rows =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain faults fault_seed retries deadline max_rows =
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok store -> (
@@ -423,6 +461,7 @@ let answer_cmd =
                         with
                         | Ok r ->
                           Fmt.pr "%a@." Answer.pp_report r;
+                          if explain then explain_answer env q r;
                           if not all_strategies then show_rows r.Answer.answers
                         | Error f ->
                           Fmt.pr "%s: FAILED after %.3fs: %s@."
@@ -496,12 +535,20 @@ let answer_cmd =
       & info [ "format" ]
           ~doc:"Answer rendering: text, json (SPARQL results JSON), csv or                 tsv.")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "After answering, print the chosen cover and the per-fragment \
+             estimated vs actual cardinalities.")
+  in
   Cmd.v
     (Cmd.info "answer" ~doc:"Answer a query through a chosen strategy")
     Term.(
       ret
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
-       $ all_strategies $ minimize $ backend $ format $ faults_arg
+       $ all_strategies $ minimize $ backend $ format $ explain $ faults_arg
        $ fault_seed_arg $ retries_arg $ deadline_arg $ max_rows_arg))
 
 (* ------------------------------------------------------------------ *)
@@ -586,6 +633,79 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Inspect reformulation sizes and GCov's explored cover space")
     Term.(ret (const run $ path $ query $ query_file $ show_sparql))
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let profile_cmd =
+  let run path query query_file strategy_name cover_spec =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok store -> (
+      match read_query ~query ~query_file with
+      | Error m -> `Error (false, m)
+      | Ok text -> (
+        match parse_query text with
+        | Error e -> query_error e
+        | Ok q -> (
+          let env = Answer.make_env store in
+          let n_atoms = List.length q.Cq.body in
+          match strategy_conv ~n_atoms strategy_name cover_spec with
+          | Error m -> `Error (false, m)
+          | Ok s ->
+            let result, rep =
+              Obs.profile ~name:(Strategy.name s) (fun () ->
+                  Answer.answer env q s)
+            in
+            (match result with
+            | Ok r ->
+              Fmt.pr "%a@." Answer.pp_report r;
+              explain_answer env q r
+            | Error f ->
+              Fmt.pr "%s: FAILED after %.3fs: %s@."
+                (Strategy.name f.Answer.f_strategy)
+                f.Answer.f_reformulation_s f.Answer.reason);
+            Fmt.pr "@.%a@." Obs.pp_report rep;
+            `Ok ())))
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt or .ttl).")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~doc:"Query text.")
+  in
+  let query_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "query-file" ] ~doc:"File holding the query.")
+  in
+  let strategy =
+    Arg.(
+      value & opt string "gcov"
+      & info [ "s"; "strategy" ]
+          ~doc:"Strategy: sat, ucq, scq, jucq (with --cover), gcov, datalog.")
+  in
+  let cover =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cover" ]
+          ~doc:"Cover for --strategy jucq, e.g. \"1,3;3,5;2,4;4,6\" (1-based).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Answer a query with the observability sink on and print the span \
+          tree (per-stage wall time, allocation, engine counters)")
+    Term.(ret (const run $ path $ query $ query_file $ strategy $ cover))
 
 (* ------------------------------------------------------------------ *)
 (* saturate                                                            *)
@@ -738,8 +858,8 @@ let () =
   let group =
     Cmd.group info
       [
-        generate_cmd; stats_cmd; answer_cmd; explain_cmd; saturate_cmd;
-        federate_cmd; demo_cmd;
+        generate_cmd; stats_cmd; answer_cmd; explain_cmd; profile_cmd;
+        saturate_cmd; federate_cmd; demo_cmd;
       ]
   in
   (* One-line diagnostics instead of raw backtraces for the failures a

@@ -40,7 +40,7 @@ let () =
       let run s =
         match time (fun () -> Answer.answer env q s) with
         | Ok r, dt ->
-          (Printf.sprintf "%.3f" (r.Answer.reformulation_s +. r.Answer.evaluation_s), dt)
+          (Printf.sprintf "%.3f" (Answer.total_s r), dt)
         | Error _, dt -> ("fail", dt)
       in
       let scq_t, _ = run Strategy.Scq in

@@ -10,6 +10,7 @@ let src = Logs.Src.create "refq.answer" ~doc:"strategy dispatch"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 module Budget = Refq_fault.Budget
+module Obs = Refq_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-answer reporting (shared with the federation layer)        *)
@@ -137,12 +138,15 @@ type detail =
 type report = {
   strategy : Strategy.t;
   answers : Relation.t;
+  planning_s : float;
   reformulation_s : float;
   evaluation_s : float;
   detail : detail;
 }
 
 let n_answers r = Relation.cardinality r.answers
+
+let total_s r = r.planning_s +. r.reformulation_s +. r.evaluation_s
 
 type failure = {
   f_strategy : Strategy.t;
@@ -164,8 +168,12 @@ let eval_jucq_with_cards ?budget ~backend env (j : Jucq.t) =
     | Sort_merge -> (Sortmerge.ucq ?budget, Sortmerge.merge_join ?budget)
   in
   let fragments =
-    List.map
-      (fun f -> ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq)
+    List.mapi
+      (fun i f ->
+        Obs.span_lazy
+          (fun () -> Printf.sprintf "fragment-%d" i)
+          (fun () ->
+            ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq))
       j.Jucq.fragments
   in
   let cards = List.map Relation.cardinality fragments in
@@ -182,12 +190,13 @@ let eval_jucq_with_cards ?budget ~backend env (j : Jucq.t) =
   else begin
     let joinable = List.filter (fun r -> Relation.arity r > 0) fragments in
     let joined =
-      match Evaluator.join_order joinable with
-      | [] ->
-        let r = Relation.create ~cols:[||] in
-        Relation.add_row r [||];
-        r
-      | first :: rest -> List.fold_left join first rest
+      Obs.span "join" (fun () ->
+          match Evaluator.join_order joinable with
+          | [] ->
+            let r = Relation.create ~cols:[||] in
+            Relation.add_row r [||];
+            r
+          | first :: rest -> List.fold_left join first rest)
     in
     let add = Relation.distinct_adder result in
     let out_row = Array.make (Array.length head) 0 in
@@ -230,7 +239,10 @@ let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
     | None -> max_disjuncts
   in
   let t0 = now () in
-  match Reformulate.cover_to_jucq ?profile ~max_disjuncts env.closure q cover with
+  match
+    Obs.span "reformulate" (fun () ->
+        Reformulate.cover_to_jucq ?profile ~max_disjuncts env.closure q cover)
+  with
   | exception Reformulate.Too_large n ->
     Error
       {
@@ -248,7 +260,10 @@ let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
         m "%a: cover %a, %d disjuncts in %d fragments" Strategy.pp strategy
           Cover.pp cover (Jucq.size jucq) (Jucq.n_fragments jucq));
     let t1 = now () in
-    match eval_jucq_with_cards ?budget ~backend env jucq with
+    match
+      Obs.span "evaluate" (fun () ->
+          eval_jucq_with_cards ?budget ~backend env jucq)
+    with
     | exception Budget.Exhausted reason ->
       Error
         {
@@ -262,6 +277,7 @@ let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
         {
           strategy;
           answers;
+          planning_s = 0.0;
           reformulation_s = t1 -. t0;
           evaluation_s = t2 -. t1;
           detail =
@@ -281,14 +297,17 @@ let answer ?profile ?params ?minimize ?backend ?budget
   match strategy with
   | Strategy.Saturation -> (
     let t0 = now () in
-    let _, info, sat_cenv = saturated_full env in
+    let _, info, sat_cenv = Obs.span "saturate" (fun () -> saturated_full env) in
     let t1 = now () in
     let eval_cq =
       match Option.value ~default:Nested_loop backend with
       | Nested_loop -> fun env ~cols q -> Evaluator.cq ?budget env ~cols q
       | Sort_merge -> fun env ~cols q -> Sortmerge.cq ?budget env ~cols q
     in
-    match eval_cq sat_cenv ~cols:(positional_cols q) q with
+    match
+      Obs.span "evaluate" (fun () ->
+          eval_cq sat_cenv ~cols:(positional_cols q) q)
+    with
     | exception Budget.Exhausted reason ->
       Error
         {
@@ -302,6 +321,7 @@ let answer ?profile ?params ?minimize ?backend ?budget
         {
           strategy;
           answers;
+          planning_s = 0.0;
           reformulation_s = t1 -. t0;
           evaluation_s = t2 -. t1;
           detail = Saturated info;
@@ -325,20 +345,27 @@ let answer ?profile ?params ?minimize ?backend ?budget
         strategy cover None
   | Strategy.Gcov ->
     let t0 = now () in
-    let trace = Gcov.search ?profile ?params ~max_disjuncts env.card_env env.closure q in
+    let trace =
+      Obs.span "plan" (fun () ->
+          Gcov.search ?profile ?params ~max_disjuncts env.card_env env.closure q)
+    in
     let search_s = now () -. t0 in
     Result.map
-      (fun r -> { r with reformulation_s = r.reformulation_s +. search_s })
+      (fun r -> { r with planning_s = search_s })
       (run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env
          q strategy trace.Gcov.chosen (Some trace))
   | Strategy.Datalog ->
     let t0 = now () in
-    let answers, stats = Refq_datalog.Rdf_encoding.answer env.store q in
+    let answers, stats =
+      Obs.span "evaluate" (fun () ->
+          Refq_datalog.Rdf_encoding.answer env.store q)
+    in
     let t1 = now () in
     Ok
       {
         strategy;
         answers;
+        planning_s = 0.0;
         reformulation_s = 0.0;
         evaluation_s = t1 -. t0;
         detail = Datalog_run stats;
@@ -390,7 +417,10 @@ let pp_report ppf r =
       Fmt.pf ppf "datalog: %d facts derived in %d iterations"
         stats.Refq_datalog.Datalog.derived stats.Refq_datalog.Datalog.iterations
   in
-  Fmt.pf ppf "%a: %d answers (reform %.3fs, eval %.3fs; %a)" Strategy.pp
+  let plan ppf r =
+    if r.planning_s > 0.0 then Fmt.pf ppf "plan %.3fs, " r.planning_s
+  in
+  Fmt.pf ppf "%a: %d answers (%areform %.3fs, eval %.3fs; %a)" Strategy.pp
     r.strategy
     (Relation.cardinality r.answers)
-    r.reformulation_s r.evaluation_s detail r.detail
+    plan r r.reformulation_s r.evaluation_s detail r.detail

@@ -106,13 +106,18 @@ type detail =
 type report = {
   strategy : Strategy.t;
   answers : Relation.t;
+  planning_s : float;
+      (** cover-search time (GCov); 0 for the fixed-cover strategies *)
   reformulation_s : float;
-      (** reformulation / cover search / saturation / program build time *)
+      (** reformulation / saturation / program build time *)
   evaluation_s : float;
   detail : detail;
 }
 
 val n_answers : report -> int
+
+val total_s : report -> float
+(** [planning_s +. reformulation_s +. evaluation_s]. *)
 
 type failure = {
   f_strategy : Strategy.t;

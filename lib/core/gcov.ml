@@ -5,6 +5,9 @@ open Refq_reform
 let src = Logs.Src.create "refq.gcov" ~doc:"greedy cover search"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Refq_obs.Obs
+
+let c_covers_explored = Obs.counter "gcov.covers_explored"
 
 type step = {
   cover : Cover.t;
@@ -74,6 +77,7 @@ let search ?profile ?params ?max_disjuncts env cl q =
   let key cover = Cover.fragments cover in
   let explored = ref [] in
   let record cover estimate accepted =
+    Obs.incr c_covers_explored;
     explored := { cover; estimate; accepted } :: !explored
   in
   let start = Cover.singleton ~n_atoms in

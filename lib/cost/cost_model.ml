@@ -1,4 +1,7 @@
 open Refq_query
+module Obs = Refq_obs.Obs
+
+let c_estimates = Obs.counter "cost.estimates"
 
 type params = {
   c_probe : float;
@@ -100,7 +103,10 @@ let fragment_profile ?(params = default_params) env (f : Jucq.fragment) =
   let cost, card, distinct = ucq_profile params env ~out:f.Jucq.out f.Jucq.ucq in
   (f.Jucq.out, cost, card, distinct)
 
+let fragment_estimate ((_, cost, card, _) : fragment_profile) = { cost; card }
+
 let combine ?(params = default_params) fragments =
+  Obs.incr c_estimates;
   if List.exists (fun (_, c, _, _) -> c = infinity) fragments then
     { cost = infinity; card = 0.0 }
   else begin

@@ -57,6 +57,10 @@ type fragment_profile
 val fragment_profile :
   ?params:params -> Cardinality.env -> Jucq.fragment -> fragment_profile
 
+val fragment_estimate : fragment_profile -> estimate
+(** The profile's cost and estimated cardinality alone — what [--explain]
+    prints next to the actually materialized fragment sizes. *)
+
 val combine : ?params:params -> fragment_profile list -> estimate
 (** The JUCQ estimate for a cover made of the given fragments;
     [jucq env j] = [combine (List.map (fragment_profile env) j.fragments)]. *)

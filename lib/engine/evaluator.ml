@@ -3,6 +3,13 @@ open Refq_storage
 open Refq_cost
 module Int_vec = Refq_util.Int_vec
 module Budget = Refq_fault.Budget
+module Obs = Refq_obs.Obs
+
+(* Engine counters (no-ops while the observability sink is off). *)
+let c_index_probes = Obs.counter "engine.index_probes"
+let c_triples_scanned = Obs.counter "engine.triples_scanned"
+let c_intermediate_rows = Obs.counter "engine.intermediate_rows"
+let c_join_rows = Obs.counter "engine.join_rows"
 
 (* Budget polling: one charge per intermediate row produced. With no
    budget the closure is a no-op, keeping the hot path unchanged. *)
@@ -110,8 +117,10 @@ let cq ?budget env ?cols q =
         in
         for t = 0 to !ncur - 1 do
           Int_vec.blit_to !current (t * width) row 0 width;
+          Obs.incr c_index_probes;
           Store.iter_pattern store ~s:(sel row s) ~p:(sel row p) ~o:(sel row o)
             (fun ts tp to_ ->
+              Obs.incr c_triples_scanned;
               (* Write the freshly bound slots, then verify within-atom
                  repeated-variable constraints. *)
               (match s with
@@ -130,6 +139,7 @@ let cq ?budget env ?cols q =
               in
               if checks_ok then begin
                 spend 1;
+                Obs.incr c_intermediate_rows;
                 Int_vec.append_array next row;
                 incr nnext
               end)
@@ -215,6 +225,7 @@ let join ?budget r1 r2 =
         List.iter
           (fun brow ->
             spend 1;
+            Obs.incr c_join_rows;
             Array.blit brow 0 out_row 0 (Array.length brow);
             List.iteri
               (fun k i -> out_row.(Array.length brow + k) <- prow.(i))

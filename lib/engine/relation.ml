@@ -1,6 +1,9 @@
 open Refq_rdf
 open Refq_storage
 module Int_vec = Refq_util.Int_vec
+module Obs = Refq_obs.Obs
+
+let c_dedup_hits = Obs.counter "engine.dedup_hits"
 
 type t = {
   cols : string array;
@@ -42,7 +45,8 @@ let col_index r name =
 let distinct_adder ?(size_hint = 64) r =
   let seen = Hashtbl.create (max 16 size_hint) in
   fun row ->
-    if not (Hashtbl.mem seen row) then begin
+    if Hashtbl.mem seen row then Obs.incr c_dedup_hits
+    else begin
       let key = Array.copy row in
       Hashtbl.add seen key ();
       add_row r key

@@ -2,6 +2,12 @@ open Refq_query
 open Refq_storage
 open Refq_cost
 module Budget = Refq_fault.Budget
+module Obs = Refq_obs.Obs
+
+let c_index_probes = Obs.counter "engine.index_probes"
+let c_triples_scanned = Obs.counter "engine.triples_scanned"
+let c_intermediate_rows = Obs.counter "engine.intermediate_rows"
+let c_join_rows = Obs.counter "engine.join_rows"
 
 let spender = function
   | None -> fun _ -> ()
@@ -76,6 +82,7 @@ let merge_join ?budget r1 r2 =
   in
   let emit row1 row2 =
     spend 1;
+    Obs.incr c_join_rows;
     let out = Array.make (Array.length out_cols) 0 in
     Array.blit row1 0 out 0 (Array.length row1);
     List.iteri (fun k i -> out.(Array.length row1 + k) <- row2.(i)) extra2;
@@ -154,8 +161,10 @@ let materialize_atom ?budget env (a : Cq.atom) =
     in
     idx 0 vars
   in
+  Obs.incr c_index_probes;
   Store.iter_pattern store ~s:(bound s) ~p:(bound p) ~o:(bound o)
     (fun ts tp to_ ->
+      Obs.incr c_triples_scanned;
       (* Write the variable positions in s, p, o order; a repeated
          variable's later occurrence must agree with the value already
          written for this triple. *)
@@ -177,6 +186,7 @@ let materialize_atom ?budget env (a : Cq.atom) =
         [ (s, ts); (p, tp); (o, to_) ];
       if !ok then begin
         spend 1;
+        Obs.incr c_intermediate_rows;
         Relation.add_row rel (Array.copy row)
       end);
   rel

@@ -11,6 +11,12 @@ module Breaker = Refq_fault.Breaker
 module Retry = Refq_fault.Retry
 module Sim_clock = Refq_fault.Sim_clock
 module Answer = Refq_core.Answer
+module Obs = Refq_obs.Obs
+
+let c_calls = Obs.counter "federation.calls"
+let c_retries = Obs.counter "federation.retries"
+let c_breaker_skips = Obs.counter "federation.breaker_skips"
+let c_truncated = Obs.counter "federation.truncated"
 
 module Endpoint = struct
   type t = {
@@ -143,11 +149,15 @@ let call_endpoint res budget breakers (f : Jucq.fragment) ~cols add e =
   let name = e.Endpoint.name in
   let breaker = breaker_for res breakers name in
   let now () = Sim_clock.now (Budget.clock budget) in
-  if not (Breaker.allow breaker ~now:(now ())) then
+  if not (Breaker.allow breaker ~now:(now ())) then begin
+    Obs.incr c_breaker_skips;
     (name, Answer.Skipped_open_circuit)
+  end
   else
     let rec attempt made =
       Budget.charge_ticks budget res.call_ticks;
+      Obs.incr c_calls;
+      if made > 0 then Obs.incr c_retries;
       match Fault.outcome res.plan name with
       | (Fault.Fail _ | Fault.Timeout) as o ->
         let error =
@@ -180,6 +190,7 @@ let call_endpoint res budget breakers (f : Jucq.fragment) ~cols add e =
         in
         (match cap with
         | Some n when Relation.cardinality r > n ->
+          Obs.incr c_truncated;
           Relation.iter_rows (Relation.truncate r n) add;
           (name, Answer.Truncated { returned = n })
         | _ ->
@@ -192,13 +203,16 @@ let call_endpoint res budget breakers (f : Jucq.fragment) ~cols add e =
    against its own (non-saturated) triples and applies its answer limit;
    the federation unions the results. *)
 let eval_fragment res budget breakers fed idx (f : Jucq.fragment) =
-  let cols = Array.of_list f.Jucq.out in
-  let result = Relation.create ~cols in
-  let add = Relation.distinct_adder result in
-  let contributions =
-    List.map (call_endpoint res budget breakers f ~cols add) fed.endpoints
-  in
-  (result, { Answer.fragment = idx; contributions })
+  Obs.span_lazy
+    (fun () -> Printf.sprintf "federation/fragment-%d" idx)
+    (fun () ->
+      let cols = Array.of_list f.Jucq.out in
+      let result = Relation.create ~cols in
+      let add = Relation.distinct_adder result in
+      let contributions =
+        List.map (call_endpoint res budget breakers f ~cols add) fed.endpoints
+      in
+      (result, { Answer.fragment = idx; contributions }))
 
 let project_head fed head joined =
   let head = Array.of_list head in

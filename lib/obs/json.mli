@@ -1,0 +1,41 @@
+(** A minimal JSON tree, emitter and parser.
+
+    Self-contained on purpose: the benchmark trajectory files must be
+    writable from the bench harness and checkable from [scripts/check.sh]
+    without adding any dependency to the repository. The emitter always
+    produces valid JSON (non-finite floats degrade to [null]); the parser
+    accepts standard JSON (RFC 8259) and reports one-line positioned
+    errors. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize; [indent] (default [true]) pretty-prints with two-space
+    indentation. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (trailing whitespace allowed). Numbers without
+    fraction or exponent that fit an OCaml [int] parse as [Int]. *)
+
+(** {1 Accessors} — each returns [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]. *)
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_string_opt : t -> string option
+
+val to_list : t -> t list option
+
+val to_obj : t -> (string * t) list option

@@ -1,0 +1,242 @@
+(* The sink is one mutable bool consulted by every probe; all other state
+   is only touched when it is on. Not thread-safe by design: the engine is
+   single-threaded and the bool check must stay branch-cheap. *)
+
+let on = ref false
+
+let enabled () = !on
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = {
+  cname : string;
+  mutable v : int;
+}
+
+(* Registration happens a handful of times at module initialization, so a
+   list is fine; snapshots iterate it in registration order. *)
+let registry : counter list ref = ref []
+
+let counter name =
+  match List.find_opt (fun c -> String.equal c.cname name) !registry with
+  | Some c -> c
+  | None ->
+    let c = { cname = name; v = 0 } in
+    registry := c :: !registry;
+    c
+
+let add c n = if !on then c.v <- c.v + n
+
+let incr c = if !on then c.v <- c.v + 1
+
+let value c = c.v
+
+let counters () =
+  List.sort compare (List.map (fun c -> (c.cname, c.v)) !registry)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  name : string;
+  wall_s : float;
+  minor_words : float;
+  major_words : float;
+  calls : int;
+  counters : (string * int) list;
+  children : node list;
+}
+
+type frame = {
+  fname : string;
+  t0 : float;
+  minor0 : float;
+  major0 : float;
+  snap : (counter * int) list;
+  mutable kids : node list;  (* reversed *)
+}
+
+let stack : frame list ref = ref []
+
+let reset () =
+  List.iter (fun c -> c.v <- 0) !registry;
+  stack := []
+
+let set_enabled b =
+  if not b then stack := [];
+  on := b
+
+let snapshot () = List.map (fun c -> (c, c.v)) !registry
+
+let deltas snap =
+  (* Counters registered after the snapshot started from zero, so their
+     absence from [snap] loses nothing. *)
+  List.filter_map
+    (fun (c, v0) ->
+      let d = c.v - v0 in
+      if d = 0 then None else Some (c.cname, d))
+    snap
+  |> List.sort compare
+
+let merge_assoc a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+      | None -> (k, v) :: acc)
+    a b
+  |> List.sort compare
+
+(* Same-name siblings collapse into one aggregated node so that spans
+   opened in loops stay readable; their children merge recursively. *)
+let rec merge a b =
+  {
+    name = a.name;
+    wall_s = a.wall_s +. b.wall_s;
+    minor_words = a.minor_words +. b.minor_words;
+    major_words = a.major_words +. b.major_words;
+    calls = a.calls + b.calls;
+    counters = merge_assoc a.counters b.counters;
+    children = List.fold_left add_child a.children b.children;
+  }
+
+and add_child siblings node =
+  let rec loop acc = function
+    | [] -> List.rev (node :: acc)
+    | s :: rest ->
+      if String.equal s.name node.name then
+        List.rev_append acc (merge s node :: rest)
+      else loop (s :: acc) rest
+  in
+  loop [] siblings
+
+let enter name =
+  (* [Gc.minor_words] (unlike [quick_stat]'s field, which in native code
+     misses everything since the last minor collection) is exact. *)
+  let g = Gc.quick_stat () in
+  stack :=
+    {
+      fname = name;
+      t0 = Unix.gettimeofday ();
+      minor0 = Gc.minor_words ();
+      major0 = g.Gc.major_words;
+      snap = snapshot ();
+      kids = [];
+    }
+    :: !stack
+
+(* Close the top frame into a node; attach it to the parent unless the
+   caller wants it back (the profile root). *)
+let leave ~attach =
+  match !stack with
+  | [] -> invalid_arg "Obs.leave: no open span"
+  | f :: rest ->
+    stack := rest;
+    let g = Gc.quick_stat () in
+    let node =
+      {
+        name = f.fname;
+        wall_s = Unix.gettimeofday () -. f.t0;
+        minor_words = Gc.minor_words () -. f.minor0;
+        major_words = g.Gc.major_words -. f.major0;
+        calls = 1;
+        counters = deltas f.snap;
+        children = List.rev f.kids;
+      }
+    in
+    (match rest with
+    | parent :: _ when attach -> parent.kids <- List.rev (add_child (List.rev parent.kids) node)
+    | _ -> ());
+    node
+
+let span name f =
+  if not !on then f ()
+  else begin
+    enter name;
+    match f () with
+    | v ->
+      ignore (leave ~attach:true);
+      v
+    | exception e ->
+      ignore (leave ~attach:true);
+      raise e
+  end
+
+let span_lazy name f = if not !on then f () else span (name ()) f
+
+(* ------------------------------------------------------------------ *)
+(* Profiles                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  root : node;
+  totals : (string * int) list;
+}
+
+let profile ?(name = "query") f =
+  let was = !on in
+  on := true;
+  enter name;
+  match f () with
+  | v ->
+    let root = leave ~attach:false in
+    on := was;
+    (v, { root; totals = root.counters })
+  | exception e ->
+    ignore (leave ~attach:false);
+    on := was;
+    raise e
+
+let find_node r name =
+  let rec dfs n =
+    if String.equal n.name name then Some n
+    else List.find_map dfs n.children
+  in
+  dfs r.root
+
+let stage_total r name =
+  let rec sum acc n =
+    let acc = if String.equal n.name name then acc +. n.wall_s else acc in
+    List.fold_left sum acc n.children
+  in
+  sum 0.0 r.root
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_time ppf s =
+  if s < 0.001 then Fmt.pf ppf "%.0fµs" (s *. 1e6)
+  else if s < 1.0 then Fmt.pf ppf "%.1fms" (s *. 1e3)
+  else Fmt.pf ppf "%.2fs" s
+
+let pp_words ppf w =
+  if w >= 1e6 then Fmt.pf ppf "%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Fmt.pf ppf "%.1fkw" (w /. 1e3)
+  else Fmt.pf ppf "%.0fw" w
+
+let rec pp_node_at depth ppf n =
+  let label =
+    if n.calls > 1 then Printf.sprintf "%s (×%d)" n.name n.calls else n.name
+  in
+  Fmt.pf ppf "%s%-*s %10s  minor %8s"
+    (String.make (2 * depth) ' ')
+    (max 1 (36 - (2 * depth)))
+    label
+    (Fmt.str "%a" pp_time n.wall_s)
+    (Fmt.str "%a" pp_words n.minor_words);
+  List.iter (fun (k, v) -> Fmt.pf ppf "  %s %+d" k v) n.counters;
+  List.iter (fun c -> Fmt.pf ppf "@,%a" (pp_node_at (depth + 1)) c) n.children
+
+let pp_node ppf n = Fmt.pf ppf "@[<v>%a@]" (pp_node_at 0) n
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%a" (pp_node_at 0) r.root;
+  if r.totals <> [] then begin
+    Fmt.pf ppf "@,@,counters:";
+    List.iter (fun (k, v) -> Fmt.pf ppf "@,  %-32s %12d" k v) r.totals
+  end;
+  Fmt.pf ppf "@]"

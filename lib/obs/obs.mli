@@ -1,0 +1,99 @@
+(** Zero-dependency observability: wall-clock span profiling and named
+    engine counters behind one globally disableable sink.
+
+    The subsystem is built so the instrumented hot paths cost (almost)
+    nothing when the sink is off: every probe is a single mutable-bool
+    check. All instrumentation points therefore stay compiled in — there
+    is no build-time variant — and a query can be profiled at any moment
+    by running it under {!profile}.
+
+    {b Counters} are process-global named integers ("engine.index_probes",
+    "reform.disjuncts", ...), registered once at module initialization of
+    the instrumented library and bumped from the hot paths. {b Spans}
+    ("reformulate", "evaluate", "fragment-2", ...) form a tree: entering a
+    span snapshots the clock, the counters and the GC state; leaving it
+    records the deltas as a {!node} under the enclosing span. Sibling
+    spans with the same name are merged (summing times and deltas and
+    counting calls), so loops produce one aggregated node rather than
+    thousands. *)
+
+(** {1 The sink} *)
+
+val enabled : unit -> bool
+(** Whether the sink currently collects anything. Off by default. *)
+
+val set_enabled : bool -> unit
+(** Turn the sink on or off globally. {!profile} does this for you;
+    setting it directly is for long-running collection. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] is the process-global counter registered under [name],
+    creating it on first use. Call it once at module initialization and
+    keep the handle: the handle lookup is a list scan, the bumps are not. *)
+
+val add : counter -> int -> unit
+(** Add [n] to the counter — a no-op when the sink is off. *)
+
+val incr : counter -> unit
+(** [incr c] is [add c 1]. *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** Current value of every registered counter, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every counter and drop any span state. Profiling via {!profile}
+    does not require resetting: reports are built from deltas. *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span named [name]. When the sink is
+    off this is exactly [f ()] (one branch). Exceptions unwind the span
+    (time spent until the raise is recorded) and are re-raised. *)
+
+val span_lazy : (unit -> string) -> (unit -> 'a) -> 'a
+(** Like {!span} for dynamically built names: the name is only computed
+    when the sink is on, so hot loops do not pay for [Printf]. *)
+
+(** {1 Profiles} *)
+
+type node = {
+  name : string;
+  wall_s : float;  (** total wall-clock time across merged calls *)
+  minor_words : float;  (** GC minor-heap allocation during the span *)
+  major_words : float;
+  calls : int;  (** sibling spans merged into this node *)
+  counters : (string * int) list;
+      (** counter deltas observed inside the span (zero deltas omitted) *)
+  children : node list;
+}
+
+type report = {
+  root : node;
+  totals : (string * int) list;  (** counter deltas over the whole run *)
+}
+
+val profile : ?name:string -> (unit -> 'a) -> 'a * report
+(** [profile f] turns the sink on, runs [f] under a root span (named
+    ["query"] unless [name] says otherwise), restores the sink's previous
+    state and returns [f]'s result with the collected profile tree. *)
+
+val find_node : report -> string -> node option
+(** First node with the given name, depth-first. *)
+
+val stage_total : report -> string -> float
+(** Summed wall time of {e every} node named [name] in the tree — the
+    per-stage rollup used by the benchmark trajectory ("evaluate" time
+    includes every fragment's evaluate span, wherever it sits). *)
+
+val pp_node : node Fmt.t
+
+val pp_report : report Fmt.t
+(** The span tree (indented, with per-node wall time, allocation and
+    counter deltas) followed by the counter totals. *)

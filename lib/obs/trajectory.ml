@@ -1,0 +1,157 @@
+let schema_version = "refq-bench/1"
+
+let canonical_stages = [ "saturate"; "reformulate"; "plan"; "evaluate" ]
+
+type run = {
+  workload : string;
+  scale : int;
+  query : string;
+  strategy : string;
+  status : string;
+  answers : int;
+  total_s : float;
+  stages : (string * float) list;
+  counters : (string * int) list;
+}
+
+let run ~workload ~scale ~query ~strategy ~status ~answers ~total_s ~stages
+    ~counters =
+  let stages =
+    List.map
+      (fun s -> (s, Option.value ~default:0.0 (List.assoc_opt s stages)))
+      canonical_stages
+    @ List.filter (fun (s, _) -> not (List.mem s canonical_stages)) stages
+  in
+  { workload; scale; query; strategy; status; answers; total_s; stages; counters }
+
+let run_to_json r =
+  Json.Obj
+    [
+      ("workload", Json.String r.workload);
+      ("scale", Json.Int r.scale);
+      ("query", Json.String r.query);
+      ("strategy", Json.String r.strategy);
+      ("status", Json.String r.status);
+      ("answers", Json.Int r.answers);
+      ("total_s", Json.Float r.total_s);
+      ("stages", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.stages));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters) );
+    ]
+
+let make ~created_unix ~environment runs =
+  Json.Obj
+    [
+      ("schema_version", Json.String schema_version);
+      ("created_unix", Json.Float created_unix);
+      ("environment", Json.Obj environment);
+      ("runs", Json.List (List.map run_to_json runs));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error what
+
+let validate j =
+  let* fields = require "top level must be an object" (Json.to_obj j) in
+  ignore fields;
+  let* version =
+    require "missing string field \"schema_version\""
+      (Option.bind (Json.member "schema_version" j) Json.to_string_opt)
+  in
+  let* () =
+    if String.equal version schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema_version is %S, this checker knows %S" version
+           schema_version)
+  in
+  let* _created =
+    require "missing numeric field \"created_unix\""
+      (Option.bind (Json.member "created_unix" j) Json.to_float)
+  in
+  let* env =
+    require "missing object field \"environment\""
+      (Option.bind (Json.member "environment" j) Json.to_obj)
+  in
+  let* () =
+    if List.mem_assoc "ocaml_version" env then Ok ()
+    else Error "environment lacks \"ocaml_version\""
+  in
+  let* runs =
+    require "missing array field \"runs\""
+      (Option.bind (Json.member "runs" j) Json.to_list)
+  in
+  let* () = if runs = [] then Error "\"runs\" is empty" else Ok () in
+  let check_run i r =
+    let where what = Printf.sprintf "runs[%d]: %s" i what in
+    let str k =
+      require
+        (where (Printf.sprintf "missing string field %S" k))
+        (Option.bind (Json.member k r) Json.to_string_opt)
+    in
+    let* _ = str "workload" in
+    let* _ = str "query" in
+    let* _ = str "strategy" in
+    let* _ = str "status" in
+    let* _ =
+      require
+        (where "missing integer field \"scale\"")
+        (Option.bind (Json.member "scale" r) Json.to_int)
+    in
+    let* _ =
+      require
+        (where "missing integer field \"answers\"")
+        (Option.bind (Json.member "answers" r) Json.to_int)
+    in
+    let* total =
+      require
+        (where "missing numeric field \"total_s\"")
+        (Option.bind (Json.member "total_s" r) Json.to_float)
+    in
+    let* () =
+      if total >= 0.0 then Ok () else Error (where "total_s is negative")
+    in
+    let* stages =
+      require
+        (where "missing object field \"stages\"")
+        (Option.bind (Json.member "stages" r) Json.to_obj)
+    in
+    let* () =
+      List.fold_left
+        (fun acc s ->
+          let* () = acc in
+          match Option.bind (List.assoc_opt s stages) Json.to_float with
+          | Some v when v >= 0.0 -> Ok ()
+          | Some _ -> Error (where (Printf.sprintf "stage %S is negative" s))
+          | None ->
+            Error (where (Printf.sprintf "missing numeric stage %S" s)))
+        (Ok ()) canonical_stages
+    in
+    let* counters =
+      require
+        (where "missing object field \"counters\"")
+        (Option.bind (Json.member "counters" r) Json.to_obj)
+    in
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        match Json.to_int v with
+        | Some _ -> Ok ()
+        | None ->
+          Error (where (Printf.sprintf "counter %S is not an integer" k)))
+      (Ok ()) counters
+  in
+  let rec loop i = function
+    | [] -> Ok ()
+    | r :: rest ->
+      let* () = check_run i r in
+      loop (i + 1) rest
+  in
+  loop 0 runs

@@ -1,0 +1,56 @@
+(** The machine-readable benchmark trajectory (BENCH_*.json).
+
+    One trajectory file is one benchmark run of the whole system: an
+    environment header (toolchain, host, scale) and a flat list of
+    {!run} records — one per workload × query × strategy — each carrying
+    the per-stage wall-clock split (saturate / reformulate / plan /
+    evaluate) and the engine counter deltas observed during the run.
+    Successive files committed to the repository form the performance
+    trajectory that ROADMAP perf PRs are judged against.
+
+    The schema is versioned; {!validate} checks a parsed document against
+    the current version and is wired into [scripts/check.sh] so a drifting
+    emitter fails CI. *)
+
+val schema_version : string
+(** ["refq-bench/1"]. Bump on any incompatible shape change. *)
+
+val canonical_stages : string list
+(** The four stage keys every run must report (a stage a strategy does not
+    have — e.g. [saturate] for Ref — reports 0):
+    [["saturate"; "reformulate"; "plan"; "evaluate"]]. *)
+
+type run = {
+  workload : string;  (** "lubm", "dblp", "geo" *)
+  scale : int;  (** generator scale of the dataset *)
+  query : string;  (** query name within the workload, e.g. "Q4" *)
+  strategy : string;  (** {!Refq_core.Strategy.name} *)
+  status : string;  (** "ok", or the failure reason *)
+  answers : int;  (** -1 when the strategy failed *)
+  total_s : float;  (** end-to-end wall time of the answering call *)
+  stages : (string * float) list;
+      (** per-stage wall seconds; must cover {!canonical_stages} *)
+  counters : (string * int) list;  (** engine counter deltas *)
+}
+
+val run :
+  workload:string ->
+  scale:int ->
+  query:string ->
+  strategy:string ->
+  status:string ->
+  answers:int ->
+  total_s:float ->
+  stages:(string * float) list ->
+  counters:(string * int) list ->
+  run
+(** Build a record, filling in missing canonical stages with 0. *)
+
+val make :
+  created_unix:float -> environment:(string * Json.t) list -> run list -> Json.t
+(** The full document, ready to serialize. *)
+
+val validate : Json.t -> (unit, string) result
+(** Check a parsed document: schema version, environment header, and the
+    shape of every run (required fields, canonical stages present,
+    non-negative timings, integer counters). *)

@@ -1,6 +1,10 @@
 open Refq_query
+module Obs = Refq_obs.Obs
 
 exception Too_large of int
+
+let c_disjuncts = Obs.counter "reform.disjuncts"
+let c_atom_rewrites = Obs.counter "reform.atom_rewrites"
 
 let default_max = 1_000_000
 
@@ -16,6 +20,7 @@ let make_fresh () =
 let combos ?profile ~max_disjuncts cl body =
   let fresh = make_fresh () in
   let per_atom = List.map (Atom_reform.rewrite ?profile cl ~fresh) body in
+  List.iter (fun rws -> Obs.add c_atom_rewrites (List.length rws)) per_atom;
   List.fold_left
     (fun acc rewritings ->
       let next =
@@ -42,6 +47,7 @@ let combos ?profile ~max_disjuncts cl body =
 
 let cq_to_ucq ?profile ?(max_disjuncts = default_max) cl q =
   let cs = combos ?profile ~max_disjuncts cl q.Cq.body in
+  Obs.add c_disjuncts (List.length cs);
   let disjuncts =
     List.map
       (fun (atoms_rev, subst) ->

@@ -1,6 +1,10 @@
 open Refq_rdf
 open Refq_schema
 open Refq_storage
+module Obs = Refq_obs.Obs
+
+let c_derived = Obs.counter "saturate.derived"
+let c_rounds = Obs.counter "saturate.rounds"
 
 type info = {
   input_triples : int;
@@ -62,7 +66,12 @@ let derive_one sch ~emit s p o =
    [src], writing into [dst] (which already contains [src]'s triples and
    the entailed schema triples). *)
 let round sch src dst =
-  Store.iter_all src (fun s p o -> derive_one sch ~emit:(Store.add_ids dst) s p o)
+  Obs.incr c_rounds;
+  let emit s p o =
+    Obs.incr c_derived;
+    Store.add_ids dst s p o
+  in
+  Store.iter_all src (fun s p o -> derive_one sch ~emit s p o)
 
 let schema_of_store st =
   let g = ref Schema.empty in

@@ -13,6 +13,12 @@ dune build
 echo "== dune runtest"
 dune runtest
 
+echo "== bench trajectory smoke (--json + --validate)"
+bench_json=$(mktemp /tmp/refq_bench.XXXXXX.json)
+trap 'rm -f "$bench_json"' EXIT
+dune exec bench/main.exe -- --fast --scale 1 --json "$bench_json" >/dev/null
+dune exec bench/main.exe -- --validate "$bench_json"
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt 2>/dev/null || {

@@ -1,0 +1,91 @@
+(* Differential oracle: every answering strategy must return the same
+   answer set. For each workload we generate a batch of seeded random
+   conjunctive queries and check Ref/UCQ, Ref/SCQ, GCov, Datalog — and,
+   for small queries, the JUCQ of every partition cover — against the
+   Saturation answers. A mismatch prints the generator seed and the query
+   so the failure replays deterministically. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_core
+module Query_gen = Refq_workload.Query_gen
+
+let seed = 2026L
+
+let queries_per_workload = 70 (* 3 workloads x 70 = 210 queries *)
+
+(* Covers beyond this many atoms would enumerate too many partitions
+   (Bell numbers) for a unit test; fixed strategies still run. *)
+let max_atoms_for_cover_enum = 3
+
+let workloads =
+  [
+    ("lubm", fun () -> Refq_workload.Lubm.generate ~scale:1 ());
+    ("dblp", fun () -> Refq_workload.Dblp.generate ~scale:1 ());
+    ("geo", fun () -> Refq_workload.Geo.generate ~scale:1 ());
+  ]
+
+let pp_rows ppf rows =
+  Fmt.pf ppf "%d rows" (List.length rows);
+  List.iteri
+    (fun i row ->
+      if i < 8 then
+        Fmt.pf ppf "@,  [%a]" Fmt.(list ~sep:(any "; ") Term.pp) row)
+    rows;
+  if List.length rows > 8 then Fmt.pf ppf "@,  ..."
+
+let strategy_answers env q s =
+  match Answer.answer env q s with
+  | Ok r -> Ok (Answer.decode env r.Answer.answers)
+  | Error f -> Error f.Answer.reason
+
+let check_query ~workload env (name, q) =
+  let oracle =
+    match strategy_answers env q Strategy.Saturation with
+    | Ok rows -> rows
+    | Error reason ->
+      Alcotest.failf "%s/%s (seed %Ld): Saturation failed: %s@.%a" workload
+        name seed reason Cq.pp q
+  in
+  let check_strategy s =
+    match strategy_answers env q s with
+    | Ok rows ->
+      if rows <> oracle then
+        Alcotest.failf
+          "%s/%s (seed %Ld): %s disagrees with Saturation@.query: %a@.%s: \
+           @[<v>%a@]@.saturation: @[<v>%a@]"
+          workload name seed (Strategy.name s) Cq.pp q (Strategy.name s)
+          pp_rows rows pp_rows oracle
+    | Error _reason ->
+      (* A strategy may legitimately refuse (reformulation size limit);
+         refusing is not a wrong answer. *)
+      ()
+  in
+  List.iter check_strategy
+    [ Strategy.Ucq; Strategy.Scq; Strategy.Gcov; Strategy.Datalog ];
+  (* All partition covers of small queries: JUCQ must be answer-invariant
+     in the cover, not just for the one GCov picked. *)
+  let n_atoms = List.length q.Cq.body in
+  if n_atoms <= max_atoms_for_cover_enum then
+    List.iter
+      (fun blocks ->
+        check_strategy (Strategy.Jucq (Cover.make ~n_atoms blocks)))
+      (Gcov.partitions n_atoms)
+
+let test_workload (workload, make_store) () =
+  let store = make_store () in
+  let env = Answer.make_env store in
+  let queries = Query_gen.generate ~seed store ~count:queries_per_workload in
+  Alcotest.(check int)
+    (workload ^ " batch size") queries_per_workload (List.length queries);
+  List.iter (check_query ~workload env) queries
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "strategies agree",
+        List.map
+          (fun w ->
+            Alcotest.test_case (fst w) `Slow (test_workload w))
+          workloads );
+    ]

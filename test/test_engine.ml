@@ -169,6 +169,74 @@ let test_join_order_connected_first () =
     Alcotest.(check int) "last is the disconnected one" 1 (Relation.arity r3)
   | _ -> Alcotest.fail "wrong order length"
 
+let int_rows r =
+  let acc = ref [] in
+  Relation.iter_rows r (fun row -> acc := Array.to_list row :: !acc);
+  List.sort compare !acc
+
+let test_join_order_cartesian_last () =
+  let mk cols n =
+    let r = Relation.create ~cols in
+    for i = 1 to n do
+      Relation.add_row r (Array.make (Array.length cols) i)
+    done;
+    r
+  in
+  let a = mk [| "x" |] 1 in
+  let c = mk [| "z" |] 2 in
+  let b = mk [| "x"; "y" |] 3 in
+  let d = mk [| "y" |] 4 in
+  (* Smallest overall (a) first; then the connected chain b, d even though
+     the disconnected c is smaller than both; the cartesian c is last. *)
+  let names r = String.concat "," (Array.to_list (Relation.cols r)) in
+  Alcotest.(check (list string))
+    "connected chain before cartesian"
+    [ "x"; "x,y"; "y"; "z" ]
+    (List.map names (Evaluator.join_order [ a; c; b; d ]))
+
+let test_join_order_tie_break () =
+  let mk col rows =
+    let r = Relation.create ~cols:[| col |] in
+    List.iter (fun v -> Relation.add_row r [| v |]) rows;
+    r
+  in
+  (* All cardinalities equal: the order must be deterministic — earliest
+     list element wins every tie, so the input order is preserved. *)
+  let p = mk "x" [ 1; 2 ] in
+  let q = mk "y" [ 3; 4 ] in
+  let r = mk "x" [ 5; 6 ] in
+  match Evaluator.join_order [ p; q; r ] with
+  | [ r1; r2; r3 ] ->
+    Alcotest.(check bool) "first is p (earliest smallest)" true (r1 == p);
+    (* p and r share "x"; among {q, r} only r is connected. *)
+    Alcotest.(check bool) "second is the connected r" true (r2 == r);
+    Alcotest.(check bool) "cartesian q last" true (r3 == q)
+  | _ -> Alcotest.fail "wrong order length"
+
+let test_join_shared_columns_collide () =
+  (* Two shared columns sitting at different positions on each side: the
+     join must key on both and emit each shared column once. *)
+  let r1 = Relation.create ~cols:[| "x"; "y" |] in
+  Relation.add_row r1 [| 1; 10 |];
+  Relation.add_row r1 [| 2; 20 |];
+  let r2 = Relation.create ~cols:[| "y"; "x"; "z" |] in
+  Relation.add_row r2 [| 10; 1; 100 |];
+  Relation.add_row r2 [| 20; 2; 200 |];
+  Relation.add_row r2 [| 10; 2; 300 |];
+  (* y=10,x=2 matches neither r1 row *)
+  let j = Evaluator.join r1 r2 in
+  Alcotest.(check (list string))
+    "each shared column once, build side first"
+    [ "x"; "y"; "z" ]
+    (Array.to_list (Relation.cols j));
+  Alcotest.(check (list (list int)))
+    "rows match on both shared columns"
+    [ [ 1; 10; 100 ]; [ 2; 20; 200 ] ]
+    (int_rows j);
+  (* Symmetric call: same bag of rows regardless of build side. *)
+  let j' = Evaluator.join r2 r1 in
+  Alcotest.(check int) "symmetric cardinality" 2 (Relation.cardinality j')
+
 let test_jucq_boolean_fragment () =
   (* A JUCQ with a zero-arity fragment acts as an existential filter. *)
   let env = env_of_graph Fixtures.borges_graph in
@@ -321,6 +389,12 @@ let () =
           Alcotest.test_case "cartesian" `Quick test_join_cartesian;
           Alcotest.test_case "connected-first order" `Quick
             test_join_order_connected_first;
+          Alcotest.test_case "cartesian deferred to last" `Quick
+            test_join_order_cartesian_last;
+          Alcotest.test_case "smallest-first tie break" `Quick
+            test_join_order_tie_break;
+          Alcotest.test_case "shared-column collision" `Quick
+            test_join_shared_columns_collide;
           Alcotest.test_case "boolean fragment" `Quick test_jucq_boolean_fragment;
         ] );
       ( "planner",

@@ -312,6 +312,43 @@ let test_budget_degrades () =
   Alcotest.(check bool) "verdict degraded" true
     (report.Answer.verdict = Answer.Sound_but_possibly_incomplete)
 
+let test_budget_exhausted_mid_evaluation () =
+  (* Enough data that [Budget.Exhausted] fires only after several rows
+     have already been produced: the partial rows must be discarded, and
+     the report must not read as complete even though every endpoint that
+     was called contributed fully. *)
+  let data =
+    Graph.of_list
+      (List.init 10 (fun i ->
+           Triple.make (u (Printf.sprintf "m%d" i)) Vocab.rdf_type manager))
+  in
+  let fed =
+    Federation.of_graphs
+      [
+        ("data", data, None);
+        ( "ontology",
+          Graph.of_list [ Triple.make manager Vocab.rdfs_subclassof employee ],
+          None );
+      ]
+  in
+  let budget = Budget.create ~max_rows:3 () in
+  let rel, report = Federation.answer_ref ~budget fed q_employees in
+  Alcotest.(check bool) "rows were produced before the trip" true
+    (Budget.rows_charged budget > 0);
+  Alcotest.(check int) "no partial rows leak into the answer" 0
+    (Refq_engine.Relation.cardinality rel);
+  Alcotest.(check bool) "stop reason recorded" true
+    (report.Answer.budget_stop <> None);
+  Alcotest.(check bool) "endpoint contributions themselves were complete" true
+    (List.for_all
+       (fun fr ->
+         List.for_all
+           (fun (_, c) -> c = Answer.Complete)
+           fr.Answer.contributions)
+       report.Answer.fragment_reports);
+  Alcotest.(check bool) "report is not marked complete" true
+    (report.Answer.verdict = Answer.Sound_but_possibly_incomplete)
+
 let prop_local_sat_sound =
   QCheck2.Test.make ~name:"per-endpoint Sat ⊆ centralized" ~count:100
     ~print:(fun ((g, _), q) -> Fixtures.print_graph_and_cq (g, q))
@@ -352,5 +389,7 @@ let () =
           Alcotest.test_case "deterministic replay" `Quick
             test_faults_deterministic;
           Alcotest.test_case "budget degrades" `Quick test_budget_degrades;
+          Alcotest.test_case "budget exhausted mid-evaluation" `Quick
+            test_budget_exhausted_mid_evaluation;
         ] );
     ]

@@ -1,0 +1,317 @@
+(* Tests for the observability layer: counters and spans behind the
+   global sink, the JSON emitter/parser round trip, and the benchmark
+   trajectory schema validator. *)
+
+module Obs = Refq_obs.Obs
+module Json = Refq_obs.Json
+module Trajectory = Refq_obs.Trajectory
+
+let c_test = Obs.counter "test.bumps"
+
+(* ------------------------------------------------------------------ *)
+(* Counters and the sink                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_off () =
+  Obs.reset ();
+  Alcotest.(check bool) "sink starts off" false (Obs.enabled ());
+  Obs.incr c_test;
+  Obs.add c_test 40;
+  Alcotest.(check int) "off: bumps are no-ops" 0 (Obs.value c_test)
+
+let test_counter_on () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Obs.incr c_test;
+  Obs.add c_test 41;
+  Obs.set_enabled false;
+  Alcotest.(check int) "on: bumps count" 42 (Obs.value c_test);
+  Alcotest.(check bool) "registered under its name" true
+    (List.mem_assoc "test.bumps" (Obs.counters ()));
+  Obs.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.value c_test)
+
+let test_counter_single_registration () =
+  (* Asking again for the same name returns the same counter. *)
+  Obs.reset ();
+  let again = Obs.counter "test.bumps" in
+  Obs.set_enabled true;
+  Obs.incr again;
+  Obs.set_enabled false;
+  Alcotest.(check int) "one underlying cell" 1 (Obs.value c_test)
+
+(* ------------------------------------------------------------------ *)
+(* Spans and profiles                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_off_is_transparent () =
+  Obs.reset ();
+  let r = Obs.span "unseen" (fun () -> 7) in
+  Alcotest.(check int) "value through" 7 r;
+  let forced = ref false in
+  let r =
+    Obs.span_lazy
+      (fun () ->
+        forced := true;
+        "unseen")
+      (fun () -> 8)
+  in
+  Alcotest.(check int) "lazy value through" 8 r;
+  Alcotest.(check bool) "name never built when off" false !forced
+
+let test_profile_tree () =
+  Obs.reset ();
+  let v, rep =
+    Obs.profile ~name:"root" (fun () ->
+        Obs.span "stage-a" (fun () -> Obs.incr c_test);
+        for _ = 1 to 3 do
+          Obs.span "stage-b" (fun () -> Obs.add c_test 2)
+        done;
+        11)
+  in
+  Alcotest.(check int) "result returned" 11 v;
+  Alcotest.(check string) "root name" "root" rep.Obs.root.Obs.name;
+  Alcotest.(check int) "two distinct children" 2
+    (List.length rep.Obs.root.Obs.children);
+  let b = Option.get (Obs.find_node rep "stage-b") in
+  Alcotest.(check int) "same-name siblings merged" 3 b.Obs.calls;
+  Alcotest.(check (list (pair string int))) "merged counter deltas"
+    [ ("test.bumps", 6) ]
+    b.Obs.counters;
+  Alcotest.(check (list (pair string int))) "totals over the run"
+    [ ("test.bumps", 7) ]
+    rep.Obs.totals;
+  Alcotest.(check bool) "sink restored off" false (Obs.enabled ())
+
+let test_profile_nested_stage_total () =
+  Obs.reset ();
+  let (), rep =
+    Obs.profile (fun () ->
+        Obs.span "evaluate" (fun () ->
+            Obs.span "fragment-0" (fun () ->
+                Obs.span "evaluate" (fun () -> ()))))
+  in
+  let top = Option.get (Obs.find_node rep "evaluate") in
+  (* stage_total counts every node with the name, wherever it nests. *)
+  Alcotest.(check bool) "stage total >= top node's wall" true
+    (Obs.stage_total rep "evaluate" >= top.Obs.wall_s);
+  Alcotest.(check (float 1e-9)) "absent stage is zero" 0.0
+    (Obs.stage_total rep "saturate")
+
+let test_span_exception_unwinds () =
+  Obs.reset ();
+  (match
+     Obs.profile (fun () -> Obs.span "boom" (fun () -> failwith "inner"))
+   with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "re-raised" "inner" m);
+  Alcotest.(check bool) "sink restored after raise" false (Obs.enabled ());
+  (* The stack unwound: a fresh profile still works. *)
+  let v, rep = Obs.profile (fun () -> Obs.span "ok" (fun () -> 3)) in
+  Alcotest.(check int) "fresh profile value" 3 v;
+  Alcotest.(check bool) "fresh profile tree" true
+    (Obs.find_node rep "ok" <> None)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json = Alcotest.testable (fun ppf j -> Fmt.string ppf (Json.to_string j)) ( = )
+
+let sample =
+  Json.Obj
+    [
+      ("s", Json.String "a \"quoted\"\nline");
+      ("i", Json.Int (-42));
+      ("f", Json.Float 1.5);
+      ("b", Json.Bool true);
+      ("n", Json.Null);
+      ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+      ("o", Json.Obj [ ("nested", Json.Bool false) ]);
+      ("empty_l", Json.List []);
+      ("empty_o", Json.Obj []);
+    ]
+
+let test_json_round_trip () =
+  List.iter
+    (fun indent ->
+      match Json.parse (Json.to_string ~indent sample) with
+      | Ok parsed -> Alcotest.check json "round trip" sample parsed
+      | Error m -> Alcotest.fail m)
+    [ true; false ]
+
+let test_json_numbers () =
+  (match Json.parse "[0, -1, 3.25, 1e3, 2E-2, 10000000000000000000]" with
+  | Ok
+      (Json.List
+        [ Json.Int 0; Json.Int (-1); Json.Float 3.25; Json.Float 1000.0;
+          Json.Float 0.02; Json.Float _big ]) -> ()
+  | Ok other -> Alcotest.failf "bad numbers: %s" (Json.to_string other)
+  | Error m -> Alcotest.fail m);
+  (* Non-finite floats degrade to null rather than emitting invalid JSON. *)
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_unicode () =
+  (* é is U+00E9 (two UTF-8 bytes); 😀 is the surrogate
+     pair for U+1F600 (four UTF-8 bytes). *)
+  (match Json.parse "\"caf\\u00e9 \\ud83d\\ude00\"" with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "escape decoding"
+      "caf\xc3\xa9 \xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error m -> Alcotest.fail m);
+  match Json.parse "\"caf\\ud83d oops\"" with
+  | Ok _ -> Alcotest.fail "lone surrogate accepted"
+  | Error _ -> ()
+
+let test_json_errors () =
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Ok j -> Alcotest.failf "%S parsed as %s" text (Json.to_string j)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "";
+      "{\"a\" 1}"; "[1 2]"; "\"bad \\x escape\"" ]
+
+let test_json_accessors () =
+  Alcotest.(check (option int)) "member/to_int" (Some (-42))
+    (Option.bind (Json.member "i" sample) Json.to_int);
+  Alcotest.(check (option (float 1e-9))) "int as float" (Some (-42.0))
+    (Option.bind (Json.member "i" sample) Json.to_float);
+  Alcotest.(check bool) "missing member" true (Json.member "zz" sample = None);
+  Alcotest.(check bool) "to_list mismatch" true (Json.to_list sample = None)
+
+(* ------------------------------------------------------------------ *)
+(* Trajectory schema                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sample_run =
+  Trajectory.run ~workload:"lubm" ~scale:1 ~query:"Q1" ~strategy:"gcov"
+    ~status:"ok" ~answers:4 ~total_s:0.25
+    ~stages:[ ("evaluate", 0.2); ("reformulate", 0.05) ]
+    ~counters:[ ("engine.index_probes", 12) ]
+
+let sample_doc () =
+  Trajectory.make ~created_unix:1754400000.0
+    ~environment:[ ("ocaml_version", Json.String Sys.ocaml_version) ]
+    [ sample_run ]
+
+let check_valid doc =
+  match Trajectory.validate doc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "expected valid: %s" m
+
+let check_invalid what doc =
+  match Trajectory.validate doc with
+  | Ok () -> Alcotest.failf "expected invalid: %s" what
+  | Error _ -> ()
+
+(* Rebuild the document with one field of every run's object replaced. *)
+let with_run_field doc key value =
+  match doc with
+  | Json.Obj fields ->
+    Json.Obj
+      (List.map
+         (function
+           | "runs", Json.List runs ->
+             ( "runs",
+               Json.List
+                 (List.map
+                    (function
+                      | Json.Obj rf ->
+                        Json.Obj
+                          (List.map
+                             (fun (k, v) -> if k = key then (k, value) else (k, v))
+                             rf)
+                      | other -> other)
+                    runs) )
+           | field -> field)
+         fields)
+  | other -> other
+
+let with_top_field doc key value =
+  match doc with
+  | Json.Obj fields ->
+    Json.Obj (List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) fields)
+  | other -> other
+
+let test_trajectory_valid () =
+  let doc = sample_doc () in
+  check_valid doc;
+  (* The emitted text round-trips through the parser and stays valid. *)
+  match Json.parse (Json.to_string doc) with
+  | Ok parsed -> check_valid parsed
+  | Error m -> Alcotest.fail m
+
+let test_trajectory_canonical_stages () =
+  (* The smart constructor fills the stages the caller did not measure. *)
+  Alcotest.(check int) "all canonical stages present"
+    (List.length Trajectory.canonical_stages)
+    (List.length sample_run.Trajectory.stages);
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) (st ^ " present") true
+        (List.mem_assoc st sample_run.Trajectory.stages))
+    Trajectory.canonical_stages;
+  Alcotest.(check (float 1e-9)) "measured stage kept" 0.2
+    (List.assoc "evaluate" sample_run.Trajectory.stages);
+  Alcotest.(check (float 1e-9)) "missing stage zero" 0.0
+    (List.assoc "saturate" sample_run.Trajectory.stages)
+
+let test_trajectory_invalid () =
+  let doc = sample_doc () in
+  check_invalid "wrong schema version"
+    (with_top_field doc "schema_version" (Json.String "refq-bench/999"));
+  check_invalid "runs not a list" (with_top_field doc "runs" Json.Null);
+  check_invalid "empty runs" (with_top_field doc "runs" (Json.List []));
+  check_invalid "environment missing ocaml_version"
+    (with_top_field doc "environment" (Json.Obj []));
+  check_invalid "answers not an int"
+    (with_run_field doc "answers" (Json.String "4"));
+  check_invalid "negative stage timing"
+    (with_run_field doc "stages"
+       (Json.Obj
+          (List.map (fun s -> (s, Json.Float (-1.0))) Trajectory.canonical_stages)));
+  check_invalid "missing canonical stage"
+    (with_run_field doc "stages" (Json.Obj [ ("evaluate", Json.Float 0.1) ]));
+  check_invalid "float counter"
+    (with_run_field doc "counters" (Json.Obj [ ("c", Json.Float 0.5) ]))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "sink off" `Quick test_counter_off;
+          Alcotest.test_case "sink on" `Quick test_counter_on;
+          Alcotest.test_case "single registration" `Quick
+            test_counter_single_registration;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "off is transparent" `Quick
+            test_span_off_is_transparent;
+          Alcotest.test_case "profile tree" `Quick test_profile_tree;
+          Alcotest.test_case "nested stage totals" `Quick
+            test_profile_nested_stage_total;
+          Alcotest.test_case "exception unwinds" `Quick
+            test_span_exception_unwinds;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "valid document" `Quick test_trajectory_valid;
+          Alcotest.test_case "canonical stages filled" `Quick
+            test_trajectory_canonical_stages;
+          Alcotest.test_case "invalid documents" `Quick
+            test_trajectory_invalid;
+        ] );
+    ]
