@@ -19,8 +19,16 @@ type state = {
   mutable query : Cq.t option;
   mutable profile : Refq_reform.Profiles.t;
   mutable minimize : bool;
+  mutable use_cache : bool;
   ns : Namespace.t;
 }
+
+let config st =
+  let profile = st.profile and minimize = st.minimize in
+  let use_cache = st.use_cache in
+  Answer.Config.(
+    default |> with_profile profile |> with_minimize minimize
+    |> with_cache use_cache)
 
 let help () =
   print_string
@@ -34,6 +42,7 @@ let help () =
   explain                          reformulation sizes, GCov space, plans (step 3)
   profile <name>                   complete | hierarchies-only | subclass-only | none
   minimize on|off                  containment-based disjunct pruning
+  cache on|off|stats               answering caches (reformulation, cover, results)
   add <N-Triples statement>        modify the graph (step 4)
   remove <N-Triples statement>     modify the graph (step 4)
   saturate                         materialize and show G∞ statistics
@@ -65,7 +74,7 @@ let print_report st env r =
     Fmt.pr "  ... (%d more)@." (List.length rows - 10)
 
 let run_strategy st env q s =
-  match Answer.answer ~profile:st.profile ~minimize:st.minimize env q s with
+  match Answer.answer ~config:(config st) env q s with
   | Ok r -> print_report st env r
   | Error f ->
     Fmt.pr "%s: FAILED after %.3fs: %s@."
@@ -162,7 +171,7 @@ let handle st line =
             Fmt.pr "UCQ reformulation size: %d disjuncts@."
               (Refq_reform.Reformulate.count_disjuncts ~profile:st.profile cl q);
             let trace =
-              Gcov.search ~profile:st.profile (Answer.card_env env) cl q
+              Gcov.search ~config:(config st) (Answer.card_env env) cl q
             in
             Fmt.pr "GCov explored %d covers in %d rounds:@."
               (List.length trace.Gcov.explored)
@@ -206,6 +215,20 @@ let handle st line =
       st.minimize <- false;
       print_endline "minimization off"
     | _ -> print_endline "usage: minimize on|off")
+  | "cache" -> (
+    match arg with
+    | "on" ->
+      st.use_cache <- true;
+      print_endline "caching on"
+    | "off" ->
+      st.use_cache <- false;
+      print_endline "caching off"
+    | "stats" ->
+      require_env st (fun env ->
+          List.iter
+            (fun s -> Fmt.pr "%a@." Answer.Cache.pp_stats s)
+            (Answer.cache_stats env))
+    | _ -> print_endline "usage: cache on|off|stats")
   | "add" | "remove" ->
     require_env st (fun env ->
         match Ntriples.parse_triples (arg ^ " .") with
@@ -255,6 +278,7 @@ let main () =
       query = None;
       profile = Refq_reform.Profiles.complete;
       minimize = false;
+      use_cache = true;
       ns;
     }
   in

@@ -236,7 +236,7 @@ let max_rows_arg =
 let make_budget ~deadline ~max_rows =
   match deadline, max_rows with
   | None, None -> None
-  | _ -> Some (Refq_fault.Budget.create ?deadline ?max_rows ())
+  | _ -> Some (Refq_fault.Budget.create { Refq_fault.Budget.no_limits with deadline; max_rows })
 
 let make_resilience ~faults ~fault_seed ~retries =
   let seed = Option.map Int64.of_int fault_seed in
@@ -305,7 +305,7 @@ let explain_answer env q (r : Answer.report) =
       (List.combine (Cover.fragments cover) fragment_cardinalities)
 
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain faults fault_seed retries deadline max_rows =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache faults fault_seed retries deadline max_rows =
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok store -> (
@@ -345,6 +345,17 @@ let answer_cmd =
             let env = Answer.make_env store in
             let n_atoms = List.length q.Cq.body in
             let budget = make_budget ~deadline ~max_rows in
+            let config =
+              let c =
+                Answer.Config.(
+                  default |> with_profile profile |> with_minimize minimize
+                  |> with_backend backend
+                  |> with_cache (not no_cache))
+              in
+              match budget with
+              | Some b -> Answer.Config.with_budget b c
+              | None -> c
+            in
             match make_resilience ~faults ~fault_seed ~retries with
             | Error m -> `Error (false, m)
             | Ok resilience -> (
@@ -385,8 +396,14 @@ let answer_cmd =
                           [ (name, Store.to_graph store, None) ]
                       in
                       let rel, report =
-                        Federation.answer_ref ~profile ~strategy ~resilience
-                          ?budget fed q
+                        Federation.answer_ref
+                          ~config:
+                            {
+                              Federation.Config.answer = config;
+                              strategy;
+                              resilience;
+                            }
+                          fed q
                       in
                       Fmt.pr "%s (endpoint %S): %d answer(s)@."
                         (Strategy.name s) name
@@ -441,10 +458,7 @@ let answer_cmd =
                     (fun s ->
                       match union_query with
                       | Some u -> (
-                        match
-                          Answer.answer_union ?budget ~profile ~minimize
-                            ~backend env u s
-                        with
+                        match Answer.answer_union ~config env u s with
                         | Ok (rel, reports) ->
                           Fmt.pr "%s (union of %d BGPs): %d answers@."
                             (Strategy.name s) (List.length reports)
@@ -455,10 +469,7 @@ let answer_cmd =
                             (Strategy.name f.Answer.f_strategy)
                             f.Answer.reason)
                       | None -> (
-                        match
-                          Answer.answer ?budget ~profile ~minimize ~backend env
-                            q s
-                        with
+                        match Answer.answer ~config env q s with
                         | Ok r ->
                           Fmt.pr "%a@." Answer.pp_report r;
                           if explain then explain_answer env q r;
@@ -543,13 +554,22 @@ let answer_cmd =
             "After answering, print the chosen cover and the per-fragment \
              estimated vs actual cardinalities.")
   in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the answering caches (reformulation, cover, fragment \
+             results) for this run.")
+  in
   Cmd.v
     (Cmd.info "answer" ~doc:"Answer a query through a chosen strategy")
     Term.(
       ret
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
-       $ all_strategies $ minimize $ backend $ format $ explain $ faults_arg
-       $ fault_seed_arg $ retries_arg $ deadline_arg $ max_rows_arg))
+       $ all_strategies $ minimize $ backend $ format $ explain $ no_cache
+       $ faults_arg $ fault_seed_arg $ retries_arg $ deadline_arg
+       $ max_rows_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -744,6 +764,82 @@ let saturate_cmd =
     Term.(ret (const run $ path $ output))
 
 (* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cmd =
+  let stats_cmd =
+    let run path query query_file strategy_name runs =
+      match load_store path with
+      | Error m -> `Error (false, m)
+      | Ok store -> (
+        match read_query ~query ~query_file with
+        | Error m -> `Error (false, m)
+        | Ok text -> (
+          match parse_query text with
+          | Error e -> query_error e
+          | Ok q -> (
+            match Strategy.of_string strategy_name with
+            | Error m -> `Error (false, m)
+            | Ok s ->
+              let env = Answer.make_env store in
+              for i = 1 to runs do
+                match Answer.answer env q s with
+                | Ok r ->
+                  Fmt.pr "run %d (%s): %d answer(s) in %.4fs@." i
+                    (if i = 1 then "cold" else "warm")
+                    (Answer.n_answers r) (Answer.total_s r)
+                | Error f -> Fmt.pr "run %d: FAILED: %s@." i f.Answer.reason
+              done;
+              Fmt.pr "@.";
+              List.iter
+                (fun st -> Fmt.pr "%a@." Answer.Cache.pp_stats st)
+                (Answer.cache_stats env);
+              `Ok ())))
+    in
+    let path =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"FILE" ~doc:"RDF file (.nt or .ttl).")
+    in
+    let query =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "q"; "query" ]
+            ~doc:"Query (SPARQL SELECT or the paper's q(x) :- ... notation).")
+    in
+    let query_file =
+      Arg.(
+        value
+        & opt (some file) None
+        & info [ "query-file" ] ~doc:"File holding the query.")
+    in
+    let strategy =
+      Arg.(
+        value & opt string "gcov"
+        & info [ "s"; "strategy" ] ~doc:"Strategy: sat, ucq, scq, gcov, datalog.")
+    in
+    let runs =
+      Arg.(
+        value & opt int 3
+        & info [ "runs" ]
+            ~doc:"How many times to answer the query against one environment               (first run is cold, the rest hit the caches).")
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Answer a query several times against one environment and print           the per-level cache statistics (hits, misses, evictions)")
+      Term.(
+        ret (const run $ path $ query $ query_file $ strategy $ runs))
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect the multi-level answering cache (see `refq cache stats`)")
+    [ stats_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -795,7 +891,15 @@ let federate_cmd =
               Fmt.pr "%-18s %6d answer(s)@." label (List.length rows)
             in
             let refd, report =
-              Federation.answer_ref ~resilience ?budget fed q
+              let answer =
+                match budget with
+                | Some b -> Refq_core.Config.(with_budget b default)
+                | None -> Refq_core.Config.default
+              in
+              Federation.answer_ref
+                ~config:
+                  { Federation.Config.default with answer; resilience }
+                fed q
             in
             show "centralized" (Federation.answer_centralized fed q);
             show "per-endpoint sat" (Federation.answer_local_sat fed q);
@@ -859,7 +963,7 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; answer_cmd; explain_cmd; profile_cmd;
-        saturate_cmd; federate_cmd; demo_cmd;
+        saturate_cmd; cache_cmd; federate_cmd; demo_cmd;
       ]
   in
   (* One-line diagnostics instead of raw backtraces for the failures a

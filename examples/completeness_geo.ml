@@ -33,7 +33,11 @@ let () =
       let complete_count = ref 0 in
       List.iter
         (fun profile ->
-          match Answer.answer ~profile env q Strategy.Gcov with
+          match
+            Answer.answer
+              ~config:(Answer.Config.with_profile profile Answer.Config.default)
+              env q Strategy.Gcov
+          with
           | Ok r ->
             let n = Answer.n_answers r in
             if profile.Profiles.name = "complete" then complete_count := n;

@@ -49,7 +49,11 @@ let () =
     "eval(s)" "detail";
   List.iter
     (fun (label, s) ->
-      match Answer.answer ~max_disjuncts:budget env q s with
+      match
+        Answer.answer
+          ~config:(Answer.Config.with_max_disjuncts budget Answer.Config.default)
+          env q s
+      with
       | Ok r ->
         let detail =
           match r.Answer.detail with

@@ -154,7 +154,11 @@ let () =
     }
   in
   let q6 = List.assoc "Q6" Lubm.queries in
-  let answers, report = Federation.answer_ref ~resilience fed q6 in
+  let answers, report =
+    Federation.answer_ref
+      ~config:Federation.Config.(with_resilience resilience default)
+      fed q6
+  in
   Fmt.pr
     "@.With univ0 dead and univ1 flapping, federated Ref still answers from \
      the live@.endpoints (Q6: %d of %d answers) and reports the degradation:@.@.%a@."

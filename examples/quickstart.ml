@@ -8,10 +8,12 @@
    with every strategy: all of them find "J. L. Borges" even though the
    explicit graph alone yields nothing.
 
+   Written against the single-open [Refq] facade — the supported way to
+   consume the repository as a library.
+
    Run with: dune exec examples/quickstart.exe *)
 
-open Refq_rdf
-open Refq_core
+open Refq
 
 let document =
   {|@prefix ex: <http://example.org/> .
@@ -43,7 +45,7 @@ let () =
 
   (* The semantics of the graph is its saturation: show the implicit
      triples (the dashed edges of Figure 2). *)
-  let saturated = Refq_saturation.Saturate.graph graph in
+  let saturated = Saturate.graph graph in
   Fmt.pr "Implicit triples entailed by the constraints:@.";
   Graph.iter
     (fun t -> Fmt.pr "  %a@." Triple.pp t)
@@ -51,13 +53,13 @@ let () =
   Fmt.pr "@.";
 
   let query =
-    match Refq_query.Sparql.parse_notation ~env:env_ns query_text with
+    match Sparql.parse_notation ~env:env_ns query_text with
     | Ok q -> q
-    | Error e -> Fmt.failwith "query: %a" Refq_query.Sparql.pp_error e
+    | Error e -> Fmt.failwith "query: %a" Sparql.pp_error e
   in
-  Fmt.pr "Query: %a@.@." Refq_query.Cq.pp query;
+  Fmt.pr "Query: %a@.@." Cq.pp query;
 
-  let env = Answer.make_env (Refq_storage.Store.of_graph graph) in
+  let env = Answer.make_env (Store.of_graph graph) in
   List.iter
     (fun strategy ->
       match Answer.answer env query strategy with
@@ -81,5 +83,5 @@ let () =
   (* Show what the UCQ reformulation looks like. *)
   let ucq = Refq_reform.Reformulate.cq_to_ucq (Answer.closure env) query in
   Fmt.pr "@.The CQ-to-UCQ reformulation has %d disjuncts:@.%s@."
-    (Refq_query.Ucq.size ucq)
-    (Refq_query.Sparql.ucq_to_sparql ~env:env_ns ucq)
+    (Ucq.size ucq)
+    (Sparql.ucq_to_sparql ~env:env_ns ucq)

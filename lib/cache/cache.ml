@@ -1,0 +1,186 @@
+open Refq_rdf
+open Refq_query
+open Refq_schema
+module Obs = Refq_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Per-level statistics                                                *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  name : string;
+  capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%-8s %4d/%-4d entries  %7d hits  %7d misses  %5d evictions"
+    s.name s.entries s.capacity s.hits s.misses s.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Bounded LRU                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Lru = struct
+  type 'a entry = {
+    value : 'a;
+    mutable last_use : int;
+  }
+
+  type 'a t = {
+    name : string;
+    capacity : int;
+    table : (string, 'a entry) Hashtbl.t;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    c_hits : Obs.counter;
+    c_misses : Obs.counter;
+    c_evictions : Obs.counter;
+  }
+
+  (* [Obs.counter] is idempotent per name, so creating many caches of the
+     same level shares the three counters. *)
+  let create ~name ~capacity =
+    if capacity <= 0 then invalid_arg "Cache.Lru.create: capacity must be > 0";
+    {
+      name;
+      capacity;
+      table = Hashtbl.create (min capacity 64);
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      c_hits = Obs.counter (Printf.sprintf "cache.%s_hits" name);
+      c_misses = Obs.counter (Printf.sprintf "cache.%s_misses" name);
+      c_evictions = Obs.counter (Printf.sprintf "cache.%s_evictions" name);
+    }
+
+  let touch t e =
+    t.tick <- t.tick + 1;
+    e.last_use <- t.tick
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | Some e ->
+      t.hits <- t.hits + 1;
+      Obs.incr t.c_hits;
+      touch t e;
+      Some e.value
+    | None ->
+      t.misses <- t.misses + 1;
+      Obs.incr t.c_misses;
+      None
+
+  let mem t key = Hashtbl.mem t.table key
+
+  (* Capacities are small (hundreds); a linear victim scan keeps the
+     structure allocation-free on the hit path. *)
+  let evict_one t =
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, oldest) when oldest.last_use <= e.last_use -> acc
+          | _ -> Some (k, e))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1;
+      Obs.incr t.c_evictions
+
+  let put t key value =
+    (match Hashtbl.find_opt t.table key with
+    | Some _ -> Hashtbl.remove t.table key
+    | None -> if Hashtbl.length t.table >= t.capacity then evict_one t);
+    let e = { value; last_use = 0 } in
+    touch t e;
+    Hashtbl.add t.table key e
+
+  let clear t = Hashtbl.reset t.table
+
+  let length t = Hashtbl.length t.table
+
+  let stats t =
+    {
+      name = t.name;
+      capacity = t.capacity;
+      entries = Hashtbl.length t.table;
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sizing policy                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  reform_capacity : int;
+  cover_capacity : int;
+  result_capacity : int;
+}
+
+let default_policy =
+  { reform_capacity = 64; cover_capacity = 128; result_capacity = 256 }
+
+(* ------------------------------------------------------------------ *)
+(* Canonical forms and key derivation                                  *)
+(* ------------------------------------------------------------------ *)
+
+let canon_prefix = "_c"
+
+(* Unlike [Cq.canonicalize] this does NOT sort the body: covers address
+   atoms by index, so the atom order must survive canonicalization. *)
+let canon_cq (q : Cq.t) =
+  let tbl = Hashtbl.create 16 in
+  let n = ref 0 in
+  let pat = function
+    | Cq.Cst _ as p -> p
+    | Cq.Var v ->
+      Cq.Var
+        (match Hashtbl.find_opt tbl v with
+        | Some v' -> v'
+        | None ->
+          let v' = canon_prefix ^ string_of_int !n in
+          incr n;
+          Hashtbl.add tbl v v';
+          v')
+  in
+  let head = List.map pat q.Cq.head in
+  let body =
+    List.map
+      (fun a -> { Cq.s = pat a.Cq.s; p = pat a.Cq.p; o = pat a.Cq.o })
+      q.Cq.body
+  in
+  { Cq.head; body }
+
+let cq_key q = Fmt.str "%a" Cq.pp q
+
+let cover_key c = Fmt.str "%a" Cover.pp c
+
+let closure_fingerprint cl =
+  let buf = Buffer.create 512 in
+  let pair_cmp (a1, b1) (a2, b2) =
+    let c = Term.compare a1 a2 in
+    if c <> 0 then c else Term.compare b1 b2
+  in
+  let add tag pairs =
+    Buffer.add_string buf tag;
+    List.iter
+      (fun (a, b) -> Buffer.add_string buf (Fmt.str "%a<%a;" Term.pp a Term.pp b))
+      (List.sort pair_cmp pairs)
+  in
+  add "sc:" (Closure.subclass_pairs cl);
+  add "sp:" (Closure.subproperty_pairs cl);
+  add "dom:" (Closure.domain_pairs cl);
+  add "rng:" (Closure.range_pairs cl);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

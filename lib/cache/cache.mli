@@ -1,0 +1,95 @@
+(** Building blocks of the multi-level answering cache.
+
+    The answering stack caches work at three levels — CQ→JUCQ
+    reformulations, GCov cover choices, and materialized fragment-UCQ
+    results — all instantiated in {!Refq_core.Answer.env} over the
+    bounded LRU of this module. This library stays below [refq_core] in
+    the dependency order, so it only provides the generic pieces:
+
+    - a bounded, string-keyed {!Lru} with always-on hit/miss/eviction
+      statistics plus [cache.<level>_{hits,misses,evictions}] counters in
+      {!Refq_obs.Obs} (live when the sink is enabled);
+    - key derivation: an atom-order-preserving canonical form of a CQ
+      modulo variable renaming ({!canon_cq}), so renamed variants of one
+      query share entries, and a schema-closure fingerprint
+      ({!closure_fingerprint}), so re-deriving an identical closure keeps
+      entries valid.
+
+    Epoch-based invalidation is driven by the store's monotonic
+    data/schema epochs ({!Refq_storage.Store.data_epoch}); see
+    [Answer.invalidate] and DESIGN.md §9 for the invalidation rules. *)
+
+open Refq_query
+open Refq_schema
+
+type stats = {
+  name : string;
+  capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val pp_stats : stats Fmt.t
+
+(** Bounded LRU over string keys. Lookups refresh recency; insertion
+    beyond capacity evicts the least recently used entry. Statistics are
+    always recorded (the [Obs] counters additionally tick when the sink
+    is on). *)
+module Lru : sig
+  type 'a t
+
+  val create : name:string -> capacity:int -> 'a t
+  (** [name] labels the statistics and the [cache.<name>_*] counters.
+      @raise Invalid_argument when [capacity <= 0]. *)
+
+  val find : 'a t -> string -> 'a option
+  (** Counts a hit or a miss and refreshes recency on hit. *)
+
+  val mem : 'a t -> string -> bool
+  (** Pure membership probe: no statistics, no recency update. *)
+
+  val put : 'a t -> string -> 'a -> unit
+  (** Insert or replace; evicts the LRU entry when full. *)
+
+  val clear : 'a t -> unit
+  (** Drop all entries (statistics are kept: they describe the cache's
+      lifetime, not its current contents). *)
+
+  val length : 'a t -> int
+
+  val stats : 'a t -> stats
+end
+
+type policy = {
+  reform_capacity : int;  (** reformulation (JUCQ) entries *)
+  cover_capacity : int;  (** GCov cover/plan traces *)
+  result_capacity : int;  (** materialized fragment results *)
+}
+
+val default_policy : policy
+(** 64 reformulations, 128 cover traces, 256 fragment results. *)
+
+val canon_prefix : string
+(** Prefix of canonical variable names (["_c"]); distinct from query
+    variables' namespace and from [Cq.fresh_var_prefix]. *)
+
+val canon_cq : Cq.t -> Cq.t
+(** Canonical form modulo variable renaming: variables are renamed to
+    [_c0, _c1, ...] in first-occurrence order (head first, then body in
+    atom order). Unlike [Cq.canonicalize] the body atom order is {e
+    preserved}, so cover fragment indices keep addressing the same atoms.
+    Two queries equal up to consistent variable renaming map to the same
+    canonical form. *)
+
+val cq_key : Cq.t -> string
+(** Deterministic printed form of a CQ, used as a cache-key component
+    (apply to {!canon_cq} output for renaming-insensitive keys). *)
+
+val cover_key : Cover.t -> string
+
+val closure_fingerprint : Closure.t -> string
+(** Digest of the closure's sorted subclass / subproperty / domain /
+    range pair lists: equal closures (e.g. after a no-op schema edit)
+    fingerprint equally, so reformulation cache entries survive. *)

@@ -11,6 +11,8 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 module Budget = Refq_fault.Budget
 module Obs = Refq_obs.Obs
+module Cache = Refq_cache.Cache
+module Config = Config
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-answer reporting (shared with the federation layer)        *)
@@ -81,24 +83,52 @@ let pp_federation_report ppf r =
     r.fragment_reports;
   Fmt.pf ppf "@]"
 
-type backend =
+type backend = Config.backend =
   | Nested_loop
   | Sort_merge
 
-type env = {
-  store : Store.t;
-  closure : Closure.t;
-  card_env : Cardinality.env;
-  mutable sat : (Store.t * Refq_saturation.Saturate.info * Cardinality.env) option;
+(* The three cache levels of the answering stack, owned per environment.
+   Values are stored under the query's canonical form ([Cache.canon_cq]),
+   so renamed variants of one query share entries at every level. *)
+type caches = {
+  reform : Jucq.t Cache.Lru.t;  (** canonical CQ + cover → JUCQ *)
+  cover : Gcov.trace Cache.Lru.t;  (** canonical CQ + stats epoch → trace *)
+  results : Relation.t Cache.Lru.t;
+      (** reformulation key + fragment index + data epoch → materialized
+          fragment relation *)
 }
 
-let make_env store =
+type env = {
+  store : Store.t;
+  mutable closure : Closure.t;
+  mutable schema_fp : string;  (** fingerprint of [closure] *)
+  mutable card_env : Cardinality.env;
+  mutable sat : (Store.t * Refq_saturation.Saturate.info * Cardinality.env) option;
+  mutable data_epoch : int;  (** store epochs last seen by [invalidate] *)
+  mutable schema_epoch : int;
+  caches : caches;
+}
+
+let make_env ?(cache = Cache.default_policy) store =
   Store.freeze store;
+  let closure = Closure.of_graph (Store.to_graph store) in
   {
     store;
-    closure = Closure.of_graph (Store.to_graph store);
+    closure;
+    schema_fp = Cache.closure_fingerprint closure;
     card_env = Cardinality.make_env store;
     sat = None;
+    data_epoch = Store.data_epoch store;
+    schema_epoch = Store.schema_epoch store;
+    caches =
+      {
+        reform =
+          Cache.Lru.create ~name:"reform" ~capacity:cache.Cache.reform_capacity;
+        cover =
+          Cache.Lru.create ~name:"cover" ~capacity:cache.Cache.cover_capacity;
+        results =
+          Cache.Lru.create ~name:"result" ~capacity:cache.Cache.result_capacity;
+      };
   }
 
 let store env = env.store
@@ -106,6 +136,18 @@ let store env = env.store
 let closure env = env.closure
 
 let card_env env = env.card_env
+
+let cache_stats env =
+  [
+    Cache.Lru.stats env.caches.reform;
+    Cache.Lru.stats env.caches.cover;
+    Cache.Lru.stats env.caches.results;
+  ]
+
+let clear_caches env =
+  Cache.Lru.clear env.caches.reform;
+  Cache.Lru.clear env.caches.cover;
+  Cache.Lru.clear env.caches.results
 
 let now () = Unix.gettimeofday ()
 
@@ -122,7 +164,37 @@ let saturated env =
   let st, info, _ = saturated_full env in
   (st, info)
 
-let invalidate env = make_env env.store
+(* Epoch-aware refresh after store mutations. A data-only change keeps
+   the closure, its fingerprint and the reformulation cache (reformulation
+   only depends on the schema); a schema change rebuilds the closure and
+   drops everything keyed on it. Both paths rebuild statistics and drop
+   the cached saturation and materialized results. With unchanged epochs
+   this is a no-op, so calling it defensively is free. *)
+let invalidate env =
+  let d = Store.data_epoch env.store and s = Store.schema_epoch env.store in
+  if s <> env.schema_epoch then begin
+    Store.freeze env.store;
+    let closure = Closure.of_graph (Store.to_graph env.store) in
+    env.closure <- closure;
+    env.schema_fp <- Cache.closure_fingerprint closure;
+    env.card_env <- Cardinality.make_env env.store;
+    env.sat <- None;
+    clear_caches env;
+    env.schema_epoch <- s;
+    env.data_epoch <- d
+  end
+  else if d <> env.data_epoch then begin
+    Store.freeze env.store;
+    env.card_env <- Cardinality.make_env env.store;
+    env.sat <- None;
+    (* Reformulations stay valid (schema unchanged); cover choices and
+       materialized fragments are keyed by epoch, but their old entries
+       can never hit again — drop them to free the space. *)
+    Cache.Lru.clear env.caches.cover;
+    Cache.Lru.clear env.caches.results;
+    env.data_epoch <- d
+  end;
+  env
 
 type detail =
   | Reformulated of {
@@ -154,18 +226,30 @@ type failure = {
   f_reformulation_s : float;
 }
 
-let default_max = 200_000
-
 let positional_cols q =
   Array.of_list (List.mapi (fun i _ -> Printf.sprintf "c%d" i) q.Cq.head)
 
 (* Evaluate a JUCQ while recording materialized fragment cardinalities
-   (mirrors [Evaluator.jucq], which cannot expose intermediates). *)
-let eval_jucq_with_cards ?budget ~backend env (j : Jucq.t) =
+   (mirrors [Evaluator.jucq], which cannot expose intermediates). When a
+   [result_key] is given, each fragment relation is looked up in / stored
+   into the bounded result cache, keyed additionally by fragment index,
+   store data epoch and backend. A cached fragment is reused as-is: keys
+   derive from the canonical query, so column names line up, and
+   downstream joins never mutate their inputs. *)
+let eval_jucq_with_cards (cfg : Config.t) ?result_key env (j : Jucq.t) =
+  let budget = cfg.Config.budget in
   let ucq_eval, join =
-    match backend with
+    match cfg.Config.backend with
     | Nested_loop -> (Evaluator.ucq ?budget, Evaluator.join ?budget)
     | Sort_merge -> (Sortmerge.ucq ?budget, Sortmerge.merge_join ?budget)
+  in
+  let fragment_key =
+    match result_key with
+    | None -> fun _ -> None
+    | Some base ->
+      let epoch = Store.data_epoch env.store in
+      let backend = Config.backend_name cfg.Config.backend in
+      fun i -> Some (Printf.sprintf "%s#f%d|d:%d|b:%s" base i epoch backend)
   in
   let fragments =
     List.mapi
@@ -173,7 +257,18 @@ let eval_jucq_with_cards ?budget ~backend env (j : Jucq.t) =
         Obs.span_lazy
           (fun () -> Printf.sprintf "fragment-%d" i)
           (fun () ->
-            ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq))
+            let compute () =
+              ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq
+            in
+            match fragment_key i with
+            | None -> compute ()
+            | Some key -> (
+              match Cache.Lru.find env.caches.results key with
+              | Some rel -> rel
+              | None ->
+                let rel = compute () in
+                Cache.Lru.put env.caches.results key rel;
+                rel)))
       j.Jucq.fragments
   in
   let cards = List.map Relation.cardinality fragments in
@@ -229,19 +324,48 @@ let minimize_jucq (j : Jucq.t) =
         j.Jucq.fragments;
   }
 
-let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
-    ?budget ~max_disjuncts env q strategy cover gcov_trace =
-  ignore params;
+let reform_key env (cfg : Config.t) qc cover =
+  Printf.sprintf "%s|%s|p:%s|m:%b|fp:%s" (Cache.cq_key qc)
+    (Cache.cover_key cover) (Config.profile_name cfg) cfg.Config.minimize
+    env.schema_fp
+
+let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
   let max_disjuncts =
-    (* The budget's reformulation cap tightens the caller's limit. *)
-    match Option.bind budget Budget.max_disjuncts with
-    | Some m -> min m max_disjuncts
-    | None -> max_disjuncts
+    (* The budget's reformulation cap tightens the configured limit. *)
+    match Option.bind cfg.Config.budget Budget.max_disjuncts with
+    | Some m -> min m cfg.Config.max_disjuncts
+    | None -> cfg.Config.max_disjuncts
+  in
+  (* When caching, the whole pipeline runs on the canonical form: renamed
+     variants of one query then share reformulations AND materialized
+     fragments (column names included). Canonicalization preserves atom
+     order, so [cover]'s atom indices keep their meaning; answers are
+     decoded positionally, so canonical head names are inconsequential. *)
+  let qc = if cfg.Config.use_cache then Cache.canon_cq q else q in
+  let rkey =
+    if cfg.Config.use_cache then Some (reform_key env cfg qc cover) else None
+  in
+  let reformulate () =
+    let j =
+      Reformulate.cover_to_jucq ?profile:cfg.Config.profile ~max_disjuncts
+        env.closure qc cover
+    in
+    if cfg.Config.minimize then minimize_jucq j else j
   in
   let t0 = now () in
   match
     Obs.span "reformulate" (fun () ->
-        Reformulate.cover_to_jucq ?profile ~max_disjuncts env.closure q cover)
+        match rkey with
+        | None -> reformulate ()
+        | Some key -> (
+          match Cache.Lru.find env.caches.reform key with
+          (* An entry computed under a laxer limit can exceed a tighter
+             budget cap: recompute so [Too_large] fires as uncached. *)
+          | Some j when Jucq.size j <= max_disjuncts -> j
+          | Some _ | None ->
+            let j = reformulate () in
+            Cache.Lru.put env.caches.reform key j;
+            j))
   with
   | exception Reformulate.Too_large n ->
     Error
@@ -255,14 +379,13 @@ let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
         f_reformulation_s = now () -. t0;
       }
   | jucq -> (
-    let jucq = if minimize then minimize_jucq jucq else jucq in
     Log.debug (fun m ->
         m "%a: cover %a, %d disjuncts in %d fragments" Strategy.pp strategy
           Cover.pp cover (Jucq.size jucq) (Jucq.n_fragments jucq));
     let t1 = now () in
     match
       Obs.span "evaluate" (fun () ->
-          eval_jucq_with_cards ?budget ~backend env jucq)
+          eval_jucq_with_cards cfg ?result_key:rkey env jucq)
     with
     | exception Budget.Exhausted reason ->
       Error
@@ -291,8 +414,9 @@ let run_cover ?profile ?params ?(minimize = false) ?(backend = Nested_loop)
               };
         })
 
-let answer ?profile ?params ?minimize ?backend ?budget
-    ?(max_disjuncts = default_max) env q strategy =
+let answer ?(config = Config.default) env q strategy =
+  let cfg = config in
+  let budget = cfg.Config.budget in
   let n_atoms = List.length q.Cq.body in
   match strategy with
   | Strategy.Saturation -> (
@@ -300,7 +424,7 @@ let answer ?profile ?params ?minimize ?backend ?budget
     let _, info, sat_cenv = Obs.span "saturate" (fun () -> saturated_full env) in
     let t1 = now () in
     let eval_cq =
-      match Option.value ~default:Nested_loop backend with
+      match cfg.Config.backend with
       | Nested_loop -> fun env ~cols q -> Evaluator.cq ?budget env ~cols q
       | Sort_merge -> fun env ~cols q -> Sortmerge.cq ?budget env ~cols q
     in
@@ -327,11 +451,8 @@ let answer ?profile ?params ?minimize ?backend ?budget
           detail = Saturated info;
         })
   | Strategy.Ucq ->
-    run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env q
-      strategy (Cover.one_fragment ~n_atoms) None
-  | Strategy.Scq ->
-    run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env q
-      strategy (Cover.singleton ~n_atoms) None
+    run_cover cfg env q strategy (Cover.one_fragment ~n_atoms) None
+  | Strategy.Scq -> run_cover cfg env q strategy (Cover.singleton ~n_atoms) None
   | Strategy.Jucq cover ->
     if Cover.n_atoms cover <> n_atoms then
       Error
@@ -340,20 +461,37 @@ let answer ?profile ?params ?minimize ?backend ?budget
           reason = "cover does not match the query's atom count";
           f_reformulation_s = 0.0;
         }
-    else
-      run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env q
-        strategy cover None
+    else run_cover cfg env q strategy cover None
   | Strategy.Gcov ->
     let t0 = now () in
     let trace =
       Obs.span "plan" (fun () ->
-          Gcov.search ?profile ?params ~max_disjuncts env.card_env env.closure q)
+          let compute () = Gcov.search ~config:cfg env.card_env env.closure q in
+          if not cfg.Config.use_cache then compute ()
+          else begin
+            (* The greedy walk only depends on the query shape, the
+               reformulation inputs and the statistics; the latter are
+               pinned by the store's data epoch. *)
+            let key =
+              Printf.sprintf "%s|p:%s|params:%d|max:%d|fp:%s|d:%d"
+                (Cache.cq_key (Cache.canon_cq q))
+                (Config.profile_name cfg)
+                (Hashtbl.hash cfg.Config.params)
+                cfg.Config.max_disjuncts env.schema_fp
+                (Store.data_epoch env.store)
+            in
+            match Cache.Lru.find env.caches.cover key with
+            | Some trace -> trace
+            | None ->
+              let trace = compute () in
+              Cache.Lru.put env.caches.cover key trace;
+              trace
+          end)
     in
     let search_s = now () -. t0 in
     Result.map
       (fun r -> { r with planning_s = search_s })
-      (run_cover ?profile ?params ?minimize ?backend ?budget ~max_disjuncts env
-         q strategy trace.Gcov.chosen (Some trace))
+      (run_cover cfg env q strategy trace.Gcov.chosen (Some trace))
   | Strategy.Datalog ->
     let t0 = now () in
     let answers, stats =
@@ -371,17 +509,13 @@ let answer ?profile ?params ?minimize ?backend ?budget
         detail = Datalog_run stats;
       }
 
-let answer_union ?profile ?params ?minimize ?backend ?budget ?max_disjuncts
-    env u strategy =
+let answer_union ?config env u strategy =
   (* A union of BGP queries is answered disjunct by disjunct: answering
      commutes with union (q1 ∪ q2 over G∞ = answers(q1) ∪ answers(q2)). *)
   let rec loop acc_rel acc_reports = function
     | [] -> Ok (acc_rel, List.rev acc_reports)
     | q :: rest -> (
-      match
-        answer ?profile ?params ?minimize ?backend ?budget ?max_disjuncts env
-          q strategy
-      with
+      match answer ?config env q strategy with
       | Error f -> Error f
       | Ok r ->
         let acc_rel =

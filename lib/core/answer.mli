@@ -14,12 +14,22 @@ open Refq_storage
 open Refq_engine
 open Refq_cost
 
-type env
-(** A prepared database: the store, its schema closure, its statistics,
-    and a lazily computed, cached saturation (shared by repeated
-    [Saturation] runs, as a real Sat deployment would). *)
+module Config = Config
+(** Consolidated answering options — see {!Config.t}. *)
 
-val make_env : Store.t -> env
+module Cache = Refq_cache.Cache
+(** Re-exported cache building blocks (LRU, canonical forms, stats). *)
+
+type env
+(** A prepared database: the store, its schema closure, its statistics, a
+    lazily computed, cached saturation (shared by repeated [Saturation]
+    runs, as a real Sat deployment would), and the three answering
+    caches — reformulations, GCov cover traces and materialized fragment
+    results. *)
+
+val make_env : ?cache:Cache.policy -> Store.t -> env
+(** [cache] sizes the per-level LRUs ({!Cache.default_policy} when
+    omitted). *)
 
 val store : env -> Store.t
 
@@ -31,10 +41,24 @@ val saturated : env -> Store.t * Refq_saturation.Saturate.info
 (** The saturation of the store (computed on first use, then cached). *)
 
 val invalidate : env -> env
-(** Rebuild closure, statistics and cached saturation after the underlying
-    store changed (demo step 4: modify data or constraints, re-run). *)
+(** Refresh the environment after the underlying store changed (demo step
+    4: modify data or constraints, re-run), driven by the store's
+    monotonic epochs. A data-only change rebuilds statistics and drops the
+    cached saturation, cover traces and materialized fragments, but keeps
+    the schema closure, its fingerprint and the reformulation cache
+    (reformulation depends only on the schema). A schema change
+    additionally re-derives the closure and clears every cache level.
+    With unchanged epochs this is a no-op. Returns the same (mutated)
+    environment. *)
 
-type backend =
+val cache_stats : env -> Cache.stats list
+(** Lifetime hit/miss/eviction statistics of the reformulation, cover and
+    result caches, in that order. *)
+
+val clear_caches : env -> unit
+(** Drop every cached entry (statistics are kept). *)
+
+type backend = Config.backend =
   | Nested_loop  (** index nested loops + hash joins ({!Refq_engine.Evaluator}) *)
   | Sort_merge  (** materialize + sort-merge joins ({!Refq_engine.Sortmerge}) *)
 
@@ -126,36 +150,32 @@ type failure = {
 }
 
 val answer :
-  ?profile:Refq_reform.Profiles.t ->
-  ?params:Cost_model.params ->
-  ?minimize:bool ->
-  ?backend:backend ->
-  ?budget:Refq_fault.Budget.t ->
-  ?max_disjuncts:int ->
-  env ->
-  Cq.t ->
-  Strategy.t ->
-  (report, failure) result
-(** Run one strategy. [max_disjuncts] (default 200,000) bounds
-    reformulation sizes; exceeding it yields [Error] — modelling Example
-    1's unparseable 318,096-CQ union rather than aborting the process.
-    [minimize] (default [false]) drops containment-redundant disjuncts
-    from each fragment UCQ before evaluation (fragments above 2,000
-    disjuncts are left as-is: minimization is quadratic). [backend]
-    (default [Nested_loop]) selects the physical engine — the paper runs
-    every strategy on several systems to show the trade-offs are
-    engine-independent. [budget] caps evaluation work: its reformulation
-    cap tightens [max_disjuncts], and a tripped deadline or row cap yields
-    [Error] with a ["budget exhausted"] reason (all strategies except
-    [Datalog], whose engine is the external-system stand-in). *)
+  ?config:Config.t -> env -> Cq.t -> Strategy.t -> (report, failure) result
+(** Run one strategy under a {!Config.t} (default {!Config.default}).
+    [config.max_disjuncts] bounds reformulation sizes; exceeding it yields
+    [Error] — modelling Example 1's unparseable 318,096-CQ union rather
+    than aborting the process. [config.minimize] drops
+    containment-redundant disjuncts from each fragment UCQ before
+    evaluation (fragments above 2,000 disjuncts are left as-is:
+    minimization is quadratic). [config.backend] selects the physical
+    engine — the paper runs every strategy on several systems to show the
+    trade-offs are engine-independent. [config.budget] caps evaluation
+    work: its reformulation cap tightens [max_disjuncts], and a tripped
+    deadline or row cap yields [Error] with a ["budget exhausted"] reason
+    (all strategies except [Datalog], whose engine is the external-system
+    stand-in).
+
+    With [config.use_cache] (the default) the reformulation strategies run
+    on the query's canonical form and consult the environment's caches:
+    the JUCQ reformulation (keyed modulo variable renaming plus the schema
+    fingerprint), GCov's cover trace (plus the data epoch pinning the
+    statistics) and each materialized fragment relation (plus data epoch
+    and backend). Cached and uncached runs return identical answer sets;
+    only the column names of [report.answers] may differ (canonical
+    variable names), which positional {!decode} ignores. *)
 
 val answer_union :
-  ?profile:Refq_reform.Profiles.t ->
-  ?params:Cost_model.params ->
-  ?minimize:bool ->
-  ?backend:backend ->
-  ?budget:Refq_fault.Budget.t ->
-  ?max_disjuncts:int ->
+  ?config:Config.t ->
   env ->
   Ucq.t ->
   Strategy.t ->

@@ -1,0 +1,58 @@
+type backend =
+  | Nested_loop
+  | Sort_merge
+
+type t = {
+  profile : Refq_reform.Profiles.t option;
+  params : Refq_cost.Cost_model.params option;
+  minimize : bool;
+  backend : backend;
+  budget : Refq_fault.Budget.t option;
+  max_disjuncts : int;
+  use_cache : bool;
+}
+
+let default_max_disjuncts = 200_000
+
+let default =
+  {
+    profile = None;
+    params = None;
+    minimize = false;
+    backend = Nested_loop;
+    budget = None;
+    max_disjuncts = default_max_disjuncts;
+    use_cache = true;
+  }
+
+let with_profile p c = { c with profile = Some p }
+
+let with_params p c = { c with params = Some p }
+
+let with_minimize minimize c = { c with minimize }
+
+let with_backend backend c = { c with backend }
+
+let with_budget b c = { c with budget = Some b }
+
+let with_max_disjuncts max_disjuncts c = { c with max_disjuncts }
+
+let with_cache use_cache c = { c with use_cache }
+
+let without_cache c = { c with use_cache = false }
+
+let profile_name c =
+  match c.profile with
+  | None -> "complete"
+  | Some p -> p.Refq_reform.Profiles.name
+
+let backend_name = function
+  | Nested_loop -> "nested-loop"
+  | Sort_merge -> "sort-merge"
+
+let pp ppf c =
+  Fmt.pf ppf
+    "profile=%s minimize=%b backend=%s budget=%s max_disjuncts=%d cache=%b"
+    (profile_name c) c.minimize (backend_name c.backend)
+    (match c.budget with None -> "none" | Some _ -> "set")
+    c.max_disjuncts c.use_cache

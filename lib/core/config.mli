@@ -1,0 +1,67 @@
+(** Answering configuration: one record instead of an optional-argument
+    list on every entry point.
+
+    [Answer.answer], [Answer.answer_union], [Gcov.search] /
+    [Gcov.exhaustive] and (wrapped in its own record)
+    [Federation.answer_ref] all take a single [?config] argument. Build
+    one from {!default} with the [with_*] setters:
+
+    {[
+      let config =
+        Answer.Config.(default |> with_minimize true |> without_cache)
+      in
+      Answer.answer ~config env q Strategy.Gcov
+    ]} *)
+
+type backend =
+  | Nested_loop
+      (** index nested loops + hash joins ({!Refq_engine.Evaluator}) *)
+  | Sort_merge  (** materialize + sort-merge joins ({!Refq_engine.Sortmerge}) *)
+
+type t = {
+  profile : Refq_reform.Profiles.t option;
+      (** reformulation profile; [None] = complete reformulation *)
+  params : Refq_cost.Cost_model.params option;
+      (** cost-model parameters for GCov; [None] = defaults *)
+  minimize : bool;
+      (** drop containment-redundant disjuncts per fragment UCQ *)
+  backend : backend;
+  budget : Refq_fault.Budget.t option;
+      (** per-query execution budget; its reformulation cap tightens
+          [max_disjuncts] *)
+  max_disjuncts : int;
+      (** reformulation size bound; exceeding it is an [Error], modelling
+          Example 1's unparseable 318,096-CQ union *)
+  use_cache : bool;
+      (** consult/populate the answering caches (default [true]) *)
+}
+
+val default_max_disjuncts : int
+(** 200,000. *)
+
+val default : t
+(** Complete profile, default cost parameters, no minimization,
+    [Nested_loop], no budget, {!default_max_disjuncts}, cache enabled. *)
+
+val with_profile : Refq_reform.Profiles.t -> t -> t
+
+val with_params : Refq_cost.Cost_model.params -> t -> t
+
+val with_minimize : bool -> t -> t
+
+val with_backend : backend -> t -> t
+
+val with_budget : Refq_fault.Budget.t -> t -> t
+
+val with_max_disjuncts : int -> t -> t
+
+val with_cache : bool -> t -> t
+
+val without_cache : t -> t
+
+val profile_name : t -> string
+(** The profile's name, or ["complete"] — stable cache-key component. *)
+
+val backend_name : backend -> string
+
+val pp : t Fmt.t

@@ -70,9 +70,12 @@ let moves q cover =
                 else None))
        frags)
 
-let search ?profile ?params ?max_disjuncts env cl q =
+let search ?(config = Config.default) env cl q =
   let n_atoms = List.length q.Cq.body in
-  let est = make_estimator ?profile ?params ?max_disjuncts env cl q in
+  let est =
+    make_estimator ?profile:config.Config.profile ?params:config.Config.params
+      ~max_disjuncts:config.Config.max_disjuncts env cl q
+  in
   let seen = Hashtbl.create 32 in
   let key cover = Cover.fragments cover in
   let explored = ref [] in
@@ -150,9 +153,12 @@ let partitions n =
   in
   place 0 []
 
-let exhaustive ?profile ?params ?max_disjuncts env cl q =
+let exhaustive ?(config = Config.default) env cl q =
   let n_atoms = List.length q.Cq.body in
-  let est = make_estimator ?profile ?params ?max_disjuncts env cl q in
+  let est =
+    make_estimator ?profile:config.Config.profile ?params:config.Config.params
+      ~max_disjuncts:config.Config.max_disjuncts env cl q
+  in
   partitions n_atoms
   |> List.map (fun blocks ->
          let cover = Cover.make ~n_atoms blocks in

@@ -25,17 +25,11 @@ type trace = {
   iterations : int;  (** greedy rounds performed *)
 }
 
-val search :
-  ?profile:Refq_reform.Profiles.t ->
-  ?params:Cost_model.params ->
-  ?max_disjuncts:int ->
-  Cardinality.env ->
-  Closure.t ->
-  Cq.t ->
-  trace
-(** Run the greedy search for a query. Covers whose reformulation exceeds
-    [max_disjuncts] get infinite cost (they are infeasible, like the
-    unparseable UCQ of Example 1). *)
+val search : ?config:Config.t -> Cardinality.env -> Closure.t -> Cq.t -> trace
+(** Run the greedy search for a query. The {!Config.t} supplies the
+    reformulation profile, cost parameters and disjunct bound; covers
+    whose reformulation exceeds [config.max_disjuncts] get infinite cost
+    (they are infeasible, like the unparseable UCQ of Example 1). *)
 
 val partitions : int -> int list list list
 (** All set partitions of [{0, ..., n-1}] (Bell(n) of them) — the
@@ -43,9 +37,7 @@ val partitions : int -> int list list list
     exhaustive-search ablation. *)
 
 val exhaustive :
-  ?profile:Refq_reform.Profiles.t ->
-  ?params:Cost_model.params ->
-  ?max_disjuncts:int ->
+  ?config:Config.t ->
   Cardinality.env ->
   Closure.t ->
   Cq.t ->

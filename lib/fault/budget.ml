@@ -9,22 +9,31 @@ type t = {
 
 exception Exhausted of string
 
-let create ?deadline ?max_rows ?max_disjuncts ?clock () =
+type limits = {
+  deadline : int option;
+  max_rows : int option;
+  max_disjuncts : int option;
+}
+
+let no_limits = { deadline = None; max_rows = None; max_disjuncts = None }
+
+let create ?clock (limits : limits) =
   let clock = match clock with Some c -> c | None -> Sim_clock.create () in
   {
     clock;
-    deadline = Option.map (fun d -> Sim_clock.now clock + d) deadline;
-    max_rows;
-    max_disjuncts;
+    deadline =
+      Option.map (fun d -> Sim_clock.now clock + d) limits.deadline;
+    max_rows = limits.max_rows;
+    max_disjuncts = limits.max_disjuncts;
     rows = 0;
     stopped = None;
   }
 
-let unlimited () = create ()
+let unlimited () = create no_limits
 
 let clock t = t.clock
 
-let max_disjuncts t = t.max_disjuncts
+let max_disjuncts (t : t) = t.max_disjuncts
 
 let rows_charged t = t.rows
 

@@ -25,16 +25,22 @@ exception Exhausted of string
     is a one-line human-readable reason ("deadline exceeded ...",
     "row budget exceeded ..."). *)
 
-val create :
-  ?deadline:int ->
-  ?max_rows:int ->
-  ?max_disjuncts:int ->
-  ?clock:Sim_clock.t ->
-  unit ->
-  t
-(** [create ~deadline ~max_rows ~max_disjuncts ~clock ()] is a budget over
-    [clock] (a fresh clock when omitted). [deadline] is {e relative} to the
-    clock's current time; omitted caps are unlimited. *)
+(** The caps, gathered in a record ([None] = unlimited) so {!create}
+    stays within the repository's two-optional-arguments rule for public
+    entry points. Build one from {!no_limits} with a record update:
+    [{ Budget.no_limits with max_rows = Some 100 }]. *)
+type limits = {
+  deadline : int option;
+  max_rows : int option;
+  max_disjuncts : int option;
+}
+
+val no_limits : limits
+
+val create : ?clock:Sim_clock.t -> limits -> t
+(** [create limits] is a budget over [clock] (a fresh clock when
+    omitted). [limits.deadline] is {e relative} to the clock's current
+    time. *)
 
 val unlimited : unit -> t
 (** A budget with no caps (and its own fresh clock): charging only

@@ -11,6 +11,9 @@ module Breaker = Refq_fault.Breaker
 module Retry = Refq_fault.Retry
 module Sim_clock = Refq_fault.Sim_clock
 module Answer = Refq_core.Answer
+module Core_config = Refq_core.Config
+module Gcov = Refq_core.Gcov
+module Cache = Refq_cache.Cache
 module Obs = Refq_obs.Obs
 
 let c_calls = Obs.counter "federation.calls"
@@ -35,11 +38,18 @@ type t = {
   dict : Dictionary.t;
   endpoints : Endpoint.t list;
   closure : Closure.t;
+  closure_fp : string;
   (* Statistics of the (hypothetical) union, used by GCov's cost model —
      in a real deployment these would come from endpoint service
      descriptions. *)
   union_env : Cardinality.env;
   mutable union_sat_env : Cardinality.env option;
+  (* Reformulation and cover caches, as in [Answer.env]. Endpoint data is
+     fixed after [of_graphs] (there is no federation mutation API), so no
+     epoch appears in the keys; results are NOT cached: endpoint answers
+     depend on fault plans, limits and budgets. *)
+  reform_cache : Jucq.t Cache.Lru.t;
+  cover_cache : Gcov.trace Cache.Lru.t;
 }
 
 let of_graphs specs =
@@ -85,12 +95,16 @@ let of_graphs specs =
           acc)
       Schema.empty endpoints
   in
+  let closure = Closure.of_schema schema in
   {
     dict;
     endpoints;
-    closure = Closure.of_schema schema;
+    closure;
+    closure_fp = Cache.closure_fingerprint closure;
     union_env = Cardinality.make_env union_store;
     union_sat_env = None;
+    reform_cache = Cache.Lru.create ~name:"fed-reform" ~capacity:64;
+    cover_cache = Cache.Lru.create ~name:"fed-cover" ~capacity:128;
   }
 
 let endpoints fed = fed.endpoints
@@ -98,6 +112,9 @@ let endpoints fed = fed.endpoints
 let closure fed = fed.closure
 
 let dictionary fed = fed.dict
+
+let cache_stats fed =
+  [ Cache.Lru.stats fed.reform_cache; Cache.Lru.stats fed.cover_cache ]
 
 type strategy =
   | Ucq
@@ -127,6 +144,27 @@ let default_resilience =
     call_ticks = 1;
     timeout_ticks = 10;
   }
+
+module Config = struct
+  type nonrec t = {
+    answer : Core_config.t;
+    strategy : strategy;
+    resilience : resilience;
+  }
+
+  let default =
+    {
+      answer = Core_config.default;
+      strategy = Scq;
+      resilience = default_resilience;
+    }
+
+  let with_answer answer c = { c with answer }
+
+  let with_strategy strategy c = { c with strategy }
+
+  let with_resilience resilience c = { c with resilience }
+end
 
 let breaker_for res breakers name =
   match Hashtbl.find_opt breakers name with
@@ -239,32 +277,51 @@ let project_head fed head joined =
 let empty_answer fed head =
   project_head fed head (Relation.create ~cols:[||])
 
-let answer_ref ?profile ?(strategy = Scq) ?max_disjuncts
-    ?(resilience = default_resilience) ?budget fed q =
-  let budget_cap = Option.bind budget Budget.max_disjuncts in
+let answer_ref ?(config = Config.default) fed q =
+  let acfg = config.Config.answer in
+  let resilience = config.Config.resilience in
+  let budget_cap = Option.bind acfg.Core_config.budget Budget.max_disjuncts in
   let budget =
-    match budget with Some b -> b | None -> Budget.unlimited ()
+    match acfg.Core_config.budget with
+    | Some b -> b
+    | None -> Budget.unlimited ()
   in
+  let use_cache = acfg.Core_config.use_cache in
   let n_atoms = List.length q.Cq.body in
+  let max_disjuncts =
+    match budget_cap with
+    | Some b -> min acfg.Core_config.max_disjuncts b
+    | None -> acfg.Core_config.max_disjuncts
+  in
   let cover =
-    match strategy with
+    match config.Config.strategy with
     | Ucq -> Refq_query.Cover.one_fragment ~n_atoms
     | Scq -> Refq_query.Cover.singleton ~n_atoms
     | Cover c -> c
     | Gcov ->
       (* The greedy search prices covers with the union statistics (in a
-         real deployment, endpoint service descriptions). *)
+         real deployment, endpoint service descriptions). Endpoint data
+         is immutable, so the cached trace needs no epoch. *)
+      let compute () = Gcov.search ~config:acfg fed.union_env fed.closure q in
       let trace =
-        Refq_core.Gcov.search ?profile ?max_disjuncts fed.union_env
-          fed.closure q
+        if not use_cache then compute ()
+        else begin
+          let key =
+            Printf.sprintf "%s|p:%s|params:%d|max:%d|fp:%s"
+              (Cache.cq_key (Cache.canon_cq q))
+              (Core_config.profile_name acfg)
+              (Hashtbl.hash acfg.Core_config.params)
+              acfg.Core_config.max_disjuncts fed.closure_fp
+          in
+          match Cache.Lru.find fed.cover_cache key with
+          | Some t -> t
+          | None ->
+            let t = compute () in
+            Cache.Lru.put fed.cover_cache key t;
+            t
+        end
       in
-      trace.Refq_core.Gcov.chosen
-  in
-  let max_disjuncts =
-    match max_disjuncts, budget_cap with
-    | Some a, Some b -> Some (min a b)
-    | Some a, None -> Some a
-    | None, cap -> cap
+      trace.Gcov.chosen
   in
   let degraded ~reports ~budget_stop =
     ( empty_answer fed q.Cq.head,
@@ -274,8 +331,31 @@ let answer_ref ?profile ?(strategy = Scq) ?max_disjuncts
         budget_stop = Some budget_stop;
       } )
   in
+  (* As in [Answer.run_cover]: when caching, reformulate the canonical
+     form so renamed variants share entries. Fragment evaluation stays
+     uncached — endpoint contributions depend on fault plans, limits and
+     budgets, which are not part of any sound cache key. *)
+  let qc = if use_cache then Cache.canon_cq q else q in
+  let reformulate () =
+    Reformulate.cover_to_jucq ?profile:acfg.Core_config.profile ~max_disjuncts
+      fed.closure qc cover
+  in
   match
-    Reformulate.cover_to_jucq ?profile ?max_disjuncts fed.closure q cover
+    if not use_cache then reformulate ()
+    else begin
+      let key =
+        Printf.sprintf "%s|%s|p:%s|fp:%s" (Cache.cq_key qc)
+          (Cache.cover_key cover)
+          (Core_config.profile_name acfg)
+          fed.closure_fp
+      in
+      match Cache.Lru.find fed.reform_cache key with
+      | Some j when Jucq.size j <= max_disjuncts -> j
+      | Some _ | None ->
+        let j = reformulate () in
+        Cache.Lru.put fed.reform_cache key j;
+        j
+    end
   with
   | exception Reformulate.Too_large n when budget_cap <> None ->
     degraded ~reports:[]

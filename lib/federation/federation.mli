@@ -67,6 +67,12 @@ val closure : t -> Closure.t
 
 val dictionary : t -> Dictionary.t
 
+val cache_stats : t -> Refq_cache.Cache.stats list
+(** Statistics of the federation's reformulation and cover caches, in
+    that order. Endpoint data is immutable after {!of_graphs}, so these
+    caches never need invalidation; fragment {e results} are never cached
+    (they depend on fault plans, endpoint limits and budgets). *)
+
 type strategy =
   | Ucq
   | Scq
@@ -88,12 +94,30 @@ val default_resilience : resilience
 (** No injected faults, 3 attempts with exponential backoff, breaker
     threshold 3, cooldown 50 ticks, calls cost 1 tick, timeouts 10. *)
 
+(** Consolidated federated-answering options: the shared
+    {!Refq_core.Config.t} (profile, budget, reformulation bound, cache
+    switch — [backend] and [minimize] are ignored: endpoints evaluate
+    with the nested-loop engine) plus the federation-specific strategy
+    and resilience. *)
+module Config : sig
+  type t = {
+    answer : Refq_core.Config.t;
+    strategy : strategy;
+    resilience : resilience;
+  }
+
+  val default : t
+  (** [Refq_core.Config.default], [Scq], {!default_resilience}. *)
+
+  val with_answer : Refq_core.Config.t -> t -> t
+
+  val with_strategy : strategy -> t -> t
+
+  val with_resilience : resilience -> t -> t
+end
+
 val answer_ref :
-  ?profile:Refq_reform.Profiles.t ->
-  ?strategy:strategy ->
-  ?max_disjuncts:int ->
-  ?resilience:resilience ->
-  ?budget:Refq_fault.Budget.t ->
+  ?config:Config.t ->
   t ->
   Cq.t ->
   Relation.t * Refq_core.Answer.federation_report
@@ -107,7 +131,7 @@ val answer_ref :
     intermediate transfers and remain exact when fragment-mates are
     co-located (e.g. subject-partitioned data).
 
-    Each endpoint call runs under [resilience]: the fault plan draws the
+    Each endpoint call runs under [config.resilience]: the fault plan draws the
     call's outcome; failures and timeouts are retried with deterministic
     exponential backoff; repeated failures open the endpoint's circuit
     breaker, which skips further calls until a cooldown elapses on the
@@ -115,12 +139,17 @@ val answer_ref :
     recorded in the returned report, whose verdict is
     [Sound_and_complete] only when every endpoint contributed fully.
 
-    A [budget] bounds the whole query: endpoint calls, backoff and
-    injected timeouts consume its simulated clock, the evaluator charges
-    it per intermediate row, and its reformulation cap tightens
-    [max_disjuncts]. When the budget trips, the partial work is abandoned,
-    an empty (sound) relation is returned, and the report carries the
-    stop reason with a [Sound_but_possibly_incomplete] verdict.
+    A [config.answer.budget] bounds the whole query: endpoint calls,
+    backoff and injected timeouts consume its simulated clock, the
+    evaluator charges it per intermediate row, and its reformulation cap
+    tightens [config.answer.max_disjuncts]. When the budget trips, the
+    partial work is abandoned, an empty (sound) relation is returned, and
+    the report carries the stop reason with a
+    [Sound_but_possibly_incomplete] verdict.
+
+    With [config.answer.use_cache] (the default) the reformulation and
+    the GCov cover trace are cached modulo variable renaming, exactly as
+    in {!Refq_core.Answer.answer}.
 
     @raise Refq_reform.Reformulate.Too_large like the local pipeline when
     no budget reformulation cap is set (with one, the overflow is

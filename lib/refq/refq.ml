@@ -1,0 +1,51 @@
+(** Single-open facade over the public surface of the repository.
+
+    Downstream users write [open Refq] (or [Refq.Answer.answer ...]) and
+    get the supported API without memorizing the internal library split:
+
+    {[
+      open Refq
+
+      let graph = Result.get_ok (Turtle.parse_graph my_turtle) in
+      let env = Answer.make_env (Store.of_graph graph) in
+      let query = Result.get_ok (Sparql.parse my_sparql) in
+      match Answer.answer env query Strategy.Gcov with
+      | Ok report -> Answer.decode env report.answers
+      | Error failure -> ...
+    ]}
+
+    The aliased modules are exactly the underlying ones — anything typed
+    against [Refq_core.Answer] etc. interoperates unchanged. *)
+
+(* RDF model and parsers *)
+module Term = Refq_rdf.Term
+module Triple = Refq_rdf.Triple
+module Graph = Refq_rdf.Graph
+module Vocab = Refq_rdf.Vocab
+module Namespace = Refq_rdf.Namespace
+module Turtle = Refq_rdf.Turtle
+module Ntriples = Refq_rdf.Ntriples
+
+(* Queries *)
+module Cq = Refq_query.Cq
+module Ucq = Refq_query.Ucq
+module Cover = Refq_query.Cover
+module Sparql = Refq_query.Sparql
+
+(* Storage *)
+module Store = Refq_storage.Store
+module Saturate = Refq_saturation.Saturate
+
+(* Answering *)
+module Strategy = Refq_core.Strategy
+module Answer = Refq_core.Answer
+module Config = Refq_core.Config
+module Gcov = Refq_core.Gcov
+module Cache = Refq_cache.Cache
+
+(* Budgets and federation *)
+module Budget = Refq_fault.Budget
+module Federation = Refq_federation.Federation
+
+(* Observability *)
+module Obs = Refq_obs.Obs

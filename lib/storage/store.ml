@@ -9,6 +9,8 @@ type t = {
   mutable pos : int array;
   mutable osp : int array;
   mutable dirty : bool;
+  mutable data_epoch : int;
+  mutable schema_epoch : int;
 }
 
 let create ?dictionary () =
@@ -21,6 +23,8 @@ let create ?dictionary () =
     pos = [||];
     osp = [||];
     dirty = true;
+    data_epoch = 0;
+    schema_epoch = 0;
   }
 
 let dictionary st = st.dict
@@ -34,6 +38,27 @@ let s_of st i = Int_vec.get st.triples (3 * i)
 let p_of st i = Int_vec.get st.triples ((3 * i) + 1)
 let o_of st i = Int_vec.get st.triples ((3 * i) + 2)
 
+let data_epoch st = st.data_epoch
+
+let schema_epoch st = st.schema_epoch
+
+(* A triple is schema-level when its predicate is one of the four RDFS
+   constraint predicates — the ones [Refq_schema.Schema.constr_of_triple]
+   turns into constraints. Everything else (including [rdf:type]) only
+   affects instance data. *)
+let is_schema_pred st p =
+  match Dictionary.decode st.dict p with
+  | t ->
+    Term.equal t Vocab.rdfs_subclassof
+    || Term.equal t Vocab.rdfs_subpropertyof
+    || Term.equal t Vocab.rdfs_domain
+    || Term.equal t Vocab.rdfs_range
+  | exception _ -> false
+
+let bump_epoch st p =
+  if is_schema_pred st p then st.schema_epoch <- st.schema_epoch + 1
+  else st.data_epoch <- st.data_epoch + 1
+
 let add_ids st s p o =
   let key = (s, p, o) in
   if not (Hashtbl.mem st.seen key) then begin
@@ -41,7 +66,8 @@ let add_ids st s p o =
     Int_vec.push st.triples s;
     Int_vec.push st.triples p;
     Int_vec.push st.triples o;
-    st.dirty <- true
+    st.dirty <- true;
+    bump_epoch st p
   end
 
 let encode_term st t = Dictionary.encode st.dict t
@@ -76,7 +102,8 @@ let remove_ids st s p o =
   let key = (s, p, o) in
   if Hashtbl.mem st.seen key then begin
     Hashtbl.remove st.seen key;
-    st.dirty <- true
+    st.dirty <- true;
+    bump_epoch st p
   end
 
 let remove_triple st { Triple.s; p; o } =

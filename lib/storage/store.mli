@@ -30,6 +30,18 @@ val to_graph : t -> Graph.t
 val size : t -> int
 (** Number of distinct triples. *)
 
+val data_epoch : t -> int
+(** Monotonic counter bumped by every effective insertion or removal of
+    an instance-level triple (any predicate other than the four RDFS
+    constraint predicates). Duplicate insertions and no-op removals do
+    not bump it. Drives the answering caches' data-level invalidation. *)
+
+val schema_epoch : t -> int
+(** Like {!data_epoch}, but for schema-level triples (predicates
+    [rdfs:subClassOf], [rdfs:subPropertyOf], [rdfs:domain],
+    [rdfs:range]). Drives closure re-derivation and schema-level cache
+    invalidation. *)
+
 val mem_ids : t -> int -> int -> int -> bool
 
 val remove_ids : t -> int -> int -> int -> unit

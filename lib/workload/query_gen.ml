@@ -49,8 +49,12 @@ let vocabulary store =
     objects_of;
   { classes; properties; objects_of = objects }
 
-let generate ?(seed = 2026L) ?(max_atoms = 5) ?(constant_probability = 0.35)
-    store ~count =
+type params = { max_atoms : int; constant_probability : float }
+
+let default_params = { max_atoms = 5; constant_probability = 0.35 }
+
+let generate ?(seed = 2026L) ?(params = default_params) store ~count =
+  let { max_atoms; constant_probability } = params in
   if count <= 0 then invalid_arg "Query_gen.generate: count must be positive";
   let voc = vocabulary store in
   if Array.length voc.classes = 0 || Array.length voc.properties = 0 then

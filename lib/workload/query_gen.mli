@@ -15,16 +15,22 @@ type shape =
   | Chain  (** atom i's object is atom i+1's subject *)
   | Mixed  (** random attachment to any previously used variable *)
 
+(** Tuning knobs for the generated queries, gathered in one record (the
+    two-optional-arguments rule for public entry points). *)
+type params = {
+  max_atoms : int;  (** queries have 1–[max_atoms] atoms *)
+  constant_probability : float;
+      (** how often an object position holds a data constant instead of a
+          variable *)
+}
+
+val default_params : params
+(** 5 atoms, constant probability 0.35. *)
+
 val generate :
-  ?seed:int64 ->
-  ?max_atoms:int ->
-  ?constant_probability:float ->
-  Store.t ->
-  count:int ->
+  ?seed:int64 -> ?params:params -> Store.t -> count:int ->
   (string * Cq.t) list
 (** [generate store ~count] builds [count] named queries ("R1", "R2", ...)
-    against [store]'s vocabulary. Each query is connected, safe, has
-    1–[max_atoms] atoms (default 5) and projects every non-fresh variable.
-    [constant_probability] (default 0.35) controls how often an object
-    position holds a data constant instead of a variable. Deterministic
-    for a given [(seed, store)]. *)
+    against [store]'s vocabulary. Each query is connected, safe and
+    projects every non-fresh variable. Deterministic for a given
+    [(seed, store)]. *)

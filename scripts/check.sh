@@ -13,11 +13,32 @@ dune build
 echo "== dune runtest"
 dune runtest
 
-echo "== bench trajectory smoke (--json + --validate)"
+echo "== bench trajectory smoke (--json + --validate, incl. cache cold/warm runs)"
 bench_json=$(mktemp /tmp/refq_bench.XXXXXX.json)
-trap 'rm -f "$bench_json"' EXIT
+smoke_nt=$(mktemp /tmp/refq_smoke.XXXXXX.nt)
+trap 'rm -f "$bench_json" "$smoke_nt"' EXIT
 dune exec bench/main.exe -- --fast --scale 1 --json "$bench_json" >/dev/null
 dune exec bench/main.exe -- --validate "$bench_json"
+grep -q '"strategy": *"gcov+warm"' "$bench_json" || {
+  echo "trajectory is missing the warm-cache runs" >&2
+  exit 1
+}
+
+echo "== cache cold/warm bench smoke (e17)"
+dune exec bench/main.exe -- --fast --scale 1 --only e17 | grep -q "gcov" || {
+  echo "e17 cache experiment produced no output" >&2
+  exit 1
+}
+
+echo "== CLI cache smoke (refq cache stats, --no-cache)"
+dune exec bin/refq.exe -- generate lubm --scale 1 -o "$smoke_nt" >/dev/null
+dune exec bin/refq.exe -- cache stats "$smoke_nt" \
+  -q 'q(x) :- x rdf:type ub:Student' --runs 2 | grep -q "reform" || {
+  echo "refq cache stats printed no cache statistics" >&2
+  exit 1
+}
+dune exec bin/refq.exe -- answer "$smoke_nt" --no-cache \
+  -q 'q(x) :- x rdf:type ub:Student' -s gcov >/dev/null
 
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"

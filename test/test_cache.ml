@@ -1,0 +1,241 @@
+(* Tests for the multi-level answering cache: the bounded LRU, the
+   canonical form modulo variable renaming, and the epoch-driven
+   invalidation rules wired through Answer.invalidate. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_storage
+open Refq_core
+module Cache = Refq_cache.Cache
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basics () =
+  let c = Cache.Lru.create ~name:"t" ~capacity:2 in
+  Alcotest.(check (option int)) "miss on empty" None (Cache.Lru.find c "a");
+  Cache.Lru.put c "a" 1;
+  Cache.Lru.put c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.Lru.find c "a");
+  Alcotest.(check (option int)) "hit b" (Some 2) (Cache.Lru.find c "b");
+  Alcotest.(check int) "length" 2 (Cache.Lru.length c);
+  Cache.Lru.put c "a" 10;
+  Alcotest.(check (option int)) "replace" (Some 10) (Cache.Lru.find c "a");
+  Alcotest.(check int) "replace keeps length" 2 (Cache.Lru.length c);
+  let s = Cache.Lru.stats c in
+  Alcotest.(check int) "hits" 3 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "no evictions yet" 0 s.Cache.evictions
+
+let test_lru_eviction_order () =
+  let c = Cache.Lru.create ~name:"t" ~capacity:2 in
+  Cache.Lru.put c "a" 1;
+  Cache.Lru.put c "b" 2;
+  (* Touch "a": "b" becomes the least recently used entry. *)
+  ignore (Cache.Lru.find c "a");
+  Cache.Lru.put c "c" 3;
+  Alcotest.(check bool) "b evicted" false (Cache.Lru.mem c "b");
+  Alcotest.(check bool) "a kept" true (Cache.Lru.mem c "a");
+  Alcotest.(check bool) "c added" true (Cache.Lru.mem c "c");
+  Alcotest.(check int) "bounded" 2 (Cache.Lru.length c);
+  Alcotest.(check int) "one eviction" 1 (Cache.Lru.stats c).Cache.evictions
+
+let test_lru_clear () =
+  let c = Cache.Lru.create ~name:"t" ~capacity:4 in
+  Cache.Lru.put c "a" 1;
+  ignore (Cache.Lru.find c "a");
+  Cache.Lru.clear c;
+  Alcotest.(check int) "emptied" 0 (Cache.Lru.length c);
+  Alcotest.(check int) "lifetime hits kept" 1 (Cache.Lru.stats c).Cache.hits;
+  Alcotest.(check bool) "capacity rejected" true
+    (match Cache.Lru.create ~name:"t" ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rename suffix (q : Cq.t) =
+  let rename_term = function
+    | Cq.Var v -> Cq.var (v ^ suffix)
+    | Cq.Cst _ as t -> t
+  in
+  Cq.make
+    ~head:(List.map rename_term q.Cq.head)
+    ~body:
+      (List.map
+         (fun a ->
+           Cq.atom (rename_term a.Cq.s) (rename_term a.Cq.p)
+             (rename_term a.Cq.o))
+         q.Cq.body)
+
+let test_canon_cq () =
+  let q = Fixtures.borges_query in
+  let q' = rename "_renamed" q in
+  Alcotest.(check string)
+    "renamed variants share the canonical form"
+    (Cache.cq_key (Cache.canon_cq q))
+    (Cache.cq_key (Cache.canon_cq q'));
+  (* Atom order is preserved (unlike Cq.canonicalize): the canonical form
+     of a body-reversed query differs, so cover indices stay valid. *)
+  let reversed =
+    Cq.make ~head:q.Cq.head ~body:(List.rev q.Cq.body)
+  in
+  Alcotest.(check bool)
+    "atom order preserved" false
+    (Cache.cq_key (Cache.canon_cq q)
+    = Cache.cq_key (Cache.canon_cq reversed))
+
+(* ------------------------------------------------------------------ *)
+(* Answer-level caching                                                *)
+(* ------------------------------------------------------------------ *)
+
+let cache_entry name env =
+  match
+    List.find_opt (fun s -> s.Cache.name = name) (Answer.cache_stats env)
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "no %S cache" name
+
+let answers env q s =
+  match Answer.answer env q s with
+  | Ok r -> Answer.decode env r.Answer.answers
+  | Error f -> Alcotest.failf "answer failed: %s" f.Answer.reason
+
+let test_reform_hit_across_renaming () =
+  let env = Answer.make_env (Store.of_graph Fixtures.borges_graph) in
+  let q = Fixtures.borges_query in
+  let cold = answers env q Strategy.Ucq in
+  let hits0 = (cache_entry "reform" env).Cache.hits in
+  let warm = answers env (rename "_other" q) Strategy.Ucq in
+  Alcotest.(check bool) "same answers" true (cold = warm);
+  Alcotest.(check bool)
+    "renamed query hits the reformulation cache" true
+    ((cache_entry "reform" env).Cache.hits > hits0)
+
+let test_result_cache_warm_run () =
+  let env = Answer.make_env (Store.of_graph Fixtures.borges_graph) in
+  let q = Fixtures.borges_query in
+  let cold = answers env q Strategy.Gcov in
+  let warm = answers env q Strategy.Gcov in
+  Alcotest.(check bool) "same answers" true (cold = warm);
+  Alcotest.(check bool)
+    "warm run hits the result cache" true
+    ((cache_entry "result" env).Cache.hits > 0);
+  Alcotest.(check bool)
+    "warm run hits the cover cache" true
+    ((cache_entry "cover" env).Cache.hits > 0)
+
+let test_no_cache_config () =
+  let env = Answer.make_env (Store.of_graph Fixtures.borges_graph) in
+  let q = Fixtures.borges_query in
+  let config = Answer.Config.without_cache Answer.Config.default in
+  let run () =
+    match Answer.answer ~config env q Strategy.Gcov with
+    | Ok r -> Answer.decode env r.Answer.answers
+    | Error f -> Alcotest.failf "answer failed: %s" f.Answer.reason
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "same answers" true (a = b);
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (s.Cache.name ^ " untouched")
+        0
+        (s.Cache.hits + s.Cache.misses + s.Cache.entries))
+    (Answer.cache_stats env)
+
+let test_data_epoch_invalidation () =
+  let store = Store.of_graph Fixtures.borges_graph in
+  let env = Answer.make_env store in
+  let q = Fixtures.borges_query in
+  ignore (answers env q Strategy.Gcov);
+  let closure_before = Answer.closure env in
+  Alcotest.(check bool)
+    "reform cache populated" true
+    ((cache_entry "reform" env).Cache.entries > 0);
+  (* A data-only change: the schema closure — and with it the cached
+     reformulations — stays valid; covers and results do not. *)
+  Store.add_triple store
+    (Triple.make (Fixtures.uri "doi2") Vocab.rdf_type Fixtures.book);
+  let env = Answer.invalidate env in
+  Alcotest.(check bool)
+    "closure physically reused" true
+    (Answer.closure env == closure_before);
+  Alcotest.(check bool)
+    "reform entries survive a data change" true
+    ((cache_entry "reform" env).Cache.entries > 0);
+  Alcotest.(check int)
+    "cover entries dropped" 0
+    (cache_entry "cover" env).Cache.entries;
+  Alcotest.(check int)
+    "result entries dropped" 0
+    (cache_entry "result" env).Cache.entries;
+  (* The new book has no author: answers must still be correct. *)
+  ignore (answers env q Strategy.Gcov)
+
+let test_schema_epoch_invalidation () =
+  let store = Store.of_graph Fixtures.borges_graph in
+  let env = Answer.make_env store in
+  let q = Fixtures.borges_query in
+  ignore (answers env q Strategy.Gcov);
+  let closure_before = Answer.closure env in
+  Store.add_triple store
+    (Triple.make Fixtures.publication Vocab.rdfs_subclassof
+       (Fixtures.uri "Work"));
+  let env = Answer.invalidate env in
+  Alcotest.(check bool)
+    "closure rebuilt" true
+    (not (Answer.closure env == closure_before));
+  List.iter
+    (fun s ->
+      Alcotest.(check int) (s.Cache.name ^ " cleared") 0 s.Cache.entries)
+    (Answer.cache_stats env);
+  ignore (answers env q Strategy.Gcov)
+
+let test_facade () =
+  (* The Refq facade aliases the very same modules, so values flow
+     between the facade and the underlying libraries unchanged. *)
+  let env = Refq.Answer.make_env (Refq.Store.of_graph Fixtures.borges_graph) in
+  match Refq.Answer.answer env Fixtures.borges_query Refq.Strategy.Scq with
+  | Ok r -> Alcotest.(check bool) "answers" true (Refq.Answer.n_answers r > 0)
+  | Error f -> Alcotest.failf "facade answer failed: %s" f.Answer.reason
+
+let test_invalidate_without_change () =
+  let env = Answer.make_env (Store.of_graph Fixtures.borges_graph) in
+  let q = Fixtures.borges_query in
+  ignore (answers env q Strategy.Gcov);
+  let entries () = (cache_entry "result" env).Cache.entries in
+  let before = entries () in
+  let env' = Answer.invalidate env in
+  Alcotest.(check bool) "same env" true (env' == env);
+  Alcotest.(check int) "no-op without mutations" before (entries ())
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "clear" `Quick test_lru_clear;
+        ] );
+      ( "canonical form",
+        [ Alcotest.test_case "modulo renaming" `Quick test_canon_cq ] );
+      ( "answer caches",
+        [
+          Alcotest.test_case "reform hit across renaming" `Quick
+            test_reform_hit_across_renaming;
+          Alcotest.test_case "warm run" `Quick test_result_cache_warm_run;
+          Alcotest.test_case "no-cache config" `Quick test_no_cache_config;
+          Alcotest.test_case "data epoch" `Quick test_data_epoch_invalidation;
+          Alcotest.test_case "schema epoch" `Quick
+            test_schema_epoch_invalidation;
+          Alcotest.test_case "invalidate without change" `Quick
+            test_invalidate_without_change;
+          Alcotest.test_case "facade" `Quick test_facade;
+        ] );
+    ]

@@ -65,7 +65,9 @@ let test_saturation_cached () =
 let test_max_disjuncts_failure () =
   let env = Lazy.force borges_env in
   match
-    Answer.answer ~max_disjuncts:1 env Fixtures.borges_query Strategy.Ucq
+    Answer.answer
+      ~config:Answer.Config.(with_max_disjuncts 1 default)
+      env Fixtures.borges_query Strategy.Ucq
   with
   | Error f ->
     Alcotest.(check bool) "explains" true
@@ -118,10 +120,11 @@ let test_example1_gcov_feasible () =
   let st = Refq_workload.Lubm.generate ~scale:1 () in
   let env = Answer.make_env st in
   let q = Refq_workload.Lubm.example1_query in
-  (match Answer.answer ~max_disjuncts:10_000 env q Strategy.Ucq with
+  let config = Answer.Config.(with_max_disjuncts 10_000 default) in
+  (match Answer.answer ~config env q Strategy.Ucq with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "UCQ unexpectedly feasible at 10k budget");
-  match Answer.answer ~max_disjuncts:10_000 env q Strategy.Gcov with
+  match Answer.answer ~config env q Strategy.Gcov with
   | Ok r ->
     Alcotest.(check bool) "gcov answers" true (Answer.n_answers r >= 0)
   | Error f -> Alcotest.failf "gcov failed: %s" f.Answer.reason
@@ -198,7 +201,11 @@ let prop_backends_agree =
       let expected = Refq_engine.Naive.cq (Refq_saturation.Saturate.graph g) q in
       List.for_all
         (fun s ->
-          match Answer.answer ~backend:Answer.Sort_merge env q s with
+          match
+            Answer.answer
+              ~config:Answer.Config.(with_backend Sort_merge default)
+              env q s
+          with
           | Ok r -> Answer.decode env r.Answer.answers = expected
           | Error _ -> false)
         [ Strategy.Saturation; Strategy.Ucq; Strategy.Scq; Strategy.Gcov ])
@@ -211,7 +218,11 @@ let prop_minimize_preserves_strategy_answers =
       let expected = Refq_engine.Naive.cq (Refq_saturation.Saturate.graph g) q in
       List.for_all
         (fun s ->
-          match Answer.answer ~minimize:true env q s with
+          match
+            Answer.answer
+              ~config:Answer.Config.(with_minimize true default)
+              env q s
+          with
           | Ok r -> Answer.decode env r.Answer.answers = expected
           | Error _ -> false)
         [ Strategy.Ucq; Strategy.Scq; Strategy.Gcov ])

@@ -7,6 +7,7 @@
 
 open Refq_rdf
 open Refq_query
+open Refq_storage
 open Refq_core
 module Query_gen = Refq_workload.Query_gen
 
@@ -80,6 +81,71 @@ let test_workload (workload, make_store) () =
     (workload ^ " batch size") queries_per_workload (List.length queries);
   List.iter (check_query ~workload env) queries
 
+(* ------------------------------------------------------------------ *)
+(* Cached vs cache-disabled, across store mutations                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The caches must be answer-invariant: for every query, the cached cold
+   run, the warm (cache-hitting) rerun and a cache-disabled run return
+   the same rows — including right after data and schema mutations,
+   which exercise the epoch-based invalidation paths. *)
+
+let no_cache_config = Answer.Config.without_cache Answer.Config.default
+
+let check_cached ~workload ~step env (name, q) =
+  List.iter
+    (fun s ->
+      let run config =
+        match Answer.answer ~config env q s with
+        | Ok r -> Ok (Answer.decode env r.Answer.answers)
+        | Error f -> Error f.Answer.reason
+      in
+      let uncached = run no_cache_config in
+      let cold = run Answer.Config.default in
+      let warm = run Answer.Config.default in
+      let pp_result ppf = function
+        | Ok rows -> pp_rows ppf rows
+        | Error reason -> Fmt.pf ppf "failed: %s" reason
+      in
+      if cold <> uncached || warm <> uncached then
+        Alcotest.failf
+          "%s/%s step %d (seed %Ld): %s cached run diverges@.query: \
+           %a@.uncached: @[<v>%a@]@.cold: @[<v>%a@]@.warm: @[<v>%a@]"
+          workload name step seed (Strategy.name s) Cq.pp q pp_result uncached
+          pp_result cold pp_result warm)
+    [ Strategy.Scq; Strategy.Gcov ]
+
+let test_cached_with_mutations (workload, make_store) () =
+  let store = make_store () in
+  let env = Answer.make_env store in
+  let queries = Query_gen.generate ~seed store ~count:queries_per_workload in
+  (* Victim triples for data mutations: removed and re-added so answers
+     really change under the caches. *)
+  let victims =
+    let all = ref [] in
+    Graph.iter (fun t -> all := t :: !all) (Store.to_graph store);
+    List.filteri (fun i _ -> i < 4) !all
+  in
+  let schema_triple =
+    Triple.make
+      (Term.uri "http://example.org/differential#Fresh")
+      Vocab.rdfs_subclassof
+      (Term.uri "http://example.org/differential#Fresher")
+  in
+  let mutate step =
+    (match (step / 7) mod 4 with
+    | 0 -> List.iter (Store.remove_triple store) victims
+    | 1 -> List.iter (Store.add_triple store) victims
+    | 2 -> Store.add_triple store schema_triple
+    | _ -> Store.remove_triple store schema_triple);
+    ignore (Answer.invalidate env)
+  in
+  List.iteri
+    (fun step q ->
+      if step mod 7 = 0 && step > 0 then mutate step;
+      check_cached ~workload ~step env q)
+    queries
+
 let () =
   Alcotest.run "differential"
     [
@@ -87,5 +153,10 @@ let () =
         List.map
           (fun w ->
             Alcotest.test_case (fst w) `Slow (test_workload w))
+          workloads );
+      ( "cached agrees across mutations",
+        List.map
+          (fun w ->
+            Alcotest.test_case (fst w) `Slow (test_cached_with_mutations w))
           workloads );
     ]

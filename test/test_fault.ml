@@ -27,7 +27,7 @@ let test_clock () =
 (* -------------------------------------------------------------------- *)
 
 let test_budget_rows () =
-  let b = Budget.create ~max_rows:5 () in
+  let b = Budget.create { Budget.no_limits with max_rows = Some 5 } in
   Budget.charge_rows b 3;
   Budget.charge_rows b 2;
   Alcotest.(check int) "rows accumulate" 5 (Budget.rows_charged b);
@@ -36,14 +36,14 @@ let test_budget_rows () =
   Alcotest.(check bool) "reason recorded" true (Budget.stop_reason b <> None)
 
 let test_budget_deadline () =
-  let b = Budget.create ~deadline:10 () in
+  let b = Budget.create { Budget.no_limits with deadline = Some 10 } in
   Budget.charge_ticks b 10;
   Alcotest.(check bool) "at the deadline is fine" true
     (Budget.stop_reason b = None);
   Alcotest.(check bool) "past the deadline trips" true
     (exhausted (fun () -> Budget.charge_ticks b 1));
   (* Rows consume ticks too, so a deadline bounds pure evaluation. *)
-  let b2 = Budget.create ~deadline:3 () in
+  let b2 = Budget.create { Budget.no_limits with deadline = Some 3 } in
   Alcotest.(check bool) "row production consumes the deadline" true
     (exhausted (fun () -> Budget.charge_rows b2 4))
 
@@ -55,7 +55,7 @@ let test_budget_unlimited () =
   Alcotest.(check (option int)) "no reformulation cap" None
     (Budget.max_disjuncts b);
   Alcotest.(check (option int)) "with one" (Some 32)
-    (Budget.max_disjuncts (Budget.create ~max_disjuncts:32 ()))
+    (Budget.max_disjuncts (Budget.create { Budget.no_limits with max_disjuncts = Some 32 }))
 
 (* -------------------------------------------------------------------- *)
 (* Fault plans                                                           *)

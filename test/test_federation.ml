@@ -9,9 +9,32 @@ module Answer = Refq_core.Answer
 
 let u = Fixtures.uri
 
+(* Builders exercising the consolidated [Federation.Config] API. *)
+let fed_config ?strategy ?resilience ?budget () =
+  let c = Federation.Config.default in
+  let c =
+    match strategy with
+    | Some s -> Federation.Config.with_strategy s c
+    | None -> c
+  in
+  let c =
+    match resilience with
+    | Some r -> Federation.Config.with_resilience r c
+    | None -> c
+  in
+  match budget with
+  | Some b ->
+    Federation.Config.with_answer
+      (Refq_core.Config.with_budget b c.Federation.Config.answer)
+      c
+  | None -> c
+
 (* Most tests only care about the relation; [ref1] drops the report. *)
 let ref1 ?strategy ?resilience ?budget fed q =
-  fst (Federation.answer_ref ?strategy ?resilience ?budget fed q)
+  fst
+    (Federation.answer_ref
+       ~config:(fed_config ?strategy ?resilience ?budget ())
+       fed q)
 
 let rows = Alcotest.testable
     (fun ppf r -> Fmt.string ppf (Fixtures.rows_to_string r))
@@ -249,7 +272,9 @@ let faulty_run () =
       breaker_cooldown = 10_000;
     }
   in
-  let rel, report = Federation.answer_ref ~resilience fed chain_query in
+  let rel, report =
+    Federation.answer_ref ~config:(fed_config ~resilience ()) fed chain_query
+  in
   (fed, Federation.decode fed rel, report)
 
 let contribution report frag name =
@@ -303,8 +328,10 @@ let test_budget_degrades () =
   let fed = cross_endpoint_fed () in
   (* Plenty of ticks but almost no row budget: evaluation must stop early
      and degrade instead of raising. *)
-  let budget = Budget.create ~max_rows:0 () in
-  let rel, report = Federation.answer_ref ~budget fed q_employees in
+  let budget = Budget.create { Budget.no_limits with max_rows = Some 0 } in
+  let rel, report =
+    Federation.answer_ref ~config:(fed_config ~budget ()) fed q_employees
+  in
   Alcotest.(check int) "degraded answer is empty (sound)" 0
     (Refq_engine.Relation.cardinality rel);
   Alcotest.(check bool) "stop reason recorded" true
@@ -331,8 +358,10 @@ let test_budget_exhausted_mid_evaluation () =
           None );
       ]
   in
-  let budget = Budget.create ~max_rows:3 () in
-  let rel, report = Federation.answer_ref ~budget fed q_employees in
+  let budget = Budget.create { Budget.no_limits with max_rows = Some 3 } in
+  let rel, report =
+    Federation.answer_ref ~config:(fed_config ~budget ()) fed q_employees
+  in
   Alcotest.(check bool) "rows were produced before the trip" true
     (Budget.rows_charged budget > 0);
   Alcotest.(check int) "no partial rows leak into the answer" 0

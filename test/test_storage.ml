@@ -205,6 +205,32 @@ let prop_count_matches_iter =
             patterns)
         ids)
 
+let test_epochs () =
+  let st = Store.create () in
+  Alcotest.(check int) "fresh data epoch" 0 (Store.data_epoch st);
+  Alcotest.(check int) "fresh schema epoch" 0 (Store.schema_epoch st);
+  let data =
+    Triple.make (Fixtures.uri "a") (Fixtures.uri "p") (Fixtures.uri "b")
+  in
+  Store.add_triple st data;
+  Alcotest.(check int) "data insert bumps" 1 (Store.data_epoch st);
+  Alcotest.(check int) "data insert is not schema" 0 (Store.schema_epoch st);
+  Store.add_triple st data;
+  Alcotest.(check int) "duplicate insert is a no-op" 1 (Store.data_epoch st);
+  let schema =
+    Triple.make (Fixtures.uri "C") Vocab.rdfs_subclassof (Fixtures.uri "D")
+  in
+  Store.add_triple st schema;
+  Alcotest.(check int) "schema insert bumps schema" 1 (Store.schema_epoch st);
+  Alcotest.(check int) "schema insert keeps data" 1 (Store.data_epoch st);
+  Store.remove_triple st
+    (Triple.make (Fixtures.uri "x") (Fixtures.uri "y") (Fixtures.uri "z"));
+  Alcotest.(check int) "absent removal is a no-op" 1 (Store.data_epoch st);
+  Store.remove_triple st data;
+  Alcotest.(check int) "data removal bumps" 2 (Store.data_epoch st);
+  Store.remove_triple st schema;
+  Alcotest.(check int) "schema removal bumps" 2 (Store.schema_epoch st)
+
 let () =
   Alcotest.run "storage"
     [
@@ -217,6 +243,7 @@ let () =
           Alcotest.test_case "pattern iteration" `Quick test_pattern_iteration;
           Alcotest.test_case "incremental reindex" `Quick test_incremental_reindex;
           Alcotest.test_case "removal" `Quick test_remove;
+          Alcotest.test_case "epochs" `Quick test_epochs;
           Alcotest.test_case "save/load" `Quick test_save_load;
           Alcotest.test_case "load errors" `Quick test_load_errors;
           QCheck_alcotest.to_alcotest prop_save_load_roundtrip;

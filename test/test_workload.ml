@@ -118,7 +118,11 @@ let test_query_gen_strategies_agree () =
   List.iter
     (fun (name, q) ->
       let decode s =
-        match Refq_core.Answer.answer ~max_disjuncts:50_000 env q s with
+        match
+          Refq_core.Answer.answer
+            ~config:Refq_core.Config.(with_max_disjuncts 50_000 default)
+            env q s
+        with
         | Ok r -> Some (Refq_core.Answer.decode env r.Refq_core.Answer.answers)
         | Error _ -> None
       in
