@@ -305,7 +305,7 @@ let explain_answer env q (r : Answer.report) =
       (List.combine (Cover.fragments cover) fragment_cardinalities)
 
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache faults fault_seed retries deadline max_rows =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache verify faults fault_seed retries deadline max_rows =
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok store -> (
@@ -350,7 +350,8 @@ let answer_cmd =
                 Answer.Config.(
                   default |> with_profile profile |> with_minimize minimize
                   |> with_backend backend
-                  |> with_cache (not no_cache))
+                  |> with_cache (not no_cache)
+                  |> with_verify verify)
               in
               match budget with
               | Some b -> Answer.Config.with_budget b c
@@ -562,13 +563,22 @@ let answer_cmd =
             "Disable the answering caches (reformulation, cover, fragment \
              results) for this run.")
   in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Debug mode: re-validate the cover, reformulation and plan of \
+             every answer with the static checkers (findings show up in \
+             `refq profile` under the analysis.* counters).")
+  in
   Cmd.v
     (Cmd.info "answer" ~doc:"Answer a query through a chosen strategy")
     Term.(
       ret
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
        $ all_strategies $ minimize $ backend $ format $ explain $ no_cache
-       $ faults_arg $ fault_seed_arg $ retries_arg $ deadline_arg
+       $ verify $ faults_arg $ fault_seed_arg $ retries_arg $ deadline_arg
        $ max_rows_arg))
 
 (* ------------------------------------------------------------------ *)
@@ -728,6 +738,241 @@ let profile_cmd =
     Term.(ret (const run $ path $ query $ query_file $ strategy $ cover))
 
 (* ------------------------------------------------------------------ *)
+(* lint / audit-store                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Diagnostic = Refq_analysis.Diagnostic
+module Json = Refq_obs.Json
+
+(* A compact one-line query rendering with the CLI's namespace prefixes
+   (Cq.pp prints full URIs and breaks lines). *)
+let pp_pat_env ppf = function
+  | Cq.Var v -> Fmt.string ppf v
+  | Cq.Cst t -> Namespace.pp_term workload_env ppf t
+
+let pp_cq_env ppf (q : Cq.t) =
+  let pp_atom ppf (a : Cq.atom) =
+    Fmt.pf ppf "%a %a %a" pp_pat_env a.Cq.s pp_pat_env a.Cq.p pp_pat_env
+      a.Cq.o
+  in
+  Fmt.pf ppf "q(%a) :- %a"
+    (Fmt.list ~sep:(Fmt.any ", ") pp_pat_env)
+    q.Cq.head
+    (Fmt.list ~sep:(Fmt.any ", ") pp_atom)
+    q.Cq.body
+
+let lint_cmd =
+  let run path query query_file bundled gen gen_seed max_disjuncts json
+      catalogue =
+    if catalogue then begin
+      List.iter
+        (fun (code, severity, doc) ->
+          Fmt.pr "%-7s %-8s %s@." code (Diagnostic.severity_name severity) doc)
+        Diagnostic.catalogue;
+      `Ok ()
+    end
+    else
+      match path with
+      | None -> die "a data file is required (or use --catalogue)"
+      | Some path -> (
+        match load_store path with
+        | Error m -> `Error (false, m)
+        | Ok store -> (
+          let named_query =
+            match query, query_file with
+            | None, None -> Ok []
+            | _ -> (
+              match read_query ~query ~query_file with
+              | Error m -> Error (`Msg m)
+              | Ok text -> (
+                match parse_query text with
+                | Error e -> Error (`Parse e)
+                | Ok q -> Ok [ ("query", q) ]))
+          in
+          match named_query with
+          | Error (`Msg m) -> `Error (false, m)
+          | Error (`Parse e) -> query_error e
+          | Ok named_query -> (
+            let bundled_queries =
+              match bundled with
+              | None -> Ok []
+              | Some "lubm" -> Ok Refq_workload.Lubm.queries
+              | Some "dblp" -> Ok Refq_workload.Dblp.queries
+              | Some "geo" -> Ok Refq_workload.Geo.queries
+              | Some other ->
+                Error (Printf.sprintf "unknown workload %S" other)
+            in
+            match bundled_queries with
+            | Error m -> `Error (false, m)
+            | Ok bundled_queries ->
+              let generated =
+                if gen <= 0 then []
+                else
+                  Refq_workload.Query_gen.generate
+                    ~seed:(Int64.of_int gen_seed) store ~count:gen
+              in
+              let queries = named_query @ bundled_queries @ generated in
+              if queries = [] then
+                die "nothing to lint: give --query, --bundled or --gen"
+              else begin
+                let env = Answer.make_env store in
+                let config =
+                  match max_disjuncts with
+                  | None -> Answer.Config.default
+                  | Some m -> Answer.Config.(with_max_disjuncts m default)
+                in
+                let results =
+                  List.map
+                    (fun (name, q) -> (name, q, Lint.query ~config env q))
+                    queries
+                in
+                let all = List.concat_map (fun (_, _, ds) -> ds) results in
+                let errors = Diagnostic.count Diagnostic.Error all in
+                if json then
+                  print_endline
+                    (Json.to_string
+                       (Json.Obj
+                          [
+                            ("file", Json.String path);
+                            ( "queries",
+                              Json.List
+                                (List.map
+                                   (fun (name, q, ds) ->
+                                     match Diagnostic.list_to_json ds with
+                                     | Json.Obj fields ->
+                                       Json.Obj
+                                         (("name", Json.String name)
+                                         :: ( "query",
+                                              Json.String
+                                                (Fmt.str "%a" pp_cq_env q) )
+                                         :: fields)
+                                     | other -> other)
+                                   results) );
+                            ("errors", Json.Int errors);
+                            ( "warnings",
+                              Json.Int (Diagnostic.count Diagnostic.Warning all)
+                            );
+                            ("hints", Json.Int (Diagnostic.count Diagnostic.Hint all));
+                          ]))
+                else
+                  List.iter
+                    (fun (name, q, ds) ->
+                      match ds with
+                      | [] -> Fmt.pr "%-8s ok       %a@." name pp_cq_env q
+                      | ds ->
+                        Fmt.pr "%-8s %d finding(s) in %a@." name
+                          (List.length ds) pp_cq_env q;
+                        List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) ds)
+                    results;
+                if errors > 0 then
+                  die "lint: %d error(s) across %d quer%s" errors
+                    (List.length queries)
+                    (if List.length queries = 1 then "y" else "ies")
+                else `Ok ()
+              end)))
+  in
+  let path =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt, .ttl or .store).")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ]
+          ~doc:"Query (SPARQL SELECT or the paper's q(x) :- ... notation).")
+  in
+  let query_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "query-file" ] ~doc:"File holding the query.")
+  in
+  let bundled =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundled" ] ~docv:"WORKLOAD"
+          ~doc:"Also lint the bundled queries of a workload: lubm, dblp or                 geo.")
+  in
+  let gen =
+    Arg.(
+      value & opt int 0
+      & info [ "gen" ] ~docv:"N"
+          ~doc:"Also lint N deterministic Query_gen queries over the                 dataset's vocabulary.")
+  in
+  let gen_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "gen-seed" ] ~doc:"Seed of the generated query batch.")
+  in
+  let max_disjuncts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-disjuncts" ]
+          ~doc:"Disjunct budget the reformulation checks enforce (default                 200,000).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the diagnostics as machine-readable JSON.")
+  in
+  let catalogue =
+    Arg.(
+      value & flag
+      & info [ "catalogue" ]
+          ~doc:"Print the diagnostic catalogue (every code, severity and                 description) and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check queries, their reformulations, covers and plans; \
+          exits non-zero when any error-severity diagnostic fires")
+    Term.(
+      ret
+        (const run $ path $ query $ query_file $ bundled $ gen $ gen_seed
+       $ max_disjuncts $ json $ catalogue))
+
+let audit_store_cmd =
+  let run path json =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok store ->
+      let ds = Refq_analysis.Audit_store.check store in
+      if json then print_endline (Json.to_string (Diagnostic.list_to_json ds))
+      else if ds = [] then
+        Fmt.pr "store OK: %d triple(s), %d dictionary id(s), epochs data=%d \
+                schema=%d@."
+          (Store.size store)
+          (Dictionary.size (Store.dictionary store))
+          (Store.data_epoch store) (Store.schema_epoch store)
+      else Fmt.pr "%a@." Diagnostic.pp_list ds;
+      if Diagnostic.has_errors ds then
+        die "audit: %d integrity error(s)" (List.length (Diagnostic.errors ds))
+      else `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt, .ttl or .store).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the diagnostics as machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "audit-store"
+       ~doc:
+         "Audit a store's integrity invariants: dictionary bijectivity, \
+          index agreement, epoch sanity")
+    Term.(ret (const run $ path $ json))
+
+(* ------------------------------------------------------------------ *)
 (* saturate                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -878,10 +1123,10 @@ let federate_cmd =
           | Ok resilience ->
             let budget = make_budget ~deadline ~max_rows in
             let specs =
-              List.map
+              List.filter_map
                 (function
-                  | Ok (path, g) -> (Filename.basename path, g, limit)
-                  | Error _ -> assert false)
+                  | Ok (path, g) -> Some (Filename.basename path, g, limit)
+                  | Error _ -> None)
                 graphs
             in
             let open Refq_federation in
@@ -963,7 +1208,8 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; answer_cmd; explain_cmd; profile_cmd;
-        saturate_cmd; cache_cmd; federate_cmd; demo_cmd;
+        lint_cmd; audit_store_cmd; saturate_cmd; cache_cmd; federate_cmd;
+        demo_cmd;
       ]
   in
   (* One-line diagnostics instead of raw backtraces for the failures a

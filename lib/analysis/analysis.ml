@@ -1,0 +1,18 @@
+module Obs = Refq_obs.Obs
+
+let c_checks = Obs.counter "analysis.checks"
+let c_findings = Obs.counter "analysis.findings"
+let c_errors = Obs.counter "analysis.errors"
+
+let record diagnostics =
+  Obs.incr c_checks;
+  Obs.add c_findings (List.length diagnostics);
+  Obs.add c_errors (List.length (Diagnostic.errors diagnostics))
+
+let reformulation ?max_disjuncts ?plan q cover jucq =
+  Diagnostic.sort
+    (Check_cover.check q cover
+    @ Check_ucq.check_jucq ?max_disjuncts jucq
+    @ match plan with
+      | Some p -> Check_plan.check_jucq_plan p
+      | None -> [])

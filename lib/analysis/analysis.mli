@@ -1,0 +1,26 @@
+(** Umbrella entry points of the static-analysis library.
+
+    The individual checkers live in {!Check_cq}, {!Check_cover},
+    {!Check_ucq}, {!Check_plan}, {!Check_datalog} and {!Audit_store}; this
+    module bundles the combination the answering pipeline needs — validate
+    a (cover, JUCQ, plan) triple produced for a query — and owns the
+    [analysis.*] observability counters that the debug-mode verification
+    gates in [Answer] bump on every finding. *)
+
+open Refq_query
+open Refq_cost
+
+val reformulation :
+  ?max_disjuncts:int ->
+  ?plan:Plan.jucq_plan ->
+  Cq.t -> Cover.t -> Jucq.t -> Diagnostic.t list
+(** [reformulation q cover jucq] runs the cover checker against [q], the
+    JUCQ checker (under [max_disjuncts] when given) and — when a [plan]
+    is supplied — the plan checker. This is the verification gate
+    [Answer.answer] runs on every reformulated answer when
+    [Config.verify] is on. *)
+
+val record : Diagnostic.t list -> unit
+(** Bump the [analysis.checks] / [analysis.findings] / [analysis.errors]
+    counters for one checker run (a no-op when the {!Refq_obs.Obs} sink
+    is off, like all instrumentation). *)

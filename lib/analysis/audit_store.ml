@@ -1,0 +1,160 @@
+open Refq_rdf
+open Refq_storage
+
+let artifact = "store"
+
+let diag ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact ~subject fmt
+
+type observed = {
+  data_epoch : int;
+  schema_epoch : int;
+}
+
+let observe store =
+  { data_epoch = Store.data_epoch store; schema_epoch = Store.schema_epoch store }
+
+(* RS001: the dictionary must be a bijection — every allocated id decodes
+   to a term that maps back to the same id, and no two ids share a term. *)
+let check_dictionary store =
+  let dict = Store.dictionary store in
+  let out = ref [] in
+  let entries = ref 0 in
+  Dictionary.iter
+    (fun id term ->
+      incr entries;
+      (match Dictionary.find dict term with
+      | Some id' when id' = id -> ()
+      | Some id' ->
+        out :=
+          diag ~code:"RS001" ~severity:Diagnostic.Error
+            ~subject:(Fmt.str "id %d" id)
+            "term %a decodes from id %d but encodes to id %d: two ids \
+             share one term, the mapping is not injective"
+            Term.pp term id id'
+          :: !out
+      | None ->
+        out :=
+          diag ~code:"RS001" ~severity:Diagnostic.Error
+            ~subject:(Fmt.str "id %d" id)
+            "term %a is allocated under id %d but [find] does not know it"
+            Term.pp term id
+          :: !out);
+      match Dictionary.decode dict id with
+      | term' when Term.equal term term' -> ()
+      | term' ->
+        out :=
+          diag ~code:"RS001" ~severity:Diagnostic.Error
+            ~subject:(Fmt.str "id %d" id)
+            "id %d decodes to %a when iterated but to %a when looked up"
+            id Term.pp term Term.pp term'
+          :: !out
+      | exception Invalid_argument _ ->
+        out :=
+          diag ~code:"RS001" ~severity:Diagnostic.Error
+            ~subject:(Fmt.str "id %d" id)
+            "id %d is iterated as allocated but [decode] rejects it" id
+          :: !out)
+    dict;
+  let size = Dictionary.size dict in
+  if !entries <> size then
+    out :=
+      diag ~code:"RS001" ~severity:Diagnostic.Error ~subject:"dictionary"
+        "dictionary reports %d allocated id(s) but iterates %d entr(ies)"
+        size !entries
+      :: !out;
+  List.rev !out
+
+(* RS002: the permutation indexes must agree with the triple set — every
+   stored triple is found again through index lookup, referenced ids are
+   allocated, and per-pattern counts match an actual scan. *)
+let check_indexes store =
+  let dict_size = Dictionary.size (Store.dictionary store) in
+  let out = ref [] in
+  let total = ref 0 in
+  let by_pred : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Store.iter_all store (fun s p o ->
+      incr total;
+      Hashtbl.replace by_pred p
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_pred p));
+      if not (Store.mem_ids store s p o) then
+        out :=
+          diag ~code:"RS002" ~severity:Diagnostic.Error
+            ~subject:(Fmt.str "triple (%d,%d,%d)" s p o)
+            "triple (%d,%d,%d) is iterated by the scan but not found by \
+             index lookup"
+            s p o
+          :: !out;
+      List.iter
+        (fun id ->
+          if id < 0 || id >= dict_size then
+            out :=
+              diag ~code:"RS002" ~severity:Diagnostic.Error
+                ~subject:(Fmt.str "triple (%d,%d,%d)" s p o)
+                "triple (%d,%d,%d) references id %d, outside the \
+                 dictionary's %d allocated id(s)"
+                s p o id dict_size
+              :: !out)
+        [ s; p; o ]);
+  let reported = Store.size store in
+  if reported <> !total then
+    out :=
+      diag ~code:"RS002" ~severity:Diagnostic.Error ~subject:"store size"
+        "store reports %d triple(s) but the full scan yields %d"
+        reported !total
+      :: !out;
+  let counted_all = Store.count_pattern store ~s:None ~p:None ~o:None in
+  if counted_all <> !total then
+    out :=
+      diag ~code:"RS002" ~severity:Diagnostic.Error ~subject:"count(*, *, *)"
+        "count_pattern over the unconstrained pattern reports %d, the scan \
+         yields %d"
+        counted_all !total
+      :: !out;
+  Hashtbl.iter
+    (fun p n ->
+      let counted = Store.count_pattern store ~s:None ~p:(Some p) ~o:None in
+      if counted <> n then
+        out :=
+          diag ~code:"RS002" ~severity:Diagnostic.Error
+            ~subject:(Fmt.str "count(*, %d, *)" p)
+            "POS index counts %d triple(s) for predicate %d, the scan \
+             yields %d"
+            counted p n
+          :: !out)
+    by_pred;
+  List.rev !out
+
+(* RS003: epochs are monotonic counters. *)
+let check_epochs ?previous store =
+  let current = observe store in
+  let nonneg name v =
+    if v < 0 then
+      [
+        diag ~code:"RS003" ~severity:Diagnostic.Error ~subject:name
+          "%s epoch is %d; epochs start at 0 and only grow" name v;
+      ]
+    else []
+  in
+  let regress name now before =
+    if now < before then
+      [
+        diag ~code:"RS003" ~severity:Diagnostic.Error ~subject:name
+          "%s epoch went backwards (%d after %d): caches keyed on it would \
+           serve stale entries as fresh"
+          name now before;
+      ]
+    else []
+  in
+  nonneg "data" current.data_epoch
+  @ nonneg "schema" current.schema_epoch
+  @
+  match previous with
+  | None -> []
+  | Some prev ->
+    regress "data" current.data_epoch prev.data_epoch
+    @ regress "schema" current.schema_epoch prev.schema_epoch
+
+let check ?previous store =
+  Diagnostic.sort
+    (check_dictionary store @ check_indexes store @ check_epochs ?previous store)

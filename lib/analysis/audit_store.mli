@@ -1,0 +1,23 @@
+(** Store integrity audit (codes [RS001]–[RS003]).
+
+    A full scan of a store's invariants: the dictionary is a bijection
+    between allocated ids and terms ([RS001]); the three permutation
+    indexes agree with the triple set — every triple is found by lookup,
+    and pattern counts match actual scans ([RS002]); the mutation epochs
+    only ever grow ([RS003], checked against an {!observed} snapshot from
+    an earlier audit). Exposed as [refq audit-store]. *)
+
+open Refq_storage
+
+type observed = {
+  data_epoch : int;
+  schema_epoch : int;
+}
+(** Epoch snapshot carried between audits to witness monotonicity. *)
+
+val observe : Store.t -> observed
+
+val check : ?previous:observed -> Store.t -> Diagnostic.t list
+(** Run the audit. O(n log n) in the number of triples (every triple is
+    re-looked-up through the indexes); intended for debugging and CI, not
+    for hot paths. *)

@@ -1,0 +1,102 @@
+open Refq_query
+
+let artifact = "cover"
+
+let diag ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact ~subject fmt
+
+let frag_name frag =
+  "{" ^ String.concat "," (List.map (fun i -> "t" ^ string_of_int (i + 1)) frag) ^ "}"
+
+(* RC001: the cover must cover exactly the query's atoms. [Cover.make]
+   guarantees coverage w.r.t. its own [n_atoms]; a mismatch with the
+   query's atom count means uncovered atoms (cover too small) or
+   out-of-range indices (cover too large). *)
+let check_extent (q : Cq.t) cover =
+  let n_query = List.length q.Cq.body in
+  let n_cover = Cover.n_atoms cover in
+  if n_cover = n_query then
+    (* Defense in depth: re-verify coverage even though [Cover.make]
+       established it, so decoded or hand-built covers are caught too. *)
+    let covered = Array.make n_query false in
+    List.iter
+      (fun frag ->
+        List.iter
+          (fun i -> if i >= 0 && i < n_query then covered.(i) <- true)
+          frag)
+      (Cover.fragments cover);
+    let uncovered = ref [] in
+    Array.iteri (fun i c -> if not c then uncovered := i :: !uncovered) covered;
+    List.rev_map
+      (fun i ->
+        diag ~code:"RC001" ~severity:Diagnostic.Error
+          ~subject:(Fmt.str "atom %d" (i + 1))
+          "atom %d of the query is covered by no fragment: the induced \
+           JUCQ would silently drop that join condition"
+          (i + 1))
+      !uncovered
+  else
+    [
+      diag ~code:"RC001" ~severity:Diagnostic.Error
+        ~subject:(Fmt.str "%a" Cover.pp cover)
+        "cover is over %d atom(s) but the query has %d: %s"
+        n_cover n_query
+        (if n_cover < n_query then
+           "the extra query atoms are covered by no fragment"
+         else "fragment indices point past the query body");
+    ]
+
+(* RC002: a fragment included in another is redundant — its reformulated
+   UCQ joins nothing new ([Cover.normalize] drops exactly these). *)
+let check_redundant_fragments cover =
+  let fragments = Cover.fragments cover in
+  let included a b = List.for_all (fun i -> List.mem i b) a in
+  List.concat
+    (List.mapi
+       (fun i fa ->
+         let redundant =
+           List.exists
+             (fun fb -> fa != fb && included fa fb)
+             fragments
+         in
+         if redundant then
+           [
+             diag ~code:"RC002" ~severity:Diagnostic.Warning
+               ~subject:(Fmt.str "fragment %d %s" (i + 1) (frag_name fa))
+               "fragment %s is included in another fragment: it adds a \
+                join and a reformulation without restricting the answers \
+                (normalize the cover to drop it)"
+               (frag_name fa);
+           ]
+         else [])
+       fragments)
+
+(* RC003: a multi-atom fragment whose atoms share no variables evaluates
+   a cartesian product inside the fragment UCQ. *)
+let check_fragment_connectivity (q : Cq.t) cover =
+  let body = Array.of_list q.Cq.body in
+  let n = Array.length body in
+  List.concat
+    (List.mapi
+       (fun i frag ->
+         if List.length frag < 2 || List.exists (fun a -> a < 0 || a >= n) frag
+         then []
+         else
+           let atoms = List.map (fun a -> body.(a)) frag in
+           match Check_cq.connected_components atoms with
+           | [] | [ _ ] -> []
+           | components ->
+             [
+               diag ~code:"RC003" ~severity:Diagnostic.Warning
+                 ~subject:(Fmt.str "fragment %d %s" (i + 1) (frag_name frag))
+                 "fragment %s splits into %d variable-disconnected parts: \
+                  its fragment UCQ materializes a cartesian product"
+                 (frag_name frag) (List.length components);
+             ])
+       (Cover.fragments cover))
+
+let check q cover =
+  Diagnostic.sort
+    (check_extent q cover
+    @ check_redundant_fragments cover
+    @ check_fragment_connectivity q cover)

@@ -1,0 +1,16 @@
+(** Static checks over query covers (codes [RC001]–[RC003]).
+
+    A cover is sound for a query when its fragments partition-or-overlap
+    exactly the query's atom set ([5]'s definition, Section 4 of the
+    paper): indices in range, no atom left uncovered. [Cover.make]
+    enforces this relative to its own [n_atoms]; the checker additionally
+    pins the cover to a concrete query, flags fragments made redundant by
+    inclusion (they survive [Cover.normalize] misuse) and fragments whose
+    atoms share no variables — a fragment-level cartesian product that the
+    induced JUCQ would evaluate. *)
+
+open Refq_query
+
+val check : Cq.t -> Cover.t -> Diagnostic.t list
+(** Validate [cover] against [q] — the gate run on every GCov output when
+    verification is enabled. *)

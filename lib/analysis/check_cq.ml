@@ -1,0 +1,188 @@
+open Refq_rdf
+open Refq_query
+
+let artifact = "cq"
+
+let diag ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact ~subject fmt
+
+let atom_subject i a = Fmt.str "atom %d: %a" (i + 1) Cq.pp_atom a
+
+(* Variable-connectivity of a body: union-find over atom indices, merging
+   two atoms whenever they share a variable. Atoms without variables (or
+   sharing none) form their own components. *)
+let connected_components atoms =
+  let atoms = Array.of_list atoms in
+  let n = Array.length atoms in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let by_var = Hashtbl.create 16 in
+  Array.iteri
+    (fun i a ->
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt by_var v with
+          | Some j -> union i j
+          | None -> Hashtbl.add by_var v i)
+        (Cq.atom_vars a))
+    atoms;
+  let groups = Hashtbl.create 8 in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    Hashtbl.replace groups r (i :: (Option.value ~default:[] (Hashtbl.find_opt groups r)))
+  done;
+  Hashtbl.fold (fun _ is acc -> is :: acc) groups []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+(* RQ001: range restriction — every head variable occurs in the body. *)
+let check_safety (q : Cq.t) =
+  let body_vars = Cq.body_vars q in
+  List.filter_map
+    (function
+      | Cq.Cst _ -> None
+      | Cq.Var v ->
+        if List.mem v body_vars then None
+        else
+          Some
+            (diag ~code:"RQ001" ~severity:Diagnostic.Error
+               ~subject:(Fmt.str "head variable %s" v)
+               "head variable %s does not occur in the body: the query is \
+                not range-restricted and has no well-defined answers"
+               v))
+    q.Cq.head
+
+(* RQ002: the body splits into ≥2 variable-disconnected components — the
+   induced evaluation is a cartesian product of the components. *)
+let check_connectivity (q : Cq.t) =
+  match connected_components q.Cq.body with
+  | [] | [ _ ] -> []
+  | components ->
+    [
+      diag ~code:"RQ002" ~severity:Diagnostic.Warning
+        ~subject:(Fmt.str "%a" Cq.pp q)
+        "body splits into %d variable-disconnected components (%s): \
+         evaluation is a cartesian product of their results"
+        (List.length components)
+        (String.concat " × "
+           (List.map
+              (fun is ->
+                "{"
+                ^ String.concat ","
+                    (List.map (fun i -> "t" ^ string_of_int (i + 1)) is)
+                ^ "}")
+              components));
+    ]
+
+(* RQ003: duplicate atoms (syntactic equality). *)
+let check_duplicates (q : Cq.t) =
+  let rec loop i seen acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+      let acc =
+        match
+          List.find_opt (fun (_, a') -> Cq.atom_equal a a') seen
+        with
+        | Some (j, _) ->
+          diag ~code:"RQ003" ~severity:Diagnostic.Warning
+            ~subject:(atom_subject i a)
+            "atom %d duplicates atom %d; the duplicate only adds evaluation \
+             and reformulation work"
+            (i + 1) (j + 1)
+          :: acc
+        | None -> acc
+      in
+      loop (i + 1) ((i, a) :: seen) acc rest
+  in
+  loop 0 [] [] q.Cq.body
+
+(* RQ004: redundant atoms — the query's core (Containment.minimize_cq) is
+   strictly smaller, so some atom is subsumed by the rest of the body. *)
+let redundancy_gate = 10
+
+let check_redundancy (q : Cq.t) =
+  if List.length q.Cq.body > redundancy_gate then []
+  else
+    let core = Containment.minimize_cq q in
+    let dropped = List.length q.Cq.body - List.length core.Cq.body in
+    if dropped <= 0 then []
+    else
+      [
+        diag ~code:"RQ004" ~severity:Diagnostic.Hint
+          ~subject:(Fmt.str "%a" Cq.pp q)
+          "%d body atom(s) are subsumed by the rest of the body (the \
+           query's core is %a); dropping them answers identically with \
+           less work"
+          dropped Cq.pp core;
+      ]
+
+(* RQ005: atoms no RDF triple can ever match — a literal in subject
+   position, or a literal / blank node in property position (well-formed
+   triples have URI properties and non-literal subjects). Their
+   reformulation is provably empty. *)
+let check_satisfiability (q : Cq.t) =
+  List.concat
+    (List.mapi
+       (fun i a ->
+         let bad position = function
+           | Cq.Var _ -> None
+           | Cq.Cst t -> (
+             match position with
+             | `Subject when Term.is_literal t ->
+               Some "a literal in subject position"
+             | `Property when not (Term.is_uri t) ->
+               Some "a non-URI in property position"
+             | _ -> None)
+         in
+         List.filter_map
+           (fun reason ->
+             Option.map
+               (fun why ->
+                 diag ~code:"RQ005" ~severity:Diagnostic.Error
+                   ~subject:(atom_subject i a)
+                   "atom %d has %s: no well-formed RDF triple matches it, \
+                    so its reformulation is provably empty"
+                   (i + 1) why)
+               reason)
+           [ bad `Subject a.Cq.s; bad `Property a.Cq.p ])
+       q.Cq.body)
+
+(* RQ006: a property-position constant the closure knows only as a class —
+   almost always a confusion between [x rdf:type C] and [x C y]. *)
+let check_vocabulary closure (q : Cq.t) =
+  let open Refq_schema in
+  let classes = Closure.classes closure in
+  let properties = Closure.properties closure in
+  List.concat
+    (List.mapi
+       (fun i a ->
+         match a.Cq.p with
+         | Cq.Cst p
+           when Term.is_uri p
+                && (not (Vocab.is_rdf_builtin p))
+                && Term.Set.mem p classes
+                && not (Term.Set.mem p properties) ->
+           [
+             diag ~code:"RQ006" ~severity:Diagnostic.Warning
+               ~subject:(atom_subject i a)
+               "property position holds %a, which the schema closure knows \
+                only as a class; did you mean [%a rdf:type %a]?"
+               Term.pp p Cq.pp_pat a.Cq.s Term.pp p;
+           ]
+         | _ -> [])
+       q.Cq.body)
+
+let check ?closure (q : Cq.t) =
+  let safety = check_safety q in
+  let structural =
+    check_connectivity q @ check_duplicates q @ check_satisfiability q
+    @ (match closure with
+      | Some cl -> check_vocabulary cl q
+      | None -> [])
+  in
+  (* The core computation assumes a well-formed query. *)
+  let redundancy = if safety = [] then check_redundancy q else [] in
+  Diagnostic.sort (safety @ structural @ redundancy)

@@ -1,0 +1,24 @@
+(** Static checks over conjunctive queries (codes [RQ001]–[RQ006]).
+
+    The checker validates the invariants the rest of the system assumes of
+    a CQ — range-restriction of head variables, no provably-empty atoms —
+    and flags the statically detectable anti-patterns of Loizou & Groth
+    (cartesian products, duplicate and redundant atoms). [Cq.make] already
+    rejects unsafe heads, so [RQ001] only fires on hand-built or decoded
+    artifacts; the checker still verifies it because downstream layers
+    (evaluation, reformulation) silently mis-answer unsafe queries. *)
+
+open Refq_schema
+open Refq_query
+
+val connected_components : Cq.atom list -> int list list
+(** Group atom indices into variable-connected components (two atoms are
+    connected when they share a variable; constants never connect).
+    Exposed for the cover checker, which applies the same notion inside a
+    fragment. *)
+
+val check : ?closure:Closure.t -> Cq.t -> Diagnostic.t list
+(** All CQ checks. [RQ006] (class used in property position) needs the
+    schema [closure] and is skipped without it. Redundancy ([RQ004]) is
+    skipped on bodies over 10 atoms (core computation is exponential) and
+    on queries that already failed the safety check. *)

@@ -1,0 +1,70 @@
+open Refq_datalog
+
+let artifact = "datalog"
+
+let diag ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact ~subject fmt
+
+let atom_vars (a : Datalog.atom) =
+  List.filter_map
+    (function Datalog.Var v -> Some v | Datalog.Cst _ -> None)
+    a.Datalog.args
+
+let rule_subject (r : Datalog.rule) = Fmt.str "%a" Datalog.pp_rule r
+
+(* RD001/RD003: safety and non-empty bodies. *)
+let check_rule (r : Datalog.rule) =
+  let body_vars = List.concat_map atom_vars r.Datalog.body in
+  let unsafe =
+    List.filter_map
+      (fun v ->
+        if List.mem v body_vars then None
+        else
+          Some
+            (diag ~code:"RD001" ~severity:Diagnostic.Error
+               ~subject:(rule_subject r)
+               "head variable %s does not occur in the body: the rule is \
+                unsafe (it would derive unboundedly many facts)"
+               v))
+      (atom_vars r.Datalog.head)
+  in
+  let empty =
+    if r.Datalog.body = [] then
+      [
+        diag ~code:"RD003" ~severity:Diagnostic.Error
+          ~subject:(rule_subject r)
+          "rule has an empty body: the semi-naive engine only accepts pure \
+           positive rules with at least one body atom";
+      ]
+    else []
+  in
+  Diagnostic.sort (unsafe @ empty)
+
+(* RD002: every predicate keeps one arity across the program. *)
+let check_arities rules =
+  let seen : (string, int * string) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let visit where (a : Datalog.atom) =
+    let arity = List.length a.Datalog.args in
+    match Hashtbl.find_opt seen a.Datalog.pred with
+    | None -> Hashtbl.add seen a.Datalog.pred (arity, where)
+    | Some (arity', where') when arity' <> arity ->
+      out :=
+        diag ~code:"RD002" ~severity:Diagnostic.Error
+          ~subject:(Fmt.str "predicate %s" a.Datalog.pred)
+          "predicate %s is used with arity %d in %s but arity %d in %s: \
+           the relational encoding assumes one arity per predicate"
+          a.Datalog.pred arity where arity' where'
+        :: !out
+    | Some _ -> ()
+  in
+  List.iteri
+    (fun i (r : Datalog.rule) ->
+      let where = Printf.sprintf "rule %d" (i + 1) in
+      visit where r.Datalog.head;
+      List.iter (visit where) r.Datalog.body)
+    rules;
+  List.rev !out
+
+let check rules =
+  Diagnostic.sort (List.concat_map check_rule rules @ check_arities rules)

@@ -1,0 +1,16 @@
+(** Static checks over Datalog programs (codes [RD001]–[RD003]).
+
+    The invariants of a well-formed positive program: range-restriction /
+    safety (every head variable occurs in the body — [Datalog.rule]
+    enforces this for rules built through the smart constructor, but the
+    record type is open), non-empty rule bodies, and one consistent arity
+    per predicate across the whole program (the encoding into a relational
+    engine assumes it). *)
+
+open Refq_datalog
+
+val check_rule : Datalog.rule -> Diagnostic.t list
+(** Safety and body checks for one rule ([RD001], [RD003]). *)
+
+val check : Datalog.rule list -> Diagnostic.t list
+(** All per-rule checks plus program-wide arity consistency ([RD002]). *)

@@ -1,0 +1,90 @@
+open Refq_query
+open Refq_cost
+
+let artifact = "plan"
+
+let diag ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact ~subject fmt
+
+let broken_estimate x = not (Float.is_finite x) || x < 0.0
+
+let check_estimate ~subject what x =
+  if broken_estimate x then
+    [
+      diag ~code:"RP003" ~severity:Diagnostic.Error ~subject
+        "%s estimate is %g: a non-finite or negative estimate poisons \
+         every greedy comparison downstream"
+        what x;
+    ]
+  else []
+
+(* RP001: each plan step after the first must share a variable with the
+   atoms already placed, or the engine executes a cartesian product at
+   that step. *)
+let check_cq_plan (p : Plan.cq_plan) =
+  let rec loop i bound acc = function
+    | [] -> List.rev acc
+    | (s : Plan.step) :: rest ->
+      let vars = Cq.atom_vars s.Plan.atom in
+      let acc =
+        if i > 0 && vars <> [] && not (List.exists (fun v -> List.mem v bound) vars)
+        then
+          diag ~code:"RP001" ~severity:Diagnostic.Warning
+            ~subject:(Fmt.str "step %d: %a" (i + 1) Cq.pp_atom s.Plan.atom)
+            "step %d binds no variable bound by steps 1..%d: the join \
+             degenerates into a cartesian product at this step"
+            (i + 1) i
+          :: acc
+        else acc
+      in
+      let acc =
+        List.rev_append
+          (check_estimate
+             ~subject:(Fmt.str "step %d" (i + 1))
+             "cardinality" s.Plan.cardinality)
+          acc
+      in
+      loop (i + 1) (vars @ bound) acc rest
+  in
+  Diagnostic.sort
+    (loop 0 [] [] p.Plan.steps
+    @ check_estimate ~subject:"plan" "answer-count" p.Plan.answers)
+
+(* RP002: fragment join order. Zero-arity (boolean) fragments act as
+   filters, not joins, and are exempt. *)
+let check_jucq_plan (p : Plan.jucq_plan) =
+  let rec loop i cols acc = function
+    | [] -> List.rev acc
+    | (f : Plan.fragment_plan) :: rest ->
+      let acc =
+        if
+          f.Plan.out <> [] && cols <> []
+          && not (List.exists (fun c -> List.mem c cols) f.Plan.out)
+        then
+          diag ~code:"RP002" ~severity:Diagnostic.Warning
+            ~subject:(Fmt.str "fragment %d (out %s)" (i + 1)
+                        (String.concat "," f.Plan.out))
+            "fragment %d shares no output column with the fragments joined \
+             before it: the fragment join is a cartesian product"
+            (i + 1)
+          :: acc
+        else acc
+      in
+      let acc =
+        List.rev_append
+          (check_estimate
+             ~subject:(Fmt.str "fragment %d" (i + 1))
+             "cardinality" f.Plan.est_card
+          @ check_estimate
+              ~subject:(Fmt.str "fragment %d" (i + 1))
+              "cost" f.Plan.est_cost)
+          acc
+      in
+      loop (i + 1) (f.Plan.out @ cols) acc rest
+  in
+  Diagnostic.sort
+    (loop 0 [] [] p.Plan.fragments
+    @ check_estimate ~subject:"plan" "total cost"
+        p.Plan.est_total.Cost_model.cost
+    @ check_estimate ~subject:"plan" "total cardinality"
+        p.Plan.est_total.Cost_model.card)

@@ -1,0 +1,20 @@
+(** Static checks over logical plans (codes [RP001]–[RP003]).
+
+    A CQ plan is a greedy atom order; a JUCQ plan is a fragment join
+    order. Both are sound only when each step can bind against what is
+    already bound: a step sharing no variable (column) with its
+    predecessors silently degenerates into a cartesian product. The
+    checker also rejects non-finite or negative cost-model estimates —
+    NaNs propagate through greedy comparisons and can silently pick an
+    arbitrary plan. *)
+
+open Refq_cost
+
+val check_cq_plan : Plan.cq_plan -> Diagnostic.t list
+(** [RP001] on steps binding no previously bound variable (the first step
+    is exempt), [RP003] on broken estimates. *)
+
+val check_jucq_plan : Plan.jucq_plan -> Diagnostic.t list
+(** [RP002] on fragments joining no previously available output column
+    (the first joinable fragment and zero-arity boolean fragments are
+    exempt), [RP003] on broken estimates. *)

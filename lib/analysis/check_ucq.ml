@@ -1,0 +1,163 @@
+open Refq_query
+
+let containment_gate = 200
+
+let diag ~artifact ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact ~subject fmt
+
+(* RU001: all disjuncts of a union share one arity. *)
+let check_arities ~artifact disjuncts =
+  match disjuncts with
+  | [] -> []
+  | first :: _ ->
+    let arity = Cq.arity first in
+    List.concat
+      (List.mapi
+         (fun i (d : Cq.t) ->
+           if Cq.arity d = arity then []
+           else
+             [
+               diag ~artifact ~code:"RU001" ~severity:Diagnostic.Error
+                 ~subject:(Fmt.str "disjunct %d" (i + 1))
+                 "disjunct %d has arity %d but the union has arity %d: the \
+                  union of their answer sets is ill-typed"
+                 (i + 1) (Cq.arity d) arity;
+             ])
+         disjuncts)
+
+(* RU002: pairwise containment sanity. A disjunct contained in a sibling
+   contributes no answer the sibling does not already produce. *)
+let check_containment ~artifact disjuncts =
+  let ds = Array.of_list disjuncts in
+  let n = Array.length ds in
+  if n > containment_gate then []
+  else begin
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      let redundant = ref None in
+      for j = 0 to n - 1 do
+        if
+          !redundant = None && i <> j
+          && Containment.contained ds.(i) ds.(j)
+          && ((not (Containment.contained ds.(j) ds.(i))) || j < i)
+        then redundant := Some j
+      done;
+      match !redundant with
+      | Some j ->
+        out :=
+          diag ~artifact ~code:"RU002" ~severity:Diagnostic.Hint
+            ~subject:(Fmt.str "disjunct %d: %a" (i + 1) Cq.pp ds.(i))
+            "disjunct %d is contained in disjunct %d: every answer it \
+             produces is already produced there (minimization drops it)"
+            (i + 1) (j + 1)
+          :: !out
+      | None -> ()
+    done;
+    List.rev !out
+  end
+
+(* RU003: disjunct-budget conformance (Example 1's 318,096-CQ union
+   "could not even be parsed"). *)
+let check_budget ~artifact ?max_disjuncts n =
+  match max_disjuncts with
+  | Some m when n > m ->
+    [
+      diag ~artifact ~code:"RU003" ~severity:Diagnostic.Warning
+        ~subject:(Fmt.str "%d disjuncts" n)
+        "reformulation has %d disjuncts, over the configured budget of %d: \
+         evaluation is unlikely to be practical"
+        n m;
+    ]
+  | _ -> []
+
+(* Reformulation must never manufacture unsafe or provably-empty
+   disjuncts: re-run the corresponding CQ checks per disjunct. *)
+let check_disjunct_soundness ~artifact disjuncts =
+  List.concat
+    (List.mapi
+       (fun i (d : Cq.t) ->
+         List.filter_map
+           (fun (dg : Diagnostic.t) ->
+             match dg.Diagnostic.code with
+             | "RQ001" | "RQ005" ->
+               Some
+                 {
+                   dg with
+                   Diagnostic.artifact;
+                   subject = Fmt.str "disjunct %d, %s" (i + 1) dg.Diagnostic.subject;
+                 }
+             | _ -> None)
+           (Check_cq.check d))
+       disjuncts)
+
+let check_disjuncts ?(artifact = "ucq") ?max_disjuncts disjuncts =
+  Diagnostic.sort
+    (check_arities ~artifact disjuncts
+    @ check_containment ~artifact disjuncts
+    @ check_budget ~artifact ?max_disjuncts (List.length disjuncts)
+    @ check_disjunct_soundness ~artifact disjuncts)
+
+let check ?max_disjuncts ucq =
+  check_disjuncts ~artifact:"ucq" ?max_disjuncts (Ucq.disjuncts ucq)
+
+(* RU004: every head variable of a JUCQ must be an output column of at
+   least one fragment, or the final projection has nothing to read. *)
+let check_jucq_head (j : Jucq.t) =
+  let outs = List.concat_map (fun f -> f.Jucq.out) j.Jucq.fragments in
+  List.filter_map
+    (function
+      | Cq.Cst _ -> None
+      | Cq.Var v ->
+        if List.mem v outs then None
+        else
+          Some
+            (diag ~artifact:"jucq" ~code:"RU004" ~severity:Diagnostic.Error
+               ~subject:(Fmt.str "head variable %s" v)
+               "head variable %s is an output column of no fragment: the \
+                fragment join cannot produce it"
+               v))
+    j.Jucq.head
+
+(* RU001 at the fragment level: each disjunct head must be as wide as the
+   fragment's output column list. *)
+let check_fragment_arities (j : Jucq.t) =
+  List.concat
+    (List.mapi
+       (fun fi (f : Jucq.fragment) ->
+         let width = List.length f.Jucq.out in
+         List.concat
+           (List.mapi
+              (fun di (d : Cq.t) ->
+                if Cq.arity d = width then []
+                else
+                  [
+                    diag ~artifact:"jucq" ~code:"RU001"
+                      ~severity:Diagnostic.Error
+                      ~subject:(Fmt.str "fragment %d, disjunct %d" (fi + 1) (di + 1))
+                      "fragment %d outputs %d column(s) but disjunct %d has \
+                       arity %d"
+                      (fi + 1) width (di + 1) (Cq.arity d);
+                  ])
+              (Ucq.disjuncts f.Jucq.ucq)))
+       j.Jucq.fragments)
+
+let check_jucq ?max_disjuncts (j : Jucq.t) =
+  let per_fragment =
+    List.concat
+      (List.mapi
+         (fun fi (f : Jucq.fragment) ->
+           let ds = Ucq.disjuncts f.Jucq.ucq in
+           List.map
+             (fun (dg : Diagnostic.t) ->
+               {
+                 dg with
+                 Diagnostic.artifact = "jucq";
+                 subject = Fmt.str "fragment %d, %s" (fi + 1) dg.Diagnostic.subject;
+               })
+             (check_containment ~artifact:"jucq" ds
+             @ check_disjunct_soundness ~artifact:"jucq" ds))
+         j.Jucq.fragments)
+  in
+  Diagnostic.sort
+    (check_jucq_head j @ check_fragment_arities j @ per_fragment
+    @ check_budget ~artifact:"jucq" ?max_disjuncts (Jucq.size j))

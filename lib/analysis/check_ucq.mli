@@ -1,0 +1,28 @@
+(** Static checks over UCQ and JUCQ reformulations (codes [RU001]–[RU004]).
+
+    A reformulation output is a union (per fragment) of CQs: the checker
+    verifies the arity discipline ([RU001]), per-disjunct containment
+    sanity — a disjunct contained in a sibling is dead weight the
+    minimizer would drop ([RU002], König et al.'s minimality property) —
+    conformance to the configured disjunct budget ([RU003]) and, for
+    JUCQs, that every head variable is produced by some fragment
+    ([RU004]). Per-disjunct safety and satisfiability are re-checked with
+    {!Check_cq} (codes [RQ001]/[RQ005]): reformulation must never
+    manufacture an unsafe or provably-empty disjunct. *)
+
+open Refq_query
+
+val containment_gate : int
+(** Disjunct count above which the quadratic pairwise containment check
+    ([RU002]) is skipped (200). *)
+
+val check_disjuncts :
+  ?artifact:string -> ?max_disjuncts:int -> Cq.t list -> Diagnostic.t list
+(** Check a raw disjunct list (arity, containment, budget, per-disjunct
+    safety). [artifact] defaults to ["ucq"]. *)
+
+val check : ?max_disjuncts:int -> Ucq.t -> Diagnostic.t list
+
+val check_jucq : ?max_disjuncts:int -> Jucq.t -> Diagnostic.t list
+(** Check every fragment's UCQ (budget applies to the total disjunct
+    count, the paper's size measure) plus the JUCQ head/output discipline. *)

@@ -1,0 +1,96 @@
+module Json = Refq_obs.Json
+
+type severity =
+  | Error
+  | Warning
+  | Hint
+
+type t = {
+  code : string;
+  severity : severity;
+  artifact : string;
+  subject : string;
+  message : string;
+}
+
+let make ~code ~severity ~artifact ~subject fmt =
+  Fmt.kstr (fun message -> { code; severity; artifact; subject; message }) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_rank = function
+  | Error -> 0
+  | Warning -> 1
+  | Hint -> 2
+
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare_severity a.severity b.severity in
+      if c <> 0 then c else String.compare a.code b.code)
+    ds
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let count s ds = List.length (List.filter (fun d -> d.severity = s) ds)
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.String d.code);
+      ("severity", Json.String (severity_name d.severity));
+      ("artifact", Json.String d.artifact);
+      ("subject", Json.String d.subject);
+      ("message", Json.String d.message);
+    ]
+
+let list_to_json ds =
+  Json.Obj
+    [
+      ("diagnostics", Json.List (List.map to_json (sort ds)));
+      ("errors", Json.Int (count Error ds));
+      ("warnings", Json.Int (count Warning ds));
+      ("hints", Json.Int (count Hint ds));
+    ]
+
+(* The checker catalogue. Codes are stable: tests and CI gates match on
+   them, so a code is never reused for a different condition. *)
+let catalogue =
+  [
+    ("RQ001", Error, "head variable is not range-restricted (absent from the body)");
+    ("RQ002", Warning, "body splits into variable-disconnected components (cartesian product)");
+    ("RQ003", Warning, "duplicate body atom");
+    ("RQ004", Hint, "redundant body atom (the query's core is strictly smaller)");
+    ("RQ005", Error, "provably-empty atom (literal subject, or literal/blank-node property)");
+    ("RQ006", Warning, "property position holds a term the schema closure knows only as a class");
+    ("RC001", Error, "cover does not match the query (atom uncovered or index out of range)");
+    ("RC002", Warning, "redundant cover fragment (included in another fragment)");
+    ("RC003", Warning, "variable-disconnected cover fragment (fragment-level cartesian product)");
+    ("RU001", Error, "disjunct arity differs from the union's arity");
+    ("RU002", Hint, "disjunct is contained in another disjunct (minimization would drop it)");
+    ("RU003", Warning, "reformulation size exceeds the disjunct budget");
+    ("RU004", Error, "head variable is produced by no JUCQ fragment");
+    ("RP001", Warning, "plan step binds no previously bound variable (cartesian join)");
+    ("RP002", Warning, "fragment join order introduces a cartesian fragment join");
+    ("RP003", Error, "non-finite or negative cost-model estimate in the plan");
+    ("RD001", Error, "unsafe Datalog rule (head variable absent from the body)");
+    ("RD002", Error, "predicate used with inconsistent arities");
+    ("RD003", Error, "Datalog rule with an empty body");
+    ("RS001", Error, "dictionary bijectivity violated (term/id mapping disagrees)");
+    ("RS002", Error, "index disagreement (pattern counts differ from the triple set)");
+    ("RS003", Error, "store epoch went backwards (monotonicity violated)");
+    ("RL001", Warning, "reformulation exceeded the disjunct budget; downstream checks skipped");
+  ]
+
+let pp ppf d =
+  Fmt.pf ppf "%s %s %s [%s]: %s" d.code (severity_name d.severity) d.artifact
+    d.subject d.message
+
+let pp_list ppf ds = Fmt.(list ~sep:(any "@.") pp) ppf (sort ds)

@@ -1,0 +1,61 @@
+(** Static-analysis diagnostics.
+
+    Every checker of this library reports its findings as a list of
+    diagnostics: a stable code (["RQ001"], ["RC002"], ...), a severity, the
+    kind of artifact it was found in ([cq], [cover], [plan], ...), a short
+    rendering of the offending element and a human message. Codes are
+    stable across releases — CI gates and tests match on them — and the
+    full catalogue is exported as {!catalogue}. *)
+
+type severity =
+  | Error  (** the artifact violates a soundness invariant *)
+  | Warning  (** the artifact is suspicious (likely mistake or waste) *)
+  | Hint  (** an optimization opportunity, never a correctness issue *)
+
+type t = {
+  code : string;  (** stable diagnostic code, e.g. ["RQ001"] *)
+  severity : severity;
+  artifact : string;
+      (** artifact kind: ["cq"], ["cover"], ["ucq"], ["jucq"], ["plan"],
+          ["datalog"], ["store"] or ["lint"] *)
+  subject : string;  (** the offending element, e.g. ["atom 3"] *)
+  message : string;
+}
+
+val make :
+  code:string -> severity:severity -> artifact:string -> subject:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** [make ~code ~severity ~artifact ~subject fmt ...] builds one
+    diagnostic, formatting the message. *)
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["hint"]. *)
+
+val compare_severity : severity -> severity -> int
+(** [Error < Warning < Hint] (most severe first). *)
+
+val sort : t list -> t list
+(** Stable sort: severity first, then code. *)
+
+val errors : t list -> t list
+
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val to_json : t -> Refq_obs.Json.t
+(** [{"code": ..., "severity": ..., "artifact": ..., "subject": ...,
+    "message": ...}]. *)
+
+val list_to_json : t list -> Refq_obs.Json.t
+(** [{"diagnostics": [...], "errors": n, "warnings": n, "hints": n}]. *)
+
+val catalogue : (string * severity * string) list
+(** Every diagnostic code this library can emit, with its severity and a
+    one-line description — the checker catalogue rendered by
+    [refq lint --catalogue] and DESIGN.md §10. *)
+
+val pp : t Fmt.t
+(** [RQ001 error cq [q(x) :- ...]: message]. *)
+
+val pp_list : t list Fmt.t

@@ -13,6 +13,8 @@ module Budget = Refq_fault.Budget
 module Obs = Refq_obs.Obs
 module Cache = Refq_cache.Cache
 module Config = Config
+module Analysis = Refq_analysis.Analysis
+module Diagnostic = Refq_analysis.Diagnostic
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-answer reporting (shared with the federation layer)        *)
@@ -324,6 +326,27 @@ let minimize_jucq (j : Jucq.t) =
         j.Jucq.fragments;
   }
 
+(* Debug-mode verification gate ([Config.verify]): every reformulated
+   answer has its cover, JUCQ and plan re-validated by the static
+   checkers. Findings are counted through the [analysis.*] Obs counters;
+   errors — which mean a bug in GCov or the reformulation, not in the
+   user's query — are additionally logged. Answering proceeds either way:
+   the gate observes, the tests and CI decide. *)
+let verify_reformulation (cfg : Config.t) env q cover jucq =
+  Obs.span "verify" (fun () ->
+      let plan =
+        Plan.explain_jucq ?params:cfg.Config.params env.card_env jucq
+      in
+      let ds =
+        Analysis.reformulation ~max_disjuncts:cfg.Config.max_disjuncts ~plan q
+          cover jucq
+      in
+      Analysis.record ds;
+      List.iter
+        (fun d ->
+          Log.err (fun m -> m "verify: %a" Diagnostic.pp d))
+        (Diagnostic.errors ds))
+
 let reform_key env (cfg : Config.t) qc cover =
   Printf.sprintf "%s|%s|p:%s|m:%b|fp:%s" (Cache.cq_key qc)
     (Cache.cover_key cover) (Config.profile_name cfg) cfg.Config.minimize
@@ -382,6 +405,7 @@ let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
     Log.debug (fun m ->
         m "%a: cover %a, %d disjuncts in %d fragments" Strategy.pp strategy
           Cover.pp cover (Jucq.size jucq) (Jucq.n_fragments jucq));
+    if cfg.Config.verify then verify_reformulation cfg env qc cover jucq;
     let t1 = now () in
     match
       Obs.span "evaluate" (fun () ->
@@ -493,6 +517,21 @@ let answer ?(config = Config.default) env q strategy =
       (fun r -> { r with planning_s = search_s })
       (run_cover cfg env q strategy trace.Gcov.chosen (Some trace))
   | Strategy.Datalog ->
+    (* The Datalog arm of the verification gate: the program about to be
+       evaluated must be safe and arity-consistent. *)
+    if cfg.Config.verify then begin
+      let rules =
+        Refq_datalog.Rdf_encoding.rdfs_rules env.store
+        @ Option.to_list (Refq_datalog.Rdf_encoding.query_rule env.store q)
+      in
+      let ds =
+        Obs.span "verify" (fun () -> Refq_analysis.Check_datalog.check rules)
+      in
+      Analysis.record ds;
+      List.iter
+        (fun d -> Log.err (fun m -> m "verify: %a" Diagnostic.pp d))
+        (Diagnostic.errors ds)
+    end;
     let t0 = now () in
     let answers, stats =
       Obs.span "evaluate" (fun () ->

@@ -10,6 +10,7 @@ type t = {
   budget : Refq_fault.Budget.t option;
   max_disjuncts : int;
   use_cache : bool;
+  verify : bool;
 }
 
 let default_max_disjuncts = 200_000
@@ -23,6 +24,7 @@ let default =
     budget = None;
     max_disjuncts = default_max_disjuncts;
     use_cache = true;
+    verify = false;
   }
 
 let with_profile p c = { c with profile = Some p }
@@ -41,6 +43,8 @@ let with_cache use_cache c = { c with use_cache }
 
 let without_cache c = { c with use_cache = false }
 
+let with_verify verify c = { c with verify }
+
 let profile_name c =
   match c.profile with
   | None -> "complete"
@@ -52,7 +56,8 @@ let backend_name = function
 
 let pp ppf c =
   Fmt.pf ppf
-    "profile=%s minimize=%b backend=%s budget=%s max_disjuncts=%d cache=%b"
+    "profile=%s minimize=%b backend=%s budget=%s max_disjuncts=%d cache=%b \
+     verify=%b"
     (profile_name c) c.minimize (backend_name c.backend)
     (match c.budget with None -> "none" | Some _ -> "set")
-    c.max_disjuncts c.use_cache
+    c.max_disjuncts c.use_cache c.verify

@@ -34,6 +34,10 @@ type t = {
           Example 1's unparseable 318,096-CQ union *)
   use_cache : bool;
       (** consult/populate the answering caches (default [true]) *)
+  verify : bool;
+      (** debug-mode verification gates: run the {!Refq_analysis} cover /
+          UCQ / plan checkers on every reformulated answer, bump the
+          [analysis.*] counters and log errors (default [false]) *)
 }
 
 val default_max_disjuncts : int
@@ -58,6 +62,8 @@ val with_max_disjuncts : int -> t -> t
 val with_cache : bool -> t -> t
 
 val without_cache : t -> t
+
+val with_verify : bool -> t -> t
 
 val profile_name : t -> string
 (** The profile's name, or ["complete"] — stable cache-key component. *)

@@ -1,0 +1,75 @@
+open Refq_cost
+open Refq_reform
+module A = Refq_analysis
+module Diagnostic = A.Diagnostic
+
+let skipped ~subject fmt =
+  Diagnostic.make ~code:"RL001" ~severity:Diagnostic.Warning ~artifact:"lint"
+    ~subject fmt
+
+let query ?(config = Config.default) env q =
+  let cl = Answer.closure env in
+  let cenv = Answer.card_env env in
+  let profile = config.Config.profile in
+  let max_disjuncts = config.Config.max_disjuncts in
+  let cq_diags = A.Check_cq.check ~closure:cl q in
+  if Diagnostic.has_errors cq_diags then
+    (* Reformulating or planning a broken query would only cascade. *)
+    cq_diags
+  else begin
+    (* The classical UCQ reformulation, when it fits the budget. *)
+    let ucq_diags =
+      let n = Reformulate.count_disjuncts ?profile cl q in
+      if n > max_disjuncts then
+        [
+          skipped ~subject:"ucq"
+            "UCQ reformulation would have %d disjuncts (budget %d): UCQ \
+             checks skipped (the size itself is Example 1's failure mode)"
+            n max_disjuncts;
+        ]
+      else
+        match Reformulate.cq_to_ucq ?profile ~max_disjuncts cl q with
+        | ucq -> A.Check_ucq.check ~max_disjuncts ucq
+        | exception Reformulate.Too_large n ->
+          [
+            skipped ~subject:"ucq"
+              "UCQ reformulation stopped at %d disjuncts: UCQ checks skipped"
+              n;
+          ]
+    in
+    (* GCov's chosen cover, its JUCQ and the fragment join plan. *)
+    let gcov_diags =
+      let trace = Gcov.search ~config cenv cl q in
+      let cover = trace.Gcov.chosen in
+      let cover_diags = A.Check_cover.check q cover in
+      match
+        Reformulate.cover_to_jucq ?profile ~max_disjuncts cl q cover
+      with
+      | jucq ->
+        let plan =
+          Plan.explain_jucq ?params:config.Config.params cenv jucq
+        in
+        cover_diags
+        @ A.Check_ucq.check_jucq ~max_disjuncts jucq
+        @ A.Check_plan.check_jucq_plan plan
+      | exception Reformulate.Too_large n ->
+        cover_diags
+        @ [
+            skipped ~subject:"gcov"
+              "JUCQ of GCov's chosen cover stopped at %d disjuncts: JUCQ \
+               and plan checks skipped"
+              n;
+          ]
+    in
+    (* The single-CQ plan Sat would run. *)
+    let plan_diags = A.Check_plan.check_cq_plan (Plan.explain_cq cenv q) in
+    (* The Datalog program Dat would evaluate. *)
+    let datalog_diags =
+      let store = Answer.store env in
+      A.Check_datalog.check
+        (Refq_datalog.Rdf_encoding.rdfs_rules store
+        @ Option.to_list (Refq_datalog.Rdf_encoding.query_rule store q))
+    in
+    Diagnostic.sort
+      (cq_diags @ ucq_diags @ gcov_diags @ plan_diags @ datalog_diags)
+  end

@@ -1,0 +1,20 @@
+(** The [refq lint] pipeline: run every static checker a query can
+    exercise against one prepared environment.
+
+    For a CQ this means: the CQ checks themselves; the classical UCQ
+    reformulation (checked when its size fits the configured disjunct
+    budget, reported as [RL001] otherwise); GCov's chosen cover, the JUCQ
+    it induces and the fragment join plan; the single-CQ plan Sat would
+    execute; and the Datalog program Dat would evaluate. A clean artifact
+    produces no diagnostics — [scripts/check.sh] runs this over every
+    bundled workload query and a seeded [Query_gen] batch, failing CI on
+    any error. *)
+
+open Refq_query
+
+val query :
+  ?config:Config.t -> Answer.env -> Cq.t -> Refq_analysis.Diagnostic.t list
+(** Lint one query. [config] supplies the reformulation profile, cost
+    parameters and disjunct budget (default {!Config.default}). CQ-level
+    errors short-circuit the reformulation-dependent checkers (their
+    inputs would be meaningless). *)

@@ -1,0 +1,3 @@
+(** The version string reported by [refq --version]. *)
+
+val version : string

@@ -260,7 +260,10 @@ let join_order relations =
       let pick =
         match smallest (if connected = [] then remaining else connected) with
         | Some r -> r
-        | None -> assert false
+        | None ->
+          invalid_arg
+            "Evaluator.join_order: no relation to pick from a non-empty \
+             remaining list"
       in
       let remaining = List.filter (fun r -> r != pick) remaining in
       let cols =
@@ -320,9 +323,9 @@ let jucq ?budget env (j : Jucq.t) =
               match Relation.col_index joined v with
               | Some c -> out_row.(i) <- row.(c)
               | None ->
-                (* Head variable produced by no fragment: impossible by
-                   [Jucq.make] validation. *)
-                assert false)
+                invalid_arg
+                  "Evaluator.jucq: head variable bound by no fragment \
+                   (violates the Jucq.make output-coverage invariant)")
             | Cq.Cst t -> out_row.(i) <- Store.encode_term store t)
           head;
         add out_row);

@@ -102,7 +102,9 @@ let merge_join ?budget r1 r2 =
         | i :: r1', j :: r2' ->
           let c = Int.compare row1.(i) row2.(j) in
           if c <> 0 then c else loop r1' r2'
-        | _ -> assert false
+        | _ ->
+          invalid_arg
+            "Sortmerge.merge_join: join key lists differ in length"
       in
       loop k1 k2
     in
@@ -156,7 +158,10 @@ let materialize_atom ?budget env (a : Cq.atom) =
   let row = Array.make (List.length vars) 0 in
   let slot v =
     let rec idx i = function
-      | [] -> assert false
+      | [] ->
+        invalid_arg
+          "Sortmerge.materialize_atom: variable missing from the atom's \
+           own variable list"
       | v' :: rest -> if String.equal v v' then i else idx (i + 1) rest
     in
     idx 0 vars

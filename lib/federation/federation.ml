@@ -204,7 +204,10 @@ let call_endpoint res budget breakers (f : Jucq.fragment) ~cols add e =
             Budget.charge_ticks budget res.timeout_ticks;
             "injected: timeout"
           | Fault.Fail msg -> msg
-          | Fault.Success | Fault.Truncate _ -> assert false
+          | Fault.Success | Fault.Truncate _ ->
+            invalid_arg
+              "Federation.call_endpoint: non-failure outcome in the \
+               failure branch"
         in
         Breaker.record_failure breaker ~now:(now ());
         let made = made + 1 in

@@ -126,18 +126,15 @@ let rewrite ?(profile = Profiles.complete) cl ~fresh (a : Cq.atom) =
     | Cq.Cst p when Term.equal p Vocab.rdfs_range ->
       schema_atom profile ~subst:Cq.Subst.empty a.Cq.s a.Cq.o
         (Closure.range_pairs cl)
-    | Cq.Cst _ ->
+    | Cq.Cst p ->
       (* R4: a plain property constant unfolds to its strict subproperties. *)
       if profile.Profiles.use_subproperty then
-        match a.Cq.p with
-        | Cq.Cst p ->
-          Term.Set.fold
-            (fun p' acc ->
-              { atom = Some (Cq.atom a.Cq.s (Cq.cst p') a.Cq.o);
-                subst = Cq.Subst.empty }
-              :: acc)
-            (Closure.subproperties cl p) []
-        | Cq.Var _ -> assert false
+        Term.Set.fold
+          (fun p' acc ->
+            { atom = Some (Cq.atom a.Cq.s (Cq.cst p') a.Cq.o);
+              subst = Cq.Subst.empty }
+            :: acc)
+          (Closure.subproperties cl p) []
       else []
     | Cq.Var v ->
       (* Property-position variable: R8 (subproperty pairs), R9 (the atom

@@ -17,7 +17,8 @@
     The aliased modules are exactly the underlying ones — anything typed
     against [Refq_core.Answer] etc. interoperates unchanged. *)
 
-(* RDF model and parsers *)
+(** {1 RDF model and parsers} *)
+
 module Term = Refq_rdf.Term
 module Triple = Refq_rdf.Triple
 module Graph = Refq_rdf.Graph
@@ -26,31 +27,42 @@ module Namespace = Refq_rdf.Namespace
 module Turtle = Refq_rdf.Turtle
 module Ntriples = Refq_rdf.Ntriples
 
-(* Queries *)
+(** {1 Queries} *)
+
 module Cq = Refq_query.Cq
 module Ucq = Refq_query.Ucq
 module Cover = Refq_query.Cover
 module Sparql = Refq_query.Sparql
 
-(* Storage *)
+(** {1 Storage} *)
+
 module Store = Refq_storage.Store
 module Saturate = Refq_saturation.Saturate
 
-(* Answering *)
+(** {1 Answering} *)
+
 module Strategy = Refq_core.Strategy
 module Answer = Refq_core.Answer
 module Config = Refq_core.Config
 module Gcov = Refq_core.Gcov
 module Cache = Refq_cache.Cache
 
-(* Budgets and federation *)
+(** {1 Budgets and federation} *)
+
 module Budget = Refq_fault.Budget
 module Federation = Refq_federation.Federation
 
-(* Observability *)
+(** {1 Observability} *)
+
 module Obs = Refq_obs.Obs
 
-(* Static analysis *)
+(** {1 Static analysis}
+
+    Diagnostics over the system's own artifacts (queries, covers,
+    reformulations, plans, programs, stores) — see {!Refq_analysis} for
+    the individual checkers and [refq lint] / [refq audit-store] for the
+    command-line gates. *)
+
 module Diagnostic = Refq_analysis.Diagnostic
 module Analysis = Refq_analysis.Analysis
 module Lint = Refq_core.Lint

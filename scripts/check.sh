@@ -40,6 +40,35 @@ dune exec bin/refq.exe -- cache stats "$smoke_nt" \
 dune exec bin/refq.exe -- answer "$smoke_nt" --no-cache \
   -q 'q(x) :- x rdf:type ub:Student' -s gcov >/dev/null
 
+echo "== source lint (scripts/lint.sh)"
+scripts/lint.sh
+
+echo "== static analysis: refq lint over bundled workloads + generated queries"
+for workload in lubm dblp geo; do
+  wl_nt=$(mktemp "/tmp/refq_lint_${workload}.XXXXXX.nt")
+  dune exec bin/refq.exe -- generate "$workload" --scale 1 -o "$wl_nt" >/dev/null
+  dune exec bin/refq.exe -- lint "$wl_nt" --bundled "$workload" --gen 20 --gen-seed 7 \
+    >/dev/null || {
+    echo "refq lint found errors in the $workload workload" >&2
+    rm -f "$wl_nt"
+    exit 1
+  }
+  rm -f "$wl_nt"
+done
+
+echo "== static analysis: refq audit-store"
+dune exec bin/refq.exe -- audit-store "$smoke_nt" | grep -q "store OK" || {
+  echo "refq audit-store did not report a clean store" >&2
+  exit 1
+}
+
+echo "== static analysis: negative check (broken query must fail lint)"
+if dune exec bin/refq.exe -- lint "$smoke_nt" \
+  -q 'q(x, y) :- x rdf:type ub:Student' >/dev/null 2>&1; then
+  echo "refq lint accepted a query with an unsafe head variable" >&2
+  exit 1
+fi
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt 2>/dev/null || {

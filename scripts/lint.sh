@@ -1,0 +1,48 @@
+#!/bin/sh
+# Repo-wide source lint gates (wired into scripts/check.sh):
+#   - no Obj.magic anywhere in the source tree;
+#   - no bare `with _ ->` catch-alls in lib/ (they swallow Out_of_memory,
+#     Stack_overflow and programming errors alike — match the exceptions
+#     you mean);
+#   - no stray stdout printing (print_* / Printf.printf) in lib/ — library
+#     code reports through its return values, Fmt formatters or Logs;
+#   - every lib/ module has an interface (.mli).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+fail() {
+  echo "lint: $1" >&2
+  status=1
+}
+
+echo "== source lint: Obj.magic"
+if grep -rn "Obj\.magic" lib bin test bench examples --include='*.ml' --include='*.mli'; then
+  fail "Obj.magic is forbidden"
+fi
+
+echo "== source lint: bare 'with _ ->' handlers in lib/"
+if grep -rnE "with[[:space:]]+_[[:space:]]*->" lib --include='*.ml'; then
+  fail "bare 'with _ ->' handlers are forbidden in lib/ (name the exceptions)"
+fi
+
+echo "== source lint: stray printing in lib/"
+if grep -rnE "(^|[^._[:alnum:]])(print_string|print_endline|print_newline|print_int|print_float|print_char|Printf\.printf|Format\.printf)" lib --include='*.ml'; then
+  fail "stray stdout printing in lib/ (use Fmt formatters or Logs)"
+fi
+
+echo "== source lint: every lib/ module has an .mli"
+for ml in lib/*/*.ml; do
+  mli="${ml}i"
+  if [ ! -f "$mli" ]; then
+    echo "$ml: missing interface $mli"
+    fail "lib/ modules must have .mli interfaces"
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "lint OK"
+fi
+exit "$status"

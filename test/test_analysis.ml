@@ -1,0 +1,409 @@
+(* Tests for lib/analysis: the diagnostic framework, the positive
+   property that the system's own artifacts are clean (generated queries,
+   GCov covers, bundled workloads, freshly generated stores), and one
+   hand-built broken artifact per checker producing its documented
+   code. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_core
+module D = Refq_analysis.Diagnostic
+module Check_cq = Refq_analysis.Check_cq
+module Check_cover = Refq_analysis.Check_cover
+module Check_ucq = Refq_analysis.Check_ucq
+module Check_plan = Refq_analysis.Check_plan
+module Check_datalog = Refq_analysis.Check_datalog
+module Audit_store = Refq_analysis.Audit_store
+module Plan = Refq_cost.Plan
+module Datalog = Refq_datalog.Datalog
+
+let codes ds = List.sort_uniq String.compare (List.map (fun d -> d.D.code) ds)
+
+let has code ds = List.exists (fun d -> String.equal d.D.code code) ds
+
+let check_has msg code ds =
+  Alcotest.(check bool)
+    (Fmt.str "%s: emits %s (got %a)" msg code Fmt.(Dump.list string) (codes ds))
+    true (has code ds)
+
+let check_clean msg ds =
+  Alcotest.(check (list string)) (msg ^ ": no findings") [] (codes ds)
+
+let check_no_errors msg ds =
+  Alcotest.(check (list string))
+    (msg ^ ": no errors")
+    []
+    (codes (D.errors ds))
+
+(* Shared lubm environment, built once. *)
+let store = lazy (Refq_workload.Lubm.generate ~scale:1 ())
+let env = lazy (Answer.make_env (Lazy.force store))
+
+let p = Cq.cst (Term.uri "http://example.org/p")
+let q_pred = Cq.cst (Term.uri "http://example.org/q")
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic framework                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalogue_codes_unique () =
+  let cs = List.map (fun (c, _, _) -> c) D.catalogue in
+  Alcotest.(check int)
+    "no code is listed twice" (List.length cs)
+    (List.length (List.sort_uniq String.compare cs))
+
+let test_sort_and_counts () =
+  let d code severity =
+    D.make ~code ~severity ~artifact:"cq" ~subject:"s" "m"
+  in
+  let ds = [ d "RQ004" D.Hint; d "RQ002" D.Warning; d "RQ001" D.Error ] in
+  let sorted = D.sort ds in
+  Alcotest.(check (list string))
+    "severity first" [ "RQ001"; "RQ002"; "RQ004" ]
+    (List.map (fun x -> x.D.code) sorted);
+  Alcotest.(check bool) "has_errors" true (D.has_errors ds);
+  Alcotest.(check int) "one error" 1 (D.count D.Error ds);
+  Alcotest.(check int) "one warning" 1 (D.count D.Warning ds);
+  Alcotest.(check int) "one hint" 1 (D.count D.Hint ds)
+
+let contains s frag =
+  let n = String.length s and m = String.length frag in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) frag || go (i + 1)) in
+  m = 0 || go 0
+
+let test_json_shape () =
+  let ds = [ D.make ~code:"RQ001" ~severity:D.Error ~artifact:"cq" ~subject:"q" "boom" ] in
+  let s = Refq_obs.Json.to_string (D.list_to_json ds) in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (Fmt.str "json contains %s" frag) true
+        (contains s frag))
+    [ {|"code"|}; {|"RQ001"|}; {|"errors": 1|}; {|"warnings": 0|} ]
+
+(* ------------------------------------------------------------------ *)
+(* Positive properties: the system's own artifacts are clean           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generated_queries_pass_cq_checker () =
+  let env = Lazy.force env in
+  let closure = Answer.closure env in
+  let qs = Refq_workload.Query_gen.generate (Answer.store env) ~count:40 in
+  List.iter
+    (fun (name, q) -> check_no_errors name (Check_cq.check ~closure q))
+    qs
+
+let test_gcov_covers_pass_cover_checker () =
+  let env = Lazy.force env in
+  let qs = Refq_workload.Query_gen.generate (Answer.store env) ~count:15 in
+  List.iter
+    (fun (name, q) ->
+      let trace =
+        Gcov.search (Answer.card_env env) (Answer.closure env) q
+      in
+      check_no_errors name (Check_cover.check q trace.Gcov.chosen))
+    qs
+
+let test_bundled_queries_lint_clean () =
+  let env = Lazy.force env in
+  List.iter
+    (fun (name, q) -> check_no_errors name (Lint.query env q))
+    Refq_workload.Lubm.queries
+
+let test_clean_store_audit () =
+  let store = Lazy.force store in
+  let first = Audit_store.observe store in
+  check_clean "fresh lubm store" (Audit_store.check store);
+  check_clean "second audit with epoch witness"
+    (Audit_store.check ~previous:first store)
+
+(* ------------------------------------------------------------------ *)
+(* Negative cases: one crafted broken artifact per code                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cq_unsafe_head () =
+  (* Cq.make rejects this, so build the record directly — the checker
+     exists for decoded/hand-built artifacts. *)
+  let q =
+    {
+      Cq.head = [ Cq.var "x"; Cq.var "lost" ];
+      body = [ Cq.atom (Cq.var "x") p (Cq.var "y") ];
+    }
+  in
+  check_has "unsafe head" "RQ001" (Check_cq.check q)
+
+let test_cq_cartesian () =
+  let q =
+    Cq.make
+      ~head:[ Cq.var "x"; Cq.var "z" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") p (Cq.var "y");
+          Cq.atom (Cq.var "z") q_pred (Cq.var "w");
+        ]
+  in
+  check_has "disconnected body" "RQ002" (Check_cq.check q)
+
+let test_cq_duplicate_atom () =
+  let a = Cq.atom (Cq.var "x") p (Cq.var "y") in
+  let q = Cq.make ~head:[ Cq.var "x" ] ~body:[ a; a ] in
+  check_has "duplicate atom" "RQ003" (Check_cq.check q)
+
+let test_cq_redundant_atom () =
+  (* x p y, x p z: the core is the single atom x p y. *)
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") p (Cq.var "y");
+          Cq.atom (Cq.var "x") p (Cq.var "z");
+        ]
+  in
+  check_has "non-minimal body" "RQ004" (Check_cq.check q)
+
+let test_cq_literal_subject () =
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:[ Cq.atom (Cq.cst (Term.literal "42")) p (Cq.var "x") ]
+  in
+  check_has "literal subject" "RQ005" (Check_cq.check q)
+
+let test_cq_class_in_property_position () =
+  let env = Lazy.force env in
+  let closure = Answer.closure env in
+  match Term.Set.choose_opt (Refq_schema.Closure.classes closure) with
+  | None -> Alcotest.fail "lubm closure has no classes"
+  | Some cls ->
+    let q =
+      Cq.make ~head:[ Cq.var "x" ]
+        ~body:[ Cq.atom (Cq.var "x") (Cq.cst cls) (Cq.var "y") ]
+    in
+    check_has "class as property" "RQ006" (Check_cq.check ~closure q)
+
+let two_atom_query =
+  lazy
+    (Cq.make ~head:[ Cq.var "x" ]
+       ~body:
+         [
+           Cq.atom (Cq.var "x") p (Cq.var "y");
+           Cq.atom (Cq.var "y") q_pred (Cq.var "z");
+         ])
+
+let test_cover_extent_mismatch () =
+  let q = Lazy.force two_atom_query in
+  (* Valid in isolation (3 atoms), but not a cover of this 2-atom query. *)
+  let cover = Cover.make ~n_atoms:3 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  check_has "extent mismatch" "RC001" (Check_cover.check q cover)
+
+let test_cover_redundant_fragment () =
+  let q = Lazy.force two_atom_query in
+  let cover = Cover.make ~n_atoms:2 [ [ 0 ]; [ 0; 1 ] ] in
+  check_has "included fragment" "RC002" (Check_cover.check q cover)
+
+let test_cover_disconnected_fragment () =
+  (* x p y and z q w share no variable; a fragment holding both is a
+     fragment-level cartesian product. *)
+  let q =
+    Cq.make
+      ~head:[ Cq.var "x"; Cq.var "z" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") p (Cq.var "y");
+          Cq.atom (Cq.var "z") q_pred (Cq.var "w");
+        ]
+  in
+  let cover = Cover.make ~n_atoms:2 [ [ 0; 1 ] ] in
+  check_has "disconnected fragment" "RC003" (Check_cover.check q cover)
+
+let test_ucq_arity_mismatch () =
+  (* Ucq.of_disjuncts rejects this, so exercise the raw-list entry. *)
+  let d1 = Cq.make ~head:[ Cq.var "x" ] ~body:[ Cq.atom (Cq.var "x") p (Cq.var "y") ] in
+  let d2 =
+    Cq.make
+      ~head:[ Cq.var "x"; Cq.var "y" ]
+      ~body:[ Cq.atom (Cq.var "x") p (Cq.var "y") ]
+  in
+  check_has "arity mismatch" "RU001" (Check_ucq.check_disjuncts [ d1; d2 ])
+
+let test_ucq_contained_disjunct () =
+  let d1 = Cq.make ~head:[ Cq.var "x" ] ~body:[ Cq.atom (Cq.var "x") p (Cq.var "y") ] in
+  let d2 =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") p (Cq.var "y");
+          Cq.atom (Cq.var "x") q_pred (Cq.var "z");
+        ]
+  in
+  let ds = Check_ucq.check (Ucq.of_disjuncts [ d1; d2 ]) in
+  check_has "d2 ⊑ d1 is dead weight" "RU002" ds
+
+let test_ucq_budget () =
+  let d1 = Cq.make ~head:[ Cq.var "x" ] ~body:[ Cq.atom (Cq.var "x") p (Cq.var "y") ] in
+  let d2 = Cq.make ~head:[ Cq.var "x" ] ~body:[ Cq.atom (Cq.var "x") q_pred (Cq.var "y") ] in
+  let ds =
+    Check_ucq.check ~max_disjuncts:1 (Ucq.of_disjuncts [ d1; d2 ])
+  in
+  check_has "over budget" "RU003" ds
+
+let test_jucq_uncovered_head_var () =
+  (* Jucq.make rejects this; build the record directly. *)
+  let dy = Cq.make ~head:[ Cq.var "y" ] ~body:[ Cq.atom (Cq.var "y") p (Cq.var "z") ] in
+  let j =
+    {
+      Jucq.head = [ Cq.var "x" ];
+      fragments = [ { Jucq.out = [ "y" ]; ucq = Ucq.of_disjuncts [ dy ] } ];
+    }
+  in
+  check_has "head var with no producer" "RU004" (Check_ucq.check_jucq j)
+
+let test_plan_cartesian_step () =
+  let step atom = { Plan.atom; extension = 1.0; cardinality = 1.0 } in
+  let plan =
+    {
+      Plan.steps =
+        [
+          step (Cq.atom (Cq.var "x") p (Cq.var "y"));
+          step (Cq.atom (Cq.var "z") q_pred (Cq.var "w"));
+        ];
+      answers = 1.0;
+    }
+  in
+  check_has "step 2 binds nothing" "RP001" (Check_plan.check_cq_plan plan)
+
+let test_plan_broken_estimate () =
+  let plan =
+    {
+      Plan.steps =
+        [
+          {
+            Plan.atom = Cq.atom (Cq.var "x") p (Cq.var "y");
+            extension = 1.0;
+            cardinality = Float.nan;
+          };
+        ];
+      answers = 1.0;
+    }
+  in
+  check_has "NaN cardinality" "RP003" (Check_plan.check_cq_plan plan)
+
+let test_jucq_plan_cartesian_join () =
+  let frag out = { Plan.out; disjuncts = 1; est_cost = 1.0; est_card = 1.0 } in
+  let plan =
+    {
+      Plan.fragments = [ frag [ "x" ]; frag [ "y" ] ];
+      est_total = { Refq_cost.Cost_model.cost = 1.0; card = 1.0 };
+    }
+  in
+  check_has "fragment joins on nothing" "RP002"
+    (Check_plan.check_jucq_plan plan)
+
+let test_datalog_unsafe_rule () =
+  (* Datalog.rule rejects this; build the record directly. *)
+  let r =
+    {
+      Datalog.head = Datalog.atom "p" [ Datalog.Var "x" ];
+      body = [ Datalog.atom "q" [ Datalog.Var "y" ] ];
+    }
+  in
+  check_has "unsafe rule" "RD001" (Check_datalog.check_rule r)
+
+let test_datalog_empty_body () =
+  let r = { Datalog.head = Datalog.atom "p" [ Datalog.Cst 1 ]; body = [] } in
+  check_has "empty body" "RD003" (Check_datalog.check_rule r)
+
+let test_datalog_arity_clash () =
+  let r1 =
+    Datalog.rule
+      (Datalog.atom "p" [ Datalog.Var "x" ])
+      [ Datalog.atom "e" [ Datalog.Var "x" ] ]
+  in
+  let r2 =
+    Datalog.rule
+      (Datalog.atom "p" [ Datalog.Var "x"; Datalog.Var "y" ])
+      [ Datalog.atom "e2" [ Datalog.Var "x"; Datalog.Var "y" ] ]
+  in
+  check_has "p used at arity 1 and 2" "RD002" (Check_datalog.check [ r1; r2 ])
+
+let test_store_epoch_regression () =
+  let store = Lazy.force store in
+  let impossible =
+    { Audit_store.data_epoch = max_int; schema_epoch = max_int }
+  in
+  check_has "epochs went backwards" "RS003"
+    (Audit_store.check ~previous:impossible store)
+
+let test_lint_flags_broken_query () =
+  let env = Lazy.force env in
+  let q =
+    {
+      Cq.head = [ Cq.var "x"; Cq.var "lost" ];
+      body = [ Cq.atom (Cq.var "x") p (Cq.var "y") ];
+    }
+  in
+  let ds = Lint.query env q in
+  check_has "lint surfaces the CQ error" "RQ001" ds;
+  Alcotest.(check bool) "and it is an error" true (D.has_errors ds)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "catalogue codes unique" `Quick
+            test_catalogue_codes_unique;
+          Alcotest.test_case "sort and counts" `Quick test_sort_and_counts;
+          Alcotest.test_case "json shape" `Quick test_json_shape;
+        ] );
+      ( "clean artifacts",
+        [
+          Alcotest.test_case "generated queries pass the CQ checker" `Quick
+            test_generated_queries_pass_cq_checker;
+          Alcotest.test_case "gcov covers pass the cover checker" `Quick
+            test_gcov_covers_pass_cover_checker;
+          Alcotest.test_case "bundled lubm queries lint clean" `Quick
+            test_bundled_queries_lint_clean;
+          Alcotest.test_case "fresh store passes the audit" `Quick
+            test_clean_store_audit;
+        ] );
+      ( "broken artifacts",
+        [
+          Alcotest.test_case "RQ001 unsafe head" `Quick test_cq_unsafe_head;
+          Alcotest.test_case "RQ002 cartesian body" `Quick test_cq_cartesian;
+          Alcotest.test_case "RQ003 duplicate atom" `Quick
+            test_cq_duplicate_atom;
+          Alcotest.test_case "RQ004 redundant atom" `Quick
+            test_cq_redundant_atom;
+          Alcotest.test_case "RQ005 literal subject" `Quick
+            test_cq_literal_subject;
+          Alcotest.test_case "RQ006 class as property" `Quick
+            test_cq_class_in_property_position;
+          Alcotest.test_case "RC001 extent mismatch" `Quick
+            test_cover_extent_mismatch;
+          Alcotest.test_case "RC002 redundant fragment" `Quick
+            test_cover_redundant_fragment;
+          Alcotest.test_case "RC003 disconnected fragment" `Quick
+            test_cover_disconnected_fragment;
+          Alcotest.test_case "RU001 arity mismatch" `Quick
+            test_ucq_arity_mismatch;
+          Alcotest.test_case "RU002 contained disjunct" `Quick
+            test_ucq_contained_disjunct;
+          Alcotest.test_case "RU003 disjunct budget" `Quick test_ucq_budget;
+          Alcotest.test_case "RU004 uncovered head var" `Quick
+            test_jucq_uncovered_head_var;
+          Alcotest.test_case "RP001 cartesian plan step" `Quick
+            test_plan_cartesian_step;
+          Alcotest.test_case "RP002 cartesian fragment join" `Quick
+            test_jucq_plan_cartesian_join;
+          Alcotest.test_case "RP003 broken estimate" `Quick
+            test_plan_broken_estimate;
+          Alcotest.test_case "RD001 unsafe rule" `Quick
+            test_datalog_unsafe_rule;
+          Alcotest.test_case "RD002 arity clash" `Quick
+            test_datalog_arity_clash;
+          Alcotest.test_case "RD003 empty body" `Quick test_datalog_empty_body;
+          Alcotest.test_case "RS003 epoch regression" `Quick
+            test_store_epoch_regression;
+          Alcotest.test_case "lint flags a broken query" `Quick
+            test_lint_flags_broken_query;
+        ] );
+    ]

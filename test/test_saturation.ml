@@ -214,9 +214,7 @@ let prop_removal_equals_full =
 let prop_incremental_equals_full =
   QCheck2.Test.make ~name:"incremental = saturate(G ∪ Δ)" ~count:100
     ~print:(fun (g, adds) ->
-      Printf.sprintf "%s
-additions:
-%s" (Fixtures.print_graph g)
+      Printf.sprintf "%s\nadditions:\n%s" (Fixtures.print_graph g)
         (Fixtures.print_graph (Graph.of_list adds)))
     (QCheck2.Gen.pair Fixtures.gen_graph gen_additions)
     (fun (g, adds) ->
