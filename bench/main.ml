@@ -32,6 +32,9 @@ module Reformulate = Refq_reform.Reformulate
 module Obs = Refq_obs.Obs
 module Json = Refq_obs.Json
 module Trajectory = Refq_obs.Trajectory
+module Views = Refq_views.Views
+module Harvest = Refq_views.Harvest
+module Select = Refq_views.Select
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
@@ -1004,6 +1007,108 @@ let e17 () =
      from the reformulation cache.@."
 
 (* ------------------------------------------------------------------ *)
+(* E18 — materialized views: off vs on, cold vs refreshed extents      *)
+(* ------------------------------------------------------------------ *)
+
+(* Harvest the workload's candidates, run the budgeted selection and
+   materialize the chosen views into the environment's catalog. *)
+let materialize_views env queries ~space_budget =
+  let cands =
+    Harvest.candidates (Answer.card_env env) (Answer.closure env) queries
+  in
+  let trace = Select.select ~budget:space_budget cands in
+  let ctx = Answer.views_ctx env in
+  List.iter
+    (fun (c : Harvest.candidate) ->
+      ignore (Views.materialize ctx (Answer.views env) c.Harvest.def))
+    trace.Select.chosen;
+  trace
+
+(* One data triple appended to a workload store — enough to advance the
+   data epoch and make every view stale. *)
+let e18_mutation ?(tag = "") ns =
+  Triple.make
+    (Term.uri (ns ^ "bench-e18-subject" ^ tag))
+    (Term.uri (ns ^ "bench-e18-predicate"))
+    (Term.uri (ns ^ "bench-e18-object"))
+
+let e18_workloads () =
+  [
+    ("lubm", Lubm.generate ~scale:cfg.scale (), Lubm.queries, Lubm.ns);
+    ("dblp", Dblp.generate ~scale:cfg.scale (), Dblp.queries, Dblp.ns);
+    ("geo", Geo.generate ~scale:cfg.scale (), Geo.queries, Geo.ns);
+  ]
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let e18 () =
+  hr "E18  Materialized views: off vs on, cold vs refreshed extents";
+  let views_off = Config.without_views bench_config in
+  List.iter
+    (fun (name, store, queries, ns) ->
+      List.iter
+        (fun s ->
+          (* Fresh store per strategy: the refresh pass mutates it. *)
+          let store = Store.of_graph (Store.to_graph store) in
+          let env = Answer.make_env store in
+          let trace = materialize_views env queries ~space_budget:50_000.0 in
+          let pass config =
+            List.map
+              (fun (_, q) ->
+                match Answer.answer ~config env q s with
+                | Ok r -> Some (Answer.total_s r)
+                | Error _ -> None)
+              queries
+          in
+          let off = pass views_off in
+          let on = pass bench_config in
+          let t = e18_mutation ns in
+          Store.add_triple store t;
+          let outcome =
+            Answer.refresh_views
+              ~delta:{ Views.added = [ t ]; removed = [] }
+              env
+          in
+          let refreshed = pass bench_config in
+          let paired =
+            List.concat
+              (List.map2
+                 (fun o (n_, r) ->
+                   match o, n_, r with
+                   | Some o, Some n_, Some r -> [ (o, n_, r) ]
+                   | _ -> [])
+                 off
+                 (List.combine on refreshed))
+          in
+          let sum f = List.fold_left (fun a x -> a +. f x) 0.0 paired in
+          let t_off = sum (fun (o, _, _) -> o)
+          and t_on = sum (fun (_, n_, _) -> n_)
+          and t_re = sum (fun (_, _, r) -> r) in
+          let med =
+            median (List.map (fun (o, _, r) -> o /. Float.max 1e-9 r) paired)
+          in
+          Fmt.pr
+            "%-5s %-5s | off %8s  on %8s  refreshed %8s | median speedup \
+             (off/refreshed) %5.1fx | %d view(s): %a@."
+            name (Strategy.name s)
+            (Fmt.str "%a" pp_time t_off)
+            (Fmt.str "%a" pp_time t_on)
+            (Fmt.str "%a" pp_time t_re)
+            med
+            (List.length trace.Select.chosen)
+            Views.pp_outcome outcome)
+        [ Strategy.Ucq; Strategy.Scq ])
+    (e18_workloads ());
+  Fmt.pr
+    "@.A fragment served by a fresh extent skips its reformulation and \
+     evaluation@.entirely; when every fragment of the chosen cover hits, \
+     the run is a join of@.extent scans. The delta refresh keeps the \
+     speedup across data mutations.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1209,6 +1314,36 @@ let trajectory_cache_runs () =
       cold @ pass "+warm")
     [ Strategy.Scq; Strategy.Gcov ]
 
+(* E18's trajectory form: per bundled workload, answer every query with
+   views off ("+noviews"), with a freshly materialized catalog on
+   ("+views"), then mutate the data, delta-refresh the catalog and
+   answer again ("+views+refreshed"). Caches stay off (bench_config), so
+   the contrast isolates the materialized extents. *)
+let trajectory_views_runs () =
+  List.concat_map
+    (fun (workload, store, queries, ns) ->
+      let env = Answer.make_env store in
+      ignore (materialize_views env queries ~space_budget:50_000.0);
+      List.concat_map
+        (fun s ->
+          let pass label config =
+            List.map
+              (fun (qname, q) ->
+                trajectory_run ~label ~config env ~workload ~qname q s)
+              queries
+          in
+          let off = pass "+noviews" (Config.without_views bench_config) in
+          let on = pass "+views" bench_config in
+          let t = e18_mutation ~tag:(Strategy.name s) ns in
+          Store.add_triple store t;
+          ignore
+            (Answer.refresh_views
+               ~delta:{ Views.added = [ t ]; removed = [] }
+               env);
+          off @ on @ pass "+views+refreshed" bench_config)
+        [ Strategy.Ucq; Strategy.Scq ])
+    (e18_workloads ())
+
 let trajectory file =
   let workloads =
     [
@@ -1235,7 +1370,10 @@ let trajectory file =
   let cache_runs = trajectory_cache_runs () in
   Fmt.pr "trajectory: lubm(%d) cache cold/warm, %d runs@." cfg.scale
     (List.length cache_runs);
-  let runs = runs @ cache_runs in
+  let views_runs = trajectory_views_runs () in
+  Fmt.pr "trajectory: views off/on/refreshed, %d runs@."
+    (List.length views_runs);
+  let runs = runs @ cache_runs @ views_runs in
   let environment =
     [
       ("ocaml_version", Json.String Sys.ocaml_version);
@@ -1288,8 +1426,8 @@ let () =
         ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
         ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
         ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
-        ("e15", e15); ("e16", e16); ("e17", e17); ("obs", obs_overhead);
-        ("micro", micro);
+        ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
+        ("obs", obs_overhead); ("micro", micro);
       ]
     in
     List.iter (fun (name, f) -> if enabled name then f ()) experiments

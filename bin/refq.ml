@@ -271,10 +271,24 @@ let strategy_conv ~n_atoms name cover =
    estimated cardinality next to the cardinality actually materialized —
    the "estimated vs actual" view of the chosen plan. *)
 let explain_answer env q (r : Answer.report) =
+  let store = Answer.store env in
+  Fmt.pr "@.epochs: data=%d schema=%d@." (Store.data_epoch store)
+    (Store.schema_epoch store);
   match r.Answer.detail with
   | Answer.Saturated _ | Answer.Datalog_run _ -> ()
-  | Answer.Reformulated { cover; fragment_cardinalities; gcov; _ } ->
-    Fmt.pr "@.chosen cover: %a@." Cover.pp cover;
+  | Answer.Reformulated { cover; fragment_cardinalities; view_hits; gcov; _ }
+    ->
+    Fmt.pr "chosen cover: %a@." Cover.pp cover;
+    (match
+       List.concat
+         (List.mapi
+            (fun i hit -> if hit then [ string_of_int (i + 1) ] else [])
+            view_hits)
+     with
+    | [] -> ()
+    | served ->
+      Fmt.pr "materialized views served fragment(s): %s@."
+        (String.concat "," served));
     (match gcov with
     | Some trace ->
       Fmt.pr "cover search: %d covers explored in %d round(s), %a estimated cost@."
@@ -305,7 +319,7 @@ let explain_answer env q (r : Answer.report) =
       (List.combine (Cover.fragments cover) fragment_cardinalities)
 
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache verify faults fault_seed retries deadline max_rows =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache use_views verify faults fault_seed retries deadline max_rows =
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok store -> (
@@ -353,10 +367,22 @@ let answer_cmd =
                   |> with_cache (not no_cache)
                   |> with_verify verify)
               in
+              let c = if use_views then c else Answer.Config.without_views c in
               match budget with
               | Some b -> Answer.Config.with_budget b c
               | None -> c
             in
+            (* A sidecar catalog next to the data file is picked up
+               automatically; its epochs decide whether it is usable. *)
+            (if use_views then
+               let side = path ^ ".views" in
+               if Sys.file_exists side then
+                 match Answer.Views.load (Answer.views_ctx env) side with
+                 | Ok catalog ->
+                   Answer.set_views env catalog;
+                   Fmt.pr "loaded %d materialized view(s) from %s@."
+                     (Answer.Views.length catalog) side
+                 | Error m -> Fmt.epr "views: ignoring %s: %s@." side m);
             match make_resilience ~faults ~fault_seed ~retries with
             | Error m -> `Error (false, m)
             | Ok resilience -> (
@@ -563,6 +589,21 @@ let answer_cmd =
             "Disable the answering caches (reformulation, cover, fragment \
              results) for this run.")
   in
+  let use_views =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "views" ]
+                ~doc:
+                  "Consult a materialized-view sidecar (FILE.views) when \
+                   answering — the default; a missing sidecar is a no-op." );
+            ( false,
+              info [ "no-views" ]
+                ~doc:"Never consult materialized views for this run." );
+          ])
+  in
   let verify =
     Arg.(
       value & flag
@@ -578,8 +619,8 @@ let answer_cmd =
       ret
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
        $ all_strategies $ minimize $ backend $ format $ explain $ no_cache
-       $ verify $ faults_arg $ fault_seed_arg $ retries_arg $ deadline_arg
-       $ max_rows_arg))
+       $ use_views $ verify $ faults_arg $ fault_seed_arg $ retries_arg
+       $ deadline_arg $ max_rows_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -826,7 +867,26 @@ let lint_cmd =
                     (fun (name, q) -> (name, q, Lint.query ~config env q))
                     queries
                 in
-                let all = List.concat_map (fun (_, _, ds) -> ds) results in
+                (* A materialized-view sidecar next to the data file is
+                   audited alongside the queries. *)
+                let side = path ^ ".views" in
+                let view_diags =
+                  if not (Sys.file_exists side) then []
+                  else
+                    let ctx = Answer.views_ctx env in
+                    match Refq_views.Views.load ctx side with
+                    | Ok catalog -> Refq_analysis.Check_views.check ctx catalog
+                    | Error m ->
+                      [
+                        Diagnostic.make ~code:"RV001"
+                          ~severity:Diagnostic.Error ~artifact:"views"
+                          ~subject:side
+                          "unreadable sidecar (extents unverifiable): %s" m;
+                      ]
+                in
+                let all =
+                  List.concat_map (fun (_, _, ds) -> ds) results @ view_diags
+                in
                 let errors = Diagnostic.count Diagnostic.Error all in
                 if json then
                   print_endline
@@ -848,13 +908,14 @@ let lint_cmd =
                                          :: fields)
                                      | other -> other)
                                    results) );
+                            ("views", Diagnostic.list_to_json view_diags);
                             ("errors", Json.Int errors);
                             ( "warnings",
                               Json.Int (Diagnostic.count Diagnostic.Warning all)
                             );
                             ("hints", Json.Int (Diagnostic.count Diagnostic.Hint all));
                           ]))
-                else
+                else begin
                   List.iter
                     (fun (name, q, ds) ->
                       match ds with
@@ -864,6 +925,13 @@ let lint_cmd =
                           (List.length ds) pp_cq_env q;
                         List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) ds)
                     results;
+                  match view_diags with
+                  | [] -> ()
+                  | ds ->
+                    Fmt.pr "%-8s %d finding(s) in sidecar %s@." "views"
+                      (List.length ds) side;
+                    List.iter (fun d -> Fmt.pr "  %a@." Diagnostic.pp d) ds
+                end;
                 if errors > 0 then
                   die "lint: %d error(s) across %d quer%s" errors
                     (List.length queries)
@@ -1036,7 +1104,8 @@ let cache_cmd =
                     (Answer.n_answers r) (Answer.total_s r)
                 | Error f -> Fmt.pr "run %d: FAILED: %s@." i f.Answer.reason
               done;
-              Fmt.pr "@.";
+              Fmt.pr "@.epochs: data=%d schema=%d@." (Store.data_epoch store)
+                (Store.schema_epoch store);
               List.iter
                 (fun st -> Fmt.pr "%a@." Answer.Cache.pp_stats st)
                 (Answer.cache_stats env);
@@ -1083,6 +1152,271 @@ let cache_cmd =
     (Cmd.info "cache"
        ~doc:"Inspect the multi-level answering cache (see `refq cache stats`)")
     [ stats_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Views = Refq_views.Views
+module Harvest = Refq_views.Harvest
+module Select = Refq_views.Select
+
+let views_workload store ~bundled ~gen ~gen_seed =
+  let bundled_queries =
+    match bundled with
+    | None -> Ok []
+    | Some "lubm" -> Ok Refq_workload.Lubm.queries
+    | Some "dblp" -> Ok Refq_workload.Dblp.queries
+    | Some "geo" -> Ok Refq_workload.Geo.queries
+    | Some other -> Error (Printf.sprintf "unknown workload %S" other)
+  in
+  match bundled_queries with
+  | Error _ as e -> e
+  | Ok bq ->
+    let generated =
+      if gen <= 0 then []
+      else
+        Refq_workload.Query_gen.generate ~seed:(Int64.of_int gen_seed) store
+          ~count:gen
+    in
+    Ok (bq @ generated)
+
+let views_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF data file (.nt or .ttl).")
+  in
+  let views_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "views-file" ] ~docv:"FILE"
+          ~doc:"Sidecar catalog path (default: the data file plus `.views').")
+  in
+  let sidecar path views_file = Option.value views_file ~default:(path ^ ".views") in
+  let bundled_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundled" ] ~docv:"WORKLOAD"
+          ~doc:"Harvest candidates from the bundled queries of lubm, dblp or                 geo.")
+  in
+  let gen_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "gen" ] ~docv:"N"
+          ~doc:"Also harvest from N deterministic Query_gen queries.")
+  in
+  let gen_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "gen-seed" ] ~doc:"Seed of the generated query batch.")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt float 10_000.0
+      & info [ "space-budget" ] ~docv:"ROWS"
+          ~doc:
+            "Space budget, in estimated extent rows, for the greedy \
+             knapsack selection.")
+  in
+  let max_atoms_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-atoms" ]
+          ~doc:"Largest connected fragment proposed as a candidate view.")
+  in
+  (* Shared front half of recommend / materialize: harvest the workload's
+     candidates and run the budgeted selection. *)
+  let recommend path bundled gen gen_seed budget max_atoms =
+    match load_store path with
+    | Error m -> Error m
+    | Ok store -> (
+      match views_workload store ~bundled ~gen ~gen_seed with
+      | Error m -> Error m
+      | Ok [] -> Error "an empty workload: give --bundled and/or --gen"
+      | Ok queries ->
+        let env = Answer.make_env store in
+        let params =
+          { Harvest.default_params with Harvest.max_fragment_atoms = max_atoms }
+        in
+        let cands =
+          Harvest.candidates ~params (Answer.card_env env) (Answer.closure env)
+            queries
+        in
+        Ok (env, Select.select ~budget cands))
+  in
+  let recommend_cmd =
+    let run path bundled gen gen_seed budget max_atoms =
+      match recommend path bundled gen gen_seed budget max_atoms with
+      | Error m -> `Error (false, m)
+      | Ok (_, trace) ->
+        Fmt.pr "%a@." Select.pp_trace trace;
+        `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "recommend"
+         ~doc:
+           "Harvest candidate views from a workload and print the budgeted \
+            selection trace (no extent is materialized)")
+      Term.(
+        ret
+          (const run $ path_arg $ bundled_arg $ gen_arg $ gen_seed_arg
+         $ budget_arg $ max_atoms_arg))
+  in
+  let materialize_cmd =
+    let run path views_file bundled gen gen_seed budget max_atoms =
+      match recommend path bundled gen gen_seed budget max_atoms with
+      | Error m -> `Error (false, m)
+      | Ok (env, trace) ->
+        let ctx = Answer.views_ctx env in
+        let catalog = Answer.views env in
+        List.iter
+          (fun (c : Harvest.candidate) ->
+            match Views.materialize ctx catalog c.Harvest.def with
+            | Ok _ -> ()
+            | Error m -> Fmt.epr "views: skipping %s: %s@." c.Harvest.key m)
+          trace.Select.chosen;
+        let out = sidecar path views_file in
+        Views.save ctx catalog out;
+        Fmt.pr "%a@.@.materialized %d view(s) to %s@." Select.pp_trace trace
+          (Views.length catalog) out;
+        `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "materialize"
+         ~doc:
+           "Run the budgeted selection and materialize the chosen views \
+            into a sidecar catalog (FILE.views)")
+      Term.(
+        ret
+          (const run $ path_arg $ views_file_arg $ bundled_arg $ gen_arg
+         $ gen_seed_arg $ budget_arg $ max_atoms_arg))
+  in
+  (* Shared back half of list / drop / refresh / audit: load the sidecar. *)
+  let with_catalog path views_file k =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok store -> (
+      let env = Answer.make_env store in
+      let ctx = Answer.views_ctx env in
+      let side = sidecar path views_file in
+      if not (Sys.file_exists side) then
+        die "no sidecar at %s (run `refq views materialize' first)" side
+      else
+        match Views.load ctx side with
+        | Error m -> `Error (false, m)
+        | Ok catalog -> k store ctx side catalog)
+  in
+  let list_cmd =
+    let run path views_file =
+      with_catalog path views_file (fun store _ctx _side catalog ->
+          Fmt.pr "epochs: data=%d schema=%d@." (Store.data_epoch store)
+            (Store.schema_epoch store);
+          List.iter
+            (fun v ->
+              Fmt.pr "%-5s %a@."
+                (if Views.is_fresh store v then "fresh" else "stale")
+                Views.pp_info (Views.info v))
+            (Views.views catalog);
+          Fmt.pr "%d view(s)@." (Views.length catalog);
+          `Ok ())
+    in
+    Cmd.v
+      (Cmd.info "list"
+         ~doc:"List the sidecar's views with their freshness and epochs")
+      Term.(ret (const run $ path_arg $ views_file_arg))
+  in
+  let drop_cmd =
+    let run path views_file keys all =
+      with_catalog path views_file (fun _store ctx side catalog ->
+          if all then begin
+            let n = Views.length catalog in
+            Views.clear catalog;
+            Views.save ctx catalog side;
+            Fmt.pr "dropped %d view(s)@." n;
+            `Ok ()
+          end
+          else if keys = [] then die "give --key (repeatable) or --all"
+          else begin
+            List.iter
+              (fun k ->
+                if Views.drop catalog k then Fmt.pr "dropped %s@." k
+                else Fmt.epr "views: no view keyed %s@." k)
+              keys;
+            Views.save ctx catalog side;
+            `Ok ()
+          end)
+    in
+    let keys =
+      Arg.(
+        value & opt_all string []
+        & info [ "key" ] ~docv:"KEY"
+            ~doc:"Canonical key of a view to drop (as printed by `refq views                   list').")
+    in
+    let all =
+      Arg.(value & flag & info [ "all" ] ~doc:"Drop every view.")
+    in
+    Cmd.v
+      (Cmd.info "drop" ~doc:"Drop views from the sidecar catalog")
+      Term.(ret (const run $ path_arg $ views_file_arg $ keys $ all))
+  in
+  let refresh_cmd =
+    let run path views_file =
+      with_catalog path views_file (fun _store ctx side catalog ->
+          let outcome = Views.refresh ctx catalog in
+          Views.save ctx catalog side;
+          Fmt.pr "%a@." Views.pp_outcome outcome;
+          `Ok ())
+    in
+    Cmd.v
+      (Cmd.info "refresh"
+         ~doc:
+           "Bring every view up to the data file's current epochs \
+            (schema-stale views are dropped, data-stale ones \
+            re-materialized) and rewrite the sidecar")
+      Term.(ret (const run $ path_arg $ views_file_arg))
+  in
+  let audit_cmd =
+    let run path views_file json =
+      with_catalog path views_file (fun store ctx _side catalog ->
+          let ds = Refq_analysis.Check_views.check ctx catalog in
+          if json then
+            print_endline (Json.to_string (Diagnostic.list_to_json ds))
+          else if ds = [] then
+            Fmt.pr "views OK: %d view(s), epochs data=%d schema=%d@."
+              (Views.length catalog) (Store.data_epoch store)
+              (Store.schema_epoch store)
+          else Fmt.pr "%a@." Diagnostic.pp_list ds;
+          if Diagnostic.has_errors ds then
+            die "views audit: %d error(s)"
+              (List.length (Diagnostic.errors ds))
+          else `Ok ())
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ] ~doc:"Emit the diagnostics as machine-readable JSON.")
+    in
+    Cmd.v
+      (Cmd.info "audit"
+         ~doc:
+           "Audit the sidecar against the data file: extent/definition \
+            agreement (RV001), staleness (RV002), redundant views (RV003)")
+      Term.(ret (const run $ path_arg $ views_file_arg $ json))
+  in
+  Cmd.group
+    (Cmd.info "views"
+       ~doc:
+         "Workload-driven materialized views: recommend, materialize, \
+          list, drop, refresh, audit")
+    [
+      recommend_cmd; materialize_cmd; list_cmd; drop_cmd; refresh_cmd;
+      audit_cmd;
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)
@@ -1208,8 +1542,8 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; answer_cmd; explain_cmd; profile_cmd;
-        lint_cmd; audit_store_cmd; saturate_cmd; cache_cmd; federate_cmd;
-        demo_cmd;
+        lint_cmd; audit_store_cmd; saturate_cmd; cache_cmd; views_cmd;
+        federate_cmd; demo_cmd;
       ]
   in
   (* One-line diagnostics instead of raw backtraces for the failures a

@@ -1,0 +1,115 @@
+open Refq_storage
+open Refq_query
+open Refq_engine
+module Views = Refq_views.Views
+
+let artifact = "views"
+
+let diag ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact ~subject fmt
+
+let row_set r =
+  let tbl = Hashtbl.create (max 16 (Relation.cardinality r)) in
+  Relation.iter_rows r (fun row -> Hashtbl.replace tbl (Array.to_list row) ());
+  tbl
+
+(* Up to [samples] rows of [r] that are absent from [other]'s row set. *)
+let missing_from ~samples r other =
+  let set = row_set other in
+  let missing = ref 0 in
+  let seen = ref 0 in
+  Relation.iter_rows r (fun row ->
+      if !seen < samples then begin
+        incr seen;
+        if not (Hashtbl.mem set (Array.to_list row)) then incr missing
+      end);
+  !missing
+
+(* RV001: a fresh view's extent must be exactly what re-evaluating its
+   definition yields today — same cardinality, and sampled rows of each
+   relation must appear in the other. *)
+let check_extent ~samples ctx v (i : Views.info) =
+  match Views.recompute ctx v with
+  | Error msg ->
+    [
+      diag ~code:"RV001" ~severity:Diagnostic.Error ~subject:i.Views.key
+        "definition can no longer be evaluated (%s): the extent is \
+         unverifiable and should be dropped"
+        msg;
+    ]
+  | Ok expected ->
+    let extent = Views.extent v in
+    let out = ref [] in
+    let stored = Relation.cardinality extent in
+    let fresh = Relation.cardinality expected in
+    if stored <> fresh then
+      out :=
+        diag ~code:"RV001" ~severity:Diagnostic.Error ~subject:i.Views.key
+          "extent holds %d row(s) but re-evaluating the definition yields \
+           %d"
+          stored fresh
+        :: !out;
+    let extra = missing_from ~samples extent expected in
+    if extra > 0 then
+      out :=
+        diag ~code:"RV001" ~severity:Diagnostic.Error ~subject:i.Views.key
+          "%d of %d sampled extent row(s) are not produced by the \
+           definition"
+          extra (min samples stored)
+        :: !out;
+    let lost = missing_from ~samples expected extent in
+    if lost > 0 then
+      out :=
+        diag ~code:"RV001" ~severity:Diagnostic.Error ~subject:i.Views.key
+          "%d of %d sampled definition row(s) are missing from the extent"
+          lost (min samples fresh)
+        :: !out;
+    List.rev !out
+
+(* RV002: recorded epochs lag the store — the extent is unusable (lookup
+   refuses it) until a refresh, so surface it. *)
+let check_freshness ctx (i : Views.info) =
+  let data = Store.data_epoch ctx.Views.store in
+  let schema = Store.schema_epoch ctx.Views.store in
+  if i.Views.data_epoch = data && i.Views.schema_epoch = schema then []
+  else
+    [
+      diag ~code:"RV002" ~severity:Diagnostic.Warning ~subject:i.Views.key
+        "stale extent: built at data=%d schema=%d, store is at data=%d \
+         schema=%d; unusable until refreshed"
+        i.Views.data_epoch i.Views.schema_epoch data schema;
+    ]
+
+(* RV003: two views with equivalent definitions answer the same fragments;
+   one of the extents is dead weight. *)
+let check_overlap infos =
+  let rec pairs = function
+    | [] -> []
+    | (i : Views.info) :: rest ->
+      List.filter_map
+        (fun (j : Views.info) ->
+          if Containment.equivalent i.Views.def j.Views.def then
+            Some
+              (diag ~code:"RV003" ~severity:Diagnostic.Warning
+                 ~subject:i.Views.key
+                 "definition is equivalent to view %s: the two extents are \
+                  redundant, drop one"
+                 j.Views.key)
+          else None)
+        rest
+      @ pairs rest
+  in
+  pairs infos
+
+let check ?(samples = 64) (ctx : Views.ctx) catalog =
+  let views = Views.views catalog in
+  let infos = List.map Views.info views in
+  let per_view =
+    List.concat_map
+      (fun v ->
+        let i = Views.info v in
+        if Views.is_fresh ctx.Views.store v then check_extent ~samples ctx v i
+        else check_freshness ctx i)
+      views
+  in
+  Diagnostic.sort (per_view @ check_overlap infos)

@@ -1,0 +1,18 @@
+(** Materialized-view audit (codes [RV001]–[RV003]).
+
+    Cross-checks a view catalog against the store it claims to
+    materialize: every {e fresh} view's extent must agree with a from-
+    scratch re-evaluation of its definition ([RV001], cardinality plus
+    sampled-row membership in both directions); views whose recorded
+    epochs lag the store are flagged as stale ([RV002] — unusable, not
+    wrong, but worth a [refresh]); and pairs of views with equivalent
+    definitions waste space answering the same fragments ([RV003]).
+    Exposed as [refq views audit] and run by [refq lint] when a sidecar
+    is present. *)
+
+val check :
+  ?samples:int -> Refq_views.Views.ctx -> Refq_views.Views.t -> Diagnostic.t list
+(** [check ctx catalog] audits every view. [samples] bounds the rows
+    compared per direction for RV001 (default 64); cardinalities are
+    always compared in full. Re-evaluates each fresh view's definition,
+    so the cost is that of materializing the catalog once. *)

@@ -87,6 +87,9 @@ let catalogue =
     ("RS002", Error, "index disagreement (pattern counts differ from the triple set)");
     ("RS003", Error, "store epoch went backwards (monotonicity violated)");
     ("RL001", Warning, "reformulation exceeded the disjunct budget; downstream checks skipped");
+    ("RV001", Error, "materialized view extent disagrees with its definition (sampled rows)");
+    ("RV002", Warning, "stale materialized view (recorded epochs differ from the store's)");
+    ("RV003", Warning, "overlapping materialized views (equivalent definitions)");
   ]
 
 let pp ppf d =

@@ -15,6 +15,7 @@ module Cache = Refq_cache.Cache
 module Config = Config
 module Analysis = Refq_analysis.Analysis
 module Diagnostic = Refq_analysis.Diagnostic
+module Views = Refq_views.Views
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-answer reporting (shared with the federation layer)        *)
@@ -108,6 +109,7 @@ type env = {
   mutable sat : (Store.t * Refq_saturation.Saturate.info * Cardinality.env) option;
   mutable data_epoch : int;  (** store epochs last seen by [invalidate] *)
   mutable schema_epoch : int;
+  mutable views : Views.t;  (** materialized-view catalog (empty by default) *)
   caches : caches;
 }
 
@@ -122,6 +124,7 @@ let make_env ?(cache = Cache.default_policy) store =
     sat = None;
     data_epoch = Store.data_epoch store;
     schema_epoch = Store.schema_epoch store;
+    views = Views.create ();
     caches =
       {
         reform =
@@ -138,6 +141,13 @@ let store env = env.store
 let closure env = env.closure
 
 let card_env env = env.card_env
+
+let views env = env.views
+
+let set_views env catalog = env.views <- catalog
+
+let views_ctx env =
+  Views.ctx ~store:env.store ~closure:env.closure ~cenv:env.card_env
 
 let cache_stats env =
   [
@@ -182,6 +192,9 @@ let invalidate env =
     env.card_env <- Cardinality.make_env env.store;
     env.sat <- None;
     clear_caches env;
+    (* A schema change invalidates every view: both the extent and the
+       reformulation it was computed from are gone with the old closure. *)
+    Views.clear env.views;
     env.schema_epoch <- s;
     env.data_epoch <- d
   end
@@ -198,12 +211,21 @@ let invalidate env =
   end;
   env
 
+let refresh_views ?delta ?full_threshold env =
+  (* Maintenance runs against the *current* closure and statistics:
+     re-sync the environment first (no-op when the epochs are unchanged;
+     drops every view on a schema change, before refresh would touch
+     them). *)
+  ignore (invalidate env);
+  Views.refresh ?delta ?full_threshold (views_ctx env) env.views
+
 type detail =
   | Reformulated of {
       cover : Cover.t;
       jucq_size : int;
       n_fragments : int;
       fragment_cardinalities : int list;
+      view_hits : bool list;
       gcov : Gcov.trace option;
     }
   | Saturated of Refq_saturation.Saturate.info
@@ -238,45 +260,20 @@ let positional_cols q =
    store data epoch and backend. A cached fragment is reused as-is: keys
    derive from the canonical query, so column names line up, and
    downstream joins never mutate their inputs. *)
-let eval_jucq_with_cards (cfg : Config.t) ?result_key env (j : Jucq.t) =
+let backend_fns (cfg : Config.t) =
   let budget = cfg.Config.budget in
-  let ucq_eval, join =
-    match cfg.Config.backend with
-    | Nested_loop -> (Evaluator.ucq ?budget, Evaluator.join ?budget)
-    | Sort_merge -> (Sortmerge.ucq ?budget, Sortmerge.merge_join ?budget)
-  in
-  let fragment_key =
-    match result_key with
-    | None -> fun _ -> None
-    | Some base ->
-      let epoch = Store.data_epoch env.store in
-      let backend = Config.backend_name cfg.Config.backend in
-      fun i -> Some (Printf.sprintf "%s#f%d|d:%d|b:%s" base i epoch backend)
-  in
-  let fragments =
-    List.mapi
-      (fun i f ->
-        Obs.span_lazy
-          (fun () -> Printf.sprintf "fragment-%d" i)
-          (fun () ->
-            let compute () =
-              ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq
-            in
-            match fragment_key i with
-            | None -> compute ()
-            | Some key -> (
-              match Cache.Lru.find env.caches.results key with
-              | Some rel -> rel
-              | None ->
-                let rel = compute () in
-                Cache.Lru.put env.caches.results key rel;
-                rel)))
-      j.Jucq.fragments
-  in
+  match cfg.Config.backend with
+  | Nested_loop -> (Evaluator.ucq ?budget, Evaluator.join ?budget)
+  | Sort_merge -> (Sortmerge.ucq ?budget, Sortmerge.merge_join ?budget)
+
+(* Join the materialized fragment relations and project the head —
+   replicating the engine's join order (delegating to [Evaluator.jucq]
+   would evaluate the fragments twice). Shared by the reformulation path
+   and the all-fragments-from-views fast path. *)
+let join_project (cfg : Config.t) env head_pats fragments =
+  let _, join = backend_fns cfg in
   let cards = List.map Relation.cardinality fragments in
-  (* Delegate the join/projection to the engine by re-running it would
-     evaluate fragments twice; instead replicate its join order here. *)
-  let head = Array.of_list j.Jucq.head in
+  let head = Array.of_list head_pats in
   let out_cols =
     Array.mapi
       (fun i pat -> match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
@@ -308,6 +305,46 @@ let eval_jucq_with_cards (cfg : Config.t) ?result_key env (j : Jucq.t) =
         add out_row);
     (result, cards)
   end
+
+let eval_jucq_with_cards (cfg : Config.t) ?result_key ?(sources = []) env
+    (j : Jucq.t) =
+  let ucq_eval, _ = backend_fns cfg in
+  let fragment_key =
+    match result_key with
+    | None -> fun _ -> None
+    | Some base ->
+      let epoch = Store.data_epoch env.store in
+      let backend = Config.backend_name cfg.Config.backend in
+      fun i -> Some (Printf.sprintf "%s#f%d|d:%d|b:%s" base i epoch backend)
+  in
+  let source i = Option.join (List.nth_opt sources i) in
+  let fragments =
+    List.mapi
+      (fun i f ->
+        Obs.span_lazy
+          (fun () -> Printf.sprintf "fragment-%d" i)
+          (fun () ->
+            (* A fragment served by a materialized view bypasses the
+               result cache entirely: exactly one source of truth (and one
+               set of Obs counters) per fragment. *)
+            match source i with
+            | Some rel -> rel
+            | None -> (
+              let compute () =
+                ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq
+              in
+              match fragment_key i with
+              | None -> compute ()
+              | Some key -> (
+                match Cache.Lru.find env.caches.results key with
+                | Some rel -> rel
+                | None ->
+                  let rel = compute () in
+                  Cache.Lru.put env.caches.results key rel;
+                  rel))))
+      j.Jucq.fragments
+  in
+  join_project cfg env j.Jucq.head fragments
 
 (* Containment-based minimization is quadratic in the number of
    disjuncts: worth it for JUCQ fragments (hundreds of CQs at most), not
@@ -368,6 +405,59 @@ let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
   let rkey =
     if cfg.Config.use_cache then Some (reform_key env cfg qc cover) else None
   in
+  (* Materialized views are consulted per fragment {e before} any
+     reformulation: a fragment served by a fresh extent needs neither its
+     UCQ nor its evaluation, and it touches no cache level — exactly one
+     source of truth per fragment. Stale or profile-mismatched views never
+     match ([Views.lookup] checks the epochs), so this path can only trade
+     work, not answers. *)
+  let view_sources =
+    if cfg.Config.views.Views.use && Views.length env.views > 0 then
+      List.map
+        (fun fc ->
+          Views.lookup ~policy:cfg.Config.views ~store:env.store
+            ~profile:(Config.profile_name cfg) env.views fc
+            ~out:(Cq.head_vars fc))
+        (Cover.fragment_cqs qc cover)
+    else List.map (fun _ -> None) (Cover.fragments cover)
+  in
+  let view_hits = List.map Option.is_some view_sources in
+  if view_sources <> [] && List.for_all Option.is_some view_sources then begin
+    (* Every fragment comes from a view: skip reformulation entirely and
+       go straight to the join. *)
+    let t0 = now () in
+    match
+      Obs.span "evaluate" (fun () ->
+          join_project cfg env qc.Cq.head (List.filter_map Fun.id view_sources))
+    with
+    | exception Budget.Exhausted reason ->
+      Error
+        {
+          f_strategy = strategy;
+          reason = "budget exhausted: " ^ reason;
+          f_reformulation_s = 0.0;
+        }
+    | answers, cards ->
+      Ok
+        {
+          strategy;
+          answers;
+          planning_s = 0.0;
+          reformulation_s = 0.0;
+          evaluation_s = now () -. t0;
+          detail =
+            Reformulated
+              {
+                cover;
+                jucq_size = 0;
+                n_fragments = List.length view_hits;
+                fragment_cardinalities = cards;
+                view_hits;
+                gcov = gcov_trace;
+              };
+        }
+  end
+  else
   let reformulate () =
     let j =
       Reformulate.cover_to_jucq ?profile:cfg.Config.profile ~max_disjuncts
@@ -409,7 +499,8 @@ let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
     let t1 = now () in
     match
       Obs.span "evaluate" (fun () ->
-          eval_jucq_with_cards cfg ?result_key:rkey env jucq)
+          eval_jucq_with_cards cfg ?result_key:rkey ~sources:view_sources env
+            jucq)
     with
     | exception Budget.Exhausted reason ->
       Error
@@ -434,6 +525,7 @@ let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
                 jucq_size = Jucq.size jucq;
                 n_fragments = Jucq.n_fragments jucq;
                 fragment_cardinalities = cards;
+                view_hits;
                 gcov = gcov_trace;
               };
         })
@@ -582,7 +674,11 @@ let pp_report ppf r =
       Fmt.pf ppf "cover %a, %d disjuncts in %d fragments, fragment sizes [%a]"
         Cover.pp d.cover d.jucq_size d.n_fragments
         (Fmt.list ~sep:(Fmt.any "; ") Fmt.int)
-        d.fragment_cardinalities
+        d.fragment_cardinalities;
+      let hits = List.filter Fun.id d.view_hits in
+      if hits <> [] then
+        Fmt.pf ppf ", %d fragment(s) from materialized views"
+          (List.length hits)
     | Saturated info ->
       Fmt.pf ppf "saturation %d → %d triples" info.Refq_saturation.Saturate.input_triples
         info.Refq_saturation.Saturate.output_triples

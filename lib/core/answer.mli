@@ -20,6 +20,10 @@ module Config = Config
 module Cache = Refq_cache.Cache
 (** Re-exported cache building blocks (LRU, canonical forms, stats). *)
 
+module Views = Refq_views.Views
+(** Re-exported materialized-view building blocks (catalog, policy,
+    maintenance). *)
+
 type env
 (** A prepared database: the store, its schema closure, its statistics, a
     lazily computed, cached saturation (shared by repeated [Saturation]
@@ -40,6 +44,29 @@ val card_env : env -> Cardinality.env
 val saturated : env -> Store.t * Refq_saturation.Saturate.info
 (** The saturation of the store (computed on first use, then cached). *)
 
+val views : env -> Views.t
+(** The environment's materialized-view catalog (empty until views are
+    materialized into it or a loaded catalog is installed with
+    {!set_views}). When [config.views.use] is on, {!answer}'s
+    reformulation strategies consult it per cover fragment — canonical-CQ
+    equality first, then equivalence via the containment cores — and a
+    fresh match replaces both the fragment's reformulation and its
+    evaluation with the stored extent. *)
+
+val set_views : env -> Views.t -> unit
+
+val views_ctx : env -> Views.ctx
+(** The environment's store/closure/statistics bundle, as
+    materialization and maintenance want it. *)
+
+val refresh_views :
+  ?delta:Views.delta -> ?full_threshold:int -> env -> Views.refresh_outcome
+(** Re-sync the environment ({!invalidate}) and bring the catalog up to
+    the store's current epochs — see {!Views.refresh} for the delta
+    re-evaluation rules. A schema change drops every view (already done
+    by {!invalidate}); a data change refreshes affected views, using
+    [delta] to keep or append provably-unaffected extents. *)
+
 val invalidate : env -> env
 (** Refresh the environment after the underlying store changed (demo step
     4: modify data or constraints, re-run), driven by the store's
@@ -48,8 +75,11 @@ val invalidate : env -> env
     the schema closure, its fingerprint and the reformulation cache
     (reformulation depends only on the schema). A schema change
     additionally re-derives the closure and clears every cache level.
-    With unchanged epochs this is a no-op. Returns the same (mutated)
-    environment. *)
+    A schema change additionally drops every materialized view (their
+    reformulations were computed under the old closure); data-stale views
+    are kept but become unusable until {!refresh_views} runs, because
+    lookups check the recorded epochs. With unchanged epochs this is a
+    no-op. Returns the same (mutated) environment. *)
 
 val cache_stats : env -> Cache.stats list
 (** Lifetime hit/miss/eviction statistics of the reformulation, cover and
@@ -122,6 +152,10 @@ type detail =
       fragment_cardinalities : int list;
           (** materialized fragment sizes, in fragment order — Example 1
               reports these (33,328,108 vs 2,296...) *)
+      view_hits : bool list;
+          (** per fragment: was it served from a materialized view? When
+              every fragment hit, [jucq_size] is 0 — no reformulation was
+              needed at all *)
       gcov : Gcov.trace option;  (** present for the [Gcov] strategy *)
     }
   | Saturated of Refq_saturation.Saturate.info

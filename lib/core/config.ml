@@ -11,6 +11,7 @@ type t = {
   max_disjuncts : int;
   use_cache : bool;
   verify : bool;
+  views : Refq_views.Views.policy;
 }
 
 let default_max_disjuncts = 200_000
@@ -25,6 +26,7 @@ let default =
     max_disjuncts = default_max_disjuncts;
     use_cache = true;
     verify = false;
+    views = Refq_views.Views.default_policy;
   }
 
 let with_profile p c = { c with profile = Some p }
@@ -45,6 +47,10 @@ let without_cache c = { c with use_cache = false }
 
 let with_verify verify c = { c with verify }
 
+let with_views views c = { c with views }
+
+let without_views c = { c with views = Refq_views.Views.disabled }
+
 let profile_name c =
   match c.profile with
   | None -> "complete"
@@ -57,7 +63,7 @@ let backend_name = function
 let pp ppf c =
   Fmt.pf ppf
     "profile=%s minimize=%b backend=%s budget=%s max_disjuncts=%d cache=%b \
-     verify=%b"
+     verify=%b views=%b"
     (profile_name c) c.minimize (backend_name c.backend)
     (match c.budget with None -> "none" | Some _ -> "set")
-    c.max_disjuncts c.use_cache c.verify
+    c.max_disjuncts c.use_cache c.verify c.views.Refq_views.Views.use

@@ -38,6 +38,11 @@ type t = {
       (** debug-mode verification gates: run the {!Refq_analysis} cover /
           UCQ / plan checkers on every reformulated answer, bump the
           [analysis.*] counters and log errors (default [false]) *)
+  views : Refq_views.Views.policy;
+      (** materialized-view policy: consult the environment's view catalog
+          before evaluating cover fragments (default
+          {!Refq_views.Views.default_policy} — on, which is a no-op until
+          views are materialized) *)
 }
 
 val default_max_disjuncts : int
@@ -45,7 +50,8 @@ val default_max_disjuncts : int
 
 val default : t
 (** Complete profile, default cost parameters, no minimization,
-    [Nested_loop], no budget, {!default_max_disjuncts}, cache enabled. *)
+    [Nested_loop], no budget, {!default_max_disjuncts}, cache enabled,
+    views enabled. *)
 
 val with_profile : Refq_reform.Profiles.t -> t -> t
 
@@ -64,6 +70,11 @@ val with_cache : bool -> t -> t
 val without_cache : t -> t
 
 val with_verify : bool -> t -> t
+
+val with_views : Refq_views.Views.policy -> t -> t
+
+val without_views : t -> t
+(** Never consult materialized views ({!Refq_views.Views.disabled}). *)
 
 val profile_name : t -> string
 (** The profile's name, or ["complete"] — stable cache-key component. *)

@@ -26,6 +26,11 @@ let add_row r row =
 
 let get r ~row ~col = Int_vec.get r.data ((row * arity r) + col)
 
+let rename r ~cols =
+  if Array.length cols <> arity r then
+    invalid_arg "Relation.rename: column count mismatch";
+  { r with cols }
+
 let iter_rows r f =
   let w = arity r in
   let buf = Array.make w 0 in

@@ -23,6 +23,13 @@ val add_row : t -> int array -> unit
 
 val get : t -> row:int -> col:int -> int
 
+val rename : t -> cols:string array -> t
+(** The same relation under new column names. The result {e shares} the
+    row storage with the input — cheap regardless of cardinality — so
+    both must be treated as read-only afterwards (the pattern of every
+    cached or materialized relation handed to the join).
+    @raise Invalid_argument when the column count differs from the arity. *)
+
 val iter_rows : t -> (int array -> unit) -> unit
 (** The callback receives a buffer that is {e reused} across rows; copy it
     if it escapes the callback. *)

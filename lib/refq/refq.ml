@@ -43,6 +43,11 @@ module Config = Refq_core.Config
 module Gcov = Refq_core.Gcov
 module Cache = Refq_cache.Cache
 
+(* Materialized views *)
+module Views = Refq_views.Views
+module Harvest = Refq_views.Harvest
+module Select = Refq_views.Select
+
 (* Budgets and federation *)
 module Budget = Refq_fault.Budget
 module Federation = Refq_federation.Federation

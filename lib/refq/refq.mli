@@ -47,6 +47,18 @@ module Config = Refq_core.Config
 module Gcov = Refq_core.Gcov
 module Cache = Refq_cache.Cache
 
+(** {1 Materialized views}
+
+    Workload-driven view selection ({!Harvest} enumerates candidate
+    cover fragments, {!Select} picks under a space budget), catalogs and
+    answering-time rewriting ({!Views}, consulted by {!Answer} per
+    {!Config.t}[.views]) and incremental maintenance
+    ([Answer.refresh_views]). See [refq views] for the CLI surface. *)
+
+module Views = Refq_views.Views
+module Harvest = Refq_views.Harvest
+module Select = Refq_views.Select
+
 (** {1 Budgets and federation} *)
 
 module Budget = Refq_fault.Budget

@@ -1,0 +1,139 @@
+open Refq_query
+module Cache = Refq_cache.Cache
+module Cost_model = Refq_cost.Cost_model
+module Reformulate = Refq_reform.Reformulate
+
+type params = {
+  max_fragment_atoms : int;
+  include_full_query : bool;
+  profile : Refq_reform.Profiles.t option;
+  max_disjuncts : int;
+  cost_params : Cost_model.params option;
+}
+
+let default_params =
+  {
+    max_fragment_atoms = 3;
+    include_full_query = true;
+    profile = None;
+    max_disjuncts = 1_000_000;
+    cost_params = None;
+  }
+
+type candidate = {
+  def : Cq.t;
+  key : string;
+  uses : int;
+  queries : string list;
+  benefit : float;
+  space : float;
+}
+
+(* Connected atom subsets of size 1..max_size, as sorted index lists.
+   Queries have a handful of atoms, so the subset space is tiny; the
+   hashtable only guards against re-growing the same subset twice. *)
+let connected_subsets ~max_size body =
+  let atoms = Array.of_list (List.map Cq.atom_vars body) in
+  let n = Array.length atoms in
+  let adjacent i j = List.exists (fun v -> List.mem v atoms.(j)) atoms.(i) in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let add set =
+    if Hashtbl.mem seen set then false
+    else begin
+      Hashtbl.add seen set ();
+      out := set :: !out;
+      true
+    end
+  in
+  let rec grow set =
+    if List.length set < max_size then
+      for j = 0 to n - 1 do
+        if (not (List.mem j set)) && List.exists (fun i -> adjacent i j) set
+        then begin
+          let grown = List.sort Int.compare (j :: set) in
+          if add grown then grow grown
+        end
+      done
+  in
+  for i = 0 to n - 1 do
+    if add [ i ] then grow [ i ]
+  done;
+  List.rev !out
+
+type acc = {
+  a_def : Cq.t;
+  mutable a_uses : int;
+  mutable a_queries : string list;
+  mutable a_benefit : float;
+  mutable a_space : float;
+}
+
+let candidates ?(params = default_params) cenv cl workload =
+  let table : (string, acc) Hashtbl.t = Hashtbl.create 64 in
+  let record name def est =
+    let key = Cache.cq_key def in
+    let a =
+      match Hashtbl.find_opt table key with
+      | Some a -> a
+      | None ->
+        let a =
+          { a_def = def; a_uses = 0; a_queries = []; a_benefit = 0.0; a_space = 0.0 }
+        in
+        Hashtbl.add table key a;
+        a
+    in
+    a.a_uses <- a.a_uses + 1;
+    if not (List.mem name a.a_queries) then a.a_queries <- name :: a.a_queries;
+    a.a_benefit <- a.a_benefit +. est.Cost_model.cost;
+    a.a_space <- Float.max a.a_space est.Cost_model.card
+  in
+  List.iter
+    (fun (name, q) ->
+      let qc = Cache.canon_cq q in
+      let n = List.length qc.Cq.body in
+      let subsets = connected_subsets ~max_size:params.max_fragment_atoms qc.Cq.body in
+      let subsets =
+        let full = List.init n Fun.id in
+        if params.include_full_query && not (List.mem full subsets) then
+          subsets @ [ full ]
+        else subsets
+      in
+      List.iter
+        (fun frag ->
+          match
+            Reformulate.fragment_ucq ?profile:params.profile
+              ~max_disjuncts:params.max_disjuncts cl qc frag
+          with
+          | exception Reformulate.Too_large _ -> ()
+          | jf ->
+            let est =
+              Cost_model.fragment_estimate
+                (Cost_model.fragment_profile ?params:params.cost_params cenv jf)
+            in
+            record name (Cache.canon_cq (Cover.fragment_cq qc frag)) est)
+        subsets)
+    workload;
+  let ratio c = c.benefit /. Float.max 1.0 c.space in
+  Hashtbl.fold
+    (fun key a acc ->
+      {
+        def = a.a_def;
+        key;
+        uses = a.a_uses;
+        queries = List.rev a.a_queries;
+        benefit = a.a_benefit;
+        space = a.a_space;
+      }
+      :: acc)
+    table []
+  |> List.sort (fun c1 c2 ->
+         match Float.compare (ratio c2) (ratio c1) with
+         | 0 -> String.compare c1.key c2.key
+         | c -> c)
+
+let pp_candidate ppf c =
+  Fmt.pf ppf "@[<h>%a — %d use(s) in [%a], benefit %.1f, ~%.0f row(s)@]" Cq.pp
+    c.def c.uses
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+    c.queries c.benefit c.space

@@ -1,0 +1,60 @@
+(** Candidate-view enumeration over a workload.
+
+    Every connected sub-query of every workload query — up to a size cap,
+    plus the whole body — is a cover fragment some strategy may
+    materialize: singletons are SCQ's fragments, the full body is UCQ's
+    single fragment, and GCov picks connected groups in between.
+    Candidates are keyed by the canonical form of the fragment CQ
+    ({!Refq_cache.Cache.canon_cq} of {!Refq_query.Cover.fragment_cq}), so
+    renamed variants of one query pool their occurrences into a single
+    candidate, exactly as the answering cache pools their entries.
+
+    Each candidate carries the two numbers the knapsack needs, both from
+    {!Refq_cost.Cost_model}: the {e benefit} (summed estimated cost of
+    evaluating the fragment's UCQ reformulation, once per occurrence — the
+    work a materialized extent saves) and the {e space} (the fragment's
+    estimated cardinality — the rows the extent would pin). *)
+
+open Refq_query
+open Refq_schema
+open Refq_cost
+
+(** Enumeration and pricing knobs, gathered in one record (the
+    two-optional-arguments rule for public entry points). *)
+type params = {
+  max_fragment_atoms : int;
+      (** connected sub-queries of 1–this many atoms become candidates *)
+  include_full_query : bool;
+      (** also propose each query's whole body (UCQ's one-fragment cover) *)
+  profile : Refq_reform.Profiles.t option;
+      (** reformulation profile candidates are priced (and must later be
+          materialized) under *)
+  max_disjuncts : int;
+      (** fragments whose reformulation exceeds this are not candidates *)
+  cost_params : Cost_model.params option;
+}
+
+val default_params : params
+(** 3-atom fragments, full queries included, complete profile, the
+    reformulator's own disjunct bound, default cost parameters. *)
+
+type candidate = {
+  def : Cq.t;  (** canonical fragment definition *)
+  key : string;  (** its {!Refq_cache.Cache.cq_key} *)
+  uses : int;  (** occurrences across the workload *)
+  queries : string list;  (** names of the workload queries it occurs in *)
+  benefit : float;  (** summed estimated fragment-evaluation cost saved *)
+  space : float;  (** estimated extent cardinality (rows) *)
+}
+
+val candidates :
+  ?params:params ->
+  Cardinality.env ->
+  Closure.t ->
+  (string * Cq.t) list ->
+  candidate list
+(** Harvest and price the candidates of a named workload. Deterministic;
+    sorted by descending benefit-per-row (the knapsack's greedy order),
+    key as tie-break. *)
+
+val pp_candidate : candidate Fmt.t

@@ -1,0 +1,65 @@
+type step = {
+  candidate : Harvest.candidate;
+  accepted : bool;
+  reason : string;
+  budget_left : float;
+}
+
+type trace = {
+  chosen : Harvest.candidate list;
+  steps : step list;
+  budget : float;
+  used : float;
+  total_benefit : float;
+}
+
+let select ~budget candidates =
+  let used = ref 0.0 in
+  let benefit = ref 0.0 in
+  let chosen = ref [] in
+  let steps =
+    List.map
+      (fun (c : Harvest.candidate) ->
+        let space = Float.max 1.0 c.Harvest.space in
+        let accepted, reason =
+          if c.Harvest.benefit <= 0.0 then (false, "no estimated benefit")
+          else if space > budget then
+            ( false,
+              Printf.sprintf "oversized: ~%.0f row(s) exceed the whole budget"
+                space )
+          else if !used +. space > budget then
+            ( false,
+              Printf.sprintf "over budget: ~%.0f row(s), %.0f left" space
+                (budget -. !used) )
+          else begin
+            used := !used +. space;
+            benefit := !benefit +. c.Harvest.benefit;
+            chosen := c :: !chosen;
+            ( true,
+              Printf.sprintf "benefit %.1f for ~%.0f row(s)" c.Harvest.benefit
+                space )
+          end
+        in
+        { candidate = c; accepted; reason; budget_left = budget -. !used })
+      candidates
+  in
+  {
+    chosen = List.rev !chosen;
+    steps;
+    budget;
+    used = !used;
+    total_benefit = !benefit;
+  }
+
+let pp_trace ppf t =
+  Fmt.pf ppf "@[<v>budget %.0f row(s): chose %d of %d candidate(s), ~%.0f \
+              row(s) used, total benefit %.1f"
+    t.budget (List.length t.chosen) (List.length t.steps) t.used
+    t.total_benefit;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "@,%s %a@,    %s"
+        (if s.accepted then "+" else "-")
+        Harvest.pp_candidate s.candidate s.reason)
+    t.steps;
+  Fmt.pf ppf "@]"

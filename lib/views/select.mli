@@ -1,0 +1,30 @@
+(** Cost-based view selection: a greedy knapsack under a space budget.
+
+    Mirrors the structure of GCov's cover search: walk the candidates in
+    a deterministic greedy order (benefit per estimated row, the classic
+    knapsack density heuristic of the view-selection literature), accept
+    whatever still fits the budget, and record {e every} decision in an
+    explainable trace — [refq views recommend] prints it verbatim, so the
+    operator can see why a candidate was skipped, not just what won. *)
+
+type step = {
+  candidate : Harvest.candidate;
+  accepted : bool;
+  reason : string;  (** human-readable acceptance / rejection rationale *)
+  budget_left : float;  (** remaining row budget {e after} this step *)
+}
+
+type trace = {
+  chosen : Harvest.candidate list;  (** accepted, in acceptance order *)
+  steps : step list;  (** every candidate considered, in greedy order *)
+  budget : float;
+  used : float;  (** summed estimated rows of the chosen views *)
+  total_benefit : float;  (** summed benefit of the chosen views *)
+}
+
+val select : budget:float -> Harvest.candidate list -> trace
+(** Greedy selection under [budget] estimated rows. Candidates with no
+    benefit are rejected outright; a candidate whose estimated extent
+    alone exceeds the whole budget is rejected as oversized. *)
+
+val pp_trace : trace Fmt.t

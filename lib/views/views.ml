@@ -1,0 +1,495 @@
+open Refq_rdf
+open Refq_schema
+open Refq_query
+open Refq_storage
+open Refq_engine
+open Refq_cost
+module Obs = Refq_obs.Obs
+module Json = Refq_obs.Json
+module Cache = Refq_cache.Cache
+module Profiles = Refq_reform.Profiles
+module Reformulate = Refq_reform.Reformulate
+
+let c_hits = Obs.counter "views.hits"
+let c_misses = Obs.counter "views.misses"
+let c_refreshes = Obs.counter "views.refreshes"
+let c_rewrites = Obs.counter "views.rewrites"
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  use : bool;
+  containment : bool;
+}
+
+let default_policy = { use = true; containment = true }
+
+let disabled = { use = false; containment = false }
+
+(* ------------------------------------------------------------------ *)
+(* Context                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  store : Store.t;
+  closure : Closure.t;
+  cenv : Cardinality.env;
+}
+
+let ctx ~store ~closure ~cenv = { store; closure; cenv }
+
+(* ------------------------------------------------------------------ *)
+(* Views and catalogs                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type view = {
+  key : string;
+  def : Cq.t;  (** canonical: [Cache.canon_cq] of the fragment CQ *)
+  profile_name : string;
+  profile : Profiles.t option;
+  mutable ucq : Ucq.t;  (** reformulation of [def] under the pinned closure *)
+  mutable extent : Relation.t;
+  mutable data_epoch : int;
+  mutable schema_epoch : int;
+  mutable refreshes : int;
+}
+
+type info = {
+  key : string;
+  def : Cq.t;
+  profile : string;
+  rows : int;
+  data_epoch : int;
+  schema_epoch : int;
+  refreshes : int;
+}
+
+let info (v : view) : info =
+  {
+    key = v.key;
+    def = v.def;
+    profile = v.profile_name;
+    rows = Relation.cardinality v.extent;
+    data_epoch = v.data_epoch;
+    schema_epoch = v.schema_epoch;
+    refreshes = v.refreshes;
+  }
+
+let extent (v : view) = v.extent
+
+let is_fresh store (v : view) =
+  v.data_epoch = Store.data_epoch store
+  && v.schema_epoch = Store.schema_epoch store
+
+type t = (string, view) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let length = Hashtbl.length
+
+let views (t : t) =
+  Hashtbl.fold (fun _ v acc -> v :: acc) t []
+  |> List.sort (fun (a : view) (b : view) -> String.compare a.key b.key)
+
+let find t key = Hashtbl.find_opt t key
+
+let drop t key =
+  if Hashtbl.mem t key then begin
+    Hashtbl.remove t key;
+    true
+  end
+  else false
+
+let clear = Hashtbl.reset
+
+(* ------------------------------------------------------------------ *)
+(* Materialization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let profile_name = function
+  | None -> "complete"
+  | Some p -> p.Profiles.name
+
+let def_cols def = Array.of_list (Cq.head_vars def)
+
+let eval_def cenv closure ?profile ?max_disjuncts def =
+  match Reformulate.cq_to_ucq ?profile ?max_disjuncts closure def with
+  | exception Reformulate.Too_large n ->
+    Error (Printf.sprintf "view reformulation too large (%d disjuncts)" n)
+  | ucq -> Ok (ucq, Evaluator.ucq cenv ~cols:(def_cols def) ucq)
+
+let materialize ?profile ?max_disjuncts ctx t cq =
+  let def = Cache.canon_cq cq in
+  let key = Cache.cq_key def in
+  match eval_def ctx.cenv ctx.closure ?profile ?max_disjuncts def with
+  | Error _ as e -> e
+  | Ok (ucq, extent) ->
+    let v =
+      {
+        key;
+        def;
+        profile_name = profile_name profile;
+        profile;
+        ucq;
+        extent;
+        data_epoch = Store.data_epoch ctx.store;
+        schema_epoch = Store.schema_epoch ctx.store;
+        refreshes = 0;
+      }
+    in
+    Hashtbl.replace t key v;
+    Ok v
+
+let recompute ctx (v : view) =
+  Result.map snd (eval_def ctx.cenv ctx.closure ?profile:v.profile v.def)
+
+(* ------------------------------------------------------------------ *)
+(* Answering-time lookup                                               *)
+(* ------------------------------------------------------------------ *)
+
+let usable ~store ~profile (v : view) = is_fresh store v && String.equal v.profile_name profile
+
+let lookup ~policy ~store ~profile t frag_cq ~out =
+  if not policy.use then None
+  else begin
+    let canon = Cache.canon_cq frag_cq in
+    let arity = List.length out in
+    let serve ~rewrite (v : view) =
+      Obs.incr c_hits;
+      if rewrite then Obs.incr c_rewrites;
+      Some (Relation.rename v.extent ~cols:(Array.of_list out))
+    in
+    let exact =
+      match find t (Cache.cq_key canon) with
+      | Some v when usable ~store ~profile v && Relation.arity v.extent = arity
+        ->
+        serve ~rewrite:false v
+      | Some _ | None -> None
+    in
+    match exact with
+    | Some _ as hit -> hit
+    | None ->
+      let equivalent =
+        if not policy.containment then None
+        else
+          List.find_opt
+            (fun v ->
+              usable ~store ~profile v
+              && Relation.arity v.extent = arity
+              && Containment.equivalent canon v.def)
+            (views t)
+      in
+      (match equivalent with
+      | Some v -> serve ~rewrite:true v
+      | None ->
+        Obs.incr c_misses;
+        None)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  added : Triple.t list;
+  removed : Triple.t list;
+}
+
+type refresh_outcome = {
+  fresh : int;
+  adopted : int;
+  appended : int;
+  rematerialized : int;
+  dropped : int;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf
+    "%d fresh, %d adopted, %d appended, %d rematerialized, %d dropped" o.fresh
+    o.adopted o.appended o.rematerialized o.dropped
+
+let pat_matches pat term =
+  match pat with
+  | Cq.Var _ -> true
+  | Cq.Cst t -> Term.equal t term
+
+let atom_matches (a : Cq.atom) (tr : Triple.t) =
+  pat_matches a.Cq.s tr.Triple.s
+  && pat_matches a.Cq.p tr.Triple.p
+  && pat_matches a.Cq.o tr.Triple.o
+
+let affected delta ucq =
+  let triples = delta.added @ delta.removed in
+  List.exists
+    (fun (d : Cq.t) ->
+      List.exists (fun a -> List.exists (atom_matches a) triples) d.Cq.body)
+    (Ucq.disjuncts ucq)
+
+let single_atom_disjuncts ucq =
+  List.for_all (fun d -> List.length d.Cq.body <= 1) (Ucq.disjuncts ucq)
+
+(* Append-only delta re-evaluation: for a UCQ whose disjuncts have at most
+   one atom, an answer over store ∪ Δ either matches no new triple (so it
+   is already in the extent) or is produced by the UCQ evaluated over Δ
+   alone — no join can pair an old triple with a new one. *)
+let append_delta ctx (v : view) added =
+  let dstore = Store.create ~dictionary:(Store.dictionary ctx.store) () in
+  List.iter (Store.add_triple dstore) added;
+  let denv = Cardinality.make_env dstore in
+  let cols = Relation.cols v.extent in
+  let extra = Evaluator.ucq denv ~cols v.ucq in
+  let merged = Relation.create ~cols in
+  let add =
+    Relation.distinct_adder ~size_hint:(Relation.cardinality v.extent) merged
+  in
+  Relation.iter_rows v.extent add;
+  Relation.iter_rows extra add;
+  v.extent <- merged
+
+let stamp ctx (v : view) =
+  v.data_epoch <- Store.data_epoch ctx.store;
+  v.schema_epoch <- Store.schema_epoch ctx.store
+
+let refresh ?delta ?(full_threshold = 512) ctx t =
+  let data = Store.data_epoch ctx.store in
+  let schema = Store.schema_epoch ctx.store in
+  let outcome =
+    ref { fresh = 0; adopted = 0; appended = 0; rematerialized = 0; dropped = 0 }
+  in
+  let touched (v : view) =
+    v.refreshes <- v.refreshes + 1;
+    stamp ctx v;
+    Obs.incr c_refreshes
+  in
+  let rematerialize (v : view) =
+    match eval_def ctx.cenv ctx.closure ?profile:v.profile v.def with
+    | Error _ ->
+      (* The schema epoch matched, so the reformulation cannot have grown;
+         treat a failure as a dropped view rather than keep a stale one. *)
+      ignore (drop t v.key);
+      outcome := { !outcome with dropped = !outcome.dropped + 1 }
+    | Ok (ucq, extent) ->
+      v.ucq <- ucq;
+      v.extent <- extent;
+      touched v;
+      outcome := { !outcome with rematerialized = !outcome.rematerialized + 1 }
+  in
+  List.iter
+    (fun (v : view) ->
+      if v.schema_epoch <> schema then begin
+        (* The closure the reformulation was computed under changed: the
+           extent and the UCQ are both meaningless. *)
+        ignore (drop t v.key);
+        outcome := { !outcome with dropped = !outcome.dropped + 1 }
+      end
+      else if v.data_epoch = data then
+        outcome := { !outcome with fresh = !outcome.fresh + 1 }
+      else begin
+        match delta with
+        | Some d
+          when List.length d.added + List.length d.removed <= full_threshold
+               && data - v.data_epoch
+                  <= List.length d.added + List.length d.removed ->
+          (* The delta is small and accounts for the whole epoch gap, so
+             per-view reasoning about it is sound. *)
+          if not (affected d v.ucq) then begin
+            stamp ctx v;
+            outcome := { !outcome with adopted = !outcome.adopted + 1 }
+          end
+          else if d.removed = [] && single_atom_disjuncts v.ucq then begin
+            append_delta ctx v d.added;
+            touched v;
+            outcome := { !outcome with appended = !outcome.appended + 1 }
+          end
+          else rematerialize v
+        | Some _ | None -> rematerialize v
+      end)
+    (views t);
+  !outcome
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let format_id = "refq-views/1"
+
+let term_to_json = function
+  | Term.Uri u -> Json.Obj [ ("uri", Json.String u) ]
+  | Term.Literal { value; kind = Term.Plain } ->
+    Json.Obj [ ("lit", Json.String value) ]
+  | Term.Literal { value; kind = Term.Lang tag } ->
+    Json.Obj [ ("lang", Json.List [ Json.String value; Json.String tag ]) ]
+  | Term.Literal { value; kind = Term.Typed dt } ->
+    Json.Obj [ ("typed", Json.List [ Json.String value; Json.String dt ]) ]
+  | Term.Bnode b -> Json.Obj [ ("bnode", Json.String b) ]
+
+let term_of_json j =
+  let str = Json.to_string_opt in
+  match j with
+  | Json.Obj [ ("uri", u) ] -> Option.map Term.uri (str u)
+  | Json.Obj [ ("lit", v) ] -> Option.map Term.literal (str v)
+  | Json.Obj [ ("lang", Json.List [ v; tag ]) ] -> (
+    match (str v, str tag) with
+    | Some v, Some tag -> Some (Term.lang_literal v tag)
+    | _ -> None)
+  | Json.Obj [ ("typed", Json.List [ v; dt ]) ] -> (
+    match (str v, str dt) with
+    | Some v, Some dt -> Some (Term.typed_literal v dt)
+    | _ -> None)
+  | Json.Obj [ ("bnode", b) ] -> Option.map Term.bnode (str b)
+  | _ -> None
+
+let pat_to_json = function
+  | Cq.Var v -> Json.Obj [ ("var", Json.String v) ]
+  | Cq.Cst t -> term_to_json t
+
+let pat_of_json = function
+  | Json.Obj [ ("var", Json.String v) ] -> Some (Cq.var v)
+  | j -> Option.map Cq.cst (term_of_json j)
+
+let cq_to_json (q : Cq.t) =
+  Json.Obj
+    [
+      ("head", Json.List (List.map pat_to_json q.Cq.head));
+      ( "body",
+        Json.List
+          (List.map
+             (fun (a : Cq.atom) ->
+               Json.List [ pat_to_json a.Cq.s; pat_to_json a.Cq.p; pat_to_json a.Cq.o ])
+             q.Cq.body) );
+    ]
+
+let opt_all f l =
+  List.fold_right
+    (fun x acc ->
+      match (f x, acc) with
+      | Some y, Some ys -> Some (y :: ys)
+      | _ -> None)
+    l (Some [])
+
+let cq_of_json j =
+  let ( let* ) = Option.bind in
+  let* head = Option.bind (Json.member "head" j) Json.to_list in
+  let* body = Option.bind (Json.member "body" j) Json.to_list in
+  let* head = opt_all pat_of_json head in
+  let* body =
+    opt_all
+      (function
+        | Json.List [ s; p; o ] -> (
+          match (pat_of_json s, pat_of_json p, pat_of_json o) with
+          | Some s, Some p, Some o -> Some (Cq.atom s p o)
+          | _ -> None)
+        | _ -> None)
+      body
+  in
+  match Cq.make ~head ~body with
+  | q -> Some q
+  | exception Invalid_argument _ -> None
+
+let view_to_json dict (v : view) =
+  Json.Obj
+    [
+      ("def", cq_to_json v.def);
+      ("profile", Json.String v.profile_name);
+      ("data_epoch", Json.Int v.data_epoch);
+      ("schema_epoch", Json.Int v.schema_epoch);
+      ("refreshes", Json.Int v.refreshes);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row -> Json.List (List.map term_to_json row))
+             (Relation.decode_rows dict v.extent)) );
+    ]
+
+let save ctx t path =
+  let dict = Store.dictionary ctx.store in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String format_id);
+        ("views", Json.List (List.map (view_to_json dict) (views t)));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string doc))
+
+let profile_of_name name =
+  List.find_opt (fun p -> String.equal p.Profiles.name name) Profiles.all
+
+let view_of_json ctx j =
+  let ( let* ) = Option.bind in
+  let* def = Option.bind (Json.member "def" j) cq_of_json in
+  let* pname = Option.bind (Json.member "profile" j) Json.to_string_opt in
+  let* data_epoch = Option.bind (Json.member "data_epoch" j) Json.to_int in
+  let* schema_epoch = Option.bind (Json.member "schema_epoch" j) Json.to_int in
+  let* refreshes = Option.bind (Json.member "refreshes" j) Json.to_int in
+  let* rows = Option.bind (Json.member "rows" j) Json.to_list in
+  let* rows =
+    opt_all
+      (function
+        | Json.List cells -> opt_all term_of_json cells
+        | _ -> None)
+      rows
+  in
+  let profile = profile_of_name pname in
+  match Reformulate.cq_to_ucq ?profile ctx.closure def with
+  | exception Reformulate.Too_large _ -> None
+  | ucq ->
+    let extent = Relation.create ~cols:(def_cols def) in
+    let width = Relation.arity extent in
+    if List.exists (fun r -> List.length r <> width) rows then None
+    else begin
+      List.iter
+        (fun row ->
+          Relation.add_row extent
+            (Array.of_list (List.map (Store.encode_term ctx.store) row)))
+        rows;
+      Some
+        {
+          key = Cache.cq_key def;
+          def;
+          profile_name = pname;
+          profile;
+          ucq;
+          extent;
+          data_epoch;
+          schema_epoch;
+          refreshes;
+        }
+    end
+
+let load ctx path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic -> (
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse contents with
+    | Error m -> Error (Printf.sprintf "%s: %s" path m)
+    | Ok doc -> (
+      match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+      | Some id when String.equal id format_id -> (
+        match Option.bind (Json.member "views" doc) Json.to_list with
+        | None -> Error (path ^ ": missing views array")
+        | Some vs ->
+          let t = create () in
+          List.iter
+            (fun j ->
+              match view_of_json ctx j with
+              | Some v -> Hashtbl.replace t v.key v
+              | None -> ())
+            vs;
+          Ok t)
+      | Some id -> Error (Printf.sprintf "%s: unsupported format %S" path id)
+      | None -> Error (path ^ ": not a views sidecar")))
+
+let pp_info ppf i =
+  Fmt.pf ppf "@[<h>%a — %d row(s), profile %s, epochs d=%d s=%d, refreshes %d@]"
+    Cq.pp i.def i.rows i.profile i.data_epoch i.schema_epoch i.refreshes

@@ -1,0 +1,191 @@
+(** Materialized views over reformulated cover fragments.
+
+    A view is a canonicalized cover-fragment CQ ({!Refq_cache.Cache.canon_cq}
+    of {!Refq_query.Cover.fragment_cq}) together with the materialized
+    relation of its {e certain answers}: the fragment's UCQ reformulation
+    under the schema closure, evaluated against the store. At answering
+    time a chosen cover's fragment that matches a fresh view — by
+    canonical-CQ equality first, then by CQ equivalence established with
+    the {!Refq_query.Containment} cores — is answered by scanning the
+    stored extent instead of reformulating and evaluating the fragment.
+
+    Soundness rests on three pins recorded per view: the store's data and
+    schema epochs at materialization time (a mismatch makes the extent
+    {e unusable}, never silently wrong) and the reformulation profile (an
+    extent computed under [complete] must not answer a run asking for a
+    weaker profile, and vice versa). Equivalence — mutual containment with
+    positional head mapping — is required rather than one-way containment:
+    a strictly larger view would add rows, a strictly smaller one would
+    lose rows, and neither direction can be compensated by an extent scan
+    alone. *)
+
+open Refq_rdf
+open Refq_schema
+open Refq_query
+open Refq_storage
+open Refq_engine
+open Refq_cost
+
+(** {1 Policy} *)
+
+(** Answering-time knobs, carried by [Answer.Config.t]. *)
+type policy = {
+  use : bool;  (** consult materialized views when answering *)
+  containment : bool;
+      (** beyond canonical-key equality, try the equivalence match via
+          {!Refq_query.Containment} (linear scan of the catalog) *)
+}
+
+val default_policy : policy
+(** Views on, containment matching on. The default is harmless without a
+    catalog: every lookup misses. *)
+
+val disabled : policy
+(** Views off: [answer] never consults the catalog. *)
+
+(** {1 Evaluation context} *)
+
+(** What materialization and maintenance need from the database: the
+    store, its schema closure and its statistics. [Answer.env] supplies
+    its own (kept consistent by [Answer.invalidate]). *)
+type ctx = {
+  store : Store.t;
+  closure : Closure.t;
+  cenv : Cardinality.env;
+}
+
+val ctx : store:Store.t -> closure:Closure.t -> cenv:Cardinality.env -> ctx
+
+(** {1 Views and catalogs} *)
+
+type view
+
+(** Immutable snapshot of a view's bookkeeping. *)
+type info = {
+  key : string;  (** canonical CQ key of the definition *)
+  def : Cq.t;  (** canonical definition (head = visible variables) *)
+  profile : string;  (** reformulation profile the extent was built under *)
+  rows : int;  (** extent cardinality *)
+  data_epoch : int;  (** store epochs at (re)materialization *)
+  schema_epoch : int;
+  refreshes : int;  (** maintenance runs that touched the extent *)
+}
+
+val info : view -> info
+
+val extent : view -> Relation.t
+(** The stored extent. Treat as read-only: lookups hand out renamed
+    relations sharing this storage. *)
+
+val is_fresh : Store.t -> view -> bool
+(** Both recorded epochs match the store's current ones. *)
+
+type t
+(** A mutable catalog of materialized views, keyed by canonical CQ key
+    (one view per definition). *)
+
+val create : unit -> t
+
+val length : t -> int
+
+val views : t -> view list
+(** All views, sorted by key (deterministic for printing and audits). *)
+
+val find : t -> string -> view option
+
+val drop : t -> string -> bool
+(** Remove the view with this key; [false] when absent. *)
+
+val clear : t -> unit
+
+(** {1 Materialization} *)
+
+val materialize :
+  ?profile:Refq_reform.Profiles.t ->
+  ?max_disjuncts:int ->
+  ctx ->
+  t ->
+  Cq.t ->
+  (view, string) result
+(** Canonicalize the definition, reformulate it under [ctx.closure] and
+    evaluate the UCQ to an extent stamped with the store's current epochs.
+    Replaces any existing view with the same key. [Error] when the
+    reformulation exceeds [max_disjuncts] (default: the reformulator's
+    own bound). *)
+
+val recompute : ctx -> view -> (Relation.t, string) result
+(** Evaluate the view's definition from scratch against [ctx] without
+    touching the stored extent — what a fresh extent {e should} be. Used
+    by the [Check_views] auditor (RV001). *)
+
+(** {1 Answering-time lookup} *)
+
+val lookup :
+  policy:policy ->
+  store:Store.t ->
+  profile:string ->
+  t ->
+  Cq.t ->
+  out:string list ->
+  Relation.t option
+(** [lookup ~policy ~store ~profile catalog frag_cq ~out] finds a fresh
+    view whose definition is canonically equal — or, with
+    [policy.containment], equivalent — to [frag_cq], built under the same
+    reformulation [profile]. On a hit the extent is returned renamed to
+    the fragment's output columns [out] (sharing storage with the stored
+    extent). Bumps the [views.hits] / [views.misses] Obs counters, plus
+    [views.rewrites] when the equivalence path (not plain key equality)
+    produced the hit; returns [None] without counting when [policy.use]
+    is off. *)
+
+(** {1 Incremental maintenance} *)
+
+(** An applied store mutation, described explicitly so maintenance can
+    decide per view whether the extent could have changed at all. *)
+type delta = {
+  added : Triple.t list;
+  removed : Triple.t list;
+}
+
+type refresh_outcome = {
+  fresh : int;  (** epochs already current; extent untouched *)
+  adopted : int;
+      (** data-stale but provably unaffected (no delta triple matches any
+          atom of the view's reformulation): epochs advanced, extent kept *)
+  appended : int;
+      (** delta re-evaluation: insert-only delta, every disjunct has at
+          most one atom, so the UCQ evaluated over the delta alone is
+          exactly the new rows — unioned into the extent *)
+  rematerialized : int;  (** evaluated from scratch *)
+  dropped : int;  (** schema-stale views are dropped, never refreshed *)
+}
+
+val pp_outcome : refresh_outcome Fmt.t
+
+val refresh : ?delta:delta -> ?full_threshold:int -> ctx -> t -> refresh_outcome
+(** Bring every view up to the store's current epochs. Schema-stale views
+    are dropped (the closure their reformulation was computed under is
+    gone). Data-stale views are refreshed by delta re-evaluation when
+    [delta] is given and no larger than [full_threshold] triples
+    (default 512): unaffected views keep their extent, single-atom
+    insert-only views append, everything else re-materializes. Without a
+    usable delta every stale view re-materializes. Bumps
+    [views.refreshes] once per touched extent (appended or
+    rematerialized). *)
+
+(** {1 Persistence}
+
+    The catalog round-trips through a JSON sidecar (conventionally
+    [<data-file>.views]). Extent rows are stored as {e decoded terms} and
+    re-encoded against the loading store's dictionary, so the format does
+    not depend on dictionary ids; the recorded epochs still pin the exact
+    store state, making a sidecar loaded against a mutated file stale (and
+    thus unusable until refreshed) rather than wrong. *)
+
+val save : ctx -> t -> string -> unit
+
+val load : ctx -> string -> (t, string) result
+(** Rebuilds each view's reformulation under [ctx.closure]; a view whose
+    reformulation no longer fits the reformulator's bound is skipped. *)
+
+val pp_info : info Fmt.t

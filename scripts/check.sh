@@ -40,6 +40,39 @@ dune exec bin/refq.exe -- cache stats "$smoke_nt" \
 dune exec bin/refq.exe -- answer "$smoke_nt" --no-cache \
   -q 'q(x) :- x rdf:type ub:Student' -s gcov >/dev/null
 
+echo "== CLI views smoke (recommend -> materialize -> answer -> refresh -> audit)"
+dune exec bin/refq.exe -- views recommend "$smoke_nt" --bundled lubm \
+  | grep -q "candidate" || {
+  echo "refq views recommend printed no selection trace" >&2
+  exit 1
+}
+dune exec bin/refq.exe -- views materialize "$smoke_nt" --bundled lubm \
+  | grep -q "materialized" || {
+  echo "refq views materialize reported no views" >&2
+  exit 1
+}
+dune exec bin/refq.exe -- answer "$smoke_nt" \
+  -q 'q(x) :- x rdf:type ub:Student' -s ucq --explain \
+  | grep -q "materialized views served" || {
+  echo "answer --explain did not report a view-served fragment" >&2
+  exit 1
+}
+# Mutate the data: the sidecar goes stale, refresh repairs it, audit is clean.
+echo '<http://refq.org/check#s> <http://refq.org/check#p> <http://refq.org/check#o> .' \
+  >> "$smoke_nt"
+dune exec bin/refq.exe -- views list "$smoke_nt" | grep -q "stale" || {
+  echo "mutated data did not make the views stale" >&2
+  exit 1
+}
+dune exec bin/refq.exe -- views refresh "$smoke_nt" >/dev/null
+dune exec bin/refq.exe -- views audit "$smoke_nt" | grep -q "views OK" || {
+  echo "refq views audit did not report a clean catalog after refresh" >&2
+  exit 1
+}
+dune exec bin/refq.exe -- answer "$smoke_nt" --no-views \
+  -q 'q(x) :- x rdf:type ub:Student' -s ucq >/dev/null
+rm -f "$smoke_nt.views"
+
 echo "== source lint (scripts/lint.sh)"
 scripts/lint.sh
 

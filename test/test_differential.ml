@@ -146,6 +146,86 @@ let test_cached_with_mutations (workload, make_store) () =
       check_cached ~workload ~step env q)
     queries
 
+(* ------------------------------------------------------------------ *)
+(* Views on vs views off, across interleaved insert/delete batches     *)
+(* ------------------------------------------------------------------ *)
+
+module Views = Refq_views.Views
+module Harvest = Refq_views.Harvest
+module Select = Refq_views.Select
+
+(* Materialized views must be answer-invariant: with a catalog harvested
+   from the very queries under test, every strategy returns the same rows
+   with views consulted and with views off — including across interleaved
+   insert and delete batches, which exercise staleness (epoch mismatch →
+   miss) and the delta-refresh paths (adopt / append / rematerialize).
+   Caches are off so the only difference between the runs is the views. *)
+
+let views_off_config = Answer.Config.(without_views (without_cache default))
+
+let views_on_config = Answer.Config.without_cache Answer.Config.default
+
+let check_views ~workload ~step env (name, q) =
+  List.iter
+    (fun s ->
+      let run config =
+        match Answer.answer ~config env q s with
+        | Ok r -> Ok (Answer.decode env r.Answer.answers)
+        | Error f -> Error f.Answer.reason
+      in
+      let off = run views_off_config in
+      let on = run views_on_config in
+      let pp_result ppf = function
+        | Ok rows -> pp_rows ppf rows
+        | Error reason -> Fmt.pf ppf "failed: %s" reason
+      in
+      if on <> off then
+        Alcotest.failf
+          "%s/%s step %d (seed %Ld): %s views-on diverges@.query: \
+           %a@.views off: @[<v>%a@]@.views on: @[<v>%a@]"
+          workload name step seed (Strategy.name s) Cq.pp q pp_result off
+          pp_result on)
+    [ Strategy.Ucq; Strategy.Scq; Strategy.Gcov ]
+
+let test_views_with_mutations (workload, make_store) () =
+  let store = make_store () in
+  let env = Answer.make_env store in
+  let queries = Query_gen.generate ~seed store ~count:queries_per_workload in
+  (* The catalog is harvested from the tested queries themselves, so the
+     lookup path actually fires. *)
+  let cands =
+    Harvest.candidates (Answer.card_env env) (Answer.closure env) queries
+  in
+  let trace = Select.select ~budget:50_000.0 cands in
+  List.iter
+    (fun (c : Harvest.candidate) ->
+      ignore
+        (Views.materialize (Answer.views_ctx env) (Answer.views env)
+           c.Harvest.def))
+    trace.Select.chosen;
+  let victims =
+    let all = ref [] in
+    Graph.iter (fun t -> all := t :: !all) (Store.to_graph store);
+    List.filteri (fun i _ -> i < 4) !all
+  in
+  let mutate step =
+    let delta =
+      match (step / 5) mod 2 with
+      | 0 ->
+        List.iter (Store.remove_triple store) victims;
+        { Views.added = []; removed = victims }
+      | _ ->
+        List.iter (Store.add_triple store) victims;
+        { Views.added = victims; removed = [] }
+    in
+    ignore (Answer.refresh_views ~delta env)
+  in
+  List.iteri
+    (fun step q ->
+      if step mod 5 = 0 && step > 0 then mutate step;
+      check_views ~workload ~step env q)
+    queries
+
 let () =
   Alcotest.run "differential"
     [
@@ -158,5 +238,10 @@ let () =
         List.map
           (fun w ->
             Alcotest.test_case (fst w) `Slow (test_cached_with_mutations w))
+          workloads );
+      ( "views agree across mutations",
+        List.map
+          (fun w ->
+            Alcotest.test_case (fst w) `Slow (test_views_with_mutations w))
           workloads );
     ]

@@ -183,6 +183,64 @@ let test_removal_schema_resaturates () =
          (Refq_storage.Store.to_graph sat'))
   | `Incremental _ -> Alcotest.fail "schema deletion must re-saturate"
 
+let test_removal_mixed_batch_resaturates () =
+  (* A deletion batch mixing data and schema triples must take the
+     re-saturation path: the schema part invalidates the closure every
+     DRed support check would run under. *)
+  let base = Refq_storage.Store.of_graph Fixtures.borges_graph in
+  let sat = Saturate.store base in
+  match
+    Saturate.remove_incremental ~base sat
+      [
+        Triple.make Fixtures.doi1 Fixtures.written_by Fixtures.b1;
+        Triple.make Fixtures.written_by Vocab.rdfs_subpropertyof
+          Fixtures.has_author;
+      ]
+  with
+  | `Resaturated sat' ->
+    let g = Refq_storage.Store.to_graph sat' in
+    Alcotest.(check bool) "hasAuthor gone (edge and rule both deleted)" false
+      (Graph.mem (Triple.make Fixtures.doi1 Fixtures.has_author Fixtures.b1) g);
+    Alcotest.(check bool) "book type survives (explicit)" true
+      (Graph.mem (Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.book) g)
+  | `Incremental _ ->
+    Alcotest.fail "a batch containing a schema triple must re-saturate"
+
+let test_removal_dred_cascade () =
+  (* DRed over-deletes the whole derivation cone, then re-derives what the
+     surviving facts still support: deleting [a p b] retracts the derived
+     [a q b] and transitively [b type C] / [b type D] — but the explicit
+     [x q b] still derives both types, so re-derivation must restore them
+     and the net retraction is exactly {a p b, a q b}. *)
+  let u = Fixtures.uri in
+  let g =
+    Graph.of_list
+      [
+        Triple.make (u "p") Vocab.rdfs_subpropertyof (u "q");
+        Triple.make (u "q") Vocab.rdfs_range (u "C");
+        Triple.make (u "C") Vocab.rdfs_subclassof (u "D");
+        Triple.make (u "a") (u "p") (u "b");
+        Triple.make (u "x") (u "q") (u "b");
+      ]
+  in
+  let base = Refq_storage.Store.of_graph g in
+  let sat = Saturate.store base in
+  (match
+     Saturate.remove_incremental ~base sat
+       [ Triple.make (u "a") (u "p") (u "b") ]
+   with
+  | `Incremental n -> Alcotest.(check int) "edge + its q-copy retracted" 2 n
+  | `Resaturated _ -> Alcotest.fail "data deletion should be incremental");
+  let after = Refq_storage.Store.to_graph sat in
+  Alcotest.(check bool) "derived a q b retracted" false
+    (Graph.mem (Triple.make (u "a") (u "q") (u "b")) after);
+  Alcotest.(check bool) "b type C re-derived from x q b" true
+    (Graph.mem (Triple.make (u "b") Vocab.rdf_type (u "C")) after);
+  Alcotest.(check bool) "b type D re-derived transitively" true
+    (Graph.mem (Triple.make (u "b") Vocab.rdf_type (u "D")) after);
+  Alcotest.(check bool) "surviving support untouched" true
+    (Graph.mem (Triple.make (u "x") (u "q") (u "b")) after)
+
 let gen_deletion_instance =
   let open QCheck2.Gen in
   let* g = Fixtures.gen_graph in
@@ -269,6 +327,10 @@ let () =
             test_removal_rederivation;
           Alcotest.test_case "schema deletions re-saturate" `Quick
             test_removal_schema_resaturates;
+          Alcotest.test_case "mixed data+schema batch re-saturates" `Quick
+            test_removal_mixed_batch_resaturates;
+          Alcotest.test_case "DRed cascade re-derivation" `Quick
+            test_removal_dred_cascade;
           QCheck_alcotest.to_alcotest prop_incremental_equals_full;
           QCheck_alcotest.to_alcotest prop_removal_equals_full;
         ] );

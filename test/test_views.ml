@@ -1,0 +1,465 @@
+(* Tests for workload-driven materialized views (lib/views): harvesting,
+   budgeted selection, answering-time rewriting, epoch-pinned freshness,
+   incremental maintenance, sidecar persistence and the counter
+   accounting shared with the answering caches. *)
+
+open Refq_rdf
+open Refq_query
+open Refq_storage
+open Refq_core
+open Refq_engine
+module Views = Refq_views.Views
+module Harvest = Refq_views.Harvest
+module Select = Refq_views.Select
+module Obs = Refq_obs.Obs
+
+let make_env () = Answer.make_env (Store.of_graph Fixtures.borges_graph)
+
+(* q(x) :- x rdf:type ex:Publication — on Borges, reformulation reaches
+   doi1 through Book ⊑ Publication and writtenBy's domain. *)
+let publication_q =
+  Cq.make
+    ~head:[ Cq.var "x" ]
+    ~body:
+      [
+        Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type)
+          (Cq.cst Fixtures.publication);
+      ]
+
+(* CQ-equivalent to [publication_q] (fold y onto x) but not canonically
+   equal: exercises the containment path of the lookup. *)
+let publication_redundant_q =
+  Cq.make
+    ~head:[ Cq.var "x" ]
+    ~body:
+      [
+        Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type)
+          (Cq.cst Fixtures.publication);
+        Cq.atom (Cq.var "y") (Cq.cst Vocab.rdf_type)
+          (Cq.cst Fixtures.publication);
+      ]
+
+let rename_q var =
+  Cq.make
+    ~head:[ Cq.var var ]
+    ~body:
+      [
+        Cq.atom (Cq.var var) (Cq.cst Vocab.rdf_type)
+          (Cq.cst Fixtures.publication);
+      ]
+
+let lookup_default ?(profile = "complete") env q ~out =
+  Views.lookup ~policy:Views.default_policy ~store:(Answer.store env) ~profile
+    (Answer.views env) q ~out
+
+let materialize_exn env q =
+  match
+    Views.materialize (Answer.views_ctx env) (Answer.views env) q
+  with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "materialize failed: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Harvesting and selection                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_harvest_canonical_sharing () =
+  let env = make_env () in
+  let cands =
+    Harvest.candidates (Answer.card_env env) (Answer.closure env)
+      [ ("a", rename_q "x"); ("b", rename_q "z") ]
+  in
+  Alcotest.(check int) "renamed copies pool into one candidate" 1
+    (List.length cands);
+  let c = List.hd cands in
+  Alcotest.(check int) "both occurrences counted" 2 c.Harvest.uses;
+  Alcotest.(check (list string)) "both queries named" [ "a"; "b" ]
+    (List.sort compare c.Harvest.queries)
+
+let test_harvest_enumerates_connected_fragments () =
+  let env = make_env () in
+  let q =
+    (* hasAuthor joins type: 2 connected atoms → candidates for both
+       singletons, the pair, and (deduplicated) the full query. *)
+    Cq.make
+      ~head:[ Cq.var "x" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") (Cq.cst Fixtures.has_author) (Cq.var "y");
+          Cq.atom (Cq.var "x") (Cq.cst Vocab.rdf_type)
+            (Cq.cst Fixtures.publication);
+        ]
+  in
+  let cands =
+    Harvest.candidates (Answer.card_env env) (Answer.closure env)
+      [ ("q", q) ]
+  in
+  Alcotest.(check int) "two singletons + the pair" 3 (List.length cands);
+  List.iter
+    (fun (c : Harvest.candidate) ->
+      Alcotest.(check bool)
+        (Fmt.str "positive space for %s" c.Harvest.key)
+        true (c.Harvest.space >= 0.0))
+    cands
+
+let fake_candidate ~key ~benefit ~space =
+  {
+    Harvest.def = publication_q;
+    key;
+    uses = 1;
+    queries = [ "q" ];
+    benefit;
+    space;
+  }
+
+let test_select_budget () =
+  let c1 = fake_candidate ~key:"small" ~benefit:10.0 ~space:5.0 in
+  let c2 = fake_candidate ~key:"big" ~benefit:8.0 ~space:100.0 in
+  let c3 = fake_candidate ~key:"useless" ~benefit:0.0 ~space:1.0 in
+  let trace = Select.select ~budget:50.0 [ c1; c2; c3 ] in
+  Alcotest.(check int) "one candidate fits" 1 (List.length trace.Select.chosen);
+  Alcotest.(check string) "the small one" "small"
+    (List.hd trace.Select.chosen).Harvest.key;
+  Alcotest.(check int) "every decision traced" 3
+    (List.length trace.Select.steps);
+  Alcotest.(check (float 1e-9)) "space accounted" 5.0 trace.Select.used;
+  let reasons =
+    List.map (fun s -> (s.Select.candidate.Harvest.key, s.Select.accepted))
+      trace.Select.steps
+  in
+  Alcotest.(check (list (pair string bool)))
+    "acceptance per candidate"
+    [ ("small", true); ("big", false); ("useless", false) ]
+    reasons
+
+(* ------------------------------------------------------------------ *)
+(* Materialization and lookup                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_materialize_and_lookup () =
+  let env = make_env () in
+  let v = materialize_exn env publication_q in
+  let i = Views.info v in
+  Alcotest.(check int) "doi1 is the one publication" 1 i.Views.rows;
+  Alcotest.(check string) "complete profile recorded" "complete"
+    i.Views.profile;
+  (match lookup_default env (rename_q "z") ~out:[ "z" ] with
+  | Some rel ->
+    Alcotest.(check int) "extent served" 1 (Relation.cardinality rel);
+    Alcotest.(check (array string))
+      "renamed to the fragment's columns" [| "z" |] (Relation.cols rel)
+  | None -> Alcotest.fail "renamed copy must hit via the canonical key");
+  Alcotest.(check bool) "profile mismatch misses" true
+    (lookup_default ~profile:"none" env publication_q ~out:[ "x" ] = None);
+  Alcotest.(check bool) "disabled policy never consults" true
+    (Views.lookup ~policy:Views.disabled ~store:(Answer.store env)
+       ~profile:"complete" (Answer.views env) publication_q ~out:[ "x" ]
+    = None)
+
+let test_lookup_equivalence_path () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  (match lookup_default env publication_redundant_q ~out:[ "x" ] with
+  | Some rel ->
+    Alcotest.(check int) "equivalent def served" 1 (Relation.cardinality rel)
+  | None -> Alcotest.fail "CQ-equivalent query must hit via containment");
+  Alcotest.(check bool) "rewrite counted" true
+    (List.assoc_opt "views.rewrites" (Obs.counters ()) = Some 1);
+  Obs.set_enabled false
+
+let test_stale_then_refresh () =
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  let doi2 = Fixtures.uri "doi2" in
+  let t = Triple.make doi2 Vocab.rdf_type Fixtures.book in
+  Store.add_triple (Answer.store env) t;
+  ignore (Answer.invalidate env);
+  Alcotest.(check bool) "stale extent is unusable, not wrong" true
+    (lookup_default env publication_q ~out:[ "x" ] = None);
+  let outcome =
+    Answer.refresh_views ~delta:{ Views.added = [ t ]; removed = [] } env
+  in
+  (* The reformulation of "type Publication" is a union of single-atom
+     disjuncts and the delta is insert-only: the refresh appends. *)
+  Alcotest.(check int) "append path taken" 1 outcome.Views.appended;
+  match lookup_default env publication_q ~out:[ "x" ] with
+  | Some rel ->
+    Alcotest.(check int) "doi2 joined the extent" 2 (Relation.cardinality rel)
+  | None -> Alcotest.fail "refreshed view must hit again"
+
+let test_refresh_adopts_unaffected () =
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  (* A triple matching no atom of the view's reformulation: the refresh
+     adopts the current epochs without touching the extent. *)
+  let t =
+    Triple.make (Fixtures.uri "someone")
+      (Fixtures.uri "unrelatedProperty")
+      (Fixtures.uri "something")
+  in
+  Store.add_triple (Answer.store env) t;
+  let outcome =
+    Answer.refresh_views ~delta:{ Views.added = [ t ]; removed = [] } env
+  in
+  Alcotest.(check int) "adopted, not re-evaluated" 1 outcome.Views.adopted;
+  Alcotest.(check bool) "usable again" true
+    (lookup_default env publication_q ~out:[ "x" ] <> None)
+
+let test_refresh_rematerializes_on_removal () =
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  let t = Triple.make Fixtures.doi1 Vocab.rdf_type Fixtures.book in
+  Store.remove_triple (Answer.store env) t;
+  let outcome =
+    Answer.refresh_views ~delta:{ Views.added = []; removed = [ t ] } env
+  in
+  Alcotest.(check int) "removal forces re-materialization" 1
+    outcome.Views.rematerialized;
+  match lookup_default env publication_q ~out:[ "x" ] with
+  | Some rel ->
+    (* doi1 is still a publication through writtenBy's domain. *)
+    Alcotest.(check int) "extent re-evaluated" 1 (Relation.cardinality rel)
+  | None -> Alcotest.fail "rematerialized view must be fresh"
+
+let test_schema_change_drops_views () =
+  (* Through the env: a schema mutation clears the catalog outright. *)
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  Store.add_triple (Answer.store env)
+    (Triple.make (Fixtures.uri "Fresh") Vocab.rdfs_subclassof
+       (Fixtures.uri "Fresher"));
+  ignore (Answer.refresh_views env);
+  Alcotest.(check int) "schema change leaves no views" 0
+    (Views.length (Answer.views env));
+  (* Through the raw API: a catalog whose views were pinned under the old
+     closure reports them dropped. *)
+  let store = Store.of_graph Fixtures.borges_graph in
+  let env1 = Answer.make_env store in
+  let catalog = Answer.views env1 in
+  ignore (materialize_exn env1 publication_q);
+  Store.add_triple store
+    (Triple.make (Fixtures.uri "Fresh") Vocab.rdfs_subclassof
+       (Fixtures.uri "Fresher"));
+  let env2 = Answer.make_env store in
+  let outcome = Views.refresh (Answer.views_ctx env2) catalog in
+  Alcotest.(check int) "schema-stale view dropped" 1 outcome.Views.dropped;
+  Alcotest.(check int) "catalog emptied" 0 (Views.length catalog)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_save_load_roundtrip () =
+  let env1 = make_env () in
+  ignore (materialize_exn env1 publication_q);
+  let file = Filename.temp_file "refq_views" ".json" in
+  Views.save (Answer.views_ctx env1) (Answer.views env1) file;
+  (* Reloading the same graph reproduces the same epochs, so the loaded
+     extents are fresh and usable without re-evaluation. *)
+  let env2 = make_env () in
+  (match Views.load (Answer.views_ctx env2) file with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok catalog ->
+    Alcotest.(check int) "one view loaded" 1 (Views.length catalog);
+    Answer.set_views env2 catalog;
+    (match lookup_default env2 publication_q ~out:[ "x" ] with
+    | Some rel ->
+      Alcotest.(check int) "extent round-tripped" 1
+        (Relation.cardinality rel)
+    | None -> Alcotest.fail "loaded view must be fresh on the same data"));
+  (* Against mutated data the same sidecar is stale — unusable, never
+     silently wrong. *)
+  let g =
+    Graph.add
+      (Triple.make (Fixtures.uri "doi9") Vocab.rdf_type Fixtures.book)
+      Fixtures.borges_graph
+  in
+  let env3 = Answer.make_env (Store.of_graph g) in
+  (match Views.load (Answer.views_ctx env3) file with
+  | Error m -> Alcotest.failf "load failed: %s" m
+  | Ok catalog ->
+    Answer.set_views env3 catalog;
+    Alcotest.(check bool) "stale against mutated data" true
+      (lookup_default env3 publication_q ~out:[ "x" ] = None));
+  Sys.remove file
+
+(* ------------------------------------------------------------------ *)
+(* Answering integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let decode_answers env config q s =
+  match Answer.answer ~config env q s with
+  | Ok r -> Answer.decode env r.Answer.answers
+  | Error f -> Alcotest.failf "%s failed: %s" (Strategy.name s) f.Answer.reason
+
+let test_answer_views_on_off_equal () =
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  let on = Answer.Config.(without_cache default) in
+  let off = Answer.Config.without_views on in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Fmt.str "%s: views preserve answers" (Strategy.name s))
+        true
+        (decode_answers env on publication_q s
+        = decode_answers env off publication_q s))
+    [ Strategy.Ucq; Strategy.Scq; Strategy.Gcov ]
+
+let test_report_view_hits () =
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  let config = Answer.Config.(without_cache default) in
+  (match Answer.answer ~config env publication_q Strategy.Ucq with
+  | Ok
+      {
+        Answer.detail = Answer.Reformulated { view_hits; jucq_size; _ };
+        _;
+      } ->
+    Alcotest.(check (list bool)) "the one fragment hit" [ true ] view_hits;
+    Alcotest.(check int) "fast path skips reformulation" 0 jucq_size
+  | Ok _ -> Alcotest.fail "expected a reformulated answer"
+  | Error f -> Alcotest.failf "answer failed: %s" f.Answer.reason);
+  match
+    Answer.answer
+      ~config:(Answer.Config.without_views config)
+      env publication_q Strategy.Ucq
+  with
+  | Ok { Answer.detail = Answer.Reformulated { view_hits; _ }; _ } ->
+    Alcotest.(check (list bool)) "views off: no hit recorded" [ false ]
+      view_hits
+  | Ok _ -> Alcotest.fail "expected a reformulated answer"
+  | Error f -> Alcotest.failf "answer failed: %s" f.Answer.reason
+
+let cache_hits env name =
+  match
+    List.find_opt
+      (fun st -> st.Refq_cache.Cache.name = name)
+      (Answer.cache_stats env)
+  with
+  | Some st -> st.Refq_cache.Cache.hits
+  | None -> 0
+
+let test_one_source_of_truth () =
+  (* A view hit must be the fragment's single source: the result cache is
+     not consulted (no hidden double-count), and the views.hits counter
+     ticks once per served fragment. *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  let config = Answer.Config.default in
+  let run () =
+    match Answer.answer ~config env publication_q Strategy.Ucq with
+    | Ok r -> Answer.decode env r.Answer.answers
+    | Error f -> Alcotest.failf "answer failed: %s" f.Answer.reason
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check bool) "warm run agrees" true (first = second);
+  Alcotest.(check (option int))
+    "view served both runs" (Some 2)
+    (List.assoc_opt "views.hits" (Obs.counters ()));
+  Alcotest.(check int) "result cache never consulted for the fragment" 0
+    (cache_hits env "result");
+  (* With views off the same query flows through the result cache
+     instead — exactly one source of truth either way. *)
+  let off = Answer.Config.without_views config in
+  ignore
+    (match Answer.answer ~config:off env publication_q Strategy.Ucq with
+    | Ok r -> Answer.decode env r.Answer.answers
+    | Error f -> Alcotest.failf "answer failed: %s" f.Answer.reason);
+  ignore
+    (match Answer.answer ~config:off env publication_q Strategy.Ucq with
+    | Ok r -> Answer.decode env r.Answer.answers
+    | Error f -> Alcotest.failf "answer failed: %s" f.Answer.reason);
+  Alcotest.(check bool) "result cache takes over when views are off" true
+    (cache_hits env "result" > 0);
+  Alcotest.(check (option int))
+    "views.hits unchanged with views off" (Some 2)
+    (List.assoc_opt "views.hits" (Obs.counters ()));
+  Obs.set_enabled false
+
+(* ------------------------------------------------------------------ *)
+(* Auditing (Check_views) and the facade                               *)
+(* ------------------------------------------------------------------ *)
+
+let codes ds = List.map (fun d -> d.Refq_analysis.Diagnostic.code) ds
+
+let test_check_views () =
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  let ctx = Answer.views_ctx env in
+  let catalog = Answer.views env in
+  Alcotest.(check (list string)) "fresh single view audits clean" []
+    (codes (Refq_analysis.Check_views.check ctx catalog));
+  (* An equivalent second definition is flagged as redundant. *)
+  ignore (materialize_exn env publication_redundant_q);
+  Alcotest.(check (list string)) "equivalent pair flagged" [ "RV003" ]
+    (codes (Refq_analysis.Check_views.check ctx catalog));
+  (* Mutated data: both views are stale, audited as RV002 warnings. *)
+  Store.add_triple (Answer.store env)
+    (Triple.make (Fixtures.uri "doi3") Vocab.rdf_type Fixtures.book);
+  ignore (Answer.invalidate env);
+  let ctx = Answer.views_ctx env in
+  Alcotest.(check (list string)) "stale views warned"
+    [ "RV002"; "RV002"; "RV003" ]
+    (List.sort compare (codes (Refq_analysis.Check_views.check ctx catalog)))
+
+let test_facade () =
+  (* The single-open facade exposes the views surface. *)
+  Alcotest.(check int) "Refq.Views aliases the catalog" 0
+    (Refq.Views.length (Refq.Views.create ()));
+  Alcotest.(check bool) "Refq.Views policy defaults on" true
+    Refq.Views.default_policy.Refq.Views.use
+
+let () =
+  Alcotest.run "views"
+    [
+      ( "harvest & select",
+        [
+          Alcotest.test_case "canonical sharing" `Quick
+            test_harvest_canonical_sharing;
+          Alcotest.test_case "connected fragments" `Quick
+            test_harvest_enumerates_connected_fragments;
+          Alcotest.test_case "budgeted selection" `Quick test_select_budget;
+        ] );
+      ( "materialize & lookup",
+        [
+          Alcotest.test_case "materialize + key lookup" `Quick
+            test_materialize_and_lookup;
+          Alcotest.test_case "equivalence (containment) path" `Quick
+            test_lookup_equivalence_path;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "stale then appended" `Quick
+            test_stale_then_refresh;
+          Alcotest.test_case "unaffected delta adopted" `Quick
+            test_refresh_adopts_unaffected;
+          Alcotest.test_case "removal rematerializes" `Quick
+            test_refresh_rematerializes_on_removal;
+          Alcotest.test_case "schema change drops" `Quick
+            test_schema_change_drops_views;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load roundtrip + staleness" `Quick
+            test_save_load_roundtrip;
+        ] );
+      ( "answering",
+        [
+          Alcotest.test_case "views on/off answers equal" `Quick
+            test_answer_views_on_off_equal;
+          Alcotest.test_case "view hits reported" `Quick test_report_view_hits;
+          Alcotest.test_case "one source of truth per fragment" `Quick
+            test_one_source_of_truth;
+        ] );
+      ( "audit & facade",
+        [
+          Alcotest.test_case "Check_views RV001-RV003" `Quick test_check_views;
+          Alcotest.test_case "facade aliases" `Quick test_facade;
+        ] );
+    ]
