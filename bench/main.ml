@@ -11,6 +11,7 @@
      E7  GCov introspection   explored space, estimated vs actual cost
      E8  demo step 4          impact of constraint changes on Ref
      E9  Figure 3 / step 1    dataset statistics (value distributions)
+     E19 cold open            parse+saturate vs checksummed snapshot open
      obs                      observability-sink overhead check
      micro                    Bechamel micro-benchmarks, one per experiment
 
@@ -35,6 +36,7 @@ module Trajectory = Refq_obs.Trajectory
 module Views = Refq_views.Views
 module Harvest = Refq_views.Harvest
 module Select = Refq_views.Select
+module Persist = Refq_persist.Persist
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
@@ -1109,6 +1111,142 @@ let e18 () =
      speedup across data mutations.@."
 
 (* ------------------------------------------------------------------ *)
+(* E19 — cold open: parse + saturate vs snapshot open (lib/persist)    *)
+(* ------------------------------------------------------------------ *)
+
+(* The durability layer's raison d'être in numbers: reopening a store
+   from its binary snapshot (dictionary, triple vector, permutation
+   indexes, saturation closure — all checksummed) against rebuilding the
+   same state the cold way, i.e. parsing the Turtle serialization,
+   loading the store and re-running saturation to fixpoint. *)
+
+let e19_tmpdir () =
+  let d = Filename.temp_file "refq_e19" ".dir" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let e19_rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* Build the persistence directory once (this is the write side a live
+   instance amortizes over its whole run) and the Turtle file the cold
+   path would start from. Returns (ttl_file, persist_dir, write_s). *)
+let e19_setup store =
+  let ttl = Filename.temp_file "refq_e19" ".ttl" in
+  let oc = open_out ttl in
+  output_string oc (Turtle.to_string (Store.to_graph store));
+  close_out oc;
+  let dir = e19_tmpdir () in
+  let _, write_s =
+    time (fun () ->
+        match Persist.open_dir dir with
+        | Error m -> failwith m
+        | Ok h ->
+          let st = Persist.store h in
+          Graph.iter (Store.add_triple st) (Store.to_graph store);
+          Persist.snapshot ~sat:(Refq_saturation.Saturate.store st) h;
+          Persist.close h)
+  in
+  (ttl, dir, write_s)
+
+(* One cold rebuild: parse + store build + saturation. *)
+let e19_rebuild ttl =
+  let g, parse_s =
+    time (fun () -> Result.get_ok (Turtle.parse_file ttl))
+  in
+  let st, build_s = time (fun () -> Store.of_graph g) in
+  let sat, sat_s = time (fun () -> Refq_saturation.Saturate.store st) in
+  (st, sat, parse_s, build_s, sat_s)
+
+(* One snapshot open (read-only recovery: decode + index import + WAL
+   replay + closure restore). *)
+let e19_open dir =
+  let recovered, open_s = time (fun () -> Persist.recover dir) in
+  match recovered with
+  | Error m -> failwith m
+  | Ok { Persist.store; sat; report } ->
+    if not (Persist.clean report) then failwith "E19: unclean recovery";
+    (store, sat, open_s)
+
+let e19_workloads () =
+  [
+    ("lubm", Lazy.force lubm_store);
+    ("dblp", Dblp.generate ~scale:cfg.scale ());
+    ("geo", Geo.generate ~scale:cfg.scale ());
+  ]
+
+let e19 () =
+  hr "E19  Cold open: parse+saturate vs snapshot open";
+  Fmt.pr "%-6s | %8s %8s | %10s %10s %10s %10s | %10s %8s@." "data" "triples"
+    "closure" "parse" "build" "saturate" "rebuild" "snap open" "speedup";
+  List.iter
+    (fun (name, store) ->
+      let ttl, dir, write_s = e19_setup store in
+      let _, sat1, parse_s, build_s, sat_s = e19_rebuild ttl in
+      let st2, sat2, open_s = e19_open dir in
+      (* The two paths must land on the same state — a silent divergence
+         here would make the speedup meaningless. *)
+      if not (Graph.equal (Store.to_graph store) (Store.to_graph st2)) then
+        failwith "E19: snapshot open diverged from the source store";
+      (match sat2 with
+      | Some s2 when Graph.equal (Store.to_graph sat1) (Store.to_graph s2) ->
+        ()
+      | _ -> failwith "E19: restored closure diverged from re-saturation");
+      let rebuild_s = parse_s +. build_s +. sat_s in
+      Fmt.pr "%-6s | %8d %8d | %10s %10s %10s %10s | %10s %7.1fx@." name
+        (Store.size store) (Store.size sat1)
+        (Fmt.str "%a" pp_time parse_s)
+        (Fmt.str "%a" pp_time build_s)
+        (Fmt.str "%a" pp_time sat_s)
+        (Fmt.str "%a" pp_time rebuild_s)
+        (Fmt.str "%a" pp_time open_s)
+        (rebuild_s /. Float.max 1e-9 open_s);
+      Fmt.pr "%-6s | one-time snapshot write (amortized by the live run): %a@."
+        "" pp_time write_s;
+      Sys.remove ttl;
+      e19_rm_rf dir)
+    (e19_workloads ());
+  Fmt.pr
+    "@.The snapshot open skips tokenizing, dictionary interning, index \
+     sorting and the@.saturation fixpoint: it checksums and maps the saved \
+     dictionary, triple vector,@.permutation indexes and closure back into \
+     place, then replays whatever WAL tail@.outlived the last snapshot.@."
+
+(* E19's trajectory form: one run per workload and path. [query] is the
+   fixed label "cold-open"; the two pseudo-strategies "rebuild" and
+   "snapshot" carry the contrasted timings, with the rebuild's phase
+   split recorded as stages. *)
+let trajectory_persist_runs () =
+  List.map
+    (fun (workload, store) ->
+      let ttl, dir, _ = e19_setup store in
+      let _, _, parse_s, build_s, sat_s = e19_rebuild ttl in
+      let st2, _, open_s = e19_open dir in
+      Sys.remove ttl;
+      e19_rm_rf dir;
+      [
+        Trajectory.run ~workload ~scale:cfg.scale ~query:"cold-open"
+          ~strategy:"rebuild" ~status:"ok" ~answers:(Store.size store)
+          ~total_s:(parse_s +. build_s +. sat_s)
+          ~stages:
+            [
+              ("parse", parse_s); ("build", build_s); ("saturate", sat_s);
+            ]
+          ~counters:[];
+        Trajectory.run ~workload ~scale:cfg.scale ~query:"cold-open"
+          ~strategy:"snapshot" ~status:"ok" ~answers:(Store.size st2)
+          ~total_s:open_s
+          ~stages:[ ("open", open_s) ]
+          ~counters:[];
+      ])
+    (e19_workloads ())
+  |> List.concat
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1373,7 +1511,10 @@ let trajectory file =
   let views_runs = trajectory_views_runs () in
   Fmt.pr "trajectory: views off/on/refreshed, %d runs@."
     (List.length views_runs);
-  let runs = runs @ cache_runs @ views_runs in
+  let persist_runs = trajectory_persist_runs () in
+  Fmt.pr "trajectory: cold-open rebuild vs snapshot, %d runs@."
+    (List.length persist_runs);
+  let runs = runs @ cache_runs @ views_runs @ persist_runs in
   let environment =
     [
       ("ocaml_version", Json.String Sys.ocaml_version);
@@ -1427,6 +1568,7 @@ let () =
         ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
         ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
         ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
+        ("e19", e19);
         ("obs", obs_overhead); ("micro", micro);
       ]
     in

@@ -18,6 +18,8 @@ open Refq_core
    command definitions below (RDF terms are only used qualified here). *)
 module Term = Cmdliner.Term
 module Obs = Refq_obs.Obs
+module Persist = Refq_persist.Persist
+module Io = Refq_fault.Io
 
 (* ------------------------------------------------------------------ *)
 (* Loading and saving                                                  *)
@@ -257,6 +259,75 @@ let make_resilience ~faults ~fault_seed ~retries =
     plan
 
 (* ------------------------------------------------------------------ *)
+(* Persistence helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let report_recovery dir (r : Persist.report) =
+  if Persist.clean r then
+    Fmt.pr "persist: %s opened clean (epochs data=%d schema=%d)@." dir
+      (fst r.Persist.recovered) (snd r.Persist.recovered)
+  else Fmt.epr "persist: %s recovered with anomalies:@.%a@." dir Persist.pp_report r
+
+(* Bring the persisted store to exactly the data file's triple set,
+   streaming the term-level diff through the delta hook — one WAL record
+   per effective change. Removals run first so the diff never transits
+   through a state outside old..new. *)
+let sync_persisted h data =
+  let st = Persist.store h in
+  let current = Store.to_graph st in
+  let removed = ref 0 and added = ref 0 in
+  Graph.iter
+    (fun t ->
+      if not (Graph.mem t data) then begin
+        Store.remove_triple st t;
+        incr removed
+      end)
+    current;
+  Graph.iter
+    (fun t ->
+      if not (Graph.mem t current) then begin
+        Store.add_triple st t;
+        incr added
+      end)
+    data;
+  (!added, !removed)
+
+let make_io ~io_fault ~io_seed =
+  match io_fault with
+  | None -> Ok Io.real
+  | Some spec ->
+    Result.map
+      (fun mode -> Io.make ?seed:(Option.map Int64.of_int io_seed) mode)
+      (Io.parse_mode spec)
+
+let io_fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "io-fault" ] ~docv:"SPEC"
+        ~doc:
+          "Inject an I/O fault into the persistence layer: fail:N, short:N \
+           or corrupt:N (at the Nth written byte), or op:N (crash before \
+           the Nth file operation). For crash-recovery testing.")
+
+let io_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "io-seed" ] ~docv:"N"
+        ~doc:"Seed for the injected corruption bits (deterministic).")
+
+let persist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "persist" ] ~docv:"DIR"
+        ~doc:
+          "Persistence directory: open or crash-recover the store there \
+           (a fresh directory is seeded from FILE, then mutations append \
+           to the write-ahead log).")
+
+(* ------------------------------------------------------------------ *)
 (* answer                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -319,10 +390,32 @@ let explain_answer env q (r : Answer.report) =
       (List.combine (Cover.fragments cover) fragment_cardinalities)
 
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache use_views verify faults fault_seed retries deadline max_rows =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache use_views verify faults fault_seed retries deadline max_rows persist_dir =
     match load_store path with
     | Error m -> `Error (false, m)
-    | Ok store -> (
+    | Ok file_store -> (
+      let persisted =
+        match persist_dir with
+        | None -> Ok (file_store, None)
+        | Some dir -> (
+          match Persist.open_dir dir with
+          | Error m -> Error m
+          | Ok h ->
+            report_recovery dir (Persist.report h);
+            let st = Persist.store h in
+            if Store.size st = 0 && Store.size file_store > 0 then begin
+              let added, _removed =
+                sync_persisted h (Store.to_graph file_store)
+              in
+              Persist.snapshot h;
+              Fmt.pr "persist: seeded %s with %d triple(s) from %s@." dir
+                added path
+            end;
+            Ok (st, Persist.sat h))
+      in
+      match persisted with
+      | Error m -> `Error (false, m)
+      | Ok (store, restored_sat) -> (
       match read_query ~query ~query_file with
       | Error m -> `Error (false, m)
       | Ok text -> (
@@ -357,6 +450,7 @@ let answer_cmd =
             | Error m -> `Error (false, m)
             | Ok backend ->
             let env = Answer.make_env store in
+            Option.iter (Answer.install_saturated env) restored_sat;
             let n_atoms = List.length q.Cq.body in
             let budget = make_budget ~deadline ~max_rows in
             let config =
@@ -378,10 +472,15 @@ let answer_cmd =
                let side = path ^ ".views" in
                if Sys.file_exists side then
                  match Answer.Views.load (Answer.views_ctx env) side with
-                 | Ok catalog ->
+                 | Ok { Answer.Views.catalog; skipped } ->
                    Answer.set_views env catalog;
                    Fmt.pr "loaded %d materialized view(s) from %s@."
-                     (Answer.Views.length catalog) side
+                     (Answer.Views.length catalog) side;
+                   if skipped > 0 then
+                     Fmt.epr
+                       "views: %s: skipped %d undecodable view(s) (stale, \
+                        not trusted)@."
+                       side skipped
                  | Error m -> Fmt.epr "views: ignoring %s: %s@." side m);
             match make_resilience ~faults ~fault_seed ~retries with
             | Error m -> `Error (false, m)
@@ -506,7 +605,7 @@ let answer_cmd =
                             (Strategy.name f.Answer.f_strategy)
                             f.Answer.f_reformulation_s f.Answer.reason))
                     strategies;
-                  `Ok ())))))
+                  `Ok ()))))))
   in
   let path =
     Arg.(
@@ -620,7 +719,7 @@ let answer_cmd =
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
        $ all_strategies $ minimize $ backend $ format $ explain $ no_cache
        $ use_views $ verify $ faults_arg $ fault_seed_arg $ retries_arg
-       $ deadline_arg $ max_rows_arg))
+       $ deadline_arg $ max_rows_arg $ persist_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -875,7 +974,18 @@ let lint_cmd =
                   else
                     let ctx = Answer.views_ctx env in
                     match Refq_views.Views.load ctx side with
-                    | Ok catalog -> Refq_analysis.Check_views.check ctx catalog
+                    | Ok { Refq_views.Views.catalog; skipped } ->
+                      (if skipped = 0 then []
+                       else
+                         [
+                           Diagnostic.make ~code:"RV002"
+                             ~severity:Diagnostic.Warning ~artifact:"views"
+                             ~subject:side
+                             "%d sidecar view(s) did not decode and were \
+                              dropped"
+                             skipped;
+                         ])
+                      @ Refq_analysis.Check_views.check ctx catalog
                     | Error m ->
                       [
                         Diagnostic.make ~code:"RV001"
@@ -1005,26 +1115,45 @@ let lint_cmd =
        $ max_disjuncts $ json $ catalogue))
 
 let audit_store_cmd =
-  let run path json =
-    match load_store path with
-    | Error m -> `Error (false, m)
-    | Ok store ->
-      let ds = Refq_analysis.Audit_store.check store in
-      if json then print_endline (Json.to_string (Diagnostic.list_to_json ds))
-      else if ds = [] then
-        Fmt.pr "store OK: %d triple(s), %d dictionary id(s), epochs data=%d \
-                schema=%d@."
-          (Store.size store)
-          (Dictionary.size (Store.dictionary store))
-          (Store.data_epoch store) (Store.schema_epoch store)
-      else Fmt.pr "%a@." Diagnostic.pp_list ds;
-      if Diagnostic.has_errors ds then
-        die "audit: %d integrity error(s)" (List.length (Diagnostic.errors ds))
-      else `Ok ()
+  let finish ds json ok_line =
+    if json then print_endline (Json.to_string (Diagnostic.list_to_json ds))
+    else if ds = [] then ok_line ()
+    else Fmt.pr "%a@." Diagnostic.pp_list ds;
+    if Diagnostic.has_errors ds then
+      die "audit: %d integrity error(s)" (List.length (Diagnostic.errors ds))
+    else `Ok ()
+  in
+  let run path json persist_dir =
+    match persist_dir, path with
+    | Some dir, _ ->
+      (* Read-only: recovery is simulated in memory, the directory is not
+         repaired — auditing must never mutate the evidence. *)
+      let ds = Refq_analysis.Audit_store.check_persist dir in
+      finish ds json (fun () ->
+          match Persist.recover dir with
+          | Ok { Persist.store; report; _ } ->
+            Fmt.pr "persist OK: %s — %d triple(s), epochs data=%d schema=%d%s@."
+              dir (Store.size store) (fst report.Persist.recovered)
+              (snd report.Persist.recovered)
+              (if report.Persist.sat_restored then ", saturation restorable"
+               else "")
+          | Error m -> Fmt.pr "persist: %s@." m)
+    | None, Some path -> (
+      match load_store path with
+      | Error m -> `Error (false, m)
+      | Ok store ->
+        let ds = Refq_analysis.Audit_store.check store in
+        finish ds json (fun () ->
+            Fmt.pr "store OK: %d triple(s), %d dictionary id(s), epochs \
+                    data=%d schema=%d@."
+              (Store.size store)
+              (Dictionary.size (Store.dictionary store))
+              (Store.data_epoch store) (Store.schema_epoch store)))
+    | None, None -> die "give an RDF FILE or --persist DIR"
   in
   let path =
     Arg.(
-      required
+      value
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"RDF file (.nt, .ttl or .store).")
   in
@@ -1033,12 +1162,23 @@ let audit_store_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the diagnostics as machine-readable JSON.")
   in
+  let persist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "persist" ] ~docv:"DIR"
+          ~doc:
+            "Audit a persistence directory instead: simulate recovery \
+             (read-only) and check snapshot/WAL integrity (RS004), epoch \
+             contiguity against the durable watermark (RS005) and the \
+             recovered store's index agreement (RS006).")
+  in
   Cmd.v
     (Cmd.info "audit-store"
        ~doc:
          "Audit a store's integrity invariants: dictionary bijectivity, \
-          index agreement, epoch sanity")
-    Term.(ret (const run $ path $ json))
+          index agreement, epoch sanity, crash-recovery soundness")
+    Term.(ret (const run $ path $ json $ persist))
 
 (* ------------------------------------------------------------------ *)
 (* saturate                                                            *)
@@ -1309,7 +1449,10 @@ let views_cmd =
       else
         match Views.load ctx side with
         | Error m -> `Error (false, m)
-        | Ok catalog -> k store ctx side catalog)
+        | Ok { Views.catalog; skipped } ->
+          if skipped > 0 then
+            Fmt.epr "views: %s: skipped %d undecodable view(s)@." side skipped;
+          k store ctx side catalog)
   in
   let list_cmd =
     let run path views_file =
@@ -1530,6 +1673,151 @@ let federate_cmd =
         (const run $ paths $ query $ query_file $ limit $ faults_arg
        $ fault_seed_arg $ retries_arg $ deadline_arg $ max_rows_arg))
 
+(* ------------------------------------------------------------------ *)
+(* snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_cmd =
+  let data_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"RDF file (.nt, .ttl or .store).")
+  in
+  let dir_arg n =
+    Arg.(
+      required
+      & pos n (some string) None
+      & info [] ~docv:"DIR" ~doc:"Persistence directory.")
+  in
+  let with_synced ~io path dir k =
+    match load_store path with
+    | Error m -> `Error (false, m)
+    | Ok data -> (
+      match Persist.open_dir ~io dir with
+      | Error m -> `Error (false, m)
+      | Ok h ->
+        report_recovery dir (Persist.report h);
+        let added, removed = sync_persisted h (Store.to_graph data) in
+        let st = Persist.store h in
+        Fmt.pr "synced %s: +%d/-%d triple(s), now %d at epochs data=%d \
+                schema=%d@."
+          dir added removed (Store.size st) (Store.data_epoch st)
+          (Store.schema_epoch st);
+        k h)
+  in
+  let save_cmd =
+    let run path dir with_sat =
+      with_synced ~io:Io.real path dir (fun h ->
+          let sat =
+            if with_sat then
+              Some (Refq_saturation.Saturate.store (Persist.store h))
+            else None
+          in
+          Persist.snapshot ?sat h;
+          Fmt.pr "snapshot written: %s%s@." dir
+            (match sat with
+            | Some sst ->
+              Fmt.str " (saturation closure: %d triple(s))" (Store.size sst)
+            | None -> "");
+          Persist.close h;
+          `Ok ())
+    in
+    let with_sat =
+      Arg.(
+        value & flag
+        & info [ "sat" ]
+            ~doc:
+              "Saturate first and store the closure in the snapshot, so \
+               reopening skips both parsing and saturation.")
+    in
+    Cmd.v
+      (Cmd.info "save"
+         ~doc:
+           "Sync DIR to FILE's triples and write a new snapshot generation \
+            (collapsing the write-ahead log)")
+      Term.(ret (const run $ data_arg $ dir_arg 1 $ with_sat))
+  in
+  let sync_cmd =
+    let run path dir io_fault io_seed =
+      match make_io ~io_fault ~io_seed with
+      | Error m -> `Error (false, m)
+      | Ok io -> (
+        (* Io.Crash is the simulated power cut the fault spec asked for:
+           report where it hit and exit cleanly, leaving the torn state
+           on disk for recovery (and the smoke tests) to chew on. *)
+        try
+          with_synced ~io path dir (fun h ->
+              Persist.close h;
+              `Ok ())
+        with Io.Crash m ->
+          Fmt.pr "crash injected: %s (after %d byte(s), %d op(s))@." m
+            (Io.bytes_written io) (Io.ops io);
+          `Ok ())
+    in
+    Cmd.v
+      (Cmd.info "sync"
+         ~doc:
+           "Sync DIR to FILE's triples through the write-ahead log only (no \
+            snapshot rotation); with --io-fault, tear the log mid-write")
+      Term.(ret (const run $ data_arg $ dir_arg 1 $ io_fault_arg $ io_seed_arg))
+  in
+  let load_cmd =
+    let run dir =
+      match Persist.open_dir dir with
+      | Error m -> `Error (false, m)
+      | Ok h ->
+        let st = Persist.store h in
+        Fmt.pr "%a@." Persist.pp_report (Persist.report h);
+        Fmt.pr "store: %d triple(s), %d dictionary id(s)@." (Store.size st)
+          (Dictionary.size (Store.dictionary st));
+        (match Persist.sat h with
+        | Some sst ->
+          Fmt.pr "saturation: %d triple(s) restored@." (Store.size sst)
+        | None -> ());
+        Persist.close h;
+        `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "load"
+         ~doc:
+           "Open-or-recover DIR (repairing torn WAL tails) and print the \
+            recovery report and store statistics")
+      Term.(ret (const run $ dir_arg 0))
+  in
+  let info_cmd =
+    let run dir =
+      match Persist.recover dir with
+      | Error m -> `Error (false, m)
+      | Ok { Persist.store = st; sat; report } ->
+        List.iter
+          (fun f ->
+            let p = Persist.path dir f in
+            if Sys.file_exists p then
+              Fmt.pr "%-14s %d byte(s)@." (Filename.basename p)
+                (Unix.stat p).Unix.st_size)
+          [ `Snapshot_cur; `Snapshot_prev; `Wal_cur; `Wal_prev; `Meta ];
+        Fmt.pr "%a@." Persist.pp_report report;
+        Fmt.pr "store: %d triple(s)%s@." (Store.size st)
+          (match sat with
+          | Some sst -> Fmt.str "; saturation: %d triple(s)" (Store.size sst)
+          | None -> "");
+        `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Inspect DIR without touching it: file sizes and a simulated \
+            (read-only) recovery report")
+      Term.(ret (const run $ dir_arg 0))
+  in
+  Cmd.group
+    (Cmd.info "snapshot"
+       ~doc:
+         "Durable stores: write snapshot generations, append to the WAL, \
+          inspect and crash-recover persistence directories")
+    [ save_cmd; sync_cmd; load_cmd; info_cmd ]
+
 let () =
   (* Debug logging for the refq.* sources: REFQ_DEBUG=1 refq ... *)
   if Sys.getenv_opt "REFQ_DEBUG" <> None then begin
@@ -1542,8 +1830,8 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; answer_cmd; explain_cmd; profile_cmd;
-        lint_cmd; audit_store_cmd; saturate_cmd; cache_cmd; views_cmd;
-        federate_cmd; demo_cmd;
+        lint_cmd; audit_store_cmd; saturate_cmd; snapshot_cmd; cache_cmd;
+        views_cmd; federate_cmd; demo_cmd;
       ]
   in
   (* One-line diagnostics instead of raw backtraces for the failures a

@@ -158,3 +158,102 @@ let check_epochs ?previous store =
 let check ?previous store =
   Diagnostic.sort
     (check_dictionary store @ check_indexes store @ check_epochs ?previous store)
+
+(* ------------------------------------------------------------------ *)
+(* RS004–RS006: persistence-directory audit                            *)
+(* ------------------------------------------------------------------ *)
+
+module Persist = Refq_persist.Persist
+
+let pdiag ~code ~severity ~subject fmt =
+  Diagnostic.make ~code ~severity ~artifact:"persist" ~subject fmt
+
+(* RS004: physical integrity of the snapshot generations and WAL frames.
+   An Error means no decodable snapshot generation survives — the
+   directory cannot seed recovery; everything recoverable (fallback to
+   the previous generation, a torn tail truncated by framing) is a
+   Warning, because recovery absorbs it soundly. *)
+let check_integrity (r : Persist.report) =
+  let torn name (c : Persist.counts) =
+    if c.Persist.truncated_bytes > 0 then
+      [
+        pdiag ~code:"RS004" ~severity:Diagnostic.Warning ~subject:name
+          "%s has a torn tail: %d trailing byte(s) fail length/checksum \
+           framing and were ignored (truncated on open)"
+          name c.Persist.truncated_bytes;
+      ]
+    else []
+  in
+  (if r.Persist.source = Persist.Fresh && r.Persist.fallback then
+     [
+       pdiag ~code:"RS004" ~severity:Diagnostic.Error ~subject:"snapshot"
+         "no snapshot generation decodes (snapshot.cur fails its \
+          magic/checksum and no previous generation survives): recovery can \
+          only seed from the empty store";
+     ]
+   else if r.Persist.fallback then
+     [
+       pdiag ~code:"RS004" ~severity:Diagnostic.Warning ~subject:"snapshot.cur"
+         "snapshot.cur is corrupt; recovery fell back to snapshot.prev and \
+          replayed both WAL generations";
+     ]
+   else [])
+  @ torn "wal.prev" r.Persist.wal_prev
+  @ torn "wal.cur" r.Persist.wal_cur
+
+(* RS005: the WAL's epoch contiguity against the recovered state and the
+   durable watermark. Stale recovery (acknowledged mutations lost) is an
+   Error; an in-log gap whose suffix was discarded is a Warning — the
+   recovered prefix itself is still sound. *)
+let check_contiguity (r : Persist.report) =
+  let discarded name (c : Persist.counts) =
+    if c.Persist.discarded > 0 then
+      [
+        pdiag ~code:"RS005" ~severity:Diagnostic.Warning ~subject:name
+          "%s: %d record(s) break epoch contiguity with the recovered state \
+           and were discarded (stale-not-wrong)"
+          name c.Persist.discarded;
+      ]
+    else []
+  in
+  (if r.Persist.stale then
+     let rd, rs = r.Persist.recovered in
+     let dd, ds =
+       match r.Persist.durable with Some v -> v | None -> (0, 0)
+     in
+     [
+       pdiag ~code:"RS005" ~severity:Diagnostic.Error ~subject:"meta"
+         "recovered epochs (data=%d schema=%d) are behind the durable \
+          watermark (data=%d schema=%d): acknowledged mutations were lost"
+         rd rs dd ds;
+     ]
+   else [])
+  @ discarded "wal.prev" r.Persist.wal_prev
+  @ discarded "wal.cur" r.Persist.wal_cur
+
+(* RS006: the recovered store must pass the in-memory audit (RS001–RS003)
+   like any other store; each inner failure is wrapped so the report says
+   it came from recovery. *)
+let check_recovered store =
+  List.filter_map
+    (fun (d : Diagnostic.t) ->
+      match d.Diagnostic.severity with
+      | Diagnostic.Error ->
+        Some
+          (pdiag ~code:"RS006" ~severity:Diagnostic.Error
+             ~subject:d.Diagnostic.subject
+             "recovered store fails %s: %s" d.Diagnostic.code
+             d.Diagnostic.message)
+      | Diagnostic.Warning | Diagnostic.Hint -> None)
+    (check store)
+
+let check_persist ?io dir =
+  match Persist.recover ?io dir with
+  | Error m ->
+    [
+      pdiag ~code:"RS004" ~severity:Diagnostic.Error ~subject:dir
+        "persistence directory is unusable: %s" m;
+    ]
+  | Ok { Persist.store; sat = _; report } ->
+    Diagnostic.sort
+      (check_integrity report @ check_contiguity report @ check_recovered store)

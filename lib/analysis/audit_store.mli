@@ -1,11 +1,15 @@
-(** Store integrity audit (codes [RS001]–[RS003]).
+(** Store integrity audit (codes [RS001]–[RS006]).
 
     A full scan of a store's invariants: the dictionary is a bijection
     between allocated ids and terms ([RS001]); the three permutation
     indexes agree with the triple set — every triple is found by lookup,
     and pattern counts match actual scans ([RS002]); the mutation epochs
     only ever grow ([RS003], checked against an {!observed} snapshot from
-    an earlier audit). Exposed as [refq audit-store]. *)
+    an earlier audit). {!check_persist} extends the audit to a
+    persistence directory: snapshot/WAL physical integrity ([RS004]),
+    WAL-vs-epoch contiguity and the durable watermark ([RS005]), and the
+    recovered store's agreement with its own indexes and dictionary
+    ([RS006]). Exposed as [refq audit-store]. *)
 
 open Refq_storage
 
@@ -21,3 +25,11 @@ val check : ?previous:observed -> Store.t -> Diagnostic.t list
 (** Run the audit. O(n log n) in the number of triples (every triple is
     re-looked-up through the indexes); intended for debugging and CI, not
     for hot paths. *)
+
+val check_persist : ?io:Refq_fault.Io.t -> string -> Diagnostic.t list
+(** Audit a persistence directory (read-only — nothing is repaired):
+    run {!Refq_persist.Persist.recover} and translate its report into
+    [RS004]/[RS005] diagnostics, then run {!check} on the recovered
+    store and wrap any failure as [RS006]. Errors mean data was lost or
+    the recovered state is inconsistent; recoverable damage (generation
+    fallback, torn tails, discarded suffixes) surfaces as warnings. *)

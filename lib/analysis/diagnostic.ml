@@ -86,6 +86,9 @@ let catalogue =
     ("RS001", Error, "dictionary bijectivity violated (term/id mapping disagrees)");
     ("RS002", Error, "index disagreement (pattern counts differ from the triple set)");
     ("RS003", Error, "store epoch went backwards (monotonicity violated)");
+    ("RS004", Error, "persistence integrity: snapshot/WAL checksum or framing failure");
+    ("RS005", Error, "WAL/epoch contiguity broken (gap, divergence, or lost durable mutations)");
+    ("RS006", Error, "recovered store fails the in-memory integrity audit");
     ("RL001", Warning, "reformulation exceeded the disjunct budget; downstream checks skipped");
     ("RV001", Error, "materialized view extent disagrees with its definition (sampled rows)");
     ("RV002", Warning, "stale materialized view (recorded epochs differ from the store's)");

@@ -176,6 +176,20 @@ let saturated env =
   let st, info, _ = saturated_full env in
   (st, info)
 
+(* A closure restored from a snapshot: trusted as-is (the persistence
+   layer only hands it over when no delta was replayed on top of it).
+   [rounds = 0] marks it as restored rather than computed. *)
+let install_saturated env sst =
+  let info =
+    {
+      Refq_saturation.Saturate.input_triples = Store.size env.store;
+      output_triples = Store.size sst;
+      rounds = 0;
+      elapsed_s = 0.;
+    }
+  in
+  env.sat <- Some (sst, info, Cardinality.make_env sst)
+
 (* Epoch-aware refresh after store mutations. A data-only change keeps
    the closure, its fingerprint and the reformulation cache (reformulation
    only depends on the schema); a schema change rebuilds the closure and

@@ -44,6 +44,14 @@ val card_env : env -> Cardinality.env
 val saturated : env -> Store.t * Refq_saturation.Saturate.info
 (** The saturation of the store (computed on first use, then cached). *)
 
+val install_saturated : env -> Store.t -> unit
+(** Install an externally restored saturation (a snapshot's closure) so
+    the first [Saturation] run skips the fixpoint. The store must share
+    the environment's dictionary and describe its current epochs — the
+    persistence layer guarantees both; the synthesized
+    {!Refq_saturation.Saturate.info} has [rounds = 0] to mark it as
+    restored, not computed. *)
+
 val views : env -> Views.t
 (** The environment's materialized-view catalog (empty until views are
     materialized into it or a loaded catalog is installed with

@@ -1,0 +1,147 @@
+module Splitmix64 = Refq_util.Splitmix64
+
+exception Crash of string
+
+type mode =
+  | Healthy
+  | Fail_at of int
+  | Short_at of int
+  | Corrupt_at of int
+  | Op_crash_at of int
+
+type t = {
+  mode : mode;
+  rng : Splitmix64.t;
+  mutable bytes : int;
+  mutable ops : int;
+}
+
+let make ?(seed = 0x10F4017L) mode =
+  { mode; rng = Splitmix64.create seed; bytes = 0; ops = 0 }
+
+let real = make Healthy
+let bytes_written t = t.bytes
+let ops t = t.ops
+
+let pp_mode ppf = function
+  | Healthy -> Fmt.string ppf "healthy"
+  | Fail_at n -> Fmt.pf ppf "fail:%d" n
+  | Short_at n -> Fmt.pf ppf "short:%d" n
+  | Corrupt_at n -> Fmt.pf ppf "corrupt:%d" n
+  | Op_crash_at n -> Fmt.pf ppf "op:%d" n
+
+let parse_mode s =
+  let num ctor rest =
+    match int_of_string_opt rest with
+    | Some n when n >= 0 -> Ok (ctor n)
+    | _ -> Error (Printf.sprintf "io fault: %S is not a byte offset" rest)
+  in
+  match String.index_opt s ':' with
+  | None when s = "healthy" -> Ok Healthy
+  | None -> Error (Printf.sprintf "io fault: unknown mode %S" s)
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "fail" -> num (fun n -> Fail_at n) rest
+      | "short" -> num (fun n -> Short_at n) rest
+      | "corrupt" -> num (fun n -> Corrupt_at n) rest
+      | "op" -> num (fun n -> Op_crash_at n) rest
+      | _ -> Error (Printf.sprintf "io fault: unknown mode %S" kind))
+
+(* A non-zero xor mask so a corrupted byte always differs on disk. *)
+let corrupt_mask t = 1 + Splitmix64.int t.rng 255
+
+let op_gate t what =
+  if (match t.mode with Op_crash_at n -> t.ops = n | _ -> false) then
+    raise (Crash (Printf.sprintf "op-crash before %s (op %d)" what t.ops));
+  t.ops <- t.ops + 1
+
+(* Decide what a chunk write occupying stream bytes [b0, b0+len) does:
+   everything, a prefix, or a corrupted copy. *)
+type chunk = All | Prefix of int | Corrupted of int
+
+let chunk_fate t len =
+  let b0 = t.bytes in
+  t.bytes <- t.bytes + len;
+  match t.mode with
+  | Fail_at n when n >= b0 && n < b0 + len -> Prefix 0
+  | Short_at n when n >= b0 && n < b0 + len -> Prefix (n - b0)
+  | Corrupt_at n when n >= b0 && n < b0 + len -> Corrupted (n - b0)
+  | Healthy | Fail_at _ | Short_at _ | Corrupt_at _ | Op_crash_at _ -> All
+
+let write_channel t oc path data =
+  match chunk_fate t (String.length data) with
+  | All -> output_string oc data
+  | Corrupted i ->
+      let b = Bytes.of_string data in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor corrupt_mask t));
+      output_bytes oc b
+  | Prefix k ->
+      output_substring oc data 0 k;
+      flush oc;
+      raise
+        (Crash
+           (Printf.sprintf "write of %d bytes to %s torn at %d"
+              (String.length data) path k))
+
+let write_file t path data =
+  op_gate t (Printf.sprintf "write %s" path);
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      write_channel t oc path data;
+      flush oc)
+
+let read_file _t path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception End_of_file ->
+              Error (Printf.sprintf "%s: short read" path)
+          | exception Sys_error msg -> Error msg)
+
+let rename t ~src ~dst =
+  op_gate t (Printf.sprintf "rename %s -> %s" src dst);
+  Sys.rename src dst
+
+let remove t path =
+  op_gate t (Printf.sprintf "remove %s" path);
+  if Sys.file_exists path then Sys.remove path
+
+let exists _t path = Sys.file_exists path
+
+let rec mkdir t path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path then mkdir t parent;
+    (* A concurrent or repeated create is fine: only a still-missing
+       directory is an error. *)
+    try Sys.mkdir path 0o755 with
+    | Sys_error _ when Sys.file_exists path -> ()
+  end
+
+type appender = { io : t; path : string; oc : out_channel }
+
+let open_append t path =
+  op_gate t (Printf.sprintf "open-append %s" path);
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644
+      path
+  in
+  { io = t; path; oc }
+
+let append a data =
+  op_gate a.io (Printf.sprintf "append %s" a.path);
+  write_channel a.io a.oc a.path data;
+  flush a.oc
+
+let close_append a = close_out_noerr a.oc

@@ -1,0 +1,91 @@
+(** Deterministic fault injection for file I/O.
+
+    The persistence layer ({!Refq_persist.Persist}) routes every byte it
+    writes — snapshots, write-ahead-log appends, renames — through one of
+    these handles. A healthy handle is plain buffered file I/O; a faulty
+    one counts the bytes and operations flowing through it and, at a
+    chosen point, fails the write, cuts it short, silently corrupts it,
+    or kills the "process" (raises {!Crash}) — simulating torn writes and
+    power loss at any byte of the durability protocol. Crash-consistency
+    tests enumerate these fault points and assert that recovery always
+    reaches a sound prefix state.
+
+    Like {!Fault}, injection is deterministic: equal seeds and modes
+    corrupt the same bit. Reads are never faulted — corruption is modeled
+    where it happens, at write time. *)
+
+exception Crash of string
+(** The simulated process kill. Raised by faulty handles at their fault
+    point, after flushing whatever the fault semantics say reached disk.
+    Never raised by {!real} handles. *)
+
+type mode =
+  | Healthy  (** plain I/O; the handle only counts bytes and ops *)
+  | Fail_at of int
+      (** the write containing stream byte [n] fails whole: none of its
+          bytes reach disk, then {!Crash} *)
+  | Short_at of int
+      (** the write containing stream byte [n] persists only the prefix
+          up to (excluding) byte [n], then {!Crash} — a torn write *)
+  | Corrupt_at of int
+      (** stream byte [n] is flipped (seed-driven non-zero mask) and
+          writing continues normally — silent corruption *)
+  | Op_crash_at of int
+      (** {!Crash} immediately before the [n]-th (0-based) mutating
+          operation — write, rename or remove — leaving earlier ops fully
+          durable; exercises the windows {e between} protocol steps *)
+
+type t
+
+val real : t
+(** The shared always-healthy handle (counters not meaningful). *)
+
+val make : ?seed:int64 -> mode -> t
+(** A fresh handle with zeroed byte/op counters. [seed] drives the
+    corruption mask of [Corrupt_at]. *)
+
+val parse_mode : string -> (mode, string) result
+(** Command-line spec: [healthy], [fail:N], [short:N], [corrupt:N] or
+    [op:N]. *)
+
+val bytes_written : t -> int
+(** Cumulative payload bytes pushed through {!write_file} and
+    {!append} on this handle (including bytes a fault then discarded). *)
+
+val ops : t -> int
+(** Mutating operations attempted on this handle. *)
+
+val pp_mode : mode Fmt.t
+
+(** {1 Operations} *)
+
+val write_file : t -> string -> string -> unit
+(** Create-or-truncate [path] with the given contents (binary mode). *)
+
+val read_file : t -> string -> (string, string) result
+(** Whole-file read; [Error] (with a one-line message) on any failure —
+    missing file, unreadable path, short read. Never raises. *)
+
+val rename : t -> src:string -> dst:string -> unit
+(** Atomic rename (the commit point of the two-generation protocol). *)
+
+val remove : t -> string -> unit
+(** Delete [path]; missing files are a no-op. *)
+
+val exists : t -> string -> bool
+
+val mkdir : t -> string -> unit
+(** Create a directory (and missing parents); existing is a no-op. *)
+
+(** {1 Appenders} — the WAL's open-once, append-many handle *)
+
+type appender
+
+val open_append : t -> string -> appender
+(** Open [path] for appending (created when missing). *)
+
+val append : appender -> string -> unit
+(** Append one chunk and flush it — one WAL record per call, so a crash
+    tears at most the record being written. *)
+
+val close_append : appender -> unit

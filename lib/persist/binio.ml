@@ -1,0 +1,90 @@
+open Refq_rdf
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let u8 b n =
+  if n < 0 || n > 0xff then invalid_arg "Binio.u8: out of range";
+  Buffer.add_uint8 b n
+
+let u32 b n =
+  if n < 0 || n > 0xffff_ffff then
+    invalid_arg (Printf.sprintf "Binio.u32: %d out of range" n);
+  Buffer.add_int32_be b (Int32.of_int n)
+
+let str b s =
+  u32 b (String.length s);
+  Buffer.add_string b s
+
+let term b t =
+  match t with
+  | Term.Uri u ->
+      u8 b 0;
+      str b u
+  | Term.Literal { value; kind = Term.Plain } ->
+      u8 b 1;
+      str b value
+  | Term.Literal { value; kind = Term.Lang tag } ->
+      u8 b 2;
+      str b value;
+      str b tag
+  | Term.Literal { value; kind = Term.Typed dt } ->
+      u8 b 3;
+      str b value;
+      str b dt
+  | Term.Bnode label ->
+      u8 b 4;
+      str b label
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let cursor ?(pos = 0) src =
+  if pos < 0 || pos > String.length src then
+    invalid_arg "Binio.cursor: position out of bounds";
+  { src; pos }
+
+let pos c = c.pos
+let remaining c = String.length c.src - c.pos
+
+let need c n what = if remaining c < n then corrupt "truncated %s" what
+
+let r_u8 c =
+  need c 1 "byte";
+  let v = Char.code c.src.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  need c 4 "u32";
+  let v = Int32.to_int (String.get_int32_be c.src c.pos) land 0xffff_ffff in
+  c.pos <- c.pos + 4;
+  v
+
+let r_str c =
+  let n = r_u32 c in
+  need c n "string body";
+  let s = String.sub c.src c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_term c =
+  match r_u8 c with
+  | 0 -> Term.uri (r_str c)
+  | 1 -> Term.literal (r_str c)
+  | 2 ->
+      let value = r_str c in
+      Term.lang_literal value (r_str c)
+  | 3 ->
+      let value = r_str c in
+      Term.typed_literal value (r_str c)
+  | 4 -> Term.bnode (r_str c)
+  | tag -> corrupt "unknown term tag %d" tag

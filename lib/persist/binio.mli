@@ -1,0 +1,35 @@
+(** Primitive binary codec shared by the snapshot and WAL formats.
+
+    Encoding appends to a [Buffer.t]; decoding walks a string through a
+    {!cursor}. Integers are big-endian 32-bit unsigned, strings are
+    length-prefixed, terms carry a one-byte tag. Every decoder
+    bounds-checks and raises {!Corrupt} (never [Invalid_argument] or
+    [End_of_file]) so callers can treat any malformed input uniformly. *)
+
+open Refq_rdf
+
+exception Corrupt of string
+(** Malformed bytes: out-of-bounds read, negative or oversized length,
+    unknown tag. The message says which field broke. *)
+
+(** {1 Encoding} *)
+
+val u8 : Buffer.t -> int -> unit
+val u32 : Buffer.t -> int -> unit
+(** @raise Invalid_argument outside [0, 2{^32}). *)
+
+val str : Buffer.t -> string -> unit
+val term : Buffer.t -> Term.t -> unit
+
+(** {1 Decoding} *)
+
+type cursor
+
+val cursor : ?pos:int -> string -> cursor
+val pos : cursor -> int
+val remaining : cursor -> int
+
+val r_u8 : cursor -> int
+val r_u32 : cursor -> int
+val r_str : cursor -> string
+val r_term : cursor -> Term.t

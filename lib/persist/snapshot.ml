@@ -1,0 +1,140 @@
+open Refq_storage
+module Crc32 = Refq_util.Crc32
+
+let magic = "REFQSNAP1"
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let encode_triples b st =
+  Binio.u32 b (Store.size st);
+  (* Vector order (what [fold] iterates after a freeze) — the permutation
+     indexes refer to these positions, so the order must survive the
+     roundtrip byte-for-byte. *)
+  Store.fold
+    (fun s p o () ->
+      Binio.u32 b s;
+      Binio.u32 b p;
+      Binio.u32 b o)
+    st ()
+
+let encode_indexes b st =
+  let spo, pos, osp = Store.export_indexes st in
+  Binio.u8 b 1;
+  Array.iter (Binio.u32 b) spo;
+  Array.iter (Binio.u32 b) pos;
+  Array.iter (Binio.u32 b) osp
+
+let encode ~sat st =
+  Store.freeze st;
+  let dict = Store.dictionary st in
+  let b = Buffer.create 65536 in
+  Binio.u32 b (Store.data_epoch st);
+  Binio.u32 b (Store.schema_epoch st);
+  (* The saturation shares the dictionary and may have interned extra
+     terms (e.g. [rdf:type] derived by a domain rule); freezing it first
+     fixes the dictionary before we write it out. *)
+  Option.iter Store.freeze sat;
+  Binio.u32 b (Dictionary.size dict);
+  Dictionary.iter (fun _id t -> Binio.term b t) dict;
+  encode_triples b st;
+  encode_indexes b st;
+  (match sat with
+  | None -> Binio.u8 b 0
+  | Some sst ->
+      Binio.u8 b 1;
+      encode_triples b sst;
+      encode_indexes b sst);
+  let body = Buffer.contents b in
+  let out = Buffer.create (String.length body + 32) in
+  Buffer.add_string out magic;
+  Binio.u8 out version;
+  Binio.u32 out (String.length body);
+  Binio.u32 out (Crc32.to_int (Crc32.string body));
+  Buffer.add_string out body;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type loaded = { store : Store.t; sat : Store.t option; rebuilt_indexes : bool }
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Binio.Corrupt m)) fmt
+
+let decode_triples c st ~dict_size =
+  let n = Binio.r_u32 c in
+  for _ = 1 to n do
+    let s = Binio.r_u32 c in
+    let p = Binio.r_u32 c in
+    let o = Binio.r_u32 c in
+    if s >= dict_size || p >= dict_size || o >= dict_size then
+      corrupt "triple id out of dictionary range";
+    Store.add_ids st s p o
+  done;
+  if Store.size st <> n then corrupt "duplicate triple in snapshot"
+
+let decode_indexes c st =
+  match Binio.r_u8 c with
+  | 0 -> true (* none saved: rebuild lazily *)
+  | 1 ->
+      let n = Store.size st in
+      let arr () = Array.init n (fun _ -> Binio.r_u32 c) in
+      let spo = arr () in
+      let pos = arr () in
+      let osp = arr () in
+      not (Store.import_indexes st ~spo ~pos ~osp)
+  | tag -> corrupt "unknown index flag %d" tag
+
+let decode_body body =
+  let c = Binio.cursor body in
+  let data = Binio.r_u32 c in
+  let schema = Binio.r_u32 c in
+  let dict = Dictionary.create () in
+  let dict_size = Binio.r_u32 c in
+  for id = 0 to dict_size - 1 do
+    if Dictionary.encode dict (Binio.r_term c) <> id then
+      corrupt "duplicate dictionary entry"
+  done;
+  let store = Store.create ~dictionary:dict () in
+  decode_triples c store ~dict_size;
+  Store.restore_epochs store ~data ~schema;
+  let rebuilt = decode_indexes c store in
+  let sat, rebuilt =
+    match Binio.r_u8 c with
+    | 0 -> (None, rebuilt)
+    | 1 ->
+        let sst = Store.create ~dictionary:dict () in
+        decode_triples c sst ~dict_size;
+        Store.restore_epochs sst ~data ~schema;
+        let r = decode_indexes c sst in
+        (Some sst, rebuilt || r)
+    | tag -> corrupt "unknown saturation flag %d" tag
+  in
+  if Binio.remaining c <> 0 then corrupt "trailing bytes in snapshot body";
+  { store; sat; rebuilt_indexes = rebuilt }
+
+let decode src =
+  let hdr = String.length magic in
+  if String.length src < hdr + 9 then Error "truncated snapshot header"
+  else if String.sub src 0 hdr <> magic then Error "bad snapshot magic"
+  else
+    let c = Binio.cursor ~pos:hdr src in
+    match
+      let v = Binio.r_u8 c in
+      if v <> version then corrupt "unsupported snapshot version %d" v;
+      let body_len = Binio.r_u32 c in
+      let body_crc = Binio.r_u32 c in
+      if Binio.remaining c <> body_len then
+        corrupt "snapshot body length mismatch (%d on disk, %d declared)"
+          (Binio.remaining c) body_len;
+      if Crc32.to_int (Crc32.string ~off:(Binio.pos c) ~len:body_len src)
+         <> body_crc
+      then corrupt "snapshot checksum mismatch";
+      decode_body (String.sub src (Binio.pos c) body_len)
+    with
+    | loaded -> Ok loaded
+    | exception Binio.Corrupt m -> Error m
+    | exception Invalid_argument m -> Error m

@@ -1,0 +1,34 @@
+(** Binary snapshot: the full durable image of a store at one epoch pair.
+
+    Layout: the 9-byte magic, a version byte, then [body_len:u32 |
+    body_crc:u32 | body]. The body holds the epoch pair, the dictionary
+    in id order, the triple vector (as ids), the three permutation
+    indexes, and optionally the saturation closure (as id triples over
+    the {e same} dictionary) — so a cold open neither re-parses Turtle
+    nor re-sorts nor re-saturates.
+
+    {!decode} is total and adversarial: a wrong magic, a checksum
+    mismatch, an id out of range, a non-dense dictionary — anything —
+    returns [Error], never raises. Permutation indexes are re-validated
+    structurally on import ({!Refq_storage.Store.import_indexes}); a
+    rejected index silently falls back to an in-memory rebuild, because
+    a slow open beats a wrong range search. *)
+
+open Refq_storage
+
+val magic : string
+
+val encode : sat:Store.t option -> Store.t -> string
+(** The full snapshot image. [sat] must share the store's dictionary
+    (as {!Refq_saturation.Saturate.store} guarantees). Freezes both. *)
+
+type loaded = {
+  store : Store.t;  (** epochs restored to the saved pair *)
+  sat : Store.t option;  (** shares [store]'s dictionary *)
+  rebuilt_indexes : bool;
+      (** the saved permutation indexes failed validation and were
+          rebuilt — the data is intact, only the fast path was lost *)
+}
+
+val decode : string -> (loaded, string) result
+(** Never raises; the error is a one-line reason. *)

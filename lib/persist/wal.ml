@@ -1,0 +1,91 @@
+open Refq_rdf
+module Crc32 = Refq_util.Crc32
+
+let header = "REFQWAL1"
+
+type record = {
+  op : [ `Add | `Remove ];
+  data_epoch : int;
+  schema_epoch : int;
+  s : Term.t;
+  p : Term.t;
+  o : Term.t;
+}
+
+let lsn r = r.data_epoch + r.schema_epoch
+
+(* Frames are small (a handful of terms); anything claiming to be huge is
+   torn framing, not a real record. *)
+let max_payload = 1 lsl 26
+
+let encode_record r =
+  let body = Buffer.create 128 in
+  Binio.u8 body (match r.op with `Add -> 0 | `Remove -> 1);
+  Binio.u32 body r.data_epoch;
+  Binio.u32 body r.schema_epoch;
+  Binio.term body r.s;
+  Binio.term body r.p;
+  Binio.term body r.o;
+  let payload = Buffer.contents body in
+  let frame = Buffer.create (String.length payload + 8) in
+  Binio.u32 frame (String.length payload);
+  Binio.u32 frame (Crc32.to_int (Crc32.string payload));
+  Buffer.add_string frame payload;
+  Buffer.contents frame
+
+let decode_payload payload =
+  let c = Binio.cursor payload in
+  let op =
+    match Binio.r_u8 c with
+    | 0 -> `Add
+    | 1 -> `Remove
+    | tag -> raise (Binio.Corrupt (Printf.sprintf "unknown op tag %d" tag))
+  in
+  let data_epoch = Binio.r_u32 c in
+  let schema_epoch = Binio.r_u32 c in
+  let s = Binio.r_term c in
+  let p = Binio.r_term c in
+  let o = Binio.r_term c in
+  if Binio.remaining c <> 0 then
+    raise (Binio.Corrupt "trailing bytes in record payload");
+  { op; data_epoch; schema_epoch; s; p; o }
+
+type scan = {
+  entries : (record * int) list;
+  valid_bytes : int;
+  torn_bytes : int;
+  header_ok : bool;
+}
+
+let scan src =
+  let len = String.length src in
+  if len < String.length header || String.sub src 0 (String.length header) <> header
+  then { entries = []; valid_bytes = 0; torn_bytes = len; header_ok = false }
+  else begin
+    let entries = ref [] in
+    let off = ref (String.length header) in
+    let stop = ref false in
+    while not !stop do
+      if len - !off < 8 then stop := true
+      else begin
+        let c = Binio.cursor ~pos:!off src in
+        let plen = Binio.r_u32 c in
+        let crc = Binio.r_u32 c in
+        if plen > max_payload || len - !off - 8 < plen then stop := true
+        else if Crc32.to_int (Crc32.string ~off:(!off + 8) ~len:plen src) <> crc
+        then stop := true
+        else
+          match decode_payload (String.sub src (!off + 8) plen) with
+          | r ->
+              off := !off + 8 + plen;
+              entries := (r, !off) :: !entries
+          | exception Binio.Corrupt _ -> stop := true
+      end
+    done;
+    {
+      entries = List.rev !entries;
+      valid_bytes = !off;
+      torn_bytes = len - !off;
+      header_ok = true;
+    }
+  end

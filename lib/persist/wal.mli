@@ -1,0 +1,55 @@
+(** Write-ahead log format: length- and checksum-framed mutation records.
+
+    A WAL file is the 8-byte {!header} followed by records, each framed
+    as [len:u32 | crc32:u32 | payload]. The payload carries the operation
+    (add/remove), the store's {e post-mutation} epoch pair, and the three
+    terms — terms rather than dictionary ids, so replay re-encodes
+    through the recovered dictionary and never depends on id assignment
+    surviving a crash.
+
+    Because every effective mutation bumps exactly one epoch by one, the
+    sum [data_epoch + schema_epoch] is a per-record log sequence number
+    ({!lsn}): recovery skips records at or below the snapshot's LSN and
+    demands the rest be contiguous.
+
+    {!scan} never raises: it walks the frames, stops at the first record
+    whose length, checksum or payload doesn't hold up, and reports how
+    many bytes of prefix were sound — the torn-tail truncation point. *)
+
+open Refq_rdf
+
+val header : string
+(** The 8 magic bytes every WAL file starts with. *)
+
+type record = {
+  op : [ `Add | `Remove ];
+  data_epoch : int;  (** post-mutation *)
+  schema_epoch : int;  (** post-mutation *)
+  s : Term.t;
+  p : Term.t;
+  o : Term.t;
+}
+
+val lsn : record -> int
+(** [data_epoch + schema_epoch] — the record's position in the total
+    mutation order. *)
+
+val encode_record : record -> string
+(** The framed bytes ([len | crc | payload]) to append. *)
+
+type scan = {
+  entries : (record * int) list;
+      (** sound records in log order, each with the byte offset just
+          past its frame — the truncation point {e after} it *)
+  valid_bytes : int;
+      (** length of the sound prefix: the header plus every whole,
+          checksum-valid record *)
+  torn_bytes : int;  (** bytes past the sound prefix; [0] = clean file *)
+  header_ok : bool;
+      (** [false]: the magic itself is wrong — no record survives and
+          [valid_bytes = 0] *)
+}
+
+val scan : string -> scan
+(** Parse a WAL image. Total: malformed input shortens the sound prefix,
+    it never raises. *)

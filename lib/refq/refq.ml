@@ -36,6 +36,10 @@ module Sparql = Refq_query.Sparql
 module Store = Refq_storage.Store
 module Saturate = Refq_saturation.Saturate
 
+(* Durability *)
+module Persist = Refq_persist.Persist
+module Io = Refq_fault.Io
+
 (* Answering *)
 module Strategy = Refq_core.Strategy
 module Answer = Refq_core.Answer

@@ -39,6 +39,11 @@ module Sparql = Refq_query.Sparql
 module Store = Refq_storage.Store
 module Saturate = Refq_saturation.Saturate
 
+(** {1 Durability} *)
+
+module Persist = Refq_persist.Persist
+module Io = Refq_fault.Io
+
 (** {1 Answering} *)
 
 module Strategy = Refq_core.Strategy

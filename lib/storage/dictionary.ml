@@ -23,8 +23,19 @@ let encode d t =
 let find d t = Hashtbl.find_opt d.by_term t
 
 let decode d id =
-  if id < 0 || id >= Refq_util.Vec.length d.by_id then
-    invalid_arg (Printf.sprintf "Dictionary.decode: unallocated id %d" id);
+  (* Ids are dense: the dictionary allocates 0, 1, 2, ... in encode
+     order, so any id outside [0, size) was never allocated here — the
+     caller is decoding through the wrong dictionary or replaying
+     corrupted data. Spell that out: recovery audits surface this
+     message verbatim. *)
+  let n = Refq_util.Vec.length d.by_id in
+  if id < 0 || id >= n then
+    invalid_arg
+      (Printf.sprintf
+         "Dictionary.decode: id %d violates the dense-allocation invariant \
+          (ids are allocated contiguously; this dictionary holds %d ids, \
+          0..%d)"
+         id n (n - 1));
   Refq_util.Vec.get d.by_id id
 
 let size d = Refq_util.Vec.length d.by_id

@@ -18,7 +18,9 @@ val find : t -> Term.t -> int option
 (** Like {!encode} but never allocates. *)
 
 val decode : t -> int -> Term.t
-(** @raise Invalid_argument on an unallocated id. *)
+(** @raise Invalid_argument on an unallocated id — the message names the
+    dense-allocation invariant and carries both the offending id and the
+    dictionary size, so recovery audits are diagnosable. *)
 
 val size : t -> int
 (** Number of allocated ids. *)

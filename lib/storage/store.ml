@@ -11,7 +11,10 @@ type t = {
   mutable dirty : bool;
   mutable data_epoch : int;
   mutable schema_epoch : int;
+  mutable hook : (delta -> unit) option;
 }
+
+and delta = { op : [ `Add | `Remove ]; s : int; p : int; o : int }
 
 let create ?dictionary () =
   let dict = match dictionary with Some d -> d | None -> Dictionary.create () in
@@ -25,6 +28,7 @@ let create ?dictionary () =
     dirty = true;
     data_epoch = 0;
     schema_epoch = 0;
+    hook = None;
   }
 
 let dictionary st = st.dict
@@ -59,6 +63,21 @@ let bump_epoch st p =
   if is_schema_pred st p then st.schema_epoch <- st.schema_epoch + 1
   else st.data_epoch <- st.data_epoch + 1
 
+let set_delta_hook st hook = st.hook <- hook
+
+let restore_epochs st ~data ~schema =
+  if data < 0 || schema < 0 then
+    invalid_arg
+      (Printf.sprintf "Store.restore_epochs: negative epoch (data=%d schema=%d)"
+         data schema);
+  st.data_epoch <- data;
+  st.schema_epoch <- schema
+
+(* The hook fires after the epoch bump, so it observes the post-mutation
+   epochs — exactly what a WAL record must carry. *)
+let notify st op s p o =
+  match st.hook with None -> () | Some f -> f { op; s; p; o }
+
 let add_ids st s p o =
   let key = (s, p, o) in
   if not (Hashtbl.mem st.seen key) then begin
@@ -67,7 +86,8 @@ let add_ids st s p o =
     Int_vec.push st.triples p;
     Int_vec.push st.triples o;
     st.dirty <- true;
-    bump_epoch st p
+    bump_epoch st p;
+    notify st `Add s p o
   end
 
 let encode_term st t = Dictionary.encode st.dict t
@@ -103,7 +123,8 @@ let remove_ids st s p o =
   if Hashtbl.mem st.seen key then begin
     Hashtbl.remove st.seen key;
     st.dirty <- true;
-    bump_epoch st p
+    bump_epoch st p;
+    notify st `Remove s p o
   end
 
 let remove_triple st { Triple.s; p; o } =
@@ -343,3 +364,54 @@ let fold f st acc =
   let acc = ref acc in
   iter_all st (fun s p o -> acc := f s p o !acc);
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Index transplant (snapshot fast path)                               *)
+(* ------------------------------------------------------------------ *)
+
+let export_indexes st =
+  freeze st;
+  (Array.copy st.spo, Array.copy st.pos, Array.copy st.osp)
+
+(* A candidate permutation is acceptable only if it is a bijection over
+   the triple indices and sorted w.r.t. its key order — anything less and
+   range search would silently return wrong answers, so reject and let
+   [freeze] rebuild. *)
+let valid_perm st key perm n =
+  Array.length perm = n
+  && begin
+       let seen = Array.make n false in
+       let ok = ref true in
+       Array.iter
+         (fun i ->
+           if i < 0 || i >= n || seen.(i) then ok := false else seen.(i) <- true)
+         perm;
+       !ok
+     end
+  &&
+  let sorted = ref true in
+  for k = 0 to n - 2 do
+    let i = perm.(k) and j = perm.(k + 1) in
+    let c = Int.compare (key st i 0) (key st j 0) in
+    let c = if c <> 0 then c else Int.compare (key st i 1) (key st j 1) in
+    let c = if c <> 0 then c else Int.compare (key st i 2) (key st j 2) in
+    if c > 0 then sorted := false
+  done;
+  !sorted
+
+let import_indexes st ~spo ~pos ~osp =
+  compact st;
+  let n = size st in
+  if
+    Int_vec.length st.triples = 3 * n
+    && valid_perm st key_spo spo n
+    && valid_perm st key_pos pos n
+    && valid_perm st key_osp osp n
+  then begin
+    st.spo <- spo;
+    st.pos <- pos;
+    st.osp <- osp;
+    st.dirty <- false;
+    true
+  end
+  else false

@@ -42,6 +42,22 @@ val schema_epoch : t -> int
     [rdfs:range]). Drives closure re-derivation and schema-level cache
     invalidation. *)
 
+val restore_epochs : t -> data:int -> schema:int -> unit
+(** Overwrite both epoch counters — for the persistence layer, which must
+    reopen a store at the epochs it was saved at so that sidecars
+    (caches, views) compare against the durable history rather than a
+    counter restarted at zero. @raise Invalid_argument on negatives. *)
+
+type delta = { op : [ `Add | `Remove ]; s : int; p : int; o : int }
+(** One effective mutation, in encoded ids. *)
+
+val set_delta_hook : t -> (delta -> unit) option -> unit
+(** Install (or clear) the mutation observer. It fires once per
+    {e effective} mutation — after the epoch bump, so reading the store's
+    epochs from inside the hook yields the post-mutation values — and
+    never for duplicate inserts or absent removals. The persistence layer
+    uses it to feed the write-ahead log. At most one hook is active. *)
+
 val mem_ids : t -> int -> int -> int -> bool
 
 val remove_ids : t -> int -> int -> int -> unit
@@ -73,6 +89,18 @@ val save : t -> string -> unit
 
 val load : string -> (t, string) result
 (** Load a store written by {!save}. Dictionary ids are preserved. *)
+
+val export_indexes : t -> int array * int array * int array
+(** [(spo, pos, osp)] permutation indexes, freezing first. Copies — safe
+    to serialize while the store lives on. *)
+
+val import_indexes :
+  t -> spo:int array -> pos:int array -> osp:int array -> bool
+(** Install externally-saved permutation indexes, skipping the O(n log n)
+    rebuild on reopen. Each candidate is validated as a sorted bijection
+    over the (compacted) triples; [false] means rejection — the store is
+    left intact and rebuilds lazily, so a corrupted index can never serve
+    wrong answers. *)
 
 val encode_term : t -> Term.t -> int
 (** Encode through the store's dictionary (allocates). *)

@@ -1,0 +1,32 @@
+(* CRC-32 (IEEE), reflected, init and final xor 0xffffffff — the zlib
+   variant. The 256-entry table is built once at module initialization. *)
+
+let polynomial = 0xedb88320l
+
+let table =
+  let t = Array.make 256 0l in
+  for n = 0 to 255 do
+    let c = ref (Int32.of_int n) in
+    for _ = 0 to 7 do
+      if Int32.logand !c 1l <> 0l then
+        c := Int32.logxor polynomial (Int32.shift_right_logical !c 1)
+      else c := Int32.shift_right_logical !c 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let string ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.string: slice out of bounds";
+  let c = ref 0xffffffffl in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xffl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xffffffffl
+
+let to_int c = Int32.to_int c land 0xffffffff

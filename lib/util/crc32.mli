@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    Used by the persistence layer to frame write-ahead-log records and to
+    seal snapshot bodies: a mismatch means the bytes on disk are not the
+    bytes that were written, so recovery must truncate or fall back rather
+    than trust them. Self-contained on purpose — durability must not pull
+    in external dependencies. *)
+
+val string : ?off:int -> ?len:int -> string -> int32
+(** [string s] is the CRC-32 of [s] (or of the [off]/[len] slice).
+    @raise Invalid_argument when the slice is out of bounds. *)
+
+val to_int : int32 -> int
+(** The checksum as a non-negative OCaml [int] (for printing and
+    equality; 32-bit patterns fit any 63-bit [int]). *)

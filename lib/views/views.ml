@@ -462,33 +462,47 @@ let view_of_json ctx j =
         }
     end
 
+type loaded = { catalog : t; skipped : int }
+
 let load ctx path =
   match open_in path with
   | exception Sys_error m -> Error m
   | ic -> (
     let contents =
+      (* Total by construction: a sidecar torn mid-write (or a path that
+         is not a regular file) must degrade to a structured error — the
+         caller falls back to an empty catalog, stale-not-wrong — never
+         to an uncaught exception. *)
       Fun.protect
         ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception End_of_file -> Error (path ^ ": truncated sidecar")
+          | exception Sys_error m -> Error (Printf.sprintf "%s: %s" path m))
     in
-    match Json.parse contents with
-    | Error m -> Error (Printf.sprintf "%s: %s" path m)
-    | Ok doc -> (
-      match Option.bind (Json.member "schema" doc) Json.to_string_opt with
-      | Some id when String.equal id format_id -> (
-        match Option.bind (Json.member "views" doc) Json.to_list with
-        | None -> Error (path ^ ": missing views array")
-        | Some vs ->
-          let t = create () in
-          List.iter
-            (fun j ->
-              match view_of_json ctx j with
-              | Some v -> Hashtbl.replace t v.key v
-              | None -> ())
-            vs;
-          Ok t)
-      | Some id -> Error (Printf.sprintf "%s: unsupported format %S" path id)
-      | None -> Error (path ^ ": not a views sidecar")))
+    match contents with
+    | Error _ as e -> e
+    | Ok contents -> (
+      match Json.parse contents with
+      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Ok doc -> (
+        match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+        | Some id when String.equal id format_id -> (
+          match Option.bind (Json.member "views" doc) Json.to_list with
+          | None -> Error (path ^ ": missing views array")
+          | Some vs ->
+            let t = create () in
+            let skipped = ref 0 in
+            List.iter
+              (fun j ->
+                match view_of_json ctx j with
+                | Some v -> Hashtbl.replace t v.key v
+                | None -> incr skipped)
+              vs;
+            Ok { catalog = t; skipped = !skipped })
+        | Some id -> Error (Printf.sprintf "%s: unsupported format %S" path id)
+        | None -> Error (path ^ ": not a views sidecar"))))
 
 let pp_info ppf i =
   Fmt.pf ppf "@[<h>%a — %d row(s), profile %s, epochs d=%d s=%d, refreshes %d@]"

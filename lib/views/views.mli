@@ -184,8 +184,18 @@ val refresh : ?delta:delta -> ?full_threshold:int -> ctx -> t -> refresh_outcome
 
 val save : ctx -> t -> string -> unit
 
-val load : ctx -> string -> (t, string) result
-(** Rebuilds each view's reformulation under [ctx.closure]; a view whose
-    reformulation no longer fits the reformulator's bound is skipped. *)
+type loaded = {
+  catalog : t;
+  skipped : int;
+      (** sidecar entries that did not decode (garbage JSON fields, arity
+          mismatch, or a reformulation that no longer fits the bound) —
+          dropped rather than trusted, so worth a diagnostic upstream *)
+}
+
+val load : ctx -> string -> (loaded, string) result
+(** Rebuilds each view's reformulation under [ctx.closure]. Total: a
+    truncated, non-JSON or otherwise damaged sidecar is a structured
+    [Error] (one line, no exception), and per-view damage only bumps
+    [skipped] — losing a view makes answering colder, never wrong. *)
 
 val pp_info : info Fmt.t

@@ -226,6 +226,79 @@ let test_views_with_mutations (workload, make_store) () =
       check_views ~workload ~step env q)
     queries
 
+(* ------------------------------------------------------------------ *)
+(* Persisted vs in-memory, across a full snapshot round-trip           *)
+(* ------------------------------------------------------------------ *)
+
+module Persist = Refq_persist.Persist
+
+(* A store that went to disk and came back — snapshot with its
+   saturation closure, cold reopen — must answer every query exactly
+   like the store that never left memory. This closes the durability
+   loop: a recovery bug that corrupted a triple, an id mapping or the
+   restored closure would surface here as a differential mismatch. *)
+
+let persisted_env store =
+  let dir = Filename.temp_file "refq_diff" ".dir" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  (match Persist.open_dir dir with
+  | Error m -> Alcotest.failf "persist open: %s" m
+  | Ok h ->
+    let st = Persist.store h in
+    Graph.iter (Store.add_triple st) (Store.to_graph store);
+    Persist.snapshot ~sat:(Refq_saturation.Saturate.store st) h;
+    Persist.close h);
+  match Persist.open_dir dir with
+  | Error m -> Alcotest.failf "persist reopen: %s" m
+  | Ok h ->
+    let report = Persist.report h in
+    if not (Persist.clean report) then
+      Alcotest.failf "cold reopen is not clean:@.%a" Persist.pp_report report;
+    if not report.Persist.sat_restored then
+      Alcotest.fail "saturation closure was not restored from the snapshot";
+    let env = Answer.make_env (Persist.store h) in
+    Option.iter (Answer.install_saturated env) (Persist.sat h);
+    Persist.close h;
+    (dir, env)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let check_persisted ~workload env penv (name, q) =
+  let oracle =
+    match strategy_answers env q Strategy.Saturation with
+    | Ok rows -> rows
+    | Error reason ->
+      Alcotest.failf "%s/%s (seed %Ld): Saturation failed: %s@.%a" workload
+        name seed reason Cq.pp q
+  in
+  List.iter
+    (fun s ->
+      match strategy_answers penv q s with
+      | Ok rows ->
+        if rows <> oracle then
+          Alcotest.failf
+            "%s/%s (seed %Ld): %s on the persisted store disagrees with the \
+             in-memory oracle@.query: %a@.persisted: @[<v>%a@]@.in-memory: \
+             @[<v>%a@]"
+            workload name seed (Strategy.name s) Cq.pp q pp_rows rows pp_rows
+            oracle
+      | Error _ -> ())
+    [ Strategy.Saturation; Strategy.Scq; Strategy.Gcov ]
+
+let test_persisted_parity (workload, make_store) () =
+  let store = make_store () in
+  let env = Answer.make_env store in
+  let queries = Query_gen.generate ~seed store ~count:queries_per_workload in
+  let dir, penv = persisted_env store in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () -> List.iter (check_persisted ~workload env penv) queries)
+
 let () =
   Alcotest.run "differential"
     [
@@ -243,5 +316,9 @@ let () =
         List.map
           (fun w ->
             Alcotest.test_case (fst w) `Slow (test_views_with_mutations w))
+          workloads );
+      ( "persisted agrees with in-memory",
+        List.map
+          (fun w -> Alcotest.test_case (fst w) `Slow (test_persisted_parity w))
           workloads );
     ]

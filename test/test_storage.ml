@@ -231,10 +231,110 @@ let test_epochs () =
   Store.remove_triple st schema;
   Alcotest.(check int) "schema removal bumps" 2 (Store.schema_epoch st)
 
+let test_decode_message () =
+  let d = Dictionary.create () in
+  ignore (Dictionary.encode d (Term.uri "http://a"));
+  ignore (Dictionary.encode d (Term.uri "http://b"));
+  match Dictionary.decode d 7 with
+  | _ -> Alcotest.fail "decode of unallocated id succeeded"
+  | exception Invalid_argument m ->
+    (* The message must name the violated invariant and carry both the
+       offending id and the dictionary size, so a recovery log line is
+       actionable on its own. *)
+    let contains sub =
+      let n = String.length sub and len = String.length m in
+      let rec go i = i + n <= len && (String.sub m i n = sub || go (i + 1)) in
+      go 0
+    in
+    let mentions s =
+      Alcotest.(check bool) (Fmt.str "mentions %S" s) true (contains s)
+    in
+    mentions "dense-allocation invariant";
+    mentions "id 7";
+    mentions "2 ids"
+
+let test_delta_hook () =
+  let st = Store.create () in
+  let log = ref [] in
+  Store.set_delta_hook st
+    (Some
+       (fun d ->
+         log := (d, Store.data_epoch st, Store.schema_epoch st) :: !log));
+  let data =
+    Triple.make (Fixtures.uri "a") (Fixtures.uri "p") (Fixtures.uri "b")
+  in
+  let schema =
+    Triple.make (Fixtures.uri "C") Vocab.rdfs_subclassof (Fixtures.uri "D")
+  in
+  Store.add_triple st data;
+  Store.add_triple st data (* duplicate: must not fire *);
+  Store.add_triple st schema;
+  Store.remove_triple st
+    (Triple.make (Fixtures.uri "x") (Fixtures.uri "p") (Fixtures.uri "y"))
+  (* absent: must not fire *);
+  Store.remove_triple st data;
+  Alcotest.(check int) "three effective mutations" 3 (List.length !log);
+  (* The hook observes post-mutation epochs (the WAL depends on it). *)
+  (match !log with
+  | [ (r, de, se); (s, _, _); (a, de0, se0) ] ->
+    Alcotest.(check bool) "first is an add" true (a.Store.op = `Add);
+    Alcotest.(check (pair int int)) "post-epochs of first add" (1, 0) (de0, se0);
+    Alcotest.(check bool) "second is the schema add" true (s.Store.op = `Add);
+    Alcotest.(check bool) "last is a remove" true (r.Store.op = `Remove);
+    Alcotest.(check (pair int int)) "post-epochs of remove" (2, 1) (de, se)
+  | _ -> Alcotest.fail "unexpected log shape");
+  Store.set_delta_hook st None;
+  Store.add_triple st data;
+  Alcotest.(check int) "cleared hook stays silent" 3 (List.length !log)
+
+let test_restore_epochs () =
+  let st = Store.create () in
+  Store.restore_epochs st ~data:41 ~schema:7;
+  Alcotest.(check int) "data restored" 41 (Store.data_epoch st);
+  Alcotest.(check int) "schema restored" 7 (Store.schema_epoch st);
+  Store.add_triple st
+    (Triple.make (Fixtures.uri "a") (Fixtures.uri "p") (Fixtures.uri "b"));
+  Alcotest.(check int) "counting resumes from there" 42 (Store.data_epoch st);
+  match Store.restore_epochs st ~data:(-1) ~schema:0 with
+  | () -> Alcotest.fail "negative epoch accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_export_import_indexes () =
+  let st = Store.of_graph Fixtures.borges_graph in
+  let spo, pos, osp = Store.export_indexes st in
+  let st' = Store.of_graph Fixtures.borges_graph in
+  Alcotest.(check bool) "valid indexes accepted" true
+    (Store.import_indexes st' ~spo ~pos ~osp);
+  let id t = Option.get (Store.find_term st' t) in
+  Alcotest.(check int) "lookups agree after import" 4
+    (Store.count_pattern st' ~s:(Some (id Fixtures.doi1)) ~p:None ~o:None);
+  (* A corrupted permutation — here swapping two entries breaks either
+     the sort order or the bijection — must be rejected wholesale. *)
+  let bad = Array.copy spo in
+  let tmp = bad.(0) in
+  bad.(0) <- bad.(Array.length bad - 1);
+  bad.(Array.length bad - 1) <- tmp;
+  let st'' = Store.of_graph Fixtures.borges_graph in
+  Alcotest.(check bool) "corrupted permutation rejected" false
+    (Store.import_indexes st'' ~spo:bad ~pos ~osp);
+  Alcotest.(check int) "store still answers correctly" 4
+    (Store.count_pattern st''
+       ~s:(Some (Option.get (Store.find_term st'' Fixtures.doi1)))
+       ~p:None ~o:None);
+  (* Wrong length is rejected too. *)
+  let st3 = Store.of_graph Fixtures.borges_graph in
+  Alcotest.(check bool) "truncated permutation rejected" false
+    (Store.import_indexes st3 ~spo:(Array.sub spo 0 3) ~pos ~osp)
+
 let () =
   Alcotest.run "storage"
     [
-      ("dictionary", [ Alcotest.test_case "encode/decode" `Quick test_dictionary ]);
+      ( "dictionary",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_dictionary;
+          Alcotest.test_case "decode names the invariant" `Quick
+            test_decode_message;
+        ] );
       ( "store",
         [
           Alcotest.test_case "dedup" `Quick test_store_dedup;
@@ -244,6 +344,10 @@ let () =
           Alcotest.test_case "incremental reindex" `Quick test_incremental_reindex;
           Alcotest.test_case "removal" `Quick test_remove;
           Alcotest.test_case "epochs" `Quick test_epochs;
+          Alcotest.test_case "delta hook" `Quick test_delta_hook;
+          Alcotest.test_case "restore epochs" `Quick test_restore_epochs;
+          Alcotest.test_case "export/import indexes" `Quick
+            test_export_import_indexes;
           Alcotest.test_case "save/load" `Quick test_save_load;
           Alcotest.test_case "load errors" `Quick test_load_errors;
           QCheck_alcotest.to_alcotest prop_save_load_roundtrip;

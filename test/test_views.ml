@@ -261,8 +261,9 @@ let test_save_load_roundtrip () =
   let env2 = make_env () in
   (match Views.load (Answer.views_ctx env2) file with
   | Error m -> Alcotest.failf "load failed: %s" m
-  | Ok catalog ->
+  | Ok { Views.catalog; skipped } ->
     Alcotest.(check int) "one view loaded" 1 (Views.length catalog);
+    Alcotest.(check int) "nothing skipped" 0 skipped;
     Answer.set_views env2 catalog;
     (match lookup_default env2 publication_q ~out:[ "x" ] with
     | Some rel ->
@@ -279,10 +280,55 @@ let test_save_load_roundtrip () =
   let env3 = Answer.make_env (Store.of_graph g) in
   (match Views.load (Answer.views_ctx env3) file with
   | Error m -> Alcotest.failf "load failed: %s" m
-  | Ok catalog ->
+  | Ok { Views.catalog; skipped = _ } ->
     Answer.set_views env3 catalog;
     Alcotest.(check bool) "stale against mutated data" true
       (lookup_default env3 publication_q ~out:[ "x" ] = None));
+  Sys.remove file
+
+(* A damaged sidecar must degrade, never throw: whole-file damage is a
+   structured one-line [Error]; per-view damage inside a well-formed
+   envelope only bumps [skipped]. *)
+let test_sidecar_damage () =
+  let env = make_env () in
+  ignore (materialize_exn env publication_q);
+  let file = Filename.temp_file "refq_views" ".json" in
+  Views.save (Answer.views_ctx env) (Answer.views env) file;
+  let text = In_channel.with_open_bin file In_channel.input_all in
+  let write s =
+    Out_channel.with_open_bin file (fun oc -> Out_channel.output_string oc s)
+  in
+  (* Truncated mid-document. *)
+  write (String.sub text 0 (String.length text / 2));
+  (match Views.load (Answer.views_ctx env) file with
+  | Error m ->
+    Alcotest.(check bool) "one-line diagnostic" false (String.contains m '\n')
+  | Ok _ -> Alcotest.fail "truncated sidecar loaded");
+  (* Arbitrary garbage. *)
+  write "\x00\x01 not json at all";
+  (match Views.load (Answer.views_ctx env) file with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage sidecar loaded");
+  (* Valid envelope, one undecodable view entry: skipped and counted,
+     the load itself succeeds. *)
+  let replace ~sub ~by s =
+    let n = String.length sub in
+    let rec find i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> Alcotest.failf "sidecar has no %S field" sub
+    | Some i ->
+      String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+  in
+  write (replace ~sub:{|"profile"|} ~by:{|"profilx"|} text);
+  (match Views.load (Answer.views_ctx env) file with
+  | Error m -> Alcotest.failf "per-view damage must not fail the load: %s" m
+  | Ok { Views.catalog; skipped } ->
+    Alcotest.(check int) "damaged entry skipped" 1 skipped;
+    Alcotest.(check int) "catalog without it" 0 (Views.length catalog));
   Sys.remove file
 
 (* ------------------------------------------------------------------ *)
@@ -448,6 +494,8 @@ let () =
         [
           Alcotest.test_case "save/load roundtrip + staleness" `Quick
             test_save_load_roundtrip;
+          Alcotest.test_case "damaged sidecar degrades" `Quick
+            test_sidecar_damage;
         ] );
       ( "answering",
         [
