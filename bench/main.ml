@@ -12,12 +12,14 @@
      E8  demo step 4          impact of constraint changes on Ref
      E9  Figure 3 / step 1    dataset statistics (value distributions)
      E19 cold open            parse+saturate vs checksummed snapshot open
+     E20 multicore            parallel load/saturation/eval vs sequential
      obs                      observability-sink overhead check
      micro                    Bechamel micro-benchmarks, one per experiment
 
    Usage: dune exec bench/main.exe [-- --scale N] [--only e1,e3,...] [--fast]
           dune exec bench/main.exe -- --json FILE      (BENCH trajectory)
           dune exec bench/main.exe -- --validate FILE  (check a trajectory)
+          ... --domains N --json FILE   (parallel-focus BENCH trajectory)
 *)
 
 open Refq_rdf
@@ -37,6 +39,8 @@ module Views = Refq_views.Views
 module Harvest = Refq_views.Harvest
 module Select = Refq_views.Select
 module Persist = Refq_persist.Persist
+module Par = Refq_par.Par
+module Bulk = Refq_par.Bulk
 
 (* ------------------------------------------------------------------ *)
 (* Timing helpers                                                      *)
@@ -66,11 +70,12 @@ type config = {
   only : string list;  (** empty = all *)
   json : string option;  (** emit a BENCH trajectory file instead *)
   validate : string option;  (** validate a trajectory file instead *)
+  domains : int;  (** domain pool size for the parallel paths (E20) *)
 }
 
 let parse_args () =
   let scale = ref 10 and fast = ref false and only = ref [] in
-  let json = ref None and validate = ref None in
+  let json = ref None and validate = ref None and domains = ref 1 in
   let rec loop = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -88,6 +93,9 @@ let parse_args () =
     | "--validate" :: v :: rest ->
       validate := Some v;
       loop rest
+    | "--domains" :: v :: rest ->
+      domains := int_of_string v;
+      loop rest
     | arg :: rest ->
       Fmt.epr "warning: ignoring argument %S@." arg;
       loop rest
@@ -99,6 +107,7 @@ let parse_args () =
     only = !only;
     json = !json;
     validate = !validate;
+    domains = max 1 !domains;
   }
 
 let cfg = parse_args ()
@@ -1247,6 +1256,101 @@ let trajectory_persist_runs () =
   |> List.concat
 
 (* ------------------------------------------------------------------ *)
+(* E20 — multicore scale-up: sharded load, parallel saturation, JUCQ   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each hot path runs once with the pool at 1 domain (the sequential
+   reference) and once through the configured pool, asserting equal
+   results as it goes. The speedup column is only meaningful on hardware
+   with that many real cores — on a single-core host the pool adds
+   coordination overhead and the ratio honestly reads <= 1x; the
+   determinism assertions hold either way. *)
+
+let e20_with_domains d f =
+  Par.set_domains d;
+  Fun.protect ~finally:(fun () -> Par.set_domains cfg.domains) f
+
+let e20 () =
+  let d = max cfg.domains 2 in
+  hr (Printf.sprintf "E20  Multicore scale-up: 1 vs %d domain(s)" d);
+  Fmt.pr
+    "host reports %d usable core(s); speedups need real cores, determinism \
+     does not@.@."
+    (Domain.recommended_domain_count ());
+  let store = Lazy.force lubm_store in
+  let triples = Array.of_list (Graph.to_list (Store.to_graph store)) in
+  let ratio seq par = seq /. Float.max 1e-9 par in
+  (* Sharded bulk load. *)
+  let load_with n =
+    e20_with_domains n (fun () ->
+        let st = Store.create ~dictionary:(Dictionary.create ()) () in
+        let stats, dt = time (fun () -> Bulk.load st triples) in
+        (st, stats, dt))
+  in
+  let st_seq, stats, t_lseq = load_with 1 in
+  let st_par, stats_par, t_lpar = load_with d in
+  if not (Graph.equal (Store.to_graph st_seq) (Store.to_graph st_par)) then
+    failwith "E20: parallel bulk load diverged from sequential";
+  Fmt.pr "%-12s %9d triples | seq %9s | par (%d shards) %9s | %5.2fx@."
+    "bulk load" stats.Bulk.triples
+    (Fmt.str "%a" pp_time t_lseq)
+    stats_par.Bulk.shards
+    (Fmt.str "%a" pp_time t_lpar)
+    (ratio t_lseq t_lpar);
+  (* Parallel saturation rounds. *)
+  let sat_with n =
+    e20_with_domains n (fun () ->
+        let st = Store.of_graph (Store.to_graph store) in
+        time (fun () -> Refq_saturation.Saturate.store st))
+  in
+  let sat_seq, t_sseq = sat_with 1 in
+  let sat_par, t_spar = sat_with d in
+  if
+    Store.size sat_seq <> Store.size sat_par
+    || not (Graph.equal (Store.to_graph sat_seq) (Store.to_graph sat_par))
+  then failwith "E20: parallel saturation diverged from sequential";
+  Fmt.pr "%-12s %9d closure | seq %9s | par %20s | %5.2fx@." "saturation"
+    (Store.size sat_seq)
+    (Fmt.str "%a" pp_time t_sseq)
+    (Fmt.str "%a" pp_time t_spar)
+    (ratio t_sseq t_spar);
+  (* Parallel JUCQ fragment evaluation across the workload. *)
+  let eval_with n =
+    e20_with_domains n (fun () ->
+        let env = Answer.make_env store in
+        ignore (Answer.saturated env);
+        List.map
+          (fun (_, q) ->
+            List.map
+              (fun s ->
+                match run_strategy env q s with
+                | Ok r ->
+                  (Answer.decode env r.Answer.answers, Answer.total_s r)
+                | Error _ -> ([], 0.0))
+              [ Strategy.Scq; Strategy.Gcov ])
+          Lubm.queries)
+  in
+  let eval_seq = eval_with 1 in
+  let eval_par = eval_with d in
+  if
+    List.map (List.map fst) eval_seq <> List.map (List.map fst) eval_par
+  then failwith "E20: parallel fragment evaluation changed some answer set";
+  let total rs = List.fold_left (fun a l ->
+      List.fold_left (fun a (_, t) -> a +. t) a l) 0.0 rs
+  in
+  let t_eseq = total eval_seq and t_epar = total eval_par in
+  Fmt.pr "%-12s %9d queries | seq %9s | par %20s | %5.2fx@." "SCQ+GCov eval"
+    (List.length Lubm.queries)
+    (Fmt.str "%a" pp_time t_eseq)
+    (Fmt.str "%a" pp_time t_epar)
+    (ratio t_eseq t_epar);
+  Fmt.pr
+    "@.All three paths merge deterministically (chunk order), so every \
+     number above@.came from bit-identical stores and answer sets — \
+     [--domains] changes wall-clock@.only, never results. Budgeted runs \
+     bypass the pool (shared simulated clock).@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1482,47 +1586,66 @@ let trajectory_views_runs () =
         [ Strategy.Ucq; Strategy.Scq ])
     (e18_workloads ())
 
-let trajectory file =
-  let workloads =
-    [
-      ("lubm", lazy (Lazy.force lubm_store), Lubm.queries);
-      ("dblp", lazy (Dblp.generate ~scale:cfg.scale ()), Dblp.queries);
-      ("geo", lazy (Geo.generate ~scale:cfg.scale ()), Geo.queries);
-    ]
+(* Parallel trajectory: with --domains N > 1, the emitted file contrasts
+   every parallel hot path at 1 domain ("+seq" labels) and at N domains
+   ("+parN"): the sharded bulk load, the saturation fixpoint, and the
+   per-query strategies whose JUCQ fragments fan out. Each pair runs on
+   the same input, so the per-label total_s ratio is the speedup. *)
+let trajectory_par_runs () =
+  let d = cfg.domains in
+  let par_label = Printf.sprintf "+par%d" d in
+  let store = Lazy.force lubm_store in
+  let triples = Array.of_list (Graph.to_list (Store.to_graph store)) in
+  let load_run label n =
+    e20_with_domains n (fun () ->
+        let st = Store.create ~dictionary:(Dictionary.create ()) () in
+        let stats, dt = time (fun () -> Bulk.load st triples) in
+        Trajectory.run ~workload:"lubm" ~scale:cfg.scale ~query:"bulk-load"
+          ~strategy:("load" ^ label) ~status:"ok" ~answers:stats.Bulk.added
+          ~total_s:dt
+          ~stages:[ ("load", dt) ]
+          ~counters:[ ("par.bulk_shards", stats.Bulk.shards) ])
   in
-  let runs =
-    List.concat_map
-      (fun (workload, store, queries) ->
-        let env = Answer.make_env (Lazy.force store) in
-        Fmt.pr "trajectory: %s(%d), %d queries × %d strategies@." workload
-          cfg.scale (List.length queries)
-          (List.length trajectory_strategies);
+  let sat_run label n =
+    e20_with_domains n (fun () ->
+        let st = Store.of_graph (Store.to_graph store) in
+        let sat, dt = time (fun () -> Refq_saturation.Saturate.store st) in
+        Trajectory.run ~workload:"lubm" ~scale:cfg.scale ~query:"saturate"
+          ~strategy:("sat" ^ label) ~status:"ok" ~answers:(Store.size sat)
+          ~total_s:dt
+          ~stages:[ ("saturate", dt) ]
+          ~counters:[])
+  in
+  let eval_runs label n =
+    e20_with_domains n (fun () ->
+        let env = Answer.make_env store in
+        ignore (Answer.saturated env);
         List.concat_map
           (fun (qname, q) ->
             List.map
-              (fun s -> trajectory_run env ~workload ~qname q s)
-              trajectory_strategies)
-          queries)
-      workloads
+              (fun s ->
+                trajectory_run ~label env ~workload:"lubm" ~qname q s)
+              [ Strategy.Saturation; Strategy.Scq; Strategy.Gcov ])
+          Lubm.queries)
   in
-  let cache_runs = trajectory_cache_runs () in
-  Fmt.pr "trajectory: lubm(%d) cache cold/warm, %d runs@." cfg.scale
-    (List.length cache_runs);
-  let views_runs = trajectory_views_runs () in
-  Fmt.pr "trajectory: views off/on/refreshed, %d runs@."
-    (List.length views_runs);
-  let persist_runs = trajectory_persist_runs () in
-  Fmt.pr "trajectory: cold-open rebuild vs snapshot, %d runs@."
-    (List.length persist_runs);
-  let runs = runs @ cache_runs @ views_runs @ persist_runs in
+  [
+    load_run "+seq" 1; load_run par_label d;
+    sat_run "+seq" 1; sat_run par_label d;
+  ]
+  @ eval_runs "+seq" 1
+  @ eval_runs par_label d
+
+let write_trajectory file runs =
   let environment =
     [
       ("ocaml_version", Json.String Sys.ocaml_version);
       ("os_type", Json.String Sys.os_type);
       ("word_size", Json.Int Sys.word_size);
       ("hostname", Json.String (Unix.gethostname ()));
+      ("cores", Json.Int (Domain.recommended_domain_count ()));
       ("scale", Json.Int cfg.scale);
       ("fast", Json.Bool cfg.fast);
+      ("domains", Json.Int cfg.domains);
     ]
   in
   let doc = Trajectory.make ~created_unix:(Unix.time ()) ~environment runs in
@@ -1532,6 +1655,47 @@ let trajectory file =
   close_out oc;
   Fmt.pr "wrote %d runs (%s) to %s@." (List.length runs)
     Trajectory.schema_version file
+
+let trajectory file =
+  if cfg.domains > 1 then begin
+    Fmt.pr "trajectory: parallel focus, lubm(%d) at 1 vs %d domain(s)@."
+      cfg.scale cfg.domains;
+    write_trajectory file (trajectory_par_runs ())
+  end
+  else begin
+    let workloads =
+      [
+        ("lubm", lazy (Lazy.force lubm_store), Lubm.queries);
+        ("dblp", lazy (Dblp.generate ~scale:cfg.scale ()), Dblp.queries);
+        ("geo", lazy (Geo.generate ~scale:cfg.scale ()), Geo.queries);
+      ]
+    in
+    let runs =
+      List.concat_map
+        (fun (workload, store, queries) ->
+          let env = Answer.make_env (Lazy.force store) in
+          Fmt.pr "trajectory: %s(%d), %d queries × %d strategies@." workload
+            cfg.scale (List.length queries)
+            (List.length trajectory_strategies);
+          List.concat_map
+            (fun (qname, q) ->
+              List.map
+                (fun s -> trajectory_run env ~workload ~qname q s)
+                trajectory_strategies)
+            queries)
+        workloads
+    in
+    let cache_runs = trajectory_cache_runs () in
+    Fmt.pr "trajectory: lubm(%d) cache cold/warm, %d runs@." cfg.scale
+      (List.length cache_runs);
+    let views_runs = trajectory_views_runs () in
+    Fmt.pr "trajectory: views off/on/refreshed, %d runs@."
+      (List.length views_runs);
+    let persist_runs = trajectory_persist_runs () in
+    Fmt.pr "trajectory: cold-open rebuild vs snapshot, %d runs@."
+      (List.length persist_runs);
+    write_trajectory file (runs @ cache_runs @ views_runs @ persist_runs)
+  end
 
 let validate_file file =
   let ic = open_in_bin file in
@@ -1553,6 +1717,7 @@ let validate_file file =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Par.set_domains cfg.domains;
   match cfg.validate, cfg.json with
   | Some file, _ -> validate_file file
   | None, Some file ->
@@ -1568,7 +1733,7 @@ let () =
         ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
         ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
         ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-        ("e19", e19);
+        ("e19", e19); ("e20", e20);
         ("obs", obs_overhead); ("micro", micro);
       ]
     in

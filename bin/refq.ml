@@ -20,6 +20,7 @@ module Term = Cmdliner.Term
 module Obs = Refq_obs.Obs
 module Persist = Refq_persist.Persist
 module Io = Refq_fault.Io
+module Par = Refq_par.Par
 
 (* ------------------------------------------------------------------ *)
 (* Loading and saving                                                  *)
@@ -390,7 +391,10 @@ let explain_answer env q (r : Answer.report) =
       (List.combine (Cover.fragments cover) fragment_cardinalities)
 
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache use_views verify faults fault_seed retries deadline max_rows persist_dir =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache use_views verify domains faults fault_seed retries deadline max_rows persist_dir =
+    if domains < 1 then die "--domains must be at least 1"
+    else begin
+    Par.set_domains domains;
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok file_store -> (
@@ -606,6 +610,7 @@ let answer_cmd =
                             f.Answer.f_reformulation_s f.Answer.reason))
                     strategies;
                   `Ok ()))))))
+    end
   in
   let path =
     Arg.(
@@ -712,14 +717,25 @@ let answer_cmd =
              every answer with the static checkers (findings show up in \
              `refq profile` under the analysis.* counters).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Evaluate with $(docv) domains (OCaml 5 multicore): saturation \
+             rounds and JUCQ fragments are chunked across a fixed domain \
+             pool and merged deterministically, so answers are bit-identical \
+             to --domains 1. Budgeted runs (--deadline/--max-rows) stay \
+             sequential.")
+  in
   Cmd.v
     (Cmd.info "answer" ~doc:"Answer a query through a chosen strategy")
     Term.(
       ret
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
        $ all_strategies $ minimize $ backend $ format $ explain $ no_cache
-       $ use_views $ verify $ faults_arg $ fault_seed_arg $ retries_arg
-       $ deadline_arg $ max_rows_arg $ persist_arg))
+       $ use_views $ verify $ domains $ faults_arg $ fault_seed_arg
+       $ retries_arg $ deadline_arg $ max_rows_arg $ persist_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -809,7 +825,10 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 
 let profile_cmd =
-  let run path query query_file strategy_name cover_spec =
+  let run path query query_file strategy_name cover_spec domains =
+    if domains < 1 then die "--domains must be at least 1"
+    else begin
+    Par.set_domains domains;
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok store -> (
@@ -838,6 +857,7 @@ let profile_cmd =
                 f.Answer.f_reformulation_s f.Answer.reason);
             Fmt.pr "@.%a@." Obs.pp_report rep;
             `Ok ())))
+    end
   in
   let path =
     Arg.(
@@ -870,12 +890,23 @@ let profile_cmd =
       & info [ "cover" ]
           ~doc:"Cover for --strategy jucq, e.g. \"1,3;3,5;2,4;4,6\" (1-based).")
   in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Profile with $(docv) domains: per-domain rollup spans \
+             (domain-1, domain-2, ...) appear merged under their parent \
+             stage in the span tree. Answers stay bit-identical to \
+             --domains 1.")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Answer a query with the observability sink on and print the span \
           tree (per-stage wall time, allocation, engine counters)")
-    Term.(ret (const run $ path $ query $ query_file $ strategy $ cover))
+    Term.(
+      ret (const run $ path $ query $ query_file $ strategy $ cover $ domains))
 
 (* ------------------------------------------------------------------ *)
 (* lint / audit-store                                                  *)

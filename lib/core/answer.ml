@@ -16,6 +16,7 @@ module Config = Config
 module Analysis = Refq_analysis.Analysis
 module Diagnostic = Refq_analysis.Diagnostic
 module Views = Refq_views.Views
+module Par = Refq_par.Par
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-answer reporting (shared with the federation layer)        *)
@@ -320,6 +321,122 @@ let join_project (cfg : Config.t) env head_pats fragments =
     (result, cards)
   end
 
+(* Per-backend primitives for evaluating a fragment's disjuncts in
+   contiguous chunks such that merging the chunk relations in chunk order
+   reproduces the sequential [ucq] output exactly:
+
+   - nested loop: [Evaluator.ucq] feeds every disjunct's rows through one
+     first-occurrence [distinct_adder]; dedup-merging chunk-local deduped
+     relations in chunk order yields the same rows in the same order;
+   - sort/merge: [Sortmerge.ucq] is a sorted-set union of its disjuncts'
+     rows, and a union of per-chunk unions is the same sorted set. *)
+let backend_chunk_fns (cfg : Config.t) =
+  let budget = cfg.Config.budget in
+  match cfg.Config.backend with
+  | Config.Nested_loop ->
+    let eval env ~cols qs =
+      let rel = Relation.create ~cols in
+      let add = Relation.distinct_adder ~size_hint:256 rel in
+      List.iter
+        (fun q -> Relation.iter_rows (Evaluator.cq ?budget env ~cols q) add)
+        qs;
+      rel
+    in
+    let merge ~cols rels =
+      match rels with
+      | [ r ] -> r
+      | rels ->
+        let out = Relation.create ~cols in
+        let add = Relation.distinct_adder ~size_hint:256 out in
+        List.iter (fun r -> Relation.iter_rows r add) rels;
+        out
+    in
+    (eval, merge)
+  | Config.Sort_merge ->
+    let eval env ~cols qs =
+      Sortmerge.union_all ~cols
+        (List.map (fun q -> Sortmerge.cq ?budget env ~cols q) qs)
+    in
+    let merge ~cols rels =
+      match rels with [ r ] -> r | rels -> Sortmerge.union_all ~cols rels
+    in
+    (eval, merge)
+
+(* Fan the uncached, unviewed fragments out over the domain pool.
+
+   Coordinator-only, before sealing: encode every disjunct-head constant,
+   so the one store mutation the engine can perform ([Store.encode_term]
+   while projecting heads) becomes a pure lookup. Body constants always go
+   through the read-only [Store.find_term]. The store is then sealed for
+   the whole parallel region — any residual mutation raises instead of
+   racing — and unsealed before the merge (which runs on the coordinator
+   and only touches relations). Tasks are (fragment × disjunct-chunk);
+   per-fragment chunk relations merge in chunk order, making the result
+   independent of domain count and scheduling (see [backend_chunk_fns]). *)
+let eval_fragments_parallel (cfg : Config.t) pool env compute =
+  let chunk_eval, chunk_merge = backend_chunk_fns cfg in
+  List.iter
+    (fun (_, f, _) ->
+      List.iter
+        (fun q ->
+          List.iter
+            (function
+              | Cq.Cst t -> ignore (Store.encode_term env.store t)
+              | Cq.Var _ -> ())
+            q.Cq.head)
+        (Ucq.disjuncts f.Jucq.ucq))
+    compute;
+  let total =
+    List.fold_left (fun acc (_, f, _) -> acc + Ucq.size f.Jucq.ucq) 0 compute
+  in
+  let target = Par.fanout pool in
+  let csize = max 1 ((total + target - 1) / target) in
+  let tasks =
+    List.concat_map
+      (fun (i, f, _) ->
+        let cols = Array.of_list f.Jucq.out in
+        let ds = Array.of_list (Ucq.disjuncts f.Jucq.ucq) in
+        let nd = Array.length ds in
+        Par.split nd ~into:((nd + csize - 1) / csize)
+        |> Array.to_list
+        |> List.mapi (fun c (lo, hi) ->
+               (i, c, cols, Array.to_list (Array.sub ds lo (hi - lo)))))
+      compute
+  in
+  let task_arr = Array.of_list tasks in
+  Store.seal env.store;
+  let chunk_rels =
+    Fun.protect
+      ~finally:(fun () -> Store.unseal env.store)
+      (fun () ->
+        Par.map pool
+          ~label:(fun t ->
+            let i, c, _, _ = task_arr.(t) in
+            Printf.sprintf "fragment-%d-chunk-%d" i c)
+          (fun (_, _, cols, qs) -> chunk_eval env.card_env ~cols qs)
+          task_arr)
+  in
+  let by_fragment : (int, Relation.t list) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun t rel ->
+      let i, _, _, _ = task_arr.(t) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_fragment i) in
+      Hashtbl.replace by_fragment i (rel :: prev))
+    chunk_rels;
+  let computed : (int, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (i, f, _) ->
+      let cols = Array.of_list f.Jucq.out in
+      let rels =
+        List.rev (Option.value ~default:[] (Hashtbl.find_opt by_fragment i))
+      in
+      let rel =
+        match rels with [] -> Relation.create ~cols | rels -> chunk_merge ~cols rels
+      in
+      Hashtbl.replace computed i rel)
+    compute;
+  computed
+
 let eval_jucq_with_cards (cfg : Config.t) ?result_key ?(sources = []) env
     (j : Jucq.t) =
   let ucq_eval, _ = backend_fns cfg in
@@ -332,31 +449,63 @@ let eval_jucq_with_cards (cfg : Config.t) ?result_key ?(sources = []) env
       fun i -> Some (Printf.sprintf "%s#f%d|d:%d|b:%s" base i epoch backend)
   in
   let source i = Option.join (List.nth_opt sources i) in
-  let fragments =
+  (* Resolve the coordinator-only sources first. A fragment served by a
+     materialized view bypasses the result cache entirely: exactly one
+     source of truth (and one set of Obs counters) per fragment. *)
+  let slots =
     List.mapi
       (fun i f ->
-        Obs.span_lazy
-          (fun () -> Printf.sprintf "fragment-%d" i)
-          (fun () ->
-            (* A fragment served by a materialized view bypasses the
-               result cache entirely: exactly one source of truth (and one
-               set of Obs counters) per fragment. *)
-            match source i with
-            | Some rel -> rel
-            | None -> (
-              let compute () =
-                ucq_eval env.card_env ~cols:(Array.of_list f.Jucq.out) f.Jucq.ucq
-              in
-              match fragment_key i with
-              | None -> compute ()
-              | Some key -> (
-                match Cache.Lru.find env.caches.results key with
-                | Some rel -> rel
-                | None ->
-                  let rel = compute () in
-                  Cache.Lru.put env.caches.results key rel;
-                  rel))))
+        match source i with
+        | Some rel -> `Ready rel
+        | None -> (
+          match fragment_key i with
+          | None -> `Compute (i, f, None)
+          | Some key -> (
+            match Cache.Lru.find env.caches.results key with
+            | Some rel -> `Ready rel
+            | None -> `Compute (i, f, Some key))))
       j.Jucq.fragments
+  in
+  let compute =
+    List.filter_map (function `Compute c -> Some c | `Ready _ -> None) slots
+  in
+  let computed =
+    match Par.get () with
+    | Some pool
+      when cfg.Config.budget = None
+           && List.fold_left
+                (fun acc (_, f, _) -> acc + Ucq.size f.Jucq.ucq)
+                0 compute
+              > 1 ->
+      (* Budgets share one mutable spend account (and simulated clock), so
+         budgeted runs stay sequential by construction. *)
+      eval_fragments_parallel cfg pool env compute
+    | _ ->
+      let tbl : (int, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (i, f, _) ->
+          Hashtbl.replace tbl i
+            (Obs.span_lazy
+               (fun () -> Printf.sprintf "fragment-%d" i)
+               (fun () ->
+                 ucq_eval env.card_env
+                   ~cols:(Array.of_list f.Jucq.out)
+                   f.Jucq.ucq)))
+        compute;
+      tbl
+  in
+  (* Result-cache fills are coordinator-side, after the fan-in barrier. *)
+  List.iter
+    (fun (i, _, key) ->
+      match key with
+      | Some key -> Cache.Lru.put env.caches.results key (Hashtbl.find computed i)
+      | None -> ())
+    compute;
+  let fragments =
+    List.mapi
+      (fun i s ->
+        match s with `Ready rel -> rel | `Compute _ -> Hashtbl.find computed i)
+      slots
   in
   join_project cfg env j.Jucq.head fragments
 

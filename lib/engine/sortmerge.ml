@@ -259,15 +259,12 @@ let cq ?budget env ?cols q =
   | rel -> rel
   | exception Absent_constant -> Relation.create ~cols
 
-let ucq ?budget env ~cols u =
-  let rows =
-    List.concat_map
-      (fun q ->
-        let r = cq ?budget env ~cols q in
-        Array.to_list (rows_of r))
-      (Ucq.disjuncts u)
-  in
+let union_all ~cols rels =
+  let rows = List.concat_map (fun r -> Array.to_list (rows_of r)) rels in
   sort_unique ~cols (Array.of_list rows)
+
+let ucq ?budget env ~cols u =
+  union_all ~cols (List.map (fun q -> cq ?budget env ~cols q) (Ucq.disjuncts u))
 
 let jucq ?budget env (j : Jucq.t) =
   let fragments =

@@ -32,6 +32,13 @@ val ucq :
   Ucq.t ->
   Relation.t
 
+val union_all : cols:string array -> Relation.t list -> Relation.t
+(** Sorted-unique union of same-arity relations — the merge {!ucq} applies
+    to its disjuncts' rows. Because the output is a {e sorted set}, the
+    union of per-chunk unions equals the union of the underlying rows:
+    the parallel fragment evaluator relies on this to make chunked
+    evaluation bit-identical to the sequential one. *)
+
 val jucq : ?budget:Refq_fault.Budget.t -> Cardinality.env -> Jucq.t -> Relation.t
 
 val merge_join :

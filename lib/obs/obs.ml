@@ -1,10 +1,29 @@
 (* The sink is one mutable bool consulted by every probe; all other state
-   is only touched when it is on. Not thread-safe by design: the engine is
-   single-threaded and the bool check must stay branch-cheap. *)
+   is only touched when it is on. The registry, the span stack and the
+   counter cells belong to the domain that initialized this module (the
+   "main" domain): probes fired from worker domains never touch them.
+   Off-main increments go to a domain-local shadow table instead, drained
+   by the pool at job boundaries and {!absorb}ed on the main domain at
+   fan-in, so the bool check stays branch-cheap and no cell is ever
+   written from two domains. *)
 
 let on = ref false
 
 let enabled () = !on
+
+let main_domain : int = (Domain.self () :> int)
+
+let on_main () = (Domain.self () :> int) = main_domain
+
+(* Shadow counters for worker domains: name -> pending delta. *)
+let offmain_key : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let drain_local () =
+  let t = Domain.DLS.get offmain_key in
+  let out = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
+  Hashtbl.reset t;
+  List.sort compare out
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
@@ -27,9 +46,19 @@ let counter name =
     registry := c :: !registry;
     c
 
-let add c n = if !on then c.v <- c.v + n
+let add_offmain name n =
+  let t = Domain.DLS.get offmain_key in
+  let cur = match Hashtbl.find_opt t name with Some v -> v | None -> 0 in
+  Hashtbl.replace t name (cur + n)
 
-let incr c = if !on then c.v <- c.v + 1
+let add c n =
+  if !on then
+    if on_main () then c.v <- c.v + n else add_offmain c.cname n
+
+let incr c = add c 1
+
+let absorb ds =
+  List.iter (fun (name, n) -> add (counter name) n) ds
 
 let value c = c.v
 
@@ -63,6 +92,7 @@ let stack : frame list ref = ref []
 
 let reset () =
   List.iter (fun c -> c.v <- 0) !registry;
+  Hashtbl.reset (Domain.DLS.get offmain_key);
   stack := []
 
 let set_enabled b =
@@ -154,6 +184,10 @@ let leave ~attach =
 
 let span name f =
   if not !on then f ()
+  else if not (on_main ()) then
+    (* Worker domains keep no span stack; their work is accounted for by
+       the per-domain nodes the pool attaches at fan-in. *)
+    f ()
   else begin
     enter name;
     match f () with
@@ -165,7 +199,22 @@ let span name f =
       raise e
   end
 
-let span_lazy name f = if not !on then f () else span (name ()) f
+let span_lazy name f =
+  if not !on then f () else if not (on_main ()) then f () else span (name ()) f
+
+let make_node ?(calls = 1) ~name ~wall_s ~minor_words ~major_words ~counters ()
+    =
+  { name; wall_s; minor_words; major_words; calls; counters; children = [] }
+
+(* Attach a prebuilt node (a per-domain rollup from the pool) under the
+   innermost open span, merging with a same-name sibling exactly as a
+   closing span would. Outside any span — or off the main domain — this
+   is a no-op: there is nowhere readable to put it. *)
+let attach node =
+  if !on && on_main () then
+    match !stack with
+    | f :: _ -> f.kids <- List.rev (add_child (List.rev f.kids) node)
+    | [] -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Profiles                                                            *)

@@ -15,7 +15,16 @@
     records the deltas as a {!node} under the enclosing span. Sibling
     spans with the same name are merged (summing times and deltas and
     counting calls), so loops produce one aggregated node rather than
-    thousands. *)
+    thousands.
+
+    {b Domains.} The registry, counter cells and span stack belong to the
+    domain that initialized this module (the "main" domain). Probes fired
+    from other domains never touch them: {!add}/{!incr} accumulate into a
+    domain-local shadow table and {!span} degrades to running its body.
+    The pool in [Refq_par.Par] drains the shadow deltas at job boundaries
+    ({!drain_local}), {!absorb}s them on the main domain at fan-in, and
+    {!attach}es one rollup node per participating domain under the open
+    stage span — so a parallel run keeps a readable single-tree profile. *)
 
 (** {1 The sink} *)
 
@@ -42,9 +51,27 @@ val incr : counter -> unit
 (** [incr c] is [add c 1]. *)
 
 val value : counter -> int
+(** Main-domain value; pending off-main deltas are not included until
+    they are {!absorb}ed. *)
 
 val counters : unit -> (string * int) list
 (** Current value of every registered counter, sorted by name. *)
+
+(** {1 Cross-domain accounting}
+
+    Used by the domain pool; ordinary instrumentation never calls these. *)
+
+val on_main : unit -> bool
+(** Whether the calling domain is the one that owns the sink state. *)
+
+val drain_local : unit -> (string * int) list
+(** Drain and return the calling domain's pending shadow-counter deltas
+    (sorted by name, zero entries never stored). On the main domain the
+    shadow table is always empty. *)
+
+val absorb : (string * int) list -> unit
+(** Credit drained deltas to the real counters. Call on the main domain
+    at fan-in; a no-op when the sink is off. *)
 
 val reset : unit -> unit
 (** Zero every counter and drop any span state. Profiling via {!profile}
@@ -83,6 +110,23 @@ val profile : ?name:string -> (unit -> 'a) -> 'a * report
 (** [profile f] turns the sink on, runs [f] under a root span (named
     ["query"] unless [name] says otherwise), restores the sink's previous
     state and returns [f]'s result with the collected profile tree. *)
+
+val make_node :
+  ?calls:int ->
+  name:string ->
+  wall_s:float ->
+  minor_words:float ->
+  major_words:float ->
+  counters:(string * int) list ->
+  unit ->
+  node
+(** A leaf node built from externally measured figures — the pool uses it
+    for per-domain rollups ("domain-0", "domain-1", ...). *)
+
+val attach : node -> unit
+(** Attach a prebuilt node under the innermost open span, merging with a
+    same-name sibling exactly like a closing span does. No-op when the
+    sink is off, off the main domain, or outside any span. *)
 
 val find_node : report -> string -> node option
 (** First node with the given name, depth-first. *)

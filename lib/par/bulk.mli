@@ -1,0 +1,38 @@
+(** Sharded parallel bulk load.
+
+    Loading raw triples spends its time in two places — dictionary
+    encoding (term hashing) and index writes — so the load is split into
+    shard-parallel passes over contiguous chunks of the input:
+
+    + {b harvest} (parallel): each chunk collects its distinct terms in
+      first-occurrence order, without touching the store;
+    + {b allocate} (coordinator): chunk results are walked in order and
+      unseen terms get dictionary ids — the only dictionary mutation;
+    + {b encode} (parallel, store sealed): each chunk re-encodes its
+      triples through the now-complete, read-only dictionary;
+    + {b append} (coordinator): encoded chunks are appended in order —
+      batched [add_ids] with dedup, epoch bumps and delta-hook firing
+      exactly as the sequential path would do them.
+
+    The decoded triple set, the final size and both epochs are identical
+    to a sequential load of the same input for {e every} shard count
+    (dictionary ids may differ — nothing observable depends on them; the
+    store still audits clean under [Audit_store] RS001–RS003). *)
+
+open Refq_rdf
+
+type stats = {
+  triples : int;  (** input triples presented *)
+  added : int;  (** effective insertions (input minus duplicates) *)
+  new_terms : int;  (** dictionary ids allocated *)
+  shards : int;  (** chunks used; 1 means the sequential path ran *)
+}
+
+val load : Refq_storage.Store.t -> Triple.t array -> stats
+(** Load through the global pool ({!Par.get}); sequential when the pool
+    is off or the input is too small to shard. *)
+
+val load_graph : Refq_storage.Store.t -> Graph.t -> stats
+
+val sequential : Refq_storage.Store.t -> Triple.t array -> stats
+(** The reference path: [Store.add_triple] in input order. *)

@@ -1,0 +1,278 @@
+module Obs = Refq_obs.Obs
+
+let c_batches = Obs.counter "par.batches"
+let c_jobs = Obs.counter "par.jobs"
+let c_inline_batches = Obs.counter "par.inline_batches"
+let c_errors = Obs.counter "par.errors"
+
+type error = {
+  index : int;
+  label : string;
+  exn : exn;
+  backtrace : string;
+}
+
+type pool = {
+  mutable doms : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work : Condition.t;  (** signalled when a job is queued or [live] drops *)
+  settled : Condition.t;  (** signalled when a batch's last job finishes *)
+  mutable live : bool;
+  psize : int;
+}
+
+(* Which pool slot the calling domain occupies: 0 is the coordinator,
+   workers are 1..n-1. Names the per-domain profile nodes. *)
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+(* Set while a domain — coordinator included — is executing a pool job.
+   A nested [run] must execute inline: parking a job to wait on sub-jobs
+   that sit behind it in the same queue is a deadlock. *)
+let in_job_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let size pool = pool.psize
+
+let worker pool slot () =
+  Domain.DLS.set slot_key slot;
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let rec next () =
+      match Queue.take_opt pool.queue with
+      | Some job -> Some job
+      | None ->
+        if not pool.live then None
+        else begin
+          Condition.wait pool.work pool.lock;
+          next ()
+        end
+    in
+    match next () with
+    | None -> Mutex.unlock pool.lock
+    | Some job ->
+      Mutex.unlock pool.lock;
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ~domains =
+  let n = max 1 domains in
+  let pool =
+    {
+      doms = [||];
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work = Condition.create ();
+      settled = Condition.create ();
+      live = true;
+      psize = n;
+    }
+  in
+  pool.doms <- Array.init (n - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  pool.live <- false;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  let doms = pool.doms in
+  pool.doms <- [||];
+  Array.iter Domain.join doms
+
+let default_label i = Printf.sprintf "job-%d" i
+
+(* Per-job observability, measured on whatever domain ran the job and
+   merged into per-slot "domain-<i>" nodes at fan-in. *)
+type job_obs = {
+  slot : int;
+  wall : float;
+  minor : float;
+  major : float;
+  deltas : (string * int) list;
+}
+
+let run_inline ?label fs =
+  Obs.incr c_inline_batches;
+  Obs.add c_jobs (Array.length fs);
+  let lbl = match label with Some f -> f | None -> default_label in
+  Array.mapi
+    (fun i f ->
+      match f () with
+      | v -> Ok v
+      | exception exn ->
+        Obs.incr c_errors;
+        Error { index = i; label = lbl i; exn; backtrace = Printexc.get_backtrace () })
+    fs
+
+let run pool ?label fs =
+  let n = Array.length fs in
+  if n = 0 then [||]
+  else if
+    pool.psize <= 1 || n = 1 || Array.length pool.doms = 0
+    || Domain.DLS.get in_job_key
+  then run_inline ?label fs
+  else begin
+    Obs.incr c_batches;
+    Obs.add c_jobs n;
+    let lbl = match label with Some f -> f | None -> default_label in
+    let obs_on = Obs.enabled () in
+    let results : ('a, error) result option array = Array.make n None in
+    let jobs_obs : job_obs option array = Array.make n None in
+    let pending = ref n in
+    let wrap i f () =
+      Domain.DLS.set in_job_key true;
+      let t0 = Unix.gettimeofday () in
+      let minor0 = Gc.minor_words () in
+      let major0 = (Gc.quick_stat ()).Gc.major_words in
+      if obs_on then ignore (Obs.drain_local ());
+      let r =
+        match f () with
+        | v -> Ok v
+        | exception exn ->
+          Error
+            { index = i; label = lbl i; exn; backtrace = Printexc.get_backtrace () }
+      in
+      if obs_on then
+        jobs_obs.(i) <-
+          Some
+            {
+              slot = Domain.DLS.get slot_key;
+              wall = Unix.gettimeofday () -. t0;
+              minor = Gc.minor_words () -. minor0;
+              major = (Gc.quick_stat ()).Gc.major_words -. major0;
+              deltas = Obs.drain_local ();
+            };
+      Domain.DLS.set in_job_key false;
+      results.(i) <- Some r;
+      Mutex.lock pool.lock;
+      decr pending;
+      if !pending = 0 then Condition.broadcast pool.settled;
+      Mutex.unlock pool.lock
+    in
+    Mutex.lock pool.lock;
+    for i = 0 to n - 1 do
+      Queue.push (wrap i fs.(i)) pool.queue
+    done;
+    Condition.broadcast pool.work;
+    (* The coordinator is a full participant: it drains the queue too,
+       then sleeps only for the stragglers other domains picked up. *)
+    let rec drive () =
+      match Queue.take_opt pool.queue with
+      | Some job ->
+        Mutex.unlock pool.lock;
+        job ();
+        Mutex.lock pool.lock;
+        drive ()
+      | None ->
+        while !pending > 0 do
+          Condition.wait pool.settled pool.lock
+        done
+    in
+    drive ();
+    Mutex.unlock pool.lock;
+    if obs_on then begin
+      (* Credit worker-side counter bumps to the real counters, then
+         attach one rollup node per participating domain under the span
+         the coordinator has open. *)
+      let merge_assoc a b =
+        List.fold_left
+          (fun acc (k, v) ->
+            match List.assoc_opt k acc with
+            | Some v0 -> (k, v0 + v) :: List.remove_assoc k acc
+            | None -> (k, v) :: acc)
+          a b
+        |> List.sort compare
+      in
+      let slots : (int, int * job_obs) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (function
+          | None -> ()
+          | Some jo ->
+            Obs.absorb jo.deltas;
+            let calls, acc =
+              match Hashtbl.find_opt slots jo.slot with
+              | Some (c, a) -> (c, a)
+              | None ->
+                (0, { jo with wall = 0.; minor = 0.; major = 0.; deltas = [] })
+            in
+            Hashtbl.replace slots jo.slot
+              ( calls + 1,
+                {
+                  acc with
+                  wall = acc.wall +. jo.wall;
+                  minor = acc.minor +. jo.minor;
+                  major = acc.major +. jo.major;
+                  deltas = merge_assoc acc.deltas jo.deltas;
+                } ))
+        jobs_obs;
+      Hashtbl.fold (fun slot acc l -> (slot, acc) :: l) slots []
+      |> List.sort compare
+      |> List.iter (fun (slot, (calls, acc)) ->
+             Obs.attach
+               (Obs.make_node ~calls
+                  ~name:(Printf.sprintf "domain-%d" slot)
+                  ~wall_s:acc.wall ~minor_words:acc.minor
+                  ~major_words:acc.major ~counters:acc.deltas ()))
+    end;
+    Array.map
+      (function
+        | Some r ->
+          (match r with Error _ -> Obs.incr c_errors | Ok _ -> ());
+          r
+        | None -> assert false)
+      results
+  end
+
+let map pool ?label f xs =
+  let rs = run pool ?label (Array.map (fun x () -> f x) xs) in
+  Array.map
+    (function
+      | Ok v -> v
+      | Error e -> raise e.exn)
+    rs
+
+let split n ~into =
+  let k = max 1 (min into n) in
+  if n <= 0 then [||]
+  else Array.init k (fun i -> (i * n / k, (i + 1) * n / k))
+
+let fanout pool = pool.psize * 4
+
+(* ------------------------------------------------------------------ *)
+(* The process-global pool                                             *)
+(* ------------------------------------------------------------------ *)
+
+let requested = ref 1
+let current : pool option ref = ref None
+
+let shutdown_global () =
+  match !current with
+  | Some p ->
+    current := None;
+    shutdown p
+  | None -> ()
+
+let () = Stdlib.at_exit shutdown_global
+
+let set_domains n =
+  let n = max 1 n in
+  if n <> !requested then begin
+    shutdown_global ();
+    requested := n
+  end
+
+let domains () = !requested
+
+let active () = !requested > 1
+
+let get () =
+  if !requested <= 1 then None
+  else
+    match !current with
+    | Some p -> Some p
+    | None ->
+      let p = create ~domains:!requested in
+      current := Some p;
+      Some p

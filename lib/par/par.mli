@@ -1,0 +1,88 @@
+(** Fixed domain pool with deterministic fan-in.
+
+    The execution model every parallel hot path (saturation rounds, JUCQ
+    fragment evaluation, sharded bulk load) follows:
+
+    - the {b coordinating domain} — the one that owns the [Obs] sink and
+      the store — splits the work into independent jobs over immutable
+      (sealed) inputs, submits them as one batch, and {e participates}:
+      it drains the queue alongside the workers, so a 1-domain pool
+      degenerates to plain sequential execution;
+    - {b worker domains} only read shared state ([Store.seal] enforces
+      this at runtime) and write results into their own slots;
+    - {b fan-in is deterministic}: {!run} returns results indexed exactly
+      like the submitted jobs, so merging in array order reproduces the
+      sequential merge order no matter which domain ran what when.
+
+    A job that raises is captured as a structured {!error} — never a hung
+    batch or a swallowed exception. Worker-side [Obs] counter bumps are
+    drained per job, credited to the real counters at fan-in, and rolled
+    up into one ["domain-<i>"] profile node per participating domain,
+    attached under whatever span the coordinator has open ("saturate",
+    "evaluate", ...).
+
+    The pool is also exposed as a process-global configured by
+    {!set_domains} (wired to [--domains N] in [refq answer] and [bench]):
+    [Par.get ()] returns [None] at 1 domain, so call sites keep their
+    sequential path as the default. *)
+
+type pool
+
+val create : domains:int -> pool
+(** [create ~domains:n] spawns [n - 1] worker domains (the coordinator is
+    the n-th). [n <= 1] spawns nothing and makes {!run} sequential. *)
+
+val size : pool -> int
+(** The configured domain count [n], including the coordinator. *)
+
+val shutdown : pool -> unit
+(** Drain and join all worker domains. Idempotent; a shut-down pool runs
+    later batches inline on the caller. *)
+
+type error = {
+  index : int;  (** position of the failed job in its batch *)
+  label : string;
+  exn : exn;
+  backtrace : string;
+}
+
+val run :
+  pool -> ?label:(int -> string) -> (unit -> 'a) array ->
+  ('a, error) result array
+(** Run one batch; result [i] is job [i]'s. Blocks until every job
+    finished (a raising job fails only its own slot). Jobs submitted from
+    inside a job run inline — nested batches never deadlock the pool. *)
+
+val map : pool -> ?label:(int -> string) -> ('a -> 'b) -> 'a array -> 'b array
+(** [run] for a uniform function; re-raises the lowest-indexed failing
+    job's exception after the whole batch has settled. *)
+
+val split : int -> into:int -> (int * int) array
+(** [split n ~into:k] is at most [k] contiguous half-open ranges
+    [(lo, hi)] covering [0, n) in order, sizes differing by at most one.
+    The canonical deterministic partitioning: concatenating per-range
+    results in array order reproduces the sequential order. *)
+
+val fanout : pool -> int
+(** Recommended number of jobs per batch (a small multiple of {!size}, so
+    uneven jobs load-balance). *)
+
+(** {1 The process-global pool} *)
+
+val set_domains : int -> unit
+(** Configure the global domain count (clamped to [>= 1]). Changing the
+    count shuts the old pool down; the new one spawns lazily on the next
+    {!get}. *)
+
+val domains : unit -> int
+
+val active : unit -> bool
+(** [domains () > 1]. *)
+
+val get : unit -> pool option
+(** The global pool, spawning it on first use — [None] when the
+    configured count is 1, which is every call site's cue to take its
+    sequential path. *)
+
+val shutdown_global : unit -> unit
+(** Also registered [at_exit]. *)

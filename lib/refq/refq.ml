@@ -36,6 +36,10 @@ module Sparql = Refq_query.Sparql
 module Store = Refq_storage.Store
 module Saturate = Refq_saturation.Saturate
 
+(* Multicore *)
+module Par = Refq_par.Par
+module Bulk = Refq_par.Bulk
+
 (* Durability *)
 module Persist = Refq_persist.Persist
 module Io = Refq_fault.Io

@@ -39,6 +39,16 @@ module Sparql = Refq_query.Sparql
 module Store = Refq_storage.Store
 module Saturate = Refq_saturation.Saturate
 
+(** {1 Multicore}
+
+    The fixed domain pool behind the parallel saturation rounds, JUCQ
+    fragment evaluation and sharded bulk load. [Par.set_domains n]
+    configures the process-global pool ([--domains N] on the CLI);
+    results are bit-identical to sequential at every domain count. *)
+
+module Par = Refq_par.Par
+module Bulk = Refq_par.Bulk
+
 (** {1 Durability} *)
 
 module Persist = Refq_persist.Persist

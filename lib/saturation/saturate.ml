@@ -2,6 +2,7 @@ open Refq_rdf
 open Refq_schema
 open Refq_storage
 module Obs = Refq_obs.Obs
+module Int_vec = Refq_util.Int_vec
 
 let c_derived = Obs.counter "saturate.derived"
 let c_rounds = Obs.counter "saturate.rounds"
@@ -64,14 +65,74 @@ let derive_one sch ~emit s p o =
 
 (* One saturation round: apply every instance rule to every triple of
    [src], writing into [dst] (which already contains [src]'s triples and
-   the entailed schema triples). *)
-let round sch src dst =
+   the entailed schema triples).
+
+   With a domain pool configured, the round fans out: the source triples
+   are snapshotted into a flat array (workers never touch a store), split
+   into contiguous in-order chunks, and each chunk derives into a private
+   buffer; the coordinator then merges the buffers {e in chunk order}.
+   [derive_one] is pure over the read-only [id_schema], and concatenating
+   chunk-local emission orders in chunk order reproduces the sequential
+   emission order exactly — so the resulting [dst] (content, dedup
+   outcomes, epochs) is bit-identical for every chunk size and domain
+   count. [?chunk] overrides the chunk size (the determinism tests sweep
+   it); by default the round targets [Par.fanout] chunks. *)
+let round ?chunk sch src dst =
   Obs.incr c_rounds;
   let emit s p o =
     Obs.incr c_derived;
     Store.add_ids dst s p o
   in
-  Store.iter_all src (fun s p o -> derive_one sch ~emit s p o)
+  match Refq_par.Par.get () with
+  | None -> Store.iter_all src (fun s p o -> derive_one sch ~emit s p o)
+  | Some pool ->
+    let n = Store.size src in
+    if n = 0 then ()
+    else begin
+      let arr = Array.make (3 * n) 0 in
+      let k = ref 0 in
+      Store.iter_all src (fun s p o ->
+          arr.(!k) <- s;
+          arr.(!k + 1) <- p;
+          arr.(!k + 2) <- o;
+          k := !k + 3);
+      let csize =
+        match chunk with
+        | Some c -> max 1 c
+        | None ->
+          let f = Refq_par.Par.fanout pool in
+          max 1 ((n + f - 1) / f)
+      in
+      let ranges = Refq_par.Par.split n ~into:((n + csize - 1) / csize) in
+      let bufs =
+        Refq_par.Par.map pool
+          ~label:(fun i -> Printf.sprintf "saturate-chunk-%d" i)
+          (fun (lo, hi) ->
+            let buf = Int_vec.create ~capacity:256 () in
+            let emit s p o =
+              Int_vec.push buf s;
+              Int_vec.push buf p;
+              Int_vec.push buf o
+            in
+            for t = lo to hi - 1 do
+              derive_one sch ~emit arr.(3 * t) arr.((3 * t) + 1)
+                arr.((3 * t) + 2)
+            done;
+            buf)
+          ranges
+      in
+      Array.iter
+        (fun buf ->
+          let len = Int_vec.length buf in
+          let t = ref 0 in
+          while !t < len do
+            emit (Int_vec.get buf !t)
+              (Int_vec.get buf (!t + 1))
+              (Int_vec.get buf (!t + 2));
+            t := !t + 3
+          done)
+        bufs
+    end
 
 let schema_of_store st =
   let g = ref Schema.empty in
@@ -85,7 +146,7 @@ let schema_of_store st =
       | None -> ());
   !g
 
-let store_info db =
+let store_info ?chunk db =
   let t0 = Sys.time () in
   let dict = Store.dictionary db in
   let rec fixpoint src rounds =
@@ -98,7 +159,7 @@ let store_info db =
       (fun t -> Store.add_triple dst t)
       (Closure.entailed_schema_graph closure);
     let sch = id_schema_of_closure dict closure in
-    round sch src dst;
+    round ?chunk sch src dst;
     (* Derived triples may themselves be schema triples (non-standard
        graphs): in that case the schema grew and we must iterate. *)
     let new_schema = schema_of_store dst in
@@ -122,7 +183,7 @@ let store_info db =
       elapsed_s = Sys.time () -. t0;
     } )
 
-let store db = fst (store_info db)
+let store ?chunk db = fst (store_info ?chunk db)
 
 (* ------------------------------------------------------------------ *)
 (* Incremental maintenance                                             *)

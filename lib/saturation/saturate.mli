@@ -27,14 +27,21 @@ type info = {
   elapsed_s : float;
 }
 
-val store : Store.t -> Store.t
+val store : ?chunk:int -> Store.t -> Store.t
 (** [store db] is a new store (sharing [db]'s dictionary) holding [db∞].
     The schema is extracted from [db]'s RDFS triples, closed, and the
     instance rules are applied in one scan per outer round; a second round
     only occurs for non-standard graphs whose derived triples extend the
-    schema itself. *)
+    schema itself.
 
-val store_info : Store.t -> Store.t * info
+    When the global domain pool is active ([Refq_par.Par.set_domains]),
+    each scan fans out over contiguous chunks of a source snapshot and the
+    chunk results are merged in order on the coordinator — producing a
+    store bit-identical (content {e and} epochs) to the sequential scan
+    for every chunk size and domain count. [?chunk] overrides the chunk
+    size; the default targets [Par.fanout] chunks per round. *)
+
+val store_info : ?chunk:int -> Store.t -> Store.t * info
 
 val graph : Graph.t -> Graph.t
 (** Term-level convenience wrapper around {!store}. *)

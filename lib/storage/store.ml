@@ -12,6 +12,12 @@ type t = {
   mutable data_epoch : int;
   mutable schema_epoch : int;
   mutable hook : (delta -> unit) option;
+  schema_preds : (int, bool) Hashtbl.t;
+      (** predicate id -> is RDFS constraint predicate. Ids never change
+          meaning, so entries are valid forever. *)
+  mutable sealed : bool;
+      (** parallel read region open: every mutator raises (coordinator
+          forgot to pre-encode / merge on its own domain). *)
 }
 
 and delta = { op : [ `Add | `Remove ]; s : int; p : int; o : int }
@@ -29,7 +35,17 @@ let create ?dictionary () =
     data_epoch = 0;
     schema_epoch = 0;
     hook = None;
+    schema_preds = Hashtbl.create 16;
+    sealed = false;
   }
+
+let sealed st = st.sealed
+
+let sealed_fail what =
+  invalid_arg
+    ("Store." ^ what
+   ^ ": store is sealed (parallel read region); mutation is \
+      coordinator-only")
 
 let dictionary st = st.dict
 
@@ -51,13 +67,22 @@ let schema_epoch st = st.schema_epoch
    turns into constraints. Everything else (including [rdf:type]) only
    affects instance data. *)
 let is_schema_pred st p =
-  match Dictionary.decode st.dict p with
-  | t ->
-    Term.equal t Vocab.rdfs_subclassof
-    || Term.equal t Vocab.rdfs_subpropertyof
-    || Term.equal t Vocab.rdfs_domain
-    || Term.equal t Vocab.rdfs_range
-  | exception _ -> false
+  match Hashtbl.find_opt st.schema_preds p with
+  | Some b -> b
+  | None -> (
+    (* Only memoize ids the dictionary can decode: an out-of-range id
+       could later be allocated to a constraint predicate. *)
+    match Dictionary.decode st.dict p with
+    | t ->
+      let b =
+        Term.equal t Vocab.rdfs_subclassof
+        || Term.equal t Vocab.rdfs_subpropertyof
+        || Term.equal t Vocab.rdfs_domain
+        || Term.equal t Vocab.rdfs_range
+      in
+      Hashtbl.add st.schema_preds p b;
+      b
+    | exception _ -> false)
 
 let bump_epoch st p =
   if is_schema_pred st p then st.schema_epoch <- st.schema_epoch + 1
@@ -66,6 +91,7 @@ let bump_epoch st p =
 let set_delta_hook st hook = st.hook <- hook
 
 let restore_epochs st ~data ~schema =
+  if st.sealed then sealed_fail "restore_epochs";
   if data < 0 || schema < 0 then
     invalid_arg
       (Printf.sprintf "Store.restore_epochs: negative epoch (data=%d schema=%d)"
@@ -81,6 +107,7 @@ let notify st op s p o =
 let add_ids st s p o =
   let key = (s, p, o) in
   if not (Hashtbl.mem st.seen key) then begin
+    if st.sealed then sealed_fail "add_ids";
     Hashtbl.add st.seen key ();
     Int_vec.push st.triples s;
     Int_vec.push st.triples p;
@@ -90,7 +117,14 @@ let add_ids st s p o =
     notify st `Add s p o
   end
 
-let encode_term st t = Dictionary.encode st.dict t
+(* Encoding a term the dictionary already knows is a pure lookup and
+   stays legal while sealed; only a fresh allocation is a mutation. *)
+let encode_term st t =
+  match Dictionary.find st.dict t with
+  | Some id -> id
+  | None ->
+    if st.sealed then sealed_fail "encode_term";
+    Dictionary.encode st.dict t
 let find_term st t = Dictionary.find st.dict t
 let decode_id st id = Dictionary.decode st.dict id
 
@@ -121,6 +155,7 @@ let mem_ids st s p o = Hashtbl.mem st.seen (s, p, o)
 let remove_ids st s p o =
   let key = (s, p, o) in
   if Hashtbl.mem st.seen key then begin
+    if st.sealed then sealed_fail "remove_ids";
     Hashtbl.remove st.seen key;
     st.dirty <- true;
     bump_epoch st p;
@@ -190,6 +225,16 @@ let freeze st =
     st.osp <- build_perm st key_osp;
     st.dirty <- false
   end
+
+(* Sealing freezes first so worker domains never trigger the lazy index
+   build: after [seal] every public read ([iter_pattern], [count_pattern],
+   [find_term], [decode_id], [mem_ids], ...) touches only data no domain
+   mutates until [unseal]. *)
+let seal st =
+  freeze st;
+  st.sealed <- true
+
+let unseal st = st.sealed <- false
 
 (* Binary search on a permutation w.r.t. a (k1, k2, k3) virtual key;
    [min_int]/[max_int] stand for unbound key components. [strict] selects
@@ -400,6 +445,7 @@ let valid_perm st key perm n =
   !sorted
 
 let import_indexes st ~spo ~pos ~osp =
+  if st.sealed then sealed_fail "import_indexes";
   compact st;
   let n = size st in
   if

@@ -69,6 +69,21 @@ val remove_triple : t -> Triple.t -> unit
 val freeze : t -> unit
 (** Force index construction now (otherwise done on first lookup). *)
 
+val seal : t -> unit
+(** Open a parallel read region: {!freeze} now (so no worker triggers the
+    lazy index build), then make every mutator — {!add_ids},
+    {!remove_ids}, {!restore_epochs}, {!import_indexes}, and
+    {!encode_term} when it would allocate a fresh id — raise
+    [Invalid_argument] until {!unseal}. While sealed, the store is safe to
+    read from any number of domains concurrently; mutation (including
+    merging worker results) is the coordinating domain's job, after
+    [unseal]. Idempotent. *)
+
+val unseal : t -> unit
+(** Close the parallel read region opened by {!seal}. Idempotent. *)
+
+val sealed : t -> bool
+
 val iter_pattern :
   t -> s:int option -> p:int option -> o:int option ->
   (int -> int -> int -> unit) -> unit
@@ -103,7 +118,8 @@ val import_indexes :
     wrong answers. *)
 
 val encode_term : t -> Term.t -> int
-(** Encode through the store's dictionary (allocates). *)
+(** Encode through the store's dictionary (allocates on first sight of
+    the term; a pure lookup — legal even while {!sealed} — otherwise). *)
 
 val find_term : t -> Term.t -> int option
 

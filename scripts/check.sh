@@ -24,6 +24,31 @@ grep -q '"strategy": *"gcov+warm"' "$bench_json" || {
   exit 1
 }
 
+echo "== parallel differential smoke (--domains 1 and --domains 4)"
+# The parallel suite re-answers the 210 seeded queries through the domain
+# pool and demands bit-identical answer sets and epochs; REFQ_DOMAINS pins
+# the swept domain counts so each invocation stays cheap.
+REFQ_DOMAINS=1 dune exec test/test_differential.exe -- test 'parallel' \
+  >/dev/null
+REFQ_DOMAINS=4 dune exec test/test_differential.exe -- test 'parallel' \
+  >/dev/null
+dune exec test/test_par.exe >/dev/null
+
+echo "== parallel bench smoke (--domains 2 --json + --validate)"
+par_json=$(mktemp /tmp/refq_bench_par.XXXXXX.json)
+trap 'rm -f "$bench_json" "$smoke_nt" "$par_json"' EXIT
+dune exec bench/main.exe -- --fast --scale 2 --domains 2 --json "$par_json" \
+  >/dev/null
+dune exec bench/main.exe -- --validate "$par_json"
+grep -q '"strategy": *"load+par2"' "$par_json" || {
+  echo "parallel trajectory is missing the sharded-load runs" >&2
+  exit 1
+}
+grep -q '"strategy": *"gcov+par2"' "$par_json" || {
+  echo "parallel trajectory is missing the parallel query-eval runs" >&2
+  exit 1
+}
+
 echo "== cache cold/warm bench smoke (e17)"
 dune exec bench/main.exe -- --fast --scale 1 --only e17 | grep -q "gcov" || {
   echo "e17 cache experiment produced no output" >&2
@@ -105,7 +130,7 @@ fi
 echo "== crash-safe persistence smoke (snapshot, torn WAL, recovery, audit)"
 persist_dir=$(mktemp -d /tmp/refq_persist.XXXXXX)
 bad_dir=$(mktemp -d /tmp/refq_persist_bad.XXXXXX)
-trap 'rm -f "$bench_json" "$smoke_nt"; rm -rf "$persist_dir" "$bad_dir"' EXIT
+trap 'rm -f "$bench_json" "$smoke_nt" "$par_json"; rm -rf "$persist_dir" "$bad_dir"' EXIT
 dune exec bin/refq.exe -- snapshot save "$smoke_nt" "$persist_dir" --sat >/dev/null
 dune exec bin/refq.exe -- audit-store --persist "$persist_dir" \
   | grep -q "persist OK" || {

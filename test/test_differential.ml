@@ -299,6 +299,87 @@ let test_persisted_parity (workload, make_store) () =
     ~finally:(fun () -> rm_rf dir)
     (fun () -> List.iter (check_persisted ~workload env penv) queries)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel vs sequential, across domain counts                        *)
+(* ------------------------------------------------------------------ *)
+
+module Par = Refq_par.Par
+
+(* The multicore runtime must be answer-invariant: with the domain pool
+   at 1, 2 and 4 domains, every strategy returns bit-identical (sorted,
+   decoded) answer sets to the sequential oracle, the base store's epochs
+   never move (answering reads; the seal enforces it), and the saturated
+   store — built through the parallel rounds — lands on identical size
+   and epochs. [REFQ_DOMAINS] (comma- or space-separated counts) narrows
+   the sweep so CI can pin one count per run. *)
+
+let parallel_domain_counts =
+  match Sys.getenv_opt "REFQ_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some s ->
+    let counts =
+      String.split_on_char ',' s
+      |> List.concat_map (String.split_on_char ' ')
+      |> List.filter_map int_of_string_opt
+    in
+    if counts = [] then [ 1; 2; 4 ] else counts
+
+let parallel_strategies =
+  Strategy.[ Saturation; Ucq; Scq; Gcov; Datalog ]
+
+let test_parallel_parity (workload, make_store) () =
+  let store = make_store () in
+  let queries = Query_gen.generate ~seed store ~count:queries_per_workload in
+  Par.set_domains 1;
+  let env0 = Answer.make_env store in
+  let oracle =
+    List.map
+      (fun (_, q) -> List.map (strategy_answers env0 q) parallel_strategies)
+      queries
+  in
+  let sat0, _ = Answer.saturated env0 in
+  let epochs0 = (Store.data_epoch store, Store.schema_epoch store) in
+  let pp_result ppf = function
+    | Ok rows -> pp_rows ppf rows
+    | Error reason -> Fmt.pf ppf "failed: %s" reason
+  in
+  Fun.protect
+    ~finally:(fun () -> Par.set_domains 1)
+    (fun () ->
+      List.iter
+        (fun d ->
+          Par.set_domains d;
+          let env = Answer.make_env store in
+          List.iteri
+            (fun i (name, q) ->
+              List.iteri
+                (fun j s ->
+                  let got = strategy_answers env q s in
+                  let want = List.nth (List.nth oracle i) j in
+                  if got <> want then
+                    Alcotest.failf
+                      "%s/%s (seed %Ld): %s at %d domains diverges from \
+                       sequential@.query: %a@.sequential: @[<v>%a@]@.%d \
+                       domains: @[<v>%a@]"
+                      workload name seed (Strategy.name s) d Cq.pp q pp_result
+                      want d pp_result got)
+                parallel_strategies)
+            queries;
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "%s: base store epochs untouched at %d domains"
+               workload d)
+            epochs0
+            (Store.data_epoch store, Store.schema_epoch store);
+          let sat, _ = Answer.saturated env in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: saturated size at %d domains" workload d)
+            (Store.size sat0) (Store.size sat);
+          Alcotest.(check (pair int int))
+            (Printf.sprintf "%s: saturated epochs at %d domains" workload d)
+            (Store.data_epoch sat0, Store.schema_epoch sat0)
+            (Store.data_epoch sat, Store.schema_epoch sat))
+        parallel_domain_counts)
+
 let () =
   Alcotest.run "differential"
     [
@@ -320,5 +401,9 @@ let () =
       ( "persisted agrees with in-memory",
         List.map
           (fun w -> Alcotest.test_case (fst w) `Slow (test_persisted_parity w))
+          workloads );
+      ( "parallel agrees across domains",
+        List.map
+          (fun w -> Alcotest.test_case (fst w) `Slow (test_parallel_parity w))
           workloads );
     ]

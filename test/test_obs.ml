@@ -98,6 +98,46 @@ let test_profile_nested_stage_total () =
   Alcotest.(check (float 1e-9)) "absent stage is zero" 0.0
     (Obs.stage_total rep "saturate")
 
+let test_attach_merges_under_stage () =
+  (* Per-domain rollup nodes attached during a stage span must land as
+     children of that stage — merged with a same-name sibling exactly
+     like a closing span would be — so [refq profile] shows domain time
+     under saturate/evaluate rather than floating at the root. *)
+  Obs.reset ();
+  let mk ?(calls = 1) name wall =
+    Obs.make_node ~calls ~name ~wall_s:wall ~minor_words:0.0
+      ~major_words:0.0
+      ~counters:[ ("par.jobs", calls) ]
+      ()
+  in
+  let (), rep =
+    Obs.profile (fun () ->
+        Obs.span "evaluate" (fun () ->
+            Obs.attach (mk "domain-1" 0.25);
+            Obs.attach (mk ~calls:3 "domain-1" 0.5);
+            Obs.attach (mk "domain-2" 0.125)))
+  in
+  let stage = Option.get (Obs.find_node rep "evaluate") in
+  Alcotest.(check (list string))
+    "rollups are children of the stage" [ "domain-1"; "domain-2" ]
+    (List.sort compare (List.map (fun n -> n.Obs.name) stage.Obs.children));
+  let d1 = Option.get (Obs.find_node rep "domain-1") in
+  Alcotest.(check int) "same-name rollups merged: calls" 4 d1.Obs.calls;
+  Alcotest.(check (float 1e-9)) "same-name rollups merged: wall" 0.75
+    d1.Obs.wall_s;
+  Alcotest.(check (list (pair string int)))
+    "same-name rollups merged: counters"
+    [ ("par.jobs", 4) ]
+    d1.Obs.counters;
+  (* Attaching with no open span, or with the sink off, is a no-op. *)
+  Obs.set_enabled true;
+  Obs.attach (mk "stray" 1.0);
+  Obs.set_enabled false;
+  Obs.attach (mk "stray" 1.0);
+  let (), rep2 = Obs.profile (fun () -> ()) in
+  Alcotest.(check bool) "no stray node leaks into later profiles" true
+    (Obs.find_node rep2 "stray" = None)
+
 let test_span_exception_unwinds () =
   Obs.reset ();
   (match
@@ -295,6 +335,8 @@ let () =
           Alcotest.test_case "profile tree" `Quick test_profile_tree;
           Alcotest.test_case "nested stage totals" `Quick
             test_profile_nested_stage_total;
+          Alcotest.test_case "attached rollups merge under stage" `Quick
+            test_attach_merges_under_stage;
           Alcotest.test_case "exception unwinds" `Quick
             test_span_exception_unwinds;
         ] );

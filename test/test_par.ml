@@ -1,0 +1,477 @@
+(* The domain pool and the three parallel hot paths. Everything here is a
+   determinism or liveness property: parallel execution must be
+   observationally identical to sequential execution (same stores, same
+   epochs, same answers) for every domain count, chunk size and input
+   shuffle — and a pool must never deadlock, swallow an exception or leak
+   a domain on shutdown. *)
+
+open Refq_rdf
+open Refq_storage
+module Par = Refq_par.Par
+module Bulk = Refq_par.Bulk
+module Obs = Refq_obs.Obs
+module Saturate = Refq_saturation.Saturate
+module Budget = Refq_fault.Budget
+module Audit_store = Refq_analysis.Audit_store
+module Diagnostic = Refq_analysis.Diagnostic
+
+let domain_counts = [ 1; 2; 4 ]
+
+let with_domains d f =
+  Par.set_domains d;
+  Fun.protect ~finally:(fun () -> Par.set_domains 1) f
+
+let codes ds =
+  List.map (fun d -> d.Diagnostic.code) ds |> List.sort_uniq compare
+
+let check_clean msg ds =
+  Alcotest.(check (list string)) (msg ^ ": no findings") [] (codes ds)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_deterministic_fanin () =
+  let pool = Par.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown pool)
+    (fun () ->
+      let xs = Array.init 100 Fun.id in
+      let ys = Par.map pool (fun x -> (x * x) + 1) xs in
+      Alcotest.(check (array int))
+        "results indexed like inputs"
+        (Array.map (fun x -> (x * x) + 1) xs)
+        ys)
+
+let test_errors_are_structured () =
+  let pool = Par.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown pool)
+    (fun () ->
+      let jobs =
+        Array.init 16 (fun i () ->
+            if i mod 5 = 3 then failwith (Printf.sprintf "boom-%d" i) else i)
+      in
+      let rs = Par.run pool ~label:(fun i -> Printf.sprintf "job-%d" i) jobs in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+            Alcotest.(check bool) "ok slot" true (i mod 5 <> 3);
+            Alcotest.(check int) "ok value" i v
+          | Error e ->
+            Alcotest.(check bool) "error slot" true (i mod 5 = 3);
+            Alcotest.(check int) "error index" i e.Par.index;
+            Alcotest.(check string)
+              "error label"
+              (Printf.sprintf "job-%d" i)
+              e.Par.label;
+            (match e.Par.exn with
+            | Failure m ->
+              Alcotest.(check string) "original exception"
+                (Printf.sprintf "boom-%d" i)
+                m
+            | _ -> Alcotest.fail "expected Failure"))
+        rs;
+      (* A failing batch must not poison the pool. *)
+      let again = Par.map pool (fun x -> x + 1) (Array.init 8 Fun.id) in
+      Alcotest.(check (array int))
+        "pool alive after errors"
+        (Array.init 8 (fun i -> i + 1))
+        again)
+
+let test_map_reraises_first_error () =
+  let pool = Par.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown pool)
+    (fun () ->
+      match Par.map pool (fun i -> if i >= 5 then failwith (string_of_int i) else i) (Array.init 10 Fun.id) with
+      | _ -> Alcotest.fail "expected a raise"
+      | exception Failure m ->
+        Alcotest.(check string) "lowest failing index wins" "5" m)
+
+let test_nested_run_is_inline () =
+  let pool = Par.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown pool)
+    (fun () ->
+      let ys =
+        Par.map pool
+          (fun x ->
+            (* A job that fans out again must not park itself behind its
+               own sub-jobs. *)
+            Array.fold_left ( + ) 0 (Par.map pool (fun y -> x * y) (Array.init 10 Fun.id)))
+          (Array.init 8 Fun.id)
+      in
+      Alcotest.(check (array int))
+        "nested batches complete"
+        (Array.init 8 (fun x -> 45 * x))
+        ys)
+
+let test_shutdown_is_clean_and_idempotent () =
+  let pool = Par.create ~domains:4 in
+  ignore (Par.map pool Fun.id (Array.init 32 Fun.id));
+  Par.shutdown pool;
+  Par.shutdown pool;
+  (* A shut-down pool degrades to inline execution instead of hanging. *)
+  let ys = Par.map pool (fun x -> x * 2) (Array.init 4 Fun.id) in
+  Alcotest.(check (array int))
+    "inline after shutdown"
+    (Array.init 4 (fun i -> 2 * i))
+    ys
+
+let test_split_covers_in_order () =
+  List.iter
+    (fun (n, into) ->
+      let ranges = Par.split n ~into in
+      let expected = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          Alcotest.(check int) "contiguous" !expected lo;
+          Alcotest.(check bool) "non-empty" true (hi > lo);
+          expected := hi)
+        ranges;
+      Alcotest.(check int) (Printf.sprintf "covers 0..%d" n) n !expected;
+      Alcotest.(check bool)
+        "at most [into] ranges" true
+        (Array.length ranges <= max 1 into);
+      let sizes = Array.map (fun (lo, hi) -> hi - lo) ranges in
+      let mn = Array.fold_left min max_int sizes in
+      let mx = Array.fold_left max 0 sizes in
+      Alcotest.(check bool) "balanced" true (mx - mn <= 1))
+    [ (0, 4); (1, 4); (4, 4); (5, 4); (100, 7); (17, 100); (1645, 16) ]
+
+(* ------------------------------------------------------------------ *)
+(* Store sealing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_seal_blocks_mutation () =
+  let st = Refq_workload.Lubm.generate ~scale:1 () in
+  let known = Term.uri "http://example.org/par#known" in
+  ignore (Store.encode_term st known);
+  Store.seal st;
+  Alcotest.(check bool) "sealed" true (Store.sealed st);
+  Alcotest.(check int)
+    "existing term still encodable"
+    (Option.get (Store.find_term st known))
+    (Store.encode_term st known);
+  let must_raise what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument while sealed" what
+    | exception Invalid_argument _ -> ()
+  in
+  must_raise "add_ids" (fun () -> Store.add_ids st 1_000_000 1_000_001 1_000_002);
+  must_raise "encode_term (fresh)" (fun () ->
+      Store.encode_term st (Term.uri "http://example.org/par#fresh"));
+  must_raise "restore_epochs" (fun () ->
+      Store.restore_epochs st ~data:0 ~schema:0);
+  (* Duplicate insertion and absent removal are reads — still no-ops. *)
+  Store.iter_all st (fun s p o ->
+      Store.add_ids st s p o;
+      ignore (Store.mem_ids st s p o));
+  Store.unseal st;
+  Alcotest.(check bool) "unsealed" false (Store.sealed st);
+  let size0 = Store.size st in
+  Store.add st known known known;
+  Alcotest.(check int) "mutable again" (size0 + 1) (Store.size st)
+
+(* ------------------------------------------------------------------ *)
+(* Saturation determinism                                              *)
+(* ------------------------------------------------------------------ *)
+
+let saturation_workloads =
+  [
+    ("lubm", fun () -> Refq_workload.Lubm.generate ~scale:1 ());
+    ("geo", fun () -> Refq_workload.Geo.generate ~scale:1 ());
+  ]
+
+let test_saturation_deterministic (wname, mk) () =
+  Par.set_domains 1;
+  let sat0, info0 = Saturate.store_info (mk ()) in
+  let g0 = Store.to_graph sat0 in
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          List.iter
+            (fun chunk ->
+              let sat, info = Saturate.store_info ?chunk (mk ()) in
+              let label =
+                Printf.sprintf "%s d=%d chunk=%s" wname d
+                  (match chunk with None -> "auto" | Some c -> string_of_int c)
+              in
+              Alcotest.(check bool)
+                (label ^ ": closure identical") true
+                (Graph.equal g0 (Store.to_graph sat));
+              Alcotest.(check int)
+                (label ^ ": size") (Store.size sat0) (Store.size sat);
+              Alcotest.(check int)
+                (label ^ ": data epoch")
+                (Store.data_epoch sat0) (Store.data_epoch sat);
+              Alcotest.(check int)
+                (label ^ ": schema epoch")
+                (Store.schema_epoch sat0)
+                (Store.schema_epoch sat);
+              Alcotest.(check int) (label ^ ": rounds") info0.Saturate.rounds
+                info.Saturate.rounds)
+            [ None; Some 1; Some 7; Some 64; Some 100_000 ]))
+    domain_counts
+
+(* ------------------------------------------------------------------ *)
+(* Sharded bulk load determinism                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shuffle rng arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let test_bulk_load_deterministic () =
+  let base = Refq_workload.Lubm.generate ~scale:1 () in
+  let triples = ref [] in
+  Graph.iter (fun t -> triples := t :: !triples) (Store.to_graph base);
+  let arr = Array.of_list !triples in
+  let reference = Store.create () in
+  let sref = Bulk.sequential reference arr in
+  Alcotest.(check int) "reference load size" (Store.size reference) sref.Bulk.added;
+  let g0 = Store.to_graph reference in
+  let rng = Random.State.make [| 0x9e2026 |] in
+  let inputs = arr :: List.init 2 (fun _ -> shuffle rng arr) in
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          List.iteri
+            (fun k input ->
+              let st = Store.create () in
+              let s = Bulk.load st input in
+              let label = Printf.sprintf "d=%d input=%d" d k in
+              if d > 1 then
+                Alcotest.(check bool)
+                  (label ^ ": sharded") true (s.Bulk.shards > 1);
+              Alcotest.(check bool)
+                (label ^ ": same decoded triple set") true
+                (Graph.equal g0 (Store.to_graph st));
+              Alcotest.(check int)
+                (label ^ ": data epoch")
+                (Store.data_epoch reference)
+                (Store.data_epoch st);
+              Alcotest.(check int)
+                (label ^ ": schema epoch")
+                (Store.schema_epoch reference)
+                (Store.schema_epoch st);
+              Alcotest.(check bool)
+                (label ^ ": unsealed after load") false (Store.sealed st);
+              check_clean
+                (label ^ ": RS001-RS003 audit")
+                (Audit_store.check st))
+            inputs))
+    domain_counts
+
+let test_bulk_load_into_populated_store () =
+  (* Loading over an overlapping population: duplicates must not bump
+     epochs or re-add, exactly like the sequential path. *)
+  let base = Refq_workload.Geo.generate ~scale:1 () in
+  let triples = ref [] in
+  Graph.iter (fun t -> triples := t :: !triples) (Store.to_graph base);
+  let arr = Array.of_list !triples in
+  let half = Array.sub arr 0 (Array.length arr / 2) in
+  let mk () =
+    let st = Store.create () in
+    ignore (Bulk.sequential st half);
+    st
+  in
+  let reference = mk () in
+  ignore (Bulk.sequential reference arr);
+  with_domains 4 (fun () ->
+      let st = mk () in
+      let s = Bulk.load st arr in
+      Alcotest.(check int)
+        "only the missing half added"
+        (Array.length arr - Array.length half)
+        s.Bulk.added;
+      Alcotest.(check bool)
+        "same decoded triple set" true
+        (Graph.equal (Store.to_graph reference) (Store.to_graph st));
+      Alcotest.(check int)
+        "data epoch" (Store.data_epoch reference) (Store.data_epoch st);
+      check_clean "audit" (Audit_store.check st))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency stress                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Saturate the pool with mixed saturation and fragment-evaluation jobs,
+   plus deadline-budgeted jobs that exhaust mid-flight and jobs that
+   raise: the batch must settle (no deadlock), every failure must surface
+   as the structured error of its own slot — never a hung pool or a
+   swallowed exception — and the pool must survive into the next batch
+   and shut down cleanly. *)
+let test_stress_mixed_jobs () =
+  let store = Refq_workload.Lubm.generate ~scale:1 () in
+  let graph = Store.to_graph store in
+  let card_env = Refq_cost.Cardinality.make_env store in
+  let queries = Array.of_list Refq_workload.Lubm.queries in
+  (* Coordinator-only, before sealing: head constants become pure
+     lookups, exactly as the answering pipeline does it. *)
+  Array.iter
+    (fun (_, q) ->
+      List.iter
+        (function
+          | Refq_query.Cq.Cst t -> ignore (Store.encode_term store t)
+          | Refq_query.Cq.Var _ -> ())
+        q.Refq_query.Cq.head)
+    queries;
+  Store.seal store;
+  let pool = Par.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () ->
+      Par.shutdown pool;
+      Store.unseal store)
+    (fun () ->
+      let n = 60 in
+      let jobs =
+        Array.init n (fun i () ->
+            match i mod 5 with
+            | 0 ->
+              (* Saturation over a job-private store built from the
+                 shared (immutable) graph. *)
+              `Size (Store.size (Saturate.store (Store.of_graph graph)))
+            | 1 | 2 ->
+              (* Fragment evaluation against the sealed shared store. *)
+              let _, q = queries.(i mod Array.length queries) in
+              `Rows (Refq_engine.Relation.cardinality (Refq_engine.Evaluator.cq card_env q))
+            | 3 ->
+              (* A deadline budget (job-private simulated clock) blowing
+                 up mid-flight. *)
+              let b =
+                Budget.create { Budget.no_limits with Budget.deadline = Some 3 }
+              in
+              Budget.charge_ticks b 10;
+              `Unreachable
+            | _ -> failwith (Printf.sprintf "stress-%d" i))
+      in
+      let rs = Par.run pool ~label:(fun i -> Printf.sprintf "stress-%d" i) jobs in
+      Alcotest.(check int) "batch settled completely" n (Array.length rs);
+      Array.iteri
+        (fun i r ->
+          match (i mod 5, r) with
+          | 0, Ok (`Size s) ->
+            Alcotest.(check bool) "saturation grew the store" true
+              (s > Store.size store / 2)
+          | (1 | 2), Ok (`Rows rows) ->
+            Alcotest.(check bool) "evaluation returned" true (rows >= 0)
+          | 3, Error e -> (
+            match e.Par.exn with
+            | Budget.Exhausted _ -> ()
+            | exn ->
+              Alcotest.failf "slot %d: expected Exhausted, got %s" i
+                (Printexc.to_string exn))
+          | 4, Error e -> (
+            match e.Par.exn with
+            | Failure m ->
+              Alcotest.(check string) "failure payload intact"
+                (Printf.sprintf "stress-%d" i)
+                m
+            | exn ->
+              Alcotest.failf "slot %d: expected Failure, got %s" i
+                (Printexc.to_string exn))
+          | _, Ok _ -> Alcotest.failf "slot %d: expected a structured error" i
+          | _, Error e ->
+            Alcotest.failf "slot %d: unexpected error %s (%s)" i
+              (Printexc.to_string e.Par.exn)
+              e.Par.label)
+        rs;
+      (* The pool survives a batch full of failures. *)
+      let again = Par.map pool (fun x -> x + 1) (Array.init 16 Fun.id) in
+      Alcotest.(check (array int))
+        "pool alive after stress"
+        (Array.init 16 (fun i -> i + 1))
+        again);
+  Alcotest.(check bool) "store unsealed after stress" false (Store.sealed store)
+
+(* ------------------------------------------------------------------ *)
+(* Obs: worker counters absorbed, per-domain nodes under the stage span *)
+(* ------------------------------------------------------------------ *)
+
+let c_work = Obs.counter "test.par_work"
+
+let test_obs_parallel_rollup () =
+  let pool = Par.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Par.shutdown pool)
+    (fun () ->
+      let _, report =
+        Obs.profile (fun () ->
+            Obs.span "evaluate" (fun () ->
+                ignore
+                  (Par.map pool
+                     (fun x ->
+                       Obs.incr c_work;
+                       Obs.add c_work x;
+                       x)
+                     (Array.init 12 Fun.id))))
+      in
+      (* Every bump — wherever the job ran — lands in the totals. *)
+      Alcotest.(check (option int))
+        "worker counter bumps absorbed"
+        (Some (12 + 66))
+        (List.assoc_opt "test.par_work" report.Obs.totals);
+      match Obs.find_node report "evaluate" with
+      | None -> Alcotest.fail "no evaluate node"
+      | Some n ->
+        let is_domain c =
+          String.length c.Obs.name >= 7 && String.sub c.Obs.name 0 7 = "domain-"
+        in
+        let dom_calls =
+          List.fold_left
+            (fun acc c -> if is_domain c then acc + c.Obs.calls else acc)
+            0 n.Obs.children
+        in
+        Alcotest.(check int)
+          "every job accounted to a per-domain node under its stage parent"
+          12 dom_calls)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "deterministic fan-in" `Quick
+            test_map_deterministic_fanin;
+          Alcotest.test_case "structured errors" `Quick
+            test_errors_are_structured;
+          Alcotest.test_case "map re-raises first error" `Quick
+            test_map_reraises_first_error;
+          Alcotest.test_case "nested run is inline" `Quick
+            test_nested_run_is_inline;
+          Alcotest.test_case "clean idempotent shutdown" `Quick
+            test_shutdown_is_clean_and_idempotent;
+          Alcotest.test_case "split covers in order" `Quick
+            test_split_covers_in_order;
+        ] );
+      ( "store sealing",
+        [ Alcotest.test_case "mutators raise while sealed" `Quick
+            test_seal_blocks_mutation ] );
+      ( "saturation determinism",
+        List.map
+          (fun w ->
+            Alcotest.test_case (fst w) `Slow (test_saturation_deterministic w))
+          saturation_workloads );
+      ( "bulk load determinism",
+        [
+          Alcotest.test_case "shard counts and shuffles" `Slow
+            test_bulk_load_deterministic;
+          Alcotest.test_case "into a populated store" `Quick
+            test_bulk_load_into_populated_store;
+        ] );
+      ( "stress",
+        [ Alcotest.test_case "mixed jobs under budgets" `Slow
+            test_stress_mixed_jobs ] );
+      ( "observability",
+        [ Alcotest.test_case "per-domain rollup" `Quick
+            test_obs_parallel_rollup ] );
+    ]
