@@ -13,6 +13,7 @@
      E9  Figure 3 / step 1    dataset statistics (value distributions)
      E19 cold open            parse+saturate vs checksummed snapshot open
      E20 multicore            parallel load/saturation/eval vs sequential
+     E21 serving              refq serve qps under mixed read/write clients
      obs                      observability-sink overhead check
      micro                    Bechamel micro-benchmarks, one per experiment
 
@@ -101,13 +102,17 @@ let parse_args () =
       loop rest
   in
   loop (List.tl (Array.to_list Sys.argv));
+  if !domains < 1 then begin
+    Fmt.epr "bench: --domains must be at least 1 (got %d)@." !domains;
+    exit 2
+  end;
   {
     scale = (if !fast then min !scale 3 else !scale);
     fast = !fast;
     only = !only;
     json = !json;
     validate = !validate;
-    domains = max 1 !domains;
+    domains = !domains;
   }
 
 let cfg = parse_args ()
@@ -1503,6 +1508,123 @@ let obs_overhead () =
      one (acceptance: <2%%).@."
 
 (* ------------------------------------------------------------------ *)
+(* E21 — serving throughput: qps under a mixed read/write client load  *)
+(* ------------------------------------------------------------------ *)
+
+module Session = Refq_serve.Session
+module Serve = Refq_serve.Serve
+
+let serve_read_requests =
+  [|
+    {|{"op":"answer","query":"q(x) :- x rdf:type ub:Professor","strategy":"ucq"}|};
+    {|{"op":"answer","query":"q(x,y) :- x ub:advisor y","strategy":"ucq"}|};
+    {|{"op":"answer","query":"q(x) :- x rdf:type ub:Professor","strategy":"gcov"}|};
+  |]
+
+let serve_write_request c k =
+  Printf.sprintf
+    {|{"op":"insert","triples":["<http://example.org/bench%d_%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://refq.org/univ-bench#FullProfessor> ."]}|}
+    c k
+
+(* One timed serving episode: [clients] concurrent TCP connections, each
+   firing [per_client] requests where every 8th is a writer batch (so
+   the server keeps bumping epoch snapshots under the readers). Returns
+   (total requests, writes, seconds). Runs on a throwaway copy of the
+   LUBM store; the Obs sink (turned on by [Serve.start] for the stats
+   verb) is switched back off afterwards so later experiments time the
+   un-instrumented paths. *)
+let serve_mixed ~clients ~per_client =
+  let store = Store.of_graph (Store.to_graph (Lazy.force lubm_store)) in
+  let session =
+    match Session.of_store store with Ok s -> s | Error m -> failwith m
+  in
+  let server =
+    match Serve.start session with Ok s -> s | Error m -> failwith m
+  in
+  let port = Serve.port server in
+  let connect () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    (sock, Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock)
+  in
+  let request (_, ic, oc) line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    ignore (input_line ic)
+  in
+  let writes = Atomic.make 0 in
+  let client c () =
+    let conn = connect () in
+    for k = 0 to per_client - 1 do
+      if k mod 8 = 3 then begin
+        Atomic.incr writes;
+        request conn (serve_write_request c k)
+      end
+      else
+        request conn
+          serve_read_requests.((c + k) mod Array.length serve_read_requests)
+    done;
+    let sock, _, _ = conn in
+    try Unix.close sock with Unix.Unix_error _ -> ()
+  in
+  let (), dt =
+    time (fun () ->
+        let threads =
+          List.init clients (fun c -> Thread.create (client c) ())
+        in
+        List.iter Thread.join threads)
+  in
+  let conn = connect () in
+  request conn {|{"op":"shutdown"}|};
+  (let sock, _, _ = conn in
+   try Unix.close sock with Unix.Unix_error _ -> ());
+  Serve.wait server;
+  Obs.set_enabled false;
+  (clients * per_client, Atomic.get writes, dt)
+
+let serve_concurrencies = [ 1; 2; 4 ]
+
+let serve_per_client () = if cfg.fast then 25 else 100
+
+let e21 () =
+  hr "E21 — refq serve: mixed read/write throughput";
+  Fmt.pr
+    "1 writer in 8 requests; readers pin epoch snapshots; evaluation is@.\
+     serialized, so extra clients buy I/O overlap, not parallel \
+     evaluation.@.@.";
+  Fmt.pr "  %-8s %10s %8s %10s@." "clients" "requests" "writes" "qps";
+  List.iter
+    (fun clients ->
+      let requests, writes, dt =
+        serve_mixed ~clients ~per_client:(serve_per_client ())
+      in
+      Fmt.pr "  %-8d %10d %8d %10.0f@." clients requests writes
+        (float_of_int requests /. dt))
+    serve_concurrencies
+
+(* The trajectory axis: one run per client concurrency, [total_s] the
+   wall-clock of the whole episode and a [serve.qps] counter with the
+   derived rate. *)
+let trajectory_serve_runs () =
+  List.map
+    (fun clients ->
+      let requests, writes, dt =
+        serve_mixed ~clients ~per_client:(serve_per_client ())
+      in
+      Trajectory.run ~workload:"lubm" ~scale:cfg.scale ~query:"serve-mixed"
+        ~strategy:(Printf.sprintf "serve+c%d" clients)
+        ~status:"ok" ~answers:requests ~total_s:dt
+        ~stages:[ ("serve", dt) ]
+        ~counters:
+          [
+            ("serve.requests", requests);
+            ("serve.writes", writes);
+            ("serve.qps", int_of_float (float_of_int requests /. dt));
+          ])
+    serve_concurrencies
+
+(* ------------------------------------------------------------------ *)
 (* Benchmark trajectory (--json FILE / --validate FILE)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1694,7 +1816,12 @@ let trajectory file =
     let persist_runs = trajectory_persist_runs () in
     Fmt.pr "trajectory: cold-open rebuild vs snapshot, %d runs@."
       (List.length persist_runs);
-    write_trajectory file (runs @ cache_runs @ views_runs @ persist_runs)
+    let serve_runs = trajectory_serve_runs () in
+    Fmt.pr "trajectory: serve mixed read/write at %s client(s), %d runs@."
+      (String.concat "/" (List.map string_of_int serve_concurrencies))
+      (List.length serve_runs);
+    write_trajectory file
+      (runs @ cache_runs @ views_runs @ persist_runs @ serve_runs)
   end
 
 let validate_file file =
@@ -1733,7 +1860,7 @@ let () =
         ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
         ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
         ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-        ("e19", e19); ("e20", e20);
+        ("e19", e19); ("e20", e20); ("e21", e21);
         ("obs", obs_overhead); ("micro", micro);
       ]
     in

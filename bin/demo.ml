@@ -13,9 +13,10 @@ open Refq_rdf
 open Refq_query
 open Refq_storage
 open Refq_core
+module Session = Refq_serve.Session
 
 type state = {
-  mutable env : Answer.env option;
+  mutable session : Session.t option;
   mutable query : Cq.t option;
   mutable profile : Refq_reform.Profiles.t;
   mutable minimize : bool;
@@ -50,19 +51,24 @@ let help () =
   quit                             leave
 |}
 
-let require_env st k =
-  match st.env with
-  | Some env -> k env
+let require_session st k =
+  match st.session with
+  | Some session -> k session
   | None -> print_endline "no dataset loaded — use `generate` or `load` first"
+
+let set_store st store =
+  match Session.of_store store with
+  | Ok session -> st.session <- Some session
+  | Error m -> print_endline m
 
 let require_query st k =
   match st.query with
   | Some q -> k q
   | None -> print_endline "no query set — use `query ...` first"
 
-let print_report st env r =
+let print_report st session r =
   Fmt.pr "%a@." Answer.pp_report r;
-  let rows = Answer.decode env r.Answer.answers in
+  let rows = Session.decode session r.Answer.answers in
   let shown = List.filteri (fun i _ -> i < 10) rows in
   List.iter
     (fun row ->
@@ -73,9 +79,9 @@ let print_report st env r =
   if List.length rows > 10 then
     Fmt.pr "  ... (%d more)@." (List.length rows - 10)
 
-let run_strategy st env q s =
-  match Answer.answer ~config:(config st) env q s with
-  | Ok r -> print_report st env r
+let run_strategy st session q s =
+  match Session.answer ~config:(config st) session q s with
+  | Ok r -> print_report st session r
   | Error f ->
     Fmt.pr "%s: FAILED after %.3fs: %s@."
       (Strategy.name f.Answer.f_strategy)
@@ -100,13 +106,13 @@ let handle st line =
       match workload, scale with
       | _, None -> print_endline "usage: generate lubm|dblp|geo <scale>"
       | "lubm", Some scale ->
-        st.env <- Some (Answer.make_env (Refq_workload.Lubm.generate ~scale ()));
+        set_store st (Refq_workload.Lubm.generate ~scale ());
         Fmt.pr "generated LUBM(%d)@." scale
       | "dblp", Some scale ->
-        st.env <- Some (Answer.make_env (Refq_workload.Dblp.generate ~scale ()));
+        set_store st (Refq_workload.Dblp.generate ~scale ());
         Fmt.pr "generated DBLP(%d)@." scale
       | "geo", Some scale ->
-        st.env <- Some (Answer.make_env (Refq_workload.Geo.generate ~scale ()));
+        set_store st (Refq_workload.Geo.generate ~scale ());
         Fmt.pr "generated GEO(%d)@." scale
       | other, _ -> Fmt.pr "unknown workload %S@." other)
     | _ -> print_endline "usage: generate lubm|dblp|geo <scale>")
@@ -123,12 +129,12 @@ let handle st line =
     in
     match result with
     | Ok g ->
-      st.env <- Some (Answer.make_env (Store.of_graph g));
+      set_store st (Store.of_graph g);
       Fmt.pr "loaded %d triples@." (Graph.cardinal g)
     | Error m -> print_endline m)
   | "stats" ->
-    require_env st (fun env ->
-        let store = Answer.store env in
+    require_session st (fun session ->
+        let store = Session.store session in
         Fmt.pr "%a@." (Stats.pp (Store.dictionary store)) (Stats.compute store))
   | "query" -> (
     let parse =
@@ -142,16 +148,16 @@ let handle st line =
       Fmt.pr "query set: %a@." Cq.pp q
     | Error e -> Fmt.pr "query: %a@." Sparql.pp_error e)
   | "run" ->
-    require_env st (fun env ->
+    require_session st (fun session ->
         require_query st (fun q ->
             match arg with
-            | "" -> List.iter (run_strategy st env q) Strategy.all_fixed
+            | "" -> List.iter (run_strategy st session q) Strategy.all_fixed
             | name -> (
               match Strategy.of_string name with
-              | Ok s -> run_strategy st env q s
+              | Ok s -> run_strategy st session q s
               | Error m -> print_endline m)))
   | "cover" ->
-    require_env st (fun env ->
+    require_session st (fun session ->
         require_query st (fun q ->
             let n_atoms = List.length q.Cq.body in
             try
@@ -162,11 +168,12 @@ let handle st line =
                        |> List.map (fun s -> int_of_string (String.trim s) - 1))
               in
               let cover = Cover.make ~n_atoms fragments in
-              run_strategy st env q (Strategy.Jucq cover)
+              run_strategy st session q (Strategy.Jucq cover)
             with Invalid_argument m | Failure m -> print_endline m))
   | "explain" ->
-    require_env st (fun env ->
+    require_session st (fun session ->
         require_query st (fun q ->
+            let env = Session.env session in
             let cl = Answer.closure env in
             Fmt.pr "UCQ reformulation size: %d disjuncts@."
               (Refq_reform.Reformulate.count_disjuncts ~profile:st.profile cl q);
@@ -224,35 +231,32 @@ let handle st line =
       st.use_cache <- false;
       print_endline "caching off"
     | "stats" ->
-      require_env st (fun env ->
+      require_session st (fun session ->
+          let data, schema = Session.epochs session in
+          Fmt.pr "epochs: data=%d schema=%d@." data schema;
           List.iter
             (fun s -> Fmt.pr "%a@." Answer.Cache.pp_stats s)
-            (Answer.cache_stats env))
+            (Session.cache_stats session))
     | _ -> print_endline "usage: cache on|off|stats")
   | "add" | "remove" ->
-    require_env st (fun env ->
+    require_session st (fun session ->
+        let apply t =
+          let mut = if cmd = "add" then `Add t else `Remove t in
+          ignore (Session.apply session [ mut ]);
+          Fmt.pr "%s %a@." cmd Triple.pp t
+        in
         match Ntriples.parse_triples (arg ^ " .") with
         | Error _ | Ok [] -> (
           (* Accept both with and without the trailing dot. *)
           match Ntriples.parse_triples arg with
-          | Ok [ t ] -> (
-            let store = Answer.store env in
-            (if cmd = "add" then Store.add_triple store t
-             else Store.remove_triple store t);
-            st.env <- Some (Answer.invalidate env);
-            Fmt.pr "%s %a@." cmd Triple.pp t)
+          | Ok [ t ] -> apply t
           | Ok _ | Error _ ->
             print_endline "could not parse the statement (N-Triples syntax)")
-        | Ok [ t ] ->
-          let store = Answer.store env in
-          (if cmd = "add" then Store.add_triple store t
-           else Store.remove_triple store t);
-          st.env <- Some (Answer.invalidate env);
-          Fmt.pr "%s %a@." cmd Triple.pp t
+        | Ok [ t ] -> apply t
         | Ok _ -> print_endline "one statement at a time")
   | "saturate" ->
-    require_env st (fun env ->
-        let _, info = Answer.saturated env in
+    require_session st (fun session ->
+        let _, info = Answer.saturated (Session.env session) in
         Fmt.pr "G∞: %d → %d triples, %d round(s)@."
           info.Refq_saturation.Saturate.input_triples
           info.Refq_saturation.Saturate.output_triples
@@ -274,7 +278,7 @@ let main () =
   in
   let st =
     {
-      env = None;
+      session = None;
       query = None;
       profile = Refq_reform.Profiles.complete;
       minimize = false;

@@ -21,6 +21,8 @@ module Obs = Refq_obs.Obs
 module Persist = Refq_persist.Persist
 module Io = Refq_fault.Io
 module Par = Refq_par.Par
+module Session = Refq_serve.Session
+module Serve = Refq_serve.Serve
 
 (* ------------------------------------------------------------------ *)
 (* Loading and saving                                                  *)
@@ -343,9 +345,11 @@ let strategy_conv ~n_atoms name cover =
    estimated cardinality next to the cardinality actually materialized —
    the "estimated vs actual" view of the chosen plan. *)
 let explain_answer env q (r : Answer.report) =
-  let store = Answer.store env in
-  Fmt.pr "@.epochs: data=%d schema=%d@." (Store.data_epoch store)
-    (Store.schema_epoch store);
+  (* The pinned pair the result was served at — the environment's synced
+     epochs, not the store's raw counters (they can run ahead of what the
+     caches and statistics describe). *)
+  let data, schema = Answer.epochs env in
+  Fmt.pr "@.epochs: data=%d schema=%d@." data schema;
   match r.Answer.detail with
   | Answer.Saturated _ | Answer.Datalog_run _ -> ()
   | Answer.Reformulated { cover; fragment_cardinalities; view_hits; gcov; _ }
@@ -390,36 +394,55 @@ let explain_answer env q (r : Answer.report) =
             actual "—")
       (List.combine (Cover.fragments cover) fragment_cardinalities)
 
+(* Echo what [Session.open_] did, with the exact lines the pre-session
+   CLI printed (smoke scripts grep for them). *)
+let report_session ~path ~persist_dir (i : Session.info) =
+  (match persist_dir, i.Session.recovery with
+  | Some dir, Some r ->
+    report_recovery dir r;
+    if i.Session.seeded > 0 then
+      Fmt.pr "persist: seeded %s with %d triple(s) from %s@." dir
+        i.Session.seeded path
+  | _ -> ());
+  let side = path ^ ".views" in
+  if i.Session.views_loaded > 0 || i.Session.views_skipped > 0 then begin
+    Fmt.pr "loaded %d materialized view(s) from %s@." i.Session.views_loaded
+      side;
+    if i.Session.views_skipped > 0 then
+      Fmt.epr "views: %s: skipped %d undecodable view(s) (stale, not trusted)@."
+        side i.Session.views_skipped
+  end;
+  match i.Session.views_error with
+  | Some m -> Fmt.epr "views: ignoring %s@." m
+  | None -> ()
+
+let session_config ~path ~use_views ~domains ~persist_dir =
+  let c = Session.Config.(default |> with_domains domains) in
+  let c =
+    match persist_dir with
+    | Some dir -> Session.Config.with_persist_dir dir c
+    | None -> c
+  in
+  if use_views then Session.Config.with_views_file (path ^ ".views") c else c
+
 let answer_cmd =
   let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache use_views verify domains faults fault_seed retries deadline max_rows persist_dir =
     if domains < 1 then die "--domains must be at least 1"
     else begin
-    Par.set_domains domains;
     match load_store path with
     | Error m -> `Error (false, m)
     | Ok file_store -> (
-      let persisted =
-        match persist_dir with
-        | None -> Ok (file_store, None)
-        | Some dir -> (
-          match Persist.open_dir dir with
-          | Error m -> Error m
-          | Ok h ->
-            report_recovery dir (Persist.report h);
-            let st = Persist.store h in
-            if Store.size st = 0 && Store.size file_store > 0 then begin
-              let added, _removed =
-                sync_persisted h (Store.to_graph file_store)
-              in
-              Persist.snapshot h;
-              Fmt.pr "persist: seeded %s with %d triple(s) from %s@." dir
-                added path
-            end;
-            Ok (st, Persist.sat h))
+      let opened =
+        Session.open_
+          ~config:(session_config ~path ~use_views ~domains ~persist_dir)
+          ~store:file_store ()
       in
-      match persisted with
+      match opened with
       | Error m -> `Error (false, m)
-      | Ok (store, restored_sat) -> (
+      | Ok session -> (
+      report_session ~path ~persist_dir (Session.info session);
+      let store = Session.store session in
+      let env = Session.env session in
       match read_query ~query ~query_file with
       | Error m -> `Error (false, m)
       | Ok text -> (
@@ -453,8 +476,6 @@ let answer_cmd =
             match backend with
             | Error m -> `Error (false, m)
             | Ok backend ->
-            let env = Answer.make_env store in
-            Option.iter (Answer.install_saturated env) restored_sat;
             let n_atoms = List.length q.Cq.body in
             let budget = make_budget ~deadline ~max_rows in
             let config =
@@ -470,22 +491,6 @@ let answer_cmd =
               | Some b -> Answer.Config.with_budget b c
               | None -> c
             in
-            (* A sidecar catalog next to the data file is picked up
-               automatically; its epochs decide whether it is usable. *)
-            (if use_views then
-               let side = path ^ ".views" in
-               if Sys.file_exists side then
-                 match Answer.Views.load (Answer.views_ctx env) side with
-                 | Ok { Answer.Views.catalog; skipped } ->
-                   Answer.set_views env catalog;
-                   Fmt.pr "loaded %d materialized view(s) from %s@."
-                     (Answer.Views.length catalog) side;
-                   if skipped > 0 then
-                     Fmt.epr
-                       "views: %s: skipped %d undecodable view(s) (stale, \
-                        not trusted)@."
-                       side skipped
-                 | Error m -> Fmt.epr "views: ignoring %s: %s@." side m);
             match make_resilience ~faults ~fault_seed ~retries with
             | Error m -> `Error (false, m)
             | Ok resilience -> (
@@ -588,7 +593,7 @@ let answer_cmd =
                     (fun s ->
                       match union_query with
                       | Some u -> (
-                        match Answer.answer_union ~config env u s with
+                        match Session.answer_union ~config session u s with
                         | Ok (rel, reports) ->
                           Fmt.pr "%s (union of %d BGPs): %d answers@."
                             (Strategy.name s) (List.length reports)
@@ -599,7 +604,7 @@ let answer_cmd =
                             (Strategy.name f.Answer.f_strategy)
                             f.Answer.reason)
                       | None -> (
-                        match Answer.answer ~config env q s with
+                        match Session.answer ~config session q s with
                         | Ok r ->
                           Fmt.pr "%a@." Answer.pp_report r;
                           if explain then explain_answer env q r;
@@ -1265,22 +1270,25 @@ let cache_cmd =
           | Ok q -> (
             match Strategy.of_string strategy_name with
             | Error m -> `Error (false, m)
-            | Ok s ->
-              let env = Answer.make_env store in
-              for i = 1 to runs do
-                match Answer.answer env q s with
-                | Ok r ->
-                  Fmt.pr "run %d (%s): %d answer(s) in %.4fs@." i
-                    (if i = 1 then "cold" else "warm")
-                    (Answer.n_answers r) (Answer.total_s r)
-                | Error f -> Fmt.pr "run %d: FAILED: %s@." i f.Answer.reason
-              done;
-              Fmt.pr "@.epochs: data=%d schema=%d@." (Store.data_epoch store)
-                (Store.schema_epoch store);
-              List.iter
-                (fun st -> Fmt.pr "%a@." Answer.Cache.pp_stats st)
-                (Answer.cache_stats env);
-              `Ok ())))
+            | Ok s -> (
+              match Session.of_store store with
+              | Error m -> `Error (false, m)
+              | Ok session ->
+                for i = 1 to runs do
+                  match Session.answer session q s with
+                  | Ok r ->
+                    Fmt.pr "run %d (%s): %d answer(s) in %.4fs@." i
+                      (if i = 1 then "cold" else "warm")
+                      (Answer.n_answers r) (Answer.total_s r)
+                  | Error f -> Fmt.pr "run %d: FAILED: %s@." i f.Answer.reason
+                done;
+                (* The pinned pair the runs were served at. *)
+                let data, schema = Session.epochs session in
+                Fmt.pr "@.epochs: data=%d schema=%d@." data schema;
+                List.iter
+                  (fun st -> Fmt.pr "%a@." Answer.Cache.pp_stats st)
+                  (Session.cache_stats session);
+                `Ok ()))))
     in
     let path =
       Arg.(
@@ -1849,6 +1857,199 @@ let snapshot_cmd =
           inspect and crash-recover persistence directories")
     [ save_cmd; sync_cmd; load_cmd; info_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run path port host domains deadline max_rows use_views persist_dir =
+    if domains < 1 then die "--domains must be at least 1"
+    else begin
+      match
+        match path with
+        | None -> Ok None
+        | Some p -> Result.map Option.some (load_store p)
+      with
+      | Error m -> `Error (false, m)
+      | Ok seed -> (
+        if seed = None && persist_dir = None then
+          die "give an RDF FILE or --persist DIR (or both: FILE seeds a \
+               fresh DIR)"
+        else begin
+          let config =
+            match path, use_views with
+            | Some p, true ->
+              session_config ~path:p ~use_views:true ~domains ~persist_dir
+            | _ -> session_config ~path:"" ~use_views:false ~domains ~persist_dir
+          in
+          match Session.open_ ~config ?store:seed () with
+          | Error m -> `Error (false, m)
+          | Ok session -> (
+            (match path with
+            | Some p -> report_session ~path:p ~persist_dir (Session.info session)
+            | None -> (
+              match persist_dir, (Session.info session).Session.recovery with
+              | Some dir, Some r -> report_recovery dir r
+              | _ -> ()));
+            let sconfig =
+              let c = Serve.Config.(default |> with_host host |> with_port port) in
+              let c =
+                match deadline with
+                | Some d -> Serve.Config.with_deadline d c
+                | None -> c
+              in
+              match max_rows with
+              | Some n -> Serve.Config.with_max_rows n c
+              | None -> c
+            in
+            match Serve.start ~config:sconfig session with
+            | Error m -> `Error (false, m)
+            | Ok server ->
+              let data, schema = Session.epochs session in
+              Fmt.pr
+                "serving %d triple(s) on %s:%d (epochs data=%d schema=%d)@."
+                (Store.size (Session.store session))
+                host (Serve.port server) data schema;
+              Serve.wait server;
+              Fmt.pr "drained: WAL flushed, snapshot rotated@.";
+              `Ok ())
+        end)
+    end
+  in
+  let path =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "RDF file to serve (.nt, .ttl or .store). With --persist, seeds \
+             a fresh directory; a non-empty directory wins over the file.")
+  in
+  let port =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port; 0 (the default) picks an ephemeral one, printed \
+                on startup.")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domain-pool size for the parallel evaluation paths.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"TICKS"
+          ~doc:
+            "Default per-request deadline in simulated ticks (a request \
+             may set its own).")
+  in
+  let max_rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-rows" ]
+          ~doc:"Default per-request cap on intermediate-relation rows.")
+  in
+  let use_views =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "views" ]
+                ~doc:"Consult FILE.views when answering (the default)." );
+            (false, info [ "no-views" ] ~doc:"Never consult materialized views.");
+          ])
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a database over TCP (newline-delimited JSON) with \
+          epoch-snapshot isolation: readers pin the epoch pair current at \
+          admission, a single writer applies batches and bumps snapshots, \
+          and every response reports the pinned pair it was served at. \
+          `shutdown' drains gracefully (WAL flush + snapshot rotation).")
+    Term.(
+      ret
+        (const run $ path $ port $ host $ domains $ deadline $ max_rows
+       $ use_views $ persist_arg))
+
+let client_cmd =
+  let run host port requests =
+    match Unix.inet_addr_of_string host with
+    | exception Failure _ -> die "invalid host %S" host
+    | addr -> (
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect sock (Unix.ADDR_INET (addr, port)) with
+      | exception Unix.Unix_error (e, _, _) ->
+        die "connect %s:%d: %s" host port (Unix.error_message e)
+      | () ->
+        let ic = Unix.in_channel_of_descr sock in
+        let oc = Unix.out_channel_of_descr sock in
+        let ok = ref true in
+        let send line =
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          match input_line ic with
+          | resp ->
+            print_endline resp;
+            (* Surface protocol-level failures in the exit code so smoke
+               scripts can assert on them. *)
+            if String.length resp >= 11 && String.sub resp 0 11 = {|{"ok":false|}
+            then ok := false
+          | exception End_of_file -> ()
+        in
+        (match requests with
+        | [] ->
+          let rec loop () =
+            match In_channel.input_line stdin with
+            | Some line ->
+              if String.trim line <> "" then send line;
+              loop ()
+            | None -> ()
+          in
+          loop ()
+        | rs -> List.iter send rs);
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        if !ok then `Ok () else `Error (false, "server reported an error"))
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let requests =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "JSON request lines to send in order (read from stdin when \
+             omitted). Each response is printed on its own line.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send newline-delimited JSON requests to a running `refq serve' \
+          and print the responses (exit status reflects \"ok\":false \
+          responses)")
+    Term.(ret (const run $ host $ port $ requests))
+
 let () =
   (* Debug logging for the refq.* sources: REFQ_DEBUG=1 refq ... *)
   if Sys.getenv_opt "REFQ_DEBUG" <> None then begin
@@ -1862,7 +2063,7 @@ let () =
       [
         generate_cmd; stats_cmd; answer_cmd; explain_cmd; profile_cmd;
         lint_cmd; audit_store_cmd; saturate_cmd; snapshot_cmd; cache_cmd;
-        views_cmd; federate_cmd; demo_cmd;
+        views_cmd; federate_cmd; demo_cmd; serve_cmd; client_cmd;
       ]
   in
   (* One-line diagnostics instead of raw backtraces for the failures a

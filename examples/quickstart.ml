@@ -59,21 +59,29 @@ let () =
   in
   Fmt.pr "Query: %a@.@." Cq.pp query;
 
-  let env = Answer.make_env (Store.of_graph graph) in
+  (* A session is the supported entry point: it owns the store, the
+     schema closure and the answering caches behind one handle. *)
+  let session =
+    match Session.of_store (Store.of_graph graph) with
+    | Ok s -> s
+    | Error m -> Fmt.failwith "session: %s" m
+  in
   List.iter
     (fun strategy ->
-      match Answer.answer env query strategy with
+      match Session.answer session query strategy with
       | Ok r ->
         Fmt.pr "%-8s → %a@."
           (Strategy.name strategy)
           (Fmt.list ~sep:Fmt.comma
              (Fmt.list ~sep:(Fmt.any " | ") Term.pp))
-          (Answer.decode env r.Answer.answers)
+          (Session.decode session r.Answer.answers)
       | Error f -> Fmt.pr "%-8s → failed: %s@." (Strategy.name strategy) f.Answer.reason)
     Strategy.all_fixed;
 
   (* Evaluating the query against the explicit triples only is incomplete:
-     the reformulation is what recovers the implicit answers. *)
+     the reformulation is what recovers the implicit answers. The raw
+     environment remains reachable for engine-level APIs. *)
+  let env = Session.env session in
   let explicit_only =
     Refq_engine.Evaluator.cq (Answer.card_env env) query
   in
@@ -84,4 +92,5 @@ let () =
   let ucq = Refq_reform.Reformulate.cq_to_ucq (Answer.closure env) query in
   Fmt.pr "@.The CQ-to-UCQ reformulation has %d disjuncts:@.%s@."
     (Ucq.size ucq)
-    (Sparql.ucq_to_sparql ~env:env_ns ucq)
+    (Sparql.ucq_to_sparql ~env:env_ns ucq);
+  Session.close session

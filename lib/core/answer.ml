@@ -139,6 +139,8 @@ let make_env ?(cache = Cache.default_policy) store =
 
 let store env = env.store
 
+let epochs env = (env.data_epoch, env.schema_epoch)
+
 let closure env = env.closure
 
 let card_env env = env.card_env

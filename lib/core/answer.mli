@@ -37,6 +37,16 @@ val make_env : ?cache:Cache.policy -> Store.t -> env
 
 val store : env -> Store.t
 
+val epochs : env -> int * int
+(** The (data, schema) epoch pair the environment is synced at — the pair
+    every answer out of this environment is {e served at}. Set by
+    {!make_env} and advanced only by {!invalidate}, so after store
+    mutations (and until the next [invalidate]) it still names the state
+    the caches and statistics describe. The serving front-end pins this
+    pair at admission and reports it with each response; [refq cache
+    stats] and [answer --explain] print the same pair, so server logs and
+    CLI agree on isolation semantics. *)
+
 val closure : env -> Closure.t
 
 val card_env : env -> Cardinality.env

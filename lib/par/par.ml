@@ -257,7 +257,10 @@ let shutdown_global () =
 let () = Stdlib.at_exit shutdown_global
 
 let set_domains n =
-  let n = max 1 n in
+  if n < 1 then
+    invalid_arg
+      (Printf.sprintf "Par.set_domains: --domains must be at least 1 (got %d)"
+         n);
   if n <> !requested then begin
     shutdown_global ();
     requested := n

@@ -70,9 +70,12 @@ val fanout : pool -> int
 (** {1 The process-global pool} *)
 
 val set_domains : int -> unit
-(** Configure the global domain count (clamped to [>= 1]). Changing the
-    count shuts the old pool down; the new one spawns lazily on the next
-    {!get}. *)
+(** Configure the global domain count. Changing the count shuts the old
+    pool down; the new one spawns lazily on the next {!get}.
+    @raise Invalid_argument on a count below 1 — zero or negative domain
+    counts are user errors, rejected here once so every front-end
+    ([--domains] on [refq answer], [bench], [refq serve]) reports the
+    same one-line diagnostic instead of silently clamping. *)
 
 val domains : unit -> int
 

@@ -60,6 +60,12 @@ module Select = Refq_views.Select
 module Budget = Refq_fault.Budget
 module Federation = Refq_federation.Federation
 
+(* Sessions and serving *)
+module Session = Refq_serve.Session
+module Serve = Refq_serve.Serve
+module Protocol = Refq_serve.Protocol
+module Metrics = Refq_serve.Metrics
+
 (* Observability *)
 module Obs = Refq_obs.Obs
 

@@ -1,17 +1,20 @@
 (** Single-open facade over the public surface of the repository.
 
-    Downstream users write [open Refq] (or [Refq.Answer.answer ...]) and
-    get the supported API without memorizing the internal library split:
+    Downstream users write [open Refq] and get the supported API without
+    memorizing the internal library split. The supported entry point is
+    {!Session} — one handle owning the store, the answering environment,
+    the caches, the view catalog, persistence and the domain pool:
 
     {[
       open Refq
 
       let graph = Result.get_ok (Turtle.parse_graph my_turtle) in
-      let env = Answer.make_env (Store.of_graph graph) in
+      let session = Result.get_ok (Session.of_store (Store.of_graph graph)) in
       let query = Result.get_ok (Sparql.parse my_sparql) in
-      match Answer.answer env query Strategy.Gcov with
-      | Ok report -> Answer.decode env report.answers
-      | Error failure -> ...
+      (match Session.answer session query Strategy.Gcov with
+      | Ok report -> ... Session.decode session report.Answer.answers ...
+      | Error failure -> ...);
+      Session.close session
     ]}
 
     The aliased modules are exactly the underlying ones — anything typed
@@ -44,17 +47,35 @@ module Saturate = Refq_saturation.Saturate
     The fixed domain pool behind the parallel saturation rounds, JUCQ
     fragment evaluation and sharded bulk load. [Par.set_domains n]
     configures the process-global pool ([--domains N] on the CLI);
-    results are bit-identical to sequential at every domain count. *)
+    results are bit-identical to sequential at every domain count.
+
+    @deprecated Calling [Par.set_domains] directly is the legacy wiring:
+    prefer [Session.Config.with_domains], which validates and configures
+    the pool as part of opening the session. *)
 
 module Par = Refq_par.Par
 module Bulk = Refq_par.Bulk
 
-(** {1 Durability} *)
+(** {1 Durability}
+
+    @deprecated Opening [Persist] directly and hand-wiring its store into
+    [Answer.make_env] is the legacy path: prefer
+    [Session.Config.with_persist_dir], which recovers, seeds, reports and
+    closes (snapshot + WAL flush) through one lifecycle. [Persist] stays
+    supported for audits and tooling that needs the raw handle. *)
 
 module Persist = Refq_persist.Persist
 module Io = Refq_fault.Io
 
-(** {1 Answering} *)
+(** {1 Answering}
+
+    @deprecated Building environments by hand ([Answer.make_env], then
+    separately loading view sidecars, installing restored saturations and
+    remembering to [Answer.invalidate] after every mutation) is the
+    legacy plumbing this facade grew out of: prefer {!Session}, which
+    owns all of it behind [Session.open_]. [Answer] itself — the engine —
+    is not deprecated; sessions hand it out via [Session.env] for the
+    APIs not yet lifted. *)
 
 module Strategy = Refq_core.Strategy
 module Answer = Refq_core.Answer
@@ -78,6 +99,21 @@ module Select = Refq_views.Select
 
 module Budget = Refq_fault.Budget
 module Federation = Refq_federation.Federation
+
+(** {1 Sessions and serving}
+
+    {!Session} is the single supported entry point to a refq database:
+    one [Session.Config.t] describes everything (answering defaults,
+    cache sizes, view sidecar, persistence directory, domain count, I/O
+    layer) and [Session.open_] owns the whole lifecycle. {!Serve} is the
+    concurrent TCP front-end over a session — newline-delimited JSON
+    ({!Protocol}) with epoch-snapshot isolation and a Prometheus [stats]
+    verb ({!Metrics}). See DESIGN.md §14. *)
+
+module Session = Refq_serve.Session
+module Serve = Refq_serve.Serve
+module Protocol = Refq_serve.Protocol
+module Metrics = Refq_serve.Metrics
 
 (** {1 Observability} *)
 

@@ -1,0 +1,19 @@
+module Obs = Refq_obs.Obs
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let metric_name name = "refq_" ^ sanitize name
+
+let prometheus ?(gauges = []) () =
+  let buf = Buffer.create 1024 in
+  let line kind (name, value) =
+    let m = metric_name name in
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n%s %d\n" m kind m value)
+  in
+  List.iter (line "counter") (Obs.counters ());
+  List.iter (line "gauge") gauges;
+  Buffer.contents buf

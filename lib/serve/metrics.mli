@@ -1,0 +1,17 @@
+(** Prometheus text exposition of the observability counters.
+
+    The [stats] verb of the serving protocol returns this: every
+    registered {!Refq_obs.Obs} counter (answering caches, views,
+    saturation, parallelism, the server's own [serve.*] family) as a
+    [counter] metric, plus caller-supplied gauges (pinned epochs, open
+    connections). Metric names are the counter names with every
+    non-alphanumeric character mapped to [_], under a [refq_] prefix —
+    [cache.result.hits] scrapes as [refq_cache_result_hits]. *)
+
+val metric_name : string -> string
+(** [metric_name "cache.result.hits"] is ["refq_cache_result_hits"]. *)
+
+val prometheus : ?gauges:(string * int) list -> unit -> string
+(** The exposition text: one [# TYPE] line and one sample per metric.
+    Counters come from [Obs.counters ()] — turn the sink on
+    ([Obs.set_enabled true], done by [Serve.start]) or they all read 0. *)

@@ -1,0 +1,90 @@
+open Refq_rdf
+module Json = Refq_obs.Json
+
+type mutation = [ `Add of Triple.t | `Remove of Triple.t ]
+
+type request =
+  | Answer of {
+      query : string;
+      strategy : string;
+      explain : bool;
+      deadline : int option;
+      max_rows : int option;
+    }
+  | Lint of { query : string }
+  | Update of mutation list
+  | Stats
+  | Ping
+  | Epochs
+  | Shutdown
+
+let field_string name json = Option.bind (Json.member name json) Json.to_string_opt
+let field_int name json = Option.bind (Json.member name json) Json.to_int
+
+let field_query json =
+  match field_string "query" json with
+  | Some q -> Ok q
+  | None -> Error "missing string field \"query\""
+
+(* Triples arrive as N-Triples statement strings (one entry may hold
+   several statements); [op] tags each parsed triple as an insertion or a
+   removal. *)
+let field_mutations op json =
+  match Json.member "triples" json with
+  | Some (Json.List items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest -> (
+        match Json.to_string_opt item with
+        | None -> Error "\"triples\" entries must be N-Triples strings"
+        | Some text -> (
+          match Ntriples.parse_triples text with
+          | Error e -> Error (Fmt.str "%a" Ntriples.pp_error e)
+          | Ok ts -> go (List.rev_append (List.map op ts) acc) rest))
+    in
+    go [] items
+  | Some _ | None -> Error "missing list field \"triples\""
+
+let parse_request line =
+  match Json.parse line with
+  | Error m -> Error (Fmt.str "malformed request: %s" m)
+  | Ok json -> (
+    match field_string "op" json with
+    | None -> Error "missing string field \"op\""
+    | Some op -> (
+      match op with
+      | "answer" | "explain" ->
+        Result.map
+          (fun query ->
+            Answer
+              {
+                query;
+                strategy =
+                  Option.value (field_string "strategy" json) ~default:"gcov";
+                explain = op = "explain";
+                deadline = field_int "deadline" json;
+                max_rows = field_int "max_rows" json;
+              })
+          (field_query json)
+      | "lint" -> Result.map (fun query -> Lint { query }) (field_query json)
+      | "insert" -> Result.map (fun ms -> Update ms) (field_mutations (fun t -> `Add t) json)
+      | "delete" ->
+        Result.map (fun ms -> Update ms) (field_mutations (fun t -> `Remove t) json)
+      | "stats" -> Ok Stats
+      | "ping" -> Ok Ping
+      | "epochs" -> Ok Epochs
+      | "shutdown" -> Ok Shutdown
+      | other -> Error (Fmt.str "unknown op %S" other)))
+
+let epochs_json (data, schema) =
+  Json.Obj [ ("data", Json.Int data); ("schema", Json.Int schema) ]
+
+let render ok ?epochs fields =
+  let tail =
+    match epochs with None -> [] | Some e -> [ ("epochs", epochs_json e) ]
+  in
+  Json.to_string ~indent:false (Json.Obj ((("ok", Json.Bool ok) :: fields) @ tail))
+
+let ok ?epochs fields = render true ?epochs fields
+
+let error ?epochs msg = render false ?epochs [ ("error", Json.String msg) ]

@@ -1,0 +1,51 @@
+(** The serving wire protocol: newline-delimited JSON requests and
+    responses.
+
+    One request per line, one response line per request, in order. Every
+    request is an object with an ["op"] field:
+
+    {v
+    {"op":"answer","query":"q(x) :- ...","strategy":"gcov"}
+    {"op":"explain","query":"...","strategy":"gcov","deadline":500}
+    {"op":"lint","query":"..."}
+    {"op":"insert","triples":["<s> <p> <o> ."]}
+    {"op":"delete","triples":["<s> <p> <o> ."]}
+    {"op":"stats"}   {"op":"ping"}   {"op":"epochs"}   {"op":"shutdown"}
+    v}
+
+    Responses always carry ["ok"] and — whenever a store state is
+    involved — the pinned ["epochs"] pair the request was served at:
+    [{"ok":true,...,"epochs":{"data":D,"schema":S}}]. A malformed request
+    yields [{"ok":false,"error":...}] and the connection stays up. *)
+
+open Refq_rdf
+module Json = Refq_obs.Json
+
+type mutation = [ `Add of Triple.t | `Remove of Triple.t ]
+
+type request =
+  | Answer of {
+      query : string;  (** SPARQL SELECT/ASK or the paper's q(x) :- notation *)
+      strategy : string;  (** sat, ucq, scq, gcov or datalog *)
+      explain : bool;  (** include the chosen cover and fragment details *)
+      deadline : int option;  (** per-request budget, simulated ticks *)
+      max_rows : int option;  (** per-request intermediate-row cap *)
+    }
+  | Lint of { query : string }
+  | Update of mutation list  (** one writer batch, applied atomically *)
+  | Stats  (** Obs counter catalogue, Prometheus text format *)
+  | Ping
+  | Epochs  (** current live epoch pair, without evaluating anything *)
+  | Shutdown  (** graceful drain: flush WAL, rotate snapshot, exit *)
+
+val parse_request : string -> (request, string) result
+(** Total: every malformed line is a one-line [Error], never an
+    exception — the server answers it with an error response and lives
+    on. *)
+
+val epochs_json : int * int -> Json.t
+
+val ok : ?epochs:int * int -> (string * Json.t) list -> string
+(** Render one success response line (no trailing newline). *)
+
+val error : ?epochs:int * int -> string -> string

@@ -1,0 +1,441 @@
+open Refq_rdf
+open Refq_query
+open Refq_storage
+open Refq_core
+module Obs = Refq_obs.Obs
+module Json = Refq_obs.Json
+module Budget = Refq_fault.Budget
+module Diagnostic = Refq_analysis.Diagnostic
+
+let c_requests = Obs.counter "serve.requests"
+let c_errors = Obs.counter "serve.errors"
+let c_reads = Obs.counter "serve.reads"
+let c_writes = Obs.counter "serve.writes"
+let c_applied = Obs.counter "serve.applied"
+let c_snapshots = Obs.counter "serve.snapshots"
+let c_connections = Obs.counter "serve.connections"
+
+module Config = struct
+  type t = {
+    host : string;
+    port : int;
+    env : Namespace.t;
+    deadline : int option;
+    max_rows : int option;
+  }
+
+  let default_env =
+    List.fold_left
+      (fun env (prefix, uri) -> Namespace.add env ~prefix ~uri)
+      Namespace.default
+      [
+        ("ub", Refq_workload.Lubm.ns);
+        ("dblp", Refq_workload.Dblp.ns);
+        ("geo", Refq_workload.Geo.ns);
+        ("ex", "http://example.org/");
+      ]
+
+  let default =
+    {
+      host = "127.0.0.1";
+      port = 0;
+      env = default_env;
+      deadline = None;
+      max_rows = None;
+    }
+
+  let with_host host t = { t with host }
+  let with_port port t = { t with port }
+  let with_env env t = { t with env }
+  let with_deadline d t = { t with deadline = Some d }
+  let with_max_rows n t = { t with max_rows = Some n }
+end
+
+let parse_query ~env text =
+  (* Accept SPARQL SELECT / ASK and the paper's q(x) :- ... notation —
+     the same dialect the CLI accepts. *)
+  let trimmed = String.trim text in
+  let upper = String.uppercase_ascii trimmed in
+  let starts_with prefix =
+    String.length upper >= String.length prefix
+    && String.sub upper 0 (String.length prefix) = prefix
+  in
+  if starts_with "ASK" then Sparql.parse_ask ~env text
+  else if
+    String.length trimmed > 0
+    && (trimmed.[0] = 'q' || trimmed.[0] = 'Q')
+    && String.contains trimmed '-'
+    && not (starts_with "SELECT")
+  then Sparql.parse_notation ~env text
+  else Sparql.parse ~env text
+
+(* ------------------------------------------------------------------ *)
+(* Epoch snapshots                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One sealed copy of the database per writer batch. Readers pin the
+   snapshot current at admission and evaluate against it only, so a
+   concurrent writer can never change — or tear — what they see; handing
+   out a fresh record per bump keeps drained snapshots collectable. *)
+type snapshot = { snap_env : Answer.env; snap_epochs : int * int }
+
+type t = {
+  session : Session.t;
+  config : Config.t;
+  sock : Unix.file_descr;
+  port : int;
+  state_m : Mutex.t;  (** guards [current], [conns] *)
+  eval_m : Mutex.t;
+      (** serializes evaluation: the Obs span stack and each environment's
+          caches are single-threaded state *)
+  writer_m : Mutex.t;  (** serializes writer batches and snapshot bumps *)
+  mutable current : snapshot;
+  mutable stopping : bool;
+  mutable conns : Thread.t list;
+  mutable acceptor : Thread.t option;
+}
+
+let make_snapshot session =
+  let copy = Store.copy (Session.store session) in
+  Store.seal copy;
+  let env =
+    Answer.make_env ~cache:(Session.config session).Session.Config.cache copy
+  in
+  (* The view catalog is shared with the live session: every view extent
+     is pinned to the epochs it was built at, so against a snapshot it
+     either matches exactly (same epochs) or misses — stale views go
+     cold, never wrong. *)
+  Answer.set_views env (Answer.views (Session.env session));
+  { snap_env = env; snap_epochs = Answer.epochs env }
+
+let pin t =
+  Mutex.lock t.state_m;
+  let s = t.current in
+  Mutex.unlock t.state_m;
+  s
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Evaluation can allocate dictionary ids for head constants the store
+   has never seen (reformulation binds head variables to schema
+   constants). The snapshot is sealed against exactly that, so pre-encode
+   them the way [Answer]'s parallel path does — then re-seal, since some
+   evaluation paths seal/unseal the store around their own parallel
+   regions. *)
+let eval_sealed snap f =
+  let store = Answer.store snap.snap_env in
+  Fun.protect ~finally:(fun () -> Store.seal store) (fun () -> f ())
+
+let prepare_head snap q =
+  let store = Answer.store snap.snap_env in
+  List.iter
+    (function
+      | Cq.Var _ -> ()
+      | Cq.Cst term -> (
+        match Store.find_term store term with
+        | Some _ -> ()
+        | None ->
+          Store.unseal store;
+          ignore (Store.encode_term store term);
+          Store.seal store))
+    q.Cq.head
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let request_budget t ~deadline ~max_rows =
+  let deadline =
+    match deadline with Some _ -> deadline | None -> t.config.Config.deadline
+  in
+  let max_rows =
+    match max_rows with Some _ -> max_rows | None -> t.config.Config.max_rows
+  in
+  match deadline, max_rows with
+  | None, None -> None
+  | _ -> Some (Budget.create { Budget.no_limits with deadline; max_rows })
+
+let render_rows t snap rel =
+  let rows = Answer.decode snap.snap_env rel in
+  Json.List
+    (List.map
+       (fun row ->
+         Json.List
+           (List.map
+              (fun term ->
+                Json.String
+                  (Fmt.str "%a" (Namespace.pp_term t.config.Config.env) term))
+              row))
+       rows)
+
+let explain_fields (r : Answer.report) =
+  match r.Answer.detail with
+  | Answer.Saturated _ | Answer.Datalog_run _ -> []
+  | Answer.Reformulated
+      { cover; jucq_size; n_fragments; fragment_cardinalities; view_hits; _ } ->
+    [
+      ("cover", Json.String (Fmt.str "%a" Cover.pp cover));
+      ("jucq_size", Json.Int jucq_size);
+      ("fragments", Json.Int n_fragments);
+      ( "fragment_cardinalities",
+        Json.List (List.map (fun c -> Json.Int c) fragment_cardinalities) );
+      ("view_hits", Json.List (List.map (fun h -> Json.Bool h) view_hits));
+    ]
+
+let handle_answer t ~query ~strategy ~explain ~deadline ~max_rows =
+  let snap = pin t in
+  match parse_query ~env:t.config.Config.env query with
+  | Error e ->
+    Obs.incr c_errors;
+    Protocol.error ~epochs:snap.snap_epochs (Fmt.str "query: %a" Sparql.pp_error e)
+  | Ok q -> (
+    match Strategy.of_string strategy with
+    | Error m ->
+      Obs.incr c_errors;
+      Protocol.error ~epochs:snap.snap_epochs m
+    | Ok s ->
+      Obs.incr c_reads;
+      let config =
+        let c = (Session.config t.session).Session.Config.answer in
+        match request_budget t ~deadline ~max_rows with
+        | Some b -> Refq_core.Config.with_budget b c
+        | None -> c
+      in
+      with_lock t.eval_m (fun () ->
+          eval_sealed snap (fun () ->
+              prepare_head snap q;
+              match Answer.answer ~config snap.snap_env q s with
+              | Ok r ->
+                Protocol.ok ~epochs:snap.snap_epochs
+                  ([
+                     ("strategy", Json.String (Strategy.name s));
+                     ("answers", Json.Int (Answer.n_answers r));
+                     ("total_s", Json.Float (Answer.total_s r));
+                     ("rows", render_rows t snap r.Answer.answers);
+                   ]
+                  @ if explain then explain_fields r else [])
+              | Error f ->
+                Obs.incr c_errors;
+                Protocol.error ~epochs:snap.snap_epochs
+                  (Fmt.str "%s: %s" (Strategy.name f.Answer.f_strategy)
+                     f.Answer.reason))))
+
+let handle_lint t ~query =
+  let snap = pin t in
+  match parse_query ~env:t.config.Config.env query with
+  | Error e ->
+    Obs.incr c_errors;
+    Protocol.error ~epochs:snap.snap_epochs (Fmt.str "query: %a" Sparql.pp_error e)
+  | Ok q ->
+    Obs.incr c_reads;
+    with_lock t.eval_m (fun () ->
+        eval_sealed snap (fun () ->
+            prepare_head snap q;
+            let config = (Session.config t.session).Session.Config.answer in
+            let ds = Lint.query ~config snap.snap_env q in
+            Protocol.ok ~epochs:snap.snap_epochs
+              [
+                ("diagnostics", Diagnostic.list_to_json ds);
+                ("errors", Json.Int (List.length (Diagnostic.errors ds)));
+              ]))
+
+(* The single-writer path: apply the batch to the live store (each
+   effective mutation bumps an epoch and feeds the WAL), then bump the
+   served snapshot — copy-on-bump. In-flight readers keep evaluating
+   against the snapshot they pinned; only requests admitted after the
+   swap see the new epochs. *)
+let handle_update t muts =
+  with_lock t.writer_m (fun () ->
+      Obs.incr c_writes;
+      let applied = Session.apply t.session muts in
+      Obs.add c_applied applied;
+      let snap =
+        if applied > 0 then begin
+          Obs.incr c_snapshots;
+          let snap = make_snapshot t.session in
+          Mutex.lock t.state_m;
+          t.current <- snap;
+          Mutex.unlock t.state_m;
+          snap
+        end
+        else pin t
+      in
+      Protocol.ok ~epochs:snap.snap_epochs [ ("applied", Json.Int applied) ])
+
+let handle_stats t =
+  let snap = pin t in
+  let data, schema = snap.snap_epochs in
+  let gauges =
+    [
+      ("serve.epoch.data", data);
+      ("serve.epoch.schema", schema);
+      ("serve.open_connections", List.length t.conns);
+    ]
+  in
+  Protocol.ok ~epochs:snap.snap_epochs
+    [ ("prometheus", Json.String (Metrics.prometheus ~gauges ())) ]
+
+let handle t line =
+  Obs.incr c_requests;
+  match Protocol.parse_request line with
+  | Error m ->
+    Obs.incr c_errors;
+    Protocol.error m
+  | Ok req -> (
+    match req with
+    | Protocol.Ping -> Protocol.ok ~epochs:(pin t).snap_epochs []
+    | Protocol.Epochs ->
+      (* The live pair reads the session (and re-syncs its environment) —
+         that state belongs to the writer, so take its lock. *)
+      let live = with_lock t.writer_m (fun () -> Session.epochs t.session) in
+      Protocol.ok ~epochs:(pin t).snap_epochs
+        [ ("live", Protocol.epochs_json live) ]
+    | Protocol.Stats -> handle_stats t
+    | Protocol.Answer { query; strategy; explain; deadline; max_rows } ->
+      handle_answer t ~query ~strategy ~explain ~deadline ~max_rows
+    | Protocol.Lint { query } -> handle_lint t ~query
+    | Protocol.Update muts -> handle_update t muts
+    | Protocol.Shutdown ->
+      t.stopping <- true;
+      Protocol.ok ~epochs:(pin t).snap_epochs [ ("stopping", Json.Bool true) ])
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* Connection reads run under a short receive timeout so an idle client
+   can never hold the drain hostage: every timeout tick re-checks
+   [stopping]. *)
+let serve_conn t fd =
+  Obs.incr c_connections;
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2;
+  let chunk = Bytes.create 4096 in
+  let pending = Buffer.create 256 in
+  let rec next_line () =
+    let s = Buffer.contents pending in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear pending;
+      Buffer.add_string pending
+        (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+    | None ->
+      if t.stopping then None
+      else (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          if String.length s > 0 then begin
+            Buffer.clear pending;
+            Some s
+          end
+          else None
+        | n ->
+          Buffer.add_subbytes pending chunk 0 n;
+          next_line ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+          next_line ())
+  in
+  let rec loop () =
+    match next_line () with
+    | None -> ()
+    | Some line when String.trim line = "" -> loop ()
+    | Some line ->
+      let resp = handle t line in
+      write_all fd (resp ^ "\n") 0 (String.length resp + 1);
+      if not t.stopping then loop ()
+  in
+  (try loop () with Unix.Unix_error _ -> () | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t () =
+  while not t.stopping do
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.sock with
+      | fd, _ ->
+        let th = Thread.create (fun () -> serve_conn t fd) () in
+        Mutex.lock t.state_m;
+        t.conns <- th :: t.conns;
+        Mutex.unlock t.state_m
+      | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(config = Config.default) session =
+  match Unix.inet_addr_of_string config.Config.host with
+  | exception Failure _ ->
+    Error (Fmt.str "invalid host %S" config.Config.host)
+  | addr -> (
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    match Unix.bind sock (Unix.ADDR_INET (addr, config.Config.port)) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Fmt.str "bind %s:%d: %s" config.Config.host config.Config.port
+           (Unix.error_message e))
+    | () ->
+      Unix.listen sock 64;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> config.Config.port
+      in
+      (* Long-running collection: the stats verb exports the counter
+         catalogue, so the sink stays on for the server's lifetime. *)
+      Obs.set_enabled true;
+      let t =
+        {
+          session;
+          config;
+          sock;
+          port;
+          state_m = Mutex.create ();
+          eval_m = Mutex.create ();
+          writer_m = Mutex.create ();
+          current = make_snapshot session;
+          stopping = false;
+          conns = [];
+          acceptor = None;
+        }
+      in
+      t.acceptor <- Some (Thread.create (accept_loop t) ());
+      Ok t)
+
+let port t = t.port
+
+let stopping t = t.stopping
+
+let wait t =
+  (match t.acceptor with
+  | Some th ->
+    t.acceptor <- None;
+    Thread.join th
+  | None -> ());
+  let conns =
+    Mutex.lock t.state_m;
+    let c = t.conns in
+    t.conns <- [];
+    Mutex.unlock t.state_m;
+    c
+  in
+  List.iter Thread.join conns;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  Session.close t.session
+
+let stop t =
+  t.stopping <- true;
+  wait t

@@ -22,6 +22,12 @@ let encode d t =
 
 let find d t = Hashtbl.find_opt d.by_term t
 
+let copy d =
+  {
+    by_term = Hashtbl.copy d.by_term;
+    by_id = Refq_util.Vec.of_array (Refq_util.Vec.to_array d.by_id);
+  }
+
 let decode d id =
   (* Ids are dense: the dictionary allocates 0, 1, 2, ... in encode
      order, so any id outside [0, size) was never allocated here — the

@@ -17,6 +17,11 @@ val encode : t -> Term.t -> int
 val find : t -> Term.t -> int option
 (** Like {!encode} but never allocates. *)
 
+val copy : t -> t
+(** An independent dictionary with the same term ↔ id mapping: ids are
+    preserved, and later allocations in either copy never affect the
+    other. The snapshot primitive behind {!Store.copy}. *)
+
 val decode : t -> int -> Term.t
 (** @raise Invalid_argument on an unallocated id — the message names the
     dense-allocation invariant and carries both the offending id and the

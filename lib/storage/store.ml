@@ -236,6 +236,28 @@ let seal st =
 
 let unseal st = st.sealed <- false
 
+(* Freeze first so the copy starts from the canonical (compacted, indexed)
+   shape and can share nothing mutable with the original: once copied, the
+   two stores never observe each other's mutations. The delta hook is
+   deliberately not carried over — a snapshot copy must not feed the
+   original's WAL. *)
+let copy st =
+  freeze st;
+  {
+    dict = Dictionary.copy st.dict;
+    triples = Int_vec.of_array (Int_vec.to_array st.triples);
+    seen = Hashtbl.copy st.seen;
+    spo = Array.copy st.spo;
+    pos = Array.copy st.pos;
+    osp = Array.copy st.osp;
+    dirty = false;
+    data_epoch = st.data_epoch;
+    schema_epoch = st.schema_epoch;
+    hook = None;
+    schema_preds = Hashtbl.copy st.schema_preds;
+    sealed = false;
+  }
+
 (* Binary search on a permutation w.r.t. a (k1, k2, k3) virtual key;
    [min_int]/[max_int] stand for unbound key components. [strict] selects
    the first entry strictly greater than the key (upper bound) instead of

@@ -84,6 +84,15 @@ val unseal : t -> unit
 
 val sealed : t -> bool
 
+val copy : t -> t
+(** An independent deep copy: same triples, same dictionary ids, same
+    epoch pair, freshly built (shared-shape) indexes — and no aliasing, so
+    mutations on either side never reach the other. The copy starts
+    unsealed and without a delta hook (a snapshot copy must not feed the
+    original's WAL). This is the copy-on-bump primitive of the serving
+    front-end: the writer copies the live store after a batch commits,
+    seals the copy and hands it to readers as the next epoch snapshot. *)
+
 val iter_pattern :
   t -> s:int option -> p:int option -> o:int option ->
   (int -> int -> int -> unit) -> unit

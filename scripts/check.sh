@@ -175,6 +175,62 @@ if dune exec bin/refq.exe -- audit-store --persist "$bad_dir" >/dev/null 2>&1; t
   exit 1
 fi
 
+echo "== serve smoke (random port, mixed read/write, stats scrape, graceful drain)"
+# The binaries are already built; drive them directly so the background
+# server cannot contend with dune's build lock.
+refq=_build/default/bin/refq.exe
+serve_port=$((10240 + $$ % 20000))
+serve_log=$(mktemp /tmp/refq_serve.XXXXXX.log)
+trap 'rm -f "$bench_json" "$smoke_nt" "$par_json" "$serve_log"; rm -rf "$persist_dir" "$bad_dir"' EXIT
+"$refq" serve "$smoke_nt" --no-views --port "$serve_port" > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  grep -q "serving" "$serve_log" 2>/dev/null && break
+  sleep 0.25
+done
+grep -q "serving" "$serve_log" || {
+  echo "refq serve did not come up on port $serve_port" >&2
+  cat "$serve_log" >&2
+  exit 1
+}
+# Mixed read/write script: every response must be ok, the insert must be
+# effective, and the post-insert read must see it (one more answer row).
+"$refq" client --port "$serve_port" \
+  '{"op":"ping"}' \
+  '{"op":"answer","query":"q(x) :- x rdf:type ub:Student","strategy":"gcov"}' \
+  '{"op":"insert","triples":["<http://refq.org/check#srv> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://refq.org/univ-bench#Student> ."]}' \
+  '{"op":"answer","query":"q(x) :- x rdf:type ub:Student","strategy":"ucq"}' \
+  '{"op":"epochs"}' \
+  | grep -q '"applied":1' || {
+  echo "serve smoke: the writer batch was not applied" >&2
+  exit 1
+}
+"$refq" client --port "$serve_port" '{"op":"stats"}' \
+  | grep -q 'refq_serve_requests' || {
+  echo "serve smoke: the stats verb exported no Prometheus counters" >&2
+  exit 1
+}
+# Must-fail negative: a malformed request gets a structured error (the
+# client exits non-zero on ok:false) and the server stays up.
+if "$refq" client --port "$serve_port" 'this is not json' >/dev/null 2>&1; then
+  echo "serve smoke: a malformed request was not answered with an error" >&2
+  exit 1
+fi
+"$refq" client --port "$serve_port" '{"op":"ping"}' | grep -q '"ok":true' || {
+  echo "serve smoke: the server did not survive a malformed request" >&2
+  exit 1
+}
+"$refq" client --port "$serve_port" '{"op":"shutdown"}' >/dev/null
+wait "$serve_pid" || {
+  echo "serve smoke: refq serve did not exit 0 on graceful shutdown" >&2
+  cat "$serve_log" >&2
+  exit 1
+}
+grep -q "drained" "$serve_log" || {
+  echo "serve smoke: the server did not report a graceful drain" >&2
+  exit 1
+}
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt 2>/dev/null || {
