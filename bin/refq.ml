@@ -23,6 +23,8 @@ module Io = Refq_fault.Io
 module Par = Refq_par.Par
 module Session = Refq_serve.Session
 module Serve = Refq_serve.Serve
+module Conc_trace = Refq_analysis.Conc_trace
+module Check_conc = Refq_analysis.Check_conc
 
 (* ------------------------------------------------------------------ *)
 (* Loading and saving                                                  *)
@@ -1216,6 +1218,46 @@ let audit_store_cmd =
           index agreement, epoch sanity, crash-recovery soundness")
     Term.(ret (const run $ path $ json $ persist))
 
+let audit_concurrency_cmd =
+  let run path json =
+    match Conc_trace.load path with
+    | Error m -> `Error (false, m)
+    | Ok entries ->
+      let ds = Check_conc.check entries in
+      if json then print_endline (Json.to_string (Diagnostic.list_to_json ds))
+      else if ds = [] then
+        Fmt.pr "concurrency OK: %d event(s), happens-before rebuilt, no RX \
+                finding@."
+          (List.length entries)
+      else Fmt.pr "%a@." Diagnostic.pp_list ds;
+      if Diagnostic.has_errors ds then
+        die "audit: %d concurrency error(s)" (List.length (Diagnostic.errors ds))
+      else `Ok ()
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Concurrency trace (ndjson) written by `refq serve --trace', \
+             the REFQ_CONC_TRACE test hook, or Conc_trace.save.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the diagnostics as machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "audit-concurrency"
+       ~doc:
+         "Replay a recorded concurrency trace through the happens-before \
+          checker: rebuild vector clocks from pool handoffs, writer \
+          sections and snapshot swaps, then report RX001-RX006 (races, \
+          pinned-epoch mutations, epoch regressions, out-of-section WAL \
+          appends, post-drain admissions, unhanded stores in jobs).")
+    Term.(ret (const run $ path $ json))
+
 (* ------------------------------------------------------------------ *)
 (* saturate                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -1862,7 +1904,8 @@ let snapshot_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run path port host domains deadline max_rows use_views persist_dir =
+  let run path port host domains deadline max_rows use_views persist_dir trace
+      =
     if domains < 1 then die "--domains must be at least 1"
     else begin
       match
@@ -1898,8 +1941,13 @@ let serve_cmd =
                 | Some d -> Serve.Config.with_deadline d c
                 | None -> c
               in
-              match max_rows with
-              | Some n -> Serve.Config.with_max_rows n c
+              let c =
+                match max_rows with
+                | Some n -> Serve.Config.with_max_rows n c
+                | None -> c
+              in
+              match trace with
+              | Some f -> Serve.Config.with_trace f c
               | None -> c
             in
             match Serve.start ~config:sconfig session with
@@ -1912,6 +1960,12 @@ let serve_cmd =
                 host (Serve.port server) data schema;
               Serve.wait server;
               Fmt.pr "drained: WAL flushed, snapshot rotated@.";
+              (match Serve.trace_report server, trace with
+              | Some (events, ds), Some file ->
+                Fmt.pr "concurrency audit: %d event(s) -> %s, %d finding(s)@."
+                  events file (List.length ds);
+                if ds <> [] then Fmt.pr "%a@." Diagnostic.pp_list ds
+              | _ -> ());
               `Ok ())
         end)
     end
@@ -1970,6 +2024,17 @@ let serve_cmd =
             (false, info [ "no-views" ] ~doc:"Never consult materialized views.");
           ])
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a concurrency trace for the server's lifetime; at \
+             drain, write it to FILE (ndjson), run the happens-before \
+             checker over it and print the RX findings. Replay later with \
+             `refq audit-concurrency FILE'.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1981,7 +2046,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ path $ port $ host $ domains $ deadline $ max_rows
-       $ use_views $ persist_arg))
+       $ use_views $ persist_arg $ trace))
 
 let client_cmd =
   let run host port requests =
@@ -2062,7 +2127,8 @@ let () =
     Cmd.group info
       [
         generate_cmd; stats_cmd; answer_cmd; explain_cmd; profile_cmd;
-        lint_cmd; audit_store_cmd; saturate_cmd; snapshot_cmd; cache_cmd;
+        lint_cmd; audit_store_cmd; audit_concurrency_cmd; saturate_cmd;
+        snapshot_cmd; cache_cmd;
         views_cmd; federate_cmd; demo_cmd; serve_cmd; client_cmd;
       ]
   in

@@ -1,0 +1,290 @@
+module Obs = Refq_obs.Obs
+module T = Conc_trace
+module D = Diagnostic
+
+let c_checks = Obs.counter "conc.checks"
+let c_findings = Obs.counter "conc.findings"
+
+let ensure_registered () =
+  ignore c_checks;
+  ignore c_findings
+
+(* Every section whose name starts with "writer" is the single-writer
+   section (the serving layer emits "writer#<scope>"). *)
+let is_writer_sec sec =
+  String.length sec >= 6 && String.sub sec 0 6 = "writer"
+
+let check entries =
+  Obs.incr c_checks;
+  let entries =
+    List.sort (fun (a : T.entry) (b : T.entry) -> Int.compare a.seq b.seq) entries
+  in
+  let ntasks =
+    List.fold_left (fun m (e : T.entry) -> max m (e.T.task + 1)) 1 entries
+  in
+  (* One vector clock per task; an event's clock is snapshotted after the
+     task's own component ticks, so e1 happens-before e2 iff
+     vc1.(task1) <= vc2.(task1). *)
+  let vc = Array.init ntasks (fun _ -> Array.make ntasks 0) in
+  let join dst src =
+    Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+  in
+  let hb t1 vc1 vc2 = vc1.(t1) <= vc2.(t1) in
+  let concurrent t1 vc1 t2 vc2 = not (hb t1 vc1 vc2) && not (hb t2 vc2 vc1) in
+  (* Per-store histories. [muts] holds mutation-like events (effective
+     mutations, epoch overwrites, unseals); [reads] the recorded reads;
+     [epochs] every event that carried an epoch pair. *)
+  let muts : (int, (string * int * int array * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let reads : (int, (int * int array * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let epochs : (int, (int * int array * int * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let open_pins : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let swaps : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let secs : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+  let writer_depth = Array.make ntasks 0 in
+  let cur_job = Array.make ntasks None in
+  let batch_vc : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let batch_seq : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let batch_handed : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let batch_join : (int, int array) Hashtbl.t = Hashtbl.create 16 in
+  let sealed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let first_seen : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let drains : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let dedup = Hashtbl.create 16 in
+  let report ~code ~subject msg =
+    let key = code ^ "|" ^ subject in
+    if not (Hashtbl.mem dedup key) then begin
+      Hashtbl.add dedup key ();
+      out :=
+        D.make ~code ~severity:D.Error ~artifact:"trace" ~subject "%s" msg
+        :: !out
+    end
+  in
+  let hist tbl s =
+    match Hashtbl.find_opt tbl s with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add tbl s r;
+      r
+  in
+  List.iter
+    (fun (e : T.entry) ->
+      let t = e.task in
+      if t >= 0 && t < ntasks then begin
+        (* Incoming happens-before edges join before the task ticks. *)
+        (match e.ev with
+        | T.Job_start { batch; _ } -> (
+          match Hashtbl.find_opt batch_vc batch with
+          | Some v -> join vc.(t) v
+          | None -> ())
+        | T.Batch_end { batch } -> (
+          match Hashtbl.find_opt batch_join batch with
+          | Some v -> join vc.(t) v
+          | None -> ())
+        | T.Sec_begin { sec } -> (
+          match Hashtbl.find_opt secs sec with
+          | Some v -> join vc.(t) v
+          | None -> ())
+        | T.Pin { store; _ } -> (
+          match Hashtbl.find_opt swaps store with
+          | Some v -> join vc.(t) v
+          | None -> ())
+        | _ -> ());
+        vc.(t).(t) <- vc.(t).(t) + 1;
+        let evc = Array.copy vc.(t) in
+        let seen s =
+          if not (Hashtbl.mem first_seen s) then Hashtbl.add first_seen s e.seq
+        in
+        let check_epochs s =
+          if e.data >= 0 && e.schema >= 0 then begin
+            let l = hist epochs s in
+            List.iter
+              (fun (t0, vc0, d0, s0, seq0) ->
+                if hb t0 vc0 evc && (e.data < d0 || e.schema < s0) then
+                  report ~code:"RX003" ~subject:(Printf.sprintf "store %d" s)
+                    (Printf.sprintf
+                       "epochs regress along happens-before on store %d: \
+                        (%d,%d) at seq %d then (%d,%d) at seq %d"
+                       s d0 s0 seq0 e.data e.schema e.seq))
+              !l;
+            l := (t, evc, e.data, e.schema, e.seq) :: !l
+          end
+        in
+        let check_handed s =
+          match cur_job.(t) with
+          | None -> ()
+          | Some batch -> (
+            match
+              (Hashtbl.find_opt batch_seq batch, Hashtbl.find_opt batch_handed batch)
+            with
+            | Some bseq, Some handed -> (
+              match Hashtbl.find_opt first_seen s with
+              | Some fs when fs < bseq && not (Hashtbl.mem handed s) ->
+                report ~code:"RX006"
+                  ~subject:(Printf.sprintf "batch %d store %d" batch s)
+                  (Printf.sprintf
+                     "job of batch %d touched store %d at seq %d: the store \
+                      predates the batch but was not sealed at batch begin \
+                      (not handed to the pool)"
+                     batch s e.seq)
+              | _ -> ())
+            | _ -> ())
+        in
+        let check_pinned s what =
+          match Hashtbl.find_opt open_pins s with
+          | None -> ()
+          | Some r ->
+            List.iter
+              (fun (pseq, reader) ->
+                report ~code:"RX002"
+                  ~subject:(Printf.sprintf "store %d pin@%d" s pseq)
+                  (Printf.sprintf
+                     "%s on store %d at seq %d while reader %d holds it \
+                      pinned (pin at seq %d): the pinned epoch pair must \
+                      stay frozen"
+                     what s e.seq reader pseq))
+              !r
+        in
+        (* A mutation-like event: flag concurrent reads both ways. *)
+        let add_mut s kind =
+          (match Hashtbl.find_opt reads s with
+          | None -> ()
+          | Some l ->
+            List.iter
+              (fun (rt, rvc, rseq) ->
+                if rt <> t && concurrent t evc rt rvc then
+                  report ~code:"RX001"
+                    ~subject:(Printf.sprintf "store %d tasks %d/%d" s rt t)
+                    (Printf.sprintf
+                       "read of store %d by task %d at seq %d is concurrent \
+                        with %s by task %d at seq %d (no happens-before edge)"
+                       s rt rseq kind t e.seq))
+              !l);
+          let l = hist muts s in
+          l := (kind, t, evc, e.seq) :: !l
+        in
+        (match e.ev with
+        | T.Mutate { store = s } ->
+          seen s;
+          check_pinned s "mutation";
+          check_handed s;
+          check_epochs s;
+          add_mut s "mutation"
+        | T.Epoch_set { store = s } ->
+          seen s;
+          check_pinned s "epoch overwrite";
+          check_handed s;
+          check_epochs s;
+          add_mut s "epoch overwrite"
+        | T.Seal { store = s } ->
+          seen s;
+          Hashtbl.replace sealed s ();
+          check_epochs s
+        | T.Unseal { store = s } ->
+          seen s;
+          Hashtbl.remove sealed s;
+          check_epochs s;
+          add_mut s "unseal"
+        | T.Read { store = s } ->
+          seen s;
+          (match Hashtbl.find_opt muts s with
+          | None -> ()
+          | Some l ->
+            List.iter
+              (fun (kind, mt, mvc, mseq) ->
+                if mt <> t && concurrent mt mvc t evc then
+                  report ~code:"RX001"
+                    ~subject:(Printf.sprintf "store %d tasks %d/%d" s t mt)
+                    (Printf.sprintf
+                       "read of store %d by task %d at seq %d is concurrent \
+                        with %s by task %d at seq %d (no happens-before edge)"
+                       s t e.seq kind mt mseq))
+              !l);
+          check_handed s;
+          check_epochs s;
+          let l = hist reads s in
+          l := (t, evc, e.seq) :: !l
+        | T.Copy { src; dst } ->
+          seen src;
+          seen dst;
+          check_epochs src
+        | T.Batch_begin { batch; jobs = _ } ->
+          Hashtbl.replace batch_vc batch evc;
+          Hashtbl.replace batch_seq batch e.seq;
+          let handed = Hashtbl.create (max 1 (Hashtbl.length sealed)) in
+          Hashtbl.iter (fun s () -> Hashtbl.add handed s ()) sealed;
+          Hashtbl.replace batch_handed batch handed
+        | T.Job_start { batch; _ } -> cur_job.(t) <- Some batch
+        | T.Job_end { batch; _ } -> (
+          cur_job.(t) <- None;
+          match Hashtbl.find_opt batch_join batch with
+          | Some v -> join v evc
+          | None -> Hashtbl.replace batch_join batch (Array.copy evc))
+        | T.Batch_end _ -> ()
+        | T.Pin { scope; reader; store = s } ->
+          seen s;
+          (match Hashtbl.find_opt drains scope with
+          | Some dseq when dseq < e.seq ->
+            report ~code:"RX005"
+              ~subject:(Printf.sprintf "scope %d seq %d" scope e.seq)
+              (Printf.sprintf
+                 "reader %d pinned store %d at seq %d after scope %d \
+                  finished draining at seq %d"
+                 reader s e.seq scope dseq)
+          | _ -> ());
+          let r = hist open_pins s in
+          r := (e.seq, reader) :: !r;
+          check_epochs s
+        | T.Unpin { reader; store = s; _ } -> (
+          seen s;
+          match Hashtbl.find_opt open_pins s with
+          | None -> ()
+          | Some r ->
+            let rec drop = function
+              | [] -> []
+              | (_, rd) :: tl when rd = reader -> tl
+              | hd :: tl -> hd :: drop tl
+            in
+            r := drop !r)
+        | T.Sec_begin { sec } ->
+          if is_writer_sec sec then writer_depth.(t) <- writer_depth.(t) + 1
+        | T.Sec_end { sec } ->
+          Hashtbl.replace secs sec evc;
+          if is_writer_sec sec then
+            writer_depth.(t) <- max 0 (writer_depth.(t) - 1)
+        | T.Swap { scope; store = s } ->
+          seen s;
+          (match Hashtbl.find_opt drains scope with
+          | Some dseq when dseq < e.seq ->
+            report ~code:"RX005"
+              ~subject:(Printf.sprintf "scope %d seq %d" scope e.seq)
+              (Printf.sprintf
+                 "snapshot swap of store %d at seq %d after scope %d \
+                  finished draining at seq %d"
+                 s e.seq scope dseq)
+          | _ -> ());
+          Hashtbl.replace swaps s evc;
+          check_epochs s
+        | T.Wal_append ->
+          if writer_depth.(t) = 0 then
+            report ~code:"RX004" ~subject:(Printf.sprintf "seq %d" e.seq)
+              (Printf.sprintf
+                 "WAL append (lsn %d) by task %d at seq %d outside the \
+                  single-writer section"
+                 e.lsn t e.seq)
+        | T.Drain { scope } ->
+          if not (Hashtbl.mem drains scope) then Hashtbl.add drains scope e.seq)
+      end)
+    entries;
+  let ds = D.sort !out in
+  Obs.add c_findings (List.length ds);
+  ds
+
+let gate () = check (T.peek ())

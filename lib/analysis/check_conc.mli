@@ -1,0 +1,52 @@
+(** Happens-before checker over {!Conc_trace} traces — the RX code family.
+
+    The checker rebuilds a happens-before partial order with one vector
+    clock per task (a (domain, thread) pair) from four edge sources, each
+    grounded in a real synchronization mechanism of the stack:
+
+    - {b program order} within each task;
+    - {b the Par pool queue}: batch-begin → every job-start of the batch
+      (the submit handoff), and every job-end → batch-end (the fan-in
+      barrier);
+    - {b named mutex sections}: the k-th [Sec_end of name] → the
+      (k+1)-th [Sec_begin of name] — sound because the serving layer
+      emits both events while holding the mutex, so successive sections
+      of one name are totally ordered in real time;
+    - {b the copy-on-bump handoff}: the swap of a snapshot store → every
+      later pin of that store (the writer publishes the sealed copy
+      before any reader can see it).
+
+    Over that order it checks the seal/epoch/snapshot discipline the
+    serving and parallelism layers promise, reporting:
+
+    - {b RX001} — a store read concurrent (no happens-before edge either
+      way) with a mutation or unseal by another task;
+    - {b RX002} — a mutation on a store while some reader holds it
+      pinned: the pinned epoch pair must stay frozen;
+    - {b RX003} — two happens-before-ordered events on one store whose
+      epoch pairs regress;
+    - {b RX004} — a WAL append with no enclosing [writer*] section in
+      the appending task's program order;
+    - {b RX005} — a reader pin or snapshot swap sequenced after the
+      server's drain completed;
+    - {b RX006} — a Par job touching a store that existed before its
+      batch began but was not sealed at batch-begin (not handed to the
+      batch). Stores first seen inside the job are exempt — shard-local
+      stores are the job's own.
+
+    All findings use artifact ["trace"]. A clean trace is the
+    machine-checked witness that a run respected the isolation
+    protocol. *)
+
+val check : Conc_trace.entry list -> Diagnostic.t list
+(** Run every RX check over a trace (sorted by [seq] internally).
+    Duplicate findings — same code, same subject — collapse to one.
+    Bumps the [conc.checks] / [conc.findings] counters. *)
+
+val gate : unit -> Diagnostic.t list
+(** [check (Conc_trace.peek ())]: the in-pipeline debug gate the session
+    and server run at drain while tracing is live. *)
+
+val ensure_registered : unit -> unit
+(** Force linkage so the [conc.checks] / [conc.findings] counters are
+    registered in every binary that exports the Obs catalogue. *)

@@ -1,0 +1,380 @@
+module Obs = Refq_obs.Obs
+module Json = Refq_obs.Json
+module Store = Refq_storage.Store
+module Par = Refq_par.Par
+module Persist = Refq_persist.Persist
+
+let c_events = Obs.counter "conc.events"
+
+let ensure_registered () = ignore c_events
+
+type ev =
+  | Mutate of { store : int }
+  | Epoch_set of { store : int }
+  | Seal of { store : int }
+  | Unseal of { store : int }
+  | Copy of { src : int; dst : int }
+  | Read of { store : int }
+  | Batch_begin of { batch : int; jobs : int }
+  | Job_start of { batch : int; job : int }
+  | Job_end of { batch : int; job : int }
+  | Batch_end of { batch : int }
+  | Pin of { scope : int; reader : int; store : int }
+  | Unpin of { scope : int; reader : int; store : int }
+  | Sec_begin of { sec : string }
+  | Sec_end of { sec : string }
+  | Swap of { scope : int; store : int }
+  | Wal_append
+  | Drain of { scope : int }
+
+type entry = {
+  seq : int;
+  task : int;
+  ev : ev;
+  data : int;
+  schema : int;
+  lsn : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The sink                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* All sink state lives behind one mutex — the sink is the leaf of every
+   lock order (it never takes another lock), so recording from inside
+   the pool lock, the writer section or a store hook cannot deadlock.
+   The mutex also gives entries their total [seq] order. *)
+type sink = {
+  m : Mutex.t;
+  mutable on : bool;
+  mutable seq : int;
+  mutable entries : entry list;  (** newest first *)
+  tasks : (int * int, int) Hashtbl.t;  (** (domain, thread) -> dense id *)
+  stores : (int, int) Hashtbl.t;  (** Store.uid -> dense id *)
+  batches : (int, int) Hashtbl.t;  (** Par batch id -> dense id *)
+  reads : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** dense store -> tasks whose reads are deduplicated since the
+          store's last non-read event *)
+}
+
+let sink =
+  {
+    m = Mutex.create ();
+    on = false;
+    seq = 0;
+    entries = [];
+    tasks = Hashtbl.create 16;
+    stores = Hashtbl.create 16;
+    batches = Hashtbl.create 16;
+    reads = Hashtbl.create 16;
+  }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let enabled () = sink.on
+
+let dense tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some id -> id
+  | None ->
+    let id = Hashtbl.length tbl in
+    Hashtbl.add tbl key id;
+    id
+
+(* Callers hold [sink.m]. *)
+let task_id () =
+  dense sink.tasks ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let store_id uid = dense sink.stores uid
+let batch_id b = dense sink.batches b
+
+let push ?(data = -1) ?(schema = -1) ?(lsn = -1) ev =
+  let e = { seq = sink.seq; task = task_id (); ev; data; schema; lsn } in
+  sink.seq <- sink.seq + 1;
+  sink.entries <- e :: sink.entries;
+  Obs.incr c_events
+
+(* Non-read events on a store reopen its read-dedup window: the next
+   read per task is recorded again, so reads-after-mutation stay
+   visible to the checker. *)
+let reopen_reads s = Hashtbl.remove sink.reads s
+
+let record ?data ?schema ?lsn ev =
+  if sink.on then
+    with_lock sink.m (fun () -> if sink.on then push ?data ?schema ?lsn ev)
+
+(* ------------------------------------------------------------------ *)
+(* Layer hooks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let on_store_event st tev =
+  if sink.on then begin
+    let data = Store.data_epoch st and schema = Store.schema_epoch st in
+    let uid = Store.uid st in
+    with_lock sink.m (fun () ->
+        if sink.on then begin
+          let s = store_id uid in
+          match tev with
+          | Store.T_read ->
+            let set =
+              match Hashtbl.find_opt sink.reads s with
+              | Some set -> set
+              | None ->
+                let set = Hashtbl.create 4 in
+                Hashtbl.add sink.reads s set;
+                set
+            in
+            let task = task_id () in
+            if not (Hashtbl.mem set task) then begin
+              Hashtbl.add set task ();
+              push ~data ~schema (Read { store = s })
+            end
+          | Store.T_mutate ->
+            reopen_reads s;
+            push ~data ~schema (Mutate { store = s })
+          | Store.T_epoch_set ->
+            reopen_reads s;
+            push ~data ~schema (Epoch_set { store = s })
+          | Store.T_seal ->
+            reopen_reads s;
+            push ~data ~schema (Seal { store = s })
+          | Store.T_unseal ->
+            reopen_reads s;
+            push ~data ~schema (Unseal { store = s })
+          | Store.T_copy c ->
+            push ~data ~schema (Copy { src = s; dst = store_id (Store.uid c) })
+        end)
+  end
+
+let on_par_event tev =
+  if sink.on then
+    with_lock sink.m (fun () ->
+        if sink.on then
+          match tev with
+          | Par.T_batch_begin { batch; jobs } ->
+            push (Batch_begin { batch = batch_id batch; jobs })
+          | Par.T_job_start { batch; job } ->
+            push (Job_start { batch = batch_id batch; job })
+          | Par.T_job_end { batch; job } ->
+            push (Job_end { batch = batch_id batch; job })
+          | Par.T_batch_end { batch } ->
+            push (Batch_end { batch = batch_id batch }))
+
+let on_wal_append lsn = record ~lsn Wal_append
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reset_locked () =
+  sink.seq <- 0;
+  sink.entries <- [];
+  Hashtbl.reset sink.tasks;
+  Hashtbl.reset sink.stores;
+  Hashtbl.reset sink.batches;
+  Hashtbl.reset sink.reads
+
+let start () =
+  with_lock sink.m (fun () ->
+      reset_locked ();
+      sink.on <- true);
+  Store.set_trace_hook (Some on_store_event);
+  Par.set_trace_hook (Some on_par_event);
+  Persist.set_wal_trace_hook (Some on_wal_append)
+
+let stop () =
+  Store.set_trace_hook None;
+  Par.set_trace_hook None;
+  Persist.set_wal_trace_hook None;
+  with_lock sink.m (fun () ->
+      sink.on <- false;
+      let es = List.rev sink.entries in
+      reset_locked ();
+      es)
+
+let peek () = with_lock sink.m (fun () -> List.rev sink.entries)
+
+(* ------------------------------------------------------------------ *)
+(* Serving-layer emitters                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scopes = Atomic.make 0
+
+let fresh_scope () = Atomic.fetch_and_add scopes 1
+
+let store_event st mk =
+  if sink.on then begin
+    let data = Store.data_epoch st and schema = Store.schema_epoch st in
+    let uid = Store.uid st in
+    with_lock sink.m (fun () ->
+        if sink.on then push ~data ~schema (mk (store_id uid)))
+  end
+
+let pin ~scope ~reader st =
+  store_event st (fun store -> Pin { scope; reader; store })
+
+let unpin ~scope ~reader st =
+  store_event st (fun store -> Unpin { scope; reader; store })
+
+let swap ~scope st = store_event st (fun store -> Swap { scope; store })
+
+let section sec f =
+  if sink.on then begin
+    record (Sec_begin { sec });
+    Fun.protect ~finally:(fun () -> record (Sec_end { sec })) f
+  end
+  else f ()
+
+let mark_drain ~scope = record (Drain { scope })
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let header = Json.Obj [ ("format", Json.String "refq-conc-trace"); ("version", Json.Int 1) ]
+
+let ev_fields = function
+  | Mutate { store } -> ("mutate", [ ("store", Json.Int store) ])
+  | Epoch_set { store } -> ("epoch-set", [ ("store", Json.Int store) ])
+  | Seal { store } -> ("seal", [ ("store", Json.Int store) ])
+  | Unseal { store } -> ("unseal", [ ("store", Json.Int store) ])
+  | Copy { src; dst } -> ("copy", [ ("src", Json.Int src); ("dst", Json.Int dst) ])
+  | Read { store } -> ("read", [ ("store", Json.Int store) ])
+  | Batch_begin { batch; jobs } ->
+    ("batch-begin", [ ("batch", Json.Int batch); ("jobs", Json.Int jobs) ])
+  | Job_start { batch; job } ->
+    ("job-start", [ ("batch", Json.Int batch); ("job", Json.Int job) ])
+  | Job_end { batch; job } ->
+    ("job-end", [ ("batch", Json.Int batch); ("job", Json.Int job) ])
+  | Batch_end { batch } -> ("batch-end", [ ("batch", Json.Int batch) ])
+  | Pin { scope; reader; store } ->
+    ( "pin",
+      [ ("scope", Json.Int scope); ("reader", Json.Int reader);
+        ("store", Json.Int store) ] )
+  | Unpin { scope; reader; store } ->
+    ( "unpin",
+      [ ("scope", Json.Int scope); ("reader", Json.Int reader);
+        ("store", Json.Int store) ] )
+  | Sec_begin { sec } -> ("sec-begin", [ ("sec", Json.String sec) ])
+  | Sec_end { sec } -> ("sec-end", [ ("sec", Json.String sec) ])
+  | Swap { scope; store } ->
+    ("swap", [ ("scope", Json.Int scope); ("store", Json.Int store) ])
+  | Wal_append -> ("wal-append", [])
+  | Drain { scope } -> ("drain", [ ("scope", Json.Int scope) ])
+
+let entry_to_json e =
+  let name, fields = ev_fields e.ev in
+  Json.Obj
+    ([ ("seq", Json.Int e.seq); ("task", Json.Int e.task);
+       ("ev", Json.String name) ]
+    @ fields
+    @ (if e.data >= 0 || e.schema >= 0 then
+         [ ("data", Json.Int e.data); ("schema", Json.Int e.schema) ]
+       else [])
+    @ if e.lsn >= 0 then [ ("lsn", Json.Int e.lsn) ] else [])
+
+let entry_of_json j =
+  let field k = Option.bind (Json.member k j) Json.to_int in
+  let need k =
+    match field k with
+    | Some v -> v
+    | None -> raise (Invalid_argument (Printf.sprintf "missing field %S" k))
+  in
+  let opt k d = match field k with Some v -> v | None -> d in
+  let str k =
+    match Option.bind (Json.member k j) Json.to_string_opt with
+    | Some s -> s
+    | None -> raise (Invalid_argument (Printf.sprintf "missing field %S" k))
+  in
+  match Option.bind (Json.member "ev" j) Json.to_string_opt with
+  | None -> Error "entry without an \"ev\" field"
+  | Some name -> (
+    match
+      let ev =
+        match name with
+        | "mutate" -> Mutate { store = need "store" }
+        | "epoch-set" -> Epoch_set { store = need "store" }
+        | "seal" -> Seal { store = need "store" }
+        | "unseal" -> Unseal { store = need "store" }
+        | "copy" -> Copy { src = need "src"; dst = need "dst" }
+        | "read" -> Read { store = need "store" }
+        | "batch-begin" ->
+          Batch_begin { batch = need "batch"; jobs = need "jobs" }
+        | "job-start" -> Job_start { batch = need "batch"; job = need "job" }
+        | "job-end" -> Job_end { batch = need "batch"; job = need "job" }
+        | "batch-end" -> Batch_end { batch = need "batch" }
+        | "pin" ->
+          Pin { scope = need "scope"; reader = need "reader"; store = need "store" }
+        | "unpin" ->
+          Unpin
+            { scope = need "scope"; reader = need "reader"; store = need "store" }
+        | "sec-begin" -> Sec_begin { sec = str "sec" }
+        | "sec-end" -> Sec_end { sec = str "sec" }
+        | "swap" -> Swap { scope = need "scope"; store = need "store" }
+        | "wal-append" -> Wal_append
+        | "drain" -> Drain { scope = need "scope" }
+        | other ->
+          raise (Invalid_argument (Printf.sprintf "unknown event %S" other))
+      in
+      {
+        seq = need "seq";
+        task = need "task";
+        ev;
+        data = opt "data" (-1);
+        schema = opt "schema" (-1);
+        lsn = opt "lsn" (-1);
+      }
+    with
+    | e -> Ok e
+    | exception Invalid_argument m -> Error (Printf.sprintf "%s event: %s" name m))
+
+let save path entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:false header);
+      output_char oc '\n';
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string ~indent:false (entry_to_json e));
+          output_char oc '\n')
+        entries)
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        match List.rev !lines with
+        | [] -> Error (path ^ ": empty trace file")
+        | hd :: rest -> (
+          match Json.parse hd with
+          | Error m -> Error (Printf.sprintf "%s: bad header: %s" path m)
+          | Ok h
+            when Option.bind (Json.member "format" h) Json.to_string_opt
+                 <> Some "refq-conc-trace" ->
+            Error (path ^ ": not a refq-conc-trace file")
+          | Ok _ ->
+            let rec go n acc = function
+              | [] -> Ok (List.rev acc)
+              | line :: tl when String.trim line = "" -> go (n + 1) acc tl
+              | line :: tl -> (
+                match Json.parse line with
+                | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m)
+                | Ok j -> (
+                  match entry_of_json j with
+                  | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m)
+                  | Ok e -> go (n + 1) (e :: acc) tl))
+            in
+            go 2 [] rest))

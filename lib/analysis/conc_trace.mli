@@ -1,0 +1,122 @@
+(** Concurrency event trace: the recording half of the audit layer.
+
+    A low-overhead, disableable event sink — same design as
+    {!Refq_obs.Obs}: one process-global sink behind an enabled flag,
+    costing an atomic load per probe when off. While on, it records the
+    synchronization-relevant operations of the multicore/serving stack:
+
+    - {b Store}: effective mutation (post-epoch-bump), seal / unseal,
+      [restore_epochs], copy, pattern reads (via
+      {!Refq_storage.Store.set_trace_hook});
+    - {b Par}: batch begin/end and job start/end — the pool-queue and
+      fan-in-barrier edges (via {!Refq_par.Par.set_trace_hook});
+    - {b Persist}: WAL appends with their LSN (via
+      {!Refq_persist.Persist.set_wal_trace_hook});
+    - {b Serve}: reader pin/unpin, named mutex sections (the writer batch
+      and the evaluation lock), snapshot swap, drain — emitted directly
+      by [Refq_serve.Serve] through the functions below.
+
+    Each record carries a dense task id standing for one (domain, thread)
+    pair, the store's epoch pair when the event concerns a store, and the
+    WAL LSN for appends. Dense relabeling — tasks, stores and batches are
+    numbered in first-appearance order — makes a trace a pure function of
+    the schedule: the same seed and schedule serialize byte-identically,
+    which the record/replay determinism test pins down.
+
+    Pattern reads are deduplicated per (store, task): a task's reads of a
+    store collapse to one event until the next non-read event on that
+    store, bounding trace size by mutation activity rather than by probe
+    count.
+
+    The checker over these traces is {!Check_conc}. *)
+
+module Store = Refq_storage.Store
+
+(** One recorded operation. Stores, tasks, batches and scopes are dense
+    ids; [sec] names a mutex-protected section (the serving layer uses
+    ["writer#<scope>"] and ["eval#<scope>"] — the checker treats every
+    section whose name starts with ["writer"] as the single-writer
+    section). *)
+type ev =
+  | Mutate of { store : int }  (** effective add/remove, post-bump *)
+  | Epoch_set of { store : int }  (** [restore_epochs] *)
+  | Seal of { store : int }
+  | Unseal of { store : int }
+  | Copy of { src : int; dst : int }
+  | Read of { store : int }  (** deduplicated pattern read *)
+  | Batch_begin of { batch : int; jobs : int }
+  | Job_start of { batch : int; job : int }
+  | Job_end of { batch : int; job : int }
+  | Batch_end of { batch : int }
+  | Pin of { scope : int; reader : int; store : int }
+      (** reader admission: the snapshot store pinned for one request *)
+  | Unpin of { scope : int; reader : int; store : int }
+  | Sec_begin of { sec : string }
+  | Sec_end of { sec : string }
+  | Swap of { scope : int; store : int }
+      (** copy-on-bump handoff: [store] becomes the served snapshot *)
+  | Wal_append
+  | Drain of { scope : int }
+      (** server [scope] finished draining: all connections joined *)
+
+type entry = {
+  seq : int;  (** global sequence number (total order of recording) *)
+  task : int;  (** dense id of the recording (domain, thread) pair *)
+  ev : ev;
+  data : int;  (** store data epoch at emission; -1 for non-store events *)
+  schema : int;  (** store schema epoch at emission; -1 likewise *)
+  lsn : int;  (** WAL LSN for {!Wal_append}; -1 otherwise *)
+}
+
+(** {1 Sink lifecycle} *)
+
+val start : unit -> unit
+(** Clear the sink, install the Store / Par / Persist hooks, and start
+    recording. *)
+
+val stop : unit -> entry list
+(** Uninstall the hooks, stop recording, and return the trace in
+    sequence order. Idempotent; a second call returns []. *)
+
+val enabled : unit -> bool
+
+val peek : unit -> entry list
+(** The trace recorded so far, in sequence order, without stopping. *)
+
+(** {1 Emitters for the serving layer}
+
+    All no-ops while the sink is off. *)
+
+val fresh_scope : unit -> int
+(** A process-unique scope id — one per server instance, so traces
+    holding several server lifetimes keep their drains apart. *)
+
+val pin : scope:int -> reader:int -> Store.t -> unit
+val unpin : scope:int -> reader:int -> Store.t -> unit
+
+val section : string -> (unit -> 'a) -> 'a
+(** [section name f] brackets [f] with [Sec_begin]/[Sec_end] events —
+    call it while holding the mutex the section names, so that the
+    end-to-next-begin happens-before edge the checker draws is sound. *)
+
+val swap : scope:int -> Store.t -> unit
+(** Record the copy-on-bump handoff {e before} publishing the snapshot,
+    so every pin of that store is sequenced after its swap. *)
+
+val mark_drain : scope:int -> unit
+
+(** {1 Serialization} — newline-delimited JSON, one entry per line,
+    under a one-line header. *)
+
+val save : string -> entry list -> unit
+
+val load : string -> (entry list, string) result
+(** Parse a file written by {!save} (or by hand: unknown trailing fields
+    are ignored, missing optional fields default). *)
+
+val entry_to_json : entry -> Refq_obs.Json.t
+val entry_of_json : Refq_obs.Json.t -> (entry, string) result
+
+val ensure_registered : unit -> unit
+(** Force linkage so the [conc.events] counter is registered in every
+    binary that exports the Obs catalogue. *)

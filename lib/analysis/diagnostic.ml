@@ -93,6 +93,12 @@ let catalogue =
     ("RV001", Error, "materialized view extent disagrees with its definition (sampled rows)");
     ("RV002", Warning, "stale materialized view (recorded epochs differ from the store's)");
     ("RV003", Warning, "overlapping materialized views (equivalent definitions)");
+    ("RX001", Error, "unsynchronized read: store read concurrent with a mutation/unseal on another task");
+    ("RX002", Error, "store mutated while a reader holds it pinned (epoch pair must stay frozen)");
+    ("RX003", Error, "cross-thread epoch regression along a happens-before path");
+    ("RX004", Error, "WAL append outside the single-writer section");
+    ("RX005", Error, "reader admitted or snapshot swapped after drain completed");
+    ("RX006", Error, "parallel job touched a store it was not handed (unsealed at batch begin)");
   ]
 
 let pp ppf d =

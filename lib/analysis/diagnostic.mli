@@ -17,7 +17,7 @@ type t = {
   severity : severity;
   artifact : string;
       (** artifact kind: ["cq"], ["cover"], ["ucq"], ["jucq"], ["plan"],
-          ["datalog"], ["store"] or ["lint"] *)
+          ["datalog"], ["store"], ["trace"] or ["lint"] *)
   subject : string;  (** the offending element, e.g. ["atom 3"] *)
   message : string;
 }

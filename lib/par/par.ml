@@ -33,24 +33,47 @@ let in_job_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let size pool = pool.psize
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency trace hook                                              *)
+(* ------------------------------------------------------------------ *)
+
+type trace_event =
+  | T_batch_begin of { batch : int; jobs : int }
+  | T_job_start of { batch : int; job : int }
+  | T_job_end of { batch : int; job : int }
+  | T_batch_end of { batch : int }
+
+(* Installed by the concurrency audit layer; an [Atomic] so worker
+   domains read it without a data race. Costs one load per batch/job
+   boundary when uninstalled. *)
+let trace_hook : (trace_event -> unit) option Atomic.t = Atomic.make None
+
+let set_trace_hook h = Atomic.set trace_hook h
+
+let trace ev = match Atomic.get trace_hook with None -> () | Some f -> f ev
+
+let batch_ids = Atomic.make 0
+
 let worker pool slot () =
   Domain.DLS.set slot_key slot;
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some job -> Some job
+    | None ->
+      if not pool.live then None
+      else begin
+        Condition.wait pool.work pool.lock;
+        next ()
+      end
+  in
   let rec loop () =
-    Mutex.lock pool.lock;
-    let rec next () =
-      match Queue.take_opt pool.queue with
-      | Some job -> Some job
-      | None ->
-        if not pool.live then None
-        else begin
-          Condition.wait pool.work pool.lock;
-          next ()
-        end
-    in
-    match next () with
-    | None -> Mutex.unlock pool.lock
+    match with_lock pool.lock next with
+    | None -> ()
     | Some job ->
-      Mutex.unlock pool.lock;
       job ();
       loop ()
   in
@@ -73,10 +96,9 @@ let create ~domains =
   pool
 
 let shutdown pool =
-  Mutex.lock pool.lock;
-  pool.live <- false;
-  Condition.broadcast pool.work;
-  Mutex.unlock pool.lock;
+  with_lock pool.lock (fun () ->
+      pool.live <- false;
+      Condition.broadcast pool.work);
   let doms = pool.doms in
   pool.doms <- [||];
   Array.iter Domain.join doms
@@ -116,12 +138,15 @@ let run pool ?label fs =
   else begin
     Obs.incr c_batches;
     Obs.add c_jobs n;
+    let bid = Atomic.fetch_and_add batch_ids 1 in
+    trace (T_batch_begin { batch = bid; jobs = n });
     let lbl = match label with Some f -> f | None -> default_label in
     let obs_on = Obs.enabled () in
     let results : ('a, error) result option array = Array.make n None in
     let jobs_obs : job_obs option array = Array.make n None in
     let pending = ref n in
     let wrap i f () =
+      trace (T_job_start { batch = bid; job = i });
       Domain.DLS.set in_job_key true;
       let t0 = Unix.gettimeofday () in
       let minor0 = Gc.minor_words () in
@@ -146,32 +171,33 @@ let run pool ?label fs =
             };
       Domain.DLS.set in_job_key false;
       results.(i) <- Some r;
-      Mutex.lock pool.lock;
-      decr pending;
-      if !pending = 0 then Condition.broadcast pool.settled;
-      Mutex.unlock pool.lock
+      (* The job-end trace event precedes the pending decrement, so the
+         batch-end event is always sequenced after every job-end. *)
+      trace (T_job_end { batch = bid; job = i });
+      with_lock pool.lock (fun () ->
+          decr pending;
+          if !pending = 0 then Condition.broadcast pool.settled)
     in
-    Mutex.lock pool.lock;
-    for i = 0 to n - 1 do
-      Queue.push (wrap i fs.(i)) pool.queue
-    done;
-    Condition.broadcast pool.work;
+    with_lock pool.lock (fun () ->
+        for i = 0 to n - 1 do
+          Queue.push (wrap i fs.(i)) pool.queue
+        done;
+        Condition.broadcast pool.work);
     (* The coordinator is a full participant: it drains the queue too,
        then sleeps only for the stragglers other domains picked up. *)
     let rec drive () =
-      match Queue.take_opt pool.queue with
+      match with_lock pool.lock (fun () -> Queue.take_opt pool.queue) with
       | Some job ->
-        Mutex.unlock pool.lock;
         job ();
-        Mutex.lock pool.lock;
         drive ()
       | None ->
-        while !pending > 0 do
-          Condition.wait pool.settled pool.lock
-        done
+        with_lock pool.lock (fun () ->
+            while !pending > 0 do
+              Condition.wait pool.settled pool.lock
+            done)
     in
     drive ();
-    Mutex.unlock pool.lock;
+    trace (T_batch_end { batch = bid });
     if obs_on then begin
       (* Credit worker-side counter bumps to the real counters, then
          attach one rollup node per participating domain under the span

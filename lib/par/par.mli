@@ -67,6 +67,25 @@ val fanout : pool -> int
 (** Recommended number of jobs per batch (a small multiple of {!size}, so
     uneven jobs load-balance). *)
 
+(** {1 Concurrency trace hook} *)
+
+type trace_event =
+  | T_batch_begin of { batch : int; jobs : int }
+      (** emitted by the coordinator before any job is queued *)
+  | T_job_start of { batch : int; job : int }
+  | T_job_end of { batch : int; job : int }
+  | T_batch_end of { batch : int }
+      (** emitted by the coordinator after the fan-in barrier: every
+          job-end of the batch is sequenced before it *)
+
+val set_trace_hook : (trace_event -> unit) option -> unit
+(** Install (or clear) the global batch/job observer — the concurrency
+    audit layer ([Refq_analysis.Conc_trace]) uses it to reconstruct the
+    pool's happens-before edges (submit → job start, job end → fan-in).
+    Fires from whichever domain runs the job; the observer must be
+    thread-safe. Inline batches (1-domain pool, nested [run]) emit
+    nothing — they are ordinary sequential execution on the caller. *)
+
 (** {1 The process-global pool} *)
 
 val set_domains : int -> unit

@@ -366,6 +366,13 @@ let detach t =
 
 let close t = if not t.closed then detach t
 
+(* Concurrency trace observer for WAL appends: installed by the audit
+   layer ([Refq_analysis.Conc_trace]), called with each record's LSN
+   right after the bytes reach the appender. *)
+let wal_trace_hook : (int -> unit) option Atomic.t = Atomic.make None
+
+let set_wal_trace_hook h = Atomic.set wal_trace_hook h
+
 let install_hook t =
   t.app <- Some (Io.open_append t.io (path t.dir `Wal_cur));
   Store.set_delta_hook t.h_store
@@ -387,7 +394,10 @@ let install_hook t =
                }
              in
              Io.append a (Wal.encode_record r);
-             Obs.incr c_wal_appends))
+             Obs.incr c_wal_appends;
+             (match Atomic.get wal_trace_hook with
+             | None -> ()
+             | Some f -> f (Wal.lsn r))))
 
 let open_dir ?(io = Io.real) dir =
   if not (Sys.file_exists dir) then Io.mkdir io dir;

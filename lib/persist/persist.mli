@@ -113,3 +113,10 @@ val snapshot : ?sat:Store.t -> t -> unit
 val close : t -> unit
 (** Flush and detach the delta hook. The store stays usable in memory;
     further mutations are no longer logged. *)
+
+val set_wal_trace_hook : (int -> unit) option -> unit
+(** Install (or clear) the process-global WAL-append observer, called
+    with each appended record's LSN (post-mutation [data + schema] epoch
+    sum). The concurrency audit layer uses it to check that every append
+    happens inside the single-writer section. Costs one atomic load per
+    append when uninstalled. *)

@@ -72,4 +72,6 @@ module Obs = Refq_obs.Obs
 (* Static analysis *)
 module Diagnostic = Refq_analysis.Diagnostic
 module Analysis = Refq_analysis.Analysis
+module Conc_trace = Refq_analysis.Conc_trace
+module Check_conc = Refq_analysis.Check_conc
 module Lint = Refq_core.Lint

@@ -122,10 +122,13 @@ module Obs = Refq_obs.Obs
 (** {1 Static analysis}
 
     Diagnostics over the system's own artifacts (queries, covers,
-    reformulations, plans, programs, stores) — see {!Refq_analysis} for
-    the individual checkers and [refq lint] / [refq audit-store] for the
-    command-line gates. *)
+    reformulations, plans, programs, stores, concurrency traces) — see
+    {!Refq_analysis} for the individual checkers and [refq lint] /
+    [refq audit-store] / [refq audit-concurrency] for the command-line
+    gates. *)
 
 module Diagnostic = Refq_analysis.Diagnostic
 module Analysis = Refq_analysis.Analysis
+module Conc_trace = Refq_analysis.Conc_trace
+module Check_conc = Refq_analysis.Check_conc
 module Lint = Refq_core.Lint

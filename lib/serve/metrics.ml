@@ -1,5 +1,13 @@
 module Obs = Refq_obs.Obs
 
+(* Counters live with their subsystem but are registered lazily on first
+   use; force linkage of the concurrency-analysis counters here so
+   [conc.events] / [conc.checks] / [conc.findings] appear in the
+   Prometheus export of every binary that serves metrics, even before
+   the first trace runs. *)
+let () = Refq_analysis.Conc_trace.ensure_registered ()
+let () = Refq_analysis.Check_conc.ensure_registered ()
+
 let sanitize name =
   String.map
     (fun c ->

@@ -2,7 +2,8 @@
 
     The [stats] verb of the serving protocol returns this: every
     registered {!Refq_obs.Obs} counter (answering caches, views,
-    saturation, parallelism, the server's own [serve.*] family) as a
+    saturation, parallelism, the concurrency-analysis [conc.*] family,
+    the server's own [serve.*] family) as a
     [counter] metric, plus caller-supplied gauges (pinned epochs, open
     connections). Metric names are the counter names with every
     non-alphanumeric character mapped to [_], under a [refq_] prefix —

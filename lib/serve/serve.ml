@@ -6,6 +6,8 @@ module Obs = Refq_obs.Obs
 module Json = Refq_obs.Json
 module Budget = Refq_fault.Budget
 module Diagnostic = Refq_analysis.Diagnostic
+module Conc_trace = Refq_analysis.Conc_trace
+module Check_conc = Refq_analysis.Check_conc
 
 let c_requests = Obs.counter "serve.requests"
 let c_errors = Obs.counter "serve.errors"
@@ -22,6 +24,7 @@ module Config = struct
     env : Namespace.t;
     deadline : int option;
     max_rows : int option;
+    trace : string option;
   }
 
   let default_env =
@@ -42,6 +45,7 @@ module Config = struct
       env = default_env;
       deadline = None;
       max_rows = None;
+      trace = None;
     }
 
   let with_host host t = { t with host }
@@ -49,6 +53,7 @@ module Config = struct
   let with_env env t = { t with env }
   let with_deadline d t = { t with deadline = Some d }
   let with_max_rows n t = { t with max_rows = Some n }
+  let with_trace file t = { t with trace = Some file }
 end
 
 let parse_query ~env text =
@@ -93,6 +98,12 @@ type t = {
   mutable stopping : bool;
   mutable conns : Thread.t list;
   mutable acceptor : Thread.t option;
+  scope : int;  (** this server's id in the concurrency trace *)
+  sec_writer : string;  (** traced section name for [writer_m] *)
+  sec_eval : string;  (** traced section name for [eval_m] *)
+  mutable trace_report : (int * Diagnostic.t list) option;
+      (** events recorded and findings, set at drain when
+          [config.trace] is on *)
 }
 
 let make_snapshot session =
@@ -108,15 +119,11 @@ let make_snapshot session =
   Answer.set_views env (Answer.views (Session.env session));
   { snap_env = env; snap_epochs = Answer.epochs env }
 
-let pin t =
-  Mutex.lock t.state_m;
-  let s = t.current in
-  Mutex.unlock t.state_m;
-  s
-
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let pin t = with_lock t.state_m (fun () -> t.current)
 
 (* Evaluation can allocate dictionary ids for head constants the store
    has never seen (reformulation binds head variables to schema
@@ -184,8 +191,21 @@ let explain_fields (r : Answer.report) =
       ("view_hits", Json.List (List.map (fun h -> Json.Bool h) view_hits));
     ]
 
-let handle_answer t ~query ~strategy ~explain ~deadline ~max_rows =
+(* Admission for evaluating requests: pin the current snapshot and
+   record the pin in the concurrency trace — the unpin fires when the
+   response is built, closing the interval the checker freezes the
+   snapshot's epoch pair over. *)
+let admit t f =
   let snap = pin t in
+  let reader = Thread.id (Thread.self ()) in
+  let store = Answer.store snap.snap_env in
+  Conc_trace.pin ~scope:t.scope ~reader store;
+  Fun.protect
+    ~finally:(fun () -> Conc_trace.unpin ~scope:t.scope ~reader store)
+    (fun () -> f snap)
+
+let handle_answer t ~query ~strategy ~explain ~deadline ~max_rows =
+  admit t @@ fun snap ->
   match parse_query ~env:t.config.Config.env query with
   | Error e ->
     Obs.incr c_errors;
@@ -204,6 +224,7 @@ let handle_answer t ~query ~strategy ~explain ~deadline ~max_rows =
         | None -> c
       in
       with_lock t.eval_m (fun () ->
+          Conc_trace.section t.sec_eval @@ fun () ->
           eval_sealed snap (fun () ->
               prepare_head snap q;
               match Answer.answer ~config snap.snap_env q s with
@@ -223,7 +244,7 @@ let handle_answer t ~query ~strategy ~explain ~deadline ~max_rows =
                      f.Answer.reason))))
 
 let handle_lint t ~query =
-  let snap = pin t in
+  admit t @@ fun snap ->
   match parse_query ~env:t.config.Config.env query with
   | Error e ->
     Obs.incr c_errors;
@@ -231,6 +252,7 @@ let handle_lint t ~query =
   | Ok q ->
     Obs.incr c_reads;
     with_lock t.eval_m (fun () ->
+        Conc_trace.section t.sec_eval @@ fun () ->
         eval_sealed snap (fun () ->
             prepare_head snap q;
             let config = (Session.config t.session).Session.Config.answer in
@@ -248,6 +270,7 @@ let handle_lint t ~query =
    swap see the new epochs. *)
 let handle_update t muts =
   with_lock t.writer_m (fun () ->
+      Conc_trace.section t.sec_writer @@ fun () ->
       Obs.incr c_writes;
       let applied = Session.apply t.session muts in
       Obs.add c_applied applied;
@@ -255,9 +278,11 @@ let handle_update t muts =
         if applied > 0 then begin
           Obs.incr c_snapshots;
           let snap = make_snapshot t.session in
-          Mutex.lock t.state_m;
-          t.current <- snap;
-          Mutex.unlock t.state_m;
+          with_lock t.state_m (fun () ->
+              (* The swap event precedes publication, so every pin of
+                 this snapshot is sequenced after its swap. *)
+              Conc_trace.swap ~scope:t.scope (Answer.store snap.snap_env);
+              t.current <- snap);
           snap
         end
         else pin t
@@ -289,7 +314,10 @@ let handle t line =
     | Protocol.Epochs ->
       (* The live pair reads the session (and re-syncs its environment) —
          that state belongs to the writer, so take its lock. *)
-      let live = with_lock t.writer_m (fun () -> Session.epochs t.session) in
+      let live =
+        with_lock t.writer_m (fun () ->
+            Conc_trace.section t.sec_writer (fun () -> Session.epochs t.session))
+      in
       Protocol.ok ~epochs:(pin t).snap_epochs
         [ ("live", Protocol.epochs_json live) ]
     | Protocol.Stats -> handle_stats t
@@ -363,9 +391,7 @@ let accept_loop t () =
       match Unix.accept t.sock with
       | fd, _ ->
         let th = Thread.create (fun () -> serve_conn t fd) () in
-        Mutex.lock t.state_m;
-        t.conns <- th :: t.conns;
-        Mutex.unlock t.state_m
+        with_lock t.state_m (fun () -> t.conns <- th :: t.conns)
       | exception Unix.Unix_error _ -> ())
     | exception Unix.Unix_error (EINTR, _, _) -> ()
   done
@@ -397,6 +423,10 @@ let start ?(config = Config.default) session =
       (* Long-running collection: the stats verb exports the counter
          catalogue, so the sink stays on for the server's lifetime. *)
       Obs.set_enabled true;
+      if config.Config.trace <> None then Conc_trace.start ();
+      let scope = Conc_trace.fresh_scope () in
+      let sec_writer = Printf.sprintf "writer#%d" scope in
+      let sec_eval = Printf.sprintf "eval#%d" scope in
       let t =
         {
           session;
@@ -410,8 +440,18 @@ let start ?(config = Config.default) session =
           stopping = false;
           conns = [];
           acceptor = None;
+          scope;
+          sec_writer;
+          sec_eval;
+          trace_report = None;
         }
       in
+      (* Close one empty writer and eval section before any connection
+         exists: startup (session open, initial snapshot) happens-before
+         every request's section in the trace, matching the real-time
+         order the acceptor spawn enforces. *)
+      Conc_trace.section t.sec_writer (fun () -> ());
+      Conc_trace.section t.sec_eval (fun () -> ());
       t.acceptor <- Some (Thread.create (accept_loop t) ());
       Ok t)
 
@@ -426,15 +466,30 @@ let wait t =
     Thread.join th
   | None -> ());
   let conns =
-    Mutex.lock t.state_m;
-    let c = t.conns in
-    t.conns <- [];
-    Mutex.unlock t.state_m;
-    c
+    with_lock t.state_m (fun () ->
+        let c = t.conns in
+        t.conns <- [];
+        c)
   in
   List.iter Thread.join conns;
+  (* Every connection has drained: admissions past this event are the
+     RX005 violation the checker looks for. *)
+  Conc_trace.mark_drain ~scope:t.scope;
   (try Unix.close t.sock with Unix.Unix_error _ -> ());
-  Session.close t.session
+  (* Closing the session is the last writer action (WAL flush, snapshot
+     rotation reads the live store), so it runs as a writer section:
+     the trace orders it after every batch, as the joins above did in
+     real time. *)
+  with_lock t.writer_m (fun () ->
+      Conc_trace.section t.sec_writer (fun () -> Session.close t.session));
+  match t.config.Config.trace with
+  | Some file when t.trace_report = None ->
+    let entries = Conc_trace.stop () in
+    Conc_trace.save file entries;
+    t.trace_report <- Some (List.length entries, Check_conc.check entries)
+  | _ -> ()
+
+let trace_report t = t.trace_report
 
 let stop t =
   t.stopping <- true;

@@ -37,6 +37,11 @@ module Config : sig
             bundled workload prefixes ub, dblp, geo, ex) *)
     deadline : int option;  (** default per-request deadline (ticks) *)
     max_rows : int option;  (** default per-request row cap *)
+    trace : string option;
+        (** record a concurrency trace for the server's lifetime and, at
+            drain, write it to this file and run the
+            {!Refq_analysis.Check_conc} checker over it — read the result
+            with {!trace_report} *)
   }
 
   val default : t
@@ -46,6 +51,7 @@ module Config : sig
   val with_env : Refq_rdf.Namespace.t -> t -> t
   val with_deadline : int -> t -> t
   val with_max_rows : int -> t -> t
+  val with_trace : string -> t -> t
 end
 
 val parse_query :
@@ -73,7 +79,13 @@ val stopping : t -> bool
 val wait : t -> unit
 (** Block until the server stops (a client sent [shutdown], or {!stop}
     from another thread), then drain: join every connection, close the
-    socket, close the session (WAL flush + snapshot rotation). *)
+    socket, close the session (WAL flush + snapshot rotation). With
+    [config.trace] set, also write the concurrency trace and run the
+    checker (see {!trace_report}). *)
+
+val trace_report : t -> (int * Refq_analysis.Diagnostic.t list) option
+(** After {!wait} with [config.trace] set: the number of events recorded
+    and the RX findings of the drain-time audit. [None] otherwise. *)
 
 val stop : t -> unit
 (** Graceful shutdown now: stop admission, then {!wait}. *)

@@ -2,6 +2,8 @@ open Refq_rdf
 open Refq_storage
 open Refq_core
 module Persist = Refq_persist.Persist
+module Conc_trace = Refq_analysis.Conc_trace
+module Check_conc = Refq_analysis.Check_conc
 module Io = Refq_fault.Io
 module Par = Refq_par.Par
 module Views = Refq_views.Views
@@ -195,6 +197,12 @@ let snapshot t =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    (* Debug gate: while a concurrency trace is live, audit the events
+       recorded so far at drain. Findings surface through the
+       [conc.findings] counter (and the server's trace report, which runs
+       the checker again over the saved trace). *)
+    if Conc_trace.enabled () then
+      ignore (Check_conc.gate () : Refq_analysis.Diagnostic.t list);
     match t.persist with
     | None -> ()
     | Some h ->

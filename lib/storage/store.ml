@@ -2,6 +2,7 @@ open Refq_rdf
 module Int_vec = Refq_util.Int_vec
 
 type t = {
+  uid : int;  (** process-unique store identity, for the concurrency trace *)
   dict : Dictionary.t;
   triples : Int_vec.t;  (** stride 3: s, p, o *)
   seen : (int * int * int, unit) Hashtbl.t;
@@ -22,9 +23,36 @@ type t = {
 
 and delta = { op : [ `Add | `Remove ]; s : int; p : int; o : int }
 
+(* ------------------------------------------------------------------ *)
+(* Concurrency trace hook                                              *)
+(* ------------------------------------------------------------------ *)
+
+type trace_event =
+  | T_mutate  (** effective add/remove, observed post-epoch-bump *)
+  | T_epoch_set  (** [restore_epochs] *)
+  | T_seal
+  | T_unseal
+  | T_copy of t  (** carries the fresh copy; the receiver is the source *)
+  | T_read  (** [iter_pattern] / [count_pattern] entry *)
+
+(* One process-global observer (the concurrency trace sink). An [Atomic]
+   so worker domains read it without a data race; [None] costs one load
+   per probe on the read hot paths. *)
+let trace_hook : (t -> trace_event -> unit) option Atomic.t = Atomic.make None
+
+let set_trace_hook h = Atomic.set trace_hook h
+
+let trace st ev =
+  match Atomic.get trace_hook with None -> () | Some f -> f st ev
+
+let uids = Atomic.make 0
+
+let uid st = st.uid
+
 let create ?dictionary () =
   let dict = match dictionary with Some d -> d | None -> Dictionary.create () in
   {
+    uid = Atomic.fetch_and_add uids 1;
     dict;
     triples = Int_vec.create ~capacity:4096 ();
     seen = Hashtbl.create 4096;
@@ -97,7 +125,8 @@ let restore_epochs st ~data ~schema =
       (Printf.sprintf "Store.restore_epochs: negative epoch (data=%d schema=%d)"
          data schema);
   st.data_epoch <- data;
-  st.schema_epoch <- schema
+  st.schema_epoch <- schema;
+  trace st T_epoch_set
 
 (* The hook fires after the epoch bump, so it observes the post-mutation
    epochs — exactly what a WAL record must carry. *)
@@ -114,7 +143,8 @@ let add_ids st s p o =
     Int_vec.push st.triples o;
     st.dirty <- true;
     bump_epoch st p;
-    notify st `Add s p o
+    notify st `Add s p o;
+    trace st T_mutate
   end
 
 (* Encoding a term the dictionary already knows is a pure lookup and
@@ -159,7 +189,8 @@ let remove_ids st s p o =
     Hashtbl.remove st.seen key;
     st.dirty <- true;
     bump_epoch st p;
-    notify st `Remove s p o
+    notify st `Remove s p o;
+    trace st T_mutate
   end
 
 let remove_triple st { Triple.s; p; o } =
@@ -232,9 +263,12 @@ let freeze st =
    mutates until [unseal]. *)
 let seal st =
   freeze st;
-  st.sealed <- true
+  st.sealed <- true;
+  trace st T_seal
 
-let unseal st = st.sealed <- false
+let unseal st =
+  st.sealed <- false;
+  trace st T_unseal
 
 (* Freeze first so the copy starts from the canonical (compacted, indexed)
    shape and can share nothing mutable with the original: once copied, the
@@ -243,7 +277,9 @@ let unseal st = st.sealed <- false
    original's WAL. *)
 let copy st =
   freeze st;
+  let c =
   {
+    uid = Atomic.fetch_and_add uids 1;
     dict = Dictionary.copy st.dict;
     triples = Int_vec.of_array (Int_vec.to_array st.triples);
     seen = Hashtbl.copy st.seen;
@@ -257,6 +293,9 @@ let copy st =
     schema_preds = Hashtbl.copy st.schema_preds;
     sealed = false;
   }
+  in
+  trace st (T_copy c);
+  c
 
 (* Binary search on a permutation w.r.t. a (k1, k2, k3) virtual key;
    [min_int]/[max_int] stand for unbound key components. [strict] selects
@@ -306,6 +345,7 @@ let choose st ~s ~p ~o =
   | None, None, None -> Scan
 
 let iter_pattern st ~s ~p ~o f =
+  trace st T_read;
   freeze st;
   match choose st ~s ~p ~o with
   | Scan ->
@@ -320,6 +360,7 @@ let iter_pattern st ~s ~p ~o f =
     done
 
 let count_pattern st ~s ~p ~o =
+  trace st T_read;
   freeze st;
   match choose st ~s ~p ~o with
   | Scan -> size st

@@ -58,6 +58,33 @@ val set_delta_hook : t -> (delta -> unit) option -> unit
     never for duplicate inserts or absent removals. The persistence layer
     uses it to feed the write-ahead log. At most one hook is active. *)
 
+val uid : t -> int
+(** A process-unique identity for this store value ({!copy} allocates a
+    fresh one). Names stores in the concurrency trace; carries no other
+    meaning. *)
+
+(** {2 Concurrency trace hook}
+
+    A second, process-global observer besides the per-store delta hook:
+    the concurrency audit layer ([Refq_analysis.Conc_trace]) installs it
+    to record synchronization-relevant store operations. Costs one atomic
+    load per probe when uninstalled. *)
+
+type trace_event =
+  | T_mutate  (** effective add/remove, observed post-epoch-bump *)
+  | T_epoch_set  (** {!restore_epochs} *)
+  | T_seal
+  | T_unseal
+  | T_copy of t  (** carries the fresh copy; the receiver is the source *)
+  | T_read  (** {!iter_pattern} / {!count_pattern} entry *)
+
+val set_trace_hook : (t -> trace_event -> unit) option -> unit
+(** Install (or clear) the global trace observer. It may fire from any
+    domain — worker domains read sealed stores in parallel — so the
+    observer must be thread-safe and must not call back into the store
+    beyond the read-only accessors ({!uid}, {!data_epoch},
+    {!schema_epoch}). At most one observer is active. *)
+
 val mem_ids : t -> int -> int -> int -> bool
 
 val remove_ids : t -> int -> int -> int -> unit

@@ -231,6 +231,79 @@ grep -q "drained" "$serve_log" || {
   exit 1
 }
 
+echo "== concurrency audit smoke (serve --trace, mixed load, drain, replay)"
+conc_trace=$(mktemp /tmp/refq_conc.XXXXXX.trace)
+racy_trace=$(mktemp /tmp/refq_racy.XXXXXX.trace)
+trap 'rm -f "$bench_json" "$smoke_nt" "$par_json" "$serve_log" "$conc_trace" "$racy_trace"; rm -rf "$persist_dir" "$bad_dir"' EXIT
+conc_port=$((10240 + ($$ + 137) % 20000))
+conc_log=$(mktemp /tmp/refq_conc_serve.XXXXXX.log)
+"$refq" serve "$smoke_nt" --no-views --port "$conc_port" --trace "$conc_trace" \
+  > "$conc_log" 2>&1 &
+conc_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  grep -q "serving" "$conc_log" 2>/dev/null && break
+  sleep 0.25
+done
+grep -q "serving" "$conc_log" || {
+  echo "conc smoke: refq serve --trace did not come up" >&2
+  cat "$conc_log" >&2
+  exit 1
+}
+"$refq" client --port "$conc_port" \
+  '{"op":"answer","query":"q(x) :- x rdf:type ub:Student","strategy":"ucq"}' \
+  '{"op":"insert","triples":["<http://refq.org/check#conc> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://refq.org/univ-bench#Student> ."]}' \
+  '{"op":"answer","query":"q(x) :- x rdf:type ub:Student","strategy":"gcov"}' \
+  '{"op":"shutdown"}' >/dev/null
+wait "$conc_pid" || {
+  echo "conc smoke: traced server did not drain cleanly" >&2
+  cat "$conc_log" >&2
+  exit 1
+}
+grep -q "concurrency audit:" "$conc_log" || {
+  echo "conc smoke: the server did not report its drain-time audit" >&2
+  cat "$conc_log" >&2
+  exit 1
+}
+grep -q "0 finding(s)" "$conc_log" || {
+  echo "conc smoke: the drain-time audit reported findings" >&2
+  cat "$conc_log" >&2
+  exit 1
+}
+"$refq" audit-concurrency "$conc_trace" | grep -q "concurrency OK" || {
+  echo "conc smoke: replaying the saved trace did not audit clean" >&2
+  exit 1
+}
+rm -f "$conc_log"
+
+echo "== concurrency audit: negative check (racy harness must be rejected)"
+# The flag-gated harness in test/test_conc.ml commits a deliberate
+# unsynchronized handoff and saves its trace; the audit must refuse it.
+REFQ_CONC_TRACE_RACY="$racy_trace" _build/default/test/test_conc.exe \
+  test stress >/dev/null
+if "$refq" audit-concurrency "$racy_trace" >/dev/null 2>&1; then
+  echo "conc negative: audit-concurrency accepted the racy trace" >&2
+  exit 1
+fi
+"$refq" audit-concurrency "$racy_trace" 2>&1 | grep -q "RX001" || {
+  echo "conc negative: the racy trace was rejected without naming RX001" >&2
+  exit 1
+}
+
+if opam switch list -s 2>/dev/null | grep -q tsan; then
+  tsan_switch=$(opam switch list -s 2>/dev/null | grep tsan | head -1)
+  echo "== ThreadSanitizer pass (switch $tsan_switch: test_par + test_serve)"
+  # A separate build dir keeps the tsan artifacts from clobbering the
+  # default switch's; TSan aborts the run on any data race it observes.
+  opam exec --switch "$tsan_switch" -- dune build --build-dir _build_tsan \
+    test/test_par.exe test/test_serve.exe
+  opam exec --switch "$tsan_switch" -- \
+    ./_build_tsan/default/test/test_par.exe >/dev/null
+  opam exec --switch "$tsan_switch" -- \
+    ./_build_tsan/default/test/test_serve.exe >/dev/null
+else
+  echo "== no +tsan opam switch; skipping ThreadSanitizer pass"
+fi
+
 if command -v ocamlformat >/dev/null 2>&1; then
   echo "== dune fmt (check only)"
   dune build @fmt 2>/dev/null || {

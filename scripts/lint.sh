@@ -6,7 +6,13 @@
 #     you mean);
 #   - no stray stdout printing (print_* / Printf.printf) in lib/ — library
 #     code reports through its return values, Fmt formatters or Logs;
-#   - every lib/ module has an interface (.mli).
+#   - every lib/ module has an interface (.mli);
+#   - every Mutex.lock in lib/ is the with_lock idiom (Fun.protect with
+#     Mutex.unlock on the very next lines) — a raise between a bare lock
+#     and its unlock deadlocks every later critical section;
+#   - no module-level mutable Hashtbl/Buffer outside lib/obs — process
+#     globals shared across domains must live behind the Obs sink's (or a
+#     local) mutex, not as naked toplevel state.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,6 +47,36 @@ for ml in lib/*/*.ml; do
     fail "lib/ modules must have .mli interfaces"
   fi
 done
+
+echo "== source lint: Mutex.lock only via the with_lock idiom in lib/"
+# Every Mutex.lock must be immediately followed (within two lines) by the
+# Fun.protect ~finally:Mutex.unlock release — i.e. it may only appear as
+# the body of a with_lock helper, never as an open-coded critical section.
+for f in lib/*/*.ml; do
+  if ! awk '
+    pending && NR <= pending && /Fun\.protect/ && /Mutex\.unlock/ { pending = 0 }
+    pending && NR > pending {
+      printf "%s:%d: Mutex.lock without Fun.protect/Mutex.unlock on the next lines\n", FILENAME, lockline
+      bad = 1; pending = 0
+    }
+    /Mutex\.lock/ { pending = NR + 2; lockline = NR }
+    END {
+      if (pending) {
+        printf "%s:%d: Mutex.lock without Fun.protect/Mutex.unlock on the next lines\n", FILENAME, lockline
+        bad = 1
+      }
+      exit bad
+    }
+  ' "$f"; then
+    fail "open-coded Mutex.lock in lib/ (use the with_lock idiom)"
+  fi
+done
+
+echo "== source lint: no module-level mutable Hashtbl/Buffer outside lib/obs"
+if grep -rnE "^let [a-z_]+ *= *(Hashtbl|Buffer)\.create" lib --include='*.ml' \
+  | grep -v "^lib/obs/"; then
+  fail "toplevel mutable Hashtbl/Buffer outside lib/obs (guard it with a mutex inside a record, or make it domain-local)"
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "lint OK"

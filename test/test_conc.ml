@@ -1,0 +1,368 @@
+(* The concurrency audit layer: trace recording and the RX checker.
+
+   Three kinds of evidence. Hand-built traces pin the checker's judgment
+   down exactly: a trace following the isolation protocol audits clean,
+   and one violating trace per RX code is detected with that code and no
+   other. A record/replay pair pins the trace format: the same seeded,
+   single-threaded scenario serializes byte-identically twice (dense
+   relabeling makes traces a pure function of the schedule). And a
+   seeded schedule-stress run hammers a live server through
+   [Serve.handle] with pseudo-random yields/delays — whatever
+   interleaving the OS picks, the drained trace must audit clean. *)
+
+open Refq_rdf
+open Refq_storage
+module Session = Refq_serve.Session
+module Serve = Refq_serve.Serve
+module Json = Refq_obs.Json
+module Sim_clock = Refq_fault.Sim_clock
+module Diagnostic = Refq_analysis.Diagnostic
+module T = Refq_analysis.Conc_trace
+module Check = Refq_analysis.Check_conc
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let triple s =
+  match Ntriples.parse_triples s with
+  | Ok [ t ] -> t
+  | Ok _ | Error _ -> Alcotest.failf "bad test triple %S" s
+
+let rdf_type = "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+let ex n = "<http://example.org/" ^ n ^ ">"
+
+let book_stmts =
+  [
+    Printf.sprintf "%s %s %s ." (ex "b1") rdf_type (ex "Book");
+    Printf.sprintf "%s %s %s ." (ex "b2") rdf_type (ex "Book");
+    Printf.sprintf "%s %s %s ." (ex "b1") (ex "writtenBy") (ex "a1");
+  ]
+
+let store_of stmts =
+  let st = Store.create () in
+  List.iter (fun s -> Store.add_triple st (triple s)) stmts;
+  st
+
+let codes ds =
+  List.map (fun d -> d.Diagnostic.code) ds |> List.sort_uniq compare
+
+let temp_file () = Filename.temp_file "refq_conc" ".trace"
+
+(* Entry builder for hand-built traces. *)
+let e ?(data = -1) ?(schema = -1) ?(lsn = -1) seq task ev =
+  { T.seq; task; ev; data; schema; lsn }
+
+(* ------------------------------------------------------------------ *)
+(* The checker on hand-built traces                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A run following the protocol to the letter: writer sections around
+   mutation+WAL+swap, readers pinning the swapped snapshot, a parallel
+   batch over the sealed store (fan-in ordering the final unseal after
+   every job's reads), drain last. Every edge source the checker knows —
+   sections, swap→pin, batch handoff, fan-in — is needed to prove this
+   trace clean; dropping any one would surface a spurious race. *)
+let clean_protocol_trace =
+  [
+    (* writer batch 1: mutate the live store, publish snapshot 1 *)
+    e 0 0 (T.Sec_begin { sec = "writer#0" });
+    e 1 0 (T.Mutate { store = 0 }) ~data:1 ~schema:0;
+    e 2 0 T.Wal_append ~lsn:1;
+    e 3 0 (T.Copy { src = 0; dst = 1 }) ~data:1 ~schema:0;
+    e 4 0 (T.Seal { store = 1 }) ~data:1 ~schema:0;
+    e 5 0 (T.Swap { scope = 0; store = 1 }) ~data:1 ~schema:0;
+    e 6 0 (T.Sec_end { sec = "writer#0" });
+    (* a reader pins the published snapshot and evaluates *)
+    e 7 1 (T.Pin { scope = 0; reader = 1; store = 1 }) ~data:1 ~schema:0;
+    e 8 1 (T.Read { store = 1 }) ~data:1 ~schema:0;
+    e 9 1 (T.Unpin { scope = 0; reader = 1; store = 1 }) ~data:1 ~schema:0;
+    (* writer batch 2 *)
+    e 10 0 (T.Sec_begin { sec = "writer#0" });
+    e 11 0 (T.Mutate { store = 0 }) ~data:2 ~schema:0;
+    e 12 0 T.Wal_append ~lsn:2;
+    e 13 0 (T.Sec_end { sec = "writer#0" });
+    (* a parallel batch over the sealed live store *)
+    e 14 0 (T.Seal { store = 0 }) ~data:2 ~schema:0;
+    e 15 0 (T.Batch_begin { batch = 0; jobs = 2 });
+    e 16 2 (T.Job_start { batch = 0; job = 0 });
+    e 17 2 (T.Read { store = 0 }) ~data:2 ~schema:0;
+    e 18 2 (T.Job_end { batch = 0; job = 0 });
+    e 19 3 (T.Job_start { batch = 0; job = 1 });
+    e 20 3 (T.Read { store = 0 }) ~data:2 ~schema:0;
+    e 21 3 (T.Job_end { batch = 0; job = 1 });
+    e 22 0 (T.Batch_end { batch = 0 });
+    (* the fan-in barrier is what makes this unseal safe *)
+    e 23 0 (T.Unseal { store = 0 }) ~data:2 ~schema:0;
+    e 24 0 (T.Drain { scope = 0 });
+  ]
+
+let test_clean_trace () =
+  Alcotest.(check (list string))
+    "protocol-abiding trace audits clean" []
+    (codes (Check.check clean_protocol_trace))
+
+(* One violating trace per RX code; each must be detected with exactly
+   its own code. *)
+let violations =
+  [
+    ( "RX001",
+      (* two tasks touch a store with no happens-before edge at all *)
+      [
+        e 0 0 (T.Mutate { store = 0 }) ~data:1 ~schema:0;
+        e 1 1 (T.Read { store = 0 }) ~data:1 ~schema:0;
+      ] );
+    ( "RX002",
+      (* the writer mutates the snapshot a reader still holds pinned *)
+      [
+        e 0 1 (T.Pin { scope = 0; reader = 7; store = 0 }) ~data:1 ~schema:0;
+        e 1 0 (T.Mutate { store = 0 }) ~data:2 ~schema:0;
+      ] );
+    ( "RX003",
+      (* epochs run backwards in one task's own program order *)
+      [
+        e 0 0 (T.Mutate { store = 0 }) ~data:2 ~schema:0;
+        e 1 0 (T.Read { store = 0 }) ~data:1 ~schema:0;
+      ] );
+    ( "RX004",
+      (* a WAL append with no writer section anywhere in sight *)
+      [ e 0 0 T.Wal_append ~lsn:3 ] );
+    ( "RX005",
+      (* a reader admitted after the scope finished draining *)
+      [
+        e 0 0 (T.Drain { scope = 0 });
+        e 1 1 (T.Pin { scope = 0; reader = 2; store = 0 }) ~data:1 ~schema:0;
+      ] );
+    ( "RX006",
+      (* the batch was handed store 0 (sealed), but a job touches the
+         older store 1, never sealed into the handoff *)
+      [
+        e 0 0 (T.Mutate { store = 1 }) ~data:1 ~schema:0;
+        e 1 0 (T.Seal { store = 0 }) ~data:1 ~schema:0;
+        e 2 0 (T.Batch_begin { batch = 0; jobs = 1 });
+        e 3 1 (T.Job_start { batch = 0; job = 0 });
+        e 4 1 (T.Read { store = 1 }) ~data:1 ~schema:0;
+      ] );
+  ]
+
+let test_violation (code, trace) () =
+  Alcotest.(check (list string))
+    (code ^ " detected, and nothing else")
+    [ code ]
+    (codes (Check.check trace))
+
+(* ------------------------------------------------------------------ *)
+(* Record / replay determinism                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic single-threaded scenario over the live hooks: same
+   schedule, so — by dense relabeling — same trace, byte for byte. *)
+let record_scenario () =
+  T.start ();
+  let st = store_of book_stmts in
+  Store.add_triple st (triple (List.nth book_stmts 0));
+  (* duplicate: a read, not a mutation *)
+  let snap = Store.copy st in
+  Store.seal snap;
+  ignore (Store.count_pattern snap ~s:None ~p:None ~o:None);
+  Store.unseal snap;
+  Store.restore_epochs st ~data:10 ~schema:2;
+  T.stop ()
+
+let test_trace_determinism () =
+  let t1 = record_scenario () in
+  let t2 = record_scenario () in
+  let read f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let f1 = temp_file () and f2 = temp_file () in
+  T.save f1 t1;
+  T.save f2 t2;
+  let s1 = read f1 and s2 = read f2 in
+  Sys.remove f1;
+  Sys.remove f2;
+  Alcotest.(check bool) "scenario recorded events" true (List.length t1 > 0);
+  Alcotest.(check string) "same seed, byte-identical trace" s1 s2;
+  Alcotest.(check (list string))
+    "scenario audits clean" []
+    (codes (Check.check t1))
+
+let test_save_load_roundtrip () =
+  let f = temp_file () in
+  T.save f clean_protocol_trace;
+  let back =
+    match T.load f with
+    | Ok entries -> entries
+    | Error m -> Alcotest.failf "load: %s" m
+  in
+  Sys.remove f;
+  Alcotest.(check int)
+    "same length"
+    (List.length clean_protocol_trace)
+    (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string)
+        (Printf.sprintf "entry %d round-trips" a.T.seq)
+        (Json.to_string ~indent:false (T.entry_to_json a))
+        (Json.to_string ~indent:false (T.entry_to_json b)))
+    clean_protocol_trace back
+
+let test_load_rejects_garbage () =
+  let f = temp_file () in
+  let oc = open_out f in
+  output_string oc "not a trace\n";
+  close_out oc;
+  (match T.load f with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  Sys.remove f
+
+(* ------------------------------------------------------------------ *)
+(* Seeded schedule stress                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic pseudo-random pause schedule: each task walks its own
+   LCG stream and converts draws into yields or millisecond delays,
+   advancing a simulated clock by the same ticks — the schedule is a
+   pure function of the seed even though the OS interleaving is not.
+   Whatever interleaving results, the drained trace must audit clean. *)
+let lcg s = ((s * 1103515245) + 12345) land 0x3FFFFFFF
+
+let jitter clock state =
+  state := lcg !state;
+  let d = !state mod 5 in
+  Sim_clock.advance clock d;
+  if d = 0 then Thread.yield () else Thread.delay (float_of_int d /. 2000.)
+
+let req fields = Json.to_string ~indent:false (Json.Obj fields)
+
+let answer_req query =
+  req
+    [
+      ("op", Json.String "answer");
+      ("query", Json.String query);
+      ("strategy", Json.String "ucq");
+    ]
+
+let insert_req stmts =
+  req
+    [
+      ("op", Json.String "insert");
+      ("triples", Json.List (List.map (fun s -> Json.String s) stmts));
+    ]
+
+let is_ok line =
+  match Result.map (Json.member "ok") (Json.parse line) with
+  | Ok (Some (Json.Bool b)) -> b
+  | _ -> false
+
+let test_schedule_stress () =
+  let session =
+    match Session.of_store (store_of book_stmts) with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  T.start ();
+  let server =
+    match Serve.start session with Ok s -> s | Error m -> Alcotest.fail m
+  in
+  let failures = Atomic.make 0 in
+  let writer =
+    Thread.create
+      (fun () ->
+        let state = ref 42 and clock = Sim_clock.create () in
+        for i = 1 to 12 do
+          jitter clock state;
+          let stmt =
+            Printf.sprintf "%s %s %s ." (ex (Printf.sprintf "b%d" (100 + i)))
+              rdf_type (ex "Book")
+          in
+          if not (is_ok (Serve.handle server (insert_req [ stmt ]))) then
+            Atomic.incr failures
+        done)
+      ()
+  in
+  let readers =
+    List.init 3 (fun j ->
+        Thread.create
+          (fun () ->
+            let state = ref (1000 + j) and clock = Sim_clock.create () in
+            for _ = 1 to 15 do
+              jitter clock state;
+              let r = Serve.handle server (answer_req "q(x) :- x rdf:type ex:Book") in
+              if not (is_ok r) then Atomic.incr failures
+            done)
+          ())
+  in
+  Thread.join writer;
+  List.iter Thread.join readers;
+  Serve.stop server;
+  let trace = T.stop () in
+  Alcotest.(check int) "every request succeeded" 0 (Atomic.get failures);
+  Alcotest.(check bool) "trace captured the run" true (List.length trace > 50);
+  Alcotest.(check (list string))
+    "stressed schedule audits clean" []
+    (codes (Check.check trace))
+
+(* ------------------------------------------------------------------ *)
+(* The racy harness (flag-gated)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberate protocol violation, used by scripts/check.sh as the
+   must-fail negative: the main task mutates a store, then hands it to
+   another thread with no traced synchronization (no section, no batch,
+   no swap→pin). Real time orders the two, but nothing the checker may
+   rely on does — exactly the unsynchronized handoff RX001 names. Writes
+   the trace to $REFQ_CONC_TRACE_RACY for `refq audit-concurrency` to
+   reject; skipped when the variable is unset. *)
+let test_racy_harness () =
+  match Sys.getenv_opt "REFQ_CONC_TRACE_RACY" with
+  | None -> ()
+  | Some file ->
+    T.start ();
+    let st = store_of book_stmts in
+    Store.add_triple st (triple (Printf.sprintf "%s %s %s ." (ex "b9") rdf_type (ex "Book")));
+    let reader =
+      Thread.create
+        (fun () -> ignore (Store.count_pattern st ~s:None ~p:None ~o:None))
+        ()
+    in
+    Thread.join reader;
+    let trace = T.stop () in
+    T.save file trace;
+    Alcotest.(check bool)
+      "the race is detected" true
+      (List.mem "RX001" (codes (Check.check trace)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "conc"
+    [
+      ( "checker",
+        Alcotest.test_case "clean protocol trace" `Quick test_clean_trace
+        :: List.map
+             (fun (code, trace) ->
+               Alcotest.test_case code `Quick (test_violation (code, trace)))
+             violations );
+      ( "trace",
+        [
+          Alcotest.test_case "record/replay determinism" `Quick
+            test_trace_determinism;
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_save_load_roundtrip;
+          Alcotest.test_case "load rejects garbage" `Quick
+            test_load_rejects_garbage;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "seeded schedule stress" `Slow
+            test_schedule_stress;
+          Alcotest.test_case "racy harness (gated)" `Quick test_racy_harness;
+        ] );
+    ]

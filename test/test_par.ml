@@ -120,6 +120,34 @@ let test_shutdown_is_clean_and_idempotent () =
     (Array.init 4 (fun i -> 2 * i))
     ys
 
+(* Property: shutdown is idempotent under any (domains, repeats, work)
+   shape — a pool survives being shut down K times, degrades to inline
+   execution afterwards, and the global pool accepts set_domains after
+   shutdown_global without deadlock or domain leaks. *)
+let prop_shutdown_idempotent =
+  QCheck2.Test.make ~name:"pool shutdown is idempotent" ~count:30
+    QCheck2.Gen.(triple (int_range 1 4) (int_range 1 3) (int_range 0 64))
+    (fun (domains, shutdowns, work) ->
+      let pool = Par.create ~domains in
+      let xs = Array.init work Fun.id in
+      let before = Par.map pool (fun x -> x + 1) xs in
+      for _ = 1 to shutdowns do
+        Par.shutdown pool
+      done;
+      let after = Par.map pool (fun x -> x + 1) xs in
+      (* The global pool: reconfiguring after a global shutdown must
+         respawn cleanly on the next use. *)
+      Par.shutdown_global ();
+      Par.set_domains domains;
+      let global =
+        match Par.get () with
+        | Some p -> Par.map p (fun x -> x + 1) xs
+        | None -> Array.map (fun x -> x + 1) xs
+      in
+      Par.set_domains 1;
+      let expect = Array.init work (fun i -> i + 1) in
+      before = expect && after = expect && global = expect)
+
 let test_split_covers_in_order () =
   List.iter
     (fun (n, into) ->
@@ -450,6 +478,7 @@ let () =
             test_nested_run_is_inline;
           Alcotest.test_case "clean idempotent shutdown" `Quick
             test_shutdown_is_clean_and_idempotent;
+          QCheck_alcotest.to_alcotest prop_shutdown_idempotent;
           Alcotest.test_case "split covers in order" `Quick
             test_split_covers_in_order;
         ] );

@@ -20,6 +20,8 @@ module Json = Refq_obs.Json
 module Par = Refq_par.Par
 module Audit_store = Refq_analysis.Audit_store
 module Diagnostic = Refq_analysis.Diagnostic
+module Conc_trace = Refq_analysis.Conc_trace
+module Check_conc = Refq_analysis.Check_conc
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -382,6 +384,10 @@ let reader_queries =
 let test_concurrent_snapshot_isolation () =
   let seed () = Refq_workload.Lubm.generate ~scale:1 () in
   let session = session_exn (Session.of_store (seed ())) in
+  (* Record a concurrency trace of the whole run: the drained trace must
+     audit clean — the machine-checked witness that the isolation the
+     replay below verifies value-wise also holds protocol-wise. *)
+  Conc_trace.start ();
   let server = server_exn (Serve.start session) in
   let port = Serve.port server in
   (* One writer: the batches, in order, over its own connection. *)
@@ -423,6 +429,19 @@ let test_concurrent_snapshot_isolation () =
   ignore (request c (req [ ("op", Json.String "shutdown") ]));
   disconnect c;
   Serve.wait server;
+  let trace = Conc_trace.stop () in
+  (match Sys.getenv_opt "REFQ_CONC_TRACE" with
+  | Some file -> Conc_trace.save file trace
+  | None -> ());
+  (match Check_conc.check trace with
+  | [] -> ()
+  | ds ->
+    Alcotest.failf "concurrency audit of the isolation run: %d finding(s)\n%s"
+      (List.length ds)
+      (Fmt.str "%a" Diagnostic.pp_list ds));
+  Alcotest.(check bool)
+    "trace captured the run" true
+    (List.length trace > 100);
   let responses = List.concat (Array.to_list results) in
   Alcotest.(check bool)
     "at least 100 concurrent requests" true
