@@ -14,6 +14,7 @@
      E19 cold open            parse+saturate vs checksummed snapshot open
      E20 multicore            parallel load/saturation/eval vs sequential
      E21 serving              refq serve qps under mixed read/write clients
+     E22 wco                  binary vs leapfrog vs auto on cyclic/star joins
      obs                      observability-sink overhead check
      micro                    Bechamel micro-benchmarks, one per experiment
 
@@ -1625,6 +1626,144 @@ let trajectory_serve_runs () =
     serve_concurrencies
 
 (* ------------------------------------------------------------------ *)
+(* E22 — worst-case-optimal evaluation (binary vs leapfrog vs auto)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Cyclic and star joins are where leapfrog should pay off: the binary
+   engine materializes every open path before the closing atom can
+   prune it, while leapfrog intersects the adjacency lists one variable
+   at a time. A random digraph under a single [edge] predicate makes
+   that worst case easy to hit at any scale. *)
+let wco_ns = "http://refq.org/wco#"
+
+let wco_edge = Term.uri (wco_ns ^ "edge")
+
+let wco_nodes () = if cfg.fast then 200 else 600
+
+let wco_degree = 16
+
+let wco_store =
+  lazy
+    (let n = wco_nodes () in
+     let rng = Random.State.make [| 2026; n |] in
+     let node i = Term.uri (Printf.sprintf "%sn%d" wco_ns i) in
+     let st = Store.create ~dictionary:(Dictionary.create ()) () in
+     for i = 0 to n - 1 do
+       for _ = 1 to wco_degree do
+         Store.add_triple st
+           (Triple.make (node i) wco_edge (node (Random.State.int rng n)))
+       done
+     done;
+     st)
+
+let wco_graph_queries =
+  let v = Cq.var in
+  let e s o = Cq.atom s (Cq.cst wco_edge) o in
+  [
+    ( "triangle",
+      Cq.make
+        ~head:[ v "x"; v "y"; v "z" ]
+        ~body:[ e (v "x") (v "y"); e (v "y") (v "z"); e (v "z") (v "x") ] );
+    ( "diamond",
+      Cq.make ~head:[ v "x"; v "z" ]
+        ~body:
+          [
+            e (v "x") (v "y"); e (v "y") (v "z");
+            e (v "x") (v "w"); e (v "w") (v "z");
+          ] );
+  ]
+
+let wco_lubm_queries =
+  let v = Cq.var in
+  let k name = Cq.cst (Term.uri (Lubm.ns ^ name)) in
+  [
+    ( "lubm-triangle",
+      Cq.make
+        ~head:[ v "x"; v "y"; v "z" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k "advisor") (v "y");
+            Cq.atom (v "y") (k "teacherOf") (v "z");
+            Cq.atom (v "x") (k "takesCourse") (v "z");
+          ] );
+    ( "lubm-star",
+      Cq.make
+        ~head:[ v "x"; v "y"; v "d"; v "c" ]
+        ~body:
+          [
+            Cq.atom (v "x") (k "advisor") (v "y");
+            Cq.atom (v "x") (k "memberOf") (v "d");
+            Cq.atom (v "x") (k "takesCourse") (v "c");
+          ] );
+  ]
+
+let wco_strategies = [ Strategy.Saturation; Strategy.Scq ]
+
+let wco_engines =
+  [ ("binary", Config.Binary); ("wco", Config.Wco); ("auto", Config.Auto) ]
+
+let wco_workloads () =
+  let envs =
+    [
+      ("graph", Answer.make_env (Lazy.force wco_store), wco_graph_queries);
+      ("lubm", Answer.make_env (Lazy.force lubm_store), wco_lubm_queries);
+    ]
+  in
+  (* Pre-saturate so the first engine measured does not pay the shared
+     fixpoint the later ones inherit from the env. *)
+  List.iter (fun (_, env, _) -> ignore (Answer.saturated env)) envs;
+  envs
+
+let e22 () =
+  hr "E22  worst-case-optimal evaluation — binary vs leapfrog vs auto";
+  Fmt.pr
+    "random digraph: %d nodes, out-degree %d; cyclic joins make the binary@.\
+     engine enumerate every open path before the closing atom prunes it.@.@."
+    (wco_nodes ()) wco_degree;
+  Fmt.pr "  %-8s %-13s %-10s %8s %9s %9s %9s %8s@." "workload" "query"
+    "strategy" "answers" "binary" "wco" "auto" "speedup";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (workload, env, queries) ->
+      List.iter
+        (fun (qname, q) ->
+          List.iter
+            (fun s ->
+              let run engine =
+                let config = Config.with_engine engine bench_config in
+                match time (fun () -> Answer.answer ~config env q s) with
+                | Ok r, dt ->
+                  (List.sort compare (Answer.decode env r.Answer.answers), dt)
+                | Error f, _ ->
+                  Fmt.failwith "E22 %s/%s/%s failed: %s" workload qname
+                    (Strategy.name s) f.Answer.reason
+              in
+              let results = List.map (fun (_, e) -> run e) wco_engines in
+              let reference = fst (List.hd results) in
+              List.iter
+                (fun (rows, _) -> if rows <> reference then incr mismatches)
+                (List.tl results);
+              match List.map snd results with
+              | [ binary; wco; auto ] ->
+                Fmt.pr "  %-8s %-13s %-10s %8d %9s %9s %9s %7.1fx@." workload
+                  qname (Strategy.name s)
+                  (List.length reference)
+                  (Fmt.str "%a" pp_time binary)
+                  (Fmt.str "%a" pp_time wco)
+                  (Fmt.str "%a" pp_time auto)
+                  (binary /. wco)
+              | _ -> assert false)
+            wco_strategies)
+        queries)
+    (wco_workloads ());
+  if !mismatches > 0 then begin
+    Fmt.epr "E22: %d engine answer mismatch(es)@." !mismatches;
+    exit 1
+  end;
+  Fmt.pr
+    "@.answers cross-validated: binary, wco and auto agree on every row.@."
+
+(* ------------------------------------------------------------------ *)
 (* Benchmark trajectory (--json FILE / --validate FILE)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1757,6 +1896,27 @@ let trajectory_par_runs () =
   @ eval_runs "+seq" 1
   @ eval_runs par_label d
 
+(* The wco trajectory axis: every cyclic/star query under each engine
+   policy, labels +binary / +wco / +auto; the per-label [total_s] ratio
+   is the speedup, and the wco.{seeks,nexts,emits,fallbacks} counters
+   ride in each run's counter map. *)
+let trajectory_wco_runs () =
+  List.concat_map
+    (fun (workload, env, queries) ->
+      List.concat_map
+        (fun (qname, q) ->
+          List.concat_map
+            (fun s ->
+              List.map
+                (fun (label, engine) ->
+                  trajectory_run ~label:("+" ^ label)
+                    ~config:(Config.with_engine engine bench_config)
+                    env ~workload ~qname q s)
+                wco_engines)
+            wco_strategies)
+        queries)
+    (wco_workloads ())
+
 let write_trajectory file runs =
   let environment =
     [
@@ -1820,8 +1980,11 @@ let trajectory file =
     Fmt.pr "trajectory: serve mixed read/write at %s client(s), %d runs@."
       (String.concat "/" (List.map string_of_int serve_concurrencies))
       (List.length serve_runs);
+    let wco_runs = trajectory_wco_runs () in
+    Fmt.pr "trajectory: wco binary/wco/auto on cyclic+star queries, %d runs@."
+      (List.length wco_runs);
     write_trajectory file
-      (runs @ cache_runs @ views_runs @ persist_runs @ serve_runs)
+      (runs @ cache_runs @ views_runs @ persist_runs @ serve_runs @ wco_runs)
   end
 
 let validate_file file =
@@ -1860,7 +2023,7 @@ let () =
         ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
         ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14);
         ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
-        ("e19", e19); ("e20", e20); ("e21", e21);
+        ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
         ("obs", obs_overhead); ("micro", micro);
       ]
     in

@@ -354,9 +354,15 @@ let explain_answer env q (r : Answer.report) =
   Fmt.pr "@.epochs: data=%d schema=%d@." data schema;
   match r.Answer.detail with
   | Answer.Saturated _ | Answer.Datalog_run _ -> ()
-  | Answer.Reformulated { cover; fragment_cardinalities; view_hits; gcov; _ }
-    ->
+  | Answer.Reformulated
+      { cover; fragment_cardinalities; view_hits; engines; gcov; _ } ->
     Fmt.pr "chosen cover: %a@." Cover.pp cover;
+    (* One line per fragment under a non-binary --engine policy: which
+       physical operator evaluated it (smoke tests grep for these,
+       including the leapfrog-infeasible fallback wording). *)
+    List.iteri
+      (fun i op -> Fmt.pr "fragment %d operator: %s@." (i + 1) op)
+      engines;
     (match
        List.concat
          (List.mapi
@@ -428,7 +434,7 @@ let session_config ~path ~use_views ~domains ~persist_dir =
   if use_views then Session.Config.with_views_file (path ^ ".views") c else c
 
 let answer_cmd =
-  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name format explain no_cache use_views verify domains faults fault_seed retries deadline max_rows persist_dir =
+  let run path query query_file strategy_name cover_spec profile_name all_strategies minimize backend_name engine_name format explain no_cache use_views verify domains faults fault_seed retries deadline max_rows persist_dir =
     if domains < 1 then die "--domains must be at least 1"
     else begin
     match load_store path with
@@ -478,13 +484,23 @@ let answer_cmd =
             match backend with
             | Error m -> `Error (false, m)
             | Ok backend ->
+            let engine =
+              match engine_name with
+              | "binary" -> Ok Answer.Binary
+              | "wco" -> Ok Answer.Wco
+              | "auto" -> Ok Answer.Auto
+              | other -> Error (Printf.sprintf "unknown engine %S" other)
+            in
+            match engine with
+            | Error m -> `Error (false, m)
+            | Ok engine ->
             let n_atoms = List.length q.Cq.body in
             let budget = make_budget ~deadline ~max_rows in
             let config =
               let c =
                 Answer.Config.(
                   default |> with_profile profile |> with_minimize minimize
-                  |> with_backend backend
+                  |> with_backend backend |> with_engine engine
                   |> with_cache (not no_cache)
                   |> with_verify verify)
               in
@@ -678,6 +694,16 @@ let answer_cmd =
       & info [ "backend" ]
           ~doc:"Physical engine: nested-loop or sort-merge.")
   in
+  let engine =
+    Arg.(
+      value & opt string "binary"
+      & info [ "engine" ]
+          ~doc:
+            "Join operator: binary (the backend's join trees), wco \
+             (worst-case-optimal leapfrog triejoin, falling back per \
+             fragment when no feasible variable order exists) or auto \
+             (per-fragment cost-based choice between the two).")
+  in
   let format =
     Arg.(
       value & opt string "text"
@@ -740,8 +766,8 @@ let answer_cmd =
     Term.(
       ret
         (const run $ path $ query $ query_file $ strategy $ cover $ profile
-       $ all_strategies $ minimize $ backend $ format $ explain $ no_cache
-       $ use_views $ verify $ domains $ faults_arg $ fault_seed_arg
+       $ all_strategies $ minimize $ backend $ engine $ format $ explain
+       $ no_cache $ use_views $ verify $ domains $ faults_arg $ fault_seed_arg
        $ retries_arg $ deadline_arg $ max_rows_arg $ persist_arg))
 
 (* ------------------------------------------------------------------ *)
@@ -1904,8 +1930,8 @@ let snapshot_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run path port host domains deadline max_rows use_views persist_dir trace
-      =
+  let run path port host domains engine_name deadline max_rows use_views
+      persist_dir trace =
     if domains < 1 then die "--domains must be at least 1"
     else begin
       match
@@ -1919,11 +1945,27 @@ let serve_cmd =
           die "give an RDF FILE or --persist DIR (or both: FILE seeds a \
                fresh DIR)"
         else begin
+          match
+            match engine_name with
+            | "binary" -> Ok Answer.Config.Binary
+            | "wco" -> Ok Answer.Config.Wco
+            | "auto" -> Ok Answer.Config.Auto
+            | other -> Error (Printf.sprintf "unknown engine %S" other)
+          with
+          | Error m -> `Error (false, m)
+          | Ok engine ->
           let config =
             match path, use_views with
             | Some p, true ->
               session_config ~path:p ~use_views:true ~domains ~persist_dir
             | _ -> session_config ~path:"" ~use_views:false ~domains ~persist_dir
+          in
+          (* The serving default for every request that does not pick its
+             own config: the session threads it through [Session.answer]. *)
+          let config =
+            Session.Config.with_answer
+              (Answer.Config.with_engine engine config.Session.Config.answer)
+              config
           in
           match Session.open_ ~config ?store:seed () with
           | Error m -> `Error (false, m)
@@ -1997,6 +2039,14 @@ let serve_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Domain-pool size for the parallel evaluation paths.")
   in
+  let engine =
+    Arg.(
+      value & opt string "binary"
+      & info [ "engine" ]
+          ~doc:
+            "Default join operator for served answers: binary, wco or \
+             auto (see `refq answer --engine').")
+  in
   let deadline =
     Arg.(
       value
@@ -2045,8 +2095,8 @@ let serve_cmd =
           `shutdown' drains gracefully (WAL flush + snapshot rotation).")
     Term.(
       ret
-        (const run $ path $ port $ host $ domains $ deadline $ max_rows
-       $ use_views $ persist_arg $ trace))
+        (const run $ path $ port $ host $ domains $ engine $ deadline
+       $ max_rows $ use_views $ persist_arg $ trace))
 
 let client_cmd =
   let run host port requests =

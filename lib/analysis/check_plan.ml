@@ -88,3 +88,43 @@ let check_jucq_plan (p : Plan.jucq_plan) =
         p.Plan.est_total.Cost_model.cost
     @ check_estimate ~subject:"plan" "total cardinality"
         p.Plan.est_total.Cost_model.card)
+
+(* RP004 / RP005: physical-operator decisions. Choosing leapfrog
+   without a usable variable order contradicts the planner's own
+   feasibility analysis (the engine would silently fall back), and a
+   degenerate leapfrog estimate means the binary-vs-leapfrog comparison
+   that justified the choice was meaningless. *)
+let degenerate_estimate x = broken_estimate x || x = 0.0
+
+let check_engine_plans plans =
+  Diagnostic.sort
+    (List.concat_map
+       (fun (e : Plan.engine_plan) ->
+         match e.Plan.operator with
+         | Plan.Op_binary -> []
+         | Plan.Op_leapfrog ->
+           let subject = Fmt.str "fragment %d engine" e.Plan.fragment in
+           let no_order =
+             if e.Plan.var_order = None then
+               [
+                 diag ~code:"RP004" ~severity:Diagnostic.Error ~subject
+                   "leapfrog chosen for fragment %d but no index rotation \
+                    serves every variable: the engine can only fall back \
+                    to the binary operator it was priced against"
+                   e.Plan.fragment;
+               ]
+             else []
+           in
+           let bad_est =
+             if degenerate_estimate e.Plan.est_leapfrog then
+               [
+                 diag ~code:"RP005" ~severity:Diagnostic.Error ~subject
+                   "leapfrog cost estimate is %g: a non-finite, negative \
+                    or zero estimate makes the binary-vs-leapfrog \
+                    comparison meaningless"
+                   e.Plan.est_leapfrog;
+               ]
+             else []
+           in
+           no_order @ bad_est)
+       plans)

@@ -1,4 +1,4 @@
-(** Static checks over logical plans (codes [RP001]–[RP003]).
+(** Static checks over logical plans (codes [RP001]–[RP005]).
 
     A CQ plan is a greedy atom order; a JUCQ plan is a fragment join
     order. Both are sound only when each step can bind against what is
@@ -18,3 +18,9 @@ val check_jucq_plan : Plan.jucq_plan -> Diagnostic.t list
 (** [RP002] on fragments joining no previously available output column
     (the first joinable fragment and zero-arity boolean fragments are
     exempt), [RP003] on broken estimates. *)
+
+val check_engine_plans : Plan.engine_plan list -> Diagnostic.t list
+(** Physical-operator decisions: [RP004] when leapfrog is chosen for a
+    fragment with no usable variable order ([var_order = None]), and
+    [RP005] when the leapfrog estimate justifying the choice is
+    non-finite, negative or zero. Binary decisions are exempt. *)

@@ -80,6 +80,8 @@ let catalogue =
     ("RP001", Warning, "plan step binds no previously bound variable (cartesian join)");
     ("RP002", Warning, "fragment join order introduces a cartesian fragment join");
     ("RP003", Error, "non-finite or negative cost-model estimate in the plan");
+    ("RP004", Error, "leapfrog chosen with no usable index order for some variable");
+    ("RP005", Error, "non-finite or degenerate leapfrog cost estimate");
     ("RD001", Error, "unsafe Datalog rule (head variable absent from the body)");
     ("RD002", Error, "predicate used with inconsistent arities");
     ("RD003", Error, "Datalog rule with an empty body");

@@ -17,6 +17,8 @@ module Analysis = Refq_analysis.Analysis
 module Diagnostic = Refq_analysis.Diagnostic
 module Views = Refq_views.Views
 module Par = Refq_par.Par
+module Leapfrog = Refq_wco.Leapfrog
+module Check_plan = Refq_analysis.Check_plan
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-answer reporting (shared with the federation layer)        *)
@@ -90,6 +92,11 @@ let pp_federation_report ppf r =
 type backend = Config.backend =
   | Nested_loop
   | Sort_merge
+
+type engine = Config.engine =
+  | Binary
+  | Wco
+  | Auto
 
 (* The three cache levels of the answering stack, owned per environment.
    Values are stored under the query's canonical form ([Cache.canon_cq]),
@@ -243,6 +250,7 @@ type detail =
       n_fragments : int;
       fragment_cardinalities : int list;
       view_hits : bool list;
+      engines : string list;
       gcov : Gcov.trace option;
     }
   | Saturated of Refq_saturation.Saturate.info
@@ -364,6 +372,58 @@ let backend_chunk_fns (cfg : Config.t) =
     in
     (eval, merge)
 
+(* Physical-operator decision, one per JUCQ fragment. [Binary] never
+   consults the wco planner (no overhead, [None]); [Wco] picks leapfrog
+   wherever a feasible variable order exists; [Auto] additionally
+   compares the leapfrog and binary cost estimates. A fragment with no
+   feasible order is recorded as [Op_binary] with [var_order = None] —
+   the decision {e is} the fallback — so plans this function emits
+   always satisfy [Check_plan.check_engine_plans]; RP004/RP005 catch
+   hand-built or buggy plans, not policy. *)
+let engine_plans (cfg : Config.t) cenv (j : Jucq.t) =
+  match cfg.Config.engine with
+  | Binary -> None
+  | (Wco | Auto) as policy ->
+    let params =
+      Option.value ~default:Cost_model.default_params cfg.Config.params
+    in
+    Some
+      (List.mapi
+         (fun i (f : Jucq.fragment) ->
+           let lf = Cost_model.leapfrog_ucq ~params cenv f.Jucq.ucq in
+           let bin =
+             Cost_model.fragment_estimate
+               (Cost_model.fragment_profile ~params cenv f)
+           in
+           let var_order =
+             List.find_map
+               (fun q -> Option.map fst (Leapfrog.plan cenv q.Cq.body))
+               (Ucq.disjuncts f.Jucq.ucq)
+           in
+           let operator =
+             if var_order = None then Plan.Op_binary
+             else if policy = Wco || lf.Cost_model.cost < bin.Cost_model.cost
+             then Plan.Op_leapfrog
+             else Plan.Op_binary
+           in
+           {
+             Plan.fragment = i + 1;
+             operator;
+             var_order;
+             est_leapfrog = lf.Cost_model.cost;
+             est_binary = bin.Cost_model.cost;
+           })
+         j.Jucq.fragments)
+
+(* The per-fragment operator label [--explain] prints. A fragment the
+   policy wanted on leapfrog but that admits no feasible variable order
+   says so — the CLI smoke test greps for the fallback wording. *)
+let engine_label (e : Plan.engine_plan) =
+  match (e.Plan.operator, e.Plan.var_order) with
+  | Plan.Op_leapfrog, _ -> "leapfrog"
+  | Plan.Op_binary, None -> "binary (leapfrog infeasible: no variable order)"
+  | Plan.Op_binary, Some _ -> "binary"
+
 (* Fan the uncached, unviewed fragments out over the domain pool.
 
    Coordinator-only, before sealing: encode every disjunct-head constant,
@@ -375,8 +435,29 @@ let backend_chunk_fns (cfg : Config.t) =
    and only touches relations). Tasks are (fragment × disjunct-chunk);
    per-fragment chunk relations merge in chunk order, making the result
    independent of domain count and scheduling (see [backend_chunk_fns]). *)
-let eval_fragments_parallel (cfg : Config.t) pool env compute =
+let eval_fragments_parallel (cfg : Config.t) pool env ~use_wco compute =
   let chunk_eval, chunk_merge = backend_chunk_fns cfg in
+  (* A leapfrog fragment mirrors [Leapfrog.ucq] — first-occurrence dedup
+     over the per-disjunct row streams — whatever the binary backend, so
+     its chunks evaluate and merge with the distinct-adder discipline.
+     Budgeted runs never reach this path, hence no [?budget]. *)
+  let wco_chunk_eval cenv ~cols qs =
+    let rel = Relation.create ~cols in
+    let add = Relation.distinct_adder ~size_hint:256 rel in
+    List.iter
+      (fun q -> Relation.iter_rows (fst (Leapfrog.cq cenv ~cols q)) add)
+      qs;
+    rel
+  in
+  let wco_chunk_merge ~cols rels =
+    match rels with
+    | [ r ] -> r
+    | rels ->
+      let out = Relation.create ~cols in
+      let add = Relation.distinct_adder ~size_hint:256 out in
+      List.iter (fun r -> Relation.iter_rows r add) rels;
+      out
+  in
   List.iter
     (fun (_, f, _) ->
       List.iter
@@ -415,7 +496,9 @@ let eval_fragments_parallel (cfg : Config.t) pool env compute =
           ~label:(fun t ->
             let i, c, _, _ = task_arr.(t) in
             Printf.sprintf "fragment-%d-chunk-%d" i c)
-          (fun (_, _, cols, qs) -> chunk_eval env.card_env ~cols qs)
+          (fun (i, _, cols, qs) ->
+            if use_wco i then wco_chunk_eval env.card_env ~cols qs
+            else chunk_eval env.card_env ~cols qs)
           task_arr)
   in
   let by_fragment : (int, Relation.t list) Hashtbl.t = Hashtbl.create 8 in
@@ -432,23 +515,42 @@ let eval_fragments_parallel (cfg : Config.t) pool env compute =
       let rels =
         List.rev (Option.value ~default:[] (Hashtbl.find_opt by_fragment i))
       in
+      let merge = if use_wco i then wco_chunk_merge else chunk_merge in
       let rel =
-        match rels with [] -> Relation.create ~cols | rels -> chunk_merge ~cols rels
+        match rels with [] -> Relation.create ~cols | rels -> merge ~cols rels
       in
       Hashtbl.replace computed i rel)
     compute;
   computed
 
-let eval_jucq_with_cards (cfg : Config.t) ?result_key ?(sources = []) env
-    (j : Jucq.t) =
+let eval_jucq_with_cards (cfg : Config.t) ?engines ?result_key ?(sources = [])
+    env (j : Jucq.t) =
   let ucq_eval, _ = backend_fns cfg in
+  let budget = cfg.Config.budget in
+  (* The operator a fragment runs on, from the per-fragment decisions
+     ([engine_plans]); absent decisions mean the binary engine. The tag
+     also keys the result cache: the two operators produce the same
+     answer {e set} but different row orders and tags, so a cached
+     relation is only reused by the engine that produced it. *)
+  let operator_of i =
+    match engines with
+    | None -> Plan.Op_binary
+    | Some plans -> (
+      match List.nth_opt plans i with
+      | Some e -> e.Plan.operator
+      | None -> Plan.Op_binary)
+  in
+  let use_wco i = operator_of i = Plan.Op_leapfrog in
   let fragment_key =
     match result_key with
     | None -> fun _ -> None
     | Some base ->
       let epoch = Store.data_epoch env.store in
       let backend = Config.backend_name cfg.Config.backend in
-      fun i -> Some (Printf.sprintf "%s#f%d|d:%d|b:%s" base i epoch backend)
+      fun i ->
+        Some
+          (Printf.sprintf "%s#f%d|d:%d|b:%s|e:%s" base i epoch backend
+             (Plan.operator_name (operator_of i)))
   in
   let source i = Option.join (List.nth_opt sources i) in
   (* Resolve the coordinator-only sources first. A fragment served by a
@@ -481,7 +583,7 @@ let eval_jucq_with_cards (cfg : Config.t) ?result_key ?(sources = []) env
               > 1 ->
       (* Budgets share one mutable spend account (and simulated clock), so
          budgeted runs stay sequential by construction. *)
-      eval_fragments_parallel cfg pool env compute
+      eval_fragments_parallel cfg pool env ~use_wco compute
     | _ ->
       let tbl : (int, Relation.t) Hashtbl.t = Hashtbl.create 8 in
       List.iter
@@ -490,9 +592,10 @@ let eval_jucq_with_cards (cfg : Config.t) ?result_key ?(sources = []) env
             (Obs.span_lazy
                (fun () -> Printf.sprintf "fragment-%d" i)
                (fun () ->
-                 ucq_eval env.card_env
-                   ~cols:(Array.of_list f.Jucq.out)
-                   f.Jucq.ucq)))
+                 let cols = Array.of_list f.Jucq.out in
+                 if use_wco i then
+                   fst (Leapfrog.ucq ?budget env.card_env ~cols f.Jucq.ucq)
+                 else ucq_eval env.card_env ~cols f.Jucq.ucq)))
         compute;
       tbl
   in
@@ -534,7 +637,7 @@ let minimize_jucq (j : Jucq.t) =
    errors — which mean a bug in GCov or the reformulation, not in the
    user's query — are additionally logged. Answering proceeds either way:
    the gate observes, the tests and CI decide. *)
-let verify_reformulation (cfg : Config.t) env q cover jucq =
+let verify_reformulation (cfg : Config.t) env q cover jucq eplans =
   Obs.span "verify" (fun () ->
       let plan =
         Plan.explain_jucq ?params:cfg.Config.params env.card_env jucq
@@ -542,6 +645,13 @@ let verify_reformulation (cfg : Config.t) env q cover jucq =
       let ds =
         Analysis.reformulation ~max_disjuncts:cfg.Config.max_disjuncts ~plan q
           cover jucq
+      in
+      (* Engine decisions are part of the plan: re-validate them with the
+         RP004/RP005 checkers whenever a non-binary policy produced any. *)
+      let ds =
+        match eplans with
+        | None -> ds
+        | Some ps -> ds @ Check_plan.check_engine_plans ps
       in
       Analysis.record ds;
       List.iter
@@ -618,6 +728,7 @@ let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
                 n_fragments = List.length view_hits;
                 fragment_cardinalities = cards;
                 view_hits;
+                engines = [];
                 gcov = gcov_trace;
               };
         }
@@ -660,12 +771,25 @@ let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
     Log.debug (fun m ->
         m "%a: cover %a, %d disjuncts in %d fragments" Strategy.pp strategy
           Cover.pp cover (Jucq.size jucq) (Jucq.n_fragments jucq));
-    if cfg.Config.verify then verify_reformulation cfg env qc cover jucq;
+    let eplans = engine_plans cfg env.card_env jucq in
+    (* View-served fragments never reach an operator: label them as such
+       so the explain output has exactly one story per fragment. *)
+    let engines =
+      match eplans with
+      | None -> []
+      | Some ps ->
+        List.mapi
+          (fun i e ->
+            if List.nth_opt view_hits i = Some true then "view"
+            else engine_label e)
+          ps
+    in
+    if cfg.Config.verify then verify_reformulation cfg env qc cover jucq eplans;
     let t1 = now () in
     match
       Obs.span "evaluate" (fun () ->
-          eval_jucq_with_cards cfg ?result_key:rkey ~sources:view_sources env
-            jucq)
+          eval_jucq_with_cards cfg ?engines:eplans ?result_key:rkey
+            ~sources:view_sources env jucq)
     with
     | exception Budget.Exhausted reason ->
       Error
@@ -691,6 +815,7 @@ let run_cover (cfg : Config.t) env q strategy cover gcov_trace =
                 n_fragments = Jucq.n_fragments jucq;
                 fragment_cardinalities = cards;
                 view_hits;
+                engines;
                 gcov = gcov_trace;
               };
         })
@@ -705,9 +830,26 @@ let answer ?(config = Config.default) env q strategy =
     let _, info, sat_cenv = Obs.span "saturate" (fun () -> saturated_full env) in
     let t1 = now () in
     let eval_cq =
-      match cfg.Config.backend with
-      | Nested_loop -> fun env ~cols q -> Evaluator.cq ?budget env ~cols q
-      | Sort_merge -> fun env ~cols q -> Sortmerge.cq ?budget env ~cols q
+      let binary =
+        match cfg.Config.backend with
+        | Nested_loop -> fun env ~cols q -> Evaluator.cq ?budget env ~cols q
+        | Sort_merge -> fun env ~cols q -> Sortmerge.cq ?budget env ~cols q
+      in
+      (* The engine policy applies to saturation-time evaluation too:
+         the saturated store has the same three permutation indexes. *)
+      match cfg.Config.engine with
+      | Binary -> binary
+      | Wco -> fun env ~cols q -> fst (Leapfrog.cq ?budget env ~cols q)
+      | Auto ->
+        fun env ~cols q ->
+          let params =
+            Option.value ~default:Cost_model.default_params cfg.Config.params
+          in
+          if
+            (Cost_model.leapfrog_cq ~params env q).Cost_model.cost
+            < (Cost_model.cq ~params env q).Cost_model.cost
+          then fst (Leapfrog.cq ?budget env ~cols q)
+          else binary env ~cols q
     in
     match
       Obs.span "evaluate" (fun () ->
@@ -843,7 +985,11 @@ let pp_report ppf r =
       let hits = List.filter Fun.id d.view_hits in
       if hits <> [] then
         Fmt.pf ppf ", %d fragment(s) from materialized views"
-          (List.length hits)
+          (List.length hits);
+      if d.engines <> [] then
+        Fmt.pf ppf ", operators [%a]"
+          (Fmt.list ~sep:(Fmt.any "; ") Fmt.string)
+          d.engines
     | Saturated info ->
       Fmt.pf ppf "saturation %d → %d triples" info.Refq_saturation.Saturate.input_triples
         info.Refq_saturation.Saturate.output_triples

@@ -110,6 +110,16 @@ type backend = Config.backend =
   | Nested_loop  (** index nested loops + hash joins ({!Refq_engine.Evaluator}) *)
   | Sort_merge  (** materialize + sort-merge joins ({!Refq_engine.Sortmerge}) *)
 
+type engine = Config.engine =
+  | Binary  (** the configured [backend]'s binary join trees *)
+  | Wco
+      (** worst-case-optimal leapfrog triejoin
+          ({!Refq_wco.Leapfrog}) wherever a feasible variable order
+          exists; per-fragment fallback to the binary engine otherwise *)
+  | Auto
+      (** per fragment, whichever of the two the cost model
+          ({!Refq_cost.Cost_model.leapfrog_ucq}) estimates cheaper *)
+
 (** {1 Degraded-answer reporting}
 
     Shared vocabulary for answering under endpoint failure and execution
@@ -174,6 +184,11 @@ type detail =
           (** per fragment: was it served from a materialized view? When
               every fragment hit, [jucq_size] is 0 — no reformulation was
               needed at all *)
+      engines : string list;
+          (** per fragment, the chosen physical operator ("leapfrog",
+              "binary", "view", or the leapfrog-infeasible fallback
+              wording) — empty under the default [Binary] policy, which
+              never consults the wco planner *)
       gcov : Gcov.trace option;  (** present for the [Gcov] strategy *)
     }
   | Saturated of Refq_saturation.Saturate.info
@@ -211,7 +226,11 @@ val answer :
     evaluation (fragments above 2,000 disjuncts are left as-is:
     minimization is quadratic). [config.backend] selects the physical
     engine — the paper runs every strategy on several systems to show the
-    trade-offs are engine-independent. [config.budget] caps evaluation
+    trade-offs are engine-independent. [config.engine] independently
+    selects the join {e operator} per fragment (binary trees vs leapfrog
+    triejoin — see {!engine}); every policy returns the same answer
+    sets, and the chosen operators are reported in the [Reformulated]
+    detail. [config.budget] caps evaluation
     work: its reformulation cap tightens [max_disjuncts], and a tripped
     deadline or row cap yields [Error] with a ["budget exhausted"] reason
     (all strategies except [Datalog], whose engine is the external-system

@@ -2,11 +2,17 @@ type backend =
   | Nested_loop
   | Sort_merge
 
+type engine =
+  | Binary
+  | Wco
+  | Auto
+
 type t = {
   profile : Refq_reform.Profiles.t option;
   params : Refq_cost.Cost_model.params option;
   minimize : bool;
   backend : backend;
+  engine : engine;
   budget : Refq_fault.Budget.t option;
   max_disjuncts : int;
   use_cache : bool;
@@ -22,6 +28,7 @@ let default =
     params = None;
     minimize = false;
     backend = Nested_loop;
+    engine = Binary;
     budget = None;
     max_disjuncts = default_max_disjuncts;
     use_cache = true;
@@ -36,6 +43,8 @@ let with_params p c = { c with params = Some p }
 let with_minimize minimize c = { c with minimize }
 
 let with_backend backend c = { c with backend }
+
+let with_engine engine c = { c with engine }
 
 let with_budget b c = { c with budget = Some b }
 
@@ -60,10 +69,16 @@ let backend_name = function
   | Nested_loop -> "nested-loop"
   | Sort_merge -> "sort-merge"
 
+let engine_name = function
+  | Binary -> "binary"
+  | Wco -> "wco"
+  | Auto -> "auto"
+
 let pp ppf c =
   Fmt.pf ppf
-    "profile=%s minimize=%b backend=%s budget=%s max_disjuncts=%d cache=%b \
-     verify=%b views=%b"
+    "profile=%s minimize=%b backend=%s engine=%s budget=%s max_disjuncts=%d \
+     cache=%b verify=%b views=%b"
     (profile_name c) c.minimize (backend_name c.backend)
+    (engine_name c.engine)
     (match c.budget with None -> "none" | Some _ -> "set")
     c.max_disjuncts c.use_cache c.verify c.views.Refq_views.Views.use

@@ -18,6 +18,19 @@ type backend =
       (** index nested loops + hash joins ({!Refq_engine.Evaluator}) *)
   | Sort_merge  (** materialize + sort-merge joins ({!Refq_engine.Sortmerge}) *)
 
+(** Physical operator policy for BGP (fragment) evaluation, orthogonal
+    to {!backend}: which multi-way operator evaluates each CQ /
+    fragment UCQ. *)
+type engine =
+  | Binary  (** the {!backend}'s binary join pipeline (default) *)
+  | Wco
+      (** leapfrog triejoin with factorized answers
+          ({!Refq_wco.Leapfrog}); disjuncts without a feasible variable
+          order fall back to the binary engine per disjunct *)
+  | Auto
+      (** per-fragment choice by comparing {!Refq_cost.Cost_model}
+          binary vs leapfrog estimates *)
+
 type t = {
   profile : Refq_reform.Profiles.t option;
       (** reformulation profile; [None] = complete reformulation *)
@@ -26,6 +39,7 @@ type t = {
   minimize : bool;
       (** drop containment-redundant disjuncts per fragment UCQ *)
   backend : backend;
+  engine : engine;
   budget : Refq_fault.Budget.t option;
       (** per-query execution budget; its reformulation cap tightens
           [max_disjuncts] *)
@@ -50,8 +64,8 @@ val default_max_disjuncts : int
 
 val default : t
 (** Complete profile, default cost parameters, no minimization,
-    [Nested_loop], no budget, {!default_max_disjuncts}, cache enabled,
-    views enabled. *)
+    [Nested_loop], [Binary] engine, no budget, {!default_max_disjuncts},
+    cache enabled, views enabled. *)
 
 val with_profile : Refq_reform.Profiles.t -> t -> t
 
@@ -60,6 +74,8 @@ val with_params : Refq_cost.Cost_model.params -> t -> t
 val with_minimize : bool -> t -> t
 
 val with_backend : backend -> t -> t
+
+val with_engine : engine -> t -> t
 
 val with_budget : Refq_fault.Budget.t -> t -> t
 
@@ -80,5 +96,8 @@ val profile_name : t -> string
 (** The profile's name, or ["complete"] — stable cache-key component. *)
 
 val backend_name : backend -> string
+
+val engine_name : engine -> string
+(** Stable cache-key component ("binary" / "wco" / "auto"). *)
 
 val pp : t Fmt.t

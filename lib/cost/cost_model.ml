@@ -195,3 +195,53 @@ let combine ?(params = default_params) fragments =
 
 let jucq ?(params = default_params) env (j : Jucq.t) =
   combine ~params (List.map (fragment_profile ~params env) j.Jucq.fragments)
+
+(* ------------------------------------------------------------------ *)
+(* Leapfrog triejoin estimates                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The factorized evaluation touches, per variable, only the distinct
+   values surviving the full intersection — not every intermediate
+   tuple — and each touch costs one binary-search seek per
+   participating trie. So the estimate charges
+   [atoms * log2(store) * sum over variables of final distincts] in
+   probes plus the output tuples, instead of the intermediate
+   cardinalities the binary plan accumulates. *)
+let leapfrog_cq_cost params env (q : Cq.t) =
+  let n =
+    float_of_int (max 2 (Refq_storage.Store.size env.Cardinality.store))
+  in
+  let lg = log n /. log 2.0 in
+  let ordered = Cardinality.order_atoms env q.Cq.body in
+  let final =
+    List.fold_left (Cardinality.extend env) Cardinality.initial ordered
+  in
+  let atoms = float_of_int (max 1 (List.length q.Cq.body)) in
+  let touched =
+    List.fold_left
+      (fun acc v -> acc +. Cardinality.distinct_of_var final v)
+      0.0 (Cq.body_vars q)
+  in
+  params.c_cq_overhead
+  +. (params.c_probe *. lg *. atoms *. touched)
+  +. (params.c_tuple *. final.Cardinality.card)
+
+let leapfrog_cq ?(params = default_params) env q =
+  { cost = leapfrog_cq_cost params env q; card = Cardinality.cq env q }
+
+let leapfrog_ucq ?(params = default_params) env u =
+  let disjuncts = Ucq.disjuncts u in
+  if List.length disjuncts > params.max_disjuncts then
+    { cost = infinity; card = 0.0 }
+  else begin
+    let cost =
+      List.fold_left
+        (fun acc q -> acc +. leapfrog_cq_cost params env q)
+        0.0 disjuncts
+    in
+    let card =
+      List.fold_left (fun acc q -> acc +. Cardinality.cq env q) 0.0 disjuncts
+    in
+    (* Shared duplicate elimination across disjuncts, as in {!ucq}. *)
+    { cost = cost +. (card *. params.c_hash); card }
+  end

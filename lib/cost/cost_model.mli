@@ -64,3 +64,15 @@ val fragment_estimate : fragment_profile -> estimate
 val combine : ?params:params -> fragment_profile list -> estimate
 (** The JUCQ estimate for a cover made of the given fragments;
     [jucq env j] = [combine (List.map (fragment_profile env) j.fragments)]. *)
+
+val leapfrog_cq : ?params:params -> Cardinality.env -> Cq.t -> estimate
+(** Cost of one CQ under the leapfrog triejoin operator: per variable,
+    only the distinct values surviving the full intersection are
+    touched, each costing one log-time seek per participating trie —
+    instead of the intermediate cardinalities the binary plan
+    accumulates. The [Auto] engine policy compares this against the
+    binary estimate per fragment. *)
+
+val leapfrog_ucq : ?params:params -> Cardinality.env -> Ucq.t -> estimate
+(** Sum of {!leapfrog_cq} over the disjuncts plus shared duplicate
+    elimination; [cost = infinity] beyond [max_disjuncts]. *)

@@ -84,6 +84,29 @@ let explain_jucq ?params env (j : Jucq.t) =
   in
   { fragments = ordered; est_total = Cost_model.jucq ?params env j }
 
+type operator =
+  | Op_leapfrog
+  | Op_binary
+
+type engine_plan = {
+  fragment : int;
+  operator : operator;
+  var_order : string list option;
+  est_leapfrog : float;
+  est_binary : float;
+}
+
+let operator_name = function
+  | Op_leapfrog -> "leapfrog"
+  | Op_binary -> "binary"
+
+let pp_engine_plan ppf e =
+  Fmt.pf ppf "fragment %d: %s (leapfrog est %.0f, binary est %.0f%s)"
+    e.fragment (operator_name e.operator) e.est_leapfrog e.est_binary
+    (match e.var_order with
+    | None -> ", no usable variable order"
+    | Some vs -> Fmt.str ", order %s" (String.concat " " vs))
+
 let pp_cq_plan ppf p =
   Fmt.pf ppf "@[<v>";
   List.iteri

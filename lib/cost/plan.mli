@@ -36,6 +36,33 @@ type jucq_plan = {
 val explain_jucq :
   ?params:Cost_model.params -> Cardinality.env -> Jucq.t -> jucq_plan
 
+(** {2 Engine plans}
+
+    The physical-operator decision per fragment: which multi-way
+    operator (leapfrog triejoin or the binary join pipeline) evaluates
+    it, under which global variable order, at which estimated costs.
+    Produced by the answering layer when the engine policy is [Wco] or
+    [Auto]; checked by [Refq_analysis.Check_plan.check_engine_plans]
+    (codes RP004 / RP005). *)
+
+type operator =
+  | Op_leapfrog
+  | Op_binary
+
+type engine_plan = {
+  fragment : int;  (** fragment index, 1-based *)
+  operator : operator;
+  var_order : string list option;
+      (** the leapfrog global variable order; [None] when no rotation of
+          the indexes serves some variable (the engine falls back) *)
+  est_leapfrog : float;
+  est_binary : float;
+}
+
+val operator_name : operator -> string
+
+val pp_engine_plan : engine_plan Fmt.t
+
 val pp_cq_plan : cq_plan Fmt.t
 
 val pp_jucq_plan : jucq_plan Fmt.t

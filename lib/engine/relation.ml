@@ -9,9 +9,14 @@ type t = {
   cols : string array;
   data : Int_vec.t;
   mutable nrows : int;
+  mutable sorted_distinct : bool;
+      (* rows strictly ascending in row-lexicographic integer order:
+         duplicate-free by construction, so sorted-set consumers
+         (Sortmerge.union_all) can skip the re-sort/re-dedup pass *)
 }
 
-let create ~cols = { cols; data = Int_vec.create (); nrows = 0 }
+let create ~cols =
+  { cols; data = Int_vec.create (); nrows = 0; sorted_distinct = false }
 
 let cols r = r.cols
 
@@ -22,7 +27,12 @@ let cardinality r = r.nrows
 let add_row r row =
   if Array.length row <> arity r then invalid_arg "Relation.add_row: bad width";
   Int_vec.append_array r.data row;
-  r.nrows <- r.nrows + 1
+  r.nrows <- r.nrows + 1;
+  r.sorted_distinct <- false
+
+let mark_sorted_distinct r = r.sorted_distinct <- true
+
+let sorted_distinct r = r.sorted_distinct
 
 let get r ~row ~col = Int_vec.get r.data ((row * arity r) + col)
 

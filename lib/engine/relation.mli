@@ -19,7 +19,18 @@ val arity : t -> int
 val cardinality : t -> int
 
 val add_row : t -> int array -> unit
-(** @raise Invalid_argument when the row width differs from the arity. *)
+(** @raise Invalid_argument when the row width differs from the arity.
+    Clears the {!sorted_distinct} tag. *)
+
+val mark_sorted_distinct : t -> unit
+(** Assert that the rows are strictly ascending in row-lexicographic
+    integer order (hence duplicate-free). Producers whose construction
+    guarantees this ({!Sortmerge.sort_unique} and everything built on
+    it) set the tag; {!Sortmerge.union_all} then merges tagged inputs
+    without re-sorting or re-deduplicating. Adding a row clears it;
+    {!rename} preserves it (same rows, same order). *)
+
+val sorted_distinct : t -> bool
 
 val get : t -> row:int -> col:int -> int
 

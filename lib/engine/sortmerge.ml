@@ -43,7 +43,8 @@ let compare_rows r1 r2 =
   in
   loop 0
 
-(* Sorted duplicate elimination into a fresh relation. *)
+(* Sorted duplicate elimination into a fresh relation. The result is
+   strictly ascending, so it carries the sorted-distinct tag. *)
 let sort_unique ~cols rows =
   Array.sort compare_rows rows;
   let rel = Relation.create ~cols in
@@ -52,6 +53,7 @@ let sort_unique ~cols rows =
       if i = 0 || compare_rows row rows.(i - 1) <> 0 then
         Relation.add_row rel row)
     rows;
+  Relation.mark_sorted_distinct rel;
   rel
 
 (* ------------------------------------------------------------------ *)
@@ -251,17 +253,60 @@ let cq ?budget env ?cols q =
         else List.fold_left (merge_join ?budget) first rest
     in
     let projected = project_rows env q.Cq.head joined in
-    (* Rename to the requested column names (arities match). *)
-    let renamed = Relation.create ~cols in
-    Relation.iter_rows projected (fun row -> Relation.add_row renamed (Array.copy row));
-    renamed
+    (* Rename to the requested column names (arities match); sharing the
+       row storage keeps the sorted-distinct tag. *)
+    Relation.rename projected ~cols
   with
   | rel -> rel
   | exception Absent_constant -> Relation.create ~cols
 
+(* K-way merge of already-sorted duplicate-free inputs: linear, no
+   re-sort, no hash dedup (equal heads are skipped during the merge). *)
+let merge_sorted ~cols rels =
+  let rel = Relation.create ~cols in
+  let arrs = Array.of_list (List.map rows_of rels) in
+  let idx = Array.map (fun _ -> 0) arrs in
+  let last = ref None in
+  let running = ref true in
+  while !running do
+    let best = ref (-1) in
+    Array.iteri
+      (fun i a ->
+        if
+          idx.(i) < Array.length a
+          && (!best < 0
+             || compare_rows a.(idx.(i)) arrs.(!best).(idx.(!best)) < 0)
+        then best := i)
+      arrs;
+    if !best < 0 then running := false
+    else begin
+      let row = arrs.(!best).(idx.(!best)) in
+      idx.(!best) <- idx.(!best) + 1;
+      match !last with
+      | Some prev when compare_rows prev row = 0 -> ()
+      | _ ->
+        Relation.add_row rel row;
+        last := Some row
+    end
+  done;
+  Relation.mark_sorted_distinct rel;
+  rel
+
+let c_union_resorts = Obs.counter "engine.union_resorts"
+
 let union_all ~cols rels =
-  let rows = List.concat_map (fun r -> Array.to_list (rows_of r)) rels in
-  sort_unique ~cols (Array.of_list rows)
+  if List.for_all Relation.sorted_distinct rels then
+    match rels with
+    | [ r ] -> Relation.rename r ~cols
+    | _ -> merge_sorted ~cols rels
+  else begin
+    (* At least one input lacks the sorted-distinct guarantee: fall back
+       to the full re-sort + re-dedup pass, and record how many rows it
+       had to touch. *)
+    let rows = List.concat_map (fun r -> Array.to_list (rows_of r)) rels in
+    Obs.add c_union_resorts (List.length rows);
+    sort_unique ~cols (Array.of_list rows)
+  end
 
 let ucq ?budget env ~cols u =
   union_all ~cols (List.map (fun q -> cq ?budget env ~cols q) (Ucq.disjuncts u))

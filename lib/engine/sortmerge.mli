@@ -37,7 +37,13 @@ val union_all : cols:string array -> Relation.t list -> Relation.t
     to its disjuncts' rows. Because the output is a {e sorted set}, the
     union of per-chunk unions equals the union of the underlying rows:
     the parallel fragment evaluator relies on this to make chunked
-    evaluation bit-identical to the sequential one. *)
+    evaluation bit-identical to the sequential one.
+
+    Inputs carrying the {!Relation.sorted_distinct} tag (everything
+    {!sort_unique} produced, hence every {!cq} / {!ucq} result) skip the
+    re-sort + re-dedup pass: a single tagged input is renamed in place
+    and several are k-way merged with equal-skip. Only untagged inputs
+    pay the full pass, counted (in rows) by [engine.union_resorts]. *)
 
 val jucq : ?budget:Refq_fault.Budget.t -> Cardinality.env -> Jucq.t -> Relation.t
 

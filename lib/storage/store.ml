@@ -371,6 +371,51 @@ let count_pattern st ~s ~p ~o =
 let iter_all st f = iter_pattern st ~s:None ~p:None ~o:None f
 
 (* ------------------------------------------------------------------ *)
+(* Trie cursors (leapfrog access path)                                 *)
+(* ------------------------------------------------------------------ *)
+
+type order =
+  | O_spo
+  | O_pos
+  | O_osp
+
+type cursor = {
+  c_store : t;
+  c_key : t -> int -> int -> int;
+  c_perm : int array;
+}
+
+(* Freezing here means every later cursor read touches only data no
+   domain mutates while the store is sealed: a cursor taken after [seal]
+   (which freezes first) is safe to share across reader domains. *)
+let cursor st order =
+  freeze st;
+  match order with
+  | O_spo -> { c_store = st; c_key = key_spo; c_perm = st.spo }
+  | O_pos -> { c_store = st; c_key = key_pos; c_perm = st.pos }
+  | O_osp -> { c_store = st; c_key = key_osp; c_perm = st.osp }
+
+let cursor_length c = Array.length c.c_perm
+
+let cursor_key c ~pos ~level = c.c_key c.c_store c.c_perm.(pos) level
+
+(* Binary search within [lo, hi) on the [level] key alone. Sound only
+   when the keys at levels < [level] are constant over the range — the
+   invariant a trie descent maintains — because then the permutation is
+   sorted by the [level] key inside the range. *)
+let cursor_seek c ~level ~strict ~lo ~hi v =
+  let above pos =
+    let k = cursor_key c ~pos ~level in
+    if strict then k > v else k >= v
+  in
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if above mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
 (* ------------------------------------------------------------------ *)
 

@@ -134,6 +134,37 @@ val iter_all : t -> (int -> int -> int -> unit) -> unit
 
 val fold : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
+(** {2 Trie cursors}
+
+    Read-only positional access to one permutation index, viewed as a
+    depth-3 trie: level 0/1/2 of [O_spo] are subject/property/object,
+    of [O_pos] property/object/subject, of [O_osp] object/subject/
+    property. Creating a cursor freezes the store (a no-op when already
+    frozen or sealed); every subsequent operation is a pure read, legal
+    under {!seal} and safe to share across reader domains. This is the
+    access path of the leapfrog triejoin in [lib/wco]. *)
+
+type order =
+  | O_spo
+  | O_pos
+  | O_osp
+
+type cursor
+
+val cursor : t -> order -> cursor
+
+val cursor_length : cursor -> int
+(** Number of triples (equal for the three orders). *)
+
+val cursor_key : cursor -> pos:int -> level:int -> int
+(** The [level] (0..2) key of the triple at index-position [pos]. *)
+
+val cursor_seek : cursor -> level:int -> strict:bool -> lo:int -> hi:int -> int -> int
+(** [cursor_seek c ~level ~strict ~lo ~hi v] is the first position in
+    [\[lo, hi)] whose [level] key is [>= v] ([> v] when [strict]), or
+    [hi] if none. Only sound when all keys at levels below [level] are
+    constant over the range — the invariant a trie descent maintains. *)
+
 val save : t -> string -> unit
 (** Persist the store (dictionary + triples) in a compact binary format.
     Useful for caching generated workloads across runs. *)

@@ -1,0 +1,71 @@
+type t =
+  | Unit
+  | Empty
+  | Union of t list
+  | Product of t list
+  | Ext of {
+      var : string;
+      pairs : (int * t) list;
+    }
+
+let rec is_empty = function
+  | Unit -> false
+  | Empty -> true
+  | Union ts -> List.for_all is_empty ts
+  | Product ts -> List.exists is_empty ts
+  | Ext { pairs; _ } -> List.for_all (fun (_, t) -> is_empty t) pairs
+
+let rec count = function
+  | Unit -> 1
+  | Empty -> 0
+  | Union ts -> List.fold_left (fun acc t -> acc + count t) 0 ts
+  | Product ts -> List.fold_left (fun acc t -> acc * count t) 1 ts
+  | Ext { pairs; _ } ->
+    List.fold_left (fun acc (_, t) -> acc + count t) 0 pairs
+
+let rec size = function
+  | Unit | Empty -> 1
+  | Union ts | Product ts ->
+    List.fold_left (fun acc t -> acc + size t) 1 ts
+  | Ext { pairs; _ } ->
+    List.fold_left (fun acc (_, t) -> acc + size t) 1 pairs
+
+(* Whether the subtree binds at least one relevant variable: if not, it
+   only contributes nonemptiness, so enumeration can skip it. *)
+let rec binds_relevant relevant = function
+  | Unit | Empty -> false
+  | Union ts | Product ts -> List.exists (binds_relevant relevant) ts
+  | Ext { var; pairs } ->
+    relevant var
+    || List.exists (fun (_, t) -> binds_relevant relevant t) pairs
+
+let enumerate ~relevant ~emit t =
+  let env : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let lookup v = Hashtbl.find env v in
+  (* [go t k] enumerates the bindings of [t], calling [k] under each. *)
+  let rec go t k =
+    match t with
+    | Empty -> ()
+    | Unit -> k ()
+    | Union ts -> List.iter (fun t -> go t k) ts
+    | Product ts ->
+      let rec prod = function
+        | [] -> k ()
+        | t :: rest ->
+          if binds_relevant relevant t then go t (fun () -> prod rest)
+          else if not (is_empty t) then prod rest
+      in
+      prod ts
+    | Ext { var; pairs } ->
+      if binds_relevant relevant t then
+        List.iter
+          (fun (v, sub) ->
+            if not (is_empty sub) then begin
+              Hashtbl.replace env var v;
+              go sub k;
+              Hashtbl.remove env var
+            end)
+          pairs
+      else if not (is_empty t) then k ()
+  in
+  go t (fun () -> emit lookup)

@@ -1,0 +1,47 @@
+(** Factorized answer representation.
+
+    A query result as a DAG of union / product / extension nodes over
+    variable bindings, in the spirit of factorized databases: cartesian
+    sub-results are kept as {!Product} children instead of being
+    multiplied out, and UCQ disjuncts share one {!Union} node instead of
+    being eagerly merged. {!count} prices the representation without
+    enumerating it; {!materialize} enumerates lazily (pruning subtrees
+    that bind no requested variable to a nonemptiness check) and feeds a
+    consumer that sees ordinary rows. *)
+
+type t =
+  | Unit  (** exactly one (empty) binding *)
+  | Empty
+  | Union of t list
+      (** same variables; disjuncts may overlap, so {!count} of a union
+          is the pre-deduplication count *)
+  | Product of t list  (** pairwise disjoint variables *)
+  | Ext of {
+      var : string;
+      pairs : (int * t) list;
+          (** strictly ascending encoded values, nonempty subtrees *)
+    }
+
+val is_empty : t -> bool
+(** Whether the represented set of bindings is empty — without
+    enumeration. *)
+
+val count : t -> int
+(** Number of represented bindings, without enumeration. Exact for
+    single-CQ results (trie enumeration yields distinct bindings);
+    across a {!Union} it counts disjuncts independently, so it is an
+    upper bound on the distinct total. *)
+
+val size : t -> int
+(** Number of nodes — the factorized representation size. *)
+
+val enumerate :
+  relevant:(string -> bool) -> emit:((string -> int) -> unit) -> t -> unit
+(** Depth-first lazy enumeration. [emit lookup] is called once per
+    represented binding restricted to relevant variables — a subtree
+    binding no relevant variable collapses to a nonemptiness check
+    instead of being enumerated. Restricted bindings may still repeat
+    when an irrelevant variable sits above relevant ones; consumers
+    deduplicate (e.g. {!Refq_engine.Relation.distinct_adder}).
+    [lookup v] reads the current value of a bound relevant variable.
+    @raise Not_found from [lookup] on an unbound variable. *)

@@ -1,0 +1,449 @@
+open Refq_query
+open Refq_storage
+open Refq_engine
+open Refq_cost
+module Budget = Refq_fault.Budget
+module Obs = Refq_obs.Obs
+
+let c_seeks = Obs.counter "wco.seeks"
+let c_nexts = Obs.counter "wco.nexts"
+let c_emits = Obs.counter "wco.emits"
+let c_fallbacks = Obs.counter "wco.fallbacks"
+
+let spender = function
+  | None -> fun _ -> ()
+  | Some b -> fun n -> Budget.charge_rows b n
+
+(* ------------------------------------------------------------------ *)
+(* Variable-order planning                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rotations = [| Store.O_spo; Store.O_pos; Store.O_osp |]
+
+(* The atom's patterns in the trie-level order of one index rotation. *)
+let rot_pats (a : Cq.atom) = function
+  | Store.O_spo -> [| a.Cq.s; a.Cq.p; a.Cq.o |]
+  | Store.O_pos -> [| a.Cq.p; a.Cq.o; a.Cq.s |]
+  | Store.O_osp -> [| a.Cq.o; a.Cq.s; a.Cq.p |]
+
+(* First-occurrence variable sequence along the rotation's levels:
+   the order in which this rotation needs its variables bound. *)
+let rot_fvs a r =
+  let seen = Hashtbl.create 4 in
+  Array.to_list (rot_pats a r)
+  |> List.filter_map (function
+       | Cq.Cst _ -> None
+       | Cq.Var v ->
+         if Hashtbl.mem seen v then None
+         else begin
+           Hashtbl.add seen v ();
+           Some v
+         end)
+
+(* Whether the rotation stays usable under a (partial) global order:
+   the members of [fvs] that the order already places must form a
+   prefix of [fvs], at strictly increasing positions. For a total
+   order this is exactly "first occurrences appear in global order". *)
+let rot_viable pos_of fvs =
+  let rec go prev = function
+    | [] -> true
+    | v :: rest -> (
+      match pos_of v with
+      | Some p -> (
+        match prev with
+        | `Absent -> false
+        | `Start -> go (`At p) rest
+        | `At q -> p > q && go (`At p) rest)
+      | None -> go `Absent rest)
+  in
+  go `Start fvs
+
+let body_vars atoms =
+  let seen = Hashtbl.create 8 in
+  List.concat_map Cq.atom_vars atoms
+  |> List.filter (fun v ->
+         if Hashtbl.mem seen v then false
+         else begin
+           Hashtbl.add seen v ();
+           true
+         end)
+
+let plan env atoms =
+  let vars = body_vars atoms in
+  (* Try low-cardinality variables first: score each variable by the
+     smallest base extension among the atoms it occurs in. *)
+  let score =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        let s =
+          List.fold_left
+            (fun acc a ->
+              if List.mem v (Cq.atom_vars a) then
+                Float.min acc
+                  (Cardinality.atom_extension env Cardinality.initial a)
+              else acc)
+            infinity atoms
+        in
+        Hashtbl.replace tbl v s)
+      vars;
+    fun v -> Hashtbl.find tbl v
+  in
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare (score a) (score b)) vars
+  in
+  let atom_ok pos_of a =
+    Array.exists (fun r -> rot_viable pos_of (rot_fvs a r)) rotations
+  in
+  let pos_of_list prefix =
+    let tbl = Hashtbl.create 8 in
+    List.iteri (fun i v -> Hashtbl.replace tbl v i) prefix;
+    fun v -> Hashtbl.find_opt tbl v
+  in
+  (* Backtracking search; pruning is safe because rotation viability of
+     a full order implies viability of every prefix. *)
+  let rec dfs prefix_rev remaining =
+    match remaining with
+    | [] -> Some (List.rev prefix_rev)
+    | _ ->
+      let rec attempt = function
+        | [] -> None
+        | v :: later -> (
+          let pos_of = pos_of_list (List.rev (v :: prefix_rev)) in
+          if List.for_all (atom_ok pos_of) atoms then
+            match
+              dfs (v :: prefix_rev)
+                (List.filter (fun w -> not (String.equal w v)) remaining)
+            with
+            | Some _ as o -> o
+            | None -> attempt later
+          else attempt later)
+      in
+      attempt remaining
+  in
+  match dfs [] sorted with
+  | None -> None
+  | Some order ->
+    let pos_of = pos_of_list order in
+    let rot_of a =
+      let rec pick i =
+        if i >= Array.length rotations then
+          invalid_arg "Leapfrog.plan: no rotation for a feasible order"
+        else if rot_viable pos_of (rot_fvs a rotations.(i)) then rotations.(i)
+        else pick (i + 1)
+      in
+      pick 0
+    in
+    Some (order, List.map rot_of atoms)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One atom being read as a trie: [depth] levels are consumed, and
+   [lo, hi) are the index positions of the current group — all sharing
+   the consumed prefix keys. *)
+type astate = {
+  pats : Cq.pat array;
+  cur : Store.cursor;
+  depth : int;
+  lo : int;
+  hi : int;
+}
+
+(* Descend through levels holding constants or already-bound variables
+   (seek-checked); park at the first unbound-variable level. [None]
+   means the group is empty under the current bindings. *)
+let rec advance store binding st =
+  if st.depth >= 3 then Some st
+  else
+    match st.pats.(st.depth) with
+    | Cq.Cst t -> (
+      match Store.find_term store t with
+      | None -> None
+      | Some id -> narrow store binding st id)
+    | Cq.Var v -> (
+      match Hashtbl.find_opt binding v with
+      | Some id -> narrow store binding st id
+      | None -> Some st)
+
+and narrow store binding st id =
+  let lo =
+    Store.cursor_seek st.cur ~level:st.depth ~strict:false ~lo:st.lo ~hi:st.hi
+      id
+  in
+  Obs.incr c_seeks;
+  if lo >= st.hi || Store.cursor_key st.cur ~pos:lo ~level:st.depth <> id then
+    None
+  else begin
+    let hi =
+      Store.cursor_seek st.cur ~level:st.depth ~strict:true ~lo ~hi:st.hi id
+    in
+    Obs.incr c_seeks;
+    advance store binding { st with depth = st.depth + 1; lo; hi }
+  end
+
+let advance_all store binding states =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | st :: rest -> (
+      match advance store binding st with
+      | None -> None
+      | Some st -> go (st :: acc) rest)
+  in
+  go [] states
+
+(* Split the residual body into variable-connected components: each
+   becomes an independent factor ({!Fd.Product}) so cartesian
+   sub-results stay factorized. Fully-consumed atoms are satisfied and
+   drop out. *)
+let components order states =
+  let remaining = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace remaining v ()) order;
+  let unbound st =
+    let acc = ref [] in
+    for l = st.depth to 2 do
+      match st.pats.(l) with
+      | Cq.Var v when Hashtbl.mem remaining v && not (List.mem v !acc) ->
+        acc := v :: !acc
+      | Cq.Var _ | Cq.Cst _ -> ()
+    done;
+    !acc
+  in
+  let parent = Hashtbl.create 8 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | None -> v
+    | Some p ->
+      if String.equal p v then v
+      else begin
+        let r = find p in
+        Hashtbl.replace parent v r;
+        r
+      end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  let active = List.filter (fun st -> st.depth < 3) states in
+  let tagged = List.map (fun st -> (st, unbound st)) active in
+  List.iter
+    (fun (_, vs) ->
+      match vs with
+      | [] -> ()
+      | v0 :: rest -> List.iter (union v0) rest)
+    tagged;
+  let roots = List.map find order in
+  let comp_order r =
+    List.filteri (fun i _ -> String.equal (List.nth roots i) r) order
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter_map
+    (fun r ->
+      if Hashtbl.mem seen r then None
+      else begin
+        Hashtbl.add seen r ();
+        let atoms =
+          List.filter_map
+            (fun (st, vs) ->
+              match vs with
+              | v :: _ when String.equal (find v) r -> Some st
+              | _ -> None)
+            tagged
+        in
+        Some (comp_order r, atoms)
+      end)
+    roots
+
+let rec eval store spend binding order states =
+  match advance_all store binding states with
+  | None -> Fd.Empty
+  | Some states -> (
+    match order with
+    | [] -> Fd.Unit
+    | _ -> (
+      match components order states with
+      | [] -> Fd.Unit
+      | [ comp ] -> eval_var store spend binding comp
+      | comps ->
+        let subs = List.map (eval_var store spend binding) comps in
+        if List.exists Fd.is_empty subs then Fd.Empty else Fd.Product subs))
+
+(* Bind the component's first variable by leapfrog intersection of the
+   tries parked at it, recursing under each common value. *)
+and eval_var store spend binding (order, states) =
+  match order with
+  | [] -> eval store spend binding order states
+  | v :: rest ->
+    let parts, others =
+      List.partition
+        (fun st ->
+          st.depth < 3
+          &&
+          match st.pats.(st.depth) with
+          | Cq.Var w -> String.equal w v
+          | Cq.Cst _ -> false)
+        states
+    in
+    if parts = [] then
+      invalid_arg "Leapfrog.eval: unconstrained variable (planner invariant)";
+    let parr = Array.of_list parts in
+    let n = Array.length parr in
+    let lows = Array.map (fun st -> st.lo) parr in
+    let keyat i = Store.cursor_key parr.(i).cur ~pos:lows.(i) ~level:parr.(i).depth in
+    let pairs = ref [] in
+    let exception Done in
+    let x = ref min_int in
+    (* Candidate value: the max of the tries' current keys; [align]
+       leapfrogs every trie up to it, raising the candidate whenever a
+       seek overshoots, until all tries agree. *)
+    let next_candidate () =
+      x := min_int;
+      for i = 0 to n - 1 do
+        if lows.(i) >= parr.(i).hi then raise Done;
+        let k = keyat i in
+        if k > !x then x := k
+      done
+    in
+    let rec align () =
+      let changed = ref false in
+      for i = 0 to n - 1 do
+        let st = parr.(i) in
+        if keyat i < !x then begin
+          lows.(i) <-
+            Store.cursor_seek st.cur ~level:st.depth ~strict:false
+              ~lo:lows.(i) ~hi:st.hi !x;
+          Obs.incr c_seeks;
+          if lows.(i) >= st.hi then raise Done
+        end;
+        let k = keyat i in
+        if k > !x then begin
+          x := k;
+          changed := true
+        end
+      done;
+      if !changed then align ()
+    in
+    let rec loop () =
+      align ();
+      let value = !x in
+      let ghis =
+        Array.init n (fun i ->
+            let st = parr.(i) in
+            let g =
+              Store.cursor_seek st.cur ~level:st.depth ~strict:true
+                ~lo:lows.(i) ~hi:st.hi value
+            in
+            Obs.incr c_seeks;
+            g)
+      in
+      let children =
+        List.init n (fun i ->
+            let st = parr.(i) in
+            { st with depth = st.depth + 1; lo = lows.(i); hi = ghis.(i) })
+      in
+      Hashtbl.replace binding v value;
+      let sub = eval store spend binding rest (children @ others) in
+      Hashtbl.remove binding v;
+      if not (Fd.is_empty sub) then begin
+        spend 1;
+        pairs := (value, sub) :: !pairs
+      end;
+      Array.blit ghis 0 lows 0 n;
+      Obs.incr c_nexts;
+      next_candidate ();
+      loop ()
+    in
+    (try
+       next_candidate ();
+       loop ()
+     with Done -> ());
+    (match !pairs with
+    | [] -> Fd.Empty
+    | ps -> Fd.Ext { var = v; pairs = List.rev ps })
+
+let eval_fd ?budget env (q : Cq.t) =
+  match plan env q.Cq.body with
+  | None -> None
+  | Some (order, rots) ->
+    let spend = spender budget in
+    let store = env.Cardinality.store in
+    let binding = Hashtbl.create 16 in
+    let states =
+      List.map2
+        (fun a r ->
+          let cur = Store.cursor store r in
+          {
+            pats = rot_pats a r;
+            cur;
+            depth = 0;
+            lo = 0;
+            hi = Store.cursor_length cur;
+          })
+        q.Cq.body rots
+    in
+    Some (eval store spend binding order states)
+
+(* ------------------------------------------------------------------ *)
+(* Relation-producing entry points (Evaluator-compatible)              *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  planned : int;
+  fallbacks : int;
+}
+
+let default_cols (q : Cq.t) =
+  Array.of_list
+    (List.mapi
+       (fun i pat ->
+         match pat with Cq.Var v -> v | Cq.Cst _ -> Printf.sprintf "_k%d" i)
+       q.Cq.head)
+
+let cq ?budget env ?cols (q : Cq.t) =
+  match eval_fd ?budget env q with
+  | None ->
+    Obs.incr c_fallbacks;
+    (Evaluator.cq ?budget env ?cols q, { planned = 0; fallbacks = 1 })
+  | Some fd ->
+    let spend = spender budget in
+    let cols = match cols with Some c -> c | None -> default_cols q in
+    if Array.length cols <> List.length q.Cq.head then
+      invalid_arg "Leapfrog.cq: column/head arity mismatch";
+    let result = Relation.create ~cols in
+    let head = Array.of_list q.Cq.head in
+    let relevant v =
+      Array.exists
+        (function Cq.Var w -> String.equal w v | Cq.Cst _ -> false)
+        head
+    in
+    let add = Relation.distinct_adder result in
+    let out = Array.make (Array.length head) 0 in
+    let store = env.Cardinality.store in
+    Fd.enumerate ~relevant
+      ~emit:(fun lookup ->
+        spend 1;
+        Obs.incr c_emits;
+        Array.iteri
+          (fun i pat ->
+            match pat with
+            | Cq.Var v -> out.(i) <- lookup v
+            | Cq.Cst t -> out.(i) <- Store.encode_term store t)
+          head;
+        add out)
+      fd;
+    (result, { planned = 1; fallbacks = 0 })
+
+let ucq ?budget env ~cols u =
+  let result = Relation.create ~cols in
+  let add = Relation.distinct_adder ~size_hint:256 result in
+  let planned = ref 0 and fallbacks = ref 0 in
+  List.iter
+    (fun q ->
+      let r, st = cq ?budget env ~cols q in
+      planned := !planned + st.planned;
+      fallbacks := !fallbacks + st.fallbacks;
+      Relation.iter_rows r add)
+    (Ucq.disjuncts u);
+  (result, { planned = !planned; fallbacks = !fallbacks })

@@ -1,0 +1,68 @@
+(** Leapfrog triejoin: worst-case-optimal BGP evaluation.
+
+    Evaluates a whole conjunctive body in one multi-way pass instead of
+    a binary join tree: every atom is read through one of the store's
+    SPO / POS / OSP permutation indexes as a depth-3 trie
+    ({!Refq_storage.Store.cursor}), a global variable order is chosen
+    from {!Refq_cost.Cardinality} statistics, and at each variable the
+    participating tries are intersected by leapfrogging sorted seeks.
+    Results are built as factorized answers ({!Fd}): connected
+    components of the residual body become {!Fd.Product} children, so
+    cartesian sub-results are never multiplied out.
+
+    {2 Variable-order feasibility}
+
+    An atom with three distinct variables can only be read in one of its
+    three cyclic orders (s,p,o) / (p,o,s) / (o,s,p); atoms with repeated
+    variables or constants are less constrained (constants and repeated
+    occurrences become seek-checked levels). A global order is feasible
+    when every atom has a rotation whose first-occurrence variable
+    sequence is increasing in it; {!plan} searches feasible orders by
+    backtracking, trying low-cardinality variables first. Some bodies
+    admit no feasible order (e.g. atoms [(x,y,z)] and [(x,z,y)]):
+    {!plan} returns [None] and the evaluators fall back to
+    {!Refq_engine.Evaluator.cq}, bumping the [wco.fallbacks] counter.
+
+    All reads go through {!Refq_storage.Store.cursor} and
+    {!Refq_storage.Store.find_term} — legal under [Store.seal], so
+    fragments can fan out across domains. Entry points poll an optional
+    budget like the other engines (one row charged per extension-node
+    pair and per emitted answer). *)
+
+open Refq_query
+open Refq_engine
+open Refq_cost
+
+val plan :
+  Cardinality.env ->
+  Cq.atom list ->
+  (string list * Refq_storage.Store.order list) option
+(** A feasible global variable order plus one compatible index order per
+    atom (positionally), or [None] when no feasible order exists. *)
+
+val eval_fd : ?budget:Refq_fault.Budget.t -> Cardinality.env -> Cq.t -> Fd.t option
+(** The factorized result over the body variables, or [None] when the
+    body admits no feasible variable order (callers fall back). *)
+
+type stats = {
+  planned : int;  (** disjuncts evaluated by leapfrog *)
+  fallbacks : int;  (** disjuncts that fell back to the binary engine *)
+}
+
+val cq :
+  ?budget:Refq_fault.Budget.t ->
+  Cardinality.env ->
+  ?cols:string array ->
+  Cq.t ->
+  Relation.t * stats
+(** Same contract (and same answer set) as {!Refq_engine.Evaluator.cq};
+    falls back to it when {!plan} fails. *)
+
+val ucq :
+  ?budget:Refq_fault.Budget.t ->
+  Cardinality.env ->
+  cols:string array ->
+  Ucq.t ->
+  Relation.t * stats
+(** Same contract as {!Refq_engine.Evaluator.ucq}, with per-disjunct
+    fallback. *)

@@ -23,6 +23,10 @@ grep -q '"strategy": *"gcov+warm"' "$bench_json" || {
   echo "trajectory is missing the warm-cache runs" >&2
   exit 1
 }
+grep -q '"strategy": *"sat+wco"' "$bench_json" || {
+  echo "trajectory is missing the wco engine runs" >&2
+  exit 1
+}
 
 echo "== parallel differential smoke (--domains 1 and --domains 4)"
 # The parallel suite re-answers the 210 seeded queries through the domain
@@ -48,6 +52,54 @@ grep -q '"strategy": *"gcov+par2"' "$par_json" || {
   echo "parallel trajectory is missing the parallel query-eval runs" >&2
   exit 1
 }
+
+echo "== wco differential smoke (engines agree under the domain pool)"
+# The sixth differential axis re-answers the 210 seeded queries under
+# --engine wco and auto against the binary reference; REFQ_DOMAINS=4
+# additionally routes the wco fragments through the domain pool
+# (dune runtest already covers the 1-domain sweep).
+REFQ_DOMAINS=4 dune exec test/test_differential.exe -- test 'wco' >/dev/null
+
+echo "== wco engine smoke (answer --engine wco --explain on bundled workloads)"
+wco_queries() {
+  case "$1" in
+  lubm) echo 'q(x, y, z) :- x ub:advisor y, y ub:teacherOf z, x ub:takesCourse z' ;;
+  dblp) echo 'q(p, au, v) :- p dblp:authoredBy au, p dblp:publishedIn v' ;;
+  geo) echo 'q(p, c, d) :- p geo:locatedIn c, c geo:inDepartement d' ;;
+  esac
+}
+for workload in lubm dblp geo; do
+  wl_nt=$(mktemp "/tmp/refq_wco_${workload}.XXXXXX.nt")
+  dune exec bin/refq.exe -- generate "$workload" --scale 1 -o "$wl_nt" >/dev/null
+  dune exec bin/refq.exe -- answer "$wl_nt" -q "$(wco_queries $workload)" \
+    -s ucq --engine wco --explain | grep -q "operator: leapfrog" || {
+    echo "answer --engine wco --explain did not report the leapfrog operator on $workload" >&2
+    rm -f "$wl_nt"
+    exit 1
+  }
+  rm -f "$wl_nt"
+done
+
+echo "== wco engine: negative check (infeasible variable order must fall back)"
+# Atoms (x,y,z) and (x,z,y) force both y<z and z<y in the global variable
+# order: no feasible order exists, the fragment must fall back to the
+# binary engine and --explain must say so.
+wco_nt=$(mktemp /tmp/refq_wco_neg.XXXXXX.nt)
+{
+  echo '<http://example.org/a> <http://example.org/b> <http://example.org/c> .'
+  echo '<http://example.org/a> <http://example.org/c> <http://example.org/b> .'
+} > "$wco_nt"
+wco_explain=$(dune exec bin/refq.exe -- answer "$wco_nt" \
+  -q 'q(x, y, z) :- x y z, x z y' -s ucq --engine wco --explain)
+echo "$wco_explain" | grep -q "leapfrog infeasible" || {
+  echo "--engine wco did not report the fallback on an infeasible variable order" >&2
+  exit 1
+}
+if echo "$wco_explain" | grep -q "operator: leapfrog$"; then
+  echo "--engine wco claimed the leapfrog operator on an infeasible variable order" >&2
+  exit 1
+fi
+rm -f "$wco_nt"
 
 echo "== cache cold/warm bench smoke (e17)"
 dune exec bench/main.exe -- --fast --scale 1 --only e17 | grep -q "gcov" || {

@@ -72,6 +72,14 @@ for f in lib/*/*.ml; do
   fi
 done
 
+echo "== source lint: lib/wco stays on the store's read-side surface"
+# The leapfrog engine must be legal under Store.seal so wco fragments can
+# fan out across domains: no mutators, no seal management. (encode_term
+# is fine — head constants are pre-encoded before any seal.)
+if grep -rnE "Store\.(add|remove|seal|unseal|restore_epochs|import_indexes|set_)" lib/wco --include='*.ml'; then
+  fail "lib/wco must not mutate or seal/unseal the store"
+fi
+
 echo "== source lint: no module-level mutable Hashtbl/Buffer outside lib/obs"
 if grep -rnE "^let [a-z_]+ *= *(Hashtbl|Buffer)\.create" lib --include='*.ml' \
   | grep -v "^lib/obs/"; then

@@ -297,6 +297,49 @@ let test_jucq_plan_cartesian_join () =
   check_has "fragment joins on nothing" "RP002"
     (Check_plan.check_jucq_plan plan)
 
+let test_engine_plan_no_var_order () =
+  (* A broken planner output: leapfrog chosen for a fragment that admits
+     no feasible variable order. The production planner records such
+     fragments as Op_binary, so only a hand-built plan trips this. *)
+  let e =
+    {
+      Plan.fragment = 1;
+      operator = Plan.Op_leapfrog;
+      var_order = None;
+      est_leapfrog = 10.0;
+      est_binary = 20.0;
+    }
+  in
+  check_has "leapfrog without a variable order" "RP004"
+    (Check_plan.check_engine_plans [ e ])
+
+let test_engine_plan_degenerate_estimate () =
+  let e =
+    {
+      Plan.fragment = 2;
+      operator = Plan.Op_leapfrog;
+      var_order = Some [ "x"; "y" ];
+      est_leapfrog = Float.nan;
+      est_binary = 20.0;
+    }
+  in
+  check_has "NaN leapfrog estimate" "RP005"
+    (Check_plan.check_engine_plans [ e ]);
+  (* Binary decisions are exempt: their estimates were merely recorded,
+     not used to drive a leapfrog evaluation. *)
+  let binary =
+    {
+      Plan.fragment = 1;
+      operator = Plan.Op_binary;
+      var_order = None;
+      est_leapfrog = Float.nan;
+      est_binary = 20.0;
+    }
+  in
+  Alcotest.(check int)
+    "binary decision raises nothing" 0
+    (List.length (Check_plan.check_engine_plans [ binary ]))
+
 let test_datalog_unsafe_rule () =
   (* Datalog.rule rejects this; build the record directly. *)
   let r =
@@ -394,6 +437,10 @@ let () =
             test_plan_cartesian_step;
           Alcotest.test_case "RP002 cartesian fragment join" `Quick
             test_jucq_plan_cartesian_join;
+          Alcotest.test_case "RP004 leapfrog without index order" `Quick
+            test_engine_plan_no_var_order;
+          Alcotest.test_case "RP005 degenerate leapfrog estimate" `Quick
+            test_engine_plan_degenerate_estimate;
           Alcotest.test_case "RP003 broken estimate" `Quick
             test_plan_broken_estimate;
           Alcotest.test_case "RD001 unsafe rule" `Quick

@@ -380,6 +380,76 @@ let test_parallel_parity (workload, make_store) () =
             (Store.data_epoch sat, Store.schema_epoch sat))
         parallel_domain_counts)
 
+(* ------------------------------------------------------------------ *)
+(* Wco engine vs binary engine, across domain counts                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The worst-case-optimal engine must be answer-invariant: for every
+   strategy, answering under [Config.engine = Wco] (leapfrog triejoin
+   with per-disjunct fallback) returns bit-identical decoded answer
+   sets to the default binary engine — and so does [Auto], whose
+   per-fragment cost-based choice mixes the two operators inside one
+   JUCQ. The sweep honours [REFQ_DOMAINS] like the parallel suite, so
+   the wco chunked-evaluation path is exercised across the domain pool
+   too (the engines share one environment, which also checks that the
+   engine-tagged result cache never serves one operator's rows to the
+   other). *)
+
+let engine_answers env config q s =
+  match Answer.answer ~config env q s with
+  | Ok r -> Ok (Answer.decode env r.Answer.answers)
+  | Error f -> Error f.Answer.reason
+
+(* Default to the sequential pool (the parallel suite already sweeps the
+   domain counts); [REFQ_DOMAINS] widens the sweep — CI reruns this axis
+   at 4 domains to drive the wco chunked path. *)
+let wco_domain_counts =
+  match Sys.getenv_opt "REFQ_DOMAINS" with
+  | None | Some "" -> [ 1 ]
+  | Some _ -> parallel_domain_counts
+
+let test_wco_parity (workload, make_store) () =
+  let store = make_store () in
+  let queries = Query_gen.generate ~seed store ~count:queries_per_workload in
+  let pp_result ppf = function
+    | Ok rows -> pp_rows ppf rows
+    | Error reason -> Fmt.pf ppf "failed: %s" reason
+  in
+  Fun.protect
+    ~finally:(fun () -> Par.set_domains 1)
+    (fun () ->
+      List.iter
+        (fun d ->
+          Par.set_domains d;
+          let env = Answer.make_env store in
+          List.iter
+            (fun (name, q) ->
+              List.iter
+                (fun s ->
+                  let want =
+                    engine_answers env Answer.Config.default q s
+                  in
+                  List.iter
+                    (fun e ->
+                      let config =
+                        Answer.Config.(with_engine e default)
+                      in
+                      let got = engine_answers env config q s in
+                      if got <> want then
+                        Alcotest.failf
+                          "%s/%s (seed %Ld): %s under --engine %s at %d \
+                           domain(s) diverges from binary@.query: \
+                           %a@.binary: @[<v>%a@]@.%s: @[<v>%a@]"
+                          workload name seed (Strategy.name s)
+                          (Answer.Config.engine_name e)
+                          d Cq.pp q pp_result want
+                          (Answer.Config.engine_name e)
+                          pp_result got)
+                    [ Answer.Wco; Answer.Auto ])
+                parallel_strategies)
+            queries)
+        wco_domain_counts)
+
 let () =
   Alcotest.run "differential"
     [
@@ -405,5 +475,9 @@ let () =
       ( "parallel agrees across domains",
         List.map
           (fun w -> Alcotest.test_case (fst w) `Slow (test_parallel_parity w))
+          workloads );
+      ( "wco engine agrees with binary",
+        List.map
+          (fun w -> Alcotest.test_case (fst w) `Slow (test_wco_parity w))
           workloads );
     ]

@@ -325,6 +325,126 @@ let test_results_csv_quoting () =
   Alcotest.(check bool) "quoted and doubled" true
     (string_has csv "\"x,\"\"y\"\"\"")
 
+(* union_all must skip the re-sort/re-dedup pass when every input
+   carries the sorted-distinct tag — same rows either way, but the fast
+   path never touches [engine.union_resorts]. *)
+let test_union_all_sorted_fast_path () =
+  let module Obs = Refq_obs.Obs in
+  let cols = [| "x"; "y" |] in
+  let mk rows =
+    let r = Relation.create ~cols in
+    List.iter (Relation.add_row r) rows;
+    r
+  in
+  let tagged rows =
+    let r = mk rows in
+    Relation.mark_sorted_distinct r;
+    r
+  in
+  let rows_of r =
+    let acc = ref [] in
+    Relation.iter_rows r (fun row -> acc := Array.to_list row :: !acc);
+    List.rev !acc
+  in
+  let resorts = Obs.counter "engine.union_resorts" in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let r0 = Obs.value resorts in
+      let fast =
+        Sortmerge.union_all ~cols
+          [
+            tagged [ [| 1; 1 |]; [| 2; 5 |] ];
+            tagged [ [| 1; 1 |]; [| 3; 0 |] ];
+            tagged [ [| 2; 5 |] ];
+          ]
+      in
+      Alcotest.(check (list (list int)))
+        "merged sorted set"
+        [ [ 1; 1 ]; [ 2; 5 ]; [ 3; 0 ] ]
+        (rows_of fast);
+      Alcotest.(check bool) "output keeps the tag" true
+        (Relation.sorted_distinct fast);
+      Alcotest.(check int) "fast path pays no resort" r0 (Obs.value resorts);
+      (* Same inputs without the tag: identical rows, full pass counted. *)
+      let slow =
+        Sortmerge.union_all ~cols
+          [
+            mk [ [| 1; 1 |]; [| 2; 5 |] ];
+            mk [ [| 1; 1 |]; [| 3; 0 |] ];
+            mk [ [| 2; 5 |] ];
+          ]
+      in
+      Alcotest.(check (list (list int)))
+        "slow path agrees" (rows_of fast) (rows_of slow);
+      Alcotest.(check bool) "slow path counted rows" true
+        (Obs.value resorts > r0))
+
+(* ------------------------------------------------------------------ *)
+(* Worst-case-optimal engine (lib/wco)                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Leapfrog = Refq_wco.Leapfrog
+module Fd = Refq_wco.Fd
+
+(* Property: leapfrog triejoin agrees with the naive evaluator (and so
+   with the binary engines) on random graphs and queries — including the
+   bodies where planning fails and the per-disjunct fallback fires. *)
+let prop_leapfrog_matches_naive =
+  QCheck2.Test.make ~name:"leapfrog CQ = naive CQ" ~count:200
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let env = env_of_graph g in
+      Relation.decode_rows (Store.dictionary env.Cardinality.store)
+        (fst (Leapfrog.cq env q))
+      = Naive.cq g q)
+
+(* Property: the factorized representation is consistent — the DAG's
+   arithmetic count over all body variables equals the number of rows a
+   full enumeration materializes. *)
+let prop_fd_count_matches_enumeration =
+  QCheck2.Test.make ~name:"Fd.count = enumerated rows" ~count:200
+    ~print:Fixtures.print_graph_and_cq Fixtures.gen_graph_and_cq
+    (fun (g, q) ->
+      let env = env_of_graph g in
+      match Leapfrog.eval_fd env q with
+      | None -> true (* no feasible order: nothing to compare *)
+      | Some fd ->
+        let n = ref 0 in
+        Fd.enumerate ~relevant:(fun _ -> true) ~emit:(fun _ -> incr n) fd;
+        Fd.count fd = !n && Fd.is_empty fd = (!n = 0))
+
+let test_leapfrog_infeasible_falls_back () =
+  (* Atoms (x,y,z) and (x,z,y): any order must place y before z for one
+     rotation and z before y for the other — no feasible global order,
+     so [plan] refuses and [cq] falls back with a fallback stat. *)
+  let u = Fixtures.uri in
+  let g =
+    Graph.of_list
+      [
+        Triple.make (u "a") (u "b") (u "c");
+        Triple.make (u "a") (u "c") (u "b");
+      ]
+  in
+  let env = env_of_graph g in
+  let q =
+    Cq.make ~head:[ Cq.var "x" ]
+      ~body:
+        [
+          Cq.atom (Cq.var "x") (Cq.var "y") (Cq.var "z");
+          Cq.atom (Cq.var "x") (Cq.var "z") (Cq.var "y");
+        ]
+  in
+  Alcotest.(check bool)
+    "no feasible order" true
+    (Leapfrog.plan env q.Cq.body = None);
+  let rel, st = Leapfrog.cq env q in
+  Alcotest.(check int) "fallback still answers" 1 (Relation.cardinality rel);
+  Alcotest.(check int) "fallback counted" 1 st.Leapfrog.fallbacks;
+  Alcotest.(check int) "nothing planned" 0 st.Leapfrog.planned
+
 (* Property: the sort-merge backend agrees with the naive evaluator too. *)
 let prop_sortmerge_matches_naive =
   QCheck2.Test.make ~name:"sort-merge CQ = naive CQ" ~count:200
@@ -409,7 +529,16 @@ let () =
       ( "sortmerge",
         [
           Alcotest.test_case "merge join groups" `Quick test_merge_join_basic;
+          Alcotest.test_case "union_all sorted fast path" `Quick
+            test_union_all_sorted_fast_path;
           QCheck_alcotest.to_alcotest prop_sortmerge_matches_naive;
           QCheck_alcotest.to_alcotest prop_backends_agree_on_jucq;
+        ] );
+      ( "wco",
+        [
+          QCheck_alcotest.to_alcotest prop_leapfrog_matches_naive;
+          QCheck_alcotest.to_alcotest prop_fd_count_matches_enumeration;
+          Alcotest.test_case "infeasible order falls back" `Quick
+            test_leapfrog_infeasible_falls_back;
         ] );
     ]
